@@ -1,0 +1,57 @@
+// ncl-bench regenerates the full evaluation of EXPERIMENTS.md: one table
+// per experiment E1-E9 of DESIGN.md §4. Each experiment exercises a claim
+// of the paper (programmability, in-network aggregation wins, cache load
+// absorption, window economics, protocol overhead, compiler feasibility,
+// backend portability, recirculation cost).
+//
+// Usage:
+//
+//	ncl-bench [-only E3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ncl/internal/bench"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment (E1..E8)")
+	flag.Parse()
+
+	type exp struct {
+		id  string
+		run func() (*bench.Table, error)
+	}
+	exps := []exp{
+		{"E1", bench.E1Complexity},
+		{"E2", bench.E2AllReduce},
+		{"E3", bench.E3KVS},
+		{"E4", bench.E4WindowSweep},
+		{"E5", bench.E5NCP},
+		{"E6", bench.E6Compile},
+		{"E7", bench.E7Backends},
+		{"E8", bench.E8Recirc},
+		{"E9", bench.E9Hierarchy},
+	}
+	ran := 0
+	for _, e := range exps {
+		if *only != "" && !strings.EqualFold(*only, e.id) {
+			continue
+		}
+		t, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ncl-bench: %s failed: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(t.Render())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "ncl-bench: unknown experiment %q\n", *only)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,155 @@
+// ncl-run is the kernel debugger the paper's future-work section wishes
+// for: it compiles an NCL program, loads one location's pipeline into the
+// PISA simulator, feeds it a single window from the command line, and
+// shows the modified window, the forwarding decision, and every register
+// the window touched.
+//
+// Usage:
+//
+//	ncl-run -and app.and -kernel allreduce -loc s1 \
+//	        -data "1,2,3,4;..." [-meta seq=0,from=0] [-n 3] app.ncl
+//
+// -data gives one comma-separated element list per window parameter,
+// separated by semicolons; -n repeats the window (showing stateful
+// evolution across windows).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ncl"
+	"ncl/internal/ncl/interp"
+	"ncl/internal/pisa"
+)
+
+func main() {
+	andPath := flag.String("and", "", "AND file (required)")
+	kernel := flag.String("kernel", "", "outgoing kernel to execute (required)")
+	loc := flag.String("loc", "", "switch location (default: first switch in the AND)")
+	w := flag.Int("w", 8, "window length W")
+	data := flag.String("data", "", "window data: per-param comma lists separated by ';'")
+	meta := flag.String("meta", "", "window metadata: k=v pairs, comma separated (seq, from, sender, wid, ...)")
+	repeat := flag.Int("n", 1, "process the window n times (observe stateful evolution)")
+	flag.Parse()
+	if flag.NArg() != 1 || *andPath == "" || *kernel == "" {
+		fmt.Fprintln(os.Stderr, "usage: ncl-run -and <file.and> -kernel <name> [-loc s1] [-data ...] <file.ncl>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	nclSrc, err := os.ReadFile(flag.Arg(0))
+	must(err)
+	andSrc, err := os.ReadFile(*andPath)
+	must(err)
+
+	art, err := ncl.Build(string(nclSrc), string(andSrc), ncl.BuildOptions{WindowLen: *w})
+	must(err)
+
+	if *loc == "" {
+		for l := range art.Programs {
+			if *loc == "" || l < *loc {
+				*loc = l
+			}
+		}
+	}
+	prog, ok := art.Programs[*loc]
+	if !ok {
+		must(fmt.Errorf("no program for location %q", *loc))
+	}
+	k := prog.KernelByName(*kernel)
+	if k == nil {
+		must(fmt.Errorf("kernel %q not present at %q (placed elsewhere?)", *kernel, *loc))
+	}
+
+	sw := pisa.NewSwitch(art.Target)
+	must(sw.Load(prog))
+
+	// Build the window.
+	win := &interp.Window{Meta: map[string]uint64{"len": uint64(*w)}}
+	parts := []string{}
+	if *data != "" {
+		parts = strings.Split(*data, ";")
+	}
+	for pi, pl := range k.Params {
+		vals := make([]uint64, pl.Elems)
+		if pi < len(parts) {
+			for ei, tok := range strings.Split(parts[pi], ",") {
+				if ei >= len(vals) {
+					break
+				}
+				v, err := strconv.ParseInt(strings.TrimSpace(tok), 0, 64)
+				must(err)
+				vals[ei] = uint64(v)
+			}
+		}
+		win.Data = append(win.Data, vals)
+	}
+	if *meta != "" {
+		for _, kv := range strings.Split(*meta, ",") {
+			key, val, found := strings.Cut(kv, "=")
+			if !found {
+				must(fmt.Errorf("bad -meta entry %q", kv))
+			}
+			v, err := strconv.ParseUint(strings.TrimSpace(val), 0, 64)
+			must(err)
+			win.Meta[strings.TrimSpace(key)] = v
+		}
+	}
+
+	fmt.Printf("kernel %s at %s (id %d, W=%d), %d pass(es)\n",
+		k.Name, *loc, k.ID, k.WindowLen, len(k.Passes))
+	for i := 0; i < *repeat; i++ {
+		dec, err := sw.ExecWindow(k.ID, win)
+		must(err)
+		fmt.Printf("\nwindow %d -> decision: %s", i+1, dec.Kind)
+		if dec.Label != "" {
+			fmt.Printf(" (%q)", dec.Label)
+		}
+		fmt.Println()
+		for pi, pl := range k.Params {
+			fmt.Printf("  %-12s %v\n", pl.Name+":", formatVals(win.Data[pi], pl.Signed))
+		}
+	}
+
+	fmt.Println("\nregister state after execution:")
+	for _, r := range prog.Registers {
+		var nonzero []string
+		for i := 0; i < r.Elems && len(nonzero) < 16; i++ {
+			v, err := sw.ReadRegister(r.Name, i)
+			must(err)
+			if v != 0 {
+				if r.Signed {
+					nonzero = append(nonzero, fmt.Sprintf("[%d]=%d", i, int64(v)))
+				} else {
+					nonzero = append(nonzero, fmt.Sprintf("[%d]=%d", i, v))
+				}
+			}
+		}
+		if len(nonzero) > 0 {
+			fmt.Printf("  %-16s %s\n", r.Name, strings.Join(nonzero, " "))
+		}
+	}
+}
+
+func formatVals(vals []uint64, signed bool) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		if signed {
+			parts[i] = strconv.FormatInt(int64(v), 10)
+		} else {
+			parts[i] = strconv.FormatUint(v, 10)
+		}
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ncl-run: %v\n", err)
+		os.Exit(1)
+	}
+}

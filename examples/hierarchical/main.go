@@ -1,0 +1,160 @@
+// Hierarchical AllReduce: in-network aggregation over a two-level switch
+// tree — the deployment story the AND file exists for (Fig. 3c).
+//
+// One location-less (SPMD) kernel runs on every switch; its per-location
+// behavior comes from location.id branches and per-switch _ctrl_ fan-in
+// counts. The versioning pass (§5) splits it into three specialized
+// programs: rack switches aggregate their workers' windows and escalate
+// partial sums (_pass("c")); the core switch combines rack sums, marks
+// the window as a down-phase result, and broadcasts it down the tree;
+// racks re-broadcast to their workers and the core drops the echo — loop
+// prevention as kernel logic, using _bcast exactly as §4.1 defines it
+// ("all devices one hop away in the overlay").
+//
+//	go run ./examples/hierarchical [-elems 1024]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"ncl"
+)
+
+const kernels = `
+#define DATA_LEN 1024
+#define CORE 3
+
+_net_ int accum[DATA_LEN] = {0};
+_net_ unsigned count[DATA_LEN] = {0};
+_net_ _at_("r1") _ctrl_ unsigned fanin1;
+_net_ _at_("r2") _ctrl_ unsigned fanin2;
+_net_ _at_("c")  _ctrl_ unsigned fanin3;
+
+unsigned fanin() {
+    return location.id == 1 ? fanin1 : location.id == 2 ? fanin2 : fanin3;
+}
+
+_net_ _out_ void haggr(int *data, bool down) {
+    if (down) {
+        if (location.id == CORE) { _drop(); }   // stop the rack echo
+        else { _bcast(); }                      // rack: deliver to workers
+    } else {
+        unsigned base = window.seq * window.len;
+        for (unsigned i = 0; i < window.len; ++i)
+            accum[base + i] += data[i];
+        if (++count[window.seq] == fanin()) {
+            memcpy(data, &accum[base], window.len * 4);
+            count[window.seq] = 0;
+            if (location.id == CORE) { down = true; _bcast(); }
+            else { _pass("c"); }                // rack: escalate partial sums
+        } else { _drop(); }
+    }
+}
+
+_net_ _in_ void result(int *data, bool down, _ext_ int *hdata, _ext_ bool *done) {
+    for (unsigned i = 0; i < window.len; ++i)
+        hdata[window.seq * window.len + i] = data[i];
+    *done = true;
+}
+`
+
+const overlay = `
+switch r1 id=1
+switch r2 id=2
+switch c  id=3
+host w0 role=0
+host w1 role=0
+host w2 role=0
+host w3 role=0
+link w0 r1
+link w1 r1
+link w2 r2
+link w3 r2
+link r1 c
+link r2 c
+`
+
+func main() {
+	elems := flag.Int("elems", 1024, "gradient elements per worker (multiple of 8, ≤ 1024)")
+	flag.Parse()
+	const (
+		W       = 8
+		workers = 4
+	)
+	if *elems%W != 0 || *elems > 1024 {
+		log.Fatalf("-elems must be a multiple of %d and at most 1024", W)
+	}
+
+	art, err := ncl.Build(kernels, overlay, ncl.BuildOptions{WindowLen: W, ModuleName: "hier"})
+	if err != nil {
+		log.Fatalf("build: %v", err)
+	}
+	fmt.Printf("compiled one SPMD kernel into %d per-switch programs\n", len(art.Programs))
+
+	dep, err := art.Deploy(ncl.Faults{})
+	if err != nil {
+		log.Fatalf("deploy: %v", err)
+	}
+	defer dep.Stop()
+	for _, cw := range []string{"fanin1", "fanin2", "fanin3"} {
+		if err := dep.Controller.CtrlWrite(cw, 0, 2); err != nil {
+			log.Fatalf("ctrl_wr %s: %v", cw, err)
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	sums := make([][]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			host := dep.Hosts[fmt.Sprintf("w%d", w)]
+			data := make([]uint64, *elems)
+			for i := range data {
+				data[i] = uint64(int64((w + 1) * (i%13 + 1)))
+			}
+			down := make([]uint64, *elems/W)
+			if err := host.Out(ncl.Invocation{Kernel: "haggr", Dest: "c"}, [][]uint64{data, down}); err != nil {
+				log.Fatalf("worker %d out: %v", w, err)
+			}
+			hdata := make([]uint64, *elems)
+			done := make([]uint64, 1)
+			for n := 0; n < *elems/W; n++ {
+				if _, err := host.In("result", [][]uint64{hdata, done}, 30*time.Second); err != nil {
+					log.Fatalf("worker %d in: %v", w, err)
+				}
+			}
+			sums[w] = hdata
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	for i := 0; i < *elems; i++ {
+		want := int64(0)
+		for w := 0; w < workers; w++ {
+			want += int64((w + 1) * (i%13 + 1))
+		}
+		for w := 0; w < workers; w++ {
+			if int64(sums[w][i]) != want {
+				log.Fatalf("worker %d element %d = %d, want %d", w, i, int64(sums[w][i]), want)
+			}
+		}
+	}
+
+	time.Sleep(20 * time.Millisecond) // let fire-and-forget echoes drain
+	up := dep.Fabric.Stats("r1", "c").Packets.Load() + dep.Fabric.Stats("r2", "c").Packets.Load()
+	fmt.Printf("aggregated %d elements across %d workers / 2 racks in %v\n",
+		*elems, workers, elapsed.Round(time.Microsecond))
+	fmt.Printf("core uplinks carried %d windows (racks absorbed half the worker traffic)\n", up)
+	fmt.Printf("switch windows: r1=%d r2=%d core=%d\n",
+		dep.Switches["r1"].KernelWindows.Load(),
+		dep.Switches["r2"].KernelWindows.Load(),
+		dep.Switches["c"].KernelWindows.Load())
+	fmt.Println("hierarchical OK")
+}

@@ -1,0 +1,188 @@
+// KVS cache: the paper's Fig. 5 use case — a NetCache-style in-network
+// key-value cache. The switch serves GETs for hot keys directly
+// (reflecting the window back to the client); misses continue to the
+// storage server; PUTs invalidate; server updates install values.
+//
+// A zipf-distributed GET workload shows the headline effect: the hotter
+// the workload, the more load the switch absorbs from the server.
+//
+//	go run ./examples/kvcache [-keys 4096] [-cache 64] [-requests 2000] [-skew 0.99]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"ncl"
+)
+
+const valBytes = 16
+
+const kernels = `
+#define SERVER 1
+#define CAP 64
+#define VAL 16
+
+_net_ _at_("s1") ncl::Map<uint64_t, uint8_t, CAP> Idx;
+_net_ _at_("s1") char Cache[CAP][VAL] = {{0}};
+_net_ _at_("s1") bool Valid[CAP] = {false};
+
+_net_ _out_ void query(uint64_t key, char *val, bool update) {
+    if (window.from != SERVER && update) {            // client PUT: invalidate
+        if (auto *idx = Idx[key]) Valid[*idx] = false;
+    } else if (window.from != SERVER) {               // client GET
+        if (auto *idx = Idx[key]) {                   // hit
+            if (Valid[*idx]) {
+                memcpy(val, Cache[*idx], VAL); _reflect(); } }
+    } else if (update) {                              // server update
+        auto *idx = Idx[key]; memcpy(Cache[*idx], val, VAL);
+        Valid[*idx] = true; _drop();
+    } else { }                                        // server GET response
+}
+
+_net_ _in_ void reply(uint64_t key, char *val, bool update, _ext_ uint64_t *rkey, _ext_ char *rval) {
+    *rkey = key;
+    for (unsigned i = 0; i < window.len; ++i) rval[i] = val[i];
+}
+`
+
+const overlay = `
+switch s1 id=1
+host client role=0
+host server role=1
+link client s1
+link s1 server
+`
+
+func valueFor(key uint64) []uint64 {
+	v := make([]uint64, valBytes)
+	for i := range v {
+		v[i] = (key + uint64(i)) & 0x7F
+	}
+	return v
+}
+
+func main() {
+	keys := flag.Int("keys", 4096, "key space size")
+	cache := flag.Int("cache", 64, "cache capacity (hot keys installed)")
+	requests := flag.Int("requests", 2000, "GET requests to issue")
+	skew := flag.Float64("skew", 0.99, "zipf exponent of the workload")
+	flag.Parse()
+
+	art, err := ncl.Build(kernels, overlay, ncl.BuildOptions{WindowLen: valBytes, ModuleName: "kvs"})
+	if err != nil {
+		log.Fatalf("build: %v", err)
+	}
+	dep, err := art.Deploy(ncl.Faults{})
+	if err != nil {
+		log.Fatalf("deploy: %v", err)
+	}
+	defer dep.Stop()
+
+	client := dep.Hosts["client"]
+	server := dep.Hosts["server"]
+
+	// Storage server: install the hottest keys into the cache — the Idx
+	// entry through the control plane (the map is a control-plane-managed
+	// MAT, §4.3), the value through the data-plane update path.
+	for k := 0; k < *cache; k++ {
+		if err := dep.Controller.MapInsert("s1", "Idx", uint64(k), uint64(k)); err != nil {
+			log.Fatalf("map insert: %v", err)
+		}
+		if err := server.OutWindow(ncl.Invocation{Kernel: "query", Dest: "client"},
+			server.NewWid(), 0, [][]uint64{{uint64(k)}, valueFor(uint64(k)), {1}}); err != nil {
+			log.Fatalf("install: %v", err)
+		}
+	}
+	waitFor(func() bool {
+		v, err := dep.Controller.ReadRegister("s1", "Valid", *cache-1)
+		return err == nil && v == 1
+	})
+	dep.Fabric.ResetStats()
+
+	// Server loop: answer misses.
+	go func() {
+		rkey := make([]uint64, 1)
+		rval := make([]uint64, valBytes)
+		for {
+			if _, err := server.In("reply", [][]uint64{rkey, rval}, 100*time.Millisecond); err != nil {
+				if err == ncl.ErrTimeout {
+					continue
+				}
+				return
+			}
+			if err := server.OutWindow(ncl.Invocation{Kernel: "query", Dest: "client"},
+				server.NewWid(), 0, [][]uint64{{rkey[0]}, valueFor(rkey[0]), {0}}); err != nil {
+				return
+			}
+		}
+	}()
+
+	// Client: zipf GET workload.
+	zipf := newZipf(*keys, *skew, 1)
+	var hits, misses int
+	rkey := make([]uint64, 1)
+	rval := make([]uint64, valBytes)
+	start := time.Now()
+	for i := 0; i < *requests; i++ {
+		k := zipf()
+		if err := client.OutWindow(ncl.Invocation{Kernel: "query", Dest: "server"},
+			client.NewWid(), 0, [][]uint64{{k}, make([]uint64, valBytes), {0}}); err != nil {
+			log.Fatalf("get: %v", err)
+		}
+		rw, err := client.In("reply", [][]uint64{rkey, rval}, 10*time.Second)
+		if err != nil {
+			log.Fatalf("reply for key %d: %v", k, err)
+		}
+		if rval[0] != (k & 0x7F) {
+			log.Fatalf("wrong value for key %d: %v", k, rval[:4])
+		}
+		if rw.Header.Flags&1 != 0 { // reflected by the switch
+			hits++
+		} else {
+			misses++
+		}
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("workload: %d GETs over %d keys, zipf(%.2f), cache=%d\n", *requests, *keys, *skew, *cache)
+	fmt.Printf("switch served %d (%.1f%%), server served %d\n",
+		hits, 100*float64(hits)/float64(*requests), misses)
+	fmt.Printf("server-link traffic: %d bytes; total: %d bytes; %.0f req/s (simulated fabric)\n",
+		dep.Fabric.Stats("s1", "server").Bytes.Load(), dep.Fabric.TotalBytes(),
+		float64(*requests)/elapsed.Seconds())
+	fmt.Println("kvcache OK")
+}
+
+func waitFor(cond func() bool) {
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			log.Fatal("timed out waiting for switch state")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// newZipf returns a zipf(s) sampler over [0,n) for any s ≥ 0.
+func newZipf(n int, s float64, seed int64) func() uint64 {
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return func() uint64 {
+		u := rng.Float64()
+		return uint64(sort.SearchFloat64s(cdf, u))
+	}
+}

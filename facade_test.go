@@ -1,0 +1,61 @@
+package ncl_test
+
+import (
+	"testing"
+	"time"
+
+	"ncl"
+)
+
+// TestFacadeRoundTrip exercises the public API end to end the way the
+// README's quickstart does.
+func TestFacadeRoundTrip(t *testing.T) {
+	const kernels = `
+_net_ _at_("s1") unsigned total;
+_net_ _out_ void addup(unsigned *d) {
+    unsigned s = 0;
+    for (unsigned i = 0; i < window.len; ++i) s += d[i];
+    total += s;
+}
+_net_ _in_ void sink(unsigned *d, _ext_ unsigned *out) {
+    for (unsigned i = 0; i < window.len; ++i) out[i] = d[i];
+}
+`
+	const overlay = "switch s1 id=1\nhost a role=0\nhost b role=1\nlink a s1\nlink s1 b"
+
+	if ncl.DefaultTarget().Stages == 0 {
+		t.Fatal("DefaultTarget must have stages")
+	}
+	art, err := ncl.Build(kernels, overlay, ncl.BuildOptions{WindowLen: 4, ModuleName: "facade"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := art.Deploy(ncl.Faults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Stop()
+
+	a := dep.Hosts["a"]
+	b := dep.Hosts["b"]
+	if err := a.Out(ncl.Invocation{Kernel: "addup", Dest: "b"}, [][]uint64{{1, 2, 3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]uint64, 4)
+	rw, err := b.In("sink", [][]uint64{out}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.Header.WindowLen != 4 || out[3] != 4 {
+		t.Errorf("window delivery wrong: %+v %v", rw.Header, out)
+	}
+	v, err := dep.Controller.ReadRegister("s1", "total", 0)
+	if err != nil || v != 10 {
+		t.Errorf("switch total = %d (%v), want 10", v, err)
+	}
+
+	// Timeout surface.
+	if _, err := b.In("sink", [][]uint64{out}, 5*time.Millisecond); err != ncl.ErrTimeout {
+		t.Errorf("want ErrTimeout, got %v", err)
+	}
+}

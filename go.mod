@@ -1,0 +1,3 @@
+module ncl
+
+go 1.22

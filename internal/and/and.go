@@ -1,0 +1,383 @@
+// Package and implements the Abstract Network Description of §3.2: a
+// declarative overlay of an application's functional components. Location
+// labels in the AND parameterize kernel placement (_at_) and window
+// forwarding (_pass(label), _bcast = all overlay neighbors). The paper
+// assumes an external mechanism maps the overlay onto a physical network
+// (Fig. 3c); in this reproduction the simulated fabric instantiates the
+// overlay directly, and the controller derives routing from it.
+//
+// File format (line oriented, '#' comments):
+//
+//	switch <label> [id=<n>]
+//	host   <label> [role=<n>] [count=<k>]
+//	link   <a> <b> [bw=<gbps>] [lat=<us>]
+//
+// A host with count=k expands into k hosts labeled <label>0..<label>k-1,
+// each inheriting the role and links of the template.
+package and
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// NodeKind distinguishes switches from hosts.
+type NodeKind int
+
+const (
+	// SwitchNode runs outgoing kernels on windows passing through it.
+	SwitchNode NodeKind = iota
+	// HostNode runs application code and incoming kernels.
+	HostNode
+)
+
+func (k NodeKind) String() string {
+	if k == SwitchNode {
+		return "switch"
+	}
+	return "host"
+}
+
+// Node is one overlay component.
+type Node struct {
+	Label string
+	Kind  NodeKind
+	ID    uint32 // switch location id (location.id); host id
+	Role  uint32 // host role (window.from carries the sender's role)
+}
+
+// Link is one overlay adjacency.
+type Link struct {
+	A, B      string
+	GBitsPerS float64 // nominal bandwidth (defaults to 100)
+	LatencyUs float64 // propagation latency (defaults to 1)
+}
+
+// Network is a parsed, validated AND.
+type Network struct {
+	Nodes []*Node
+	Links []*Link
+
+	byLabel map[string]*Node
+	adj     map[string][]string
+}
+
+// Parse reads an AND document.
+func Parse(src string) (*Network, error) {
+	n := &Network{byLabel: map[string]*Node{}, adj: map[string][]string{}}
+	var templates []struct {
+		node  *Node
+		count int
+	}
+	var rawLinks []*Link
+	nextSwitchID := uint32(1)
+	nextHostID := uint32(1)
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		errf := func(format string, args ...any) error {
+			return fmt.Errorf("and: line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "switch":
+			if len(fields) < 2 {
+				return nil, errf("switch needs a label")
+			}
+			node := &Node{Label: fields[1], Kind: SwitchNode, ID: nextSwitchID}
+			nextSwitchID++
+			for _, opt := range fields[2:] {
+				k, v, err := kv(opt)
+				if err != nil {
+					return nil, errf("%v", err)
+				}
+				switch k {
+				case "id":
+					id, err := strconv.ParseUint(v, 10, 32)
+					if err != nil {
+						return nil, errf("bad id %q", v)
+					}
+					node.ID = uint32(id)
+				default:
+					return nil, errf("unknown switch option %q", k)
+				}
+			}
+			if err := n.addNode(node); err != nil {
+				return nil, errf("%v", err)
+			}
+		case "host":
+			if len(fields) < 2 {
+				return nil, errf("host needs a label")
+			}
+			node := &Node{Label: fields[1], Kind: HostNode}
+			count := 1
+			for _, opt := range fields[2:] {
+				k, v, err := kv(opt)
+				if err != nil {
+					return nil, errf("%v", err)
+				}
+				switch k {
+				case "role":
+					r, err := strconv.ParseUint(v, 10, 32)
+					if err != nil {
+						return nil, errf("bad role %q", v)
+					}
+					node.Role = uint32(r)
+				case "count":
+					c, err := strconv.Atoi(v)
+					if err != nil || c < 1 || c > 4096 {
+						return nil, errf("bad count %q", v)
+					}
+					count = c
+				default:
+					return nil, errf("unknown host option %q", k)
+				}
+			}
+			if count > 1 {
+				templates = append(templates, struct {
+					node  *Node
+					count int
+				}{node, count})
+				// Register the template label so links can reference it;
+				// expansion happens after parsing.
+				if _, dup := n.byLabel[node.Label]; dup {
+					return nil, errf("duplicate label %s", node.Label)
+				}
+				n.byLabel[node.Label] = node
+				continue
+			}
+			node.ID = nextHostID
+			nextHostID++
+			if err := n.addNode(node); err != nil {
+				return nil, errf("%v", err)
+			}
+		case "link":
+			if len(fields) < 3 {
+				return nil, errf("link needs two endpoints")
+			}
+			l := &Link{A: fields[1], B: fields[2], GBitsPerS: 100, LatencyUs: 1}
+			for _, opt := range fields[3:] {
+				k, v, err := kv(opt)
+				if err != nil {
+					return nil, errf("%v", err)
+				}
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil || f <= 0 {
+					return nil, errf("bad %s value %q", k, v)
+				}
+				switch k {
+				case "bw":
+					l.GBitsPerS = f
+				case "lat":
+					l.LatencyUs = f
+				default:
+					return nil, errf("unknown link option %q", k)
+				}
+			}
+			rawLinks = append(rawLinks, l)
+		default:
+			return nil, errf("unknown directive %q (expected switch, host, link)", fields[0])
+		}
+	}
+
+	// Expand host templates.
+	expanded := map[string][]string{}
+	for _, tpl := range templates {
+		delete(n.byLabel, tpl.node.Label)
+		var labels []string
+		for i := 0; i < tpl.count; i++ {
+			h := &Node{
+				Label: fmt.Sprintf("%s%d", tpl.node.Label, i),
+				Kind:  HostNode,
+				Role:  tpl.node.Role,
+				ID:    nextHostID,
+			}
+			nextHostID++
+			if err := n.addNode(h); err != nil {
+				return nil, fmt.Errorf("and: expanding %s: %w", tpl.node.Label, err)
+			}
+			labels = append(labels, h.Label)
+		}
+		expanded[tpl.node.Label] = labels
+	}
+
+	// Resolve links, expanding template endpoints.
+	for _, l := range rawLinks {
+		as, bs := []string{l.A}, []string{l.B}
+		if ex, ok := expanded[l.A]; ok {
+			as = ex
+		}
+		if ex, ok := expanded[l.B]; ok {
+			bs = ex
+		}
+		for _, a := range as {
+			for _, b := range bs {
+				if n.byLabel[a] == nil {
+					return nil, fmt.Errorf("and: link references unknown node %q", a)
+				}
+				if n.byLabel[b] == nil {
+					return nil, fmt.Errorf("and: link references unknown node %q", b)
+				}
+				if a == b {
+					return nil, fmt.Errorf("and: self-link on %q", a)
+				}
+				nl := *l
+				nl.A, nl.B = a, b
+				n.Links = append(n.Links, &nl)
+				n.adj[a] = append(n.adj[a], b)
+				n.adj[b] = append(n.adj[b], a)
+			}
+		}
+	}
+
+	if err := n.validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func kv(opt string) (string, string, error) {
+	i := strings.IndexByte(opt, '=')
+	if i <= 0 || i == len(opt)-1 {
+		return "", "", fmt.Errorf("malformed option %q (want key=value)", opt)
+	}
+	return opt[:i], opt[i+1:], nil
+}
+
+func (n *Network) addNode(node *Node) error {
+	if _, dup := n.byLabel[node.Label]; dup {
+		return fmt.Errorf("duplicate label %s", node.Label)
+	}
+	n.byLabel[node.Label] = node
+	n.Nodes = append(n.Nodes, node)
+	return nil
+}
+
+func (n *Network) validate() error {
+	ids := map[uint32]string{}
+	for _, node := range n.Nodes {
+		if node.Kind == SwitchNode {
+			if prev, dup := ids[node.ID]; dup {
+				return fmt.Errorf("and: switches %s and %s share id %d", prev, node.Label, node.ID)
+			}
+			ids[node.ID] = node.Label
+		}
+	}
+	if len(n.Nodes) == 0 {
+		return fmt.Errorf("and: empty network")
+	}
+	// Connectivity check (windows must be routable).
+	if len(n.Nodes) > 1 {
+		visited := map[string]bool{}
+		queue := []string{n.Nodes[0].Label}
+		visited[n.Nodes[0].Label] = true
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nb := range n.adj[cur] {
+				if !visited[nb] {
+					visited[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+		for _, node := range n.Nodes {
+			if !visited[node.Label] {
+				return fmt.Errorf("and: node %s is unreachable from %s", node.Label, n.Nodes[0].Label)
+			}
+		}
+	}
+	return nil
+}
+
+// NodeByLabel returns the node with the given label, or nil.
+func (n *Network) NodeByLabel(label string) *Node { return n.byLabel[label] }
+
+// Switches returns the switch nodes in declaration order.
+func (n *Network) Switches() []*Node {
+	var out []*Node
+	for _, node := range n.Nodes {
+		if node.Kind == SwitchNode {
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// Hosts returns the host nodes in declaration order.
+func (n *Network) Hosts() []*Node {
+	var out []*Node
+	for _, node := range n.Nodes {
+		if node.Kind == HostNode {
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// Neighbors returns the overlay neighbors of label, sorted.
+func (n *Network) Neighbors(label string) []string {
+	out := append([]string(nil), n.adj[label]...)
+	sort.Strings(out)
+	return out
+}
+
+// LinkBetween returns the link connecting a and b, or nil.
+func (n *Network) LinkBetween(a, b string) *Link {
+	for _, l := range n.Links {
+		if (l.A == a && l.B == b) || (l.A == b && l.B == a) {
+			return l
+		}
+	}
+	return nil
+}
+
+// NextHops computes shortest-path first hops from every node to every
+// other node (BFS, unit weights): the routing tables the paper's assumed
+// mapping mechanism would install (§3.2). Deterministic: ties break by
+// label order.
+func (n *Network) NextHops() map[string]map[string]string {
+	out := map[string]map[string]string{}
+	for _, src := range n.Nodes {
+		// BFS from src, recording parents.
+		parent := map[string]string{src.Label: ""}
+		queue := []string{src.Label}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			nbs := append([]string(nil), n.adj[cur]...)
+			sort.Strings(nbs)
+			for _, nb := range nbs {
+				if _, seen := parent[nb]; !seen {
+					parent[nb] = cur
+					queue = append(queue, nb)
+				}
+			}
+		}
+		hops := map[string]string{}
+		for _, dst := range n.Nodes {
+			if dst.Label == src.Label {
+				continue
+			}
+			if _, ok := parent[dst.Label]; !ok {
+				continue
+			}
+			// Walk back from dst to the first hop out of src.
+			cur := dst.Label
+			for parent[cur] != src.Label {
+				cur = parent[cur]
+			}
+			hops[dst.Label] = cur
+		}
+		out[src.Label] = hops
+	}
+	return out
+}

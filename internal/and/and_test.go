@@ -1,0 +1,152 @@
+package and
+
+import (
+	"strings"
+	"testing"
+)
+
+const allreduceAND = `
+# Fig. 2 / Fig. 4 topology: workers under one ToR switch.
+switch s1 id=1
+host worker role=0 count=4
+host ps role=1
+link worker s1 bw=100 lat=1
+link ps s1
+`
+
+func TestParseAllReduceTopology(t *testing.T) {
+	n, err := Parse(allreduceAND)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Switches()) != 1 || n.Switches()[0].Label != "s1" || n.Switches()[0].ID != 1 {
+		t.Errorf("switches: %+v", n.Switches())
+	}
+	hosts := n.Hosts()
+	if len(hosts) != 5 {
+		t.Fatalf("hosts = %d, want 5 (4 workers + ps)", len(hosts))
+	}
+	if n.NodeByLabel("worker2") == nil || n.NodeByLabel("worker2").Role != 0 {
+		t.Error("expanded worker2 missing or wrong role")
+	}
+	if n.NodeByLabel("ps").Role != 1 {
+		t.Error("ps role wrong")
+	}
+	nbs := n.Neighbors("s1")
+	if len(nbs) != 5 {
+		t.Errorf("s1 neighbors = %v, want 5", nbs)
+	}
+	l := n.LinkBetween("worker0", "s1")
+	if l == nil || l.GBitsPerS != 100 || l.LatencyUs != 1 {
+		t.Errorf("worker0-s1 link: %+v", l)
+	}
+}
+
+func TestParseMultiSwitchChain(t *testing.T) {
+	src := `
+switch s1 id=1
+switch s2 id=2
+host a
+host b
+link a s1
+link s1 s2 bw=400 lat=5
+link s2 b
+`
+	n, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hops := n.NextHops()
+	if hops["a"]["b"] != "s1" {
+		t.Errorf("a->b first hop = %s, want s1", hops["a"]["b"])
+	}
+	if hops["s1"]["b"] != "s2" {
+		t.Errorf("s1->b next hop = %s, want s2", hops["s1"]["b"])
+	}
+	if hops["b"]["a"] != "s2" {
+		t.Errorf("b->a first hop = %s, want s2", hops["b"]["a"])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, frag string
+	}{
+		{"frobnicate x", "unknown directive"},
+		{"switch", "needs a label"},
+		{"switch s1\nswitch s1", "duplicate label"},
+		{"switch s1 id=1\nswitch s2 id=1", "share id"},
+		{"host a\nlink a nowhere", "unknown node"},
+		{"host a\nlink a a", "self-link"},
+		{"switch s1\nhost a\nlink a s1\nhost stranded", "unreachable"},
+		{"host a count=0", "bad count"},
+		{"switch s1 id=banana", "bad id"},
+		{"host a role=banana", "bad role"},
+		{"host a\nhost b\nlink a b bw=-2", "bad bw"},
+		{"switch s1 frob=1", "unknown switch option"},
+		{"", "empty network"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("source %q: expected error containing %q", c.src, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("source %q: error %v does not contain %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	n, err := Parse("# full line\nswitch s1 # trailing\nhost a\nlink a s1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Nodes) != 2 {
+		t.Errorf("nodes = %d", len(n.Nodes))
+	}
+}
+
+func TestAutoIDs(t *testing.T) {
+	n, err := Parse("switch s1\nswitch s2\nhost a\nlink a s1\nlink s1 s2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NodeByLabel("s1").ID != 1 || n.NodeByLabel("s2").ID != 2 {
+		t.Error("auto switch ids wrong")
+	}
+}
+
+func TestNextHopsDeterministic(t *testing.T) {
+	src := `
+switch s1
+host a
+host b
+host c
+link a s1
+link b s1
+link c s1
+`
+	n, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := n.NextHops()
+	for i := 0; i < 5; i++ {
+		h2 := n.NextHops()
+		for src, m := range h1 {
+			for dst, hop := range m {
+				if h2[src][dst] != hop {
+					t.Fatalf("non-deterministic next hop %s->%s", src, dst)
+				}
+			}
+		}
+	}
+}
+
+func TestSingleNodeNetwork(t *testing.T) {
+	if _, err := Parse("host lonely"); err != nil {
+		t.Fatalf("single node must be valid: %v", err)
+	}
+}

@@ -1,0 +1,339 @@
+// Package baseline implements the host-only comparison systems for the
+// evaluation: a parameter-server AllReduce and a server-only key-value
+// store. Both run over the same simulated fabric as the NCL versions but
+// use plain (non-NCP) packets, so switches only forward — the traffic and
+// host-load differences against in-network execution are then directly
+// attributable to INC, which is the comparison the paper's motivation
+// rests on (§1, refs 23/26/48).
+package baseline
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"ncl/internal/and"
+	"ncl/internal/netsim"
+	"ncl/internal/pisa"
+)
+
+// Message types on the baseline wire format:
+// [2B magic "BL"][1B type][4B sender][4B seq][4B count][payload].
+const (
+	magicHi = 'B'
+	magicLo = 'L'
+
+	msgChunk  = 1 // worker -> ps: data chunk
+	msgResult = 2 // ps -> worker: summed chunk
+	msgGet    = 3 // client -> server: key query
+	msgPut    = 4 // client -> server: key update
+	msgValue  = 5 // server -> client: reply
+)
+
+const headerLen = 15
+
+func encode(msgType byte, sender, seq uint32, payload []uint64) []byte {
+	buf := make([]byte, headerLen+8*len(payload))
+	buf[0], buf[1], buf[2] = magicHi, magicLo, msgType
+	binary.BigEndian.PutUint32(buf[3:7], sender)
+	binary.BigEndian.PutUint32(buf[7:11], seq)
+	binary.BigEndian.PutUint32(buf[11:15], uint32(len(payload)))
+	for i, v := range payload {
+		binary.BigEndian.PutUint64(buf[headerLen+8*i:], v)
+	}
+	return buf
+}
+
+func decode(data []byte) (msgType byte, sender, seq uint32, payload []uint64, err error) {
+	if len(data) < headerLen || data[0] != magicHi || data[1] != magicLo {
+		return 0, 0, 0, nil, fmt.Errorf("baseline: not a baseline message")
+	}
+	msgType = data[2]
+	sender = binary.BigEndian.Uint32(data[3:7])
+	seq = binary.BigEndian.Uint32(data[7:11])
+	n := int(binary.BigEndian.Uint32(data[11:15]))
+	if len(data) < headerLen+8*n {
+		return 0, 0, 0, nil, fmt.Errorf("baseline: truncated message")
+	}
+	payload = make([]uint64, n)
+	for i := range payload {
+		payload[i] = binary.BigEndian.Uint64(data[headerLen+8*i:])
+	}
+	return msgType, sender, seq, payload, nil
+}
+
+// node is a minimal fabric endpoint delivering decoded messages to a
+// channel.
+type node struct {
+	label string
+	inbox chan inMsg
+}
+
+type inMsg struct {
+	msgType byte
+	sender  uint32
+	seq     uint32
+	payload []uint64
+}
+
+func newNode(label string) *node {
+	return &node{label: label, inbox: make(chan inMsg, 65536)}
+}
+
+func (n *node) Label() string { return n.label }
+
+func (n *node) Receive(_ netsim.Sender, pkt *netsim.Packet, _ string) {
+	t, sender, seq, payload, err := decode(pkt.Data)
+	if err != nil {
+		return
+	}
+	select {
+	case n.inbox <- inMsg{t, sender, seq, payload}:
+	default:
+	}
+}
+
+// starTopology builds "N hosts + 1 extra host behind one switch".
+func starTopology(workers int, extra string) (*and.Network, error) {
+	src := "switch s1 id=1\n"
+	for i := 0; i < workers; i++ {
+		src += fmt.Sprintf("host w%d role=0\nlink w%d s1\n", i, i)
+	}
+	if extra != "" {
+		src += fmt.Sprintf("host %s role=1\nlink %s s1\n", extra, extra)
+	}
+	return and.Parse(src)
+}
+
+// plainFabric wires a fabric whose switch only forwards (no NCL program).
+func plainFabric(network *and.Network, nodes []netsim.Node) (*netsim.Fabric, error) {
+	fab := netsim.New(network, netsim.Faults{})
+	hops := network.NextHops()
+	for _, sw := range network.Switches() {
+		sn := netsim.NewSwitchNode(sw.Label, pisa.DefaultTarget())
+		sn.SetRoutes(hops[sw.Label])
+		if err := fab.Attach(sn); err != nil {
+			return nil, err
+		}
+	}
+	for _, n := range nodes {
+		if err := fab.Attach(n); err != nil {
+			return nil, err
+		}
+	}
+	if err := fab.Start(); err != nil {
+		return nil, err
+	}
+	return fab, nil
+}
+
+// ---------------------------------------------------------------------------
+// Parameter-server AllReduce
+
+// AllReduceStats reports the traffic shape of one run.
+type AllReduceStats struct {
+	TotalBytes  uint64
+	HostBytes   uint64
+	Packets     uint64
+	ServerBytes uint64  // bytes into the parameter server (its NIC load)
+	MakespanUs  float64 // simulated completion time over the links
+}
+
+// RunPSAllReduce performs one AllReduce of dataLen elements across
+// `workers` hosts through a parameter server, in chunks of chunkElems,
+// and returns the traffic counters plus the result checked against the
+// expected sums. Worker w contributes (w+1)*(i+1) at element i.
+func RunPSAllReduce(workers, dataLen, chunkElems int) (AllReduceStats, error) {
+	network, err := starTopology(workers, "ps")
+	if err != nil {
+		return AllReduceStats{}, err
+	}
+	wnodes := make([]*node, workers)
+	all := []netsim.Node{}
+	for i := range wnodes {
+		wnodes[i] = newNode(fmt.Sprintf("w%d", i))
+		all = append(all, wnodes[i])
+	}
+	ps := newNode("ps")
+	all = append(all, ps)
+	fab, err := plainFabric(network, all)
+	if err != nil {
+		return AllReduceStats{}, err
+	}
+	defer fab.Stop()
+
+	chunks := (dataLen + chunkElems - 1) / chunkElems
+	var wg sync.WaitGroup
+
+	// Parameter server: accumulate per-chunk sums; when all workers have
+	// contributed a chunk, send the result back to every worker.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sums := make([][]uint64, chunks)
+		counts := make([]int, chunks)
+		doneChunks := 0
+		for doneChunks < chunks {
+			m := <-ps.inbox
+			if m.msgType != msgChunk {
+				continue
+			}
+			c := int(m.seq)
+			if sums[c] == nil {
+				sums[c] = make([]uint64, len(m.payload))
+			}
+			for i, v := range m.payload {
+				sums[c][i] += v
+			}
+			counts[c]++
+			if counts[c] == workers {
+				doneChunks++
+				out := encode(msgResult, 0, m.seq, sums[c])
+				for w := 0; w < workers; w++ {
+					dst := fmt.Sprintf("w%d", w)
+					pkt := &netsim.Packet{Src: "ps", Dst: dst, Data: append([]byte(nil), out...)}
+					if err := fab.Send("ps", "s1", pkt); err != nil {
+						return
+					}
+				}
+			}
+		}
+	}()
+
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			me := wnodes[w]
+			for c := 0; c < chunks; c++ {
+				lo := c * chunkElems
+				hi := lo + chunkElems
+				if hi > dataLen {
+					hi = dataLen
+				}
+				chunk := make([]uint64, hi-lo)
+				for i := range chunk {
+					chunk[i] = uint64((w + 1) * (lo + i + 1))
+				}
+				pkt := &netsim.Packet{Src: me.label, Dst: "ps", Data: encode(msgChunk, uint32(w), uint32(c), chunk)}
+				if err := fab.Send(me.label, "s1", pkt); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+			// Collect all result chunks and verify.
+			got := make([]uint64, dataLen)
+			for c := 0; c < chunks; c++ {
+				m := <-me.inbox
+				if m.msgType != msgResult {
+					errs[w] = fmt.Errorf("baseline: unexpected message %d", m.msgType)
+					return
+				}
+				lo := int(m.seq) * chunkElems
+				copy(got[lo:], m.payload)
+			}
+			for i := 0; i < dataLen; i++ {
+				want := uint64(0)
+				for ww := 0; ww < workers; ww++ {
+					want += uint64((ww + 1) * (i + 1))
+				}
+				if got[i] != want {
+					errs[w] = fmt.Errorf("baseline: worker %d element %d = %d, want %d", w, i, got[i], want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return AllReduceStats{}, err
+		}
+	}
+	st := AllReduceStats{
+		TotalBytes: fab.TotalBytes(),
+		HostBytes:  fab.HostBytes(),
+		Packets:    fab.TotalPackets(),
+		MakespanUs: fab.MakespanUs(),
+	}
+	if s := fab.Stats("s1", "ps"); s != nil {
+		st.ServerBytes = s.Bytes.Load()
+	}
+	return st, nil
+}
+
+// ---------------------------------------------------------------------------
+// Server-only key-value store
+
+// KVStats reports one KVS run's load distribution.
+type KVStats struct {
+	Requests      uint64
+	ServerHandled uint64 // queries the storage server had to answer
+	TotalBytes    uint64
+	ServerBytes   uint64
+}
+
+// RunKVS issues the query sequence (GET keys) from one client against a
+// storage server with no in-network cache: every query crosses the switch
+// to the server and back. valueBytes sizes replies.
+func RunKVS(keys []uint64, valueBytes int) (KVStats, error) {
+	network, err := starTopology(1, "server")
+	if err != nil {
+		return KVStats{}, err
+	}
+	client := newNode("w0")
+	server := newNode("server")
+	fab, err := plainFabric(network, []netsim.Node{client, server})
+	if err != nil {
+		return KVStats{}, err
+	}
+	defer fab.Stop()
+
+	valElems := (valueBytes + 7) / 8
+	var handled uint64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < len(keys); i++ {
+			m := <-server.inbox
+			if m.msgType != msgGet {
+				continue
+			}
+			handled++
+			val := make([]uint64, valElems)
+			for j := range val {
+				val[j] = m.payload[0] ^ uint64(j) // deterministic value
+			}
+			pkt := &netsim.Packet{Src: "server", Dst: "w0", Data: encode(msgValue, 0, m.seq, val)}
+			if err := fab.Send("server", "s1", pkt); err != nil {
+				return
+			}
+		}
+	}()
+
+	for i, k := range keys {
+		pkt := &netsim.Packet{Src: "w0", Dst: "server", Data: encode(msgGet, 0, uint32(i), []uint64{k})}
+		if err := fab.Send("w0", "s1", pkt); err != nil {
+			return KVStats{}, err
+		}
+		m := <-client.inbox
+		if m.msgType != msgValue {
+			return KVStats{}, fmt.Errorf("baseline: unexpected reply type %d", m.msgType)
+		}
+		if m.payload[0] != k {
+			return KVStats{}, fmt.Errorf("baseline: wrong value for key %d", k)
+		}
+	}
+	<-done
+
+	st := KVStats{
+		Requests:      uint64(len(keys)),
+		ServerHandled: handled,
+		TotalBytes:    fab.TotalBytes(),
+	}
+	if s := fab.Stats("s1", "server"); s != nil {
+		st.ServerBytes = s.Bytes.Load()
+	}
+	return st, nil
+}

@@ -1,0 +1,66 @@
+package baseline
+
+import "testing"
+
+func TestPSAllReduceCorrectAndCounted(t *testing.T) {
+	st, err := RunPSAllReduce(4, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalBytes == 0 || st.Packets == 0 {
+		t.Error("traffic counters empty")
+	}
+	// The parameter server receives every worker's full data.
+	if st.ServerBytes == 0 {
+		t.Error("server bytes empty")
+	}
+}
+
+func TestPSAllReduceScalesWithWorkers(t *testing.T) {
+	s2, err := RunPSAllReduce(2, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s8, err := RunPSAllReduce(8, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The PS bottleneck link grows linearly with worker count.
+	if s8.ServerBytes < 3*s2.ServerBytes {
+		t.Errorf("PS ingest should grow ~4x from 2 to 8 workers: %d vs %d", s2.ServerBytes, s8.ServerBytes)
+	}
+}
+
+func TestKVSAllQueriesHitServer(t *testing.T) {
+	keys := []uint64{1, 2, 1, 1, 3, 1}
+	st, err := RunKVS(keys, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ServerHandled != uint64(len(keys)) {
+		t.Errorf("server handled %d of %d (no cache exists to absorb load)", st.ServerHandled, len(keys))
+	}
+	if st.ServerBytes == 0 {
+		t.Error("server byte counter empty")
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	buf := encode(msgChunk, 3, 9, []uint64{10, 20, 30})
+	ty, sender, seq, payload, err := decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ty != msgChunk || sender != 3 || seq != 9 || len(payload) != 3 || payload[2] != 30 {
+		t.Errorf("round trip mismatch: %d %d %d %v", ty, sender, seq, payload)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, _, _, _, err := decode([]byte("not a baseline message")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, _, _, _, err := decode(encode(msgChunk, 0, 0, []uint64{1})[:10]); err == nil {
+		t.Error("truncation accepted")
+	}
+}

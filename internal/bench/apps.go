@@ -1,0 +1,154 @@
+// Package bench contains the evaluation harness: the canonical NCL
+// application sources (the paper's Figs. 4-5 plus ablation variants),
+// workload generators, experiment runners, and table rendering. Both the
+// root bench_test.go benchmarks and cmd/ncl-bench build on it; each
+// experiment Exx corresponds to a row of the experiment index in
+// DESIGN.md §4 and a section of EXPERIMENTS.md.
+package bench
+
+import "fmt"
+
+// AllReduceNCL is the paper's Fig. 4 kernel pair, parameterized by the
+// array length.
+func AllReduceNCL(dataLen int) string {
+	return fmt.Sprintf(`
+#define DATA_LEN %d
+
+_net_ _at_("s1") int accum[DATA_LEN] = {0};
+_net_ _at_("s1") unsigned count[DATA_LEN] = {0};
+_net_ _at_("s1") _ctrl_ unsigned nworkers;
+
+_net_ _out_ void allreduce(int *data) {
+    unsigned base = window.seq * window.len;
+    for (unsigned i = 0; i < window.len; ++i)
+        accum[base + i] += data[i];
+    if (++count[window.seq] == nworkers) {
+        memcpy(data, &accum[base], window.len * 4);
+        count[window.seq] = 0; _bcast();
+    } else { _drop(); }
+}
+
+_net_ _in_ void result(int *data, _ext_ int *hdata, _ext_ bool *done) {
+    for (unsigned i = 0; i < window.len; ++i)
+        hdata[window.seq * window.len + i] = data[i];
+    *done = true;
+}
+`, dataLen)
+}
+
+// AllReduceAND builds the Fig. 2 star topology for n workers.
+func AllReduceAND(workers int) string {
+	return fmt.Sprintf("switch s1 id=1\nhost worker count=%d role=0\nlink worker s1\n", workers)
+}
+
+// KVSNCL is the paper's Fig. 5 cache, parameterized by capacity and value
+// size (bytes). The incoming kernel delivers replies into host memory.
+func KVSNCL(capacity, valBytes int) string {
+	return fmt.Sprintf(`
+#define SERVER 1
+#define CAP %d
+#define VAL %d
+
+_net_ _at_("s1") ncl::Map<uint64_t, uint8_t, CAP> Idx;
+_net_ _at_("s1") char Cache[CAP][VAL] = {{0}};
+_net_ _at_("s1") bool Valid[CAP] = {false};
+
+_net_ _out_ void query(uint64_t key, char *val, bool update) {
+    if (window.from != SERVER && update) {
+        if (auto *idx = Idx[key]) Valid[*idx] = false;
+    } else if (window.from != SERVER) {
+        if (auto *idx = Idx[key]) {
+            if (Valid[*idx]) {
+                memcpy(val, Cache[*idx], VAL); _reflect(); } }
+    } else if (update) {
+        auto *idx = Idx[key]; memcpy(Cache[*idx], val, VAL);
+        Valid[*idx] = true; _drop();
+    } else { }
+}
+
+_net_ _in_ void reply(uint64_t key, char *val, bool update, _ext_ uint64_t *rkey, _ext_ char *rval) {
+    *rkey = key;
+    for (unsigned i = 0; i < window.len; ++i) rval[i] = val[i];
+}
+`, capacity, valBytes)
+}
+
+// KVSAND is the client/switch/server chain of Fig. 5's deployment.
+const KVSAND = `
+switch s1 id=1
+host client role=0
+host server role=1
+link client s1
+link s1 server
+`
+
+// HierNCL is the two-level aggregation-tree kernel (the Fig. 3c
+// deployment): rack switches aggregate their workers, the core switch
+// aggregates rack sums and broadcasts results down the tree.
+func HierNCL(dataLen int) string {
+	return fmt.Sprintf(`
+#define DATA_LEN %d
+#define CORE 3
+
+_net_ int accum[DATA_LEN] = {0};
+_net_ unsigned count[DATA_LEN] = {0};
+_net_ _at_("r1") _ctrl_ unsigned fanin1;
+_net_ _at_("r2") _ctrl_ unsigned fanin2;
+_net_ _at_("c")  _ctrl_ unsigned fanin3;
+
+unsigned fanin() {
+    return location.id == 1 ? fanin1 : location.id == 2 ? fanin2 : fanin3;
+}
+
+_net_ _out_ void haggr(int *data, bool down) {
+    if (down) {
+        if (location.id == CORE) { _drop(); }
+        else { _bcast(); }
+    } else {
+        unsigned base = window.seq * window.len;
+        for (unsigned i = 0; i < window.len; ++i)
+            accum[base + i] += data[i];
+        if (++count[window.seq] == fanin()) {
+            memcpy(data, &accum[base], window.len * 4);
+            count[window.seq] = 0;
+            if (location.id == CORE) { down = true; _bcast(); }
+            else { _pass("c"); }
+        } else { _drop(); }
+    }
+}
+
+_net_ _in_ void result(int *data, bool down, _ext_ int *hdata, _ext_ bool *done) {
+    for (unsigned i = 0; i < window.len; ++i)
+        hdata[window.seq * window.len + i] = data[i];
+    *done = true;
+}
+`, dataLen)
+}
+
+// HierAND builds the two-rack tree with workersPerRack workers each.
+func HierAND(workersPerRack int) string {
+	src := "switch r1 id=1\nswitch r2 id=2\nswitch c id=3\n"
+	n := 0
+	for r := 1; r <= 2; r++ {
+		for i := 0; i < workersPerRack; i++ {
+			src += fmt.Sprintf("host w%d role=0\nlink w%d r%d\n", n, n, r)
+			n++
+		}
+	}
+	src += "link r1 c\nlink r2 c\n"
+	return src
+}
+
+// RecircNCL builds the E8 ablation kernel: k independent dynamic-index
+// updates to one array, which cannot lane-partition and must spread over
+// k recirculation passes.
+func RecircNCL(accesses int) string {
+	src := "_net_ int tbl[256] = {0};\n_net_ _out_ void touch(unsigned *d) {\n"
+	for i := 0; i < accesses; i++ {
+		src += fmt.Sprintf("    tbl[d[%d]] += 1;\n", i)
+	}
+	return src + "}\n"
+}
+
+// RecircAND is a minimal one-switch topology for E8.
+const RecircAND = "switch s1 id=1\nhost a role=0\nhost b role=1\nlink a s1\nlink s1 b\n"

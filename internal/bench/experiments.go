@@ -1,0 +1,337 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ncl/internal/baseline"
+	"ncl/internal/core"
+	"ncl/internal/model"
+	"ncl/internal/ncp"
+	"ncl/internal/runtime"
+)
+
+// E1Complexity reproduces the paper's central programmability claim
+// (§2, Fig. 1b): the NCL source is an order of magnitude smaller than the
+// P4-level artifact the compiler generates in its place.
+func E1Complexity() (*Table, error) {
+	t := &Table{
+		Title:  "E1: programming complexity — NCL source vs generated P4-level artifact",
+		Header: []string{"app", "ncl-lines", "p4-lines", "tables", "actions", "stateful", "stages", "passes"},
+	}
+	apps := []struct {
+		name string
+		ncl  string
+		and  string
+		w    int
+	}{
+		{"allreduce", AllReduceNCL(256), AllReduceAND(4), 8},
+		{"kvcache", KVSNCL(64, 16), KVSAND, 16},
+	}
+	for _, app := range apps {
+		art, err := core.Build(app.ncl, app.and, core.BuildOptions{WindowLen: app.w, ModuleName: app.name})
+		if err != nil {
+			return nil, fmt.Errorf("E1 %s: %w", app.name, err)
+		}
+		st := art.P4Stats["s1"]
+		t.AddRow(app.name,
+			fmt.Sprint(art.SourceLines), fmt.Sprint(st.Lines),
+			fmt.Sprint(st.Tables), fmt.Sprint(st.Actions), fmt.Sprint(st.StatefulActions),
+			fmt.Sprint(st.Stages), fmt.Sprint(st.Passes))
+	}
+	return t, nil
+}
+
+// E2AllReduce sweeps the worker count: measured fabric traffic for the
+// in-network AllReduce vs the parameter-server baseline, plus the
+// analytic completion-time model at 100 Gb/s. The paper-shape claims:
+// the PS bottleneck grows linearly with N while INC stays flat.
+func E2AllReduce() (*Table, error) {
+	const dataLen = 256
+	const w = 8
+	t := &Table{
+		Title:  "E2: AllReduce — in-network aggregation vs parameter server (array 256 x int32)",
+		Header: []string{"workers", "inc-host-B", "ps-host-B", "inc-bottleneck-B", "ps-bottleneck-B", "sim-inc-us", "sim-ps-us", "model-inc-us", "model-ps-us", "model-ring-us"},
+	}
+	for _, workers := range []int{2, 4, 8, 16} {
+		art, err := BuildAllReduce(workers, dataLen, w)
+		if err != nil {
+			return nil, fmt.Errorf("E2 N=%d: %w", workers, err)
+		}
+		inc, err := RunINCAllReduce(art, workers, dataLen)
+		if err != nil {
+			return nil, fmt.Errorf("E2 N=%d: %w", workers, err)
+		}
+		ps, err := baseline.RunPSAllReduce(workers, dataLen, w)
+		if err != nil {
+			return nil, fmt.Errorf("E2 N=%d baseline: %w", workers, err)
+		}
+		// Bottleneck link: for INC the busiest worker link carries ~its own
+		// share; for PS everything funnels into the server link.
+		incBottleneck := inc.HostBytes / uint64(workers)
+		cfg := model.AllReduceConfig{Workers: workers, DataBytes: dataLen * 4, Link: model.DefaultLink}
+		t.AddRow(fmt.Sprint(workers),
+			fmt.Sprint(inc.HostBytes), fmt.Sprint(ps.HostBytes),
+			fmt.Sprint(incBottleneck), fmt.Sprint(ps.ServerBytes),
+			fmt.Sprintf("%.1f", inc.MakespanUs),
+			fmt.Sprintf("%.1f", ps.MakespanUs),
+			fmt.Sprintf("%.1f", model.INCAllReduceUs(cfg)),
+			fmt.Sprintf("%.1f", model.PSAllReduceUs(cfg)),
+			fmt.Sprintf("%.1f", model.RingAllReduceUs(cfg)))
+	}
+	return t, nil
+}
+
+// E3KVS sweeps workload skew: switch hit rate, storage-server load, and
+// the modeled system throughput (NetCache shape: a tiny cache of hot keys
+// multiplies throughput under skew).
+func E3KVS() (*Table, error) {
+	const (
+		keys     = 4096
+		cacheCap = 64
+		valBytes = 16
+		requests = 400
+	)
+	t := &Table{
+		Title:  "E3: KVS — in-network cache under zipf skew (4096 keys, 64-entry cache)",
+		Header: []string{"skew", "hit-rate", "server-load", "server-B", "model-hit", "model-qps(x-server)"},
+	}
+	for _, s := range []float64{0, 0.9, 0.99, 1.2} {
+		run, err := RunINCKVS(keys, cacheCap, valBytes, requests, s, 42)
+		if err != nil {
+			return nil, fmt.Errorf("E3 s=%.2f: %w", s, err)
+		}
+		mh := model.ZipfHitRate(keys, cacheCap, s)
+		q := model.KVSThroughputQPS(model.KVSConfig{ServerQPS: 1, SwitchQPS: 1e6, HitRate: mh})
+		t.AddRow(fmt.Sprintf("%.2f", s),
+			fmt.Sprintf("%.1f%%", 100*float64(run.Hits)/float64(requests)),
+			fmt.Sprintf("%.1f%%", 100*float64(run.ServerHandled)/float64(requests)),
+			fmt.Sprint(run.ServerBytes),
+			fmt.Sprintf("%.1f%%", 100*mh),
+			fmt.Sprintf("%.1fx", q))
+	}
+	return t, nil
+}
+
+// E4WindowSweep measures the window abstraction's cost/benefit (§4.2):
+// per-window NCP overhead amortizes as W grows, while switch work per
+// byte falls.
+func E4WindowSweep() (*Table, error) {
+	const dataLen = 256
+	const workers = 2
+	t := &Table{
+		Title:  "E4: window length sweep — AllReduce, 256 x int32, 2 workers",
+		Header: []string{"W", "windows", "wire-bytes", "goodput-frac", "switch-windows"},
+	}
+	for _, w := range []int{1, 2, 4, 8, 16, 32, 64} {
+		art, err := BuildAllReduce(workers, dataLen, w)
+		if err != nil {
+			return nil, fmt.Errorf("E4 W=%d: %w", w, err)
+		}
+		run, err := RunINCAllReduce(art, workers, dataLen)
+		if err != nil {
+			return nil, fmt.Errorf("E4 W=%d: %w", w, err)
+		}
+		good := float64(workers*2*dataLen*4) / float64(run.TotalBytes)
+		t.AddRow(fmt.Sprint(w), fmt.Sprint(dataLen/w), fmt.Sprint(run.TotalBytes),
+			fmt.Sprintf("%.2f", good), fmt.Sprint(run.SwitchWins))
+	}
+	// Multi-window packets (§4.2): batching amortizes the header at a
+	// fixed window length instead of growing W (and its PHV footprint).
+	for _, batch := range []int{2, 4, 8} {
+		art, err := core.Build(AllReduceNCL(dataLen), AllReduceAND(workers),
+			core.BuildOptions{WindowLen: 8, ModuleName: "allreduce", Batch: batch})
+		if err != nil {
+			return nil, fmt.Errorf("E4 batch=%d: %w", batch, err)
+		}
+		run, err := RunINCAllReduce(art, workers, dataLen)
+		if err != nil {
+			return nil, fmt.Errorf("E4 batch=%d: %w", batch, err)
+		}
+		good := float64(workers*2*dataLen*4) / float64(run.TotalBytes)
+		t.AddRow(fmt.Sprintf("8 (batch %d)", batch), fmt.Sprint(dataLen/8), fmt.Sprint(run.TotalBytes),
+			fmt.Sprintf("%.2f", good), fmt.Sprint(run.SwitchWins))
+	}
+	return t, nil
+}
+
+// E5NCP quantifies protocol overhead: header bytes relative to payload
+// across window shapes.
+func E5NCP() (*Table, error) {
+	t := &Table{
+		Title:  "E5: NCP overhead — header+user bytes vs payload",
+		Header: []string{"window", "payload-B", "packet-B", "overhead"},
+	}
+	shapes := []struct {
+		name  string
+		specs []ncp.ParamSpec
+	}{
+		{"1 x int32", []ncp.ParamSpec{{Elems: 1, Bytes: 4, Signed: true}}},
+		{"8 x int32", []ncp.ParamSpec{{Elems: 8, Bytes: 4, Signed: true}}},
+		{"64 x int32", []ncp.ParamSpec{{Elems: 64, Bytes: 4, Signed: true}}},
+		{"kvs (8B key + 128B val + flag)", []ncp.ParamSpec{{Elems: 1, Bytes: 8}, {Elems: 128, Bytes: 1}, {Elems: 1, Bytes: 1}}},
+	}
+	for _, sh := range shapes {
+		data := make([][]uint64, len(sh.specs))
+		for i, sp := range sh.specs {
+			data[i] = make([]uint64, sp.Elems)
+		}
+		payload, err := ncp.EncodePayload(data, sh.specs)
+		if err != nil {
+			return nil, err
+		}
+		pkt, err := ncp.Marshal(&ncp.Header{KernelID: 1, FragCount: 1}, nil, payload)
+		if err != nil {
+			return nil, err
+		}
+		over := float64(len(pkt)-len(payload)) / float64(len(pkt))
+		t.AddRow(sh.name, fmt.Sprint(len(payload)), fmt.Sprint(len(pkt)), fmt.Sprintf("%.1f%%", 100*over))
+	}
+	return t, nil
+}
+
+// E6Compile reports the compiler's own behavior: stage timings and
+// generated resource usage per application (Fig. 6 feasibility).
+func E6Compile() (*Table, error) {
+	t := &Table{
+		Title:  "E6: nclc pipeline — compile stages and generated resources",
+		Header: []string{"app", "stage", "time"},
+	}
+	apps := []struct {
+		name string
+		ncl  string
+		and  string
+		w    int
+	}{
+		{"allreduce", AllReduceNCL(256), AllReduceAND(4), 8},
+		{"kvcache", KVSNCL(64, 16), KVSAND, 16},
+	}
+	for _, app := range apps {
+		art, err := core.Build(app.ncl, app.and, core.BuildOptions{WindowLen: app.w, ModuleName: app.name})
+		if err != nil {
+			return nil, fmt.Errorf("E6 %s: %w", app.name, err)
+		}
+		total := time.Duration(0)
+		for _, st := range art.Stages {
+			t.AddRow(app.name, st.Name, st.Duration.Round(time.Microsecond).String())
+			total += st.Duration
+		}
+		t.AddRow(app.name, "TOTAL", total.Round(time.Microsecond).String())
+	}
+	return t, nil
+}
+
+// E7Backends runs the identical AllReduce over the in-memory fabric and
+// over real loopback UDP sockets: NCP's backend portability (§3.2).
+func E7Backends() (*Table, error) {
+	const (
+		workers = 2
+		dataLen = 128
+		w       = 8
+	)
+	t := &Table{
+		Title:  "E7: transport backends — same application, same results",
+		Header: []string{"backend", "wall", "verified"},
+	}
+	art, err := BuildAllReduce(workers, dataLen, w)
+	if err != nil {
+		return nil, err
+	}
+
+	chanRun, err := RunINCAllReduce(art, workers, dataLen)
+	if err != nil {
+		return nil, fmt.Errorf("E7 chan: %w", err)
+	}
+	t.AddRow("in-memory", chanRun.Wall.Round(time.Microsecond).String(), "yes")
+
+	udpWall, err := runAllReduceUDP(art, workers, dataLen)
+	if err != nil {
+		t.AddRow("udp", "unavailable: "+err.Error(), "-")
+		return t, nil
+	}
+	t.AddRow("udp-loopback", udpWall.Round(time.Microsecond).String(), "yes")
+	return t, nil
+}
+
+func runAllReduceUDP(art *core.Artifact, workers, dataLen int) (time.Duration, error) {
+	dep, err := art.DeployUDP()
+	if err != nil {
+		return 0, err
+	}
+	defer dep.Stop()
+	if err := dep.Controller.CtrlWrite("nworkers", 0, uint64(workers)); err != nil {
+		return 0, err
+	}
+	w := art.WindowLen
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			host := dep.Hosts[fmt.Sprintf("worker%d", wi)]
+			data := make([]uint64, dataLen)
+			for i := range data {
+				data[i] = uint64(wi + i)
+			}
+			if err := host.Out(runtime.Invocation{Kernel: "allreduce", Dest: "s1"}, [][]uint64{data}); err != nil {
+				errs[wi] = err
+				return
+			}
+			hdata := make([]uint64, dataLen)
+			done := make([]uint64, 1)
+			for n := 0; n < dataLen/w; n++ {
+				if _, err := host.In("result", [][]uint64{hdata, done}, 30*time.Second); err != nil {
+					errs[wi] = err
+					return
+				}
+			}
+		}(wi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start), nil
+}
+
+// E8Recirc is the recirculation ablation: kernels with k unrelated
+// stateful accesses to one array need k pipeline passes — the §5/§6
+// pressure valve, with its cost made visible.
+func E8Recirc() (*Table, error) {
+	t := &Table{
+		Title:  "E8: recirculation — unrelated same-array accesses vs pipeline passes",
+		Header: []string{"accesses", "passes", "status"},
+	}
+	for _, k := range []int{1, 2, 3, 4, 5} {
+		art, err := core.Build(RecircNCL(k), RecircAND, core.BuildOptions{WindowLen: k, ModuleName: "recirc"})
+		if err != nil {
+			t.AddRow(fmt.Sprint(k), "-", "rejected: exceeds recirculation budget")
+			continue
+		}
+		kern := art.Programs["s1"].KernelByName("touch")
+		t.AddRow(fmt.Sprint(k), fmt.Sprint(len(kern.Passes)), "accepted")
+	}
+	return t, nil
+}
+
+// AllExperiments runs every experiment in order.
+func AllExperiments() ([]*Table, error) {
+	runs := []func() (*Table, error){
+		E1Complexity, E2AllReduce, E3KVS, E4WindowSweep,
+		E5NCP, E6Compile, E7Backends, E8Recirc, E9Hierarchy,
+	}
+	var out []*Table
+	for _, f := range runs {
+		t, err := f()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

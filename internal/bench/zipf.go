@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf samples keys 0..n-1 with probability ∝ 1/rank^s for any s ≥ 0
+// (the stdlib sampler requires s > 1, but cache evaluations live in the
+// 0.9-0.99 range). Keys are ranked by index: key 0 is the hottest.
+type Zipf struct {
+	cdf []float64
+	rng *rand.Rand
+}
+
+// NewZipf builds a sampler over n keys with exponent s and a seed.
+func NewZipf(n int, s float64, seed int64) *Zipf {
+	cdf := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the next sampled key.
+func (z *Zipf) Next() uint64 {
+	u := z.rng.Float64()
+	i := sort.SearchFloat64s(z.cdf, u)
+	if i >= len(z.cdf) {
+		i = len(z.cdf) - 1
+	}
+	return uint64(i)
+}
+
+// Sample draws k keys.
+func (z *Zipf) Sample(k int) []uint64 {
+	out := make([]uint64, k)
+	for i := range out {
+		out[i] = z.Next()
+	}
+	return out
+}

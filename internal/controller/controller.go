@@ -1,0 +1,135 @@
+// Package controller is the network control plane of the NCL system: the
+// ONOS-like component §4.1 alludes to. It installs compiled programs on
+// switches, populates routing from the AND mapping (Fig. 3c), manages the
+// MAT entries behind ncl::Map (§4.3), and performs the out-of-band writes
+// behind _ctrl_ variables. NCL makes no consistency guarantees for these
+// updates (§4.1); the controller applies them switch by switch, so
+// kernels observe them eventually, not atomically.
+package controller
+
+import (
+	"fmt"
+	"sort"
+
+	"ncl/internal/and"
+	"ncl/internal/netsim"
+	"ncl/internal/pisa"
+)
+
+// Controller manages the switches of one deployment.
+type Controller struct {
+	net      *and.Network
+	switches map[string]*netsim.SwitchNode
+}
+
+// New creates a controller over the AND network.
+func New(net *and.Network) *Controller {
+	return &Controller{net: net, switches: map[string]*netsim.SwitchNode{}}
+}
+
+// AttachSwitch registers a switch device under its AND label.
+func (c *Controller) AttachSwitch(sn *netsim.SwitchNode) error {
+	node := c.net.NodeByLabel(sn.Label())
+	if node == nil || node.Kind != and.SwitchNode {
+		return fmt.Errorf("controller: %q is not a switch in the AND", sn.Label())
+	}
+	c.switches[sn.Label()] = sn
+	return nil
+}
+
+// InstallAll loads each location's program onto its switch and populates
+// routing tables and reflect targets on every switch.
+func (c *Controller) InstallAll(programs map[string]*pisa.Program) error {
+	hops := c.net.NextHops()
+	hostByID := map[uint32]string{}
+	for _, h := range c.net.Hosts() {
+		hostByID[h.ID] = h.Label
+	}
+	for _, sw := range c.net.Switches() {
+		sn, ok := c.switches[sw.Label]
+		if !ok {
+			return fmt.Errorf("controller: switch %s not attached", sw.Label)
+		}
+		prog, ok := programs[sw.Label]
+		if !ok {
+			return fmt.Errorf("controller: no program for switch %s", sw.Label)
+		}
+		if err := sn.Install(prog, sw.ID); err != nil {
+			return fmt.Errorf("controller: installing on %s: %w", sw.Label, err)
+		}
+		sn.SetRoutes(hops[sw.Label])
+		sn.SetHosts(hostByID)
+	}
+	return nil
+}
+
+// switchesWithRegister returns the attached switches whose loaded program
+// declares the named register, sorted by label for determinism.
+func (c *Controller) switchesWithRegister(name string) []*netsim.SwitchNode {
+	var out []*netsim.SwitchNode
+	for _, sn := range c.switches {
+		p := sn.Device().Program()
+		if p == nil {
+			continue
+		}
+		for _, r := range p.Registers {
+			if r.Name == name {
+				out = append(out, sn)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label() < out[j].Label() })
+	return out
+}
+
+// CtrlWrite sets a _ctrl_ variable (scalar or array element) on every
+// switch that holds it — the paper's ncl::ctrl_wr.
+func (c *Controller) CtrlWrite(global string, idx int, value uint64) error {
+	sns := c.switchesWithRegister(global)
+	if len(sns) == 0 {
+		return fmt.Errorf("controller: no switch holds register %q", global)
+	}
+	for _, sn := range sns {
+		if err := sn.Device().WriteRegister(global, idx, value); err != nil {
+			return fmt.Errorf("controller: %s: %w", sn.Label(), err)
+		}
+	}
+	return nil
+}
+
+// ReadRegister reads a register element from the switch at loc.
+func (c *Controller) ReadRegister(loc, global string, idx int) (uint64, error) {
+	sn, ok := c.switches[loc]
+	if !ok {
+		return 0, fmt.Errorf("controller: no switch %q", loc)
+	}
+	return sn.Device().ReadRegister(global, idx)
+}
+
+// MapInsert installs an ncl::Map entry on the switch at loc (Fig. 5's
+// storage-server-managed Idx map).
+func (c *Controller) MapInsert(loc, name string, key, val uint64) error {
+	sn, ok := c.switches[loc]
+	if !ok {
+		return fmt.Errorf("controller: no switch %q", loc)
+	}
+	return sn.Device().InstallEntry(name, key, val)
+}
+
+// MapDelete removes an ncl::Map entry (cache eviction, §4.3).
+func (c *Controller) MapDelete(loc, name string, key uint64) error {
+	sn, ok := c.switches[loc]
+	if !ok {
+		return fmt.Errorf("controller: no switch %q", loc)
+	}
+	return sn.Device().DeleteEntry(name, key)
+}
+
+// Switch returns the attached switch at loc, or nil.
+func (c *Controller) Switch(loc string) *netsim.SwitchNode { return c.switches[loc] }
+
+// HostRoutes returns the first-hop table for a host label.
+func (c *Controller) HostRoutes(label string) map[string]string {
+	return c.net.NextHops()[label]
+}

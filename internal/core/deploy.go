@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+
+	"ncl/internal/controller"
+	"ncl/internal/netsim"
+	"ncl/internal/runtime"
+)
+
+// Deployment is a running NCL application on the simulated fabric:
+// switches loaded with their location programs, hosts wired to the
+// runtime, and a controller managing state. This is the piece the paper
+// leaves to an external deployment mechanism (§3.2, Fig. 3c).
+type Deployment struct {
+	Artifact   *Artifact
+	Fabric     *netsim.Fabric
+	Controller *controller.Controller
+	Hosts      map[string]*runtime.Host
+	Switches   map[string]*netsim.SwitchNode
+}
+
+// Deploy instantiates the artifact on an in-memory fabric with the given
+// fault plan: one switch device per AND switch, one runtime host per AND
+// host, programs installed, routes populated.
+func (a *Artifact) Deploy(faults netsim.Faults) (*Deployment, error) {
+	fab := netsim.New(a.Net, faults)
+	ctrl := controller.New(a.Net)
+	dep := &Deployment{
+		Artifact:   a,
+		Fabric:     fab,
+		Controller: ctrl,
+		Hosts:      map[string]*runtime.Host{},
+		Switches:   map[string]*netsim.SwitchNode{},
+	}
+	for _, sw := range a.Net.Switches() {
+		sn := netsim.NewSwitchNode(sw.Label, a.Target)
+		if err := fab.Attach(sn); err != nil {
+			return nil, err
+		}
+		if err := ctrl.AttachSwitch(sn); err != nil {
+			return nil, err
+		}
+		dep.Switches[sw.Label] = sn
+	}
+	cfg := a.AppConfig()
+	hops := a.Net.NextHops()
+	for _, hn := range a.Net.Hosts() {
+		host := runtime.NewHost(hn.Label, hn.ID, hn.Role, cfg, fab, hops[hn.Label])
+		if err := fab.Attach(host); err != nil {
+			return nil, err
+		}
+		dep.Hosts[hn.Label] = host
+	}
+	if err := ctrl.InstallAll(a.Programs); err != nil {
+		return nil, err
+	}
+	if err := fab.Start(); err != nil {
+		return nil, err
+	}
+	return dep, nil
+}
+
+// UDPDeployment runs the application over real loopback UDP sockets —
+// the paper's Sockets/UDP backend (§6 prototype scope).
+type UDPDeployment struct {
+	Artifact   *Artifact
+	Net        *runtime.UDPNet
+	Controller *controller.Controller
+	Hosts      map[string]*runtime.Host
+	Switches   map[string]*netsim.SwitchNode
+}
+
+// DeployUDP instantiates the artifact over UDP sockets. Control-plane
+// operations remain in-process (the out-of-band controller path, §4.1).
+func (a *Artifact) DeployUDP() (*UDPDeployment, error) {
+	un, err := runtime.NewUDPNet(a.Net)
+	if err != nil {
+		return nil, err
+	}
+	ctrl := controller.New(a.Net)
+	dep := &UDPDeployment{
+		Artifact:   a,
+		Net:        un,
+		Controller: ctrl,
+		Hosts:      map[string]*runtime.Host{},
+		Switches:   map[string]*netsim.SwitchNode{},
+	}
+	for _, sw := range a.Net.Switches() {
+		sn := netsim.NewSwitchNode(sw.Label, a.Target)
+		if err := un.Attach(sn); err != nil {
+			un.Stop()
+			return nil, err
+		}
+		if err := ctrl.AttachSwitch(sn); err != nil {
+			un.Stop()
+			return nil, err
+		}
+		dep.Switches[sw.Label] = sn
+	}
+	cfg := a.AppConfig()
+	hops := a.Net.NextHops()
+	for _, hn := range a.Net.Hosts() {
+		host := runtime.NewHost(hn.Label, hn.ID, hn.Role, cfg, un, hops[hn.Label])
+		if err := un.Attach(host); err != nil {
+			un.Stop()
+			return nil, err
+		}
+		dep.Hosts[hn.Label] = host
+	}
+	if err := ctrl.InstallAll(a.Programs); err != nil {
+		un.Stop()
+		return nil, err
+	}
+	if err := un.Start(); err != nil {
+		un.Stop()
+		return nil, err
+	}
+	return dep, nil
+}
+
+// Stop shuts the UDP deployment down.
+func (d *UDPDeployment) Stop() {
+	for _, h := range d.Hosts {
+		h.Close()
+	}
+	d.Net.Stop()
+}
+
+// Host returns the named host or an error.
+func (d *Deployment) Host(label string) (*runtime.Host, error) {
+	h, ok := d.Hosts[label]
+	if !ok {
+		return nil, fmt.Errorf("core: no host %q", label)
+	}
+	return h, nil
+}
+
+// Stop shuts the deployment down.
+func (d *Deployment) Stop() {
+	for _, h := range d.Hosts {
+		h.Close()
+	}
+	d.Fabric.Stop()
+}
+
+// SwitchFor returns the switch node for an AND label.
+func (d *Deployment) SwitchFor(label string) (*netsim.SwitchNode, error) {
+	sn, ok := d.Switches[label]
+	if !ok {
+		return nil, fmt.Errorf("core: no switch %q", label)
+	}
+	return sn, nil
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ncl/internal/netsim"
+	"ncl/internal/runtime"
+)
+
+// The two-level aggregation tree: rack switches combine their workers'
+// contributions, the core switch combines rack sums and broadcasts the
+// result down the tree. This is the deployment story the AND exists for
+// (Fig. 3c): one SPMD kernel whose per-location behavior comes from
+// location.id branches and location-placed _ctrl_ fan-in counts, split
+// into per-switch programs by the versioning pass (§5).
+//
+// Loop prevention is kernel logic: results travel as down-phase windows
+// (a bool window flag the core sets); racks re-broadcast them to their
+// workers, and the echo that returns to the core is dropped there.
+const hierNCL = `
+#define DATA_LEN 32
+#define CORE 3
+
+_net_ int accum[DATA_LEN] = {0};
+_net_ unsigned count[DATA_LEN] = {0};
+_net_ _at_("r1") _ctrl_ unsigned fanin1;
+_net_ _at_("r2") _ctrl_ unsigned fanin2;
+_net_ _at_("c")  _ctrl_ unsigned fanin3;
+
+unsigned fanin() {
+    return location.id == 1 ? fanin1 : location.id == 2 ? fanin2 : fanin3;
+}
+
+_net_ _out_ void haggr(int *data, bool down) {
+    if (down) {
+        if (location.id == CORE) { _drop(); }  // rack echo: stop the loop
+        else { _bcast(); }                     // rack: deliver to workers
+    } else {
+        unsigned base = window.seq * window.len;
+        for (unsigned i = 0; i < window.len; ++i)
+            accum[base + i] += data[i];
+        if (++count[window.seq] == fanin()) {
+            memcpy(data, &accum[base], window.len * 4);
+            count[window.seq] = 0;
+            if (location.id == CORE) {
+                down = true;                   // mark the distribution phase
+                _bcast();                      // core: down to both racks
+            } else {
+                _pass("c");                    // rack: escalate partial sums
+            }
+        } else { _drop(); }
+    }
+}
+
+_net_ _in_ void result(int *data, bool down, _ext_ int *hdata, _ext_ bool *done) {
+    for (unsigned i = 0; i < window.len; ++i)
+        hdata[window.seq * window.len + i] = data[i];
+    *done = true;
+}
+`
+
+const hierAND = `
+switch r1 id=1
+switch r2 id=2
+switch c  id=3
+host w0 role=0
+host w1 role=0
+host w2 role=0
+host w3 role=0
+link w0 r1
+link w1 r1
+link w2 r2
+link w3 r2
+link r1 c
+link r2 c
+`
+
+func TestHierarchicalAllReduce(t *testing.T) {
+	const (
+		W       = 8
+		dataLen = 32
+		workers = 4
+	)
+	art, err := Build(hierNCL, hierAND, BuildOptions{WindowLen: W, ModuleName: "hier"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Versioning proof: each location carries its own fanin control.
+	hasReg := func(loc, name string) bool {
+		for _, r := range art.Programs[loc].Registers {
+			if r.Name == name {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasReg("r1", "fanin1") || hasReg("r1", "fanin2") || hasReg("r1", "fanin3") {
+		t.Error("r1 fanin specialization wrong")
+	}
+	if !hasReg("c", "fanin3") || hasReg("c", "fanin1") {
+		t.Error("core fanin specialization wrong")
+	}
+
+	dep, err := art.Deploy(netsim.Faults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Stop()
+
+	// Fan-in: 2 workers per rack, 2 racks at the core.
+	for _, cw := range []struct {
+		name string
+		val  uint64
+	}{{"fanin1", 2}, {"fanin2", 2}, {"fanin3", 2}} {
+		if err := dep.Controller.CtrlWrite(cw.name, 0, cw.val); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	want := make([]int64, dataLen)
+	for w := 0; w < workers; w++ {
+		for i := 0; i < dataLen; i++ {
+			want[i] += int64((w + 1) * (i + 1))
+		}
+	}
+
+	var wg sync.WaitGroup
+	results := make([][]uint64, workers)
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			host := dep.Hosts[fmt.Sprintf("w%d", w)]
+			data := make([]uint64, dataLen)
+			for i := range data {
+				data[i] = uint64(int64((w + 1) * (i + 1)))
+			}
+			down := make([]uint64, dataLen/W) // one flag element per window
+			if err := host.Out(runtime.Invocation{Kernel: "haggr", Dest: "c"},
+				[][]uint64{data, down}); err != nil {
+				errs[w] = err
+				return
+			}
+			hdata := make([]uint64, dataLen)
+			done := make([]uint64, 1)
+			for n := 0; n < dataLen/W; n++ {
+				if _, err := host.In("result", [][]uint64{hdata, done}, 10*time.Second); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+			results[w] = hdata
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	for w := 0; w < workers; w++ {
+		for i := 0; i < dataLen; i++ {
+			if int64(results[w][i]) != want[i] {
+				t.Fatalf("worker %d: result[%d] = %d, want %d", w, i, int64(results[w][i]), want[i])
+			}
+		}
+	}
+
+	// Tree traffic shape: each rack absorbed one of its two worker
+	// contributions per slot, so each uplink carried one partial sum per
+	// slot going up plus one down-phase echo (the rack's _bcast includes
+	// its core neighbor; the core drops it).
+	slots := dataLen / W
+	coreUp := dep.Fabric.Stats("r1", "c").Packets.Load() + dep.Fabric.Stats("r2", "c").Packets.Load()
+	if coreUp != uint64(4*slots) {
+		t.Errorf("core uplinks carried %d windows, want %d (partial sum + echo per rack per slot)", coreUp, 4*slots)
+	}
+	// The core drops the down-phase echo from each rack. Echoes are
+	// fire-and-forget, so poll briefly for the counter to settle.
+	wantCore := uint64(2*slots /*up*/ + 2*slots /*echo*/)
+	deadline := time.Now().Add(2 * time.Second)
+	for dep.Switches["c"].KernelWindows.Load() < wantCore && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := dep.Switches["c"].KernelWindows.Load(); n != wantCore {
+		t.Errorf("core executed %d windows, want %d", n, wantCore)
+	}
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"ncl/internal/netsim"
+	"ncl/internal/runtime"
+)
+
+// TestMultiSwitchSPMD: the Fig. 3c scenario — a location-less (SPMD)
+// kernel runs on every switch of a two-switch chain, with per-location
+// behavior expressed through location.id branches (§4.1). The versioning
+// pass specializes the kernel per switch; each switch applies its own arm
+// as the window crosses it, in path order.
+func TestMultiSwitchSPMD(t *testing.T) {
+	const src = `
+_net_ _at_("s1") unsigned seen1;
+_net_ _at_("s2") unsigned seen2;
+
+_net_ _out_ void pipelinekernel(int *d) {
+    if (location.id == 1) {
+        d[0] = d[0] * 2;      // edge switch: scale
+        seen1 += 1;
+    } else {
+        d[0] = d[0] + 100;    // core switch: offset
+        seen2 += 1;
+    }
+}
+
+_net_ _in_ void sink(int *d, _ext_ int *out) {
+    out[0] = d[0];
+}
+`
+	const overlay = `
+switch s1 id=1
+switch s2 id=2
+host src role=0
+host dst role=1
+link src s1
+link s1 s2
+link s2 dst
+`
+	art, err := Build(src, overlay, BuildOptions{WindowLen: 1, ModuleName: "chain"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Versioning proof: each location's program carries only its state.
+	if art.Programs["s1"].KernelByName("pipelinekernel") == nil {
+		t.Fatal("s1 missing the SPMD kernel")
+	}
+	hasReg := func(loc, name string) bool {
+		for _, r := range art.Programs[loc].Registers {
+			if r.Name == name {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasReg("s1", "seen1") || hasReg("s1", "seen2") {
+		t.Error("s1 register set not specialized")
+	}
+	if !hasReg("s2", "seen2") || hasReg("s2", "seen1") {
+		t.Error("s2 register set not specialized")
+	}
+
+	dep, err := art.Deploy(netsim.Faults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Stop()
+
+	src0 := dep.Hosts["src"]
+	dst0 := dep.Hosts["dst"]
+	if err := src0.OutWindow(runtime.Invocation{Kernel: "pipelinekernel", Dest: "dst"},
+		src0.NewWid(), 0, [][]uint64{{5}}); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]uint64, 1)
+	if _, err := dst0.In("sink", [][]uint64{out}, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Path order: (5*2) + 100 = 110, not (5+100)*2 = 210.
+	if out[0] != 110 {
+		t.Fatalf("chained transforms = %d, want 110 (scale at s1, then offset at s2)", out[0])
+	}
+	v1, err := dep.Controller.ReadRegister("s1", "seen1", 0)
+	if err != nil || v1 != 1 {
+		t.Errorf("seen1 = %d (%v), want 1", v1, err)
+	}
+	v2, err := dep.Controller.ReadRegister("s2", "seen2", 0)
+	if err != nil || v2 != 1 {
+		t.Errorf("seen2 = %d (%v), want 1", v2, err)
+	}
+}
+
+// TestPlacedKernelsOnDifferentSwitches: two _at_-placed kernels with
+// different roles on different switches (the P4xos-style heterogeneous
+// deployment §4.1 motivates). The edge kernel tags windows; the core
+// kernel only sees tagged windows and reflects them.
+func TestPlacedKernelsOnDifferentSwitches(t *testing.T) {
+	const src = `
+_net_ _at_("edge") _out_ void tag(int *d, int *mark) {
+    mark[0] = d[0] + 1;
+}
+
+_net_ _at_("core") _out_ void tag2(int *d, int *mark) {
+    mark[0] = mark[0] * 10;
+}
+
+_net_ _in_ void sink(int *d, int *mark, _ext_ int *out) {
+    out[0] = mark[0];
+}
+`
+	// NOTE: tag and tag2 have identical window signatures, so a window
+	// invoked for tag continues as a tag window past the core switch —
+	// each switch executes only kernels whose id it serves.
+	const overlay = `
+switch edge id=1
+switch core id=2
+host a role=0
+host b role=1
+link a edge
+link edge core
+link core b
+`
+	art, err := Build(src, overlay, BuildOptions{WindowLen: 1, ModuleName: "placed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Programs["edge"].KernelByName("tag") == nil || art.Programs["edge"].KernelByName("tag2") != nil {
+		t.Error("edge program must carry exactly the edge kernel")
+	}
+	if art.Programs["core"].KernelByName("tag2") == nil || art.Programs["core"].KernelByName("tag") != nil {
+		t.Error("core program must carry exactly the core kernel")
+	}
+	dep, err := art.Deploy(netsim.Faults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Stop()
+
+	a := dep.Hosts["a"]
+	b := dep.Hosts["b"]
+	if err := a.OutWindow(runtime.Invocation{Kernel: "tag", Dest: "b"},
+		a.NewWid(), 0, [][]uint64{{7}, {0}}); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]uint64, 1)
+	if _, err := b.In("sink", [][]uint64{out}, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The edge kernel sets mark = 8; the core switch has no kernel with
+	// tag's id, so it forwards untouched.
+	if out[0] != 8 {
+		t.Fatalf("mark = %d, want 8 (edge executed, core forwarded)", out[0])
+	}
+	if n := dep.Switches["core"].ForwardedRaw.Load(); n != 1 {
+		t.Errorf("core should forward the foreign-kernel window untouched: %d", n)
+	}
+}
+
+// TestWinFieldsEndToEnd: user window-struct extensions (§4.2, _win_)
+// travel on the wire and reach kernels on both switch and host.
+func TestWinFieldsEndToEnd(t *testing.T) {
+	const src = `
+_net_ _win_ unsigned scale;
+
+_net_ _out_ void apply(int *d) {
+    for (unsigned i = 0; i < window.len; ++i)
+        d[i] = d[i] * (int)window.scale;
+}
+
+_net_ _in_ void sink(int *d, _ext_ int *out, _ext_ int *gotscale) {
+    for (unsigned i = 0; i < window.len; ++i) out[i] = d[i];
+    *gotscale = (int)window.scale;
+}
+`
+	const overlay = "switch s1 id=1\nhost a role=0\nhost b role=1\nlink a s1\nlink s1 b"
+	art, err := Build(src, overlay, BuildOptions{WindowLen: 4, ModuleName: "winfields"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := art.Deploy(netsim.Faults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Stop()
+
+	a := dep.Hosts["a"]
+	b := dep.Hosts["b"]
+	if err := a.OutWindow(runtime.Invocation{
+		Kernel: "apply", Dest: "b",
+		User: map[string]uint64{"scale": 3},
+	}, a.NewWid(), 0, [][]uint64{{1, 2, 3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]uint64, 4)
+	gotScale := make([]uint64, 1)
+	if _, err := b.In("sink", [][]uint64{out, gotScale}, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{3, 6, 9, 12}
+	for i, w := range want {
+		if out[i] != w {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], w)
+		}
+	}
+	if gotScale[0] != 3 {
+		t.Errorf("user field did not reach the incoming kernel: %d", gotScale[0])
+	}
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ncl/internal/netsim"
+	"ncl/internal/runtime"
+)
+
+const passThroughNCL = `
+_net_ _at_("s1") unsigned seen;
+
+_net_ _out_ void forward(int *data) {
+    seen += 1;
+}
+
+_net_ _in_ void sink(int *data, _ext_ int *out) {
+    for (unsigned i = 0; i < window.len; ++i)
+        out[window.seq * window.len + i] = data[i];
+}
+`
+
+const pairAND = "switch s1 id=1\nhost a role=0\nhost b role=1\nlink a s1\nlink s1 b"
+
+// TestOutReliableLossyLink: reliable delivery recovers every window over
+// a 30%-loss fabric (acks + retransmission; the §6 transport extension).
+func TestOutReliableLossyLink(t *testing.T) {
+	const (
+		W       = 4
+		dataLen = 64
+	)
+	art, err := Build(passThroughNCL, pairAND, BuildOptions{WindowLen: W, ModuleName: "rel"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := art.Deploy(netsim.Faults{DropProb: 0.3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Stop()
+
+	a := dep.Hosts["a"]
+	b := dep.Hosts["b"]
+
+	// Receiver drains windows in the background (acks are automatic).
+	got := make([]uint64, dataLen)
+	recvDone := make(chan error, 1)
+	go func() {
+		for n := 0; n < dataLen/W; n++ {
+			if _, err := b.In("sink", [][]uint64{got}, 10*time.Second); err != nil {
+				recvDone <- err
+				return
+			}
+		}
+		recvDone <- nil
+	}()
+
+	data := make([]uint64, dataLen)
+	for i := range data {
+		data[i] = uint64(i * 3)
+	}
+	if err := a.OutReliable(runtime.Invocation{Kernel: "forward", Dest: "b"}, [][]uint64{data},
+		runtime.ReliableOptions{Timeout: 10 * time.Millisecond, Retries: 30}); err != nil {
+		t.Fatalf("reliable send failed: %v", err)
+	}
+	if err := <-recvDone; err != nil {
+		t.Fatalf("receiver: %v", err)
+	}
+	for i := range got {
+		if got[i] != uint64(i*3) {
+			t.Fatalf("element %d = %d, want %d", i, got[i], i*3)
+		}
+	}
+	// Duplicate suppression: retransmits whose originals arrived must not
+	// surface extra windows.
+	if b.Pending() != 0 {
+		t.Errorf("duplicate windows surfaced: %d pending", b.Pending())
+	}
+	// Retransmission happened (loss was real).
+	if n := dep.Switches["s1"].KernelWindows.Load(); n <= uint64(dataLen/W) {
+		t.Logf("note: no retransmissions observed (n=%d); loss seed may deliver all first try", n)
+	}
+}
+
+// TestOutReliableConsumedOnPath: a window the switch drops can never be
+// acknowledged; OutReliable must report it rather than hang.
+func TestOutReliableConsumedOnPath(t *testing.T) {
+	src := `
+_net_ _out_ void blackhole(int *data) { _drop(); }
+_net_ _in_ void sink(int *data, _ext_ int *out) { out[0] = data[0]; }
+`
+	art, err := Build(src, pairAND, BuildOptions{WindowLen: 2, ModuleName: "bh"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := art.Deploy(netsim.Faults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Stop()
+	a := dep.Hosts["a"]
+	err = a.OutReliable(runtime.Invocation{Kernel: "blackhole", Dest: "b"},
+		[][]uint64{{1, 2}}, runtime.ReliableOptions{Timeout: 5 * time.Millisecond, Retries: 2})
+	if err == nil {
+		t.Fatal("a dropped window must time out, not succeed")
+	}
+	if !strings.Contains(err.Error(), "never acknowledged") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+// TestAcksBypassKernels: acknowledgment packets cross switches without
+// kernel execution (they have no window payload to execute on).
+func TestAcksBypassKernels(t *testing.T) {
+	art, err := Build(passThroughNCL, pairAND, BuildOptions{WindowLen: 4, ModuleName: "rel"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := art.Deploy(netsim.Faults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Stop()
+	a := dep.Hosts["a"]
+	b := dep.Hosts["b"]
+	go func() {
+		out := make([]uint64, 4)
+		b.In("sink", [][]uint64{out}, 5*time.Second)
+	}()
+	if err := a.OutReliable(runtime.Invocation{Kernel: "forward", Dest: "b"},
+		[][]uint64{{1, 2, 3, 4}}, runtime.ReliableOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one kernel execution (the data window); the ack was routed,
+	// not executed.
+	if n := dep.Switches["s1"].KernelWindows.Load(); n != 1 {
+		t.Errorf("switch executed %d windows, want 1 (acks must bypass)", n)
+	}
+	if n := dep.Switches["s1"].ForwardedRaw.Load(); n != 1 {
+		t.Errorf("ack should be raw-forwarded once, got %d", n)
+	}
+}

@@ -1,0 +1,107 @@
+// Package model computes analytic performance estimates for the
+// evaluation: completion times and throughputs under nominal link
+// bandwidths and latencies. The simulated fabric gives exact byte/packet
+// counts; this package turns those (or closed-form equivalents) into the
+// time/throughput *series* a paper-style figure plots. Shapes — who wins,
+// by what factor, where curves cross — are the reproduction target, not
+// testbed-absolute numbers (DESIGN.md §2).
+package model
+
+import "math"
+
+// LinkSpec is a nominal link.
+type LinkSpec struct {
+	GBitsPerS float64
+	LatencyUs float64
+}
+
+// DefaultLink is a 100 Gb/s, 1 µs datacenter link.
+var DefaultLink = LinkSpec{GBitsPerS: 100, LatencyUs: 1}
+
+// transferUs returns the serialization+propagation time for `bytes` over
+// the link, in microseconds.
+func (l LinkSpec) transferUs(bytes float64) float64 {
+	return bytes*8/(l.GBitsPerS*1e3) + l.LatencyUs
+}
+
+// AllReduceConfig parameterizes the collective models.
+type AllReduceConfig struct {
+	Workers   int
+	DataBytes int // per-worker array size in bytes
+	Link      LinkSpec
+}
+
+// PSAllReduceUs models a parameter-server AllReduce: every worker ships
+// its whole array to the PS and receives the sums back, so the PS link
+// serializes N·D in and N·D out.
+func PSAllReduceUs(c AllReduceConfig) float64 {
+	n, d := float64(c.Workers), float64(c.DataBytes)
+	return c.Link.transferUs(n*d) + c.Link.transferUs(n*d)
+}
+
+// RingAllReduceUs models the classic bandwidth-optimal ring: each worker
+// sends 2·(N−1)/N·D bytes in 2(N−1) latency-bound steps.
+func RingAllReduceUs(c AllReduceConfig) float64 {
+	n, d := float64(c.Workers), float64(c.DataBytes)
+	if n < 2 {
+		return 0
+	}
+	steps := 2 * (n - 1)
+	perStep := d / n
+	return steps * c.Link.transferUs(perStep)
+}
+
+// INCAllReduceUs models switch aggregation (the Fig. 4 kernel): every
+// worker link carries D up and D down concurrently; the switch adds one
+// pipeline traversal per window, which is negligible at Tb/s rates, so
+// the worker link is the bottleneck.
+func INCAllReduceUs(c AllReduceConfig) float64 {
+	d := float64(c.DataBytes)
+	return c.Link.transferUs(d) + c.Link.transferUs(d)
+}
+
+// KVSConfig parameterizes the cache model.
+type KVSConfig struct {
+	ServerQPS float64 // storage-server capacity
+	SwitchQPS float64 // switch pipeline capacity (≫ server)
+	HitRate   float64 // fraction of queries answered by the cache
+}
+
+// KVSThroughputQPS models system throughput with an in-network cache:
+// misses bottleneck on the server, hits on the switch:
+// min(SwitchQPS, ServerQPS/(1−h)).
+func KVSThroughputQPS(c KVSConfig) float64 {
+	if c.HitRate >= 1 {
+		return c.SwitchQPS
+	}
+	return math.Min(c.SwitchQPS, c.ServerQPS/(1-c.HitRate))
+}
+
+// ZipfWeights returns the (normalized) zipf probabilities for `keys` keys
+// with exponent s ≥ 0 (s=0 is uniform).
+func ZipfWeights(keys int, s float64) []float64 {
+	w := make([]float64, keys)
+	var sum float64
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// ZipfHitRate returns the fraction of a zipf(s) workload over `keys` keys
+// absorbed by caching the `cached` most popular keys.
+func ZipfHitRate(keys, cached int, s float64) float64 {
+	if cached >= keys {
+		return 1
+	}
+	w := ZipfWeights(keys, s)
+	var h float64
+	for i := 0; i < cached; i++ {
+		h += w[i]
+	}
+	return h
+}

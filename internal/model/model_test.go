@@ -1,0 +1,118 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestINCBeatsPSAndScalesFlat(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		c := AllReduceConfig{Workers: n, DataBytes: 1 << 20, Link: DefaultLink}
+		ps := PSAllReduceUs(c)
+		inc := INCAllReduceUs(c)
+		if inc >= ps {
+			t.Errorf("N=%d: INC (%.1fus) must beat PS (%.1fus)", n, inc, ps)
+		}
+		// The PS/INC ratio grows ~linearly with N (the paper-shape claim).
+		ratio := ps / inc
+		if ratio < float64(n)*0.8 {
+			t.Errorf("N=%d: PS/INC ratio %.1f should be ~N", n, ratio)
+		}
+	}
+	// INC time is independent of N.
+	a := INCAllReduceUs(AllReduceConfig{Workers: 2, DataBytes: 1 << 20, Link: DefaultLink})
+	b := INCAllReduceUs(AllReduceConfig{Workers: 32, DataBytes: 1 << 20, Link: DefaultLink})
+	if a != b {
+		t.Errorf("INC time must not depend on worker count: %f vs %f", a, b)
+	}
+}
+
+func TestINCBeatsRingAtScale(t *testing.T) {
+	// Ring is bandwidth-optimal among host-only schemes; INC still wins by
+	// ~2x on bytes and avoids the 2(N-1) latency chain.
+	c := AllReduceConfig{Workers: 32, DataBytes: 1 << 20, Link: DefaultLink}
+	ring := RingAllReduceUs(c)
+	inc := INCAllReduceUs(c)
+	if inc >= ring {
+		t.Errorf("INC (%.1fus) must beat ring (%.1fus) at N=32", inc, ring)
+	}
+	// For small data, ring's latency term dominates and the gap widens.
+	cs := AllReduceConfig{Workers: 32, DataBytes: 4096, Link: DefaultLink}
+	if INCAllReduceUs(cs) >= RingAllReduceUs(cs)/4 {
+		t.Errorf("latency-bound regime should favor INC strongly")
+	}
+}
+
+func TestKVSThroughputShape(t *testing.T) {
+	base := KVSConfig{ServerQPS: 1e6, SwitchQPS: 2e9}
+	prev := 0.0
+	for _, h := range []float64{0, 0.5, 0.9, 0.99} {
+		c := base
+		c.HitRate = h
+		q := KVSThroughputQPS(c)
+		if q <= prev {
+			t.Errorf("throughput must rise with hit rate: h=%.2f q=%.0f prev=%.0f", h, q, prev)
+		}
+		prev = q
+	}
+	// Fully cached → switch capacity.
+	c := base
+	c.HitRate = 1
+	if KVSThroughputQPS(c) != base.SwitchQPS {
+		t.Error("h=1 must hit the switch capacity")
+	}
+	// The h=0.99 point is 100x the server alone — NetCache's headline shape.
+	c.HitRate = 0.99
+	if q := KVSThroughputQPS(c); math.Abs(q-1e8) > 1 {
+		t.Errorf("h=0.99 throughput = %.0f, want 1e8", q)
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	w := ZipfWeights(1000, 0.99)
+	var sum float64
+	for _, x := range w {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights must normalize: %f", sum)
+	}
+	if w[0] <= w[1] || w[1] <= w[100] {
+		t.Error("weights must be decreasing")
+	}
+	// s=0 is uniform.
+	u := ZipfWeights(10, 0)
+	for _, x := range u {
+		if math.Abs(x-0.1) > 1e-12 {
+			t.Errorf("uniform weight %f", x)
+		}
+	}
+}
+
+func TestZipfHitRateMonotone(t *testing.T) {
+	// More skew → higher hit rate for a fixed cache.
+	prev := -1.0
+	for _, s := range []float64{0, 0.5, 0.9, 0.99, 1.2} {
+		h := ZipfHitRate(16384, 256, s)
+		if h <= prev {
+			t.Errorf("hit rate must rise with skew: s=%.2f h=%f prev=%f", s, h, prev)
+		}
+		if h < 0 || h > 1 {
+			t.Errorf("hit rate out of range: %f", h)
+		}
+		prev = h
+	}
+	if ZipfHitRate(100, 100, 0.9) != 1 {
+		t.Error("cache covering all keys must hit always")
+	}
+	// The classic shape: 256 of 16Ki keys at s=0.99 absorbs a large share.
+	if h := ZipfHitRate(16384, 256, 0.99); h < 0.4 {
+		t.Errorf("s=0.99 hit rate %f unexpectedly low", h)
+	}
+}
+
+func TestRingDegenerateCases(t *testing.T) {
+	if RingAllReduceUs(AllReduceConfig{Workers: 1, DataBytes: 100, Link: DefaultLink}) != 0 {
+		t.Error("single worker ring is a no-op")
+	}
+}

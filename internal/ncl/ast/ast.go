@@ -1,0 +1,390 @@
+// Package ast defines the abstract syntax tree for NCL programs: a C
+// subset extended with the paper's declaration specifiers (_net_, _out_,
+// _in_, _ctrl_, _at_("label"), _ext_, _win_) and the ncl:: template types
+// (Map, Bloom). The tree is deliberately close to C's grammar so the
+// paper's Figs. 4-5 parse verbatim.
+package ast
+
+import (
+	"ncl/internal/ncl/source"
+	"ncl/internal/ncl/token"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() source.Pos
+}
+
+// Expr is implemented by expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Stmt is implemented by statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Decl is implemented by top-level declarations.
+type Decl interface {
+	Node
+	declNode()
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Ident is a plain identifier reference.
+type Ident struct {
+	NamePos source.Pos
+	Name    string
+}
+
+// IntLit is an integer literal (decimal or hex; value already parsed).
+type IntLit struct {
+	LitPos source.Pos
+	Value  uint64
+	Text   string
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	LitPos source.Pos
+	Value  bool
+}
+
+// StringLit is a string literal; in NCL these only appear as _at_/_pass
+// location labels.
+type StringLit struct {
+	LitPos source.Pos
+	Value  string
+}
+
+// Unary is a prefix or postfix unary operation. Op is one of
+// ADD SUB NOT TILDE MUL AND INC DEC; Postfix is set for x++ / x--.
+type Unary struct {
+	OpPos   source.Pos
+	Op      token.Kind
+	X       Expr
+	Postfix bool
+}
+
+// Binary is a binary operation (arithmetic, bitwise, comparison, logical).
+type Binary struct {
+	Op   token.Kind
+	X, Y Expr
+}
+
+// Assign is simple or compound assignment; Op is ASSIGN or op-ASSIGN.
+type Assign struct {
+	Op       token.Kind
+	LHS, RHS Expr
+}
+
+// Cond is the ternary conditional c ? a : b.
+type Cond struct {
+	C, Then, Else Expr
+}
+
+// Index is array/map subscripting x[i].
+type Index struct {
+	X, Idx Expr
+}
+
+// Member is field selection x.sel (Arrow for x->sel).
+type Member struct {
+	X      Expr
+	Sel    string
+	Arrow  bool
+	SelPos source.Pos
+}
+
+// Call is a function call. Fun is an Ident for everything NCL supports
+// (builtins and forwarding primitives).
+type Call struct {
+	Fun    Expr
+	Args   []Expr
+	LParen source.Pos
+}
+
+// Cast is an explicit C-style cast (T)x.
+type Cast struct {
+	LParen source.Pos
+	To     TypeExpr
+	X      Expr
+}
+
+// SizeofType is sizeof(T); sizeof(expr) is normalized to this by the
+// parser when the operand is a type, otherwise stays a Unary-like SizeofExpr.
+type SizeofType struct {
+	KwPos source.Pos
+	To    TypeExpr
+}
+
+// SizeofExpr is sizeof expr.
+type SizeofExpr struct {
+	KwPos source.Pos
+	X     Expr
+}
+
+// InitList is a braced initializer {a, b, ...} possibly nested.
+type InitList struct {
+	LBrace source.Pos
+	Elems  []Expr
+}
+
+func (x *Ident) Pos() source.Pos     { return x.NamePos }
+func (x *IntLit) Pos() source.Pos    { return x.LitPos }
+func (x *BoolLit) Pos() source.Pos   { return x.LitPos }
+func (x *StringLit) Pos() source.Pos { return x.LitPos }
+func (x *Unary) Pos() source.Pos {
+	if x.Postfix && x.X != nil {
+		return x.X.Pos()
+	}
+	return x.OpPos
+}
+func (x *Binary) Pos() source.Pos     { return x.X.Pos() }
+func (x *Assign) Pos() source.Pos     { return x.LHS.Pos() }
+func (x *Cond) Pos() source.Pos       { return x.C.Pos() }
+func (x *Index) Pos() source.Pos      { return x.X.Pos() }
+func (x *Member) Pos() source.Pos     { return x.X.Pos() }
+func (x *Call) Pos() source.Pos       { return x.Fun.Pos() }
+func (x *Cast) Pos() source.Pos       { return x.LParen }
+func (x *SizeofType) Pos() source.Pos { return x.KwPos }
+func (x *SizeofExpr) Pos() source.Pos { return x.KwPos }
+func (x *InitList) Pos() source.Pos   { return x.LBrace }
+
+func (*Ident) exprNode()      {}
+func (*IntLit) exprNode()     {}
+func (*BoolLit) exprNode()    {}
+func (*StringLit) exprNode()  {}
+func (*Unary) exprNode()      {}
+func (*Binary) exprNode()     {}
+func (*Assign) exprNode()     {}
+func (*Cond) exprNode()       {}
+func (*Index) exprNode()      {}
+func (*Member) exprNode()     {}
+func (*Call) exprNode()       {}
+func (*Cast) exprNode()       {}
+func (*SizeofType) exprNode() {}
+func (*SizeofExpr) exprNode() {}
+func (*InitList) exprNode()   {}
+
+// ---------------------------------------------------------------------------
+// Type expressions (syntactic types; resolved by sema)
+
+// TypeExpr is implemented by syntactic type nodes.
+type TypeExpr interface {
+	Node
+	typeNode()
+}
+
+// BaseType is a builtin scalar type or named alias: void, bool, char, int,
+// unsigned, auto, uint8_t, int32_t, ... Name is canonicalized spelling.
+type BaseType struct {
+	NamePos source.Pos
+	Name    string
+	Const   bool
+}
+
+// PointerType is *Elem.
+type PointerType struct {
+	StarPos source.Pos
+	Elem    TypeExpr
+}
+
+// ArrayType is Elem[Len]; multi-dimensional arrays nest. Len is a constant
+// expression evaluated by sema.
+type ArrayType struct {
+	Elem TypeExpr
+	Len  Expr // nil for unsized [] (only legal on _ext_ params)
+}
+
+// TemplateType is an ncl:: standard-library type such as
+// ncl::Map<uint64_t, uint8_t, 256> or ncl::Bloom<1024, 3>.
+type TemplateType struct {
+	NsPos source.Pos
+	Name  string    // Map, Bloom
+	Args  []TypeArg // type or constant-expression arguments
+}
+
+// TypeArg is one template argument: exactly one of Type or Value is set.
+type TypeArg struct {
+	Type  TypeExpr
+	Value Expr
+}
+
+func (t *BaseType) Pos() source.Pos     { return t.NamePos }
+func (t *PointerType) Pos() source.Pos  { return t.StarPos }
+func (t *ArrayType) Pos() source.Pos    { return t.Elem.Pos() }
+func (t *TemplateType) Pos() source.Pos { return t.NsPos }
+
+func (*BaseType) typeNode()     {}
+func (*PointerType) typeNode()  {}
+func (*ArrayType) typeNode()    {}
+func (*TemplateType) typeNode() {}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// BlockStmt is { ... }.
+type BlockStmt struct {
+	LBrace source.Pos
+	Stmts  []Stmt
+}
+
+// DeclStmt is a local variable declaration statement.
+type DeclStmt struct {
+	Decl *VarDecl
+}
+
+// ExprStmt is an expression used as a statement.
+type ExprStmt struct {
+	X Expr
+}
+
+// EmptyStmt is a lone semicolon.
+type EmptyStmt struct {
+	SemiPos source.Pos
+}
+
+// IfStmt covers both `if (cond)` and the C++-style condition declaration
+// used in Fig. 5: `if (auto *idx = Idx[key])`. Exactly one of Cond or
+// CondDecl is set; for CondDecl the truth value is the declared variable.
+type IfStmt struct {
+	KwPos    source.Pos
+	Cond     Expr
+	CondDecl *VarDecl
+	Then     Stmt
+	Else     Stmt // may be nil
+}
+
+// ForStmt is for (init; cond; post) body. Init may be a *DeclStmt or
+// *ExprStmt or nil; Cond/Post may be nil.
+type ForStmt struct {
+	KwPos source.Pos
+	Init  Stmt
+	Cond  Expr
+	Post  Expr
+	Body  Stmt
+}
+
+// WhileStmt is while (cond) body.
+type WhileStmt struct {
+	KwPos source.Pos
+	Cond  Expr
+	Body  Stmt
+}
+
+// ReturnStmt is return [expr];.
+type ReturnStmt struct {
+	KwPos source.Pos
+	X     Expr // nil for bare return
+}
+
+// BreakStmt is break;.
+type BreakStmt struct{ KwPos source.Pos }
+
+// ContinueStmt is continue;.
+type ContinueStmt struct{ KwPos source.Pos }
+
+func (s *BlockStmt) Pos() source.Pos    { return s.LBrace }
+func (s *DeclStmt) Pos() source.Pos     { return s.Decl.Pos() }
+func (s *ExprStmt) Pos() source.Pos     { return s.X.Pos() }
+func (s *EmptyStmt) Pos() source.Pos    { return s.SemiPos }
+func (s *IfStmt) Pos() source.Pos       { return s.KwPos }
+func (s *ForStmt) Pos() source.Pos      { return s.KwPos }
+func (s *WhileStmt) Pos() source.Pos    { return s.KwPos }
+func (s *ReturnStmt) Pos() source.Pos   { return s.KwPos }
+func (s *BreakStmt) Pos() source.Pos    { return s.KwPos }
+func (s *ContinueStmt) Pos() source.Pos { return s.KwPos }
+
+func (*BlockStmt) stmtNode()    {}
+func (*DeclStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*EmptyStmt) stmtNode()    {}
+func (*IfStmt) stmtNode()       {}
+func (*ForStmt) stmtNode()      {}
+func (*WhileStmt) stmtNode()    {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+// Specifiers carries the NCL declaration specifiers attached to a
+// declaration, in the paper's syntax (§4.1).
+type Specifiers struct {
+	Net   bool // _net_
+	Out   bool // _out_
+	In    bool // _in_
+	Ctrl  bool // _ctrl_
+	Ext   bool // _ext_ (parameters only)
+	Win   bool // _win_ (window-struct extension fields)
+	Const bool
+	At    string // _at_("label"); empty when absent
+	AtPos source.Pos
+	Pos   source.Pos // position of the first specifier (or of the type)
+}
+
+// Any reports whether any NCL-specific specifier is present.
+func (s Specifiers) Any() bool {
+	return s.Net || s.Out || s.In || s.Ctrl || s.Ext || s.Win || s.At != ""
+}
+
+// VarDecl declares a variable: global switch memory, a control variable, a
+// window-struct extension field, or a function-local.
+type VarDecl struct {
+	Specs   Specifiers
+	Type    TypeExpr
+	Name    string
+	NamePos source.Pos
+	Init    Expr // may be nil
+}
+
+// ParamDecl is one function parameter.
+type ParamDecl struct {
+	Ext     bool // _ext_: host-memory parameter of an _in_ kernel
+	Type    TypeExpr
+	Name    string
+	NamePos source.Pos
+}
+
+// FuncDecl declares a function: an _out_ kernel, an _in_ kernel, or a plain
+// helper (callable from kernels, always inlined).
+type FuncDecl struct {
+	Specs   Specifiers
+	Ret     TypeExpr
+	Name    string
+	NamePos source.Pos
+	Params  []*ParamDecl
+	Body    *BlockStmt // nil for a declaration without definition (rejected by sema)
+}
+
+func (d *VarDecl) Pos() source.Pos {
+	if d.Specs.Pos.IsValid() {
+		return d.Specs.Pos
+	}
+	return d.NamePos
+}
+func (d *FuncDecl) Pos() source.Pos {
+	if d.Specs.Pos.IsValid() {
+		return d.Specs.Pos
+	}
+	return d.NamePos
+}
+func (d *ParamDecl) Pos() source.Pos { return d.NamePos }
+
+func (*VarDecl) declNode()  {}
+func (*FuncDecl) declNode() {}
+
+// File is a parsed NCL translation unit.
+type File struct {
+	Name  string
+	Decls []Decl
+}
+
+func (f *File) Pos() source.Pos { return source.Pos{File: f.Name, Line: 1, Col: 1} }

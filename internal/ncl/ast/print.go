@@ -1,0 +1,285 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders a node as a compact S-expression, used by parser tests and
+// by `nclc -dump-ast`. It is stable output, not NCL syntax.
+func Dump(n Node) string {
+	var b strings.Builder
+	dump(&b, n)
+	return b.String()
+}
+
+func dump(b *strings.Builder, n Node) {
+	switch x := n.(type) {
+	case nil:
+		b.WriteString("<nil>")
+
+	// Expressions
+	case *Ident:
+		b.WriteString(x.Name)
+	case *IntLit:
+		fmt.Fprintf(b, "%d", x.Value)
+	case *BoolLit:
+		fmt.Fprintf(b, "%v", x.Value)
+	case *StringLit:
+		fmt.Fprintf(b, "%q", x.Value)
+	case *Unary:
+		if x.Postfix {
+			b.WriteString("(post")
+			b.WriteString(x.Op.String())
+			b.WriteByte(' ')
+			dump(b, x.X)
+			b.WriteByte(')')
+		} else {
+			b.WriteByte('(')
+			b.WriteString(x.Op.String())
+			b.WriteByte(' ')
+			dump(b, x.X)
+			b.WriteByte(')')
+		}
+	case *Binary:
+		b.WriteByte('(')
+		b.WriteString(x.Op.String())
+		b.WriteByte(' ')
+		dump(b, x.X)
+		b.WriteByte(' ')
+		dump(b, x.Y)
+		b.WriteByte(')')
+	case *Assign:
+		b.WriteByte('(')
+		b.WriteString(x.Op.String())
+		b.WriteByte(' ')
+		dump(b, x.LHS)
+		b.WriteByte(' ')
+		dump(b, x.RHS)
+		b.WriteByte(')')
+	case *Cond:
+		b.WriteString("(?: ")
+		dump(b, x.C)
+		b.WriteByte(' ')
+		dump(b, x.Then)
+		b.WriteByte(' ')
+		dump(b, x.Else)
+		b.WriteByte(')')
+	case *Index:
+		b.WriteString("(index ")
+		dump(b, x.X)
+		b.WriteByte(' ')
+		dump(b, x.Idx)
+		b.WriteByte(')')
+	case *Member:
+		b.WriteString("(. ")
+		dump(b, x.X)
+		b.WriteByte(' ')
+		b.WriteString(x.Sel)
+		b.WriteByte(')')
+	case *Call:
+		b.WriteString("(call ")
+		dump(b, x.Fun)
+		for _, a := range x.Args {
+			b.WriteByte(' ')
+			dump(b, a)
+		}
+		b.WriteByte(')')
+	case *Cast:
+		b.WriteString("(cast ")
+		dump(b, x.To)
+		b.WriteByte(' ')
+		dump(b, x.X)
+		b.WriteByte(')')
+	case *SizeofType:
+		b.WriteString("(sizeof-type ")
+		dump(b, x.To)
+		b.WriteByte(')')
+	case *SizeofExpr:
+		b.WriteString("(sizeof ")
+		dump(b, x.X)
+		b.WriteByte(')')
+	case *InitList:
+		b.WriteString("{")
+		for i, e := range x.Elems {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			dump(b, e)
+		}
+		b.WriteString("}")
+
+	// Types
+	case *BaseType:
+		if x.Const {
+			b.WriteString("const ")
+		}
+		b.WriteString(x.Name)
+	case *PointerType:
+		b.WriteString("*")
+		dump(b, x.Elem)
+	case *ArrayType:
+		b.WriteString("[")
+		if x.Len != nil {
+			dump(b, x.Len)
+		}
+		b.WriteString("]")
+		dump(b, x.Elem)
+	case *TemplateType:
+		b.WriteString("ncl::")
+		b.WriteString(x.Name)
+		b.WriteByte('<')
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if a.Type != nil {
+				dump(b, a.Type)
+			} else {
+				dump(b, a.Value)
+			}
+		}
+		b.WriteByte('>')
+
+	// Statements
+	case *BlockStmt:
+		b.WriteString("(block")
+		for _, s := range x.Stmts {
+			b.WriteByte(' ')
+			dump(b, s)
+		}
+		b.WriteByte(')')
+	case *DeclStmt:
+		dump(b, x.Decl)
+	case *ExprStmt:
+		dump(b, x.X)
+	case *EmptyStmt:
+		b.WriteString("(empty)")
+	case *IfStmt:
+		b.WriteString("(if ")
+		if x.CondDecl != nil {
+			dump(b, x.CondDecl)
+		} else {
+			dump(b, x.Cond)
+		}
+		b.WriteByte(' ')
+		dump(b, x.Then)
+		if x.Else != nil {
+			b.WriteByte(' ')
+			dump(b, x.Else)
+		}
+		b.WriteByte(')')
+	case *ForStmt:
+		b.WriteString("(for ")
+		if x.Init != nil {
+			dump(b, x.Init)
+		} else {
+			b.WriteString("_")
+		}
+		b.WriteByte(' ')
+		if x.Cond != nil {
+			dump(b, x.Cond)
+		} else {
+			b.WriteString("_")
+		}
+		b.WriteByte(' ')
+		if x.Post != nil {
+			dump(b, x.Post)
+		} else {
+			b.WriteString("_")
+		}
+		b.WriteByte(' ')
+		dump(b, x.Body)
+		b.WriteByte(')')
+	case *WhileStmt:
+		b.WriteString("(while ")
+		dump(b, x.Cond)
+		b.WriteByte(' ')
+		dump(b, x.Body)
+		b.WriteByte(')')
+	case *ReturnStmt:
+		b.WriteString("(return")
+		if x.X != nil {
+			b.WriteByte(' ')
+			dump(b, x.X)
+		}
+		b.WriteByte(')')
+	case *BreakStmt:
+		b.WriteString("(break)")
+	case *ContinueStmt:
+		b.WriteString("(continue)")
+
+	// Declarations
+	case *VarDecl:
+		b.WriteString("(var ")
+		dumpSpecs(b, x.Specs)
+		dump(b, x.Type)
+		b.WriteByte(' ')
+		b.WriteString(x.Name)
+		if x.Init != nil {
+			b.WriteString(" = ")
+			dump(b, x.Init)
+		}
+		b.WriteByte(')')
+	case *ParamDecl:
+		if x.Ext {
+			b.WriteString("_ext_ ")
+		}
+		dump(b, x.Type)
+		b.WriteByte(' ')
+		b.WriteString(x.Name)
+	case *FuncDecl:
+		b.WriteString("(func ")
+		dumpSpecs(b, x.Specs)
+		dump(b, x.Ret)
+		b.WriteByte(' ')
+		b.WriteString(x.Name)
+		b.WriteString(" (")
+		for i, p := range x.Params {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			dump(b, p)
+		}
+		b.WriteByte(')')
+		if x.Body != nil {
+			b.WriteByte(' ')
+			dump(b, x.Body)
+		}
+		b.WriteByte(')')
+	case *File:
+		b.WriteString("(file")
+		for _, d := range x.Decls {
+			b.WriteByte(' ')
+			dump(b, d)
+		}
+		b.WriteByte(')')
+
+	default:
+		fmt.Fprintf(b, "<unknown %T>", n)
+	}
+}
+
+func dumpSpecs(b *strings.Builder, s Specifiers) {
+	if s.Net {
+		b.WriteString("_net_ ")
+	}
+	if s.Out {
+		b.WriteString("_out_ ")
+	}
+	if s.In {
+		b.WriteString("_in_ ")
+	}
+	if s.Ctrl {
+		b.WriteString("_ctrl_ ")
+	}
+	if s.Win {
+		b.WriteString("_win_ ")
+	}
+	if s.Ext {
+		b.WriteString("_ext_ ")
+	}
+	if s.At != "" {
+		fmt.Fprintf(b, "_at_(%q) ", s.At)
+	}
+}

@@ -1,0 +1,355 @@
+package codegen
+
+import (
+	"fmt"
+	"sort"
+
+	"ncl/internal/ncl/ir"
+	"ncl/internal/ncl/types"
+	"ncl/internal/pisa"
+)
+
+// Options configures compilation of one location module.
+type Options struct {
+	Target    pisa.TargetConfig
+	KernelIDs map[string]uint32 // stable program-wide kernel ids by name
+}
+
+// Compile lowers an optimized, versioned location module into a loadable
+// PISA program. It is the code-generation stage of Fig. 6 in the paper,
+// with the simulator standing in for the proprietary backend.
+func Compile(m *ir.Module, opts Options) (*pisa.Program, error) {
+	if opts.Target.Stages == 0 {
+		opts.Target = pisa.DefaultTarget()
+	}
+	prog := &pisa.Program{Name: m.Name, Loc: m.Loc}
+	pins := map[string]int{}
+	labels := &labelInterner{}
+	sched := newScheduler(opts.Target, pins)
+
+	regDefs := map[string]pisa.RegisterDef{}
+	tableSet := map[string]bool{}
+
+	for _, g := range m.Globals {
+		if g.IsMap() {
+			tableSet[g.Name] = true
+		}
+	}
+
+	for _, f := range m.Funcs {
+		if f.Kind != ir.OutKernel {
+			continue
+		}
+		fk, err := flatten(f, m.WinFields, labels)
+		if err != nil {
+			return nil, err
+		}
+		clusters, err := partitionState(fk)
+		if err != nil {
+			return nil, fmt.Errorf("kernel %s: %w", f.Name, err)
+		}
+		// A cluster may export only one value to the PHV; clusters that
+		// need more split into per-access chained clusters, each in its
+		// own recirculation pass (atomicity preserved by the per-window
+		// pipeline serialization).
+		for round := 0; ; round++ {
+			needSplit, err := assignExports(fk, clusters)
+			if err != nil {
+				return nil, fmt.Errorf("kernel %s: %w", f.Name, err)
+			}
+			if len(needSplit) == 0 {
+				break
+			}
+			if round > 1 {
+				return nil, fmt.Errorf("kernel %s: stateful access splitting did not converge", f.Name)
+			}
+			split := map[*cluster]bool{}
+			for _, c := range needSplit {
+				split[c] = true
+			}
+			var next []*cluster
+			for _, c := range clusters {
+				if !split[c] {
+					next = append(next, c)
+					continue
+				}
+				prev := c.prev
+				for _, a := range c.accs {
+					nc := &cluster{reg: c.reg, idx: a.idx, accs: []*access{a}, prev: prev}
+					next = append(next, nc)
+					prev = nc
+				}
+				// Re-chain any successor that pointed at c.
+				for _, d := range clusters {
+					if d.prev == c {
+						d.prev = prev
+					}
+				}
+			}
+			clusters = next
+		}
+		for _, c := range clusters {
+			if err := c.synthesizeAll(fk.builder, opts.Target.MaxSALUOps); err != nil {
+				return nil, fmt.Errorf("kernel %s: %w", f.Name, err)
+			}
+		}
+		k, err := emitKernel(fk, clusters, sched, opts)
+		if err != nil {
+			return nil, fmt.Errorf("kernel %s: %w", f.Name, err)
+		}
+		prog.Kernels = append(prog.Kernels, k)
+
+		// Merge register definitions.
+		for _, rs := range fk.regs {
+			def := pisa.RegisterDef{
+				Name:   rs.name,
+				Elems:  rs.elems,
+				Bits:   rs.elemTy.BitWidth(),
+				Signed: rs.elemTy.Kind == types.Int && rs.elemTy.Signed,
+				Init:   rs.init,
+				Ctrl:   rs.ctrl,
+			}
+			if prev, ok := regDefs[rs.name]; ok {
+				if prev.Elems != def.Elems || prev.Bits != def.Bits {
+					return nil, fmt.Errorf("register %s has conflicting shapes across kernels (e.g. different lane splits); place the kernels on different switches", rs.name)
+				}
+				continue
+			}
+			regDefs[rs.name] = def
+		}
+		for _, lk := range fk.lookups {
+			tableSet[lk.g.Name] = true
+		}
+	}
+
+	// Finalize registers with their pinned stages.
+	names := make([]string, 0, len(regDefs))
+	for n := range regDefs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		def := regDefs[n]
+		if st, ok := pins["reg:"+n]; ok {
+			def.Stage = st
+		}
+		prog.Registers = append(prog.Registers, def)
+	}
+	tnames := make([]string, 0, len(tableSet))
+	for n := range tableSet {
+		tnames = append(tnames, n)
+	}
+	sort.Strings(tnames)
+	prog.Tables = tnames
+	prog.Labels = labels.Labels
+
+	for _, k := range prog.Kernels {
+		if id, ok := opts.KernelIDs[k.Name]; ok {
+			k.ID = id
+		}
+	}
+	if err := prog.Validate(opts.Target); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// consumerRef records one use of a node.
+type consumerRef struct {
+	node     *gval    // consuming arith node (nil for non-node consumers)
+	cluster  *cluster // consuming cluster store expression (nil otherwise)
+	external bool     // table key, final output, cluster index/pred
+}
+
+// assignExports decides, per cluster, which single value escapes to the
+// PHV, and records load ownership used by micro synthesis. Clusters
+// needing more than one export are returned for splitting.
+func assignExports(fk *flatKernel, clusters []*cluster) ([]*cluster, error) {
+	owner := map[*gval]*cluster{}
+	for _, c := range clusters {
+		for _, a := range c.accs {
+			if a.kind == accLoad {
+				owner[a.load] = c
+			}
+		}
+	}
+	// Consumers of every node.
+	consumers := map[*gval][]consumerRef{}
+	addC := func(n *gval, c consumerRef) {
+		if n != nil {
+			consumers[n] = append(consumers[n], c)
+		}
+	}
+	for _, n := range fk.builder.nodes {
+		if n.kind == gArith {
+			for _, a := range n.args {
+				addC(a, consumerRef{node: n})
+			}
+		}
+	}
+	for _, lk := range fk.lookups {
+		addC(lk.key, consumerRef{external: true})
+	}
+	for _, c := range clusters {
+		addC(c.idx, consumerRef{external: true})
+		for _, a := range c.accs {
+			if a.kind == accStore {
+				addC(a.val, consumerRef{cluster: c})
+				addC(a.pred, consumerRef{cluster: c})
+			}
+		}
+	}
+	for _, vs := range fk.paramFinal {
+		for _, v := range vs {
+			addC(v, consumerRef{external: true})
+		}
+	}
+	addC(fk.fwd, consumerRef{external: true})
+	addC(fk.fwdLabel, consumerRef{external: true})
+
+	var needSplit []*cluster
+	for _, c := range clusters {
+		c.owner = owner
+		// dep_C: does n depend on a load of c?
+		memo := map[*gval]bool{}
+		var depC func(n *gval) bool
+		depC = func(n *gval) bool {
+			if owner[n] == c {
+				return true
+			}
+			if d, ok := memo[n]; ok {
+				return d
+			}
+			memo[n] = false
+			d := false
+			if n.kind == gArith {
+				for _, a := range n.args {
+					if depC(a) {
+						d = true
+						break
+					}
+				}
+			}
+			memo[n] = d
+			return d
+		}
+		// Must-internal set: load-dependent nodes in store expressions.
+		internal := map[*gval]bool{}
+		var collect func(n *gval)
+		collect = func(n *gval) {
+			if n == nil || !depC(n) || internal[n] {
+				return
+			}
+			internal[n] = true
+			if n.kind == gArith {
+				for _, a := range n.args {
+					collect(a)
+				}
+			}
+		}
+		for _, a := range c.accs {
+			if a.kind == accStore {
+				collect(a.val)
+				collect(a.pred)
+			}
+		}
+		c.internal = internal
+		// Export candidates: internal nodes or loads used outside.
+		var exports []*gval
+		candidate := func(n *gval) {
+			for _, cr := range consumers[n] {
+				switch {
+				case cr.cluster == c:
+					continue
+				case cr.node != nil && internal[cr.node]:
+					continue
+				}
+				exports = append(exports, n)
+				return
+			}
+		}
+		for n := range internal {
+			candidate(n)
+		}
+		for _, a := range c.accs {
+			if a.kind == accLoad && !internal[a.load] {
+				candidate(a.load)
+			}
+		}
+		if len(exports) > 1 {
+			if len(c.accs) <= 1 {
+				return nil, fmt.Errorf("stateful access to %s needs %d exported values from one access", c.reg.name, len(exports))
+			}
+			needSplit = append(needSplit, c)
+			continue
+		}
+		if len(exports) == 1 {
+			c.export = exports[0]
+		} else {
+			c.export = nil
+		}
+	}
+	return needSplit, nil
+}
+
+// synthesizeAll computes the cluster predicate then the micro-program.
+func (c *cluster) synthesizeAll(b *builder, maxOps int) error {
+	// Cluster-level predicate: nil when any access is unconditional or
+	// when a predicate depends on this cluster's own loads (the SALU then
+	// runs unconditionally and per-access selects apply inside).
+	loadDep := func(n *gval) bool {
+		var walk func(v *gval) bool
+		seen := map[*gval]bool{}
+		walk = func(v *gval) bool {
+			if c.owner[v] == c {
+				return true
+			}
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+			if v.kind == gArith {
+				for _, a := range v.args {
+					if walk(a) {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		return walk(n)
+	}
+	// guard = OR of access predicates; invalid when any access is
+	// unconditional or a predicate depends on this cluster's own loads.
+	var guard *gval
+	guardValid := true
+	for _, a := range c.accs {
+		if a.pred == nil || loadDep(a.pred) {
+			guardValid = false
+			break
+		}
+		if guard == nil {
+			guard = a.pred
+		} else {
+			guard = b.or(guard, a.pred)
+		}
+	}
+	switch {
+	case c.export != nil:
+		// A cluster that exports a value must run unconditionally:
+		// consumers of the export (select arms, window writebacks) read
+		// the PHV field even on paths where the accesses are predicated
+		// off; the exported expression accounts for the predicate itself.
+		// Guard the element index so the predicated-off execution cannot
+		// trap on an out-of-range index the branch was protecting against.
+		c.pred = nil
+		if guardValid && guard != nil && c.idx.kind != gConst {
+			c.idx = b.arithNode("csel", false, c.idx.ty, c.idx, b.cnst(c.idx.ty, 0), guard)
+		}
+	case guardValid:
+		c.pred = guard
+	default:
+		c.pred = nil
+	}
+	return c.synthesize(b, maxOps)
+}

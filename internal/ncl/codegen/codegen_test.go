@@ -1,0 +1,625 @@
+package codegen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ncl/internal/ncl/interp"
+	"ncl/internal/ncl/ir"
+	"ncl/internal/ncl/lower"
+	"ncl/internal/ncl/parser"
+	"ncl/internal/ncl/passes"
+	"ncl/internal/ncl/sema"
+	"ncl/internal/ncl/source"
+	"ncl/internal/pisa"
+)
+
+// buildModule runs the full frontend + optimizer for window length w.
+func buildModule(t *testing.T, src string, w int) *ir.Module {
+	t.Helper()
+	var diags source.DiagList
+	f := parser.ParseSource("test.ncl", src, &diags)
+	info := sema.Check(f, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("frontend: %v", diags.Err())
+	}
+	m := lower.Lower("test", info, w, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("lowering: %v", diags.Err())
+	}
+	passes.Optimize(m)
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return m
+}
+
+func compileProgram(t *testing.T, m *ir.Module, target pisa.TargetConfig) *pisa.Program {
+	t.Helper()
+	ids := map[string]uint32{}
+	for i, f := range m.Funcs {
+		ids[f.Name] = uint32(i + 1)
+	}
+	p, err := Compile(m, Options{Target: target, KernelIDs: ids})
+	if err != nil {
+		t.Fatalf("codegen: %v", err)
+	}
+	return p
+}
+
+// readState reads logical element i of array `name` from the switch,
+// resolving compiler-created lanes (static-scatter lanes `name$i` with one
+// element, or affine lanes `name$c` holding slots c, c+S, ...).
+func readState(sw *pisa.Switch, name string, i int) uint64 {
+	if v, err := sw.ReadRegister(name, i); err == nil {
+		return v
+	}
+	if v, err := sw.ReadRegister(fmt.Sprintf("%s$%d", name, i), 0); err == nil {
+		return v
+	}
+	// Affine lanes: the stride equals the number of lanes.
+	S := 0
+	for _, r := range sw.Program().Registers {
+		if strings.HasPrefix(r.Name, name+"$") {
+			S++
+		}
+	}
+	if S > 0 {
+		if v, err := sw.ReadRegister(fmt.Sprintf("%s$%d", name, i%S), i/S); err == nil {
+			return v
+		}
+	}
+	return 0 // untouched slot: zero-initialized state
+}
+
+func loadSwitch(t *testing.T, p *pisa.Program, target pisa.TargetConfig) *pisa.Switch {
+	t.Helper()
+	sw := pisa.NewSwitch(target)
+	if err := sw.Load(p); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return sw
+}
+
+func TestCompileStraightLine(t *testing.T) {
+	m := buildModule(t, `
+_net_ _out_ void k(int *d) { d[0] = d[0] * 2 + d[1]; }
+`, 2)
+	target := pisa.DefaultTarget()
+	p := compileProgram(t, m, target)
+	sw := loadSwitch(t, p, target)
+	win := interp.NewWindow(m.FuncByName("k"))
+	win.Data[0][0] = 7
+	win.Data[0][1] = 3
+	dec, err := sw.ExecWindow(1, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Kind != interp.Pass {
+		t.Errorf("decision = %v", dec.Kind)
+	}
+	if win.Data[0][0] != 17 {
+		t.Errorf("d[0] = %d, want 17", win.Data[0][0])
+	}
+}
+
+func TestCompileBranches(t *testing.T) {
+	m := buildModule(t, `
+_net_ _out_ void k(int *d) {
+    if (d[0] > 10) { d[1] = 1; _drop(); }
+    else if (d[0] > 5) d[1] = 2;
+    else { d[1] = 3; _reflect(); }
+}
+`, 2)
+	target := pisa.DefaultTarget()
+	p := compileProgram(t, m, target)
+	sw := loadSwitch(t, p, target)
+	cases := []struct {
+		in   uint64
+		out  uint64
+		kind interp.DecisionKind
+	}{
+		{20, 1, interp.Drop}, {7, 2, interp.Pass}, {1, 3, interp.Reflect},
+	}
+	for _, c := range cases {
+		win := interp.NewWindow(m.FuncByName("k"))
+		win.Data[0][0] = c.in
+		dec, err := sw.ExecWindow(1, win)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if win.Data[0][1] != c.out || dec.Kind != c.kind {
+			t.Errorf("in=%d: out=%d dec=%v, want %d/%v", c.in, win.Data[0][1], dec.Kind, c.out, c.kind)
+		}
+	}
+}
+
+func TestCompileStatefulRMW(t *testing.T) {
+	m := buildModule(t, `
+_net_ unsigned total;
+_net_ _out_ void k(unsigned v) { total += v; }
+`, 1)
+	target := pisa.DefaultTarget()
+	p := compileProgram(t, m, target)
+	sw := loadSwitch(t, p, target)
+	for _, v := range []uint64{5, 10, 1} {
+		win := interp.NewWindow(m.FuncByName("k"))
+		win.Data[0][0] = v
+		if _, err := sw.ExecWindow(1, win); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := sw.ReadRegister("total", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 16 {
+		t.Errorf("total = %d, want 16", got)
+	}
+}
+
+// TestLanePartitioning checks that the Fig. 4 accumulation pattern splits
+// into W register lanes, each accessed once per pass (no recirculation).
+func TestLanePartitioning(t *testing.T) {
+	const W = 8
+	m := buildModule(t, `
+_net_ int accum[64] = {0};
+_net_ _out_ void k(int *data) {
+    unsigned base = window.seq * window.len;
+    for (unsigned i = 0; i < window.len; ++i)
+        accum[base + i] += data[i];
+}
+`, W)
+	target := pisa.DefaultTarget()
+	p := compileProgram(t, m, target)
+	if len(p.Registers) != W {
+		t.Fatalf("want %d lanes, got %d: %+v", W, len(p.Registers), p.Registers)
+	}
+	for _, r := range p.Registers {
+		if !strings.HasPrefix(r.Name, "accum$") || r.Elems != 8 {
+			t.Errorf("unexpected lane %+v", r)
+		}
+	}
+	k := p.KernelByName("k")
+	if len(k.Passes) != 1 {
+		t.Errorf("lane partitioning should avoid recirculation, got %d passes", len(k.Passes))
+	}
+	// Execute and check lane state.
+	sw := loadSwitch(t, p, target)
+	win := interp.NewWindow(m.FuncByName("k"))
+	for i := 0; i < W; i++ {
+		win.Data[0][i] = uint64(i + 1)
+	}
+	win.Meta["seq"] = 3
+	if _, err := sw.ExecWindow(1, win); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < W; i++ {
+		got, err := sw.ReadRegister(fmt.Sprintf("accum$%d", i), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != uint64(i+1) {
+			t.Errorf("lane %d slot 3 = %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+// TestRecirculationFallback: two same-array accesses at unrelated dynamic
+// indices cannot lane-partition and must recirculate.
+func TestRecirculationFallback(t *testing.T) {
+	m := buildModule(t, `
+_net_ int tbl[64] = {0};
+_net_ _out_ void k(unsigned *d) {
+    tbl[d[0]] += 1;
+    tbl[d[1]] += 1;
+}
+`, 2)
+	target := pisa.DefaultTarget()
+	p := compileProgram(t, m, target)
+	k := p.KernelByName("k")
+	if len(k.Passes) < 2 {
+		t.Fatalf("unrelated same-array indices need recirculation, got %d passes", len(k.Passes))
+	}
+	sw := loadSwitch(t, p, target)
+	win := interp.NewWindow(m.FuncByName("k"))
+	win.Data[0][0] = 5
+	win.Data[0][1] = 9
+	if _, err := sw.ExecWindow(1, win); err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range []int{5, 9} {
+		got, _ := sw.ReadRegister("tbl", idx)
+		if got != 1 {
+			t.Errorf("tbl[%d] = %d, want 1", idx, got)
+		}
+	}
+}
+
+// TestRecirculationBudgetExceeded: more distinct accesses than passes.
+func TestRecirculationBudgetExceeded(t *testing.T) {
+	m := buildModule(t, `
+_net_ int tbl[64] = {0};
+_net_ _out_ void k(unsigned *a, unsigned *b, unsigned *c, unsigned *d, unsigned *e, unsigned *f) {
+    tbl[a[0]] += 1; tbl[b[0]] += 1; tbl[c[0]] += 1;
+    tbl[d[0]] += 1; tbl[e[0]] += 1; tbl[f[0]] += 1;
+}
+`, 1)
+	target := pisa.DefaultTarget()
+	target.MaxRecirc = 2 // 3 passes max, 6 needed
+	ids := map[string]uint32{"k": 1}
+	_, err := Compile(m, Options{Target: target, KernelIDs: ids})
+	if err == nil {
+		t.Fatal("exceeding the recirculation budget must be rejected")
+	}
+	if !strings.Contains(err.Error(), "recirculation") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestStageBudgetRejected(t *testing.T) {
+	// A long dependency chain cannot fit a tiny pipeline without recirc;
+	// with recirculation disabled it must be rejected.
+	var b strings.Builder
+	b.WriteString("_net_ _out_ void k(int *d) {\n")
+	for i := 0; i < 30; i++ {
+		fmt.Fprintf(&b, "d[0] = d[0] * 3 + %d;\n", i)
+	}
+	b.WriteString("}\n")
+	m := buildModule(t, b.String(), 1)
+	target := pisa.DefaultTarget()
+	target.Stages = 8
+	target.MaxRecirc = 0
+	_, err := Compile(m, Options{Target: target, KernelIDs: map[string]uint32{"k": 1}})
+	if err == nil {
+		t.Fatal("30-deep dependence chain cannot fit 8 stages without recirculation")
+	}
+}
+
+func TestMapLookupCompiles(t *testing.T) {
+	m := buildModule(t, `
+_net_ ncl::Map<uint64_t, uint8_t, 16> M;
+_net_ bool Valid[16] = {false};
+_net_ _out_ void k(uint64_t key, bool *hit) {
+    if (auto *idx = M[key]) { hit[0] = Valid[*idx]; } else { hit[0] = false; }
+}
+`, 1)
+	target := pisa.DefaultTarget()
+	p := compileProgram(t, m, target)
+	sw := loadSwitch(t, p, target)
+	if err := sw.InstallEntry("M", 42, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WriteRegister("Valid", 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	run := func(key uint64) uint64 {
+		win := interp.NewWindow(m.FuncByName("k"))
+		win.Data[0][0] = key
+		if _, err := sw.ExecWindow(1, win); err != nil {
+			t.Fatal(err)
+		}
+		return win.Data[1][0]
+	}
+	if run(42) != 1 {
+		t.Error("installed valid key must hit")
+	}
+	if run(99) != 0 {
+		t.Error("missing key must miss")
+	}
+}
+
+func TestBloomCompiles(t *testing.T) {
+	m := buildModule(t, `
+_net_ ncl::Bloom<512, 3> seen;
+_net_ _out_ void k(uint64_t key, bool *dup) {
+    dup[0] = seen.test(key);
+    seen.add(key);
+}
+`, 1)
+	target := pisa.DefaultTarget()
+	p := compileProgram(t, m, target)
+	// Three per-hash lanes.
+	lanes := 0
+	for _, r := range p.Registers {
+		if strings.HasPrefix(r.Name, "seen#") {
+			lanes++
+		}
+	}
+	if lanes != 3 {
+		t.Fatalf("want 3 bloom lanes, got %d", lanes)
+	}
+	sw := loadSwitch(t, p, target)
+	run := func(key uint64) uint64 {
+		win := interp.NewWindow(m.FuncByName("k"))
+		win.Data[0][0] = key
+		if _, err := sw.ExecWindow(1, win); err != nil {
+			t.Fatal(err)
+		}
+		return win.Data[1][0]
+	}
+	if run(77) != 0 {
+		t.Error("first sighting must miss")
+	}
+	if run(77) != 1 {
+		t.Error("second sighting must hit (no false negatives)")
+	}
+}
+
+// TestFig4CompilesAndRuns: the paper's AllReduce end-to-end on the PISA
+// simulator, matching the interpreter's protocol semantics.
+func TestFig4CompilesAndRuns(t *testing.T) {
+	const W = 4
+	src := `
+_net_ _at_("s1") int accum[64] = {0};
+_net_ _at_("s1") unsigned count[16] = {0};
+_net_ _at_("s1") _ctrl_ unsigned nworkers;
+_net_ _out_ void allreduce(int *data) {
+    unsigned base = window.seq * window.len;
+    for (unsigned i = 0; i < window.len; ++i)
+        accum[base + i] += data[i];
+    if (++count[window.seq] == nworkers) {
+        memcpy(data, &accum[base], window.len * 4);
+        count[window.seq] = 0; _bcast();
+    } else { _drop(); }
+}
+`
+	m := buildModule(t, src, W)
+	target := pisa.DefaultTarget()
+	p := compileProgram(t, m, target)
+	sw := loadSwitch(t, p, target)
+	if err := sw.WriteRegister("nworkers", 0, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	send := func(seq uint64, vals []uint64) (*interp.Window, interp.Decision) {
+		win := interp.NewWindow(m.FuncByName("allreduce"))
+		copy(win.Data[0], vals)
+		win.Meta["seq"] = seq
+		dec, err := sw.ExecWindow(1, win)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return win, dec
+	}
+	_, d1 := send(0, []uint64{1, 2, 3, 4})
+	if d1.Kind != interp.Drop {
+		t.Fatalf("first worker window must drop, got %v", d1.Kind)
+	}
+	w2, d2 := send(0, []uint64{10, 20, 30, 40})
+	if d2.Kind != interp.Bcast {
+		t.Fatalf("completing window must broadcast, got %v", d2.Kind)
+	}
+	want := []uint64{11, 22, 33, 44}
+	for i, w := range want {
+		if w2.Data[0][i] != w {
+			t.Errorf("sum[%d] = %d, want %d", i, w2.Data[0][i], w)
+		}
+	}
+	// Counter must have reset.
+	cnt, _ := sw.ReadRegister("count", 0)
+	if cnt != 0 {
+		t.Errorf("count[0] = %d, want 0", cnt)
+	}
+}
+
+// TestFig5CompilesAndRuns: the paper's KVS cache on the simulator.
+func TestFig5CompilesAndRuns(t *testing.T) {
+	const VAL = 8
+	src := `
+#define SERVER 1
+_net_ _at_("s1") ncl::Map<uint64_t, uint8_t, 16> Idx;
+_net_ _at_("s1") char Cache[16][8] = {{0}};
+_net_ _at_("s1") bool Valid[16] = {false};
+_net_ _out_ void query(uint64_t key, char *val, bool update) {
+    if (window.from != SERVER && update) {
+        if (auto *idx = Idx[key]) Valid[*idx] = false;
+    } else if (window.from != SERVER) {
+        if (auto *idx = Idx[key]) {
+            if (Valid[*idx]) {
+                memcpy(val, Cache[*idx], 8); _reflect(); } }
+    } else if (update) {
+        auto *idx = Idx[key]; memcpy(Cache[*idx], val, 8);
+        Valid[*idx] = true; _drop();
+    } else { }
+}
+`
+	m := buildModule(t, src, VAL)
+	target := pisa.DefaultTarget()
+	p := compileProgram(t, m, target)
+	sw := loadSwitch(t, p, target)
+	if err := sw.InstallEntry("Idx", 7, 3); err != nil {
+		t.Fatal(err)
+	}
+	exec := func(key uint64, val []uint64, update bool, from uint64) (*interp.Window, interp.Decision) {
+		win := interp.NewWindow(m.FuncByName("query"))
+		win.Data[0][0] = key
+		copy(win.Data[1], val)
+		if update {
+			win.Data[2][0] = 1
+		}
+		win.Meta["from"] = from
+		dec, err := sw.ExecWindow(1, win)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return win, dec
+	}
+	if _, dec := exec(7, make([]uint64, VAL), false, 0); dec.Kind != interp.Pass {
+		t.Fatalf("pre-install GET must pass, got %v", dec.Kind)
+	}
+	valBytes := []uint64{0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x78}
+	if _, dec := exec(7, valBytes, true, 1); dec.Kind != interp.Drop {
+		t.Fatalf("server update must drop, got %v", dec.Kind)
+	}
+	win, dec := exec(7, make([]uint64, VAL), false, 0)
+	if dec.Kind != interp.Reflect {
+		t.Fatalf("hit must reflect, got %v", dec.Kind)
+	}
+	for i, b := range valBytes {
+		if win.Data[1][i] != b {
+			t.Errorf("byte %d = %#x, want %#x", i, win.Data[1][i], b)
+		}
+	}
+	if _, dec := exec(7, valBytes, true, 0); dec.Kind != interp.Pass {
+		t.Fatalf("client PUT must pass, got %v", dec.Kind)
+	}
+	if _, dec := exec(7, make([]uint64, VAL), false, 0); dec.Kind != interp.Pass {
+		t.Fatalf("invalidated GET must miss, got %v", dec.Kind)
+	}
+}
+
+// TestAblationOptimizerEnablesLanes demonstrates why the optimizer is a
+// dependency of code generation, not a luxury (the DESIGN.md §5.2 call
+// out): lane partitioning pattern-matches the affine index shape
+// dyn*S + c, which only emerges after algebraic identities fold. Without
+// optimization the Fig. 4 accumulation has W distinct opaque indices and
+// must fall back to recirculation — blowing the pass budget at W=8.
+func TestAblationOptimizerEnablesLanes(t *testing.T) {
+	src := `
+_net_ int accum[64] = {0};
+_net_ _out_ void k(int *data) {
+    unsigned base = window.seq * window.len;
+    for (unsigned i = 0; i < window.len; ++i)
+        accum[base + i] += data[i];
+}
+`
+	build := func(optimize bool) (*pisa.Program, error) {
+		var diags source.DiagList
+		f := parser.ParseSource("t.ncl", src, &diags)
+		info := sema.Check(f, &diags)
+		m := lower.Lower("t", info, 8, &diags)
+		if diags.HasErrors() {
+			t.Fatal(diags.Err())
+		}
+		if optimize {
+			passes.Optimize(m)
+		}
+		return Compile(m, Options{Target: pisa.DefaultTarget(), KernelIDs: map[string]uint32{"k": 1}})
+	}
+	withOpt, err := build(true)
+	if err != nil {
+		t.Fatalf("optimized build failed: %v", err)
+	}
+	if got := len(withOpt.KernelByName("k").Passes); got != 1 {
+		t.Errorf("optimized build should lane-partition into 1 pass, got %d", got)
+	}
+	withoutOpt, err := build(false)
+	if err == nil {
+		// If it compiled at all, it must have paid recirculation passes.
+		if got := len(withoutOpt.KernelByName("k").Passes); got <= 1 {
+			t.Errorf("unoptimized build should need recirculation, got %d passes", got)
+		}
+	}
+	// Either outcome (rejection or multi-pass) demonstrates the ablation.
+}
+
+func TestPassLabelSurvives(t *testing.T) {
+	m := buildModule(t, `
+_net_ _out_ void k(int *d) { if (d[0] > 0) _pass("server"); }
+`, 1)
+	target := pisa.DefaultTarget()
+	p := compileProgram(t, m, target)
+	sw := loadSwitch(t, p, target)
+	win := interp.NewWindow(m.FuncByName("k"))
+	win.Data[0][0] = 5
+	dec, err := sw.ExecWindow(1, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Kind != interp.Pass || dec.Label != "server" {
+		t.Errorf("decision = %v/%q, want pass/server", dec.Kind, dec.Label)
+	}
+	win2 := interp.NewWindow(m.FuncByName("k"))
+	dec2, _ := sw.ExecWindow(1, win2)
+	if dec2.Label != "" {
+		t.Errorf("untaken label must not leak: %q", dec2.Label)
+	}
+}
+
+// TestDifferentialInterpVsPisa generates random kernels and checks the
+// PISA pipeline agrees with the interpreter on window data, decisions,
+// and register state — the central correctness property of the compiler.
+func TestDifferentialInterpVsPisa(t *testing.T) {
+	rng := rand.New(rand.NewSource(424242))
+	ops := []string{"+", "-", "*", "/", "%", "&", "|", "^"}
+	cmps := []string{"<", ">", "==", "!=", "<=", ">="}
+	for trial := 0; trial < 50; trial++ {
+		var body strings.Builder
+		n := 3 + rng.Intn(6)
+		for s := 0; s < n; s++ {
+			dst := rng.Intn(4)
+			a, bIdx := rng.Intn(4), rng.Intn(4)
+			op := ops[rng.Intn(len(ops))]
+			switch rng.Intn(5) {
+			case 0:
+				fmt.Fprintf(&body, "d[%d] = d[%d] %s d[%d];\n", dst, a, op, bIdx)
+			case 1:
+				fmt.Fprintf(&body, "st[%d] += d[%d];\n", rng.Intn(4), a)
+			case 2:
+				fmt.Fprintf(&body, "d[%d] = st[%d] %s %d;\n", dst, rng.Intn(4), op, 1+rng.Intn(9))
+			case 3:
+				fmt.Fprintf(&body, "if (d[%d] %s d[%d]) d[%d] = d[%d] %s %d;\n",
+					a, cmps[rng.Intn(len(cmps))], bIdx, dst, a, op, 1+rng.Intn(9))
+			case 4:
+				fmt.Fprintf(&body, "if (d[%d] %s %d) { st[%d] += 1; _drop(); } else { d[%d] = %d; }\n",
+					a, cmps[rng.Intn(len(cmps))], rng.Intn(50), rng.Intn(4), dst, rng.Intn(100))
+			}
+		}
+		src := "_net_ int st[4] = {0};\n_net_ _out_ void k(int *d) {\n" + body.String() + "}\n"
+
+		m := buildModule(t, src, 4)
+		target := pisa.DefaultTarget()
+		ids := map[string]uint32{"k": 1}
+		p, err := Compile(m, Options{Target: target, KernelIDs: ids})
+		if err != nil {
+			// Resource rejection is legitimate compiler behavior (§5: the
+			// backend may reject); the property is "if it compiles, it
+			// matches the interpreter".
+			t.Logf("trial %d rejected: %v", trial, err)
+			continue
+		}
+		sw := loadSwitch(t, p, target)
+		f := m.FuncByName("k")
+		ist := interp.NewState(m)
+		stG := m.GlobalByName("st")
+
+		for wtrial := 0; wtrial < 6; wtrial++ {
+			var seed [4]uint64
+			for i := range seed {
+				seed[i] = uint64(rng.Int63n(1 << 16))
+			}
+			wi := interp.NewWindow(f)
+			wp := interp.NewWindow(f)
+			copy(wi.Data[0], seed[:])
+			copy(wp.Data[0], seed[:])
+
+			di, err := interp.Exec(f, ist, wi)
+			if err != nil {
+				t.Fatalf("trial %d: interp: %v\n%s", trial, err, src)
+			}
+			dp, err := sw.ExecWindow(1, wp)
+			if err != nil {
+				t.Fatalf("trial %d: pisa: %v\n%s", trial, err, src)
+			}
+			if di.Kind != dp.Kind {
+				t.Fatalf("trial %d: decision diverged: %v vs %v\nsource:\n%s", trial, di.Kind, dp.Kind, src)
+			}
+			for i := range wi.Data[0] {
+				if wi.Data[0][i] != wp.Data[0][i] {
+					t.Fatalf("trial %d: window[%d]: interp %d vs pisa %d\nsource:\n%s\nIR:\n%s",
+						trial, i, wi.Data[0][i], wp.Data[0][i], src, m.FuncByName("k"))
+				}
+			}
+			for i := 0; i < 4; i++ {
+				pv := readState(sw, "st", i)
+				if ist.Regs[stG][i] != pv {
+					t.Fatalf("trial %d: state[%d]: interp %d vs pisa %d\nsource:\n%s",
+						trial, i, ist.Regs[stG][i], pv, src)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package codegen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ncl/internal/ncl/interp"
+	"ncl/internal/pisa"
+)
+
+// TestDifferentialMapKernels fuzzes kernels over Map lookups and
+// register state, comparing the compiled pipeline against the
+// interpreter with identical Map contents.
+func TestDifferentialMapKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 25; trial++ {
+		var body strings.Builder
+		fmt.Fprintf(&body, "if (auto *idx = M[key]) {\n")
+		n := 1 + rng.Intn(3)
+		for s := 0; s < n; s++ {
+			switch rng.Intn(3) {
+			case 0:
+				fmt.Fprintf(&body, "  st[*idx] += d[%d];\n", rng.Intn(2))
+			case 1:
+				fmt.Fprintf(&body, "  d[%d] = st[*idx];\n", rng.Intn(2))
+			case 2:
+				fmt.Fprintf(&body, "  d[%d] = (int)*idx * %d;\n", rng.Intn(2), 1+rng.Intn(5))
+			}
+		}
+		body.WriteString("  _reflect();\n} else { d[0] = -1; }\n")
+		src := `
+_net_ ncl::Map<uint64_t, uint8_t, 32> M;
+_net_ int st[32] = {0};
+_net_ _out_ void k(uint64_t key, int *d) {
+` + body.String() + "}\n"
+
+		m := buildModule(t, src, 2)
+		target := pisa.DefaultTarget()
+		ids := map[string]uint32{"k": 1}
+		p, err := Compile(m, Options{Target: target, KernelIDs: ids})
+		if err != nil {
+			t.Logf("trial %d rejected: %v", trial, err)
+			continue
+		}
+		sw := loadSwitch(t, p, target)
+		f := m.FuncByName("k")
+		ist := interp.NewState(m)
+		mg := m.GlobalByName("M")
+		stG := m.GlobalByName("st")
+
+		// Identical map contents in both engines.
+		for e := 0; e < 8; e++ {
+			key := uint64(rng.Intn(40))
+			val := uint64(rng.Intn(32))
+			if err := ist.MapInsert(mg, key, val); err == nil {
+				if err := sw.InstallEntry("M", key, val); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+
+		for w := 0; w < 8; w++ {
+			key := uint64(rng.Intn(40))
+			dv := []uint64{uint64(rng.Intn(100)), uint64(rng.Intn(100))}
+			wi := interp.NewWindow(f)
+			wp := interp.NewWindow(f)
+			wi.Data[0][0], wp.Data[0][0] = key, key
+			copy(wi.Data[1], dv)
+			copy(wp.Data[1], dv)
+			di, err := interp.Exec(f, ist, wi)
+			if err != nil {
+				t.Fatalf("trial %d: interp: %v\n%s", trial, err, src)
+			}
+			dp, err := sw.ExecWindow(1, wp)
+			if err != nil {
+				t.Fatalf("trial %d: pisa: %v\n%s", trial, err, src)
+			}
+			if di.Kind != dp.Kind {
+				t.Fatalf("trial %d key %d: decision %v vs %v\n%s", trial, key, di.Kind, dp.Kind, src)
+			}
+			for i := range wi.Data[1] {
+				if wi.Data[1][i] != wp.Data[1][i] {
+					t.Fatalf("trial %d: d[%d] %d vs %d\n%s", trial, i, wi.Data[1][i], wp.Data[1][i], src)
+				}
+			}
+			for i := 0; i < 32; i++ {
+				pv := readState(sw, "st", i)
+				if ist.Regs[stG][i] != pv {
+					t.Fatalf("trial %d: st[%d] %d vs %d\n%s", trial, i, ist.Regs[stG][i], pv, src)
+				}
+			}
+		}
+	}
+}
+
+// TestExportUnderPredicationRegression pins the miscompile the map fuzzer
+// found: a predicated cluster whose export feeds a select must execute
+// unconditionally, or the miss path reads a stale zero from the export
+// field (here, d[1] must keep its value 20 on a Map miss).
+func TestExportUnderPredicationRegression(t *testing.T) {
+	src := `
+_net_ ncl::Map<uint64_t, uint8_t, 32> M;
+_net_ int st[32] = {0};
+_net_ _out_ void k(uint64_t key, int *d) {
+    if (auto *idx = M[key]) {
+        d[1] = st[*idx];
+        st[*idx] += d[1];
+        _reflect();
+    } else { d[0] = -1; }
+}
+`
+	m := buildModule(t, src, 2)
+	target := pisa.DefaultTarget()
+	p := compileProgram(t, m, target)
+	sw := loadSwitch(t, p, target)
+	win := interp.NewWindow(m.FuncByName("k"))
+	win.Data[0][0] = 9 // not installed: miss
+	win.Data[1][0] = 10
+	win.Data[1][1] = 20
+	dec, err := sw.ExecWindow(1, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Kind != interp.Pass {
+		t.Errorf("miss must pass, got %v", dec.Kind)
+	}
+	if int64(win.Data[1][0]) != -1 || win.Data[1][1] != 20 {
+		t.Errorf("miss path corrupted the window: %v (want [-1 20])", win.Data[1])
+	}
+}
+
+// TestGuardedIndexNoTrap: an unconditional-due-to-export cluster whose
+// index was guarded by the branch must not trap when the guard is false
+// and the raw index is out of range.
+func TestGuardedIndexNoTrap(t *testing.T) {
+	src := `
+_net_ unsigned st[8] = {0};
+_net_ _out_ void k(unsigned *d) {
+    if (d[0] < 8) {
+        d[1] = ++st[d[0]];
+    }
+}
+`
+	m := buildModule(t, src, 2)
+	target := pisa.DefaultTarget()
+	p := compileProgram(t, m, target)
+	sw := loadSwitch(t, p, target)
+	f := m.FuncByName("k")
+
+	// In range: counter increments and exports.
+	win := interp.NewWindow(f)
+	win.Data[0][0] = 3
+	if _, err := sw.ExecWindow(1, win); err != nil {
+		t.Fatal(err)
+	}
+	if win.Data[0][1] != 1 {
+		t.Errorf("in-range increment = %d, want 1", win.Data[0][1])
+	}
+	// Out of range: the guard is false; the execution must neither trap
+	// nor mutate state.
+	win2 := interp.NewWindow(f)
+	win2.Data[0][0] = 100
+	win2.Data[0][1] = 55
+	if _, err := sw.ExecWindow(1, win2); err != nil {
+		t.Fatalf("guarded out-of-range index trapped: %v", err)
+	}
+	if win2.Data[0][1] != 55 {
+		t.Errorf("untaken branch wrote the window: %d", win2.Data[0][1])
+	}
+	for i := 0; i < 8; i++ {
+		v, _ := sw.ReadRegister("st", i)
+		want := uint64(0)
+		if i == 3 {
+			want = 1
+		}
+		if v != want {
+			t.Errorf("st[%d] = %d, want %d", i, v, want)
+		}
+	}
+}
+
+// TestDifferentialBloomKernels fuzzes Bloom add/test sequences across
+// both engines.
+func TestDifferentialBloomKernels(t *testing.T) {
+	src := `
+_net_ ncl::Bloom<2048, 3> seen;
+_net_ _out_ void k(uint64_t key, bool *dup, bool remember) {
+    dup[0] = seen.test(key);
+    if (remember) seen.add(key);
+}
+`
+	m := buildModule(t, src, 1)
+	target := pisa.DefaultTarget()
+	p := compileProgram(t, m, target)
+	sw := loadSwitch(t, p, target)
+	f := m.FuncByName("k")
+	ist := interp.NewState(m)
+
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 300; i++ {
+		key := uint64(rng.Intn(64))
+		remember := uint64(rng.Intn(2))
+		wi := interp.NewWindow(f)
+		wp := interp.NewWindow(f)
+		wi.Data[0][0], wp.Data[0][0] = key, key
+		wi.Data[2][0], wp.Data[2][0] = remember, remember
+		if _, err := interp.Exec(f, ist, wi); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sw.ExecWindow(1, wp); err != nil {
+			t.Fatal(err)
+		}
+		if wi.Data[1][0] != wp.Data[1][0] {
+			t.Fatalf("step %d key %d: bloom test diverged: interp %d vs pisa %d",
+				i, key, wi.Data[1][0], wp.Data[1][0])
+		}
+	}
+}

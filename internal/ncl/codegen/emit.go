@@ -1,0 +1,370 @@
+package codegen
+
+import (
+	"fmt"
+
+	"ncl/internal/ncl/types"
+	"ncl/internal/pisa"
+)
+
+// emitKernel allocates PHV fields, builds schedulable units, runs the list
+// scheduler, and packs the result into a pisa.Kernel.
+func emitKernel(fk *flatKernel, clusters []*cluster, sched *scheduler, opts Options) (*pisa.Kernel, error) {
+	kb := &kernelBuilder{fk: fk, fieldOf: map[*gval]pisa.FieldRef{}, unitOf: map[*gval]*unit{}}
+	f := fk.f
+
+	k := &pisa.Kernel{
+		Name:      f.Name,
+		WindowLen: f.WindowLen,
+		WinMeta:   map[string]pisa.FieldRef{},
+	}
+
+	// Standard metadata fields.
+	fwdField := kb.newField(pisa.FieldFwd, types.U8)
+	fwdLabelField := kb.newField(pisa.FieldFwdLabel, types.U16)
+
+	// Window data fields, in window-signature order.
+	for _, p := range f.WindowSig() {
+		pl := pisa.ParamLayout{
+			Name:   p.Nm,
+			Elems:  p.Elems(f.WindowLen),
+			Bits:   p.ElemType().BitWidth(),
+			Signed: p.ElemType().Kind == types.Int && p.ElemType().Signed,
+			Bool:   p.ElemType().Kind == types.Bool,
+		}
+		for i := 0; i < pl.Elems; i++ {
+			fr := kb.newField(fmt.Sprintf("d_%s_%d", p.Nm, i), p.ElemType())
+			pl.Fields = append(pl.Fields, fr)
+			kb.fieldOf[fk.paramInit[p][i]] = fr
+		}
+		k.Params = append(k.Params, pl)
+	}
+
+	// Metadata reads (window.seq etc. and location.id).
+	for name, n := range fk.builder.metas {
+		fr := kb.newField(name, n.ty)
+		kb.fieldOf[n] = fr
+		if name == "$loc" {
+			continue // populated from the device id, not window metadata
+		}
+		k.WinMeta[name] = fr
+	}
+
+	// Table lookup result fields + units.
+	for i, lk := range fk.lookups {
+		lk.hitField = kb.newField(fmt.Sprintf("mh%d_%s", i, lk.g.Name), types.BoolType)
+		lk.valField = kb.newField(fmt.Sprintf("mv%d_%s", i, lk.g.Name), lk.g.Type.Val)
+		kb.fieldOf[lk.hit] = lk.hitField
+		kb.fieldOf[lk.val] = lk.valField
+		u := &unit{kind: uTable, lookup: lk}
+		kb.units = append(kb.units, u)
+		kb.unitOf[lk.hit] = u
+		kb.unitOf[lk.val] = u
+	}
+
+	// Cluster units and export fields.
+	for i, c := range clusters {
+		u := &unit{kind: uSALU, cluster: c}
+		kb.units = append(kb.units, u)
+		if c.export != nil {
+			fr := kb.newField(fmt.Sprintf("s%d_%s", i, c.reg.name), c.export.ty)
+			kb.fieldOf[c.export] = fr
+			kb.unitOf[c.export] = u
+		}
+		for _, a := range c.accs {
+			if a.kind == accLoad {
+				// Loads resolve inside the micro-program; external uses go
+				// through the export. Record the producing unit so closure
+				// walking stops here.
+				if _, exported := kb.fieldOf[a.load]; !exported {
+					kb.unitOf[a.load] = u
+				}
+			}
+		}
+	}
+
+	// Emission closure over arith nodes.
+	var need func(n *gval) error
+	need = func(n *gval) error {
+		if n == nil || n.kind == gConst {
+			return nil
+		}
+		if _, done := kb.fieldOf[n]; done {
+			return nil
+		}
+		switch n.kind {
+		case gParamElem, gMeta, gTableHit, gTableVal:
+			return nil // fields pre-allocated
+		case gSALUOut:
+			if kb.unitOf[n] == nil {
+				return fmt.Errorf("stateful value escapes %s without an export path", n.ty)
+			}
+			if _, hasField := kb.fieldOf[n]; !hasField {
+				return fmt.Errorf("internal stateful value of %s used externally but not exported", n.ty)
+			}
+			return nil
+		case gArith:
+			u := &unit{kind: uVLIW, node: n}
+			kb.units = append(kb.units, u)
+			kb.unitOf[n] = u
+			kb.fieldOf[n] = kb.newField(fmt.Sprintf("m%d", n.id), n.ty)
+			for _, a := range n.args {
+				if err := need(a); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return fmt.Errorf("unexpected node kind in emission closure")
+	}
+
+	for _, lk := range fk.lookups {
+		if err := need(lk.key); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range clusters {
+		for _, d := range c.deps {
+			if err := need(d); err != nil {
+				return nil, err
+			}
+		}
+	}
+	var finals []*unit
+	addFinal := func(src *gval, dst pisa.FieldRef, initNode *gval) error {
+		if err := need(src); err != nil {
+			return err
+		}
+		finals = append(finals, &unit{kind: uFinal, src: src, dstField: dst, node: initNode})
+		return nil
+	}
+	for _, p := range f.WindowSig() {
+		for i, final := range fk.paramFinal[p] {
+			init := fk.paramInit[p][i]
+			if final == init {
+				continue
+			}
+			if err := addFinal(final, kb.fieldOf[init], init); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !(fk.fwd.kind == gConst && fk.fwd.cval == 0) {
+		if err := addFinal(fk.fwd, fwdField, nil); err != nil {
+			return nil, err
+		}
+	}
+	if !(fk.fwdLabel.kind == gConst && fk.fwdLabel.cval == 0) {
+		if err := addFinal(fk.fwdLabel, fwdLabelField, nil); err != nil {
+			return nil, err
+		}
+	}
+
+	// Wire dependencies.
+	producer := func(n *gval) *unit {
+		if n == nil || n.kind == gConst {
+			return nil
+		}
+		return kb.unitOf[n]
+	}
+	for _, u := range kb.units {
+		switch u.kind {
+		case uVLIW:
+			for _, a := range u.node.args {
+				if p := producer(a); p != nil {
+					u.deps = append(u.deps, p)
+				}
+			}
+		case uTable:
+			if p := producer(u.lookup.key); p != nil {
+				u.deps = append(u.deps, p)
+			}
+		case uSALU:
+			for _, d := range u.cluster.deps {
+				if p := producer(d); p != nil {
+					u.deps = append(u.deps, p)
+				}
+			}
+			// Chained clusters on the same array keep program order
+			// across recirculation passes.
+			if u.cluster.prev != nil {
+				for _, v := range kb.units {
+					if v.kind == uSALU && v.cluster == u.cluster.prev {
+						u.deps = append(u.deps, v)
+					}
+				}
+			}
+		}
+	}
+	// Final units: dep on src producer; must not precede readers of the
+	// field's initial value (they read the stage snapshot, so the same
+	// slot is allowed).
+	readersOf := func(init *gval) []*unit {
+		if init == nil {
+			return nil
+		}
+		var rs []*unit
+		for _, u := range kb.units {
+			switch u.kind {
+			case uVLIW:
+				for _, a := range u.node.args {
+					if a == init {
+						rs = append(rs, u)
+					}
+				}
+			case uTable:
+				if u.lookup.key == init {
+					rs = append(rs, u)
+				}
+			case uSALU:
+				for _, d := range u.cluster.deps {
+					if d == init {
+						rs = append(rs, u)
+					}
+				}
+			}
+		}
+		return rs
+	}
+	for _, u := range finals {
+		if p := producer(u.src); p != nil {
+			u.deps = append(u.deps, p)
+		}
+		u.minSlots = readersOf(u.node)
+	}
+
+	// Schedule: all compute units in topological order, then writebacks.
+	ordered, err := sortUnitsTopological(kb.units)
+	if err != nil {
+		return nil, err
+	}
+	for _, u := range ordered {
+		if err := sched.place(u); err != nil {
+			return nil, err
+		}
+	}
+	for _, u := range finals {
+		if err := sched.place(u); err != nil {
+			return nil, err
+		}
+	}
+
+	// Pack into passes and stages.
+	all := append(append([]*unit{}, kb.units...), finals...)
+	maxSlot := 0
+	for _, u := range all {
+		if u.slot > maxSlot {
+			maxSlot = u.slot
+		}
+	}
+	stages := sched.target.Stages
+	nPasses := maxSlot/stages + 1
+	k.Passes = make([][]*pisa.Stage, nPasses)
+	for p := range k.Passes {
+		k.Passes[p] = make([]*pisa.Stage, stages)
+		for s := range k.Passes[p] {
+			k.Passes[p][s] = &pisa.Stage{}
+		}
+	}
+	for _, u := range all {
+		st := k.Passes[u.slot/stages][u.slot%stages]
+		switch u.kind {
+		case uVLIW:
+			op, err := kb.actionFor(u.node)
+			if err != nil {
+				return nil, err
+			}
+			st.VLIW = append(st.VLIW, op)
+		case uFinal:
+			st.VLIW = append(st.VLIW, pisa.ActionOp{Op: "mov", Dst: u.dstField, A: kb.operandOf(u.src)})
+		case uTable:
+			st.Tables = append(st.Tables, &pisa.Table{
+				Name: u.lookup.g.Name,
+				Key:  kb.operandOf(u.lookup.key),
+				Hit:  u.lookup.hitField,
+				Val:  u.lookup.valField,
+			})
+		case uSALU:
+			sa, err := kb.saluFor(u.cluster)
+			if err != nil {
+				return nil, err
+			}
+			st.SALUs = append(st.SALUs, sa)
+		}
+	}
+	// Trim trailing empty stages of the last pass.
+	last := k.Passes[nPasses-1]
+	for len(last) > 0 {
+		s := last[len(last)-1]
+		if len(s.VLIW) == 0 && len(s.SALUs) == 0 && len(s.Tables) == 0 {
+			last = last[:len(last)-1]
+			continue
+		}
+		break
+	}
+	k.Passes[nPasses-1] = last
+
+	k.Fields = kb.fields
+	return k, nil
+}
+
+// actionFor converts an arith node into a VLIW op.
+func (kb *kernelBuilder) actionFor(n *gval) (pisa.ActionOp, error) {
+	dst, ok := kb.fieldOf[n]
+	if !ok {
+		return pisa.ActionOp{}, fmt.Errorf("node without field")
+	}
+	op := pisa.ActionOp{Op: n.op, Signed: n.signed, Dst: dst}
+	switch n.op {
+	case "mov", "not":
+		op.A = kb.operandOf(n.args[0])
+	case "csel":
+		op.A = kb.operandOf(n.args[0])
+		op.B = kb.operandOf(n.args[1])
+		op.C = kb.operandOf(n.args[2])
+	case "hash":
+		op.A = kb.operandOf(n.args[0])
+		op.HashSeed = n.hashSeed
+		op.HashBits = n.hashBits
+	default:
+		op.A = kb.operandOf(n.args[0])
+		op.B = kb.operandOf(n.args[1])
+	}
+	return op, nil
+}
+
+// saluFor finalizes a cluster into a pisa.SALU, patching PHV-operand
+// placeholders (graph node ids) into real field refs.
+func (kb *kernelBuilder) saluFor(c *cluster) (*pisa.SALU, error) {
+	sa := &pisa.SALU{
+		Global: c.reg.name,
+		Index:  kb.operandOf(c.idx),
+		Out:    pisa.NoField,
+	}
+	if c.pred != nil {
+		pf, ok := kb.fieldOf[c.pred]
+		if !ok {
+			return nil, fmt.Errorf("cluster predicate not materialized")
+		}
+		sa.Pred = &pisa.Pred{Field: pf}
+	}
+	if c.export != nil {
+		sa.Out = kb.fieldOf[c.export]
+	}
+	nodes := kb.fk.builder.nodes
+	for _, mo := range c.prog {
+		patched := mo
+		for _, opnd := range []*pisa.MOperand{&patched.A, &patched.B, &patched.C} {
+			if opnd.Kind == pisa.MFromField {
+				n := nodes[int(opnd.Field)]
+				fr, ok := kb.fieldOf[n]
+				if !ok {
+					return nil, fmt.Errorf("stateful operand not materialized")
+				}
+				opnd.Field = fr
+			}
+		}
+		sa.Prog = append(sa.Prog, patched)
+	}
+	return sa, nil
+}

@@ -1,0 +1,377 @@
+// Package codegen translates optimized, acyclic NCL IR into loadable PISA
+// programs (and P4-style text through package p4). It performs the
+// architecture-specific transformations §5 of the paper describes:
+//
+//   - if-conversion: the CFG collapses into a predicated value graph;
+//     φs become conditional selects over edge conditions;
+//   - window data becomes static PHV fields, with store ordering encoded
+//     as select chains (SSA versions);
+//   - array lane partitioning: a register array whose unrolled accesses
+//     follow an affine pattern dyn*S + c is split into per-offset lanes so
+//     each lane sees one stateful access per pass (the NetCache Read0/
+//     Read1 pattern, synthesized automatically);
+//   - stateful clustering: all accesses to one array at one index fuse
+//     into a single bounded stateful-ALU micro-program (RegisterAction
+//     analogue), with at most one value exported to the PHV;
+//   - Bloom filters expand into per-hash lanes with hash units;
+//   - list scheduling onto stages under the target's resource model,
+//     spilling to recirculation passes when an array or table is needed
+//     more than once per pass.
+package codegen
+
+import (
+	"fmt"
+
+	"ncl/internal/ncl/ir"
+	"ncl/internal/ncl/token"
+	"ncl/internal/ncl/types"
+	"ncl/internal/pisa"
+)
+
+// gkind classifies flat-graph nodes.
+type gkind int
+
+const (
+	gConst     gkind = iota
+	gArith           // op over args (includes mov/not/csel/hash)
+	gParamElem       // initial value of a window data element
+	gMeta            // window/location metadata field
+	gTableHit        // table lookup hit flag
+	gTableVal        // table lookup value
+	gSALUOut         // stateful cluster export
+)
+
+// gval is one node of the flattened, predicated value graph.
+type gval struct {
+	id   int
+	kind gkind
+	ty   *types.Type
+
+	op     string // gArith: mov,add,...,eq,...,csel,not,hash
+	signed bool
+	args   []*gval
+
+	cval uint64 // gConst
+
+	param *ir.Param // gParamElem
+	elem  int
+
+	meta string // gMeta: field name ($seq, $from, ..., $loc, _win_ names)
+
+	lookup *tableLookup // gTableHit/gTableVal
+
+	cluster *cluster // gSALUOut
+
+	hashSeed, hashBits int
+}
+
+// tableLookup is one deduplicated Map lookup.
+type tableLookup struct {
+	g   *ir.Global
+	key *gval
+	hit *gval
+	val *gval
+
+	hitField, valField pisa.FieldRef // assigned at emission
+}
+
+// accessKind classifies stateful accesses.
+type accessKind int
+
+const (
+	accLoad accessKind = iota
+	accStore
+)
+
+// access is one register-array access in flat program order.
+type access struct {
+	kind accessKind
+	idx  *gval
+	val  *gval // store value
+	pred *gval // nil = unconditional
+	load *gval // node representing the loaded value (accLoad)
+}
+
+// regState tracks all accesses to one array.
+type regState struct {
+	g        *ir.Global
+	name     string // possibly a lane name g$c or bloom lane g#h
+	elems    int
+	elemTy   *types.Type
+	init     []uint64
+	ctrl     bool
+	accesses []*access
+}
+
+// flatKernel is the fully flattened kernel before scheduling.
+type flatKernel struct {
+	f       *ir.Func
+	builder *builder
+
+	// Window data versions: final values to deparse, per param per elem.
+	paramInit  map[*ir.Param][]*gval
+	paramFinal map[*ir.Param][]*gval
+
+	fwd      *gval // forwarding decision value (0..3)
+	fwdLabel *gval // label index+1, 0 = none
+
+	regs      []*regState
+	regByName map[string]*regState
+
+	lookups []*tableLookup
+}
+
+// builder hash-conses the value graph.
+type builder struct {
+	nodes  []*gval
+	arith  map[string]*gval
+	consts map[string]*gval
+	params map[*ir.Param][]*gval
+	metas  map[string]*gval
+}
+
+func newBuilder() *builder {
+	return &builder{
+		arith:  map[string]*gval{},
+		consts: map[string]*gval{},
+		params: map[*ir.Param][]*gval{},
+		metas:  map[string]*gval{},
+	}
+}
+
+func (b *builder) add(v *gval) *gval {
+	v.id = len(b.nodes)
+	b.nodes = append(b.nodes, v)
+	return v
+}
+
+func (b *builder) cnst(ty *types.Type, v uint64) *gval {
+	v = ty.Normalize(v)
+	key := fmt.Sprintf("%s|%d", ty, v)
+	if n, ok := b.consts[key]; ok {
+		return n
+	}
+	n := b.add(&gval{kind: gConst, ty: ty, cval: v})
+	b.consts[key] = n
+	return n
+}
+
+func (b *builder) boolConst(v bool) *gval {
+	if v {
+		return b.cnst(types.BoolType, 1)
+	}
+	return b.cnst(types.BoolType, 0)
+}
+
+// arithNode hash-conses an arithmetic node; constant operands fold.
+func (b *builder) arithNode(op string, signed bool, ty *types.Type, args ...*gval) *gval {
+	// Fold when all args are constants.
+	allConst := true
+	for _, a := range args {
+		if a.kind != gConst {
+			allConst = false
+			break
+		}
+	}
+	if allConst {
+		if v, ok := foldArith(op, signed, ty, args); ok {
+			return b.cnst(ty, v)
+		}
+	}
+	// Identities for csel.
+	if op == "csel" {
+		if args[2].kind == gConst {
+			if args[2].cval != 0 {
+				return args[0]
+			}
+			return args[1]
+		}
+		if args[0] == args[1] {
+			return args[0]
+		}
+	}
+	key := fmt.Sprintf("%s|%v|%s", op, signed, ty)
+	for _, a := range args {
+		key += fmt.Sprintf("|%d", a.id)
+	}
+	if n, ok := b.arith[key]; ok {
+		return n
+	}
+	n := b.add(&gval{kind: gArith, ty: ty, op: op, signed: signed, args: args})
+	b.arith[key] = n
+	return n
+}
+
+// hashNode is a hash-unit application for Bloom lanes.
+func (b *builder) hashNode(key *gval, seed, bits int) *gval {
+	hk := fmt.Sprintf("hash|%d|%d|%d", key.id, seed, bits)
+	if n, ok := b.arith[hk]; ok {
+		return n
+	}
+	n := b.add(&gval{kind: gArith, ty: types.U32, op: "hash", args: []*gval{key}, hashSeed: seed, hashBits: bits})
+	b.arith[hk] = n
+	return n
+}
+
+func (b *builder) paramElem(p *ir.Param, elem int) *gval {
+	els := b.params[p]
+	for len(els) <= elem {
+		els = append(els, nil)
+	}
+	if els[elem] == nil {
+		els[elem] = b.add(&gval{kind: gParamElem, ty: p.ElemType(), param: p, elem: elem})
+	}
+	b.params[p] = els
+	return els[elem]
+}
+
+func (b *builder) metaNode(name string, ty *types.Type) *gval {
+	if n, ok := b.metas[name]; ok {
+		return n
+	}
+	n := b.add(&gval{kind: gMeta, ty: ty, meta: name})
+	b.metas[name] = n
+	return n
+}
+
+// Boolean helpers with short-circuit constant folding.
+func (b *builder) and(x, y *gval) *gval {
+	if x.kind == gConst {
+		if x.cval == 0 {
+			return x
+		}
+		return y
+	}
+	if y.kind == gConst {
+		if y.cval == 0 {
+			return y
+		}
+		return x
+	}
+	if x == y {
+		return x
+	}
+	return b.arithNode("and", false, types.BoolType, x, y)
+}
+
+func (b *builder) or(x, y *gval) *gval {
+	if x.kind == gConst {
+		if x.cval != 0 {
+			return x
+		}
+		return y
+	}
+	if y.kind == gConst {
+		if y.cval != 0 {
+			return y
+		}
+		return x
+	}
+	if x == y {
+		return x
+	}
+	return b.arithNode("or", false, types.BoolType, x, y)
+}
+
+func (b *builder) not(x *gval) *gval {
+	if x.kind == gConst {
+		return b.boolConst(x.cval == 0)
+	}
+	return b.arithNode("not", false, types.BoolType, x)
+}
+
+// foldArith evaluates an op over constant nodes.
+func foldArith(op string, signed bool, ty *types.Type, args []*gval) (uint64, bool) {
+	get := func(i int) uint64 { return args[i].cval }
+	switch op {
+	case "mov":
+		return get(0), true
+	case "not":
+		if get(0) == 0 {
+			return 1, true
+		}
+		return 0, true
+	case "csel":
+		if get(2) != 0 {
+			return get(0), true
+		}
+		return get(1), true
+	case "hash":
+		return 0, false // hash of const could fold but keep runtime for realism
+	}
+	kind, cmp := opToken(op)
+	if cmp {
+		at := args[0].ty
+		x, y := get(0), get(1)
+		sgn := signed || (at.Kind == types.Int && at.Signed)
+		var res bool
+		if sgn {
+			sx, sy := int64(x), int64(y)
+			switch op {
+			case "eq":
+				res = sx == sy
+			case "ne":
+				res = sx != sy
+			case "lt":
+				res = sx < sy
+			case "gt":
+				res = sx > sy
+			case "le":
+				res = sx <= sy
+			case "ge":
+				res = sx >= sy
+			}
+		} else {
+			switch op {
+			case "eq":
+				res = x == y
+			case "ne":
+				res = x != y
+			case "lt":
+				res = x < y
+			case "gt":
+				res = x > y
+			case "le":
+				res = x <= y
+			case "ge":
+				res = x >= y
+			}
+		}
+		if res {
+			return 1, true
+		}
+		return 0, true
+	}
+	if kind == token.ILLEGAL {
+		return 0, false
+	}
+	return evalConstArith(kind, get(0), get(1), ty)
+}
+
+func opToken(op string) (token.Kind, bool) {
+	switch op {
+	case "add":
+		return token.ADD, false
+	case "sub":
+		return token.SUB, false
+	case "mul":
+		return token.MUL, false
+	case "div":
+		return token.DIV, false
+	case "mod":
+		return token.MOD, false
+	case "and":
+		return token.AND, false
+	case "or":
+		return token.OR, false
+	case "xor":
+		return token.XOR, false
+	case "shl":
+		return token.SHL, false
+	case "shr":
+		return token.SHR, false
+	case "eq", "ne", "lt", "gt", "le", "ge":
+		return token.ILLEGAL, true
+	}
+	return token.ILLEGAL, false
+}

@@ -1,0 +1,510 @@
+package codegen
+
+import (
+	"fmt"
+
+	"ncl/internal/ncl/ir"
+	"ncl/internal/ncl/sema"
+	"ncl/internal/ncl/token"
+	"ncl/internal/ncl/types"
+)
+
+func evalConstArith(kind token.Kind, x, y uint64, ty *types.Type) (uint64, bool) {
+	if (kind == token.DIV || kind == token.MOD) && y == 0 {
+		// Runtime semantics: division by zero yields zero everywhere.
+		return 0, true
+	}
+	return sema.EvalArith(kind, x, y, ty)
+}
+
+// irOpName maps IR binop/cmp kinds to flat-op names.
+func irOpName(k token.Kind) (string, bool) {
+	switch k {
+	case token.ADD:
+		return "add", false
+	case token.SUB:
+		return "sub", false
+	case token.MUL:
+		return "mul", false
+	case token.DIV:
+		return "div", false
+	case token.MOD:
+		return "mod", false
+	case token.AND:
+		return "and", false
+	case token.OR:
+		return "or", false
+	case token.XOR:
+		return "xor", false
+	case token.SHL:
+		return "shl", false
+	case token.SHR:
+		return "shr", false
+	case token.EQ:
+		return "eq", true
+	case token.NE:
+		return "ne", true
+	case token.LT:
+		return "lt", true
+	case token.GT:
+		return "gt", true
+	case token.LE:
+		return "le", true
+	case token.GE:
+		return "ge", true
+	}
+	return "", false
+}
+
+// cfgEdge identifies one CFG edge.
+type cfgEdge struct{ from, to *ir.Block }
+
+// labelInterner assigns stable program-wide numbers to _pass labels.
+type labelInterner struct {
+	Labels []string
+}
+
+// Intern returns the 1-based index of label, adding it if new.
+func (li *labelInterner) Intern(label string) uint64 {
+	for i, l := range li.Labels {
+		if l == label {
+			return uint64(i + 1)
+		}
+	}
+	li.Labels = append(li.Labels, label)
+	return uint64(len(li.Labels))
+}
+
+// flatten if-converts one kernel into a flatKernel.
+func flatten(f *ir.Func, winFields []ir.WinField, labels *labelInterner) (*flatKernel, error) {
+	b := newBuilder()
+	fk := &flatKernel{
+		f:          f,
+		builder:    b,
+		paramInit:  map[*ir.Param][]*gval{},
+		paramFinal: map[*ir.Param][]*gval{},
+		regByName:  map[string]*regState{},
+	}
+	// Initial window data versions.
+	for _, p := range f.WindowSig() {
+		n := p.Elems(f.WindowLen)
+		init := make([]*gval, n)
+		for i := 0; i < n; i++ {
+			init[i] = b.paramElem(p, i)
+		}
+		fk.paramInit[p] = init
+		final := make([]*gval, n)
+		copy(final, init)
+		fk.paramFinal[p] = final
+	}
+	fk.fwd = b.cnst(types.U32, 0)      // default: pass
+	fk.fwdLabel = b.cnst(types.U32, 0) // no label
+
+	order, err := ir.TopoOrder(f)
+	if err != nil {
+		return nil, err
+	}
+
+	env := map[*ir.Instr]*gval{}
+	val := func(v ir.Value) (*gval, error) {
+		switch v := v.(type) {
+		case *ir.Const:
+			return b.cnst(v.Ty, v.Val), nil
+		case *ir.Instr:
+			g, ok := env[v]
+			if !ok {
+				return nil, fmt.Errorf("codegen: unflattened value %s", v.Name())
+			}
+			return g, nil
+		}
+		return nil, fmt.Errorf("codegen: raw parameter in value position")
+	}
+
+	// Block and edge conditions.
+	blockCond := map[*ir.Block]*gval{}
+	edgeCond := map[cfgEdge]*gval{}
+	accumEdge := func(e cfgEdge, c *gval) {
+		if old, ok := edgeCond[e]; ok {
+			edgeCond[e] = b.or(old, c)
+			return
+		}
+		edgeCond[e] = c
+	}
+	blockCond[f.Entry()] = b.boolConst(true)
+
+	// Per-param mutable version state during the walk.
+	version := map[*ir.Param][]*gval{}
+	for p, init := range fk.paramInit {
+		v := make([]*gval, len(init))
+		copy(v, init)
+		version[p] = v
+	}
+
+	// Deduplicated table lookups: by (global, key node).
+	lookupFor := func(g *ir.Global, key *gval) *tableLookup {
+		for _, lk := range fk.lookups {
+			if lk.g == g && lk.key == key {
+				return lk
+			}
+		}
+		lk := &tableLookup{g: g, key: key}
+		lk.hit = b.add(&gval{kind: gTableHit, ty: types.BoolType, lookup: lk})
+		lk.val = b.add(&gval{kind: gTableVal, ty: g.Type.Val, lookup: lk})
+		fk.lookups = append(fk.lookups, lk)
+		return lk
+	}
+
+	regFor := func(g *ir.Global) *regState {
+		if rs, ok := fk.regByName[g.Name]; ok {
+			return rs
+		}
+		rs := &regState{g: g, name: g.Name, elems: g.ElemCount(), elemTy: g.ElemType(), init: g.Init, ctrl: g.Ctrl}
+		fk.regByName[g.Name] = rs
+		fk.regs = append(fk.regs, rs)
+		return rs
+	}
+	sketchLane := func(g *ir.Global, r int) *regState {
+		name := fmt.Sprintf("%s@%d", g.Name, r)
+		if rs, ok := fk.regByName[name]; ok {
+			return rs
+		}
+		rs := &regState{g: g, name: name, elems: g.Type.Bits, elemTy: types.U32, ctrl: false}
+		fk.regByName[name] = rs
+		fk.regs = append(fk.regs, rs)
+		return rs
+	}
+	bloomLane := func(g *ir.Global, h int) *regState {
+		name := fmt.Sprintf("%s#%d", g.Name, h)
+		if rs, ok := fk.regByName[name]; ok {
+			return rs
+		}
+		rs := &regState{g: g, name: name, elems: g.Type.Bits, elemTy: types.U8, ctrl: false}
+		fk.regByName[name] = rs
+		fk.regs = append(fk.regs, rs)
+		return rs
+	}
+
+	type ctrlKeyT struct {
+		rs  *regState
+		idx *gval
+	}
+	ctrlLoads := map[ctrlKeyT]*gval{}
+	type ctrlKey = ctrlKeyT
+
+	predOf := func(blk *ir.Block) *gval {
+		p := blockCond[blk]
+		if p.kind == gConst && p.cval != 0 {
+			return nil // unconditional
+		}
+		return p
+	}
+
+	for _, blk := range order {
+		// Compute block condition from incoming edges (entry preset).
+		if _, ok := blockCond[blk]; !ok {
+			cond := b.boolConst(false)
+			for _, p := range blk.Preds {
+				ec, ok := edgeCond[cfgEdge{p, blk}]
+				if !ok {
+					return nil, fmt.Errorf("codegen: missing edge condition %s->%s", p.Name, blk.Name)
+				}
+				cond = b.or(cond, ec)
+			}
+			blockCond[blk] = cond
+		}
+		bc := blockCond[blk]
+
+		for _, in := range blk.Instrs {
+			switch in.Op {
+			case ir.Phi:
+				// φ → select chain over incoming edge conditions.
+				if len(in.Args) == 0 {
+					return nil, fmt.Errorf("codegen: empty φ")
+				}
+				res, err := val(in.Args[len(in.Args)-1])
+				if err != nil {
+					return nil, err
+				}
+				for i := len(in.Args) - 2; i >= 0; i-- {
+					av, err := val(in.Args[i])
+					if err != nil {
+						return nil, err
+					}
+					ec := edgeCond[cfgEdge{blk.Preds[i], blk}]
+					res = b.arithNode("csel", false, in.Ty, av, res, ec)
+				}
+				env[in] = res
+
+			case ir.BinOp:
+				x, err := val(in.Args[0])
+				if err != nil {
+					return nil, err
+				}
+				y, err := val(in.Args[1])
+				if err != nil {
+					return nil, err
+				}
+				op, _ := irOpName(in.Kind)
+				env[in] = b.arithNode(op, in.Ty.Signed, in.Ty, x, y)
+
+			case ir.Cmp:
+				x, err := val(in.Args[0])
+				if err != nil {
+					return nil, err
+				}
+				y, err := val(in.Args[1])
+				if err != nil {
+					return nil, err
+				}
+				op, _ := irOpName(in.Kind)
+				at := in.Args[0].Type()
+				signed := at.Kind == types.Int && at.Signed
+				env[in] = b.arithNode(op, signed, types.BoolType, x, y)
+
+			case ir.Not:
+				x, err := val(in.Args[0])
+				if err != nil {
+					return nil, err
+				}
+				env[in] = b.not(x)
+
+			case ir.Select:
+				c, err := val(in.Args[0])
+				if err != nil {
+					return nil, err
+				}
+				a, err := val(in.Args[1])
+				if err != nil {
+					return nil, err
+				}
+				d, err := val(in.Args[2])
+				if err != nil {
+					return nil, err
+				}
+				env[in] = b.arithNode("csel", false, in.Ty, a, d, c)
+
+			case ir.Convert:
+				x, err := val(in.Args[0])
+				if err != nil {
+					return nil, err
+				}
+				env[in] = b.arithNode("mov", false, in.Ty, x)
+
+			case ir.WinLoad:
+				idx, _ := ir.IsConst(in.Args[0])
+				vs := version[in.Param]
+				if int(idx) >= len(vs) {
+					return nil, fmt.Errorf("codegen: window element %d out of range for %s", idx, in.Param.Nm)
+				}
+				env[in] = vs[idx]
+
+			case ir.WinStore:
+				idx, _ := ir.IsConst(in.Args[0])
+				v, err := val(in.Args[1])
+				if err != nil {
+					return nil, err
+				}
+				vs := version[in.Param]
+				if int(idx) >= len(vs) {
+					return nil, fmt.Errorf("codegen: window element %d out of range for %s", idx, in.Param.Nm)
+				}
+				elemTy := in.Param.ElemType()
+				v = b.arithNode("mov", false, elemTy, v)
+				if p := predOf(blk); p != nil {
+					vs[idx] = b.arithNode("csel", false, elemTy, v, vs[idx], p)
+				} else {
+					vs[idx] = v
+				}
+
+			case ir.RegLoad:
+				idx, err := val(in.Args[0])
+				if err != nil {
+					return nil, err
+				}
+				rs := regFor(in.Global)
+				if in.Global.Ctrl {
+					// Control variables are switch-read-only (§4.1): every
+					// load of the same element yields the same value, so
+					// loads dedupe into one unconditional stateful read.
+					ck := ctrlKey{rs, idx}
+					if ld, ok := ctrlLoads[ck]; ok {
+						env[in] = ld
+						break
+					}
+					ld := b.add(&gval{kind: gSALUOut, ty: in.Ty})
+					rs.accesses = append(rs.accesses, &access{kind: accLoad, idx: idx, load: ld})
+					ctrlLoads[ck] = ld
+					env[in] = ld
+					break
+				}
+				ld := b.add(&gval{kind: gSALUOut, ty: in.Ty})
+				rs.accesses = append(rs.accesses, &access{kind: accLoad, idx: idx, pred: predOf(blk), load: ld})
+				env[in] = ld
+
+			case ir.RegStore:
+				idx, err := val(in.Args[0])
+				if err != nil {
+					return nil, err
+				}
+				v, err := val(in.Args[1])
+				if err != nil {
+					return nil, err
+				}
+				rs := regFor(in.Global)
+				rs.accesses = append(rs.accesses, &access{kind: accStore, idx: idx, val: v, pred: predOf(blk)})
+
+			case ir.MapFound:
+				key, err := val(in.Args[0])
+				if err != nil {
+					return nil, err
+				}
+				env[in] = lookupFor(in.Global, key).hit
+
+			case ir.MapValue:
+				key, err := val(in.Args[0])
+				if err != nil {
+					return nil, err
+				}
+				env[in] = lookupFor(in.Global, key).val
+
+			case ir.SketchAdd:
+				key, err := val(in.Args[0])
+				if err != nil {
+					return nil, err
+				}
+				amt, err := val(in.Args[1])
+				if err != nil {
+					return nil, err
+				}
+				// One counter lane per row; each row updates its hashed
+				// column once per window.
+				for r := 0; r < in.Global.Type.Hashes; r++ {
+					lane := sketchLane(in.Global, r)
+					idx := b.hashNode(key, r, in.Global.Type.Bits)
+					ld := b.add(&gval{kind: gSALUOut, ty: types.U32})
+					lane.accesses = append(lane.accesses,
+						&access{kind: accLoad, idx: idx, pred: predOf(blk), load: ld},
+						&access{kind: accStore, idx: idx, val: b.arithNode("add", false, types.U32, ld, amt), pred: predOf(blk)})
+				}
+
+			case ir.SketchEst:
+				key, err := val(in.Args[0])
+				if err != nil {
+					return nil, err
+				}
+				// Point estimate: min over per-row counters.
+				var est *gval
+				for r := 0; r < in.Global.Type.Hashes; r++ {
+					lane := sketchLane(in.Global, r)
+					idx := b.hashNode(key, r, in.Global.Type.Bits)
+					ld := b.add(&gval{kind: gSALUOut, ty: types.U32})
+					lane.accesses = append(lane.accesses, &access{kind: accLoad, idx: idx, pred: predOf(blk), load: ld})
+					if est == nil {
+						est = ld
+					} else {
+						lt := b.arithNode("lt", false, types.BoolType, ld, est)
+						est = b.arithNode("csel", false, types.U32, ld, est, lt)
+					}
+				}
+				env[in] = est
+
+			case ir.BloomAdd:
+				key, err := val(in.Args[0])
+				if err != nil {
+					return nil, err
+				}
+				for h := 0; h < in.Global.Type.Hashes; h++ {
+					lane := bloomLane(in.Global, h)
+					idx := b.hashNode(key, h, in.Global.Type.Bits)
+					lane.accesses = append(lane.accesses, &access{kind: accStore, idx: idx, val: b.cnst(types.U8, 1), pred: predOf(blk)})
+				}
+
+			case ir.BloomTest:
+				key, err := val(in.Args[0])
+				if err != nil {
+					return nil, err
+				}
+				res := b.boolConst(true)
+				for h := 0; h < in.Global.Type.Hashes; h++ {
+					lane := bloomLane(in.Global, h)
+					idx := b.hashNode(key, h, in.Global.Type.Bits)
+					ld := b.add(&gval{kind: gSALUOut, ty: types.U8})
+					lane.accesses = append(lane.accesses, &access{kind: accLoad, idx: idx, pred: predOf(blk), load: ld})
+					bit := b.arithNode("ne", false, types.BoolType, ld, b.cnst(types.U8, 0))
+					res = b.and(res, bit)
+				}
+				env[in] = res
+
+			case ir.WinMeta:
+				ty := metaType(in.Field, winFields)
+				env[in] = b.metaNode(in.Field, ty)
+
+			case ir.LocMeta:
+				env[in] = b.metaNode("$loc", types.U32)
+
+			case ir.Fwd:
+				kindVal := uint64(0)
+				switch in.Field {
+				case "pass":
+					kindVal = 0
+				case "drop":
+					kindVal = 1
+				case "reflect":
+					kindVal = 2
+				case "bcast":
+					kindVal = 3
+				}
+				kv := b.cnst(types.U32, kindVal)
+				lv := b.cnst(types.U32, 0) // 0 = no label
+				if in.Label != "" {
+					lv = b.cnst(types.U32, labels.Intern(in.Label))
+				}
+				if p := predOf(blk); p != nil {
+					fk.fwd = b.arithNode("csel", false, types.U32, kv, fk.fwd, p)
+					fk.fwdLabel = b.arithNode("csel", false, types.U32, lv, fk.fwdLabel, p)
+				} else {
+					fk.fwd = kv
+					fk.fwdLabel = lv
+				}
+
+			case ir.Br, ir.CondBr, ir.Ret:
+				// Terminators handled below.
+
+			default:
+				return nil, fmt.Errorf("codegen: unsupported op %s", in.Op)
+			}
+		}
+
+		// Edge conditions from this block's terminator.
+		t := blk.Term()
+		switch t.Op {
+		case ir.Br:
+			accumEdge(cfgEdge{blk, t.Target}, bc)
+		case ir.CondBr:
+			c, err := val(t.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			accumEdge(cfgEdge{blk, t.Target}, b.and(bc, c))
+			accumEdge(cfgEdge{blk, t.Else}, b.and(bc, b.not(c)))
+		}
+	}
+
+	// Final window versions.
+	for p, vs := range version {
+		fk.paramFinal[p] = vs
+	}
+	return fk, nil
+}
+
+func metaType(field string, winFields []ir.WinField) *types.Type {
+	if t, ok := sema.WindowBuiltinFields[field]; ok {
+		return t
+	}
+	for _, wf := range winFields {
+		if wf.Name == field {
+			return wf.Type
+		}
+	}
+	return types.U32
+}

@@ -1,0 +1,213 @@
+package codegen
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ncl/internal/ncl/interp"
+	"ncl/internal/ncl/ir"
+	"ncl/internal/ncl/lower"
+	"ncl/internal/ncl/parser"
+	"ncl/internal/ncl/passes"
+	"ncl/internal/ncl/sema"
+	"ncl/internal/ncl/source"
+	"ncl/internal/pisa"
+)
+
+// TestDifferentialLong is the deep fuzzing session: set NCL_LONG_FUZZ to
+// a trial count (e.g. 2000) to run it. It generates richer kernels than
+// the in-suite fuzzers — maps, blooms, sketches, helpers, memcpy, window
+// metadata, nested control flow with break/continue — and requires
+// interpreter/pipeline agreement on windows, decisions, and state.
+func TestDifferentialLong(t *testing.T) {
+	trialsStr := os.Getenv("NCL_LONG_FUZZ")
+	if trialsStr == "" {
+		t.Skip("set NCL_LONG_FUZZ=<trials> to run the long differential fuzz")
+	}
+	trials, err := strconv.Atoi(trialsStr)
+	if err != nil || trials <= 0 {
+		t.Fatalf("bad NCL_LONG_FUZZ value %q", trialsStr)
+	}
+	seed := int64(1)
+	if s := os.Getenv("NCL_LONG_FUZZ_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad seed %q", s)
+		}
+		seed = v
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	rejected := 0
+	for trial := 0; trial < trials; trial++ {
+		W := []int{1, 2, 4, 8}[rng.Intn(4)]
+		src := genKernel(rng, W)
+
+		var diags source.DiagList
+		file := parser.ParseSource("f.ncl", src, &diags)
+		info := sema.Check(file, &diags)
+		if diags.HasErrors() {
+			t.Fatalf("trial %d: generator produced invalid source: %v\n%s", trial, diags.Err(), src)
+		}
+		m := lower.Lower("f", info, W, &diags)
+		if diags.HasErrors() {
+			t.Fatalf("trial %d: lowering: %v\n%s", trial, diags.Err(), src)
+		}
+		passes.Optimize(m)
+		if err := ir.Verify(m); err != nil {
+			t.Fatalf("trial %d: verify: %v\n%s", trial, err, src)
+		}
+		target := pisa.DefaultTarget()
+		p, err := Compile(m, Options{Target: target, KernelIDs: map[string]uint32{"k": 1}})
+		if err != nil {
+			rejected++
+			continue // resource rejection is legitimate
+		}
+		sw := pisa.NewSwitch(target)
+		if err := sw.Load(p); err != nil {
+			t.Fatalf("trial %d: load: %v\n%s", trial, err, src)
+		}
+		f := m.FuncByName("k")
+		ist := interp.NewState(m)
+		mg := m.GlobalByName("M")
+		for e := 0; e < 6; e++ {
+			key, val := uint64(rng.Intn(24)), uint64(rng.Intn(16))
+			if ist.MapInsert(mg, key, val) == nil {
+				if err := sw.InstallEntry("M", key, val); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		stG := m.GlobalByName("st")
+
+		for wt := 0; wt < 8; wt++ {
+			wi := interp.NewWindow(f)
+			wp := interp.NewWindow(f)
+			for pi := range wi.Data {
+				for i := range wi.Data[pi] {
+					v := uint64(rng.Int63n(1 << 14))
+					wi.Data[pi][i], wp.Data[pi][i] = v, v
+				}
+			}
+			meta := map[string]uint64{"seq": uint64(rng.Intn(8)), "from": uint64(rng.Intn(3))}
+			for k, v := range meta {
+				wi.Meta[k], wp.Meta[k] = v, v
+			}
+			di, err := interp.Exec(f, ist, wi)
+			if err != nil {
+				t.Fatalf("trial %d: interp: %v\n%s", trial, err, src)
+			}
+			dp, err := sw.ExecWindow(1, wp)
+			if err != nil {
+				t.Fatalf("trial %d: pisa: %v\n%s", trial, err, src)
+			}
+			if di.Kind != dp.Kind || di.Label != dp.Label {
+				t.Fatalf("trial %d: decision %v/%q vs %v/%q\n%s", trial, di.Kind, di.Label, dp.Kind, dp.Label, src)
+			}
+			for pi := range wi.Data {
+				for i := range wi.Data[pi] {
+					if wi.Data[pi][i] != wp.Data[pi][i] {
+						t.Fatalf("trial %d: window[%d][%d] %d vs %d\n%s\nIR:\n%s",
+							trial, pi, i, wi.Data[pi][i], wp.Data[pi][i], src, m.FuncByName("k"))
+					}
+				}
+			}
+			for i := 0; i < 16; i++ {
+				pv := readState(sw, "st", i)
+				if ist.Regs[stG][i] != pv {
+					t.Fatalf("trial %d: st[%d] %d vs %d\n%s", trial, i, ist.Regs[stG][i], pv, src)
+				}
+			}
+		}
+	}
+	t.Logf("long fuzz: %d trials, %d rejected by resource limits (%.1f%%)",
+		trials, rejected, 100*float64(rejected)/float64(trials))
+}
+
+// genKernel produces one random valid kernel over a fixed state shape.
+func genKernel(rng *rand.Rand, W int) string {
+	arith := []string{"+", "-", "*", "&", "|", "^"}
+	cmps := []string{"<", ">", "==", "!=", "<=", ">="}
+	var expr func(d int) string
+	expr = func(d int) string {
+		if d <= 0 || rng.Intn(3) == 0 {
+			switch rng.Intn(6) {
+			case 0:
+				return fmt.Sprintf("a[%d]", rng.Intn(W))
+			case 1:
+				return fmt.Sprintf("(int)key")
+			case 2:
+				return fmt.Sprintf("%d", rng.Intn(64))
+			case 3:
+				return "(int)window.seq"
+			case 4:
+				return "(int)window.from"
+			default:
+				return "(int)flag"
+			}
+		}
+		if rng.Intn(7) == 0 {
+			return fmt.Sprintf("(%s %s %s ? %s : %s)",
+				expr(d-1), cmps[rng.Intn(len(cmps))], expr(d-1), expr(d-1), expr(d-1))
+		}
+		return fmt.Sprintf("(%s %s %s)", expr(d-1), arith[rng.Intn(len(arith))], expr(d-1))
+	}
+	var stmts func(depth, n int) string
+	stmts = func(depth, n int) string {
+		var b strings.Builder
+		for s := 0; s < n; s++ {
+			switch rng.Intn(10) {
+			case 0, 1:
+				fmt.Fprintf(&b, "a[%d] = %s;\n", rng.Intn(W), expr(2))
+			case 2:
+				fmt.Fprintf(&b, "st[(unsigned)(%s) %% 16] += %s;\n", expr(1), expr(1))
+			case 3:
+				fmt.Fprintf(&b, "if (auto *i = M[key]) { a[%d] = (int)*i %s %s; }\n",
+					rng.Intn(W), arith[rng.Intn(len(arith))], expr(1))
+			case 4:
+				fmt.Fprintf(&b, "if (seen.test(key %% %d)) a[%d] = %s; else seen.add(key %% %d);\n",
+					2+rng.Intn(8), rng.Intn(W), expr(1), 2+rng.Intn(8))
+			case 5:
+				fmt.Fprintf(&b, "cm.add(key, (unsigned)(%s) & 7);\na[%d] = (int)cm.estimate(key);\n",
+					expr(1), rng.Intn(W))
+			case 6:
+				cond := fmt.Sprintf("%s %s %s", expr(1), cmps[rng.Intn(len(cmps))], expr(1))
+				if depth > 0 {
+					fmt.Fprintf(&b, "if (%s) {\n%s} else {\n%s}\n", cond,
+						stmts(depth-1, 1+rng.Intn(2)), stmts(depth-1, 1))
+				} else {
+					fmt.Fprintf(&b, "if (%s) a[%d] = %s;\n", cond, rng.Intn(W), expr(1))
+				}
+			case 7:
+				fmt.Fprintf(&b, "a[%d] = mix(%s, %s);\n", rng.Intn(W), expr(1), expr(1))
+			case 8:
+				switch rng.Intn(4) {
+				case 0:
+					fmt.Fprintf(&b, "if (%s > %s) _drop();\n", expr(1), expr(1))
+				case 1:
+					fmt.Fprintf(&b, "if (%s < %s) _reflect();\n", expr(1), expr(1))
+				case 2:
+					fmt.Fprintf(&b, "if (%s == %s) _pass(\"alt\");\n", expr(1), expr(1))
+				default:
+					fmt.Fprintf(&b, "if (%s != %s) _bcast();\n", expr(1), expr(1))
+				}
+			case 9:
+				fmt.Fprintf(&b, "for (unsigned i = 0; i < window.len; ++i) { if (a[0] == %d) break; a[0] ^= (int)i; }\n",
+					rng.Intn(9))
+			}
+		}
+		return b.String()
+	}
+	return `
+_net_ int st[16] = {0};
+_net_ ncl::Map<uint64_t, uint8_t, 16> M;
+_net_ ncl::Bloom<512, 2> seen;
+_net_ ncl::CountMin<128, 2> cm;
+int mix(int x, int y) { if (x > y) return x - y; return x + y; }
+_net_ _out_ void k(int *a, uint64_t key, bool flag) {
+` + stmts(2, 3+rng.Intn(5)) + "}\n"
+}

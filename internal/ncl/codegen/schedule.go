@@ -1,0 +1,223 @@
+package codegen
+
+import (
+	"fmt"
+	"sort"
+
+	"ncl/internal/ncl/types"
+	"ncl/internal/pisa"
+)
+
+// unit is one schedulable entity: a VLIW op, a table application, a
+// stateful cluster, or a final writeback mov.
+type unit struct {
+	kind    unitKind
+	node    *gval        // arith node (uVLIW)
+	lookup  *tableLookup // uTable
+	cluster *cluster     // uSALU
+	// uFinal: write src into dstField at the end.
+	src      *gval
+	dstField pisa.FieldRef
+	// scheduling
+	deps     []*unit
+	minSlots []*unit // units we must not precede (same-slot allowed)
+	slot     int
+}
+
+type unitKind int
+
+const (
+	uVLIW unitKind = iota
+	uTable
+	uSALU
+	uFinal
+)
+
+// scheduler assigns units to absolute slots (pass*Stages + stage) under
+// the target's resource model. Register arrays and tables are pinned to a
+// stage (mod Stages) program-wide via the shared pin map.
+type scheduler struct {
+	target pisa.TargetConfig
+	pins   map[string]int // resource name -> stage
+
+	vliwCount  map[int]int
+	saluCount  map[int]int
+	tableCount map[int]int
+	resPass    map[string]map[int]bool // resource -> pass set used
+	maxSlot    int
+}
+
+func newScheduler(target pisa.TargetConfig, pins map[string]int) *scheduler {
+	return &scheduler{
+		target:     target,
+		pins:       pins,
+		vliwCount:  map[int]int{},
+		saluCount:  map[int]int{},
+		tableCount: map[int]int{},
+		resPass:    map[string]map[int]bool{},
+	}
+}
+
+func (s *scheduler) slotLimit() int { return (s.target.MaxRecirc + 1) * s.target.Stages }
+
+// place assigns a slot to u. Units must be placed in dependency order.
+func (s *scheduler) place(u *unit) error {
+	earliest := 0
+	for _, d := range u.deps {
+		if d.slot+1 > earliest {
+			earliest = d.slot + 1
+		}
+	}
+	for _, d := range u.minSlots {
+		if d.slot > earliest {
+			earliest = d.slot
+		}
+	}
+	switch u.kind {
+	case uVLIW, uFinal:
+		for slot := earliest; slot < s.slotLimit(); slot++ {
+			if s.vliwCount[slot] < s.target.ActionsPerStage {
+				s.vliwCount[slot]++
+				u.slot = slot
+				s.note(slot)
+				return nil
+			}
+		}
+		return fmt.Errorf("kernel does not fit the pipeline: a value is first available at slot %d but only %d stage slots exist across %d passes",
+			earliest, s.slotLimit(), s.target.MaxRecirc+1)
+	case uTable:
+		return s.placePinned(u, "table:"+u.lookup.g.Name, earliest, s.tableCount, s.target.TablesPerStage)
+	case uSALU:
+		return s.placePinned(u, "reg:"+u.cluster.reg.name, earliest, s.saluCount, s.target.SALUsPerStage)
+	}
+	return fmt.Errorf("unknown unit kind")
+}
+
+// placePinned places a unit whose resource is pinned to one stage
+// (mod Stages) and usable once per pass.
+func (s *scheduler) placePinned(u *unit, res string, earliest int, count map[int]int, cap int) error {
+	stages := s.target.Stages
+	passes := s.resPass[res]
+	if passes == nil {
+		passes = map[int]bool{}
+		s.resPass[res] = passes
+	}
+	if pin, ok := s.pins[res]; ok {
+		for slot := earliest; slot < s.slotLimit(); slot++ {
+			if slot%stages != pin {
+				continue
+			}
+			if passes[slot/stages] {
+				continue // one access per pass
+			}
+			if count[slot] >= cap {
+				continue
+			}
+			count[slot]++
+			passes[slot/stages] = true
+			u.slot = slot
+			s.note(slot)
+			return nil
+		}
+		return fmt.Errorf("resource %s (pinned to stage %d) has no free pass within the recirculation budget", res, pin)
+	}
+	for slot := earliest; slot < s.slotLimit(); slot++ {
+		if passes[slot/stages] {
+			continue
+		}
+		if count[slot] >= cap {
+			continue
+		}
+		count[slot]++
+		passes[slot/stages] = true
+		s.pins[res] = slot % stages
+		u.slot = slot
+		s.note(slot)
+		return nil
+	}
+	return fmt.Errorf("no capacity to place %s within the recirculation budget", res)
+}
+
+func (s *scheduler) note(slot int) {
+	if slot > s.maxSlot {
+		s.maxSlot = slot
+	}
+}
+
+// buildKernel lowers a scheduled flat kernel into a pisa.Kernel.
+type kernelBuilder struct {
+	fk      *flatKernel
+	fields  []pisa.Field
+	fieldOf map[*gval]pisa.FieldRef
+	units   []*unit
+	unitOf  map[*gval]*unit // producer unit per materialized node
+}
+
+// newField allocates a PHV field.
+func (kb *kernelBuilder) newField(name string, ty *types.Type) pisa.FieldRef {
+	kb.fields = append(kb.fields, pisa.Field{Name: name, Bits: ty.BitWidth(), Signed: ty.Kind == types.Int && ty.Signed})
+	return pisa.FieldRef(len(kb.fields) - 1)
+}
+
+// operandOf converts a node into a pisa operand (const or field).
+func (kb *kernelBuilder) operandOf(n *gval) pisa.Operand {
+	if n.kind == gConst {
+		return pisa.ConstOperand(n.cval)
+	}
+	f, ok := kb.fieldOf[n]
+	if !ok {
+		panic(fmt.Sprintf("codegen: node %d has no field", n.id))
+	}
+	return pisa.FieldOperand(f)
+}
+
+// sortUnitsTopological orders units so dependencies come first.
+func sortUnitsTopological(units []*unit) ([]*unit, error) {
+	state := map[*unit]int{}
+	var out []*unit
+	var visit func(u *unit) error
+	visit = func(u *unit) error {
+		switch state[u] {
+		case 1:
+			return fmt.Errorf("codegen: cyclic unit dependency")
+		case 2:
+			return nil
+		}
+		state[u] = 1
+		for _, d := range u.deps {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		// minSlot constraints are not dependencies for ordering purposes,
+		// but placing readers first keeps their slots known; they are
+		// added as deps during construction where required.
+		state[u] = 2
+		out = append(out, u)
+		return nil
+	}
+	// Deterministic iteration.
+	us := make([]*unit, len(units))
+	copy(us, units)
+	sort.SliceStable(us, func(i, j int) bool { return unitOrder(us[i]) < unitOrder(us[j]) })
+	for _, u := range us {
+		if err := visit(u); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func unitOrder(u *unit) int {
+	switch u.kind {
+	case uVLIW:
+		return u.node.id
+	case uTable:
+		return u.lookup.key.id
+	case uSALU:
+		return u.cluster.idx.id
+	case uFinal:
+		return 1 << 30
+	}
+	return 0
+}

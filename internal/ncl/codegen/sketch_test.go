@@ -1,0 +1,132 @@
+package codegen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ncl/internal/ncl/interp"
+	"ncl/internal/pisa"
+)
+
+// TestSketchCompilesAndCounts: the ncl::CountMin extension end to end —
+// per-row lanes with hash units, point estimates as min-over-rows.
+func TestSketchCompilesAndCounts(t *testing.T) {
+	src := `
+_net_ ncl::CountMin<512, 4> cm;
+_net_ _out_ void k(uint64_t key, unsigned amount, unsigned *est) {
+    cm.add(key, amount);
+    est[0] = cm.estimate(key);
+}
+`
+	m := buildModule(t, src, 1)
+	target := pisa.DefaultTarget()
+	p := compileProgram(t, m, target)
+
+	lanes := 0
+	for _, r := range p.Registers {
+		if strings.HasPrefix(r.Name, "cm@") {
+			lanes++
+			if r.Elems != 512 || r.Bits != 32 {
+				t.Errorf("lane shape wrong: %+v", r)
+			}
+		}
+	}
+	if lanes != 4 {
+		t.Fatalf("want 4 sketch rows, got %d", lanes)
+	}
+
+	sw := loadSwitch(t, p, target)
+	f := m.FuncByName("k")
+	run := func(key, amount uint64) uint64 {
+		win := interp.NewWindow(f)
+		win.Data[0][0] = key
+		win.Data[1][0] = amount
+		if _, err := sw.ExecWindow(1, win); err != nil {
+			t.Fatal(err)
+		}
+		return win.Data[2][0]
+	}
+	if got := run(7, 5); got != 5 {
+		t.Errorf("first add: estimate = %d, want 5", got)
+	}
+	if got := run(7, 3); got != 8 {
+		t.Errorf("second add: estimate = %d, want 8", got)
+	}
+	if got := run(9, 1); got != 1 {
+		t.Errorf("fresh key: estimate = %d, want 1 (low collision odds in 512x4)", got)
+	}
+}
+
+// TestDifferentialSketch: the interpreter and the pipeline agree on
+// sketch contents and estimates over random workloads.
+func TestDifferentialSketch(t *testing.T) {
+	src := `
+_net_ ncl::CountMin<256, 3> cm;
+_net_ _out_ void k(uint64_t key, unsigned amount, unsigned *est, bool query) {
+    if (!query) cm.add(key, amount);
+    est[0] = cm.estimate(key);
+}
+`
+	m := buildModule(t, src, 1)
+	target := pisa.DefaultTarget()
+	p := compileProgram(t, m, target)
+	sw := loadSwitch(t, p, target)
+	f := m.FuncByName("k")
+	ist := interp.NewState(m)
+
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 400; i++ {
+		key := uint64(rng.Intn(64))
+		amt := uint64(rng.Intn(10))
+		query := uint64(rng.Intn(2))
+		wi := interp.NewWindow(f)
+		wp := interp.NewWindow(f)
+		wi.Data[0][0], wp.Data[0][0] = key, key
+		wi.Data[1][0], wp.Data[1][0] = amt, amt
+		wi.Data[3][0], wp.Data[3][0] = query, query
+		if _, err := interp.Exec(f, ist, wi); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sw.ExecWindow(1, wp); err != nil {
+			t.Fatal(err)
+		}
+		if wi.Data[2][0] != wp.Data[2][0] {
+			t.Fatalf("step %d key %d: estimate diverged: interp %d vs pisa %d",
+				i, key, wi.Data[2][0], wp.Data[2][0])
+		}
+	}
+}
+
+// TestSketchEstimateNeverUndercounts: the count-min property (estimates
+// are upper bounds of true counts) holds through the compiled pipeline.
+func TestSketchEstimateNeverUndercounts(t *testing.T) {
+	src := `
+_net_ ncl::CountMin<128, 3> cm;
+_net_ _out_ void k(uint64_t key, unsigned *est) {
+    cm.add(key, 1);
+    est[0] = cm.estimate(key);
+}
+`
+	m := buildModule(t, src, 1)
+	target := pisa.DefaultTarget()
+	p := compileProgram(t, m, target)
+	sw := loadSwitch(t, p, target)
+	f := m.FuncByName("k")
+
+	rng := rand.New(rand.NewSource(17))
+	truth := map[uint64]uint64{}
+	for i := 0; i < 500; i++ {
+		key := uint64(rng.Intn(300)) // heavy collisions in a 128-col sketch
+		truth[key]++
+		win := interp.NewWindow(f)
+		win.Data[0][0] = key
+		if _, err := sw.ExecWindow(1, win); err != nil {
+			t.Fatal(err)
+		}
+		if win.Data[1][0] < truth[key] {
+			t.Fatalf("count-min undercounted key %d: estimate %d < true %d",
+				key, win.Data[1][0], truth[key])
+		}
+	}
+}

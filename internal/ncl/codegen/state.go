@@ -1,0 +1,582 @@
+package codegen
+
+import (
+	"fmt"
+
+	"ncl/internal/ncl/types"
+	"ncl/internal/pisa"
+)
+
+// cluster is one stateful-ALU access: all loads/stores to one register
+// array (or lane) at one index value, fused into a micro-program.
+type cluster struct {
+	reg    *regState
+	idx    *gval
+	accs   []*access
+	pred   *gval // OR of access predicates; nil when the SALU runs unconditionally
+	export *gval // the single value escaping to the PHV (nil if none)
+
+	// prev chains clusters on the same array in program order; the
+	// scheduler keeps the chain in distinct, ordered pipeline passes.
+	prev *cluster
+
+	// Analysis results from assignExports.
+	owner    map[*gval]*cluster // load node -> owning cluster
+	internal map[*gval]bool     // nodes computed inside the micro-program
+
+	// After micro synthesis:
+	prog []pisa.MicroOp
+	// PHV operand dependencies (gvals read by the micro program or index).
+	deps []*gval
+}
+
+// partitionState groups every register's accesses into clusters, applying
+// lane partitioning where the affine pattern allows. It mutates
+// fk.regs/regByName to the final register set (lanes replace split
+// originals) and returns the clusters.
+//
+// Soundness: two accesses may only fuse into one cluster when they share
+// the same index SSA value, and a cluster may only be hoisted past other
+// accesses to the same array when the indices provably never alias (lane
+// partitioning guarantees disjointness by construction). Otherwise
+// clusters are chained in program order across recirculation passes,
+// which preserves sequential semantics even under dynamic aliasing.
+func partitionState(fk *flatKernel) ([]*cluster, error) {
+	var clusters []*cluster
+	finalRegs := []*regState{}
+	for _, rs := range fk.regs {
+		if len(rs.accesses) == 0 {
+			finalRegs = append(finalRegs, rs)
+			continue
+		}
+		runs := groupRuns(rs.accesses)
+		if len(runs) == 1 {
+			finalRegs = append(finalRegs, rs)
+			clusters = append(clusters, &cluster{reg: rs, idx: runs[0][0].idx, accs: runs[0]})
+			continue
+		}
+		// Static scatter: when every index is a compile-time constant,
+		// each distinct slot becomes its own single-element lane —
+		// provably disjoint, no recirculation needed.
+		if lanes, ok := tryConstLanes(fk.builder, rs, runs); ok {
+			for _, lane := range lanes.ordered {
+				finalRegs = append(finalRegs, lane)
+				clusters = append(clusters, &cluster{reg: lane, idx: lane.accesses[0].idx, accs: lane.accesses})
+			}
+			continue
+		}
+		// Affine lane partitioning merges runs with the same constant
+		// offset: lanes are disjoint arrays, so cross-lane order is free.
+		if lanes, ok := tryLanes(rs, runs); ok {
+			for _, lane := range lanes.ordered {
+				finalRegs = append(finalRegs, lane)
+				clusters = append(clusters, &cluster{reg: lane, idx: lane.accesses[0].idx, accs: lane.accesses})
+			}
+			continue
+		}
+		// Fallback: one cluster per consecutive run, chained in program
+		// order; the scheduler places each in its own pipeline pass.
+		finalRegs = append(finalRegs, rs)
+		var prev *cluster
+		for _, g := range runs {
+			c := &cluster{reg: rs, idx: g[0].idx, accs: g, prev: prev}
+			clusters = append(clusters, c)
+			prev = c
+		}
+	}
+	fk.regs = finalRegs
+	fk.regByName = map[string]*regState{}
+	for _, rs := range finalRegs {
+		fk.regByName[rs.name] = rs
+	}
+	return clusters, nil
+}
+
+// groupRuns splits accesses into maximal consecutive runs sharing the same
+// index node. Only consecutive merging is sound in general: accesses with
+// different index expressions may alias at runtime, so program order
+// across runs must be preserved.
+func groupRuns(accs []*access) [][]*access {
+	var runs [][]*access
+	for _, a := range accs {
+		if n := len(runs); n > 0 && runs[n-1][0].idx == a.idx {
+			runs[n-1] = append(runs[n-1], a)
+			continue
+		}
+		runs = append(runs, []*access{a})
+	}
+	return runs
+}
+
+type laneSet struct {
+	ordered []*regState
+}
+
+// tryConstLanes splits an array whose accesses all use compile-time
+// constant indices into one single-element lane per distinct slot; runs
+// hitting the same slot merge in program order.
+func tryConstLanes(b *builder, rs *regState, runs [][]*access) (*laneSet, bool) {
+	if rs.ctrl {
+		return nil, false
+	}
+	for _, g := range runs {
+		if g[0].idx.kind != gConst {
+			return nil, false
+		}
+	}
+	ls := &laneSet{}
+	laneByIdx := map[uint64]*regState{}
+	for _, g := range runs {
+		c := g[0].idx.cval
+		if c >= uint64(rs.elems) {
+			return nil, false // out of range: leave for the runtime trap
+		}
+		lane, ok := laneByIdx[c]
+		if !ok {
+			lane = &regState{
+				g:      rs.g,
+				name:   fmt.Sprintf("%s$%d", rs.name, c),
+				elems:  1,
+				elemTy: rs.elemTy,
+				ctrl:   rs.ctrl,
+			}
+			if int(c) < len(rs.init) {
+				lane.init = []uint64{rs.init[c]}
+			}
+			laneByIdx[c] = lane
+			ls.ordered = append(ls.ordered, lane)
+		}
+		lane.accesses = append(lane.accesses, g...)
+	}
+	// Rewrite every access index to the lane-local slot 0 (one shared
+	// node, preserving the same-index-per-cluster invariant).
+	for _, lane := range ls.ordered {
+		zero := b.cnst(lane.accesses[0].idx.ty, 0)
+		for _, a := range lane.accesses {
+			a.idx = zero
+		}
+	}
+	return ls, true
+}
+
+// tryLanes attempts the affine decomposition: every run's index must be
+// dyn*S + c with one shared dyn and S, and offsets c < S. Runs sharing an
+// offset merge into the same lane (lanes are disjoint, so reordering
+// across lanes cannot alias). On success the array is split into
+// per-offset lanes of ceil(elems/S) entries, with initializer values
+// redistributed.
+func tryLanes(rs *regState, runs [][]*access) (*laneSet, bool) {
+	if rs.ctrl {
+		// Lane-splitting a _ctrl_ array would hide its layout from the
+		// control plane; fall back to recirculation.
+		return nil, false
+	}
+	var dyn *gval
+	var S uint64
+	offsets := make([]uint64, 0, len(runs))
+	for _, g := range runs {
+		d, ok := decompose(g[0].idx)
+		if !ok {
+			return nil, false
+		}
+		if dyn == nil {
+			dyn, S = d.dyn, d.S
+		} else if d.dyn != dyn || d.S != S {
+			return nil, false
+		}
+		offsets = append(offsets, d.c)
+	}
+	if S == 0 {
+		return nil, false
+	}
+	for _, c := range offsets {
+		if c >= S {
+			return nil, false
+		}
+	}
+	laneElems := (rs.elems + int(S) - 1) / int(S)
+	if laneElems == 0 {
+		laneElems = 1
+	}
+	ls := &laneSet{}
+	laneByOffset := map[uint64]*regState{}
+	for gi, g := range runs {
+		c := offsets[gi]
+		lane, ok := laneByOffset[c]
+		if !ok {
+			lane = &regState{
+				g:      rs.g,
+				name:   fmt.Sprintf("%s$%d", rs.name, c),
+				elems:  laneElems,
+				elemTy: rs.elemTy,
+				ctrl:   rs.ctrl,
+			}
+			if len(rs.init) > 0 {
+				lane.init = make([]uint64, laneElems)
+				for j := 0; j < laneElems; j++ {
+					src := j*int(S) + int(c)
+					if src < len(rs.init) {
+						lane.init[j] = rs.init[src]
+					}
+				}
+			}
+			laneByOffset[c] = lane
+			ls.ordered = append(ls.ordered, lane)
+		}
+		// Rewrite access indices to the lane-local index (dyn).
+		for _, a := range g {
+			a.idx = dyn
+		}
+		lane.accesses = append(lane.accesses, g...)
+	}
+	return ls, true
+}
+
+type affine struct {
+	dyn *gval
+	S   uint64
+	c   uint64
+}
+
+// decompose matches idx against dyn*S + c (also bare dyn*S, meaning c=0).
+func decompose(idx *gval) (affine, bool) {
+	if idx.kind == gArith && idx.op == "add" {
+		a, b := idx.args[0], idx.args[1]
+		if b.kind == gConst {
+			if d, ok := mulDecompose(a); ok {
+				return affine{d.dyn, d.S, b.cval}, true
+			}
+		}
+		if a.kind == gConst {
+			if d, ok := mulDecompose(b); ok {
+				return affine{d.dyn, d.S, a.cval}, true
+			}
+		}
+		return affine{}, false
+	}
+	if d, ok := mulDecompose(idx); ok {
+		return d, true
+	}
+	return affine{}, false
+}
+
+func mulDecompose(v *gval) (affine, bool) {
+	if v.kind == gArith && v.op == "mul" {
+		a, b := v.args[0], v.args[1]
+		if b.kind == gConst && b.cval > 0 {
+			return affine{dyn: a, S: b.cval}, true
+		}
+		if a.kind == gConst && a.cval > 0 {
+			return affine{dyn: b, S: a.cval}, true
+		}
+	}
+	return affine{}, false
+}
+
+// isSlotted reports whether v already has a micro slot.
+func isSlotted(slotOf map[*gval]pisa.MSlot, v *gval) bool {
+	_, ok := slotOf[v]
+	return ok
+}
+
+// simpleMicroOp reports whether op is a two-operand ALU op that can write
+// straight into the register slot.
+func simpleMicroOp(op string) bool {
+	switch op {
+	case "add", "sub", "mul", "div", "mod", "and", "or", "xor", "shl", "shr":
+		return true
+	}
+	return false
+}
+
+// synthesize builds the stateful micro-program for the cluster: loads bind
+// the running register value to temp slots, stores fold their value (and
+// predicate) into select chains, and at most one internal value may be
+// exported to the PHV. External values become PHV-field operands recorded
+// in c.deps.
+func (c *cluster) synthesize(b *builder, maxOps int) error {
+	// Which nodes must be computed inside the micro-program? Everything on
+	// a path from a cluster load to a store value/predicate.
+	loadSet := map[*gval]bool{}
+	for _, a := range c.accs {
+		if a.kind == accLoad {
+			loadSet[a.load] = true
+		}
+	}
+	dependsOnLoad := map[*gval]bool{}
+	var dep func(v *gval) bool
+	dep = func(v *gval) bool {
+		if loadSet[v] {
+			return true
+		}
+		if d, ok := dependsOnLoad[v]; ok {
+			return d
+		}
+		dependsOnLoad[v] = false // break cycles (none exist: DAG)
+		d := false
+		if v.kind == gArith {
+			for _, a := range v.args {
+				if dep(a) {
+					d = true
+				}
+			}
+		}
+		dependsOnLoad[v] = d
+		return d
+	}
+
+	var prog []pisa.MicroOp
+	nextTmp := pisa.MTmp0
+	slotOf := map[*gval]pisa.MSlot{}
+	var freeTmps []pisa.MSlot
+	var freshThisAccess []*gval // tmp-backed nodes allocated for the current access
+	var depsSeen = map[*gval]bool{}
+	addDep := func(v *gval) {
+		if !depsSeen[v] && v.kind != gConst {
+			depsSeen[v] = true
+			c.deps = append(c.deps, v)
+		}
+	}
+
+	allocTmp := func() (pisa.MSlot, error) {
+		if n := len(freeTmps); n > 0 {
+			t := freeTmps[n-1]
+			freeTmps = freeTmps[:n-1]
+			return t, nil
+		}
+		if nextTmp > pisa.MTmp3 {
+			return 0, fmt.Errorf("stateful program on %s needs more than 4 temporaries; accumulate per-window values in a local and update the state once", c.reg.name)
+		}
+		t := nextTmp
+		nextTmp++
+		return t, nil
+	}
+
+	// operandFor translates a value into a micro operand; values not
+	// depending on cluster loads become PHV operands (scheduled earlier).
+	var emit func(v *gval) (pisa.MOperand, error)
+	operandFor := func(v *gval) (pisa.MOperand, error) {
+		if v.kind == gConst {
+			return pisa.ImmOperand(v.cval), nil
+		}
+		if s, ok := slotOf[v]; ok {
+			return pisa.SlotOperand(s), nil
+		}
+		if dep(v) {
+			return emit(v)
+		}
+		addDep(v)
+		// Field refs are patched at emission; reference by graph node.
+		return pisa.MOperand{Kind: pisa.MFromField, Field: pisa.FieldRef(v.id)}, nil
+	}
+	emit = func(v *gval) (pisa.MOperand, error) {
+		if s, ok := slotOf[v]; ok {
+			return pisa.SlotOperand(s), nil
+		}
+		if v.kind != gArith {
+			return pisa.MOperand{}, fmt.Errorf("stateful program on %s: unsupported internal node", c.reg.name)
+		}
+		// Inside the SALU every slot has the register's width; mixing
+		// widths would diverge from the IR semantics.
+		if v.ty.Kind != types.Invalid && v.ty.BitWidth() != c.reg.elemTy.BitWidth() && v.ty.Kind != types.Bool {
+			return pisa.MOperand{}, fmt.Errorf("stateful program on %s mixes %d-bit values with the %d-bit register; keep per-element state updates width-uniform",
+				c.reg.name, v.ty.BitWidth(), c.reg.elemTy.BitWidth())
+		}
+		t, err := allocTmp()
+		if err != nil {
+			return pisa.MOperand{}, err
+		}
+		freshThisAccess = append(freshThisAccess, v)
+		mo := pisa.MicroOp{Dst: t, Op: v.op, Signed: v.signed}
+		switch v.op {
+		case "mov", "not":
+			a, err := operandFor(v.args[0])
+			if err != nil {
+				return pisa.MOperand{}, err
+			}
+			mo.A = a
+			if v.op == "not" {
+				// not x == (x == 0)
+				mo.Op = "eq"
+				mo.B = pisa.ImmOperand(0)
+			}
+		case "csel":
+			a, err := operandFor(v.args[0])
+			if err != nil {
+				return pisa.MOperand{}, err
+			}
+			d, err := operandFor(v.args[1])
+			if err != nil {
+				return pisa.MOperand{}, err
+			}
+			cc, err := operandFor(v.args[2])
+			if err != nil {
+				return pisa.MOperand{}, err
+			}
+			mo.Op, mo.A, mo.B, mo.C = "sel", a, d, cc
+		case "hash":
+			return pisa.MOperand{}, fmt.Errorf("stateful program on %s: hash cannot nest in a stateful op", c.reg.name)
+		default:
+			a, err := operandFor(v.args[0])
+			if err != nil {
+				return pisa.MOperand{}, err
+			}
+			bb, err := operandFor(v.args[1])
+			if err != nil {
+				return pisa.MOperand{}, err
+			}
+			mo.A, mo.B = a, bb
+		}
+		prog = append(prog, mo)
+		slotOf[v] = t
+		return pisa.SlotOperand(t), nil
+	}
+
+	// refs reports whether root's expression tree references n without
+	// crossing out of the must-internal set (external nodes read the PHV,
+	// not micro slots).
+	var refs func(root, n *gval) bool
+	refs = func(root, n *gval) bool {
+		if root == nil {
+			return false
+		}
+		if root == n {
+			return true
+		}
+		if root.kind != gArith || !dep(root) {
+			return false
+		}
+		for _, a := range root.args {
+			if refs(a, n) {
+				return true
+			}
+		}
+		return false
+	}
+	// usedAfterStore reports whether node n is still needed after some
+	// register write that follows access i: if so, aliasing n to MReg is
+	// unsafe and it must be copied to a temporary.
+	usedAfterStore := func(n *gval, i int) bool {
+		storeSeen := false
+		for j := i + 1; j < len(c.accs); j++ {
+			a := c.accs[j]
+			if storeSeen && a.kind == accStore && (refs(a.val, n) || refs(a.pred, n)) {
+				return true
+			}
+			if a.kind == accStore {
+				storeSeen = true
+			}
+		}
+		if storeSeen && c.export != nil && refs(c.export, n) {
+			return true
+		}
+		return false
+	}
+
+	// usedLaterAt reports whether node n is referenced by any access after
+	// index i (store values/predicates) or by the export.
+	usedLaterAt := func(n *gval, i int) bool {
+		for j := i + 1; j < len(c.accs); j++ {
+			a := c.accs[j]
+			if a.kind == accStore && (refs(a.val, n) || refs(a.pred, n)) {
+				return true
+			}
+		}
+		return c.export != nil && refs(c.export, n)
+	}
+
+	// Walk accesses in program order; MReg carries the running value.
+	for i, a := range c.accs {
+		freshThisAccess = freshThisAccess[:0]
+		switch a.kind {
+		case accLoad:
+			if usedAfterStore(a.load, i) {
+				t, err := allocTmp()
+				if err != nil {
+					return err
+				}
+				prog = append(prog, pisa.MicroOp{Op: "mov", Dst: t, A: pisa.SlotOperand(pisa.MReg)})
+				slotOf[a.load] = t
+			} else {
+				// The load's value is exactly the running register value
+				// until the next write; alias it.
+				slotOf[a.load] = pisa.MReg
+			}
+		case accStore:
+			unconditional := a.pred == nil || a.pred == c.pred
+			// Peephole: an unconditional store of a fresh internal binop
+			// computes straight into the register slot.
+			if unconditional {
+				if v := a.val; v.kind == gArith && dep(v) && !isSlotted(slotOf, v) && !usedAfterStore(v, i) && simpleMicroOp(v.op) {
+					mo := pisa.MicroOp{Op: v.op, Dst: pisa.MReg, Signed: v.signed}
+					av, err := operandFor(v.args[0])
+					if err != nil {
+						return err
+					}
+					bv, err := operandFor(v.args[1])
+					if err != nil {
+						return err
+					}
+					mo.A, mo.B = av, bv
+					prog = append(prog, mo)
+					// The value now lives in the register slot; later uses
+					// (before any further write) may read it there.
+					slotOf[v] = pisa.MReg
+					continue
+				}
+			}
+			vo, err := operandFor(a.val)
+			if err != nil {
+				return err
+			}
+			if unconditional {
+				prog = append(prog, pisa.MicroOp{Op: "mov", Dst: pisa.MReg, A: vo})
+			} else {
+				po, err := operandFor(a.pred)
+				if err != nil {
+					return err
+				}
+				prog = append(prog, pisa.MicroOp{
+					Op: "sel", Dst: pisa.MReg,
+					A: vo, B: pisa.SlotOperand(pisa.MReg), C: po,
+				})
+			}
+		}
+		// Return temporaries whose values are dead after this access so
+		// long micro-programs reuse the four slots.
+		for _, v := range freshThisAccess {
+			if s, ok := slotOf[v]; ok && s >= pisa.MTmp0 && !usedLaterAt(v, i) {
+				delete(slotOf, v)
+				freeTmps = append(freeTmps, s)
+			}
+		}
+	}
+
+	// Export: the unique internal value used outside the cluster.
+	if c.export != nil {
+		s, ok := slotOf[c.export]
+		if !ok {
+			// The export is the running register value (e.g. a load whose
+			// slot is MReg-at-that-time); loads always get slots above, so
+			// this means an absorbed arith node: emit it.
+			op, err := emit(c.export)
+			if err != nil {
+				return err
+			}
+			prog = append(prog, pisa.MicroOp{Op: "mov", Dst: pisa.MOut, A: op})
+		} else {
+			prog = append(prog, pisa.MicroOp{Op: "mov", Dst: pisa.MOut, A: pisa.SlotOperand(s)})
+		}
+	}
+
+	if len(prog) > maxOps {
+		return fmt.Errorf("stateful program on %s needs %d micro-ops (target allows %d); simplify the per-element state update",
+			c.reg.name, len(prog), maxOps)
+	}
+	c.prog = prog
+	addDep(c.idx)
+	if c.pred != nil {
+		addDep(c.pred)
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"ncl/internal/ncl/ir"
+	"ncl/internal/ncl/token"
+	"ncl/internal/ncl/types"
+)
+
+// handFunc builds a one-block kernel from the given instructions.
+func handFunc(kind ir.FuncKind, params []*ir.Param, build func(b *ir.Block)) *ir.Func {
+	f := &ir.Func{Name: "h", Kind: kind, WindowLen: 2, Params: params}
+	blk := f.NewBlock("entry")
+	build(blk)
+	blk.Append(&ir.Instr{Op: ir.Ret})
+	return f
+}
+
+func TestSelectOp(t *testing.T) {
+	p := &ir.Param{Nm: "d", Ty: types.PointerTo(types.I32)}
+	f := handFunc(ir.OutKernel, []*ir.Param{p}, func(b *ir.Block) {
+		c := b.Append(&ir.Instr{Op: ir.Cmp, Ty: types.BoolType, Kind: token.GT,
+			Args: []ir.Value{ir.ConstOf(types.I32, 5), ir.ConstOf(types.I32, 3)}})
+		s := b.Append(&ir.Instr{Op: ir.Select, Ty: types.I32,
+			Args: []ir.Value{c, ir.ConstOf(types.I32, 10), ir.ConstOf(types.I32, 20)}})
+		b.Append(&ir.Instr{Op: ir.WinStore, Param: p, Args: []ir.Value{ir.ConstOf(types.U32, 0), s}})
+	})
+	win := NewWindow(f)
+	if _, err := Exec(f, &State{}, win); err != nil {
+		t.Fatal(err)
+	}
+	if win.Data[0][0] != 10 {
+		t.Errorf("select = %d, want 10", win.Data[0][0])
+	}
+}
+
+func TestWindowElementOutOfRange(t *testing.T) {
+	p := &ir.Param{Nm: "d", Ty: types.PointerTo(types.I32)}
+	f := handFunc(ir.OutKernel, []*ir.Param{p}, func(b *ir.Block) {
+		b.Append(&ir.Instr{Op: ir.WinLoad, Ty: types.I32, Param: p, Args: []ir.Value{ir.ConstOf(types.U32, 9)}})
+	})
+	win := NewWindow(f)
+	if _, err := Exec(f, &State{}, win); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("OOB window read must trap: %v", err)
+	}
+}
+
+func TestExtUnboundTraps(t *testing.T) {
+	d := &ir.Param{Nm: "d", Ty: types.PointerTo(types.I32)}
+	e := &ir.Param{Nm: "h", Ty: types.PointerTo(types.I32), Ext: true}
+	f := handFunc(ir.InKernel, []*ir.Param{d, e}, func(b *ir.Block) {
+		b.Append(&ir.Instr{Op: ir.ExtLoad, Ty: types.I32, Param: e, Args: []ir.Value{ir.ConstOf(types.U32, 0)}})
+	})
+	win := NewWindow(f) // Ext left nil
+	if _, err := Exec(f, &State{}, win); err == nil || !strings.Contains(err.Error(), "not bound") {
+		t.Fatalf("unbound ext must trap: %v", err)
+	}
+	win2 := NewWindow(f)
+	win2.Ext = [][]uint64{{0}}
+	f2 := handFunc(ir.InKernel, []*ir.Param{d, e}, func(b *ir.Block) {
+		b.Append(&ir.Instr{Op: ir.ExtStore, Param: e, Args: []ir.Value{ir.ConstOf(types.U32, 5), ir.ConstOf(types.I32, 1)}})
+	})
+	if _, err := Exec(f2, &State{}, win2); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("ext OOB store must trap: %v", err)
+	}
+}
+
+func TestMissingGlobalStateTraps(t *testing.T) {
+	g := &ir.Global{Name: "ghost", Type: types.ArrayOf(types.I32, 4)}
+	p := &ir.Param{Nm: "d", Ty: types.PointerTo(types.I32)}
+	f := handFunc(ir.OutKernel, []*ir.Param{p}, func(b *ir.Block) {
+		b.Append(&ir.Instr{Op: ir.RegLoad, Ty: types.I32, Global: g, Args: []ir.Value{ir.ConstOf(types.U32, 0)}})
+	})
+	if _, err := Exec(f, &State{Regs: map[*ir.Global][]uint64{}}, NewWindow(f)); err == nil {
+		t.Fatal("missing global must trap")
+	}
+}
+
+func TestCtrlWriteErrors(t *testing.T) {
+	g := &ir.Global{Name: "n", Type: types.U32, Ctrl: true}
+	st := &State{Regs: map[*ir.Global][]uint64{}, Maps: map[*ir.Global]map[uint64]uint64{}}
+	if err := st.CtrlWrite(g, 0, 1); err == nil {
+		t.Error("ctrl write to unallocated global must fail")
+	}
+	st.AddGlobal(g)
+	if err := st.CtrlWrite(g, 5, 1); err == nil {
+		t.Error("ctrl write out of range must fail")
+	}
+	if err := st.CtrlWrite(g, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if st.Regs[g][0] != 7 {
+		t.Error("ctrl write lost")
+	}
+}
+
+func TestMapInsertOnNonMap(t *testing.T) {
+	g := &ir.Global{Name: "a", Type: types.ArrayOf(types.I32, 4)}
+	st := &State{Regs: map[*ir.Global][]uint64{}, Maps: map[*ir.Global]map[uint64]uint64{}}
+	st.AddGlobal(g)
+	if err := st.MapInsert(g, 1, 1); err == nil {
+		t.Error("MapInsert on an array must fail")
+	}
+	st.MapDelete(g, 1) // no-op, must not panic
+}
+
+func TestDecisionKindString(t *testing.T) {
+	for k, want := range map[DecisionKind]string{Pass: "pass", Drop: "drop", Reflect: "reflect", Bcast: "bcast"} {
+		if k.String() != want {
+			t.Errorf("%v", k)
+		}
+	}
+	if DecisionKind(9).String() != "?" {
+		t.Error("unknown decision kind")
+	}
+}
+
+func TestPhiFromWrongEdgeTraps(t *testing.T) {
+	// A φ whose predecessor list doesn't include the actual arrival edge
+	// must be an interpreter error, not silence.
+	p := &ir.Param{Nm: "d", Ty: types.PointerTo(types.I32)}
+	f := &ir.Func{Name: "bad", Kind: ir.OutKernel, WindowLen: 1, Params: []*ir.Param{p}}
+	entry := f.NewBlock("entry")
+	next := f.NewBlock("next")
+	entry.Append(&ir.Instr{Op: ir.Br, Target: next})
+	// Deliberately wrong: preds list omits entry.
+	phi := next.Append(&ir.Instr{Op: ir.Phi, Ty: types.I32, Args: []ir.Value{}})
+	_ = phi
+	next.Append(&ir.Instr{Op: ir.Ret})
+	if _, err := Exec(f, &State{}, NewWindow(f)); err == nil {
+		t.Fatal("mismatched φ must trap")
+	}
+}

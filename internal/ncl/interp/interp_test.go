@@ -1,0 +1,529 @@
+package interp
+
+import (
+	"testing"
+
+	"ncl/internal/ncl/ir"
+	"ncl/internal/ncl/lower"
+	"ncl/internal/ncl/parser"
+	"ncl/internal/ncl/sema"
+	"ncl/internal/ncl/source"
+)
+
+// compile runs the frontend + lowering.
+func compile(t *testing.T, src string, w int) *ir.Module {
+	t.Helper()
+	var diags source.DiagList
+	f := parser.ParseSource("test.ncl", src, &diags)
+	info := sema.Check(f, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("frontend errors: %v", diags.Err())
+	}
+	m := lower.Lower("test", info, w, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("lowering errors: %v", diags.Err())
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return m
+}
+
+func TestArithmeticKernel(t *testing.T) {
+	m := compile(t, `
+_net_ _out_ void k(int *d) {
+    d[0] = d[0] * 2 + d[1];
+    d[1] = d[0] - 1;
+}
+`, 2)
+	f := m.FuncByName("k")
+	st := NewState(m)
+	win := NewWindow(f)
+	win.Data[0][0] = 10
+	win.Data[0][1] = 3
+	dec, err := Exec(f, st, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Kind != Pass {
+		t.Errorf("default decision must be pass, got %v", dec.Kind)
+	}
+	if win.Data[0][0] != 23 || win.Data[0][1] != 22 {
+		t.Errorf("data = %v, want [23 22]", win.Data[0])
+	}
+}
+
+func TestSignedArithmetic(t *testing.T) {
+	m := compile(t, `
+_net_ _out_ void k(int *d) {
+    if (d[0] < 0) d[1] = -d[0];
+    d[2] = d[0] / d[1];
+    d[3] = d[0] % 3;
+}
+`, 4)
+	f := m.FuncByName("k")
+	st := NewState(m)
+	win := NewWindow(f)
+	win.Data[0][0] = ^uint64(0) - 6 // -7 canonical
+	win.Data[0][1] = 99
+	if _, err := Exec(f, st, win); err != nil {
+		t.Fatal(err)
+	}
+	if int64(win.Data[0][1]) != 7 {
+		t.Errorf("negation: got %d, want 7", int64(win.Data[0][1]))
+	}
+	if int64(win.Data[0][2]) != -1 {
+		t.Errorf("signed division: got %d, want -1", int64(win.Data[0][2]))
+	}
+	if int64(win.Data[0][3]) != -1 {
+		t.Errorf("signed modulo: got %d, want -1 (C semantics)", int64(win.Data[0][3]))
+	}
+}
+
+func TestDivisionByZeroYieldsZero(t *testing.T) {
+	m := compile(t, `
+_net_ _out_ void k(int *d) { d[0] = d[1] / d[2]; d[3] = d[1] % d[2]; }
+`, 4)
+	f := m.FuncByName("k")
+	win := NewWindow(f)
+	win.Data[0][1] = 42
+	win.Data[0][2] = 0
+	if _, err := Exec(f, NewState(m), win); err != nil {
+		t.Fatal(err)
+	}
+	if win.Data[0][0] != 0 || win.Data[0][3] != 0 {
+		t.Errorf("x/0 and x%%0 must be 0, got %d and %d", win.Data[0][0], win.Data[0][3])
+	}
+}
+
+func TestRegisterState(t *testing.T) {
+	m := compile(t, `
+_net_ unsigned total;
+_net_ unsigned hist[4] = {0};
+_net_ _out_ void k(unsigned v) {
+    total += v;
+    hist[v % 4] += 1;
+}
+`, 1)
+	f := m.FuncByName("k")
+	st := NewState(m)
+	for _, v := range []uint64{1, 5, 2, 9} {
+		win := NewWindow(f)
+		win.Data[0][0] = v
+		if _, err := Exec(f, st, win); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := m.GlobalByName("total")
+	hist := m.GlobalByName("hist")
+	if st.Regs[total][0] != 17 {
+		t.Errorf("total = %d, want 17", st.Regs[total][0])
+	}
+	want := []uint64{0, 3, 1, 0}
+	for i, w := range want {
+		if st.Regs[hist][i] != w {
+			t.Errorf("hist[%d] = %d, want %d", i, st.Regs[hist][i], w)
+		}
+	}
+}
+
+func TestGlobalInitializersApplied(t *testing.T) {
+	m := compile(t, `
+_net_ int seeds[3] = {7, 8, 9};
+_net_ _out_ void k(int *d) { d[0] = seeds[2]; }
+`, 1)
+	f := m.FuncByName("k")
+	win := NewWindow(f)
+	if _, err := Exec(f, NewState(m), win); err != nil {
+		t.Fatal(err)
+	}
+	if win.Data[0][0] != 9 {
+		t.Errorf("init read = %d, want 9", win.Data[0][0])
+	}
+}
+
+func TestForwardingDecisions(t *testing.T) {
+	m := compile(t, `
+_net_ _out_ void k(int *d) {
+    if (d[0] == 0) _drop();
+    else if (d[0] == 1) _reflect();
+    else if (d[0] == 2) _bcast();
+    else if (d[0] == 3) _pass("server");
+}
+`, 1)
+	f := m.FuncByName("k")
+	cases := []struct {
+		in    uint64
+		kind  DecisionKind
+		label string
+	}{
+		{0, Drop, ""}, {1, Reflect, ""}, {2, Bcast, ""}, {3, Pass, "server"}, {9, Pass, ""},
+	}
+	for _, c := range cases {
+		win := NewWindow(f)
+		win.Data[0][0] = c.in
+		dec, err := Exec(f, NewState(m), win)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Kind != c.kind || dec.Label != c.label {
+			t.Errorf("input %d: decision %v/%q, want %v/%q", c.in, dec.Kind, dec.Label, c.kind, c.label)
+		}
+	}
+}
+
+func TestLastForwardingDecisionWins(t *testing.T) {
+	m := compile(t, `
+_net_ _out_ void k(int *d) { _drop(); if (d[0]) _bcast(); }
+`, 1)
+	f := m.FuncByName("k")
+	win := NewWindow(f)
+	win.Data[0][0] = 1
+	dec, _ := Exec(f, NewState(m), win)
+	if dec.Kind != Bcast {
+		t.Errorf("later decision must win, got %v", dec.Kind)
+	}
+	win2 := NewWindow(f)
+	dec2, _ := Exec(f, NewState(m), win2)
+	if dec2.Kind != Drop {
+		t.Errorf("untaken branch must not override, got %v", dec2.Kind)
+	}
+}
+
+func TestMapOperations(t *testing.T) {
+	m := compile(t, `
+_net_ ncl::Map<uint64_t, uint8_t, 4> M;
+_net_ bool Valid[4] = {false};
+_net_ _out_ void k(uint64_t key, bool *hit) {
+    if (auto *idx = M[key]) {
+        hit[0] = Valid[*idx];
+    } else {
+        hit[0] = false;
+    }
+}
+`, 1)
+	f := m.FuncByName("k")
+	st := NewState(m)
+	mg := m.GlobalByName("M")
+	vg := m.GlobalByName("Valid")
+	if err := st.MapInsert(mg, 42, 2); err != nil {
+		t.Fatal(err)
+	}
+	st.Regs[vg][2] = 1
+
+	run := func(key uint64) uint64 {
+		win := NewWindow(f)
+		win.Data[0][0] = key
+		if _, err := Exec(f, st, win); err != nil {
+			t.Fatal(err)
+		}
+		return win.Data[1][0]
+	}
+	if run(42) != 1 {
+		t.Error("present valid key must hit")
+	}
+	if run(7) != 0 {
+		t.Error("absent key must miss")
+	}
+	st.MapDelete(mg, 42)
+	if run(42) != 0 {
+		t.Error("deleted key must miss")
+	}
+}
+
+func TestMapCapacity(t *testing.T) {
+	m := compile(t, `
+_net_ ncl::Map<uint64_t, uint8_t, 2> M;
+_net_ _out_ void k(uint64_t key) { if (auto *i = M[key]) {} }
+`, 1)
+	st := NewState(m)
+	g := m.GlobalByName("M")
+	if err := st.MapInsert(g, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.MapInsert(g, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.MapInsert(g, 3, 3); err == nil {
+		t.Error("inserting past capacity must fail")
+	}
+	// Overwriting an existing key is fine at capacity.
+	if err := st.MapInsert(g, 1, 9); err != nil {
+		t.Errorf("overwrite at capacity failed: %v", err)
+	}
+}
+
+func TestBloomSemantics(t *testing.T) {
+	m := compile(t, `
+_net_ ncl::Bloom<1024, 3> seen;
+_net_ _out_ void k(uint64_t key, bool *dup) {
+    dup[0] = seen.test(key);
+    seen.add(key);
+}
+`, 1)
+	f := m.FuncByName("k")
+	st := NewState(m)
+	run := func(key uint64) uint64 {
+		win := NewWindow(f)
+		win.Data[0][0] = key
+		if _, err := Exec(f, st, win); err != nil {
+			t.Fatal(err)
+		}
+		return win.Data[1][0]
+	}
+	if run(100) != 0 {
+		t.Error("first sighting must not be a duplicate")
+	}
+	if run(100) != 1 {
+		t.Error("second sighting must be a duplicate (no false negatives)")
+	}
+	// Different keys are very unlikely to collide in a 1024-bit filter
+	// with 3 hashes after a single insertion.
+	if run(2000) != 0 {
+		t.Error("unexpected false positive for a nearly-empty filter")
+	}
+}
+
+func TestCtrlVariableVisibleAfterWrite(t *testing.T) {
+	m := compile(t, `
+_net_ _at_("s1") _ctrl_ unsigned n;
+_net_ _out_ void k(unsigned *d) { d[0] = n; }
+`, 1)
+	f := m.FuncByName("k")
+	st := NewState(m)
+	g := m.GlobalByName("n")
+	if err := st.CtrlWrite(g, 0, 16); err != nil {
+		t.Fatal(err)
+	}
+	win := NewWindow(f)
+	if _, err := Exec(f, st, win); err != nil {
+		t.Fatal(err)
+	}
+	if win.Data[0][0] != 16 {
+		t.Errorf("ctrl read = %d, want 16", win.Data[0][0])
+	}
+}
+
+func TestWindowMetadata(t *testing.T) {
+	m := compile(t, `
+_net_ _win_ unsigned chunk;
+_net_ _out_ void k(unsigned *d) {
+    d[0] = window.seq;
+    d[1] = window.from;
+    d[2] = window.chunk;
+    d[3] = (unsigned)location.id;
+}
+`, 4)
+	f := m.FuncByName("k")
+	win := NewWindow(f)
+	win.Meta["seq"] = 5
+	win.Meta["from"] = 2
+	win.Meta["chunk"] = 77
+	win.Loc = 9
+	if _, err := Exec(f, NewState(m), win); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{5, 2, 77, 9}
+	for i, w := range want {
+		if win.Data[0][i] != w {
+			t.Errorf("meta[%d] = %d, want %d", i, win.Data[0][i], w)
+		}
+	}
+}
+
+func TestOutOfRangeRegisterTraps(t *testing.T) {
+	m := compile(t, `
+_net_ int a[4] = {0};
+_net_ _out_ void k(unsigned *d) { a[d[0]] = 1; }
+`, 1)
+	f := m.FuncByName("k")
+	win := NewWindow(f)
+	win.Data[0][0] = 100
+	if _, err := Exec(f, NewState(m), win); err == nil {
+		t.Error("out-of-range register access must trap")
+	}
+}
+
+// TestFig4AllReduceSemantics executes the paper's AllReduce kernel (Fig. 4)
+// for two workers and one window and checks the aggregation protocol:
+// first worker's window is dropped (absorbed), second triggers a broadcast
+// carrying the sums, and the slot resets for reuse.
+func TestFig4AllReduceSemantics(t *testing.T) {
+	const W = 4
+	m := compile(t, `
+_net_ _at_("s1") int accum[64] = {0};
+_net_ _at_("s1") unsigned count[16] = {0};
+_net_ _at_("s1") _ctrl_ unsigned nworkers;
+
+_net_ _out_ void allreduce(int *data) {
+    unsigned base = window.seq * window.len;
+    for (unsigned i = 0; i < window.len; ++i)
+        accum[base + i] += data[i];
+    if (++count[window.seq] == nworkers) {
+        memcpy(data, &accum[base], window.len * 4);
+        count[window.seq] = 0; _bcast();
+    } else { _drop(); }
+}
+`, W)
+	f := m.FuncByName("allreduce")
+	st := NewState(m)
+	if err := st.CtrlWrite(m.GlobalByName("nworkers"), 0, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	send := func(seq uint64, vals []uint64) (*Window, Decision) {
+		win := NewWindow(f)
+		copy(win.Data[0], vals)
+		win.Meta["seq"] = seq
+		dec, err := Exec(f, st, win)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return win, dec
+	}
+
+	// Worker 1 sends {1,2,3,4} for slot 0: absorbed.
+	_, dec1 := send(0, []uint64{1, 2, 3, 4})
+	if dec1.Kind != Drop {
+		t.Fatalf("first contribution must be dropped, got %v", dec1.Kind)
+	}
+	// Worker 2 sends {10,20,30,40}: completes the slot, broadcasts sums.
+	win2, dec2 := send(0, []uint64{10, 20, 30, 40})
+	if dec2.Kind != Bcast {
+		t.Fatalf("completing contribution must broadcast, got %v", dec2.Kind)
+	}
+	want := []uint64{11, 22, 33, 44}
+	for i, w := range want {
+		if win2.Data[0][i] != w {
+			t.Errorf("sum[%d] = %d, want %d", i, win2.Data[0][i], w)
+		}
+	}
+	// Slot 0's counter reset: the next pair for seq 0 aggregates afresh...
+	cg := m.GlobalByName("count")
+	if st.Regs[cg][0] != 0 {
+		t.Errorf("count[0] = %d, want 0 after reset", st.Regs[cg][0])
+	}
+	// ...but accum still holds the old sums (the paper's kernel relies on
+	// fresh slots per sequence number within an invocation round).
+	ag := m.GlobalByName("accum")
+	if st.Regs[ag][0] != 11 {
+		t.Errorf("accum[0] = %d, want 11", st.Regs[ag][0])
+	}
+}
+
+// TestFig5CacheSemantics executes the paper's KVS-cache kernel (Fig. 5):
+// GET misses pass to the server, server updates install values, GET hits
+// reflect with the cached value, PUTs invalidate.
+func TestFig5CacheSemantics(t *testing.T) {
+	const VAL = 8 // value bytes (shortened from the paper's 128 for the test)
+	m := compile(t, `
+#define SERVER 1
+_net_ _at_("s1") ncl::Map<uint64_t, uint8_t, 16> Idx;
+_net_ _at_("s1") char Cache[16][8] = {{0}};
+_net_ _at_("s1") bool Valid[16] = {false};
+
+_net_ _out_ void query(uint64_t key, char *val, bool update) {
+    if (window.from != SERVER && update) {
+        if (auto *idx = Idx[key]) Valid[*idx] = false;
+    } else if (window.from != SERVER) {
+        if (auto *idx = Idx[key]) {
+            if (Valid[*idx]) {
+                memcpy(val, Cache[*idx], 8); _reflect(); } }
+    } else if (update) {
+        auto *idx = Idx[key]; memcpy(Cache[*idx], val, 8);
+        Valid[*idx] = true; _drop();
+    } else { }
+}
+`, VAL)
+	f := m.FuncByName("query")
+	st := NewState(m)
+	idxMap := m.GlobalByName("Idx")
+
+	// The storage server first installs key 7 at cache slot 3 (control
+	// plane), then sends an update window with the value bytes.
+	if err := st.MapInsert(idxMap, 7, 3); err != nil {
+		t.Fatal(err)
+	}
+	exec := func(key uint64, val []uint64, update bool, from uint64) (*Window, Decision) {
+		win := NewWindow(f)
+		win.Data[0][0] = key
+		copy(win.Data[1], val)
+		if update {
+			win.Data[2][0] = 1
+		}
+		win.Meta["from"] = from
+		dec, err := Exec(f, st, win)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return win, dec
+	}
+
+	// 1. Client GET before install: pass through to the server.
+	_, dec := exec(7, make([]uint64, VAL), false, 0)
+	if dec.Kind != Pass {
+		t.Fatalf("miss must pass to the server, got %v", dec.Kind)
+	}
+
+	// 2. Server update: writes the value, validates, drops.
+	valBytes := []uint64{0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x78}
+	_, dec = exec(7, valBytes, true, 1)
+	if dec.Kind != Drop {
+		t.Fatalf("server update must drop, got %v", dec.Kind)
+	}
+
+	// 3. Client GET: hit, reflected with the cached value.
+	win, dec2 := exec(7, make([]uint64, VAL), false, 0)
+	if dec2.Kind != Reflect {
+		t.Fatalf("hit must reflect, got %v", dec2.Kind)
+	}
+	for i, b := range valBytes {
+		if win.Data[1][i] != b {
+			t.Errorf("cached byte %d = %#x, want %#x", i, win.Data[1][i], b)
+		}
+	}
+
+	// 4. Client PUT: invalidates and passes to the server.
+	_, dec3 := exec(7, valBytes, true, 0)
+	if dec3.Kind != Pass {
+		t.Fatalf("client PUT must pass to the server, got %v", dec3.Kind)
+	}
+
+	// 5. Client GET after invalidation: miss again.
+	_, dec4 := exec(7, make([]uint64, VAL), false, 0)
+	if dec4.Kind != Pass {
+		t.Fatalf("invalidated key must miss, got %v", dec4.Kind)
+	}
+}
+
+// TestFig4InKernel executes the incoming kernel of Fig. 4 and checks host
+// memory writes through _ext_ parameters.
+func TestFig4InKernel(t *testing.T) {
+	const W = 4
+	m := compile(t, `
+_net_ _in_ void result(int *data, _ext_ int *hdata, _ext_ bool *done) {
+    for (unsigned i = 0; i < window.len; ++i)
+        hdata[window.seq * window.len + i] = data[i];
+    *done = true;
+}
+`, W)
+	f := m.FuncByName("result")
+	hdata := make([]uint64, 16)
+	done := make([]uint64, 1)
+	win := NewWindow(f)
+	win.Ext = [][]uint64{hdata, done}
+	copy(win.Data[0], []uint64{9, 8, 7, 6})
+	win.Meta["seq"] = 2
+	if _, err := Exec(f, NewState(m), win); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{9, 8, 7, 6}
+	for i, w := range want {
+		if hdata[8+i] != w {
+			t.Errorf("hdata[%d] = %d, want %d", 8+i, hdata[8+i], w)
+		}
+	}
+	if done[0] != 1 {
+		t.Error("done flag not set")
+	}
+}

@@ -1,0 +1,85 @@
+package ir
+
+// CloneFunc deep-copies a function, remapping all internal references
+// (blocks, instruction operands, params). Globals are shared with the
+// original unless gmap provides replacements; the versioning pass uses
+// gmap to retarget state to per-location copies.
+func CloneFunc(f *Func, gmap map[*Global]*Global) *Func {
+	nf := &Func{
+		Name:      f.Name,
+		Kind:      f.Kind,
+		Loc:       f.Loc,
+		WindowLen: f.WindowLen,
+	}
+	pmap := map[*Param]*Param{}
+	for _, p := range f.Params {
+		np := &Param{Nm: p.Nm, Ty: p.Ty, Ext: p.Ext, Index: p.Index}
+		pmap[p] = np
+		nf.Params = append(nf.Params, np)
+	}
+	bmap := map[*Block]*Block{}
+	imap := map[*Instr]*Instr{}
+	for _, b := range f.Blocks {
+		nb := &Block{Name: b.Name, Func: nf}
+		bmap[b] = nb
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	mapVal := func(v Value) Value {
+		switch v := v.(type) {
+		case *Instr:
+			return imap[v]
+		case *Param:
+			if np, ok := pmap[v]; ok {
+				return np
+			}
+			return v
+		default:
+			return v
+		}
+	}
+	// First create instruction shells (so forward refs in φs resolve),
+	// then fill in arguments.
+	for _, b := range f.Blocks {
+		nb := bmap[b]
+		for _, in := range b.Instrs {
+			ni := &Instr{
+				Op:    in.Op,
+				Ty:    in.Ty,
+				Kind:  in.Kind,
+				Field: in.Field,
+				Label: in.Label,
+			}
+			if in.Global != nil {
+				if ng, ok := gmap[in.Global]; ok {
+					ni.Global = ng
+				} else {
+					ni.Global = in.Global
+				}
+			}
+			if in.Param != nil {
+				ni.Param = pmap[in.Param]
+			}
+			imap[in] = ni
+			nb.Append(ni)
+		}
+	}
+	for _, b := range f.Blocks {
+		nb := bmap[b]
+		for i, in := range b.Instrs {
+			ni := nb.Instrs[i]
+			for _, a := range in.Args {
+				ni.Args = append(ni.Args, mapVal(a))
+			}
+			if in.Target != nil {
+				ni.Target = bmap[in.Target]
+			}
+			if in.Else != nil {
+				ni.Else = bmap[in.Else]
+			}
+		}
+		for _, p := range b.Preds {
+			nb.Preds = append(nb.Preds, bmap[p])
+		}
+	}
+	return nf
+}

@@ -1,0 +1,497 @@
+// Package ir defines nclc's intermediate representation: typed, acyclic
+// SSA over basic blocks. The paper's device pipeline (§5) requires loops
+// with provably constant trip counts; nclc discharges that obligation by
+// fully unrolling loops during lowering, so IR control flow is a DAG and
+// every φ arises from if/else joins only. Kernels are specialized for a
+// fixed window length W (elements per array argument per window), which is
+// what makes the paper's `for (i < window.len)` loops constant-trip.
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"ncl/internal/ncl/token"
+	"ncl/internal/ncl/types"
+)
+
+// FuncKind mirrors sema's kernel classification for lowered functions.
+type FuncKind int
+
+const (
+	OutKernel FuncKind = iota
+	InKernel
+)
+
+func (k FuncKind) String() string {
+	if k == OutKernel {
+		return "out"
+	}
+	return "in"
+}
+
+// Global is switch state referenced by IR: a register array, scalar
+// register, control variable, Map, or Bloom.
+type Global struct {
+	Name string
+	Type *types.Type
+	Loc  string
+	Ctrl bool
+	Init []uint64
+}
+
+// IsMap reports whether the global is an exact-match Map.
+func (g *Global) IsMap() bool { return g.Type.Kind == types.Map }
+
+// IsBloom reports whether the global is a Bloom filter.
+func (g *Global) IsBloom() bool { return g.Type.Kind == types.Bloom }
+
+// IsSketch reports whether the global is a CountMin sketch.
+func (g *Global) IsSketch() bool { return g.Type.Kind == types.Sketch }
+
+// ElemType returns the scalar element type of array/scalar state.
+func (g *Global) ElemType() *types.Type {
+	t := g.Type
+	for t.Kind == types.Array {
+		t = t.Elem
+	}
+	return t
+}
+
+// ElemCount returns the number of scalar elements of array/scalar state.
+func (g *Global) ElemCount() int {
+	n := 1
+	t := g.Type
+	for t.Kind == types.Array {
+		n *= t.Len
+		t = t.Elem
+	}
+	return n
+}
+
+// WinField describes one user window-struct extension.
+type WinField struct {
+	Name string
+	Type *types.Type
+}
+
+// Module is a lowered NCL translation unit. After the versioning pass, a
+// module carries only the kernels and globals of a single location.
+type Module struct {
+	Name      string
+	Loc       string // after versioning: the location this module targets ("" = generic)
+	Globals   []*Global
+	WinFields []WinField
+	Funcs     []*Func
+}
+
+// GlobalByName returns the named global, or nil.
+func (m *Module) GlobalByName(name string) *Global {
+	for _, g := range m.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// FuncByName returns the named function, or nil.
+func (m *Module) FuncByName(name string) *Func {
+	for _, f := range m.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Param is a kernel parameter. Window parameters (Ext=false) denote window
+// data: a pointer parameter is W elements, a scalar parameter is one
+// element. Ext parameters are host memory (incoming kernels only).
+type Param struct {
+	Nm    string
+	Ty    *types.Type
+	Ext   bool
+	Index int
+}
+
+func (p *Param) Type() *types.Type { return p.Ty }
+func (p *Param) Name() string      { return "%" + p.Nm }
+
+// Elems returns the number of window elements this parameter contributes
+// to a window of length w.
+func (p *Param) Elems(w int) int {
+	if p.Ty.Kind == types.Pointer {
+		return w
+	}
+	return 1
+}
+
+// ElemType returns the scalar element type of the parameter.
+func (p *Param) ElemType() *types.Type {
+	if p.Ty.Kind == types.Pointer {
+		return p.Ty.Elem
+	}
+	return p.Ty
+}
+
+// Func is a lowered kernel, specialized for window length WindowLen.
+type Func struct {
+	Name      string
+	Kind      FuncKind
+	Loc       string
+	Params    []*Param
+	Blocks    []*Block
+	WindowLen int
+
+	nextID int
+}
+
+// Entry returns the entry block.
+func (f *Func) Entry() *Block { return f.Blocks[0] }
+
+// NewBlock appends a new block named name.
+func (f *Func) NewBlock(name string) *Block {
+	b := &Block{Name: fmt.Sprintf("%s%d", name, len(f.Blocks)), Func: f}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// WindowSig returns the non-ext parameters.
+func (f *Func) WindowSig() []*Param {
+	var ps []*Param
+	for _, p := range f.Params {
+		if !p.Ext {
+			ps = append(ps, p)
+		}
+	}
+	return ps
+}
+
+// WindowElems returns the total elements per window across window params.
+func (f *Func) WindowElems() int {
+	n := 0
+	for _, p := range f.WindowSig() {
+		n += p.Elems(f.WindowLen)
+	}
+	return n
+}
+
+// Block is a basic block. The final instruction is the terminator (Br,
+// CondBr, or Ret).
+type Block struct {
+	Name   string
+	Func   *Func
+	Instrs []*Instr
+	Preds  []*Block
+}
+
+// Term returns the block terminator, or nil if the block is unterminated.
+func (b *Block) Term() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	if last.Op.IsTerminator() {
+		return last
+	}
+	return nil
+}
+
+// Succs returns the successor blocks.
+func (b *Block) Succs() []*Block {
+	t := b.Term()
+	if t == nil {
+		return nil
+	}
+	switch t.Op {
+	case Br:
+		return []*Block{t.Target}
+	case CondBr:
+		return []*Block{t.Target, t.Else}
+	}
+	return nil
+}
+
+// Append adds an instruction to the block and returns it.
+func (b *Block) Append(i *Instr) *Instr {
+	i.Blk = b
+	i.id = b.Func.nextID
+	b.Func.nextID++
+	b.Instrs = append(b.Instrs, i)
+	return i
+}
+
+// Op enumerates IR operations.
+type Op int
+
+const (
+	Invalid Op = iota
+
+	// φ node; Args align with Blk.Preds.
+	Phi
+
+	// Arithmetic and logic. BinOp/Cmp use Kind for the operator.
+	BinOp   // x ⊕ y, integer
+	Cmp     // x ⋈ y → bool
+	Not     // !x → bool
+	Select  // cond ? a : b
+	Convert // integer width/sign conversion to Ty
+
+	// Window data (PHV payload): constant element index within a param.
+	WinLoad  // load(param, elemIdx) → elem type
+	WinStore // store(param, elemIdx, v)
+
+	// Host memory via _ext_ params (incoming kernels only); runtime index.
+	ExtLoad  // load(param, idx) → elem type
+	ExtStore // store(param, idx, v)
+
+	// Switch state (register arrays); runtime index.
+	RegLoad  // load(global, idx)
+	RegStore // store(global, idx, v)
+
+	// Map (MAT) and Bloom operations.
+	MapFound  // (global, key) → bool
+	MapValue  // (global, key) → value type; meaningful only when found
+	BloomAdd  // (global, key)
+	BloomTest // (global, key) → bool
+	SketchAdd // (global, key, amount): count-min add
+	SketchEst // (global, key) → u32: count-min point estimate
+
+	// Window/location metadata.
+	WinMeta // Field → field type (seq, from, sender, wid, user fields)
+	LocMeta // Field → u32 ("id")
+
+	// Forwarding decision (non-terminating: the last executed wins; the
+	// kernel keeps running, matching predicated PISA execution).
+	Fwd // Field = "pass"|"drop"|"reflect"|"bcast", Label = AND label for pass
+
+	// Terminators.
+	Br     // Target
+	CondBr // Args[0] cond; Target (true), Else (false)
+	Ret    // Args optional value (helpers only pre-inline; kernels: none)
+)
+
+var opNames = map[Op]string{
+	Phi: "phi", BinOp: "binop", Cmp: "cmp", Not: "not", Select: "select",
+	Convert: "convert", WinLoad: "winload", WinStore: "winstore",
+	ExtLoad: "extload", ExtStore: "extstore", RegLoad: "regload",
+	RegStore: "regstore", MapFound: "mapfound", MapValue: "mapvalue",
+	BloomAdd: "bloomadd", BloomTest: "bloomtest",
+	SketchAdd: "sketchadd", SketchEst: "sketchest", WinMeta: "winmeta",
+	LocMeta: "locmeta", Fwd: "fwd", Br: "br", CondBr: "condbr", Ret: "ret",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// IsTerminator reports whether o ends a block.
+func (o Op) IsTerminator() bool { return o == Br || o == CondBr || o == Ret }
+
+// HasResult reports whether the op produces an SSA value.
+func (o Op) HasResult() bool {
+	switch o {
+	case Phi, BinOp, Cmp, Not, Select, Convert, WinLoad, ExtLoad, RegLoad,
+		MapFound, MapValue, BloomTest, SketchEst, WinMeta, LocMeta:
+		return true
+	}
+	return false
+}
+
+// HasSideEffect reports whether the op must not be eliminated even when
+// its result is unused.
+func (o Op) HasSideEffect() bool {
+	switch o {
+	case WinStore, ExtStore, RegStore, BloomAdd, SketchAdd, Fwd, Br, CondBr, Ret:
+		return true
+	}
+	return false
+}
+
+// Instr is one SSA instruction. Instr implements Value for ops with
+// results.
+type Instr struct {
+	Op     Op
+	Ty     *types.Type // result type (nil for effects/terminators)
+	Args   []Value
+	Kind   token.Kind // BinOp/Cmp operator
+	Field  string     // WinField/LocField name; Fwd kind
+	Label  string     // Fwd pass target label
+	Global *Global    // state ops
+	Param  *Param     // window/ext data ops
+	Target *Block     // Br/CondBr true target
+	Else   *Block     // CondBr false target
+	Blk    *Block
+	id     int
+}
+
+func (i *Instr) Type() *types.Type { return i.Ty }
+func (i *Instr) Name() string      { return fmt.Sprintf("%%v%d", i.id) }
+
+// ID returns the per-function instruction id (stable once appended).
+func (i *Instr) ID() int { return i.id }
+
+// AssignID gives an instruction a fresh id from f's counter without
+// appending it; used when φs are inserted at block fronts.
+func AssignID(f *Func, i *Instr) {
+	i.id = f.nextID
+	f.nextID++
+}
+
+// Const is a compile-time constant value in canonical 64-bit form.
+type Const struct {
+	Ty  *types.Type
+	Val uint64
+}
+
+func (c *Const) Type() *types.Type { return c.Ty }
+func (c *Const) Name() string {
+	if c.Ty.Kind == types.Bool {
+		if c.Val != 0 {
+			return "true"
+		}
+		return "false"
+	}
+	if c.Ty.Signed {
+		return fmt.Sprintf("%d", int64(c.Val))
+	}
+	return fmt.Sprintf("%d", c.Val)
+}
+
+// ConstOf builds a constant of type t with canonicalized value.
+func ConstOf(t *types.Type, v uint64) *Const { return &Const{Ty: t, Val: t.Normalize(v)} }
+
+// Bool constants.
+func True() *Const  { return &Const{Ty: types.BoolType, Val: 1} }
+func False() *Const { return &Const{Ty: types.BoolType, Val: 0} }
+
+// Value is an SSA value: *Instr, *Const, or *Param.
+type Value interface {
+	Type() *types.Type
+	Name() string
+}
+
+// IsConst reports whether v is a constant, returning its value.
+func IsConst(v Value) (uint64, bool) {
+	if c, ok := v.(*Const); ok {
+		return c.Val, true
+	}
+	return 0, false
+}
+
+// ---------------------------------------------------------------------------
+// Printing
+
+// String renders the module in a stable textual form.
+func (m *Module) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s", m.Name)
+	if m.Loc != "" {
+		fmt.Fprintf(&b, " @%s", m.Loc)
+	}
+	b.WriteByte('\n')
+	for _, g := range m.Globals {
+		fmt.Fprintf(&b, "global %s: %s", g.Name, g.Type)
+		if g.Loc != "" {
+			fmt.Fprintf(&b, " at %q", g.Loc)
+		}
+		if g.Ctrl {
+			b.WriteString(" ctrl")
+		}
+		b.WriteByte('\n')
+	}
+	for _, wf := range m.WinFields {
+		fmt.Fprintf(&b, "winfield %s: %s\n", wf.Name, wf.Type)
+	}
+	for _, f := range m.Funcs {
+		b.WriteString(f.String())
+	}
+	return b.String()
+}
+
+// String renders the function body.
+func (f *Func) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s %s(", f.Kind, f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if p.Ext {
+			b.WriteString("ext ")
+		}
+		fmt.Fprintf(&b, "%s: %s", p.Nm, p.Ty)
+	}
+	fmt.Fprintf(&b, ") W=%d", f.WindowLen)
+	if f.Loc != "" {
+		fmt.Fprintf(&b, " at %q", f.Loc)
+	}
+	b.WriteString(" {\n")
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "%s:", blk.Name)
+		if len(blk.Preds) > 0 {
+			b.WriteString(" ; preds:")
+			for _, p := range blk.Preds {
+				b.WriteString(" " + p.Name)
+			}
+		}
+		b.WriteByte('\n')
+		for _, in := range blk.Instrs {
+			b.WriteString("  " + in.String() + "\n")
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// String renders one instruction.
+func (i *Instr) String() string {
+	var b strings.Builder
+	if i.Op.HasResult() {
+		fmt.Fprintf(&b, "%s = ", i.Name())
+	}
+	b.WriteString(i.Op.String())
+	switch i.Op {
+	case BinOp, Cmp:
+		fmt.Fprintf(&b, " %s", i.Kind)
+	case WinMeta, LocMeta:
+		fmt.Fprintf(&b, " .%s", i.Field)
+	case Fwd:
+		fmt.Fprintf(&b, " %s", i.Field)
+		if i.Label != "" {
+			fmt.Fprintf(&b, " %q", i.Label)
+		}
+	}
+	if i.Global != nil {
+		fmt.Fprintf(&b, " @%s", i.Global.Name)
+	}
+	if i.Param != nil {
+		fmt.Fprintf(&b, " %%%s", i.Param.Nm)
+	}
+	for n, a := range i.Args {
+		if n == 0 {
+			b.WriteString(" ")
+		} else {
+			b.WriteString(", ")
+		}
+		if a == nil {
+			b.WriteString("<nil>")
+		} else {
+			b.WriteString(a.Name())
+		}
+	}
+	switch i.Op {
+	case Br:
+		fmt.Fprintf(&b, " -> %s", i.Target.Name)
+	case CondBr:
+		fmt.Fprintf(&b, " ? %s : %s", i.Target.Name, i.Else.Name)
+	}
+	if i.Ty != nil && i.Op.HasResult() {
+		fmt.Fprintf(&b, " : %s", i.Ty)
+	}
+	return b.String()
+}

@@ -1,0 +1,253 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"ncl/internal/ncl/token"
+	"ncl/internal/ncl/types"
+)
+
+// buildDiamond constructs a small valid function:
+//
+//	entry: v0 = winload d[0]; v1 = cmp gt v0, 0; condbr v1 ? a : b
+//	a: br join        b: br join
+//	join: phi [1 from a, 2 from b]; winstore d[0]; ret
+func buildDiamond() (*Module, *Func) {
+	p := &Param{Nm: "d", Ty: types.PointerTo(types.I32)}
+	f := &Func{Name: "k", Kind: OutKernel, WindowLen: 4, Params: []*Param{p}}
+	entry := f.NewBlock("entry")
+	a := f.NewBlock("a")
+	b := f.NewBlock("b")
+	join := f.NewBlock("join")
+
+	v0 := entry.Append(&Instr{Op: WinLoad, Ty: types.I32, Param: p, Args: []Value{ConstOf(types.U32, 0)}})
+	v1 := entry.Append(&Instr{Op: Cmp, Ty: types.BoolType, Kind: token.GT, Args: []Value{v0, ConstOf(types.I32, 0)}})
+	entry.Append(&Instr{Op: CondBr, Args: []Value{v1}, Target: a, Else: b})
+	a.Preds = []*Block{entry}
+	b.Preds = []*Block{entry}
+
+	a.Append(&Instr{Op: Br, Target: join})
+	b.Append(&Instr{Op: Br, Target: join})
+	join.Preds = []*Block{a, b}
+
+	phi := join.Append(&Instr{Op: Phi, Ty: types.I32, Args: []Value{ConstOf(types.I32, 1), ConstOf(types.I32, 2)}})
+	join.Append(&Instr{Op: WinStore, Param: p, Args: []Value{ConstOf(types.U32, 0), phi}})
+	join.Append(&Instr{Op: Ret})
+
+	m := &Module{Name: "t", Funcs: []*Func{f}}
+	return m, f
+}
+
+func TestVerifyValidDiamond(t *testing.T) {
+	m, _ := buildDiamond()
+	if err := Verify(m); err != nil {
+		t.Fatalf("valid diamond rejected: %v", err)
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	_, f := buildDiamond()
+	order, err := TopoOrder(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, b := range order {
+		pos[b.Name] = i
+	}
+	if pos["entry0"] != 0 {
+		t.Errorf("entry must come first: %v", pos)
+	}
+	if pos["join3"] != len(order)-1 {
+		t.Errorf("join must come last: %v", pos)
+	}
+}
+
+func TestVerifyRejectsCycle(t *testing.T) {
+	m, f := buildDiamond()
+	// Make join branch back to entry.
+	join := f.Blocks[3]
+	join.Instrs[len(join.Instrs)-1] = &Instr{Op: Br, Target: f.Entry()}
+	f.Entry().Preds = []*Block{join}
+	if err := Verify(m); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cycle not rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsMissingTerminator(t *testing.T) {
+	m, f := buildDiamond()
+	join := f.Blocks[3]
+	join.Instrs = join.Instrs[:len(join.Instrs)-1] // drop ret
+	if err := Verify(m); err == nil || !strings.Contains(err.Error(), "terminator") {
+		t.Fatalf("missing terminator not rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsPhiArityMismatch(t *testing.T) {
+	m, f := buildDiamond()
+	join := f.Blocks[3]
+	join.Instrs[0].Args = join.Instrs[0].Args[:1]
+	if err := Verify(m); err == nil || !strings.Contains(err.Error(), "phi arity") {
+		t.Fatalf("phi arity not checked: %v", err)
+	}
+}
+
+func TestVerifyRejectsCtrlStore(t *testing.T) {
+	g := &Global{Name: "n", Type: types.U32, Ctrl: true}
+	p := &Param{Nm: "d", Ty: types.PointerTo(types.I32)}
+	f := &Func{Name: "k", Kind: OutKernel, WindowLen: 1, Params: []*Param{p}}
+	e := f.NewBlock("entry")
+	e.Append(&Instr{Op: RegStore, Global: g, Args: []Value{ConstOf(types.U32, 0), ConstOf(types.U32, 1)}})
+	e.Append(&Instr{Op: Ret})
+	m := &Module{Name: "t", Globals: []*Global{g}, Funcs: []*Func{f}}
+	if err := Verify(m); err == nil || !strings.Contains(err.Error(), "_ctrl_") {
+		t.Fatalf("ctrl store not rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsDynamicWindowIndex(t *testing.T) {
+	p := &Param{Nm: "d", Ty: types.PointerTo(types.I32)}
+	f := &Func{Name: "k", Kind: OutKernel, WindowLen: 4, Params: []*Param{p}}
+	e := f.NewBlock("entry")
+	idx := e.Append(&Instr{Op: WinMeta, Ty: types.U32, Field: "seq"})
+	e.Append(&Instr{Op: WinLoad, Ty: types.I32, Param: p, Args: []Value{idx}})
+	e.Append(&Instr{Op: Ret})
+	m := &Module{Name: "t", Funcs: []*Func{f}}
+	if err := Verify(m); err == nil || !strings.Contains(err.Error(), "constant") {
+		t.Fatalf("dynamic window index not rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsFwdInInKernel(t *testing.T) {
+	p := &Param{Nm: "d", Ty: types.PointerTo(types.I32)}
+	f := &Func{Name: "k", Kind: InKernel, WindowLen: 1, Params: []*Param{p}}
+	e := f.NewBlock("entry")
+	e.Append(&Instr{Op: Fwd, Field: "drop"})
+	e.Append(&Instr{Op: Ret})
+	m := &Module{Name: "t", Funcs: []*Func{f}}
+	if err := Verify(m); err == nil || !strings.Contains(err.Error(), "fwd inside incoming") {
+		t.Fatalf("fwd in incoming kernel not rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsUseBeforeDef(t *testing.T) {
+	p := &Param{Nm: "d", Ty: types.PointerTo(types.I32)}
+	f := &Func{Name: "k", Kind: OutKernel, WindowLen: 1, Params: []*Param{p}}
+	e := f.NewBlock("entry")
+	// Build v1 using v0 before v0 is appended.
+	v0 := &Instr{Op: WinLoad, Ty: types.I32, Param: p, Args: []Value{ConstOf(types.U32, 0)}}
+	e.Append(&Instr{Op: WinStore, Param: p, Args: []Value{ConstOf(types.U32, 0), v0}})
+	e.Append(v0)
+	e.Append(&Instr{Op: Ret})
+	m := &Module{Name: "t", Funcs: []*Func{f}}
+	if err := Verify(m); err == nil {
+		t.Fatal("use before def not rejected")
+	}
+}
+
+func TestCloneFuncIndependence(t *testing.T) {
+	_, f := buildDiamond()
+	nf := CloneFunc(f, nil)
+	if nf.Name != f.Name || len(nf.Blocks) != len(f.Blocks) {
+		t.Fatal("clone shape mismatch")
+	}
+	// Mutating the clone must not touch the original.
+	nf.Blocks[0].Instrs[0].Ty = types.I64
+	if f.Blocks[0].Instrs[0].Ty == types.I64 {
+		t.Error("clone shares instruction storage with the original")
+	}
+	// Clone must be independently verifiable.
+	if err := Verify(&Module{Name: "c", Funcs: []*Func{nf}}); err != nil {
+		t.Fatalf("clone does not verify: %v", err)
+	}
+	// Operand identity must be remapped: the clone's phi args and block
+	// targets reference clone-internal objects.
+	for bi, b := range nf.Blocks {
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				if ai, ok := a.(*Instr); ok && ai.Blk.Func == f {
+					t.Fatalf("block %d: clone references original instruction", bi)
+				}
+			}
+			if in.Target != nil && in.Target.Func == f {
+				t.Fatal("clone branch targets original block")
+			}
+		}
+	}
+}
+
+func TestCloneFuncGlobalRemap(t *testing.T) {
+	g := &Global{Name: "x", Type: types.U32}
+	ng := &Global{Name: "x", Type: types.U32}
+	p := &Param{Nm: "d", Ty: types.PointerTo(types.I32)}
+	f := &Func{Name: "k", Kind: OutKernel, WindowLen: 1, Params: []*Param{p}}
+	e := f.NewBlock("entry")
+	e.Append(&Instr{Op: RegStore, Global: g, Args: []Value{ConstOf(types.U32, 0), ConstOf(types.U32, 1)}})
+	e.Append(&Instr{Op: Ret})
+
+	nf := CloneFunc(f, map[*Global]*Global{g: ng})
+	if nf.Blocks[0].Instrs[0].Global != ng {
+		t.Error("global not remapped")
+	}
+	nf2 := CloneFunc(f, nil)
+	if nf2.Blocks[0].Instrs[0].Global != g {
+		t.Error("nil map must share globals")
+	}
+}
+
+func TestModuleHelpers(t *testing.T) {
+	m, f := buildDiamond()
+	if m.FuncByName("k") != f || m.FuncByName("nope") != nil {
+		t.Error("FuncByName broken")
+	}
+	g := &Global{Name: "arr", Type: types.ArrayOf(types.I32, 8)}
+	m.Globals = append(m.Globals, g)
+	if m.GlobalByName("arr") != g || m.GlobalByName("x") != nil {
+		t.Error("GlobalByName broken")
+	}
+	if g.ElemCount() != 8 || g.ElemType() != types.I32 {
+		t.Error("global shape helpers broken")
+	}
+	two := &Global{Name: "m2", Type: types.ArrayOf(types.ArrayOf(types.U8, 16), 4)}
+	if two.ElemCount() != 64 || two.ElemType() != types.U8 {
+		t.Error("2D global shape helpers broken")
+	}
+}
+
+func TestParamHelpers(t *testing.T) {
+	ptr := &Param{Nm: "d", Ty: types.PointerTo(types.I32)}
+	sc := &Param{Nm: "k", Ty: types.U64}
+	if ptr.Elems(8) != 8 || sc.Elems(8) != 1 {
+		t.Error("Elems broken")
+	}
+	if ptr.ElemType() != types.I32 || sc.ElemType() != types.U64 {
+		t.Error("ElemType broken")
+	}
+	f := &Func{Params: []*Param{ptr, sc, {Nm: "e", Ty: types.PointerTo(types.I32), Ext: true}}, WindowLen: 8}
+	if len(f.WindowSig()) != 2 || f.WindowElems() != 9 {
+		t.Errorf("window sig helpers broken: %d elems", f.WindowElems())
+	}
+}
+
+func TestInstrPrinting(t *testing.T) {
+	_, f := buildDiamond()
+	s := f.String()
+	for _, want := range []string{"func out k", "winload", "cmp >", "condbr", "phi", "ret", "preds:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("printout missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestConstPrinting(t *testing.T) {
+	if ConstOf(types.I32, ^uint64(0)).Name() != "-1" {
+		t.Error("signed const must print signed")
+	}
+	if ConstOf(types.U32, ^uint64(0)).Name() != "4294967295" {
+		t.Error("unsigned const must print unsigned")
+	}
+	if True().Name() != "true" || False().Name() != "false" {
+		t.Error("bool consts")
+	}
+}

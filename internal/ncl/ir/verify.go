@@ -1,0 +1,346 @@
+package ir
+
+import (
+	"fmt"
+
+	"ncl/internal/ncl/types"
+)
+
+// Verify checks module invariants: every block terminated exactly at its
+// end, CFG acyclicity (lowering unrolls all loops), φ arity matching
+// predecessors, operand typing, and def-before-use along all paths
+// (acyclic CFG makes this a topological check). It returns the first
+// violation found.
+func Verify(m *Module) error {
+	for _, f := range m.Funcs {
+		if err := verifyFunc(f); err != nil {
+			return fmt.Errorf("func %s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+func verifyFunc(f *Func) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("no blocks")
+	}
+	order, err := TopoOrder(f)
+	if err != nil {
+		return err
+	}
+	// Recompute predecessor lists and compare with stored ones.
+	preds := map[*Block][]*Block{}
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	for _, b := range f.Blocks {
+		if err := verifyBlock(f, b, preds[b]); err != nil {
+			return fmt.Errorf("block %s: %w", b.Name, err)
+		}
+	}
+	// Def-before-use in topological order: a value's defining block must
+	// appear before (or be) every using block, and within a block the def
+	// must precede the use.
+	pos := map[*Block]int{}
+	for i, b := range order {
+		pos[b] = i
+	}
+	defined := map[*Instr]int{} // instruction -> topo index of defining block
+	idxInBlock := map[*Instr]int{}
+	for _, b := range f.Blocks {
+		for n, in := range b.Instrs {
+			defined[in] = pos[b]
+			idxInBlock[in] = n
+		}
+	}
+	for _, b := range f.Blocks {
+		for n, in := range b.Instrs {
+			for ai, a := range in.Args {
+				da, ok := a.(*Instr)
+				if !ok {
+					continue
+				}
+				if in.Op == Phi {
+					// φ args are checked against predecessor positions.
+					pred := b.Preds[ai]
+					if defined[da] > pos[pred] {
+						return fmt.Errorf("phi %s arg %d defined after pred %s", in.Name(), ai, pred.Name)
+					}
+					continue
+				}
+				if defined[da] > pos[b] || (defined[da] == pos[b] && idxInBlock[da] >= n) {
+					return fmt.Errorf("%s uses %s before definition", in.Name(), da.Name())
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func verifyBlock(f *Func, b *Block, wantPreds []*Block) error {
+	if b.Term() == nil {
+		return fmt.Errorf("missing terminator")
+	}
+	for n, in := range b.Instrs {
+		isLast := n == len(b.Instrs)-1
+		if in.Op.IsTerminator() != isLast {
+			return fmt.Errorf("terminator placement wrong at instr %d (%s)", n, in.Op)
+		}
+		if err := verifyInstr(f, b, in); err != nil {
+			return fmt.Errorf("instr %s: %w", in, err)
+		}
+	}
+	if len(wantPreds) != len(b.Preds) {
+		return fmt.Errorf("stored preds (%d) disagree with CFG (%d)", len(b.Preds), len(wantPreds))
+	}
+	seen := map[*Block]int{}
+	for _, p := range wantPreds {
+		seen[p]++
+	}
+	for _, p := range b.Preds {
+		if seen[p] == 0 {
+			return fmt.Errorf("stored pred %s is not a CFG predecessor", p.Name)
+		}
+		seen[p]--
+	}
+	return nil
+}
+
+func verifyInstr(f *Func, b *Block, in *Instr) error {
+	argn := func(want int) error {
+		if len(in.Args) != want {
+			return fmt.Errorf("want %d args, have %d", want, len(in.Args))
+		}
+		return nil
+	}
+	intArg := func(i int) error {
+		if !in.Args[i].Type().IsInteger() {
+			return fmt.Errorf("arg %d must be integer, is %s", i, in.Args[i].Type())
+		}
+		return nil
+	}
+	for i, a := range in.Args {
+		if a == nil {
+			return fmt.Errorf("arg %d is nil", i)
+		}
+	}
+	switch in.Op {
+	case Phi:
+		if len(in.Args) != len(b.Preds) {
+			return fmt.Errorf("phi arity %d != preds %d", len(in.Args), len(b.Preds))
+		}
+		for i, a := range in.Args {
+			if !types.Equal(a.Type(), in.Ty) {
+				return fmt.Errorf("phi arg %d type %s != %s", i, a.Type(), in.Ty)
+			}
+		}
+	case BinOp:
+		if err := argn(2); err != nil {
+			return err
+		}
+		if !in.Ty.IsInteger() {
+			return fmt.Errorf("binop result must be integer")
+		}
+	case Cmp:
+		if err := argn(2); err != nil {
+			return err
+		}
+		if in.Ty.Kind != types.Bool {
+			return fmt.Errorf("cmp result must be bool")
+		}
+	case Not:
+		if err := argn(1); err != nil {
+			return err
+		}
+	case Select:
+		if err := argn(3); err != nil {
+			return err
+		}
+		if in.Args[0].Type().Kind != types.Bool {
+			return fmt.Errorf("select cond must be bool")
+		}
+	case Convert:
+		if err := argn(1); err != nil {
+			return err
+		}
+		if !in.Ty.IsScalar() {
+			return fmt.Errorf("convert target must be scalar")
+		}
+	case WinLoad:
+		if in.Param == nil || in.Param.Ext {
+			return fmt.Errorf("winload needs a window param")
+		}
+		if err := argn(1); err != nil {
+			return err
+		}
+		if _, ok := IsConst(in.Args[0]); !ok {
+			return fmt.Errorf("window element index must be constant (PHV fields are static)")
+		}
+	case WinStore:
+		if in.Param == nil || in.Param.Ext {
+			return fmt.Errorf("winstore needs a window param")
+		}
+		if err := argn(2); err != nil {
+			return err
+		}
+		if _, ok := IsConst(in.Args[0]); !ok {
+			return fmt.Errorf("window element index must be constant")
+		}
+	case ExtLoad:
+		if f.Kind != InKernel {
+			return fmt.Errorf("extload outside incoming kernel")
+		}
+		if in.Param == nil || !in.Param.Ext {
+			return fmt.Errorf("extload needs an ext param")
+		}
+		if err := argn(1); err != nil {
+			return err
+		}
+		return intArg(0)
+	case ExtStore:
+		if f.Kind != InKernel {
+			return fmt.Errorf("extstore outside incoming kernel")
+		}
+		if in.Param == nil || !in.Param.Ext {
+			return fmt.Errorf("extstore needs an ext param")
+		}
+		if err := argn(2); err != nil {
+			return err
+		}
+		return intArg(0)
+	case RegLoad:
+		if in.Global == nil {
+			return fmt.Errorf("regload needs a global")
+		}
+		if err := argn(1); err != nil {
+			return err
+		}
+		return intArg(0)
+	case RegStore:
+		if in.Global == nil {
+			return fmt.Errorf("regstore needs a global")
+		}
+		if in.Global.Ctrl {
+			return fmt.Errorf("store to _ctrl_ global %s", in.Global.Name)
+		}
+		if err := argn(2); err != nil {
+			return err
+		}
+		return intArg(0)
+	case MapFound, MapValue:
+		if in.Global == nil || !in.Global.IsMap() {
+			return fmt.Errorf("map op needs a Map global")
+		}
+		if err := argn(1); err != nil {
+			return err
+		}
+		return intArg(0)
+	case BloomAdd, BloomTest:
+		if in.Global == nil || !in.Global.IsBloom() {
+			return fmt.Errorf("bloom op needs a Bloom global")
+		}
+		if err := argn(1); err != nil {
+			return err
+		}
+		return intArg(0)
+	case SketchAdd:
+		if in.Global == nil || !in.Global.IsSketch() {
+			return fmt.Errorf("sketch op needs a CountMin global")
+		}
+		if err := argn(2); err != nil {
+			return err
+		}
+		if err := intArg(0); err != nil {
+			return err
+		}
+		return intArg(1)
+	case SketchEst:
+		if in.Global == nil || !in.Global.IsSketch() {
+			return fmt.Errorf("sketch op needs a CountMin global")
+		}
+		if err := argn(1); err != nil {
+			return err
+		}
+		return intArg(0)
+	case WinMeta, LocMeta:
+		if in.Field == "" {
+			return fmt.Errorf("missing field name")
+		}
+	case Fwd:
+		switch in.Field {
+		case "pass", "drop", "reflect", "bcast":
+		default:
+			return fmt.Errorf("bad fwd kind %q", in.Field)
+		}
+		if f.Kind == InKernel {
+			return fmt.Errorf("fwd inside incoming kernel")
+		}
+	case Br:
+		if in.Target == nil {
+			return fmt.Errorf("br without target")
+		}
+	case CondBr:
+		if err := argn(1); err != nil {
+			return err
+		}
+		if in.Args[0].Type().Kind != types.Bool {
+			return fmt.Errorf("condbr cond must be bool")
+		}
+		if in.Target == nil || in.Else == nil {
+			return fmt.Errorf("condbr missing targets")
+		}
+	case Ret:
+		if len(in.Args) > 1 {
+			return fmt.Errorf("ret takes at most one value")
+		}
+	default:
+		return fmt.Errorf("unknown op")
+	}
+	return nil
+}
+
+// TopoOrder returns the blocks of f in a topological order of the CFG,
+// with the entry first. It fails if the CFG has a cycle (loops must have
+// been unrolled during lowering) or unreachable blocks.
+func TopoOrder(f *Func) ([]*Block, error) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[*Block]int{}
+	var order []*Block
+	var visit func(b *Block) error
+	visit = func(b *Block) error {
+		switch color[b] {
+		case gray:
+			return fmt.Errorf("CFG cycle through %s (unrolling failed?)", b.Name)
+		case black:
+			return nil
+		}
+		color[b] = gray
+		for _, s := range b.Succs() {
+			if err := visit(s); err != nil {
+				return err
+			}
+		}
+		color[b] = black
+		order = append(order, b)
+		return nil
+	}
+	if err := visit(f.Entry()); err != nil {
+		return nil, err
+	}
+	for _, b := range f.Blocks {
+		if color[b] != black {
+			return nil, fmt.Errorf("unreachable block %s", b.Name)
+		}
+	}
+	// Reverse post-order.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order, nil
+}

@@ -1,0 +1,354 @@
+// Package lexer turns NCL source text into tokens. It includes a small
+// object-macro preprocessor supporting #define/#undef/#include, which is
+// all the paper's example programs (Figs. 4-5) need: named constants like
+// DATA_LEN and WIN_LEN and shared header snippets.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"ncl/internal/ncl/source"
+	"ncl/internal/ncl/token"
+)
+
+// Lexer scans one file. Use Scan in a loop, or Tokens to drain the file.
+type Lexer struct {
+	file  *source.File
+	src   []byte
+	off   int // byte offset of next unread byte
+	line  int
+	col   int
+	diags *source.DiagList
+}
+
+// New returns a Lexer over file reporting problems to diags.
+func New(file *source.File, diags *source.DiagList) *Lexer {
+	return &Lexer{file: file, src: file.Content, line: 1, col: 1, diags: diags}
+}
+
+func (l *Lexer) pos() source.Pos {
+	return source.Pos{File: l.file.Name, Line: l.line, Col: l.col}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// skipSpace consumes whitespace and comments. It returns true if a newline
+// was crossed (needed by the preprocessor to find directive boundaries).
+func (l *Lexer) skipSpace() bool {
+	newline := false
+	for {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			l.advance()
+		case c == '\n':
+			newline = true
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.peek() != '\n' && l.peek() != 0 {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.peek() != 0 {
+				if l.peek() == '\n' {
+					newline = true
+				}
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.diags.Errorf(start, "unterminated block comment")
+			}
+		default:
+			return newline
+		}
+	}
+}
+
+// Scan returns the next token. At end of input it returns EOF forever.
+func (l *Lexer) Scan() token.Token {
+	l.skipSpace()
+	pos := l.pos()
+	c := l.peek()
+	switch {
+	case c == 0:
+		return token.Token{Kind: token.EOF, Pos: pos}
+	case isLetter(c):
+		return l.scanIdent(pos)
+	case isDigit(c):
+		return l.scanNumber(pos)
+	case c == '\'':
+		return l.scanChar(pos)
+	case c == '"':
+		return l.scanString(pos)
+	}
+	return l.scanOperator(pos)
+}
+
+func (l *Lexer) scanIdent(pos source.Pos) token.Token {
+	start := l.off
+	for isLetter(l.peek()) || isDigit(l.peek()) {
+		l.advance()
+	}
+	lit := string(l.src[start:l.off])
+	if k, ok := token.Keywords[lit]; ok {
+		return token.Token{Kind: k, Lit: lit, Pos: pos}
+	}
+	return token.Token{Kind: token.IDENT, Lit: lit, Pos: pos}
+}
+
+func (l *Lexer) scanNumber(pos source.Pos) token.Token {
+	start := l.off
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.advance()
+		l.advance()
+		if !isHexDigit(l.peek()) {
+			l.diags.Errorf(pos, "malformed hex literal")
+		}
+		for isHexDigit(l.peek()) {
+			l.advance()
+		}
+	} else {
+		for isDigit(l.peek()) {
+			l.advance()
+		}
+		if l.peek() == '.' || l.peek() == 'e' || l.peek() == 'E' {
+			l.diags.Errorf(pos, "floating-point literals are not supported in NCL (data plane has no float support)")
+			// consume the rest of the number so we don't cascade
+			for isDigit(l.peek()) || l.peek() == '.' || l.peek() == 'e' || l.peek() == 'E' || l.peek() == '+' || l.peek() == '-' {
+				l.advance()
+			}
+			return token.Token{Kind: token.ILLEGAL, Lit: string(l.src[start:l.off]), Pos: pos}
+		}
+	}
+	// Integer suffixes (u, U, l, L, combinations) are accepted and ignored;
+	// NCL types come from declarations, not literal suffixes.
+	for l.peek() == 'u' || l.peek() == 'U' || l.peek() == 'l' || l.peek() == 'L' {
+		l.advance()
+	}
+	return token.Token{Kind: token.INTLIT, Lit: string(l.src[start:l.off]), Pos: pos}
+}
+
+func (l *Lexer) scanChar(pos source.Pos) token.Token {
+	l.advance() // opening quote
+	var val byte
+	switch c := l.advance(); c {
+	case '\\':
+		switch e := l.advance(); e {
+		case 'n':
+			val = '\n'
+		case 't':
+			val = '\t'
+		case 'r':
+			val = '\r'
+		case '0':
+			val = 0
+		case '\'':
+			val = '\''
+		case '\\':
+			val = '\\'
+		default:
+			l.diags.Errorf(pos, "unsupported escape sequence '\\%c'", e)
+		}
+	case 0, '\n':
+		l.diags.Errorf(pos, "unterminated character literal")
+		return token.Token{Kind: token.ILLEGAL, Pos: pos}
+	default:
+		val = c
+	}
+	if l.peek() != '\'' {
+		l.diags.Errorf(pos, "unterminated character literal")
+	} else {
+		l.advance()
+	}
+	return token.Token{Kind: token.CHARLIT, Lit: fmt.Sprintf("%d", val), Pos: pos}
+}
+
+func (l *Lexer) scanString(pos source.Pos) token.Token {
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		c := l.peek()
+		if c == 0 || c == '\n' {
+			l.diags.Errorf(pos, "unterminated string literal")
+			return token.Token{Kind: token.ILLEGAL, Lit: b.String(), Pos: pos}
+		}
+		l.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\\' {
+			switch e := l.advance(); e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				l.diags.Errorf(pos, "unsupported escape sequence '\\%c'", e)
+			}
+			continue
+		}
+		b.WriteByte(c)
+	}
+	return token.Token{Kind: token.STRINGLIT, Lit: b.String(), Pos: pos}
+}
+
+func (l *Lexer) scanOperator(pos source.Pos) token.Token {
+	c := l.advance()
+	two := func(next byte, ifTwo, ifOne token.Kind) token.Token {
+		if l.peek() == next {
+			l.advance()
+			return token.Token{Kind: ifTwo, Lit: ifTwo.String(), Pos: pos}
+		}
+		return token.Token{Kind: ifOne, Lit: ifOne.String(), Pos: pos}
+	}
+	switch c {
+	case '+':
+		if l.peek() == '+' {
+			l.advance()
+			return token.Token{Kind: token.INC, Lit: "++", Pos: pos}
+		}
+		return two('=', token.ADDASSIGN, token.ADD)
+	case '-':
+		switch l.peek() {
+		case '-':
+			l.advance()
+			return token.Token{Kind: token.DEC, Lit: "--", Pos: pos}
+		case '>':
+			l.advance()
+			return token.Token{Kind: token.ARROW, Lit: "->", Pos: pos}
+		}
+		return two('=', token.SUBASSIGN, token.SUB)
+	case '*':
+		return two('=', token.MULASSIGN, token.MUL)
+	case '/':
+		return two('=', token.DIVASSIGN, token.DIV)
+	case '%':
+		return two('=', token.MODASSIGN, token.MOD)
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			return token.Token{Kind: token.LAND, Lit: "&&", Pos: pos}
+		}
+		return two('=', token.ANDASSIGN, token.AND)
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return token.Token{Kind: token.LOR, Lit: "||", Pos: pos}
+		}
+		return two('=', token.ORASSIGN, token.OR)
+	case '^':
+		return two('=', token.XORASSIGN, token.XOR)
+	case '~':
+		return token.Token{Kind: token.TILDE, Lit: "~", Pos: pos}
+	case '!':
+		return two('=', token.NE, token.NOT)
+	case '=':
+		return two('=', token.EQ, token.ASSIGN)
+	case '<':
+		if l.peek() == '<' {
+			l.advance()
+			return two('=', token.SHLASSIGN, token.SHL)
+		}
+		return two('=', token.LE, token.LT)
+	case '>':
+		if l.peek() == '>' {
+			l.advance()
+			return two('=', token.SHRASSIGN, token.SHR)
+		}
+		return two('=', token.GE, token.GT)
+	case '(':
+		return token.Token{Kind: token.LPAREN, Lit: "(", Pos: pos}
+	case ')':
+		return token.Token{Kind: token.RPAREN, Lit: ")", Pos: pos}
+	case '{':
+		return token.Token{Kind: token.LBRACE, Lit: "{", Pos: pos}
+	case '}':
+		return token.Token{Kind: token.RBRACE, Lit: "}", Pos: pos}
+	case '[':
+		return token.Token{Kind: token.LBRACK, Lit: "[", Pos: pos}
+	case ']':
+		return token.Token{Kind: token.RBRACK, Lit: "]", Pos: pos}
+	case ',':
+		return token.Token{Kind: token.COMMA, Lit: ",", Pos: pos}
+	case ';':
+		return token.Token{Kind: token.SEMI, Lit: ";", Pos: pos}
+	case ':':
+		if l.peek() == ':' {
+			l.advance()
+			return token.Token{Kind: token.SCOPE, Lit: "::", Pos: pos}
+		}
+		return token.Token{Kind: token.COLON, Lit: ":", Pos: pos}
+	case '?':
+		return token.Token{Kind: token.QUESTION, Lit: "?", Pos: pos}
+	case '.':
+		return token.Token{Kind: token.DOT, Lit: ".", Pos: pos}
+	}
+	l.diags.Errorf(pos, "unexpected character %q", string(c))
+	return token.Token{Kind: token.ILLEGAL, Lit: string(c), Pos: pos}
+}
+
+// Tokens scans the whole file and returns all tokens up to and including
+// EOF. This raw stream has not been preprocessed; most callers want
+// Preprocess instead.
+func (l *Lexer) Tokens() []token.Token {
+	var out []token.Token
+	for {
+		t := l.Scan()
+		out = append(out, t)
+		if t.Kind == token.EOF {
+			return out
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+
+	"ncl/internal/ncl/source"
+	"ncl/internal/ncl/token"
+)
+
+func scanAll(t *testing.T, src string) ([]token.Token, *source.DiagList) {
+	t.Helper()
+	var diags source.DiagList
+	l := New(source.NewFile("test.ncl", []byte(src)), &diags)
+	return l.Tokens(), &diags
+}
+
+func kinds(toks []token.Token) []token.Kind {
+	out := make([]token.Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func expectKinds(t *testing.T, src string, want ...token.Kind) {
+	t.Helper()
+	toks, diags := scanAll(t, src)
+	if diags.HasErrors() {
+		t.Fatalf("unexpected errors for %q: %v", src, diags.Err())
+	}
+	want = append(want, token.EOF)
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token count for %q: got %v, want %v", src, got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("token %d for %q: got %v, want %v (full: %v)", i, src, got[i], want[i], got)
+		}
+	}
+}
+
+func TestKeywordsAndSpecifiers(t *testing.T) {
+	expectKinds(t, "_net_ _out_ void allreduce",
+		token.NET, token.OUT, token.KWVOID, token.IDENT)
+	expectKinds(t, "_net_ _at_ ( \"s1\" ) _ctrl_ unsigned nworkers ;",
+		token.NET, token.AT, token.LPAREN, token.STRINGLIT, token.RPAREN,
+		token.CTRL, token.KWUNSIGNED, token.IDENT, token.SEMI)
+	expectKinds(t, "_in_ _ext_ _win_", token.IN, token.EXT, token.WIN)
+}
+
+func TestOperators(t *testing.T) {
+	expectKinds(t, "+ - * / % ++ -- += -= *= /= %= == != < > <= >= << >> <<= >>= & | ^ ~ && || ! &= |= ^= = -> . :: ? :",
+		token.ADD, token.SUB, token.MUL, token.DIV, token.MOD,
+		token.INC, token.DEC,
+		token.ADDASSIGN, token.SUBASSIGN, token.MULASSIGN, token.DIVASSIGN, token.MODASSIGN,
+		token.EQ, token.NE, token.LT, token.GT, token.LE, token.GE,
+		token.SHL, token.SHR, token.SHLASSIGN, token.SHRASSIGN,
+		token.AND, token.OR, token.XOR, token.TILDE,
+		token.LAND, token.LOR, token.NOT,
+		token.ANDASSIGN, token.ORASSIGN, token.XORASSIGN, token.ASSIGN,
+		token.ARROW, token.DOT, token.SCOPE, token.QUESTION, token.COLON)
+}
+
+func TestPunctuation(t *testing.T) {
+	expectKinds(t, "( ) { } [ ] , ;",
+		token.LPAREN, token.RPAREN, token.LBRACE, token.RBRACE,
+		token.LBRACK, token.RBRACK, token.COMMA, token.SEMI)
+}
+
+func TestNumbers(t *testing.T) {
+	toks, diags := scanAll(t, "0 42 0x7F 0xdeadBEEF 16u 32UL")
+	if diags.HasErrors() {
+		t.Fatalf("unexpected errors: %v", diags.Err())
+	}
+	wantLits := []string{"0", "42", "0x7F", "0xdeadBEEF", "16u", "32UL"}
+	for i, w := range wantLits {
+		if toks[i].Kind != token.INTLIT || toks[i].Lit != w {
+			t.Errorf("token %d = %v, want INTLIT(%s)", i, toks[i], w)
+		}
+	}
+}
+
+func TestFloatRejected(t *testing.T) {
+	_, diags := scanAll(t, "int x = 3.14;")
+	if !diags.HasErrors() {
+		t.Fatal("float literal must be rejected")
+	}
+	if !strings.Contains(diags.Err().Error(), "floating-point") {
+		t.Errorf("want floating-point message, got %v", diags.Err())
+	}
+}
+
+func TestCharLiterals(t *testing.T) {
+	toks, diags := scanAll(t, `'a' '\n' '\0' '\\'`)
+	if diags.HasErrors() {
+		t.Fatalf("unexpected errors: %v", diags.Err())
+	}
+	want := []string{"97", "10", "0", "92"}
+	for i, w := range want {
+		if toks[i].Kind != token.CHARLIT || toks[i].Lit != w {
+			t.Errorf("char literal %d = %v, want CHARLIT(%s)", i, toks[i], w)
+		}
+	}
+}
+
+func TestStringLiterals(t *testing.T) {
+	toks, diags := scanAll(t, `"s1" "Host-B" "a\"b"`)
+	if diags.HasErrors() {
+		t.Fatalf("unexpected errors: %v", diags.Err())
+	}
+	want := []string{"s1", "Host-B", `a"b`}
+	for i, w := range want {
+		if toks[i].Kind != token.STRINGLIT || toks[i].Lit != w {
+			t.Errorf("string literal %d = %v, want STRINGLIT(%q)", i, toks[i], w)
+		}
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	_, diags := scanAll(t, "\"abc\nint x;")
+	if !diags.HasErrors() {
+		t.Fatal("unterminated string must error")
+	}
+}
+
+func TestComments(t *testing.T) {
+	expectKinds(t, "int x; // trailing comment\nint y; /* block\ncomment */ int z;",
+		token.KWINT, token.IDENT, token.SEMI,
+		token.KWINT, token.IDENT, token.SEMI,
+		token.KWINT, token.IDENT, token.SEMI)
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	_, diags := scanAll(t, "int x; /* never closed")
+	if !diags.HasErrors() {
+		t.Fatal("unterminated block comment must error")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, _ := scanAll(t, "int x;\n  y = 2;")
+	// int at 1:1, x at 1:5, ; at 1:6, y at 2:3
+	checks := []struct {
+		i         int
+		line, col int
+	}{{0, 1, 1}, {1, 1, 5}, {2, 1, 6}, {3, 2, 3}}
+	for _, c := range checks {
+		p := toks[c.i].Pos
+		if p.Line != c.line || p.Col != c.col {
+			t.Errorf("token %d pos = %d:%d, want %d:%d", c.i, p.Line, p.Col, c.line, c.col)
+		}
+	}
+}
+
+func TestPaperSnippetFig4(t *testing.T) {
+	// Line 6-8 of Fig. 4 in the paper.
+	src := `
+unsigned base = window.seq * window.len;
+for (unsigned i = 0; i < window.len; ++i)
+    accum[base + i] += data[i];`
+	toks, diags := scanAll(t, src)
+	if diags.HasErrors() {
+		t.Fatalf("paper snippet must lex cleanly: %v", diags.Err())
+	}
+	// Spot-check a few structural tokens.
+	var idents []string
+	for _, tok := range toks {
+		if tok.Kind == token.IDENT {
+			idents = append(idents, tok.Lit)
+		}
+	}
+	want := []string{"base", "window", "seq", "window", "len", "i", "i", "window", "len", "i", "accum", "base", "i", "data", "i"}
+	if len(idents) != len(want) {
+		t.Fatalf("idents = %v, want %v", idents, want)
+	}
+	for i := range want {
+		if idents[i] != want[i] {
+			t.Fatalf("ident %d = %q, want %q", i, idents[i], want[i])
+		}
+	}
+}
+
+func TestIllegalCharacter(t *testing.T) {
+	toks, diags := scanAll(t, "int x @ y;")
+	if !diags.HasErrors() {
+		t.Fatal("@ must be an error")
+	}
+	found := false
+	for _, tok := range toks {
+		if tok.Kind == token.ILLEGAL {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected an ILLEGAL token")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if token.ADDASSIGN.String() != "+=" {
+		t.Errorf("ADDASSIGN = %q", token.ADDASSIGN.String())
+	}
+	if token.NET.String() != "_net_" {
+		t.Errorf("NET = %q", token.NET.String())
+	}
+	if token.Kind(-1).String() != "Kind(-1)" {
+		t.Errorf("invalid kind = %q", token.Kind(-1).String())
+	}
+}
+
+func TestPrecedenceOrdering(t *testing.T) {
+	// Multiplicative > additive > shift > relational > equality > bitwise > logical.
+	ordered := []token.Kind{token.LOR, token.LAND, token.OR, token.XOR, token.AND,
+		token.EQ, token.LT, token.SHL, token.ADD, token.MUL}
+	for i := 1; i < len(ordered); i++ {
+		if ordered[i-1].Precedence() >= ordered[i].Precedence() {
+			t.Errorf("precedence(%v)=%d should be < precedence(%v)=%d",
+				ordered[i-1], ordered[i-1].Precedence(), ordered[i], ordered[i].Precedence())
+		}
+	}
+	if token.ASSIGN.Precedence() != 0 || token.SEMI.Precedence() != 0 {
+		t.Error("non-binary tokens must have precedence 0")
+	}
+}
+
+func TestSpecifierPredicates(t *testing.T) {
+	for _, k := range []token.Kind{token.NET, token.OUT, token.IN, token.CTRL, token.AT, token.EXT, token.WIN} {
+		if !k.IsSpecifier() {
+			t.Errorf("%v should be a specifier", k)
+		}
+	}
+	if token.KWINT.IsSpecifier() {
+		t.Error("int is not a specifier")
+	}
+	if !token.KWUNSIGNED.IsTypeKeyword() || !token.KWAUTO.IsTypeKeyword() {
+		t.Error("type keyword predicate broken")
+	}
+	if !token.ADDASSIGN.IsAssignOp() || token.EQ.IsAssignOp() {
+		t.Error("assign-op predicate broken")
+	}
+}

@@ -1,0 +1,200 @@
+package lexer
+
+import (
+	"strings"
+
+	"ncl/internal/ncl/source"
+	"ncl/internal/ncl/token"
+)
+
+// Includes resolves #include "name" directives to file contents. A nil map
+// means no includes are available and any #include is an error.
+type Includes map[string]string
+
+// macro is an object-like macro: a name bound to a token sequence.
+type macro struct {
+	name string
+	body []token.Token
+	pos  source.Pos
+}
+
+// Preprocess runs the NCL preprocessor-lite over file and returns the fully
+// expanded token stream (ending in EOF). Supported directives, each on its
+// own line: #define NAME <tokens>, #undef NAME, #include "name", #pragma
+// (ignored). Function-like macros and conditional compilation are not
+// supported; the paper's programs only need named constants.
+//
+// Directive lines are blanked (not removed) before lexing so token
+// positions in the remaining source are exact.
+func Preprocess(file *source.File, includes Includes, diags *source.DiagList) []token.Token {
+	macros := map[string]*macro{}
+	toks := preprocessFile(file, includes, macros, diags, map[string]bool{file.Name: true})
+	return expandMacros(toks, macros, diags)
+}
+
+// preprocessFile handles directives for one file and returns its unexpanded
+// token stream without the trailing EOF (the caller appends one).
+func preprocessFile(file *source.File, includes Includes, macros map[string]*macro, diags *source.DiagList, active map[string]bool) []token.Token {
+	lines := strings.Split(string(file.Content), "\n")
+	type pendingInclude struct {
+		line int
+		toks []token.Token
+	}
+	var pends []pendingInclude
+	blanked := make([]string, len(lines))
+	for i, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		if !strings.HasPrefix(trimmed, "#") {
+			blanked[i] = line
+			continue
+		}
+		blanked[i] = ""
+		dpos := source.Pos{File: file.Name, Line: i + 1, Col: strings.Index(line, "#") + 1}
+		rest := strings.TrimSpace(trimmed[1:])
+		switch {
+		case strings.HasPrefix(rest, "define"):
+			body := strings.TrimSpace(rest[len("define"):])
+			name, def := splitIdent(body)
+			if name == "" {
+				diags.Errorf(dpos, "#define requires a macro name")
+				continue
+			}
+			if strings.HasPrefix(def, "(") {
+				diags.Errorf(dpos, "function-like macros are not supported; use a helper function")
+				continue
+			}
+			sub := source.NewFile(file.Name, []byte(def))
+			sl := New(sub, diags)
+			var btoks []token.Token
+			for {
+				t := sl.Scan()
+				if t.Kind == token.EOF {
+					break
+				}
+				// Re-anchor body tokens to the directive line.
+				t.Pos = source.Pos{File: file.Name, Line: i + 1, Col: dpos.Col}
+				btoks = append(btoks, t)
+			}
+			if prev, dup := macros[name]; dup {
+				diags.Warnf(dpos, "macro %s redefined (previous definition at %s)", name, prev.pos)
+			}
+			macros[name] = &macro{name: name, body: btoks, pos: dpos}
+		case strings.HasPrefix(rest, "undef"):
+			name, _ := splitIdent(strings.TrimSpace(rest[len("undef"):]))
+			if name == "" {
+				diags.Errorf(dpos, "#undef requires a macro name")
+				continue
+			}
+			delete(macros, name)
+		case strings.HasPrefix(rest, "include"):
+			arg := strings.TrimSpace(rest[len("include"):])
+			if len(arg) < 2 || (arg[0] != '"' && arg[0] != '<') {
+				diags.Errorf(dpos, "#include requires a quoted file name")
+				continue
+			}
+			name := strings.Trim(arg, `"<>`)
+			content, ok := includes[name]
+			if !ok {
+				diags.Errorf(dpos, "include %q not found", name)
+				continue
+			}
+			if active[name] {
+				diags.Errorf(dpos, "circular include of %q", name)
+				continue
+			}
+			active[name] = true
+			inc := preprocessFile(source.NewFile(name, []byte(content)), includes, macros, diags, active)
+			delete(active, name)
+			pends = append(pends, pendingInclude{line: i + 1, toks: inc})
+		case strings.HasPrefix(rest, "pragma"):
+			// Ignored, like most compilers ignore unknown pragmas.
+		case rest == "":
+			// A lone '#' is a null directive in C; accept it.
+		default:
+			diags.Errorf(dpos, "unsupported preprocessor directive #%s", firstWord(rest))
+		}
+	}
+
+	lx := New(source.NewFile(file.Name, []byte(strings.Join(blanked, "\n"))), diags)
+	var toks []token.Token
+	for {
+		t := lx.Scan()
+		if t.Kind == token.EOF {
+			break
+		}
+		toks = append(toks, t)
+	}
+
+	// Splice include token streams before the first token past their line.
+	if len(pends) == 0 {
+		return toks
+	}
+	var out []token.Token
+	pi := 0
+	for _, t := range toks {
+		for pi < len(pends) && pends[pi].line < t.Pos.Line {
+			out = append(out, pends[pi].toks...)
+			pi++
+		}
+		out = append(out, t)
+	}
+	for ; pi < len(pends); pi++ {
+		out = append(out, pends[pi].toks...)
+	}
+	return out
+}
+
+// expandMacros substitutes object macros in toks, recursively, guarding
+// against cycles, and appends the final EOF.
+func expandMacros(toks []token.Token, macros map[string]*macro, diags *source.DiagList) []token.Token {
+	var out []token.Token
+	var expand func(ts []token.Token, inUse map[string]bool)
+	expand = func(ts []token.Token, inUse map[string]bool) {
+		for _, t := range ts {
+			if t.Kind == token.IDENT {
+				if m, ok := macros[t.Lit]; ok {
+					if inUse[t.Lit] {
+						diags.Errorf(t.Pos, "recursive macro expansion of %s", t.Lit)
+						out = append(out, t)
+						continue
+					}
+					inUse[t.Lit] = true
+					// Re-anchor expansion at the use site for diagnostics.
+					body := make([]token.Token, len(m.body))
+					for i, bt := range m.body {
+						bt.Pos = t.Pos
+						body[i] = bt
+					}
+					expand(body, inUse)
+					delete(inUse, t.Lit)
+					continue
+				}
+			}
+			out = append(out, t)
+		}
+	}
+	expand(toks, map[string]bool{})
+	endPos := source.Pos{}
+	if n := len(toks); n > 0 {
+		endPos = toks[n-1].Pos
+	}
+	out = append(out, token.Token{Kind: token.EOF, Pos: endPos})
+	return out
+}
+
+func splitIdent(s string) (name, rest string) {
+	i := 0
+	for i < len(s) && (isLetter(s[i]) || (i > 0 && isDigit(s[i]))) {
+		i++
+	}
+	return s[:i], strings.TrimSpace(s[i:])
+}
+
+func firstWord(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' || s[i] == '\t' {
+			return s[:i]
+		}
+	}
+	return s
+}

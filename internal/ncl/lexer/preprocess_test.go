@@ -1,0 +1,188 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+
+	"ncl/internal/ncl/source"
+	"ncl/internal/ncl/token"
+)
+
+func preprocess(t *testing.T, src string, inc Includes) ([]token.Token, *source.DiagList) {
+	t.Helper()
+	var diags source.DiagList
+	toks := Preprocess(source.NewFile("main.ncl", []byte(src)), inc, &diags)
+	return toks, &diags
+}
+
+func litSeq(toks []token.Token) string {
+	var parts []string
+	for _, t := range toks {
+		if t.Kind == token.EOF {
+			break
+		}
+		parts = append(parts, t.String())
+	}
+	return strings.Join(parts, " ")
+}
+
+func TestDefineSimpleConstant(t *testing.T) {
+	toks, diags := preprocess(t, "#define DATA_LEN 1024\nint accum[DATA_LEN];", nil)
+	if diags.HasErrors() {
+		t.Fatalf("errors: %v", diags.Err())
+	}
+	got := litSeq(toks)
+	want := "int IDENT(accum) [ INTLIT(1024) ] ;"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestDefineExpressionBody(t *testing.T) {
+	// Fig. 4 uses DATA_LEN/WIN_LEN as an array length.
+	src := "#define DATA_LEN 64\n#define WIN_LEN 8\nunsigned count[DATA_LEN/WIN_LEN];"
+	toks, diags := preprocess(t, src, nil)
+	if diags.HasErrors() {
+		t.Fatalf("errors: %v", diags.Err())
+	}
+	got := litSeq(toks)
+	want := "unsigned IDENT(count) [ INTLIT(64) / INTLIT(8) ] ;"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestDefineChained(t *testing.T) {
+	src := "#define A B\n#define B 7\nint x = A;"
+	toks, diags := preprocess(t, src, nil)
+	if diags.HasErrors() {
+		t.Fatalf("errors: %v", diags.Err())
+	}
+	if !strings.Contains(litSeq(toks), "INTLIT(7)") {
+		t.Errorf("chained macro not expanded: %q", litSeq(toks))
+	}
+}
+
+func TestDefineRecursive(t *testing.T) {
+	src := "#define A B\n#define B A\nint x = A;"
+	_, diags := preprocess(t, src, nil)
+	if !diags.HasErrors() {
+		t.Fatal("recursive macros must be diagnosed")
+	}
+	if !strings.Contains(diags.Err().Error(), "recursive macro") {
+		t.Errorf("want recursive-macro message, got %v", diags.Err())
+	}
+}
+
+func TestUndef(t *testing.T) {
+	src := "#define N 4\n#undef N\nint x = N;"
+	toks, diags := preprocess(t, src, nil)
+	if diags.HasErrors() {
+		t.Fatalf("errors: %v", diags.Err())
+	}
+	if !strings.Contains(litSeq(toks), "IDENT(N)") {
+		t.Errorf("undef'd macro should stay an identifier: %q", litSeq(toks))
+	}
+}
+
+func TestRedefineWarns(t *testing.T) {
+	src := "#define N 4\n#define N 8\nint x = N;"
+	toks, diags := preprocess(t, src, nil)
+	if diags.HasErrors() {
+		t.Fatalf("redefine is a warning, not an error: %v", diags.Err())
+	}
+	if diags.Len() == 0 {
+		t.Fatal("redefine should warn")
+	}
+	if !strings.Contains(litSeq(toks), "INTLIT(8)") {
+		t.Errorf("last definition should win: %q", litSeq(toks))
+	}
+}
+
+func TestFunctionLikeMacroRejected(t *testing.T) {
+	_, diags := preprocess(t, "#define SQ(x) ((x)*(x))\n", nil)
+	if !diags.HasErrors() {
+		t.Fatal("function-like macro must be rejected")
+	}
+}
+
+func TestInclude(t *testing.T) {
+	inc := Includes{"defs.h": "#define W 16\nint shared;"}
+	src := "#include \"defs.h\"\nint arr[W];"
+	toks, diags := preprocess(t, src, inc)
+	if diags.HasErrors() {
+		t.Fatalf("errors: %v", diags.Err())
+	}
+	got := litSeq(toks)
+	want := "int IDENT(shared) ; int IDENT(arr) [ INTLIT(16) ] ;"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestIncludeMissing(t *testing.T) {
+	_, diags := preprocess(t, "#include \"nope.h\"\n", nil)
+	if !diags.HasErrors() {
+		t.Fatal("missing include must error")
+	}
+}
+
+func TestIncludeCircular(t *testing.T) {
+	inc := Includes{
+		"a.h": "#include \"b.h\"\nint a;",
+		"b.h": "#include \"a.h\"\nint b;",
+	}
+	_, diags := preprocess(t, "#include \"a.h\"\n", inc)
+	if !diags.HasErrors() {
+		t.Fatal("circular include must error")
+	}
+	if !strings.Contains(diags.Err().Error(), "circular") {
+		t.Errorf("want circular-include message, got %v", diags.Err())
+	}
+}
+
+func TestPositionsPreservedAfterDirectives(t *testing.T) {
+	src := "#define N 4\nint x;\nint y[N];"
+	toks, diags := preprocess(t, src, nil)
+	if diags.HasErrors() {
+		t.Fatalf("errors: %v", diags.Err())
+	}
+	// "int x;" is on line 2 even though line 1 was a directive.
+	if toks[0].Pos.Line != 2 {
+		t.Errorf("first token line = %d, want 2", toks[0].Pos.Line)
+	}
+	// The expanded N on line 3 should be anchored at its use site.
+	for _, tok := range toks {
+		if tok.Kind == token.INTLIT && tok.Lit == "4" {
+			if tok.Pos.Line != 3 {
+				t.Errorf("expanded macro line = %d, want 3 (use site)", tok.Pos.Line)
+			}
+			return
+		}
+	}
+	t.Fatal("expanded INTLIT(4) not found")
+}
+
+func TestUnknownDirective(t *testing.T) {
+	_, diags := preprocess(t, "#frobnicate all the things\n", nil)
+	if !diags.HasErrors() {
+		t.Fatal("unknown directive must error")
+	}
+}
+
+func TestPragmaAndNullDirectiveIgnored(t *testing.T) {
+	toks, diags := preprocess(t, "#pragma once\n#\nint x;", nil)
+	if diags.HasErrors() {
+		t.Fatalf("errors: %v", diags.Err())
+	}
+	if litSeq(toks) != "int IDENT(x) ;" {
+		t.Errorf("got %q", litSeq(toks))
+	}
+}
+
+func TestEOFAlwaysPresent(t *testing.T) {
+	toks, _ := preprocess(t, "", nil)
+	if len(toks) == 0 || toks[len(toks)-1].Kind != token.EOF {
+		t.Fatal("token stream must end in EOF")
+	}
+}

@@ -1,0 +1,162 @@
+package lower
+
+import (
+	"ncl/internal/ncl/ast"
+	"ncl/internal/ncl/ir"
+	"ncl/internal/ncl/sema"
+	"ncl/internal/ncl/types"
+)
+
+// maxInlineDepth bounds helper-in-helper inlining.
+const maxInlineDepth = 16
+
+func (lw *lowerer) lowerCall(e *ast.Call) ir.Value {
+	if m, ok := e.Fun.(*ast.Member); ok {
+		return lw.lowerBloomCall(e, m)
+	}
+	id, ok := e.Fun.(*ast.Ident)
+	if !ok {
+		lw.errorf(e.Pos(), "internal: non-identifier call")
+		return ir.ConstOf(types.I32, 0)
+	}
+	switch o := lw.info.Idents[id].(type) {
+	case sema.Builtin:
+		return lw.lowerBuiltinCall(e, o.Name)
+	case *sema.Func:
+		return lw.inlineHelper(e, o)
+	}
+	lw.errorf(e.Pos(), "internal: unresolved call")
+	return ir.ConstOf(types.I32, 0)
+}
+
+func (lw *lowerer) lowerBloomCall(e *ast.Call, m *ast.Member) ir.Value {
+	id := m.X.(*ast.Ident)
+	sg := lw.info.Idents[id].(*sema.Global)
+	g := lw.gmap[sg]
+	key := lw.convert(lw.lowerExpr(e.Args[0]), types.U64)
+	if sg.IsSketch() {
+		if m.Sel == "add" {
+			amt := lw.convert(lw.lowerExpr(e.Args[1]), types.U32)
+			lw.emit(&ir.Instr{Op: ir.SketchAdd, Global: g, Args: []ir.Value{key, amt}})
+			return nil
+		}
+		return lw.emitInstr(ir.SketchEst, types.U32, g, key)
+	}
+	if m.Sel == "add" {
+		lw.emit(&ir.Instr{Op: ir.BloomAdd, Global: g, Args: []ir.Value{key}})
+		return nil
+	}
+	return lw.emitInstr(ir.BloomTest, types.BoolType, g, key)
+}
+
+func (lw *lowerer) lowerBuiltinCall(e *ast.Call, name string) ir.Value {
+	switch name {
+	case sema.BMemcpy:
+		lw.lowerMemcpy(e)
+		return nil
+	case sema.BDrop, sema.BReflect, sema.BBcast:
+		lw.emit(&ir.Instr{Op: ir.Fwd, Field: name[1:]}) // strip leading '_'
+		return nil
+	case sema.BPass:
+		label := ""
+		if len(e.Args) == 1 {
+			if sl, ok := e.Args[0].(*ast.StringLit); ok {
+				label = sl.Value
+			}
+		}
+		lw.emit(&ir.Instr{Op: ir.Fwd, Field: "pass", Label: label})
+		return nil
+	}
+	lw.errorf(e.Pos(), "internal: unknown builtin call %s", name)
+	return nil
+}
+
+// lowerMemcpy expands memcpy(dst, src, bytes) into element moves. The byte
+// count must fold to a compile-time constant (window.len is constant after
+// specialization), and both sides must have the same element width.
+func (lw *lowerer) lowerMemcpy(e *ast.Call) {
+	nVal := lw.lowerExpr(e.Args[2])
+	n, ok := ir.IsConst(nVal)
+	if !ok {
+		lw.errorf(e.Args[2].Pos(), "memcpy length must be a compile-time constant (window.len and mask arithmetic fold at compile time)")
+		return
+	}
+	dst, okD := lw.resolveRef(e.Args[0])
+	src, okS := lw.resolveRef(e.Args[1])
+	if !okD || !okS {
+		return
+	}
+	if dst.elemTy.SizeBytes() != src.elemTy.SizeBytes() {
+		lw.errorf(e.Pos(), "memcpy between %s and %s elements: element sizes differ (%dB vs %dB)",
+			dst.elemTy, src.elemTy, dst.elemTy.SizeBytes(), src.elemTy.SizeBytes())
+		return
+	}
+	esz := uint64(dst.elemTy.SizeBytes())
+	if esz == 0 || n%esz != 0 {
+		lw.errorf(e.Args[2].Pos(), "memcpy length %d is not a multiple of the element size %d", n, esz)
+		return
+	}
+	count := int(n / esz)
+	const maxMove = 512
+	if count > maxMove {
+		lw.errorf(e.Pos(), "memcpy of %d elements exceeds the per-kernel move limit (%d)", count, maxMove)
+		return
+	}
+	for k := 0; k < count; k++ {
+		v := lw.loadRef(e.Pos(), lw.offsetRef(src, k))
+		lw.storeRef(e.Pos(), lw.offsetRef(dst, k), v)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Helper inlining
+
+// inlineHelper lowers a call to a helper by splicing its body in place.
+// Helper parameters are scalars passed by value; returns become edges into
+// a value-carrying join.
+func (lw *lowerer) inlineHelper(e *ast.Call, f *sema.Func) ir.Value {
+	if lw.inlineDepth >= maxInlineDepth {
+		lw.errorf(e.Pos(), "helper inlining exceeds depth %d (mutual recursion cannot map to a pipeline)", maxInlineDepth)
+		return ir.ConstOf(types.I32, 0)
+	}
+	if f.Decl.Body == nil {
+		lw.errorf(e.Pos(), "helper %s has no body", f.Name)
+		return ir.ConstOf(types.I32, 0)
+	}
+
+	// Bind arguments to parameters. Helper params are scalars by value;
+	// inside the body they behave as pseudo-locals tracked in lw.vars.
+	for i, a := range e.Args {
+		v := lw.convert(lw.lowerExpr(a), f.Params[i].Type)
+		lw.vars[f.Params[i]] = varState{val: v}
+	}
+
+	savedRet := lw.retJoin
+	savedInHelper := lw.inHelper
+	retJoin := lw.newJoin("ret_" + f.Name)
+	lw.retJoin = retJoin
+	lw.inHelper = f
+	lw.inlineDepth++
+
+	lw.lowerBlock(f.Decl.Body)
+
+	var result ir.Value
+	if f.Ret.Kind == types.Void {
+		lw.jumpTo(retJoin, nil)
+		lw.sealJoin(retJoin)
+	} else {
+		if lw.cur != nil {
+			lw.errorf(e.Pos(), "helper %s can finish without returning a value", f.Name)
+			lw.jumpTo(retJoin, ir.ConstOf(f.Ret, 0))
+		}
+		result = lw.sealJoinValue(retJoin, f.Ret)
+	}
+
+	lw.inlineDepth--
+	lw.inHelper = savedInHelper
+	lw.retJoin = savedRet
+	if result == nil {
+		result = ir.ConstOf(types.I32, 0)
+	}
+	return result
+}

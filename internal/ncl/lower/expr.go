@@ -1,0 +1,672 @@
+package lower
+
+import (
+	"ncl/internal/ncl/ast"
+	"ncl/internal/ncl/ir"
+	"ncl/internal/ncl/sema"
+	"ncl/internal/ncl/source"
+	"ncl/internal/ncl/token"
+	"ncl/internal/ncl/types"
+)
+
+// ---------------------------------------------------------------------------
+// Builders with on-the-fly constant folding
+
+// emitInstr appends a state/metadata instruction and returns it as a value.
+func (lw *lowerer) emitInstr(op ir.Op, ty *types.Type, g *ir.Global, args ...ir.Value) ir.Value {
+	return lw.emit(&ir.Instr{Op: op, Ty: ty, Global: g, Args: args})
+}
+
+// binop emits x ⊕ y in the common type, folding constants.
+func (lw *lowerer) binop(kind token.Kind, x, y ir.Value) ir.Value {
+	ct, ok := types.Common(x.Type(), y.Type())
+	if !ok {
+		ct = types.I32
+	}
+	x, y = lw.convert(x, ct), lw.convert(y, ct)
+	if xv, ok1 := ir.IsConst(x); ok1 {
+		if yv, ok2 := ir.IsConst(y); ok2 {
+			if v, folded := sema.EvalArith(kind, xv, yv, ct); folded {
+				return ir.ConstOf(ct, v)
+			}
+		}
+	}
+	return lw.emit(&ir.Instr{Op: ir.BinOp, Ty: ct, Kind: kind, Args: []ir.Value{x, y}})
+}
+
+// cmp emits x ⋈ y → bool, folding constants.
+func (lw *lowerer) cmp(kind token.Kind, x, y ir.Value) ir.Value {
+	var ct *types.Type
+	if x.Type().Kind == types.Bool && y.Type().Kind == types.Bool {
+		ct = types.BoolType
+	} else {
+		var ok bool
+		ct, ok = types.Common(promoteBool(x.Type()), promoteBool(y.Type()))
+		if !ok {
+			ct = types.I32
+		}
+	}
+	x, y = lw.convert(x, ct), lw.convert(y, ct)
+	if xv, ok1 := ir.IsConst(x); ok1 {
+		if yv, ok2 := ir.IsConst(y); ok2 {
+			return foldCmp(kind, xv, yv, ct)
+		}
+	}
+	return lw.emit(&ir.Instr{Op: ir.Cmp, Ty: types.BoolType, Kind: kind, Args: []ir.Value{x, y}})
+}
+
+func promoteBool(t *types.Type) *types.Type {
+	if t.Kind == types.Bool {
+		return types.I32
+	}
+	return t
+}
+
+// foldCmp evaluates a comparison over canonical constants.
+func foldCmp(kind token.Kind, x, y uint64, ct *types.Type) *ir.Const {
+	var b bool
+	signed := ct.Kind == types.Int && ct.Signed
+	if signed {
+		sx, sy := int64(x), int64(y)
+		switch kind {
+		case token.EQ:
+			b = sx == sy
+		case token.NE:
+			b = sx != sy
+		case token.LT:
+			b = sx < sy
+		case token.GT:
+			b = sx > sy
+		case token.LE:
+			b = sx <= sy
+		case token.GE:
+			b = sx >= sy
+		}
+	} else {
+		switch kind {
+		case token.EQ:
+			b = x == y
+		case token.NE:
+			b = x != y
+		case token.LT:
+			b = x < y
+		case token.GT:
+			b = x > y
+		case token.LE:
+			b = x <= y
+		case token.GE:
+			b = x >= y
+		}
+	}
+	if b {
+		return ir.True()
+	}
+	return ir.False()
+}
+
+// convert coerces v to type ty, folding constants.
+func (lw *lowerer) convert(v ir.Value, ty *types.Type) ir.Value {
+	if types.Equal(v.Type(), ty) {
+		return v
+	}
+	if cv, ok := ir.IsConst(v); ok {
+		return ir.ConstOf(ty, cv)
+	}
+	return lw.emit(&ir.Instr{Op: ir.Convert, Ty: ty, Args: []ir.Value{v}})
+}
+
+// truthy converts v to a bool test.
+func (lw *lowerer) truthy(v ir.Value) ir.Value {
+	if v == nil {
+		return ir.False()
+	}
+	if v.Type().Kind == types.Bool {
+		return v
+	}
+	return lw.cmp(token.NE, v, ir.ConstOf(v.Type(), 0))
+}
+
+// notVal negates a bool, folding constants.
+func (lw *lowerer) notVal(v ir.Value) ir.Value {
+	if cv, ok := ir.IsConst(v); ok {
+		if cv != 0 {
+			return ir.False()
+		}
+		return ir.True()
+	}
+	return lw.emit(&ir.Instr{Op: ir.Not, Ty: types.BoolType, Args: []ir.Value{v}})
+}
+
+// ---------------------------------------------------------------------------
+// Expression lowering (rvalues)
+
+func (lw *lowerer) lowerExpr(e ast.Expr) ir.Value {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		t := lw.info.TypeOf(e)
+		return ir.ConstOf(t, e.Value)
+	case *ast.BoolLit:
+		if e.Value {
+			return ir.True()
+		}
+		return ir.False()
+	case *ast.StringLit:
+		lw.errorf(e.Pos(), "internal: label in value position")
+		return ir.ConstOf(types.U32, 0)
+	case *ast.Ident:
+		return lw.lowerIdent(e)
+	case *ast.Unary:
+		return lw.lowerUnary(e)
+	case *ast.Binary:
+		return lw.lowerBinary(e)
+	case *ast.Assign:
+		return lw.lowerAssign(e)
+	case *ast.Cond:
+		return lw.lowerTernary(e)
+	case *ast.Index:
+		return lw.lowerIndexLoad(e)
+	case *ast.Member:
+		return lw.lowerMember(e)
+	case *ast.Call:
+		return lw.lowerCall(e)
+	case *ast.Cast:
+		to := lw.info.TypeOf(e)
+		return lw.convert(lw.lowerExpr(e.X), to)
+	case *ast.SizeofType, *ast.SizeofExpr:
+		if v, ok := lw.info.Consts[e]; ok {
+			return ir.ConstOf(types.U64, v)
+		}
+		lw.errorf(e.Pos(), "sizeof must be a compile-time constant")
+		return ir.ConstOf(types.U64, 0)
+	}
+	lw.errorf(e.Pos(), "internal: unsupported expression in lowering")
+	return ir.ConstOf(types.I32, 0)
+}
+
+func (lw *lowerer) lowerIdent(e *ast.Ident) ir.Value {
+	switch o := lw.info.Idents[e].(type) {
+	case *sema.Local:
+		vs := lw.vars[o]
+		if vs.isMapRef() {
+			lw.errorf(e.Pos(), "internal: Map reference used as a value")
+			return ir.ConstOf(types.U64, 0)
+		}
+		if vs.val == nil {
+			return ir.ConstOf(o.Type, 0)
+		}
+		return vs.val
+	case *sema.Param:
+		ip := lw.paramOf(o)
+		if ip == nil {
+			// Inlined helper parameter: a pseudo-local value.
+			vs := lw.vars[o]
+			if vs.val == nil {
+				return ir.ConstOf(o.Type, 0)
+			}
+			return vs.val
+		}
+		if o.Type.Kind == types.Pointer {
+			lw.errorf(e.Pos(), "internal: pointer parameter used as a value")
+			return ir.ConstOf(types.U32, 0)
+		}
+		// Scalar window parameter: one PHV element.
+		return lw.emit(&ir.Instr{Op: ir.WinLoad, Ty: o.Type, Param: ip, Args: []ir.Value{ir.ConstOf(types.U32, 0)}})
+	case *sema.Global:
+		if o.Const {
+			return ir.ConstOf(o.Type, o.Init[0])
+		}
+		g := lw.gmap[o]
+		if o.Type.IsScalar() {
+			return lw.emitInstr(ir.RegLoad, o.Type, g, ir.ConstOf(types.U32, 0))
+		}
+		lw.errorf(e.Pos(), "internal: aggregate global used as a value")
+		return ir.ConstOf(types.U32, 0)
+	}
+	lw.errorf(e.Pos(), "internal: unresolved identifier %s", e.Name)
+	return ir.ConstOf(types.I32, 0)
+}
+
+// paramOf maps a sema param (possibly of an inlined helper: not present)
+// to the IR param.
+func (lw *lowerer) paramOf(p *sema.Param) *ir.Param {
+	if ip, ok := lw.params[p]; ok {
+		return ip
+	}
+	return nil
+}
+
+func (lw *lowerer) lowerUnary(e *ast.Unary) ir.Value {
+	switch e.Op {
+	case token.ADD:
+		return lw.lowerExpr(e.X)
+	case token.SUB:
+		x := lw.lowerExpr(e.X)
+		return lw.binop(token.SUB, ir.ConstOf(types.Promote(x.Type()), 0), x)
+	case token.TILDE:
+		x := lw.lowerExpr(e.X)
+		t := types.Promote(x.Type())
+		return lw.binop(token.XOR, lw.convert(x, t), ir.ConstOf(t, ^uint64(0)))
+	case token.NOT:
+		return lw.notVal(lw.lowerTruthyExpr(e.X))
+	case token.MUL: // deref
+		return lw.lowerDerefLoad(e)
+	case token.AND:
+		lw.errorf(e.Pos(), "internal: address-of in value position (only memcpy operands)")
+		return ir.ConstOf(types.U32, 0)
+	case token.INC, token.DEC:
+		return lw.lowerIncDec(e)
+	}
+	lw.errorf(e.Pos(), "internal: unsupported unary op")
+	return ir.ConstOf(types.I32, 0)
+}
+
+// lowerTruthyExpr lowers a condition expression to a bool value, handling
+// Map-reference locals (truthiness = MapFound).
+func (lw *lowerer) lowerTruthyExpr(e ast.Expr) ir.Value {
+	if id, ok := e.(*ast.Ident); ok {
+		if lo, ok := lw.info.Idents[id].(*sema.Local); ok {
+			vs := lw.vars[lo]
+			if vs.isMapRef() {
+				return lw.emitInstr(ir.MapFound, types.BoolType, vs.mapG, vs.key)
+			}
+		}
+	}
+	return lw.truthy(lw.lowerExpr(e))
+}
+
+// lowerDerefLoad loads through a pointer: *param (window/ext element 0) or
+// *maplookup (MapValue).
+func (lw *lowerer) lowerDerefLoad(e *ast.Unary) ir.Value {
+	if id, ok := e.X.(*ast.Ident); ok {
+		switch o := lw.info.Idents[id].(type) {
+		case *sema.Local:
+			vs := lw.vars[o]
+			if vs.isMapRef() {
+				return lw.emitInstr(ir.MapValue, o.Type.Elem, vs.mapG, vs.key)
+			}
+		case *sema.Param:
+			ip := lw.paramOf(o)
+			op := ir.WinLoad
+			if o.Ext {
+				op = ir.ExtLoad
+			}
+			return lw.emit(&ir.Instr{Op: op, Ty: o.Type.Elem, Param: ip, Args: []ir.Value{ir.ConstOf(types.U32, 0)}})
+		}
+	}
+	lw.errorf(e.Pos(), "unsupported dereference")
+	return ir.ConstOf(types.I32, 0)
+}
+
+func (lw *lowerer) lowerBinary(e *ast.Binary) ir.Value {
+	switch e.Op {
+	case token.LAND, token.LOR:
+		return lw.lowerShortCircuit(e)
+	case token.EQ, token.NE, token.LT, token.GT, token.LE, token.GE:
+		return lw.cmp(e.Op, lw.lowerExpr(e.X), lw.lowerExpr(e.Y))
+	}
+	return lw.binop(e.Op, lw.lowerExpr(e.X), lw.lowerExpr(e.Y))
+}
+
+// lowerShortCircuit lowers && and || with C's evaluation order, producing
+// a diamond when the right operand must be guarded.
+func (lw *lowerer) lowerShortCircuit(e *ast.Binary) ir.Value {
+	lhs := lw.lowerTruthyExpr(e.X)
+	if cv, ok := ir.IsConst(lhs); ok {
+		if e.Op == token.LAND && cv == 0 {
+			return ir.False()
+		}
+		if e.Op == token.LOR && cv != 0 {
+			return ir.True()
+		}
+		return lw.lowerTruthyExpr(e.Y)
+	}
+	snapshot := lw.copyVars()
+	jn := lw.newJoin("sc")
+	rhsB := lw.fn.NewBlock("rhs")
+	if e.Op == token.LAND {
+		lw.condBrTo(lhs, rhsB, jn, ir.False())
+	} else {
+		// a || b: on a true, skip rhs carrying true. CondBr takes the true
+		// edge to rhs on !a.
+		lw.condBrTo(lw.notVal(lhs), rhsB, jn, ir.True())
+	}
+	lw.enter(rhsB, snapshot)
+	rhs := lw.lowerTruthyExpr(e.Y)
+	lw.jumpTo(jn, rhs)
+	return lw.sealJoinValue(jn, types.BoolType)
+}
+
+func (lw *lowerer) lowerTernary(e *ast.Cond) ir.Value {
+	resTy := lw.info.TypeOf(e)
+	cond := lw.lowerTruthyExpr(e.C)
+	if cv, ok := ir.IsConst(cond); ok {
+		if cv != 0 {
+			return lw.convert(lw.lowerExpr(e.Then), resTy)
+		}
+		return lw.convert(lw.lowerExpr(e.Else), resTy)
+	}
+	snapshot := lw.copyVars()
+	jn := lw.newJoin("condval")
+	thenB := lw.fn.NewBlock("cthen")
+	elseB := lw.fn.NewBlock("celse")
+	lw.condBr(cond, thenB, elseB)
+	lw.enter(thenB, copyOf(snapshot))
+	tv := lw.convert(lw.lowerExpr(e.Then), resTy)
+	lw.jumpTo(jn, tv)
+	lw.enter(elseB, copyOf(snapshot))
+	ev := lw.convert(lw.lowerExpr(e.Else), resTy)
+	lw.jumpTo(jn, ev)
+	return lw.sealJoinValue(jn, resTy)
+}
+
+func (lw *lowerer) lowerMember(e *ast.Member) ir.Value {
+	id, _ := e.X.(*ast.Ident)
+	if id == nil {
+		lw.errorf(e.Pos(), "internal: member base")
+		return ir.ConstOf(types.U32, 0)
+	}
+	switch o := lw.info.Idents[id].(type) {
+	case sema.Builtin:
+		switch o.Name {
+		case sema.BWindow:
+			if e.Sel == "len" {
+				// Window-length specialization: the compiled kernel serves
+				// windows of exactly WindowLen elements.
+				return ir.ConstOf(types.U32, uint64(lw.w))
+			}
+			ty := sema.WindowBuiltinFields[e.Sel]
+			if ty == nil {
+				for _, wf := range lw.mod.WinFields {
+					if wf.Name == e.Sel {
+						ty = wf.Type
+					}
+				}
+			}
+			if ty == nil {
+				lw.errorf(e.Pos(), "internal: unknown window field %s", e.Sel)
+				return ir.ConstOf(types.U32, 0)
+			}
+			return lw.emit(&ir.Instr{Op: ir.WinMeta, Ty: ty, Field: e.Sel})
+		case sema.BLocation:
+			return lw.emit(&ir.Instr{Op: ir.LocMeta, Ty: types.U32, Field: e.Sel})
+		}
+	}
+	lw.errorf(e.Pos(), "internal: unsupported member access")
+	return ir.ConstOf(types.U32, 0)
+}
+
+// ---------------------------------------------------------------------------
+// Loads/stores through index expressions
+
+// lowerIndexLoad loads x[i] as an rvalue.
+func (lw *lowerer) lowerIndexLoad(e *ast.Index) ir.Value {
+	ref, ok := lw.resolveRef(e)
+	if !ok {
+		return ir.ConstOf(types.I32, 0)
+	}
+	return lw.loadRef(e.Pos(), ref)
+}
+
+// memRef is a resolved reference to one element (or, for memcpy, the base
+// of a run of elements) of window data, host memory, or switch state.
+type memRef struct {
+	param  *ir.Param  // window or ext data
+	global *ir.Global // switch register state
+	base   ir.Value   // element index
+	elemTy *types.Type
+}
+
+// resolveRef resolves an lvalue-ish expression into a memRef.
+func (lw *lowerer) resolveRef(e ast.Expr) (memRef, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		switch o := lw.info.Idents[e].(type) {
+		case *sema.Param:
+			ip := lw.paramOf(o)
+			return memRef{param: ip, base: ir.ConstOf(types.U32, 0), elemTy: ip.ElemType()}, true
+		case *sema.Global:
+			g := lw.gmap[o]
+			if g == nil {
+				break
+			}
+			return memRef{global: g, base: ir.ConstOf(types.U32, 0), elemTy: g.ElemType()}, true
+		}
+	case *ast.Unary:
+		if e.Op == token.MUL {
+			return lw.resolveRef(derefTarget(e))
+		}
+		if e.Op == token.AND {
+			return lw.resolveRef(e.X)
+		}
+	case *ast.Index:
+		return lw.resolveIndexRef(e)
+	}
+	lw.errorf(e.Pos(), "unsupported memory reference")
+	return memRef{}, false
+}
+
+// derefTarget unwraps *p to p for resolution (deref = element 0).
+func derefTarget(e *ast.Unary) ast.Expr { return e.X }
+
+// resolveIndexRef resolves (possibly nested) indexing into a memRef with a
+// computed linear element index.
+func (lw *lowerer) resolveIndexRef(e *ast.Index) (memRef, bool) {
+	// Collect the index chain down to the base identifier.
+	var chain []ast.Expr
+	cur := ast.Expr(e)
+	for {
+		ix, ok := cur.(*ast.Index)
+		if !ok {
+			break
+		}
+		chain = append([]ast.Expr{ix.Idx}, chain...)
+		cur = ix.X
+	}
+	id, ok := cur.(*ast.Ident)
+	if !ok {
+		lw.errorf(e.Pos(), "unsupported indexed expression")
+		return memRef{}, false
+	}
+	switch o := lw.info.Idents[id].(type) {
+	case *sema.Param:
+		ip := lw.paramOf(o)
+		if len(chain) != 1 {
+			lw.errorf(e.Pos(), "window data has one dimension")
+			return memRef{}, false
+		}
+		idx := lw.convert(lw.lowerExpr(chain[0]), types.U32)
+		if !ip.Ext {
+			iv, isConst := ir.IsConst(idx)
+			if !isConst {
+				lw.errorf(e.Pos(), "window data index must be a compile-time constant: it selects a packet header field. Use a loop over window.len so the compiler can unroll it")
+				return memRef{}, false
+			}
+			if int(iv) >= ip.Elems(lw.w) {
+				lw.errorf(e.Pos(), "window element %d is out of range: %s carries %d element(s) per window at the compiled window length %d",
+					iv, ip.Nm, ip.Elems(lw.w), lw.w)
+				return memRef{}, false
+			}
+		}
+		return memRef{param: ip, base: idx, elemTy: ip.ElemType()}, true
+	case *sema.Global:
+		g := lw.gmap[o]
+		if g == nil {
+			lw.errorf(e.Pos(), "internal: missing global")
+			return memRef{}, false
+		}
+		if g.IsMap() || g.IsBloom() {
+			lw.errorf(e.Pos(), "internal: resource indexing must go through lookups")
+			return memRef{}, false
+		}
+		// Flatten multi-dimensional indices into a linear element index.
+		ty := g.Type
+		lin := ir.Value(ir.ConstOf(types.U32, 0))
+		for _, ixExpr := range chain {
+			if ty.Kind != types.Array {
+				lw.errorf(e.Pos(), "too many indices for %s", g.Name)
+				return memRef{}, false
+			}
+			idx := lw.convert(lw.lowerExpr(ixExpr), types.U32)
+			lin = lw.binop(token.MUL, lin, ir.ConstOf(types.U32, uint64(ty.Len)))
+			lin = lw.binop(token.ADD, lin, idx)
+			ty = ty.Elem
+		}
+		// Remaining array dims mean this ref is a row base (memcpy only);
+		// scale the row index down to scalar elements.
+		elemTy := ty
+		for elemTy.Kind == types.Array {
+			lin = lw.binop(token.MUL, lin, ir.ConstOf(types.U32, uint64(elemTy.Len)))
+			elemTy = elemTy.Elem
+		}
+		return memRef{global: g, base: lw.convert(lin, types.U32), elemTy: elemTy}, true
+	case *sema.Local:
+		// Map-lookup locals cannot be indexed (sema rejects).
+		lw.errorf(e.Pos(), "internal: indexing a local")
+		return memRef{}, false
+	}
+	lw.errorf(e.Pos(), "unsupported indexed expression")
+	return memRef{}, false
+}
+
+// loadRef emits the load for a resolved element reference.
+func (lw *lowerer) loadRef(pos source.Pos, r memRef) ir.Value {
+	switch {
+	case r.param != nil && !r.param.Ext:
+		return lw.emit(&ir.Instr{Op: ir.WinLoad, Ty: r.elemTy, Param: r.param, Args: []ir.Value{r.base}})
+	case r.param != nil:
+		return lw.emit(&ir.Instr{Op: ir.ExtLoad, Ty: r.elemTy, Param: r.param, Args: []ir.Value{r.base}})
+	case r.global != nil:
+		return lw.emitInstr(ir.RegLoad, r.elemTy, r.global, r.base)
+	}
+	lw.errorf(pos, "internal: empty memory reference")
+	return ir.ConstOf(types.I32, 0)
+}
+
+// storeRef emits the store for a resolved element reference.
+func (lw *lowerer) storeRef(pos source.Pos, r memRef, v ir.Value) {
+	v = lw.convert(v, r.elemTy)
+	switch {
+	case r.param != nil && !r.param.Ext:
+		lw.emit(&ir.Instr{Op: ir.WinStore, Param: r.param, Args: []ir.Value{r.base, v}})
+	case r.param != nil:
+		lw.emit(&ir.Instr{Op: ir.ExtStore, Param: r.param, Args: []ir.Value{r.base, v}})
+	case r.global != nil:
+		lw.emit(&ir.Instr{Op: ir.RegStore, Global: r.global, Args: []ir.Value{r.base, v}})
+	default:
+		lw.errorf(pos, "internal: empty memory reference")
+	}
+}
+
+// offsetRef returns r displaced by k elements (for memcpy expansion).
+func (lw *lowerer) offsetRef(r memRef, k int) memRef {
+	if k == 0 {
+		return r
+	}
+	out := r
+	out.base = lw.binop(token.ADD, r.base, ir.ConstOf(types.U32, uint64(k)))
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Assignment and side-effecting expressions
+
+func (lw *lowerer) lowerAssign(e *ast.Assign) ir.Value {
+	lhsTy := lw.info.TypeOf(e.LHS)
+	var rhs ir.Value
+	if e.Op == token.ASSIGN {
+		rhs = lw.convert(lw.lowerExpr(e.RHS), lhsTy)
+		lw.storeLValue(e.LHS, rhs)
+		return rhs
+	}
+	// Compound assignment: load, op, store.
+	old := lw.lowerExpr(e.LHS)
+	op := compoundOp(e.Op)
+	res := lw.convert(lw.binop(op, old, lw.lowerExpr(e.RHS)), lhsTy)
+	lw.storeLValue(e.LHS, res)
+	return res
+}
+
+func compoundOp(k token.Kind) token.Kind {
+	switch k {
+	case token.ADDASSIGN:
+		return token.ADD
+	case token.SUBASSIGN:
+		return token.SUB
+	case token.MULASSIGN:
+		return token.MUL
+	case token.DIVASSIGN:
+		return token.DIV
+	case token.MODASSIGN:
+		return token.MOD
+	case token.ANDASSIGN:
+		return token.AND
+	case token.ORASSIGN:
+		return token.OR
+	case token.XORASSIGN:
+		return token.XOR
+	case token.SHLASSIGN:
+		return token.SHL
+	case token.SHRASSIGN:
+		return token.SHR
+	}
+	return token.ADD
+}
+
+// storeLValue writes v into the lvalue expression.
+func (lw *lowerer) storeLValue(e ast.Expr, v ir.Value) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		switch o := lw.info.Idents[e].(type) {
+		case *sema.Local:
+			lw.vars[o] = varState{val: lw.convert(v, o.Type)}
+			return
+		case *sema.Param:
+			ip := lw.paramOf(o)
+			if ip == nil {
+				// Inlined helper parameter: by-value pseudo-local.
+				lw.vars[o] = varState{val: lw.convert(v, o.Type)}
+				return
+			}
+			// Scalar window parameter: write PHV element 0.
+			op := ir.WinStore
+			if o.Ext {
+				op = ir.ExtStore
+			}
+			lw.emit(&ir.Instr{Op: op, Param: ip, Args: []ir.Value{ir.ConstOf(types.U32, 0), lw.convert(v, ip.ElemType())}})
+			return
+		case *sema.Global:
+			// Scalar switch register.
+			g := lw.gmap[o]
+			lw.emit(&ir.Instr{Op: ir.RegStore, Global: g, Args: []ir.Value{ir.ConstOf(types.U32, 0), lw.convert(v, g.ElemType())}})
+			return
+		}
+	case *ast.Index:
+		if ref, ok := lw.resolveRef(e); ok {
+			lw.storeRef(e.Pos(), ref, v)
+		}
+		return
+	case *ast.Unary:
+		if e.Op == token.MUL {
+			if ref, ok := lw.resolveRef(e.X); ok {
+				lw.storeRef(e.Pos(), ref, v)
+			}
+			return
+		}
+	}
+	lw.errorf(e.Pos(), "internal: unsupported lvalue")
+}
+
+func (lw *lowerer) lowerIncDec(e *ast.Unary) ir.Value {
+	op := token.ADD
+	if e.Op == token.DEC {
+		op = token.SUB
+	}
+	ty := lw.info.TypeOf(e.X)
+	old := lw.lowerExpr(e.X)
+	res := lw.convert(lw.binop(op, old, ir.ConstOf(types.Promote(ty), 1)), ty)
+	lw.storeLValue(e.X, res)
+	if e.Postfix {
+		return old
+	}
+	return res
+}

@@ -1,0 +1,556 @@
+// Package lower translates type-checked NCL kernels into the acyclic SSA
+// IR. It performs, in one pass:
+//
+//   - window-length specialization: window.len becomes the constant W the
+//     kernel is compiled for (the paper's windows, §4.2, are fixed-shape
+//     per invocation mask);
+//   - full loop unrolling with compile-time trip-count evaluation — the
+//     conformance rule of §5 ("loops must have provably constant trip
+//     counts") is discharged constructively or rejected with a diagnostic;
+//   - helper inlining (PISA has no call stack);
+//   - memcpy expansion into element moves;
+//   - structured SSA construction (φ at if/else joins, break/continue and
+//     early-return edges merged through pending-predecessor lists);
+//   - on-the-fly constant folding, so window-shape arithmetic collapses
+//     at compile time.
+package lower
+
+import (
+	"ncl/internal/ncl/ast"
+	"ncl/internal/ncl/ir"
+	"ncl/internal/ncl/sema"
+	"ncl/internal/ncl/source"
+	"ncl/internal/ncl/types"
+)
+
+// MaxUnroll bounds loop unrolling; beyond this a kernel cannot fit any
+// realistic pipeline anyway.
+const MaxUnroll = 4096
+
+// Lower converts the checked program into an IR module with every kernel
+// specialized for window length w (elements per array parameter).
+func Lower(name string, info *sema.Info, w int, diags *source.DiagList) *ir.Module {
+	if w < 1 {
+		w = 1
+	}
+	lw := &lowerer{
+		info:  info,
+		diags: diags,
+		w:     w,
+		mod:   &ir.Module{Name: name},
+		gmap:  map[*sema.Global]*ir.Global{},
+	}
+	for _, g := range info.Globals {
+		if g.Const {
+			continue // compile-time constants are folded away
+		}
+		ig := &ir.Global{Name: g.Name, Type: g.Type, Loc: g.Loc, Ctrl: g.Ctrl, Init: g.Init}
+		lw.gmap[g] = ig
+		lw.mod.Globals = append(lw.mod.Globals, ig)
+	}
+	for _, wf := range info.WinFields {
+		lw.mod.WinFields = append(lw.mod.WinFields, ir.WinField{Name: wf.Name, Type: wf.Type})
+	}
+	for _, f := range info.Funcs {
+		if f.Kind == sema.Helper {
+			continue // inlined at call sites
+		}
+		if irf := lw.lowerKernel(f); irf != nil {
+			lw.mod.Funcs = append(lw.mod.Funcs, irf)
+		}
+	}
+	return lw.mod
+}
+
+type lowerer struct {
+	info  *sema.Info
+	diags *source.DiagList
+	w     int
+	mod   *ir.Module
+	gmap  map[*sema.Global]*ir.Global
+
+	fn     *ir.Func
+	cur    *ir.Block // nil = current point unreachable
+	vars   map[any]varState
+	params map[*sema.Param]*ir.Param
+	failed bool
+
+	loopCtx []loopTargets
+	retJoin *join
+
+	// inHelper is the helper currently being inlined (nil in kernel body);
+	// inlineDepth guards against pathological helper nesting.
+	inHelper    *sema.Func
+	inlineDepth int
+}
+
+// varState is the SSA state of a local: either a scalar value or a Map
+// lookup (optional pointer).
+type varState struct {
+	val  ir.Value
+	mapG *ir.Global
+	key  ir.Value
+}
+
+func (v varState) isMapRef() bool { return v.mapG != nil }
+
+type loopTargets struct {
+	brk  *join
+	cont *join
+}
+
+// join accumulates pending control-flow edges into a merge point.
+type join struct {
+	block *ir.Block
+	preds []predState
+}
+
+type predState struct {
+	blk  *ir.Block
+	vars map[any]varState
+	val  ir.Value // optional expression value carried to the join
+}
+
+func (lw *lowerer) errorf(pos source.Pos, format string, args ...any) {
+	lw.diags.Errorf(pos, format, args...)
+	lw.failed = true
+}
+
+func (lw *lowerer) copyVars() map[any]varState {
+	m := make(map[any]varState, len(lw.vars))
+	for k, v := range lw.vars {
+		m[k] = v
+	}
+	return m
+}
+
+// ---------------------------------------------------------------------------
+// Kernels
+
+func (lw *lowerer) lowerKernel(f *sema.Func) *ir.Func {
+	kind := ir.OutKernel
+	if f.Kind == sema.InKernel {
+		kind = ir.InKernel
+	}
+	irf := &ir.Func{Name: f.Name, Kind: kind, Loc: f.Loc, WindowLen: lw.w}
+	lw.fn = irf
+	lw.vars = map[any]varState{}
+	lw.params = map[*sema.Param]*ir.Param{}
+	lw.failed = false
+	for _, p := range f.Params {
+		ip := &ir.Param{Nm: p.Name, Ty: p.Type, Ext: p.Ext, Index: p.Index}
+		irf.Params = append(irf.Params, ip)
+		lw.params[p] = ip
+	}
+	entry := irf.NewBlock("entry")
+	lw.cur = entry
+	lw.retJoin = lw.newJoin("exit")
+
+	lw.lowerBlock(f.Decl.Body)
+	lw.jumpTo(lw.retJoin, nil)
+	if lw.sealJoin(lw.retJoin) {
+		lw.emit(&ir.Instr{Op: ir.Ret})
+	}
+
+	lw.pruneUnreachable()
+	if lw.failed {
+		return nil
+	}
+	return irf
+}
+
+// pruneUnreachable removes blocks never reached (e.g. joins with no preds,
+// or code after returns).
+func (lw *lowerer) pruneUnreachable() {
+	reach := map[*ir.Block]bool{}
+	var visit func(b *ir.Block)
+	visit = func(b *ir.Block) {
+		if reach[b] {
+			return
+		}
+		reach[b] = true
+		for _, s := range b.Succs() {
+			visit(s)
+		}
+	}
+	if len(lw.fn.Blocks) == 0 {
+		return
+	}
+	visit(lw.fn.Entry())
+	var keep []*ir.Block
+	for _, b := range lw.fn.Blocks {
+		if reach[b] {
+			keep = append(keep, b)
+		}
+	}
+	lw.fn.Blocks = keep
+}
+
+// ---------------------------------------------------------------------------
+// Control-flow plumbing
+
+func (lw *lowerer) emit(i *ir.Instr) *ir.Instr {
+	if lw.cur == nil {
+		// Unreachable code: evaluate into a scratch value without
+		// emitting. Returning the instruction unappended keeps types sane.
+		return i
+	}
+	return lw.cur.Append(i)
+}
+
+func (lw *lowerer) newJoin(name string) *join {
+	return &join{block: lw.fn.NewBlock(name)}
+}
+
+// jumpTo ends the current block with a branch to j, recording the variable
+// snapshot (and an optional carried value) for φ construction.
+func (lw *lowerer) jumpTo(j *join, val ir.Value) {
+	if lw.cur == nil {
+		return
+	}
+	lw.emit(&ir.Instr{Op: ir.Br, Target: j.block})
+	j.preds = append(j.preds, predState{blk: lw.cur, vars: lw.copyVars(), val: val})
+	lw.cur = nil
+}
+
+// condBrTo ends the current block with a conditional branch whose false
+// edge goes directly into join j (used by if-without-else and
+// short-circuit operators). The carried value falseVal reaches the join on
+// that edge.
+func (lw *lowerer) condBrTo(cond ir.Value, t *ir.Block, j *join, falseVal ir.Value) {
+	if lw.cur == nil {
+		return
+	}
+	lw.emit(&ir.Instr{Op: ir.CondBr, Args: []ir.Value{cond}, Target: t, Else: j.block})
+	t.Preds = append(t.Preds, lw.cur)
+	j.preds = append(j.preds, predState{blk: lw.cur, vars: lw.copyVars(), val: falseVal})
+	lw.cur = nil
+}
+
+// condBr branches to two fresh blocks.
+func (lw *lowerer) condBr(cond ir.Value, t, f *ir.Block) {
+	if lw.cur == nil {
+		return
+	}
+	lw.emit(&ir.Instr{Op: ir.CondBr, Args: []ir.Value{cond}, Target: t, Else: f})
+	t.Preds = append(t.Preds, lw.cur)
+	f.Preds = append(f.Preds, lw.cur)
+	lw.cur = nil
+}
+
+// enter makes b the current block (b must already have its preds set).
+func (lw *lowerer) enter(b *ir.Block, vars map[any]varState) {
+	lw.cur = b
+	lw.vars = vars
+}
+
+// sealJoin finalizes j: sets predecessor order, inserts φs for locals that
+// differ across edges, and makes j's block current. Returns false when the
+// join is unreachable.
+func (lw *lowerer) sealJoin(j *join) bool {
+	if len(j.preds) == 0 {
+		lw.cur = nil
+		return false
+	}
+	b := j.block
+	b.Preds = nil
+	for _, p := range j.preds {
+		b.Preds = append(b.Preds, p.blk)
+	}
+	merged := map[any]varState{}
+	first := j.preds[0].vars
+	for lo, v0 := range first {
+		inAll := true
+		same := true
+		for _, p := range j.preds[1:] {
+			v, ok := p.vars[lo]
+			if !ok {
+				inAll = false
+				break
+			}
+			if v.val != v0.val || v.mapG != v0.mapG || v.key != v0.key {
+				same = false
+			}
+		}
+		if !inAll {
+			continue
+		}
+		if same {
+			merged[lo] = v0
+			continue
+		}
+		if v0.isMapRef() {
+			// Map references cannot merge to different lookups; scoping
+			// makes this unreachable, but guard anyway.
+			continue
+		}
+		phi := &ir.Instr{Op: ir.Phi, Ty: v0.val.Type()}
+		for _, p := range j.preds {
+			phi.Args = append(phi.Args, p.vars[lo].val)
+		}
+		// φs go to the front of the block.
+		lw.prependPhi(b, phi)
+		merged[lo] = varState{val: phi}
+	}
+	lw.cur = b
+	lw.vars = merged
+	return true
+}
+
+// sealJoinValue finalizes a value-carrying join (short-circuit ops,
+// ternaries) and returns the merged value.
+func (lw *lowerer) sealJoinValue(j *join, ty *types.Type) ir.Value {
+	if !lw.sealJoin(j) {
+		return ir.ConstOf(ty, 0)
+	}
+	v0 := j.preds[0].val
+	same := true
+	for _, p := range j.preds[1:] {
+		if p.val != v0 {
+			same = false
+			break
+		}
+	}
+	if same {
+		return v0
+	}
+	phi := &ir.Instr{Op: ir.Phi, Ty: ty}
+	for _, p := range j.preds {
+		phi.Args = append(phi.Args, p.val)
+	}
+	lw.prependPhi(j.block, phi)
+	return phi
+}
+
+// prependPhi inserts a φ before the non-φ instructions of b.
+func (lw *lowerer) prependPhi(b *ir.Block, phi *ir.Instr) {
+	n := 0
+	for n < len(b.Instrs) && b.Instrs[n].Op == ir.Phi {
+		n++
+	}
+	b.Instrs = append(b.Instrs, nil)
+	copy(b.Instrs[n+1:], b.Instrs[n:])
+	b.Instrs[n] = phi
+	phi.Blk = b
+	ir.AssignID(b.Func, phi)
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (lw *lowerer) lowerBlock(b *ast.BlockStmt) {
+	for _, s := range b.Stmts {
+		lw.lowerStmt(s)
+	}
+}
+
+func (lw *lowerer) lowerStmt(s ast.Stmt) {
+	if lw.cur == nil {
+		return // unreachable code after return/break/continue
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		lw.lowerBlock(s)
+	case *ast.EmptyStmt:
+	case *ast.DeclStmt:
+		lw.lowerLocalDecl(s.Decl)
+	case *ast.ExprStmt:
+		lw.lowerExpr(s.X)
+	case *ast.IfStmt:
+		lw.lowerIf(s)
+	case *ast.ForStmt:
+		lw.lowerFor(s)
+	case *ast.WhileStmt:
+		lw.lowerWhile(s)
+	case *ast.ReturnStmt:
+		if lw.inHelper != nil && lw.inHelper.Ret.Kind != types.Void {
+			if s.X == nil {
+				lw.errorf(s.Pos(), "internal: missing return value")
+				return
+			}
+			v := lw.convert(lw.lowerExpr(s.X), lw.inHelper.Ret)
+			lw.jumpTo(lw.retJoin, v)
+			return
+		}
+		lw.jumpTo(lw.retJoin, nil)
+	case *ast.BreakStmt:
+		if len(lw.loopCtx) == 0 {
+			return
+		}
+		lw.jumpTo(lw.loopCtx[len(lw.loopCtx)-1].brk, nil)
+	case *ast.ContinueStmt:
+		if len(lw.loopCtx) == 0 {
+			return
+		}
+		lw.jumpTo(lw.loopCtx[len(lw.loopCtx)-1].cont, nil)
+	}
+}
+
+func (lw *lowerer) localOf(d *ast.VarDecl) *sema.Local {
+	return lw.info.Decls[d]
+}
+
+func (lw *lowerer) lowerLocalDecl(d *ast.VarDecl) *sema.Local {
+	lo := lw.localOf(d)
+	if lo == nil {
+		// The local is never referenced; still evaluate the initializer
+		// for side effects.
+		if d.Init != nil {
+			lw.lowerExpr(d.Init)
+		}
+		return nil
+	}
+	if lo.Type.Kind == types.Pointer && lo.Type.OptionalPtr {
+		g, key := lw.lowerMapLookup(d.Init)
+		lw.vars[lo] = varState{mapG: g, key: key}
+		return lo
+	}
+	var v ir.Value
+	if d.Init != nil {
+		v = lw.convert(lw.lowerExpr(d.Init), lo.Type)
+	} else {
+		v = ir.ConstOf(lo.Type, 0)
+	}
+	lw.vars[lo] = varState{val: v}
+	return lo
+}
+
+// lowerMapLookup lowers a Map-subscript initializer to (global, key).
+func (lw *lowerer) lowerMapLookup(e ast.Expr) (*ir.Global, ir.Value) {
+	ix, ok := e.(*ast.Index)
+	if !ok {
+		lw.errorf(e.Pos(), "internal: optional pointer not from a Map lookup")
+		return nil, ir.ConstOf(types.U64, 0)
+	}
+	g := lw.globalOf(ix.X)
+	if g == nil || !g.IsMap() {
+		lw.errorf(e.Pos(), "internal: Map lookup base is not a Map")
+		return nil, ir.ConstOf(types.U64, 0)
+	}
+	key := lw.convert(lw.lowerExpr(ix.Idx), g.Type.Key)
+	return g, key
+}
+
+func (lw *lowerer) globalOf(e ast.Expr) *ir.Global {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	sg, ok := lw.info.Idents[id].(*sema.Global)
+	if !ok {
+		return nil
+	}
+	return lw.gmap[sg]
+}
+
+func (lw *lowerer) lowerIf(s *ast.IfStmt) {
+	var cond ir.Value
+	if s.CondDecl != nil {
+		lo := lw.lowerLocalDecl(s.CondDecl)
+		if lo == nil {
+			return
+		}
+		vs := lw.vars[lo]
+		if vs.isMapRef() {
+			cond = lw.emitInstr(ir.MapFound, types.BoolType, vs.mapG, vs.key)
+		} else {
+			cond = lw.truthy(vs.val)
+		}
+	} else {
+		cond = lw.truthy(lw.lowerExpr(s.Cond))
+	}
+	if cv, ok := ir.IsConst(cond); ok {
+		// Constant condition: lower only the taken branch.
+		if cv != 0 {
+			lw.lowerStmt(s.Then)
+		} else if s.Else != nil {
+			lw.lowerStmt(s.Else)
+		}
+		return
+	}
+	snapshot := lw.copyVars()
+	jn := lw.newJoin("endif")
+	thenB := lw.fn.NewBlock("then")
+	if s.Else == nil {
+		lw.condBrTo(cond, thenB, jn, nil)
+		lw.enter(thenB, snapshot)
+		lw.lowerStmt(s.Then)
+		lw.jumpTo(jn, nil)
+	} else {
+		elseB := lw.fn.NewBlock("else")
+		lw.condBr(cond, thenB, elseB)
+		lw.enter(thenB, copyOf(snapshot))
+		lw.lowerStmt(s.Then)
+		lw.jumpTo(jn, nil)
+		lw.enter(elseB, copyOf(snapshot))
+		lw.lowerStmt(s.Else)
+		lw.jumpTo(jn, nil)
+	}
+	lw.sealJoin(jn)
+}
+
+func copyOf(m map[any]varState) map[any]varState {
+	out := make(map[any]varState, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// lowerFor unrolls the loop at compile time. The condition must fold to a
+// constant before each iteration (conformance, §5).
+func (lw *lowerer) lowerFor(s *ast.ForStmt) {
+	if s.Init != nil {
+		lw.lowerStmt(s.Init)
+	}
+	lw.unrollLoop(s.Pos(), s.Cond, s.Post, s.Body)
+}
+
+func (lw *lowerer) lowerWhile(s *ast.WhileStmt) {
+	lw.unrollLoop(s.Pos(), s.Cond, nil, s.Body)
+}
+
+func (lw *lowerer) unrollLoop(pos source.Pos, cond ast.Expr, post ast.Expr, body ast.Stmt) {
+	brk := lw.newJoin("loopexit")
+	for iter := 0; ; iter++ {
+		if iter > MaxUnroll {
+			lw.errorf(pos, "loop exceeds the unroll limit of %d iterations", MaxUnroll)
+			return
+		}
+		if lw.cur == nil {
+			break
+		}
+		proceed := true
+		if cond != nil {
+			cv := lw.truthy(lw.lowerExpr(cond))
+			c, isConst := ir.IsConst(cv)
+			if !isConst {
+				lw.errorf(cond.Pos(), "loop condition is not a compile-time constant; PISA pipelines require provably constant trip counts (§5). Loop bounds may use window.len, constants, and unmodified induction variables")
+				return
+			}
+			proceed = c != 0
+		} else {
+			// No condition (for(;;)): only break can exit; rely on the
+			// unroll limit to reject infinite loops.
+			proceed = true
+		}
+		if !proceed {
+			break
+		}
+		cont := lw.newJoin("iterend")
+		lw.loopCtx = append(lw.loopCtx, loopTargets{brk: brk, cont: cont})
+		lw.lowerStmt(body)
+		lw.loopCtx = lw.loopCtx[:len(lw.loopCtx)-1]
+		lw.jumpTo(cont, nil)
+		if !lw.sealJoin(cont) {
+			// All paths broke or returned.
+			break
+		}
+		if post != nil {
+			lw.lowerExpr(post)
+		}
+	}
+	// Fall-through edge joins any break edges.
+	lw.jumpTo(brk, nil)
+	lw.sealJoin(brk)
+}

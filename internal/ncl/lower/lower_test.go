@@ -1,0 +1,547 @@
+package lower
+
+import (
+	"strings"
+	"testing"
+
+	"ncl/internal/ncl/ir"
+	"ncl/internal/ncl/parser"
+	"ncl/internal/ncl/sema"
+	"ncl/internal/ncl/source"
+)
+
+// lowerSrc runs the full frontend + lowering for window length w.
+func lowerSrc(t *testing.T, src string, w int) (*ir.Module, *source.DiagList) {
+	t.Helper()
+	var diags source.DiagList
+	f := parser.ParseSource("test.ncl", src, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse errors: %v", diags.Err())
+	}
+	info := sema.Check(f, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("sema errors: %v", diags.Err())
+	}
+	m := Lower("test", info, w, &diags)
+	return m, &diags
+}
+
+func lowerOK(t *testing.T, src string, w int) *ir.Module {
+	t.Helper()
+	m, diags := lowerSrc(t, src, w)
+	if diags.HasErrors() {
+		t.Fatalf("lowering errors:\n%v", diags.Err())
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("IR verification failed: %v\n%s", err, m)
+	}
+	return m
+}
+
+func lowerErr(t *testing.T, src string, w int, fragment string) {
+	t.Helper()
+	_, diags := lowerSrc(t, src, w)
+	if !diags.HasErrors() {
+		t.Fatalf("expected lowering error containing %q", fragment)
+	}
+	if !strings.Contains(diags.Err().Error(), fragment) {
+		t.Errorf("errors do not mention %q:\n%v", fragment, diags.Err())
+	}
+}
+
+func countOps(f *ir.Func, op ir.Op) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// --- basics ---
+
+func TestLowerStraightLine(t *testing.T) {
+	m := lowerOK(t, `
+_net_ int acc[8] = {0};
+_net_ _out_ void k(int *d) { acc[0] += d[0]; }
+`, 4)
+	f := m.FuncByName("k")
+	if f == nil {
+		t.Fatal("kernel k missing")
+	}
+	if countOps(f, ir.RegLoad) != 1 || countOps(f, ir.RegStore) != 1 || countOps(f, ir.WinLoad) != 1 {
+		t.Errorf("unexpected op mix:\n%s", f)
+	}
+}
+
+func TestLoopUnrolling(t *testing.T) {
+	m := lowerOK(t, `
+_net_ int acc[64] = {0};
+_net_ _out_ void k(int *d) {
+    for (unsigned i = 0; i < window.len; ++i)
+        acc[i] += d[i];
+}
+`, 8)
+	f := m.FuncByName("k")
+	// 8 iterations: 8 window loads, 8 reg loads, 8 reg stores.
+	if countOps(f, ir.WinLoad) != 8 || countOps(f, ir.RegStore) != 8 {
+		t.Errorf("unroll by W=8 expected 8 loads/stores:\n%s", f)
+	}
+	// No branches: the loop disappears entirely.
+	if countOps(f, ir.CondBr) != 0 {
+		t.Errorf("unrolled loop should leave no branches:\n%s", f)
+	}
+}
+
+func TestLoopUnrollDifferentW(t *testing.T) {
+	for _, w := range []int{1, 2, 16, 64} {
+		m := lowerOK(t, `
+_net_ int acc[64] = {0};
+_net_ _out_ void k(int *d) { for (unsigned i = 0; i < window.len; ++i) acc[i] += d[i]; }
+`, w)
+		f := m.FuncByName("k")
+		if got := countOps(f, ir.WinLoad); got != w {
+			t.Errorf("W=%d: %d window loads", w, got)
+		}
+	}
+}
+
+func TestRuntimeLoopBoundRejected(t *testing.T) {
+	lowerErr(t, `
+_net_ int acc[64] = {0};
+_net_ _out_ void k(int *d) {
+    for (unsigned i = 0; i < acc[0]; ++i) d[0] += 1;
+}
+`, 4, "provably constant trip counts")
+}
+
+func TestModifiedInductionVarRejected(t *testing.T) {
+	lowerErr(t, `
+_net_ int acc[64] = {0};
+_net_ _out_ void k(int *d) {
+    for (unsigned i = 0; i < 4; ++i) { if (d[0]) i += d[1]; }
+}
+`, 4, "provably constant")
+}
+
+func TestUnrollLimit(t *testing.T) {
+	lowerErr(t, `
+_net_ _out_ void k(int *d) { for (unsigned i = 0; i < 100000; ++i) d[0] += 1; }
+`, 4, "unroll limit")
+}
+
+func TestInfiniteLoopRejected(t *testing.T) {
+	lowerErr(t, `
+_net_ _out_ void k(int *d) { while (true) d[0] += 1; }
+`, 4, "unroll limit")
+}
+
+func TestBreakInUnrolledLoop(t *testing.T) {
+	m := lowerOK(t, `
+_net_ _out_ void k(int *d) {
+    for (unsigned i = 0; i < window.len; ++i) {
+        if (d[i] == 0) break;
+        d[i] = 1;
+    }
+}
+`, 4)
+	f := m.FuncByName("k")
+	// Runtime breaks leave conditional control flow behind.
+	if countOps(f, ir.CondBr) != 4 {
+		t.Errorf("expected 4 runtime break tests:\n%s", f)
+	}
+}
+
+func TestContinueInUnrolledLoop(t *testing.T) {
+	lowerOK(t, `
+_net_ _out_ void k(int *d) {
+    for (unsigned i = 0; i < window.len; ++i) {
+        if (d[i] == 0) continue;
+        d[i] = 2;
+    }
+}
+`, 4)
+}
+
+func TestCompileTimeBreak(t *testing.T) {
+	m := lowerOK(t, `
+_net_ _out_ void k(int *d) {
+    for (unsigned i = 0; i < 100; ++i) {
+        if (i == 2) break;
+        d[0] += 1;
+    }
+}
+`, 4)
+	f := m.FuncByName("k")
+	// i==2 folds; iterations 0,1 run, 2 breaks: 2 adds, no branches.
+	if countOps(f, ir.WinStore) != 2 || countOps(f, ir.CondBr) != 0 {
+		t.Errorf("compile-time break mis-lowered:\n%s", f)
+	}
+}
+
+// --- control flow and φ ---
+
+func TestIfElsePhi(t *testing.T) {
+	m := lowerOK(t, `
+_net_ _out_ void k(int *d) {
+    int x = 0;
+    if (d[0] > 0) { x = 1; } else { x = 2; }
+    d[1] = x;
+}
+`, 4)
+	f := m.FuncByName("k")
+	if countOps(f, ir.Phi) != 1 {
+		t.Errorf("want exactly one φ:\n%s", f)
+	}
+}
+
+func TestIfWithoutElsePhi(t *testing.T) {
+	m := lowerOK(t, `
+_net_ _out_ void k(int *d) {
+    int x = 5;
+    if (d[0] > 0) x = 7;
+    d[1] = x;
+}
+`, 4)
+	f := m.FuncByName("k")
+	if countOps(f, ir.Phi) != 1 {
+		t.Errorf("want one φ merging 5/7:\n%s", f)
+	}
+}
+
+func TestNestedIfPhis(t *testing.T) {
+	lowerOK(t, `
+_net_ _out_ void k(int *d) {
+    int x = 0;
+    if (d[0]) {
+        if (d[1]) x = 1; else x = 2;
+    } else {
+        x = 3;
+    }
+    d[2] = x;
+}
+`, 4)
+}
+
+func TestConstantConditionFolds(t *testing.T) {
+	m := lowerOK(t, `
+_net_ _out_ void k(int *d) {
+    if (window.len == 4) d[0] = 1; else d[0] = 2;
+}
+`, 4)
+	f := m.FuncByName("k")
+	if countOps(f, ir.CondBr) != 0 {
+		t.Errorf("window.len comparison must fold:\n%s", f)
+	}
+	// Only the taken branch lowers.
+	stores := countOps(f, ir.WinStore)
+	if stores != 1 {
+		t.Errorf("want 1 store, got %d", stores)
+	}
+}
+
+func TestShortCircuitAnd(t *testing.T) {
+	m := lowerOK(t, `
+_net_ unsigned c[4] = {0};
+_net_ _out_ void k(int *d, bool u) {
+    if (u && ++c[0] > 2) d[0] = 1;
+}
+`, 4)
+	f := m.FuncByName("k")
+	// The increment must be guarded: RegStore happens on the rhs path only.
+	if countOps(f, ir.CondBr) < 2 {
+		t.Errorf("short-circuit must produce guarded evaluation:\n%s", f)
+	}
+}
+
+func TestTernaryLowering(t *testing.T) {
+	lowerOK(t, `
+_net_ _out_ void k(int *d, bool u) { d[0] = u ? d[1] : d[2]; }
+`, 4)
+}
+
+func TestEarlyReturn(t *testing.T) {
+	lowerOK(t, `
+_net_ _out_ void k(int *d) {
+    if (d[0] == 0) { _drop(); return; }
+    d[0] = 1;
+}
+`, 4)
+}
+
+// --- window data ---
+
+func TestScalarParams(t *testing.T) {
+	m := lowerOK(t, `
+_net_ _out_ void k(uint64_t key, bool update) {
+    if (update) key = 0;
+}
+`, 4)
+	f := m.FuncByName("k")
+	if countOps(f, ir.WinLoad) != 1 || countOps(f, ir.WinStore) != 1 {
+		t.Errorf("scalar params are single window elements:\n%s", f)
+	}
+}
+
+func TestWindowIndexOutOfRangeRejected(t *testing.T) {
+	lowerErr(t, `
+_net_ _out_ void k(int *d) { d[5] = 1; }
+`, 4, "out of range")
+	lowerErr(t, `
+_net_ _out_ void k(uint64_t key) { }
+_net_ _out_ void k2(int *a, uint8_t *b) { b[1] = 0; }
+`, 1, "out of range")
+}
+
+func TestRuntimeWindowIndexRejected(t *testing.T) {
+	lowerErr(t, `
+_net_ int acc[8] = {0};
+_net_ _out_ void k(int *d) { d[acc[0]] = 1; }
+`, 4, "compile-time constant")
+}
+
+func TestWindowLenSpecialized(t *testing.T) {
+	m := lowerOK(t, `
+_net_ int acc[64] = {0};
+_net_ _out_ void k(int *d) { acc[window.seq * window.len] += 1; }
+`, 16)
+	f := m.FuncByName("k")
+	// window.len folds to 16; only window.seq reads remain (CSE of the
+	// duplicate read happens in the optimizer, not here).
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.WinMeta && in.Field == "len" {
+				t.Errorf("window.len must be specialized away:\n%s", f)
+			}
+		}
+	}
+	if countOps(f, ir.WinMeta) == 0 {
+		t.Errorf("window.seq must remain a runtime read:\n%s", f)
+	}
+}
+
+// --- memcpy ---
+
+func TestMemcpyExpansion(t *testing.T) {
+	m := lowerOK(t, `
+_net_ int accum[64] = {0};
+_net_ _out_ void k(int *data) {
+    memcpy(data, &accum[window.seq * window.len], window.len * 4);
+}
+`, 8)
+	f := m.FuncByName("k")
+	if countOps(f, ir.RegLoad) != 8 || countOps(f, ir.WinStore) != 8 {
+		t.Errorf("memcpy of 8 ints must expand to 8 moves:\n%s", f)
+	}
+}
+
+func TestMemcpy2DRow(t *testing.T) {
+	m := lowerOK(t, `
+_net_ ncl::Map<uint64_t, uint8_t, 16> Idx;
+_net_ char Cache[16][32] = {{0}};
+_net_ _out_ void k(uint64_t key, char *val) {
+    auto *i = Idx[key];
+    memcpy(val, Cache[*i], 32);
+}
+`, 32)
+	f := m.FuncByName("k")
+	if countOps(f, ir.RegLoad) != 32 || countOps(f, ir.WinStore) != 32 {
+		t.Errorf("row copy must expand to 32 byte moves:\n%s", f)
+	}
+}
+
+func TestMemcpyElemSizeMismatch(t *testing.T) {
+	lowerErr(t, `
+_net_ int accum[8] = {0};
+_net_ _out_ void k(char *val) { memcpy(val, &accum[0], 8); }
+`, 8, "element sizes differ")
+}
+
+func TestMemcpyNonConstLength(t *testing.T) {
+	lowerErr(t, `
+_net_ int accum[8] = {0};
+_net_ _out_ void k(int *d) { memcpy(d, &accum[0], (unsigned)d[0]); }
+`, 4, "compile-time constant")
+}
+
+// --- maps, blooms, helpers ---
+
+func TestMapLoweringSharedLookup(t *testing.T) {
+	m := lowerOK(t, `
+_net_ ncl::Map<uint64_t, uint8_t, 16> M;
+_net_ bool Valid[16] = {false};
+_net_ _out_ void k(uint64_t key) {
+    if (auto *idx = M[key]) { Valid[*idx] = false; }
+}
+`, 4)
+	f := m.FuncByName("k")
+	if countOps(f, ir.MapFound) != 1 || countOps(f, ir.MapValue) != 1 {
+		t.Errorf("map lookup ops wrong:\n%s", f)
+	}
+}
+
+func TestBloomLowering(t *testing.T) {
+	m := lowerOK(t, `
+_net_ ncl::Bloom<256, 3> seen;
+_net_ _out_ void k(uint64_t key) {
+    if (seen.test(key)) _drop();
+    seen.add(key);
+}
+`, 4)
+	f := m.FuncByName("k")
+	if countOps(f, ir.BloomTest) != 1 || countOps(f, ir.BloomAdd) != 1 {
+		t.Errorf("bloom ops wrong:\n%s", f)
+	}
+}
+
+func TestHelperInlining(t *testing.T) {
+	m := lowerOK(t, `
+int clamp(int v, int hi) { if (v > hi) return hi; return v; }
+_net_ _out_ void k(int *d) { d[0] = clamp(d[0], 100); }
+`, 4)
+	f := m.FuncByName("k")
+	if m.FuncByName("clamp") != nil {
+		t.Error("helpers must not appear as IR functions")
+	}
+	if countOps(f, ir.Phi) != 1 {
+		t.Errorf("inlined early return needs a φ:\n%s", f)
+	}
+}
+
+func TestHelperInliningNested(t *testing.T) {
+	lowerOK(t, `
+int a(int v) { return v + 1; }
+int b(int v) { return a(v) * 2; }
+_net_ _out_ void k(int *d) { d[0] = b(d[0]); }
+`, 4)
+}
+
+// --- forwarding ---
+
+func TestForwardingOps(t *testing.T) {
+	m := lowerOK(t, `
+_net_ _out_ void k(int *d) {
+    if (d[0] == 0) _drop();
+    else if (d[0] == 1) _pass("server");
+    else _bcast();
+}
+`, 4)
+	f := m.FuncByName("k")
+	if countOps(f, ir.Fwd) != 3 {
+		t.Errorf("want 3 fwd ops:\n%s", f)
+	}
+	// Check the pass label survived.
+	found := false
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.Fwd && in.Field == "pass" && in.Label == "server" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("pass label lost")
+	}
+}
+
+// --- paper kernels end-to-end through lowering ---
+
+const fig4Src = `
+#define DATA_LEN 64
+_net_ _at_("s1") int accum[DATA_LEN] = {0};
+_net_ _at_("s1") unsigned count[DATA_LEN/8] = {0};
+_net_ _at_("s1") _ctrl_ unsigned nworkers;
+
+_net_ _out_ void allreduce(int *data) {
+    unsigned base = window.seq * window.len;
+    for (unsigned i = 0; i < window.len; ++i)
+        accum[base + i] += data[i];
+    if (++count[window.seq] == nworkers) {
+        memcpy(data, &accum[base], window.len * 4);
+        count[window.seq] = 0; _bcast();
+    } else { _drop(); }
+}
+
+_net_ _in_ void result(int *data, _ext_ int *hdata, _ext_ bool *done) {
+    for (unsigned i = 0; i < window.len; ++i)
+        hdata[window.seq * window.len + i] = data[i];
+    *done = true;
+}
+`
+
+func TestPaperFig4Lowers(t *testing.T) {
+	m := lowerOK(t, fig4Src, 8)
+	ar := m.FuncByName("allreduce")
+	if ar == nil {
+		t.Fatal("allreduce missing")
+	}
+	if ar.Kind != ir.OutKernel || ar.Loc != "" {
+		// Fig. 4's kernel is location-less (SPMD); only its state is _at_("s1").
+		t.Errorf("allreduce metadata wrong: kind=%v loc=%q", ar.Kind, ar.Loc)
+	}
+	// 8 accumulations + count RMW + 8 result copies.
+	if countOps(ar, ir.RegStore) < 9 {
+		t.Errorf("accumulation stores missing:\n%s", ar)
+	}
+	res := m.FuncByName("result")
+	if res == nil || res.Kind != ir.InKernel {
+		t.Fatal("result kernel wrong")
+	}
+	if countOps(res, ir.ExtStore) != 9 { // 8 hdata + 1 done
+		t.Errorf("result ext stores = %d, want 9:\n%s", countOps(res, ir.ExtStore), res)
+	}
+}
+
+const fig5Src = `
+#define SERVER 1
+_net_ _at_("s1") ncl::Map<uint64_t, uint8_t, 256> Idx;
+_net_ _at_("s1") char Cache[256][128] = {{0}};
+_net_ _at_("s1") bool Valid[256] = {false};
+
+_net_ _out_ void query(uint64_t key, char *val, bool update) {
+    if (window.from != SERVER && update) {
+        if (auto *idx = Idx[key]) Valid[*idx] = false;
+    } else if (window.from != SERVER) {
+        if (auto *idx = Idx[key]) {
+            if (Valid[*idx]) {
+                memcpy(val, Cache[*idx], 128); _reflect(); } }
+    } else if (update) {
+        auto *idx = Idx[key]; memcpy(Cache[*idx], val, 128);
+        Valid[*idx] = true; _drop();
+    } else { }
+}
+`
+
+func TestPaperFig5Lowers(t *testing.T) {
+	m := lowerOK(t, fig5Src, 128)
+	q := m.FuncByName("query")
+	if q == nil {
+		t.Fatal("query missing")
+	}
+	// Value copies: 128 bytes in each direction on the two memcpy paths.
+	if countOps(q, ir.RegLoad) < 128 {
+		t.Errorf("cache read path missing moves:\n%d regloads", countOps(q, ir.RegLoad))
+	}
+	if countOps(q, ir.RegStore) < 128 {
+		t.Errorf("cache write path missing moves: %d regstores", countOps(q, ir.RegStore))
+	}
+	if countOps(q, ir.MapFound) < 2 {
+		t.Errorf("map lookups missing")
+	}
+}
+
+func TestModuleStringRendering(t *testing.T) {
+	m := lowerOK(t, `
+_net_ int acc[4] = {0};
+_net_ _out_ void k(int *d) { acc[0] += d[0]; }
+`, 4)
+	s := m.String()
+	for _, want := range []string{"module test", "global acc", "func out k", "regload", "regstore", "ret"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("module dump missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,804 @@
+// Package parser implements a recursive-descent parser for NCL, the C/C++
+// extension of "Don't You Worry 'Bout a Packet" (HotNets '21). It accepts
+// the paper's example programs (Figs. 4-5) verbatim: declaration
+// specifiers, kernels, switch memory with initializers, ncl::Map template
+// types, condition declarations (`if (auto *idx = Idx[key])`), and the
+// forwarding primitives.
+package parser
+
+import (
+	"strconv"
+	"strings"
+
+	"ncl/internal/ncl/ast"
+	"ncl/internal/ncl/lexer"
+	"ncl/internal/ncl/source"
+	"ncl/internal/ncl/token"
+)
+
+// builtinAliases is the closed set of identifier spellings the parser
+// treats as type names. Keeping the set closed sidesteps C's typedef
+// ambiguity without a symbol-table feedback loop.
+var builtinAliases = map[string]bool{
+	"uint8_t": true, "uint16_t": true, "uint32_t": true, "uint64_t": true,
+	"int8_t": true, "int16_t": true, "int32_t": true, "int64_t": true,
+	"size_t": true, "uintptr_t": true,
+}
+
+// Parser holds parsing state for one token stream.
+type Parser struct {
+	toks  []token.Token
+	pos   int
+	diags *source.DiagList
+	fname string
+}
+
+// ParseFile preprocesses and parses an NCL source file.
+func ParseFile(file *source.File, includes lexer.Includes, diags *source.DiagList) *ast.File {
+	toks := lexer.Preprocess(file, includes, diags)
+	p := &Parser{toks: toks, diags: diags, fname: file.Name}
+	return p.parseFile()
+}
+
+// ParseSource is a convenience wrapper over ParseFile for in-memory source.
+func ParseSource(name, src string, diags *source.DiagList) *ast.File {
+	return ParseFile(source.NewFile(name, []byte(src)), nil, diags)
+}
+
+func (p *Parser) cur() token.Token { return p.toks[p.pos] }
+func (p *Parser) peek() token.Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+func (p *Parser) peekN(n int) token.Token {
+	if p.pos+n < len(p.toks) {
+		return p.toks[p.pos+n]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *Parser) next() token.Token {
+	t := p.toks[p.pos]
+	if t.Kind != token.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) at(k token.Kind) bool { return p.cur().Kind == k }
+
+func (p *Parser) accept(k token.Kind) (token.Token, bool) {
+	if p.at(k) {
+		return p.next(), true
+	}
+	return token.Token{}, false
+}
+
+func (p *Parser) expect(k token.Kind, context string) token.Token {
+	if p.at(k) {
+		return p.next()
+	}
+	p.errorf(p.cur().Pos, "expected %q %s, found %s", k.String(), context, p.cur())
+	return token.Token{Kind: k, Pos: p.cur().Pos}
+}
+
+func (p *Parser) errorf(pos source.Pos, format string, args ...any) {
+	p.diags.Errorf(pos, format, args...)
+}
+
+// sync skips tokens until a likely statement/declaration boundary, so one
+// syntax error doesn't cascade.
+func (p *Parser) sync() {
+	depth := 0
+	for {
+		switch p.cur().Kind {
+		case token.EOF:
+			return
+		case token.SEMI:
+			if depth == 0 {
+				p.next()
+				return
+			}
+		case token.LBRACE:
+			depth++
+		case token.RBRACE:
+			if depth == 0 {
+				return
+			}
+			depth--
+		}
+		p.next()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Files and declarations
+
+func (p *Parser) parseFile() *ast.File {
+	f := &ast.File{Name: p.fname}
+	for !p.at(token.EOF) {
+		start := p.pos
+		d := p.parseTopDecl()
+		if d != nil {
+			f.Decls = append(f.Decls, d)
+		}
+		if p.pos == start { // no progress; avoid infinite loop
+			p.errorf(p.cur().Pos, "unexpected token %s at top level", p.cur())
+			p.next()
+		}
+	}
+	return f
+}
+
+// parseSpecifiers consumes a run of NCL declaration specifiers and const.
+func (p *Parser) parseSpecifiers() ast.Specifiers {
+	var s ast.Specifiers
+	for {
+		t := p.cur()
+		switch t.Kind {
+		case token.NET:
+			if s.Net {
+				p.errorf(t.Pos, "duplicate _net_ specifier")
+			}
+			s.Net = true
+		case token.OUT:
+			if s.Out {
+				p.errorf(t.Pos, "duplicate _out_ specifier")
+			}
+			s.Out = true
+		case token.IN:
+			if s.In {
+				p.errorf(t.Pos, "duplicate _in_ specifier")
+			}
+			s.In = true
+		case token.CTRL:
+			if s.Ctrl {
+				p.errorf(t.Pos, "duplicate _ctrl_ specifier")
+			}
+			s.Ctrl = true
+		case token.EXT:
+			if s.Ext {
+				p.errorf(t.Pos, "duplicate _ext_ specifier")
+			}
+			s.Ext = true
+		case token.WIN:
+			if s.Win {
+				p.errorf(t.Pos, "duplicate _win_ specifier")
+			}
+			s.Win = true
+		case token.AT:
+			if s.At != "" {
+				p.errorf(t.Pos, "duplicate _at_ specifier")
+			}
+			p.next()
+			p.expect(token.LPAREN, "after _at_")
+			lit := p.expect(token.STRINGLIT, "as _at_ location label")
+			if lit.Lit == "" {
+				p.errorf(lit.Pos, "_at_ label must be a non-empty string")
+			}
+			s.At = lit.Lit
+			s.AtPos = lit.Pos
+			p.expect(token.RPAREN, "to close _at_(...)")
+			if !s.Pos.IsValid() {
+				s.Pos = t.Pos
+			}
+			continue
+		default:
+			return s
+		}
+		if !s.Pos.IsValid() {
+			s.Pos = t.Pos
+		}
+		p.next()
+	}
+}
+
+func (p *Parser) parseTopDecl() ast.Decl {
+	specs := p.parseSpecifiers()
+	if p.at(token.KWSTRUCT) {
+		p.errorf(p.cur().Pos, "user-defined structs are not supported in NCL; use arrays or extend the builtin window struct with _win_ fields")
+		p.sync()
+		return nil
+	}
+	// At top level, `ncl::Name` is always intended as a template type even
+	// without arguments; parseType produces the helpful diagnostic.
+	nclType := p.at(token.IDENT) && p.cur().Lit == "ncl" && p.peek().Kind == token.SCOPE
+	if !p.atTypeStart() && !nclType {
+		p.errorf(p.cur().Pos, "expected a declaration, found %s", p.cur())
+		p.sync()
+		return nil
+	}
+	baseTy := p.parseType()
+	// Declarator: pointers bind to the declarator in C.
+	ty := p.parsePointers(baseTy)
+	name := p.expect(token.IDENT, "as declared name")
+
+	if p.at(token.LPAREN) {
+		return p.parseFuncRest(specs, ty, name)
+	}
+	return p.parseVarRest(specs, ty, name, "top-level declaration")
+}
+
+// parseVarRest parses array dimensions, an optional initializer, and the
+// terminating semicolon of a variable declaration whose type and name have
+// been consumed.
+func (p *Parser) parseVarRest(specs ast.Specifiers, ty ast.TypeExpr, name token.Token, context string) *ast.VarDecl {
+	ty = p.parseArraySuffix(ty)
+	var init ast.Expr
+	if _, ok := p.accept(token.ASSIGN); ok {
+		init = p.parseInitializer()
+	}
+	p.expect(token.SEMI, "to end "+context)
+	return &ast.VarDecl{Specs: specs, Type: ty, Name: name.Lit, NamePos: name.Pos, Init: init}
+}
+
+// parseArraySuffix parses zero or more [len] suffixes. C array dimensions
+// read outside-in left to right, so `char Cache[256][128]` is an array of
+// 256 arrays of 128 chars; we nest accordingly.
+func (p *Parser) parseArraySuffix(elem ast.TypeExpr) ast.TypeExpr {
+	var dims []ast.Expr
+	for p.at(token.LBRACK) {
+		p.next()
+		var n ast.Expr
+		if !p.at(token.RBRACK) {
+			n = p.parseExpr()
+		}
+		p.expect(token.RBRACK, "to close array dimension")
+		dims = append(dims, n)
+	}
+	ty := elem
+	for i := len(dims) - 1; i >= 0; i-- {
+		ty = &ast.ArrayType{Elem: ty, Len: dims[i]}
+	}
+	return ty
+}
+
+func (p *Parser) parseFuncRest(specs ast.Specifiers, ret ast.TypeExpr, name token.Token) *ast.FuncDecl {
+	p.expect(token.LPAREN, "to open parameter list")
+	var params []*ast.ParamDecl
+	for !p.at(token.RPAREN) && !p.at(token.EOF) {
+		if len(params) > 0 {
+			p.expect(token.COMMA, "between parameters")
+		}
+		if p.at(token.KWVOID) && p.peek().Kind == token.RPAREN {
+			p.next() // f(void)
+			break
+		}
+		ext := false
+		if _, ok := p.accept(token.EXT); ok {
+			ext = true
+		}
+		if !p.atTypeStart() {
+			p.errorf(p.cur().Pos, "expected parameter type, found %s", p.cur())
+			p.sync()
+			return &ast.FuncDecl{Specs: specs, Ret: ret, Name: name.Lit, NamePos: name.Pos, Params: params}
+		}
+		pty := p.parsePointers(p.parseType())
+		pname := p.expect(token.IDENT, "as parameter name")
+		pty = p.parseArraySuffix(pty)
+		params = append(params, &ast.ParamDecl{Ext: ext, Type: pty, Name: pname.Lit, NamePos: pname.Pos})
+	}
+	p.expect(token.RPAREN, "to close parameter list")
+
+	var body *ast.BlockStmt
+	if p.at(token.LBRACE) {
+		body = p.parseBlock()
+	} else {
+		p.expect(token.SEMI, "after function declaration")
+	}
+	return &ast.FuncDecl{Specs: specs, Ret: ret, Name: name.Lit, NamePos: name.Pos, Params: params, Body: body}
+}
+
+// ---------------------------------------------------------------------------
+// Types
+
+// atTypeStart reports whether the current token can begin a type.
+func (p *Parser) atTypeStart() bool { return p.typeStartsAt(p.pos) }
+
+// parseType parses a base type (no pointers/arrays): builtin scalars,
+// multi-keyword combos (unsigned int, signed char), aliases, auto, and
+// ncl:: template types.
+func (p *Parser) parseType() ast.TypeExpr {
+	constQual := false
+	if _, ok := p.accept(token.KWCONST); ok {
+		constQual = true
+	}
+	t := p.cur()
+	switch t.Kind {
+	case token.KWVOID, token.KWBOOL, token.KWAUTO:
+		p.next()
+		return &ast.BaseType{NamePos: t.Pos, Name: t.Lit, Const: constQual}
+	case token.KWCHAR:
+		return p.parseIntCombo(constQual)
+	case token.KWFLOAT, token.KWDOUBLE:
+		p.next()
+		p.errorf(t.Pos, "%s is not supported in NCL (PISA pipelines have no floating point)", t.Lit)
+		return &ast.BaseType{NamePos: t.Pos, Name: "int", Const: constQual}
+	case token.KWINT:
+		p.next()
+		return &ast.BaseType{NamePos: t.Pos, Name: "int", Const: constQual}
+	case token.KWUNSIGNED, token.KWSIGNED, token.KWSHORT, token.KWLONG:
+		return p.parseIntCombo(constQual)
+	case token.KWSTRUCT:
+		p.errorf(t.Pos, "user-defined structs are not supported in NCL")
+		p.next()
+		if p.at(token.IDENT) {
+			p.next()
+		}
+		return &ast.BaseType{NamePos: t.Pos, Name: "int", Const: constQual}
+	case token.IDENT:
+		if builtinAliases[t.Lit] {
+			p.next()
+			return &ast.BaseType{NamePos: t.Pos, Name: t.Lit, Const: constQual}
+		}
+		if t.Lit == "ncl" && p.peek().Kind == token.SCOPE {
+			return p.parseTemplateType()
+		}
+	}
+	p.errorf(t.Pos, "expected a type, found %s", t)
+	p.next()
+	return &ast.BaseType{NamePos: t.Pos, Name: "int", Const: constQual}
+}
+
+// parseIntCombo handles multi-keyword integer types: unsigned, unsigned
+// int, unsigned char, signed char, short, long, long long, unsigned long
+// long, etc. The canonical names are: "unsigned" (32-bit), "int" (32-bit),
+// sized names for the rest.
+func (p *Parser) parseIntCombo(constQual bool) ast.TypeExpr {
+	start := p.cur().Pos
+	unsigned, signed := false, false
+	shorts, longs := 0, 0
+	sawChar, sawInt := false, false
+loop:
+	for {
+		switch p.cur().Kind {
+		case token.KWUNSIGNED:
+			unsigned = true
+		case token.KWSIGNED:
+			signed = true
+		case token.KWSHORT:
+			shorts++
+		case token.KWLONG:
+			longs++
+		case token.KWCHAR:
+			sawChar = true
+		case token.KWINT:
+			sawInt = true
+		default:
+			break loop
+		}
+		p.next()
+	}
+	_ = sawInt
+	if unsigned && signed {
+		p.errorf(start, "type cannot be both signed and unsigned")
+	}
+	if shorts > 1 || longs > 2 || (shorts > 0 && longs > 0) || (sawChar && (shorts > 0 || longs > 0)) {
+		p.errorf(start, "invalid integer type combination")
+	}
+	name := ""
+	switch {
+	case sawChar && unsigned:
+		name = "uint8_t"
+	case sawChar:
+		name = "int8_t" // plain/signed char: NCL chars are signed bytes
+	case shorts > 0 && unsigned:
+		name = "uint16_t"
+	case shorts > 0:
+		name = "int16_t"
+	case longs > 0 && unsigned:
+		name = "uint64_t"
+	case longs > 0:
+		name = "int64_t"
+	case unsigned:
+		name = "unsigned"
+	default:
+		name = "int"
+	}
+	return &ast.BaseType{NamePos: start, Name: name, Const: constQual}
+}
+
+// parseTemplateType parses ncl::Name<arg, ...>.
+func (p *Parser) parseTemplateType() ast.TypeExpr {
+	ns := p.expect(token.IDENT, "namespace")
+	p.expect(token.SCOPE, "after ncl")
+	name := p.expect(token.IDENT, "as ncl:: type name")
+	tt := &ast.TemplateType{NsPos: ns.Pos, Name: name.Lit}
+	if _, ok := p.accept(token.LT); !ok {
+		p.errorf(name.Pos, "ncl::%s requires template arguments, e.g. ncl::Map<uint64_t, uint8_t, 256>", name.Lit)
+		return tt
+	}
+	for !p.at(token.GT) && !p.at(token.EOF) {
+		if len(tt.Args) > 0 {
+			p.expect(token.COMMA, "between template arguments")
+		}
+		if p.atTypeStart() {
+			ty := p.parsePointers(p.parseType())
+			tt.Args = append(tt.Args, ast.TypeArg{Type: ty})
+		} else {
+			// Constant expression argument. Relational/shift operators are
+			// not allowed here (they would be ambiguous with the closing >).
+			e := p.parseTemplateArgExpr()
+			tt.Args = append(tt.Args, ast.TypeArg{Value: e})
+		}
+	}
+	p.expect(token.GT, "to close template arguments")
+	return tt
+}
+
+// parseTemplateArgExpr parses a constant expression restricted to
+// precedence levels above relational, so '>' unambiguously closes the
+// template argument list.
+func (p *Parser) parseTemplateArgExpr() ast.Expr {
+	return p.parseBinary(p.parseUnary(), token.SHL.Precedence())
+}
+
+// parsePointers wraps ty in PointerType for each leading '*'.
+func (p *Parser) parsePointers(ty ast.TypeExpr) ast.TypeExpr {
+	for p.at(token.MUL) {
+		star := p.next()
+		ty = &ast.PointerType{StarPos: star.Pos, Elem: ty}
+	}
+	return ty
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (p *Parser) parseBlock() *ast.BlockStmt {
+	lb := p.expect(token.LBRACE, "to open block")
+	blk := &ast.BlockStmt{LBrace: lb.Pos}
+	for !p.at(token.RBRACE) && !p.at(token.EOF) {
+		start := p.pos
+		s := p.parseStmt()
+		if s != nil {
+			blk.Stmts = append(blk.Stmts, s)
+		}
+		if p.pos == start {
+			p.errorf(p.cur().Pos, "unexpected token %s in block", p.cur())
+			p.next()
+		}
+	}
+	p.expect(token.RBRACE, "to close block")
+	return blk
+}
+
+func (p *Parser) parseStmt() ast.Stmt {
+	t := p.cur()
+	switch t.Kind {
+	case token.LBRACE:
+		return p.parseBlock()
+	case token.SEMI:
+		p.next()
+		return &ast.EmptyStmt{SemiPos: t.Pos}
+	case token.KWIF:
+		return p.parseIf()
+	case token.KWFOR:
+		return p.parseFor()
+	case token.KWWHILE:
+		return p.parseWhile()
+	case token.KWDO:
+		p.errorf(t.Pos, "do-while loops are not supported; use for or while with a constant trip count")
+		p.sync()
+		return nil
+	case token.KWSWITCH:
+		p.errorf(t.Pos, "switch statements are not supported; use if/else chains")
+		p.sync()
+		return nil
+	case token.KWGOTO:
+		p.errorf(t.Pos, "goto is not supported in NCL")
+		p.sync()
+		return nil
+	case token.KWRETURN:
+		p.next()
+		var x ast.Expr
+		if !p.at(token.SEMI) {
+			x = p.parseExpr()
+		}
+		p.expect(token.SEMI, "after return")
+		return &ast.ReturnStmt{KwPos: t.Pos, X: x}
+	case token.KWBREAK:
+		p.next()
+		p.expect(token.SEMI, "after break")
+		return &ast.BreakStmt{KwPos: t.Pos}
+	case token.KWCONTINUE:
+		p.next()
+		p.expect(token.SEMI, "after continue")
+		return &ast.ContinueStmt{KwPos: t.Pos}
+	}
+	if p.atTypeStart() {
+		return p.parseDeclStmt()
+	}
+	x := p.parseExpr()
+	p.expect(token.SEMI, "after expression statement")
+	return &ast.ExprStmt{X: x}
+}
+
+func (p *Parser) parseDeclStmt() ast.Stmt {
+	ty := p.parsePointers(p.parseType())
+	name := p.expect(token.IDENT, "as local variable name")
+	vd := p.parseVarRest(ast.Specifiers{}, ty, name, "declaration")
+	return &ast.DeclStmt{Decl: vd}
+}
+
+func (p *Parser) parseIf() ast.Stmt {
+	kw := p.expect(token.KWIF, "")
+	p.expect(token.LPAREN, "after if")
+	st := &ast.IfStmt{KwPos: kw.Pos}
+	if p.atTypeStart() {
+		// C++17-style condition declaration: if (auto *idx = Idx[key]) ...
+		ty := p.parsePointers(p.parseType())
+		name := p.expect(token.IDENT, "as condition variable name")
+		p.expect(token.ASSIGN, "in condition declaration")
+		init := p.parseExpr()
+		st.CondDecl = &ast.VarDecl{Type: ty, Name: name.Lit, NamePos: name.Pos, Init: init}
+	} else {
+		st.Cond = p.parseExpr()
+	}
+	p.expect(token.RPAREN, "to close if condition")
+	st.Then = p.parseStmt()
+	if _, ok := p.accept(token.KWELSE); ok {
+		st.Else = p.parseStmt()
+	}
+	return st
+}
+
+func (p *Parser) parseFor() ast.Stmt {
+	kw := p.expect(token.KWFOR, "")
+	p.expect(token.LPAREN, "after for")
+	st := &ast.ForStmt{KwPos: kw.Pos}
+	if !p.at(token.SEMI) {
+		if p.atTypeStart() {
+			st.Init = p.parseDeclStmt() // consumes the ';'
+		} else {
+			x := p.parseExpr()
+			p.expect(token.SEMI, "after for initializer")
+			st.Init = &ast.ExprStmt{X: x}
+		}
+	} else {
+		p.next()
+	}
+	if !p.at(token.SEMI) {
+		st.Cond = p.parseExpr()
+	}
+	p.expect(token.SEMI, "after for condition")
+	if !p.at(token.RPAREN) {
+		st.Post = p.parseExpr()
+	}
+	p.expect(token.RPAREN, "to close for clauses")
+	st.Body = p.parseStmt()
+	return st
+}
+
+func (p *Parser) parseWhile() ast.Stmt {
+	kw := p.expect(token.KWWHILE, "")
+	p.expect(token.LPAREN, "after while")
+	cond := p.parseExpr()
+	p.expect(token.RPAREN, "to close while condition")
+	body := p.parseStmt()
+	return &ast.WhileStmt{KwPos: kw.Pos, Cond: cond, Body: body}
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// parseInitializer parses either a braced initializer list or an
+// assignment expression.
+func (p *Parser) parseInitializer() ast.Expr {
+	if p.at(token.LBRACE) {
+		lb := p.next()
+		il := &ast.InitList{LBrace: lb.Pos}
+		for !p.at(token.RBRACE) && !p.at(token.EOF) {
+			if len(il.Elems) > 0 {
+				if _, ok := p.accept(token.COMMA); !ok {
+					break
+				}
+				if p.at(token.RBRACE) { // trailing comma
+					break
+				}
+			}
+			il.Elems = append(il.Elems, p.parseInitializer())
+		}
+		p.expect(token.RBRACE, "to close initializer list")
+		return il
+	}
+	return p.parseAssignExpr()
+}
+
+// parseExpr parses a full expression (assignment level; no comma operator).
+func (p *Parser) parseExpr() ast.Expr { return p.parseAssignExpr() }
+
+func (p *Parser) parseAssignExpr() ast.Expr {
+	lhs := p.parseTernary()
+	if p.cur().Kind.IsAssignOp() {
+		op := p.next()
+		rhs := p.parseAssignExpr() // right associative
+		return &ast.Assign{Op: op.Kind, LHS: lhs, RHS: rhs}
+	}
+	return lhs
+}
+
+func (p *Parser) parseTernary() ast.Expr {
+	c := p.parseBinary(p.parseUnary(), 1)
+	if _, ok := p.accept(token.QUESTION); ok {
+		then := p.parseAssignExpr()
+		p.expect(token.COLON, "in conditional expression")
+		els := p.parseTernary()
+		return &ast.Cond{C: c, Then: then, Else: els}
+	}
+	return c
+}
+
+// parseBinary is precedence climbing from minPrec upward.
+func (p *Parser) parseBinary(lhs ast.Expr, minPrec int) ast.Expr {
+	for {
+		op := p.cur()
+		prec := op.Kind.Precedence()
+		if prec < minPrec || prec == 0 {
+			return lhs
+		}
+		p.next()
+		rhs := p.parseUnary()
+		for {
+			next := p.cur().Kind.Precedence()
+			if next > prec {
+				rhs = p.parseBinary(rhs, prec+1)
+				continue
+			}
+			break
+		}
+		lhs = &ast.Binary{Op: op.Kind, X: lhs, Y: rhs}
+	}
+}
+
+func (p *Parser) parseUnary() ast.Expr {
+	t := p.cur()
+	switch t.Kind {
+	case token.ADD, token.SUB, token.NOT, token.TILDE, token.MUL, token.AND:
+		p.next()
+		x := p.parseUnary()
+		return &ast.Unary{OpPos: t.Pos, Op: t.Kind, X: x}
+	case token.INC, token.DEC:
+		p.next()
+		x := p.parseUnary()
+		return &ast.Unary{OpPos: t.Pos, Op: t.Kind, X: x}
+	case token.KWSIZEOF:
+		p.next()
+		if p.at(token.LPAREN) && p.typeStartsAt(p.pos+1) {
+			p.next()
+			ty := p.parsePointers(p.parseType())
+			p.expect(token.RPAREN, "to close sizeof")
+			return &ast.SizeofType{KwPos: t.Pos, To: ty}
+		}
+		x := p.parseUnary()
+		return &ast.SizeofExpr{KwPos: t.Pos, X: x}
+	case token.LPAREN:
+		// Cast vs parenthesized expression: a '(' followed by a type is a
+		// cast. The closed alias set makes this unambiguous.
+		if p.typeStartsAt(p.pos + 1) {
+			lp := p.next()
+			ty := p.parsePointers(p.parseType())
+			p.expect(token.RPAREN, "to close cast")
+			x := p.parseUnary()
+			return &ast.Cast{LParen: lp.Pos, To: ty, X: x}
+		}
+	}
+	return p.parsePostfix()
+}
+
+// typeStartsAt reports whether a type begins at token index i.
+func (p *Parser) typeStartsAt(i int) bool {
+	t := p.peekAt(i)
+	if t.Kind.IsTypeKeyword() {
+		return true
+	}
+	if t.Kind == token.IDENT {
+		if builtinAliases[t.Lit] {
+			return true
+		}
+		// ncl::Name is a type only when Name is followed by template
+		// arguments; ncl::out(...) etc. are (misused) host API calls.
+		if t.Lit == "ncl" && p.peekAt(i+1).Kind == token.SCOPE &&
+			p.peekAt(i+2).Kind == token.IDENT && p.peekAt(i+3).Kind == token.LT {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Parser) peekAt(i int) token.Token {
+	if i < len(p.toks) {
+		return p.toks[i]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *Parser) parsePostfix() ast.Expr {
+	x := p.parsePrimary()
+	for {
+		t := p.cur()
+		switch t.Kind {
+		case token.LPAREN:
+			lp := p.next()
+			call := &ast.Call{Fun: x, LParen: lp.Pos}
+			for !p.at(token.RPAREN) && !p.at(token.EOF) {
+				if len(call.Args) > 0 {
+					p.expect(token.COMMA, "between call arguments")
+				}
+				call.Args = append(call.Args, p.parseAssignExpr())
+			}
+			p.expect(token.RPAREN, "to close call")
+			x = call
+		case token.LBRACK:
+			p.next()
+			idx := p.parseExpr()
+			p.expect(token.RBRACK, "to close subscript")
+			x = &ast.Index{X: x, Idx: idx}
+		case token.DOT:
+			p.next()
+			sel := p.expect(token.IDENT, "after '.'")
+			x = &ast.Member{X: x, Sel: sel.Lit, SelPos: sel.Pos}
+		case token.ARROW:
+			p.next()
+			sel := p.expect(token.IDENT, "after '->'")
+			x = &ast.Member{X: x, Sel: sel.Lit, Arrow: true, SelPos: sel.Pos}
+		case token.INC, token.DEC:
+			p.next()
+			x = &ast.Unary{OpPos: t.Pos, Op: t.Kind, X: x, Postfix: true}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() ast.Expr {
+	t := p.cur()
+	switch t.Kind {
+	case token.IDENT:
+		p.next()
+		if p.at(token.SCOPE) {
+			// ncl::name in expression position (e.g. host API misuse).
+			p.next()
+			sel := p.expect(token.IDENT, "after '::'")
+			p.errorf(t.Pos, "%s::%s is host-side API and cannot be used inside a kernel", t.Lit, sel.Lit)
+			return &ast.Ident{NamePos: t.Pos, Name: t.Lit + "::" + sel.Lit}
+		}
+		return &ast.Ident{NamePos: t.Pos, Name: t.Lit}
+	case token.INTLIT, token.CHARLIT:
+		p.next()
+		v, err := parseIntText(t.Lit)
+		if err != nil {
+			p.errorf(t.Pos, "invalid integer literal %q", t.Lit)
+		}
+		return &ast.IntLit{LitPos: t.Pos, Value: v, Text: t.Lit}
+	case token.KWTRUE:
+		p.next()
+		return &ast.BoolLit{LitPos: t.Pos, Value: true}
+	case token.KWFALSE:
+		p.next()
+		return &ast.BoolLit{LitPos: t.Pos, Value: false}
+	case token.STRINGLIT:
+		p.next()
+		return &ast.StringLit{LitPos: t.Pos, Value: t.Lit}
+	case token.LPAREN:
+		p.next()
+		x := p.parseExpr()
+		p.expect(token.RPAREN, "to close parenthesized expression")
+		return x
+	}
+	p.errorf(t.Pos, "expected an expression, found %s", t)
+	p.next()
+	return &ast.IntLit{LitPos: t.Pos, Value: 0, Text: "0"}
+}
+
+func parseIntText(s string) (uint64, error) {
+	s = strings.TrimRight(s, "uUlL")
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		return strconv.ParseUint(s[2:], 16, 64)
+	}
+	// Leading 0 octal is intentionally treated as decimal; octal literals
+	// are a known C footgun and NCL has no use for them.
+	return strconv.ParseUint(s, 10, 64)
+}

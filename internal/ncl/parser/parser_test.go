@@ -1,0 +1,383 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"ncl/internal/ncl/ast"
+	"ncl/internal/ncl/source"
+)
+
+func parse(t *testing.T, src string) (*ast.File, *source.DiagList) {
+	t.Helper()
+	var diags source.DiagList
+	f := ParseSource("test.ncl", src, &diags)
+	return f, &diags
+}
+
+func parseOK(t *testing.T, src string) *ast.File {
+	t.Helper()
+	f, diags := parse(t, src)
+	if diags.HasErrors() {
+		t.Fatalf("parse errors:\n%v\nsource:\n%s", diags.Err(), src)
+	}
+	return f
+}
+
+func expectDump(t *testing.T, src, want string) {
+	t.Helper()
+	f := parseOK(t, src)
+	got := ast.Dump(f)
+	if got != want {
+		t.Errorf("dump mismatch\n got: %s\nwant: %s", got, want)
+	}
+}
+
+func expectError(t *testing.T, src, fragment string) {
+	t.Helper()
+	_, diags := parse(t, src)
+	if !diags.HasErrors() {
+		t.Fatalf("expected error containing %q, got none\nsource: %s", fragment, src)
+	}
+	if !strings.Contains(diags.Err().Error(), fragment) {
+		t.Errorf("error %v does not contain %q", diags.Err(), fragment)
+	}
+}
+
+// --- declarations ---
+
+func TestGlobalSwitchMemory(t *testing.T) {
+	expectDump(t, `_net_ _at_("s1") int accum[16] = {0};`,
+		`(file (var _net_ _at_("s1") [16]int accum = {0}))`)
+}
+
+func TestCtrlVariable(t *testing.T) {
+	expectDump(t, `_net_ _at_("s1") _ctrl_ unsigned nworkers;`,
+		`(file (var _net_ _ctrl_ _at_("s1") unsigned nworkers))`)
+}
+
+func TestMultiDimArray(t *testing.T) {
+	expectDump(t, `_net_ _at_("s1") char Cache[256][128] = {{0}};`,
+		`(file (var _net_ _at_("s1") [256][128]int8_t Cache = {{0}}))`)
+}
+
+func TestMapTemplate(t *testing.T) {
+	expectDump(t, `_net_ _at_("s1") ncl::Map<uint64_t, uint8_t, 256> Idx;`,
+		`(file (var _net_ _at_("s1") ncl::Map<uint64_t,uint8_t,256> Idx))`)
+}
+
+func TestBloomTemplate(t *testing.T) {
+	expectDump(t, `_net_ ncl::Bloom<1024, 3> seen;`,
+		`(file (var _net_ ncl::Bloom<1024,3> seen))`)
+}
+
+func TestOutKernel(t *testing.T) {
+	expectDump(t, `_net_ _out_ void f(int *data) { _drop(); }`,
+		`(file (func _net_ _out_ void f (*int data) (block (call _drop))))`)
+}
+
+func TestInKernelWithExtParams(t *testing.T) {
+	expectDump(t, `_net_ _in_ void result(int *data, _ext_ int *hdata, _ext_ bool *done) {}`,
+		`(file (func _net_ _in_ void result (*int data, _ext_ *int hdata, _ext_ *bool done) (block)))`)
+}
+
+func TestWinExtensionField(t *testing.T) {
+	expectDump(t, `_net_ _win_ unsigned len;`,
+		`(file (var _net_ _win_ unsigned len))`)
+}
+
+func TestIntCombos(t *testing.T) {
+	f := parseOK(t, `
+unsigned a;
+unsigned int b;
+signed char c;
+unsigned char d;
+short e;
+unsigned short g;
+long h;
+unsigned long i;
+long long j;
+`)
+	want := []string{"unsigned", "unsigned", "int8_t", "uint8_t", "int16_t", "uint16_t", "int64_t", "uint64_t", "int64_t"}
+	if len(f.Decls) != len(want) {
+		t.Fatalf("decls = %d, want %d", len(f.Decls), len(want))
+	}
+	for i, d := range f.Decls {
+		vd := d.(*ast.VarDecl)
+		bt := vd.Type.(*ast.BaseType)
+		if bt.Name != want[i] {
+			t.Errorf("decl %d type = %s, want %s", i, bt.Name, want[i])
+		}
+	}
+}
+
+// --- statements and expressions ---
+
+func TestForLoopWithDecl(t *testing.T) {
+	expectDump(t,
+		`_net_ _out_ void k(int *d) { for (unsigned i = 0; i < 4; ++i) d[i] += 1; }`,
+		`(file (func _net_ _out_ void k (*int d) (block (for (var unsigned i = 0) (< i 4) (++ i) (+= (index d i) 1)))))`)
+}
+
+func TestIfElseChain(t *testing.T) {
+	expectDump(t,
+		`_net_ _out_ void k(int *d) { if (d[0]) { _drop(); } else if (d[1]) _pass(); else _reflect(); }`,
+		`(file (func _net_ _out_ void k (*int d) (block (if (index d 0) (block (call _drop)) (if (index d 1) (call _pass) (call _reflect))))))`)
+}
+
+func TestConditionDecl(t *testing.T) {
+	// Fig. 5's `if (auto *idx = Idx[key])`.
+	expectDump(t,
+		`_net_ _out_ void k(uint64_t key) { if (auto *idx = Idx[key]) { Valid[*idx] = false; } }`,
+		`(file (func _net_ _out_ void k (uint64_t key) (block (if (var *auto idx = (index Idx key)) (block (= (index Valid (* idx)) false))))))`)
+}
+
+func TestMemberAccess(t *testing.T) {
+	expectDump(t,
+		`_net_ _out_ void k(int *d) { unsigned base = window.seq * window.len; }`,
+		`(file (func _net_ _out_ void k (*int d) (block (var unsigned base = (* (. window seq) (. window len))))))`)
+}
+
+func TestPrecedence(t *testing.T) {
+	expectDump(t, `int x = 1 + 2 * 3;`, `(file (var int x = (+ 1 (* 2 3))))`)
+	expectDump(t, `int y = (1 + 2) * 3;`, `(file (var int y = (* (+ 1 2) 3)))`)
+	expectDump(t, `bool b = 1 < 2 == true;`, `(file (var bool b = (== (< 1 2) true)))`)
+	expectDump(t, `int z = 1 << 2 + 3;`, `(file (var int z = (<< 1 (+ 2 3))))`)
+	expectDump(t, `bool c = 1 == 2 || 3 == 4 && 5 == 6;`,
+		`(file (var bool c = (|| (== 1 2) (&& (== 3 4) (== 5 6)))))`)
+}
+
+func TestAssignRightAssoc(t *testing.T) {
+	expectDump(t, `_net_ _out_ void k(int *d) { d[0] = d[1] = 2; }`,
+		`(file (func _net_ _out_ void k (*int d) (block (= (index d 0) (= (index d 1) 2)))))`)
+}
+
+func TestTernary(t *testing.T) {
+	expectDump(t, `int x = 1 ? 2 : 3;`, `(file (var int x = (?: 1 2 3)))`)
+	expectDump(t, `int y = 1 ? 2 : 3 ? 4 : 5;`, `(file (var int y = (?: 1 2 (?: 3 4 5))))`)
+}
+
+func TestUnaryOps(t *testing.T) {
+	expectDump(t, `_net_ _out_ void k(int *d) { d[0] = -*d + ~d[1] + !d[2]; }`,
+		`(file (func _net_ _out_ void k (*int d) (block (= (index d 0) (+ (+ (- (* d)) (~ (index d 1))) (! (index d 2)))))))`)
+}
+
+func TestIncDecPrePost(t *testing.T) {
+	expectDump(t, `_net_ _out_ void k(int *d) { ++d[0]; d[1]++; --d[2]; d[3]--; }`,
+		`(file (func _net_ _out_ void k (*int d) (block (++ (index d 0)) (post++ (index d 1)) (-- (index d 2)) (post-- (index d 3)))))`)
+}
+
+func TestCast(t *testing.T) {
+	expectDump(t, `int x = (int)4;`, `(file (var int x = (cast int 4)))`)
+	expectDump(t, `unsigned y = (unsigned)(1 + 2);`, `(file (var unsigned y = (cast unsigned (+ 1 2))))`)
+	expectDump(t, `uint64_t z = (uint64_t)7;`, `(file (var uint64_t z = (cast uint64_t 7)))`)
+}
+
+func TestSizeof(t *testing.T) {
+	expectDump(t, `int a = sizeof(int);`, `(file (var int a = (sizeof-type int)))`)
+	expectDump(t, `int b = sizeof(uint64_t);`, `(file (var int b = (sizeof-type uint64_t)))`)
+}
+
+func TestHexLiterals(t *testing.T) {
+	expectDump(t, `unsigned m = 0xFF;`, `(file (var unsigned m = 255))`)
+}
+
+func TestAddressOf(t *testing.T) {
+	expectDump(t, `_net_ _out_ void k(int *d) { memcpy(d, &accum[4], 8); }`,
+		`(file (func _net_ _out_ void k (*int d) (block (call memcpy d (& (index accum 4)) 8))))`)
+}
+
+func TestWhileLoop(t *testing.T) {
+	expectDump(t, `_net_ _out_ void k(int *d) { while (d[0] < 4) d[0]++; }`,
+		`(file (func _net_ _out_ void k (*int d) (block (while (< (index d 0) 4) (post++ (index d 0))))))`)
+}
+
+func TestBreakContinueReturn(t *testing.T) {
+	expectDump(t, `_net_ _out_ void k(int *d) { for (int i = 0; i < 4; ++i) { if (d[i]) break; continue; } return; }`,
+		`(file (func _net_ _out_ void k (*int d) (block (for (var int i = 0) (< i 4) (++ i) (block (if (index d i) (break)) (continue))) (return))))`)
+}
+
+func TestCompoundAssignOps(t *testing.T) {
+	expectDump(t, `_net_ _out_ void k(int *d) { d[0] -= 1; d[1] *= 2; d[2] /= 3; d[3] %= 4; d[4] &= 5; d[5] |= 6; d[6] ^= 7; d[7] <<= 1; d[8] >>= 2; }`,
+		`(file (func _net_ _out_ void k (*int d) (block (-= (index d 0) 1) (*= (index d 1) 2) (/= (index d 2) 3) (%= (index d 3) 4) (&= (index d 4) 5) (|= (index d 5) 6) (^= (index d 6) 7) (<<= (index d 7) 1) (>>= (index d 8) 2))))`)
+}
+
+// --- paper programs verbatim ---
+
+// Fig. 4 of the paper: synchronous AllReduce (switch/incoming kernels only;
+// the host main() is Go API in this reproduction).
+const fig4 = `
+#define DATA_LEN 64
+#define WIN_LEN 8
+
+_net_ _at_("s1") int accum[DATA_LEN] = {0};
+_net_ _at_("s1") unsigned count[DATA_LEN/WIN_LEN] = {0};
+_net_ _at_("s1") _ctrl_ unsigned nworkers;
+
+_net_ _out_ void allreduce(int *data) {
+    unsigned base = window.seq * window.len;
+    for (unsigned i = 0; i < window.len; ++i)
+        accum[base + i] += data[i];
+    if (++count[window.seq] == nworkers) {
+        memcpy(data, &accum[base], window.len * 4);
+        count[window.seq] = 0; _bcast();
+    } else { _drop(); }
+}
+
+_net_ _in_ void result(int *data, _ext_ int *hdata, _ext_ bool *done) {
+    for (unsigned i = 0; i < window.len; ++i)
+        hdata[window.seq * window.len + i] = data[i];
+    *done = true;
+}
+`
+
+func TestPaperFig4Parses(t *testing.T) {
+	f := parseOK(t, fig4)
+	if len(f.Decls) != 5 {
+		t.Fatalf("decls = %d, want 5", len(f.Decls))
+	}
+	ar, ok := f.Decls[3].(*ast.FuncDecl)
+	if !ok || ar.Name != "allreduce" {
+		t.Fatalf("decl 3 = %v, want allreduce kernel", f.Decls[3])
+	}
+	if !ar.Specs.Net || !ar.Specs.Out {
+		t.Error("allreduce must be _net_ _out_")
+	}
+	res := f.Decls[4].(*ast.FuncDecl)
+	if !res.Specs.In || res.Name != "result" {
+		t.Error("result must be an _in_ kernel")
+	}
+	if len(res.Params) != 3 || res.Params[0].Ext || !res.Params[1].Ext || !res.Params[2].Ext {
+		t.Errorf("result params _ext_ flags wrong: %+v", res.Params)
+	}
+}
+
+// Fig. 5 of the paper: in-network KVS cache (GET, PUT).
+const fig5 = `
+_net_ _at_("s1") ncl::Map<uint64_t, uint8_t, 256> Idx;
+_net_ _at_("s1") char Cache[256][128] = {{0}};
+_net_ _at_("s1") bool Valid[256] = {false};
+
+_net_ _out_ void query(uint64_t key, char *val, bool update) {
+    if (window.from != SERVER && update) {            // client PUT
+        if (auto *idx = Idx[key]) Valid[*idx] = false;
+    } else if (window.from != SERVER) {               // client GET
+        if (auto *idx = Idx[key]) {                   // hit
+            if (Valid[*idx]) {
+                memcpy(val, Cache[*idx], 128); _reflect(); } }
+    } else if (update) {                              // server update
+        auto *idx = Idx[key]; memcpy(Cache[*idx], val, 128);
+        Valid[*idx] = true; _drop();
+    } else { }                                        // server GET response
+}
+`
+
+func TestPaperFig5Parses(t *testing.T) {
+	src := "#define SERVER 1\n" + fig5
+	f := parseOK(t, src)
+	if len(f.Decls) != 4 {
+		t.Fatalf("decls = %d, want 4", len(f.Decls))
+	}
+	q := f.Decls[3].(*ast.FuncDecl)
+	if q.Name != "query" || !q.Specs.Out {
+		t.Fatalf("query kernel wrong: %v", ast.Dump(q))
+	}
+	if len(q.Params) != 3 {
+		t.Fatalf("query params = %d, want 3", len(q.Params))
+	}
+	// The paper writes `_net_ _out_ query(...)` without a return type in
+	// Fig. 5 line 5 (a sketch shorthand); our grammar requires the type,
+	// and the test source adds `void`.
+}
+
+// --- error cases ---
+
+func TestErrorStruct(t *testing.T) {
+	expectError(t, `struct S { int x; };`, "structs are not supported")
+}
+
+func TestErrorSwitchStmt(t *testing.T) {
+	expectError(t, `_net_ _out_ void k(int *d) { switch (d[0]) { } }`, "switch statements are not supported")
+}
+
+func TestErrorDoWhile(t *testing.T) {
+	expectError(t, `_net_ _out_ void k(int *d) { do { } while (1); }`, "do-while")
+}
+
+func TestErrorGoto(t *testing.T) {
+	expectError(t, `_net_ _out_ void k(int *d) { goto end; }`, "goto")
+}
+
+func TestErrorFloatType(t *testing.T) {
+	expectError(t, `float f;`, "floating point")
+}
+
+func TestErrorDuplicateSpecifier(t *testing.T) {
+	expectError(t, `_net_ _net_ int x;`, "duplicate _net_")
+}
+
+func TestErrorEmptyAtLabel(t *testing.T) {
+	expectError(t, `_net_ _at_("") int x;`, "non-empty")
+}
+
+func TestErrorMissingSemi(t *testing.T) {
+	expectError(t, `int x = 1`, "expected")
+}
+
+func TestErrorTemplateNoArgs(t *testing.T) {
+	expectError(t, `_net_ ncl::Map Idx;`, "template arguments")
+}
+
+func TestErrorHostAPIInKernel(t *testing.T) {
+	expectError(t, `_net_ _out_ void k(int *d) { ncl::out(k, d); }`, "host-side API")
+}
+
+func TestErrorRecoveryFindsMultipleErrors(t *testing.T) {
+	src := `
+struct A { };
+int ok1;
+goto_bad $;
+int ok2;
+`
+	f, diags := parse(t, src)
+	if !diags.HasErrors() {
+		t.Fatal("expected errors")
+	}
+	// Recovery should still parse the valid declarations.
+	var names []string
+	for _, d := range f.Decls {
+		if vd, ok := d.(*ast.VarDecl); ok {
+			names = append(names, vd.Name)
+		}
+	}
+	joined := strings.Join(names, ",")
+	if !strings.Contains(joined, "ok1") || !strings.Contains(joined, "ok2") {
+		t.Errorf("recovery lost declarations; got %v", names)
+	}
+}
+
+func TestFuncDeclarationNoBody(t *testing.T) {
+	f := parseOK(t, `_net_ _out_ void k(int *d);`)
+	fd := f.Decls[0].(*ast.FuncDecl)
+	if fd.Body != nil {
+		t.Error("prototype should have nil body")
+	}
+}
+
+func TestVoidParamList(t *testing.T) {
+	f := parseOK(t, `void helper(void) { }`)
+	fd := f.Decls[0].(*ast.FuncDecl)
+	if len(fd.Params) != 0 {
+		t.Errorf("f(void) params = %d, want 0", len(fd.Params))
+	}
+}
+
+func TestPassWithLabel(t *testing.T) {
+	expectDump(t, `_net_ _out_ void k(int *d) { _pass("server"); }`,
+		`(file (func _net_ _out_ void k (*int d) (block (call _pass "server"))))`)
+}
+
+func TestNestedIndexAndMember(t *testing.T) {
+	expectDump(t, `_net_ _out_ void k(int *d) { d[window.seq] = Cache[d[0]][2]; }`,
+		`(file (func _net_ _out_ void k (*int d) (block (= (index d (. window seq)) (index (index Cache (index d 0)) 2)))))`)
+}

@@ -1,0 +1,140 @@
+package passes
+
+import (
+	"fmt"
+	"strings"
+
+	"ncl/internal/ncl/ir"
+)
+
+// cseFunc performs memory-aware local value numbering per block: pure
+// expressions and loads are reused until an intervening write clobbers
+// them. Register loads are invalidated by stores to the same global,
+// window loads by stores to the same parameter, Bloom tests by adds to the
+// same filter. Map lookups are pure within a kernel (the control plane
+// owns Map mutation).
+func cseFunc(f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		avail := map[string]*ir.Instr{}
+		var kept []*ir.Instr
+		for _, in := range b.Instrs {
+			// Clobber rules first.
+			switch in.Op {
+			case ir.RegStore:
+				invalidate(avail, "regload@"+in.Global.Name+":")
+			case ir.WinStore:
+				invalidate(avail, "winload%"+in.Param.Nm+":")
+			case ir.ExtStore:
+				invalidate(avail, "extload%"+in.Param.Nm+":")
+			case ir.BloomAdd:
+				invalidate(avail, "bloomtest@"+in.Global.Name+":")
+			case ir.SketchAdd:
+				invalidate(avail, "sketchest@"+in.Global.Name+":")
+			}
+			key, ok := cseKey(in)
+			if !ok {
+				kept = append(kept, in)
+				continue
+			}
+			if prev, hit := avail[key]; hit {
+				replaceUses(f, in, prev)
+				changed = true
+				continue // drop the duplicate
+			}
+			avail[key] = in
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+	return changed
+}
+
+func invalidate(avail map[string]*ir.Instr, prefix string) {
+	for k := range avail {
+		if strings.HasPrefix(k, prefix) {
+			delete(avail, k)
+		}
+	}
+}
+
+// cseKey builds a structural key for CSE-able instructions.
+func cseKey(in *ir.Instr) (string, bool) {
+	var b strings.Builder
+	switch in.Op {
+	case ir.BinOp, ir.Cmp:
+		fmt.Fprintf(&b, "%s#%s", in.Op, in.Kind)
+	case ir.Not, ir.Select, ir.Convert:
+		fmt.Fprintf(&b, "%s", in.Op)
+	case ir.WinMeta, ir.LocMeta:
+		fmt.Fprintf(&b, "%s#%s", in.Op, in.Field)
+	case ir.RegLoad:
+		fmt.Fprintf(&b, "regload@%s", in.Global.Name)
+	case ir.WinLoad:
+		fmt.Fprintf(&b, "winload%%%s", in.Param.Nm)
+	case ir.ExtLoad:
+		fmt.Fprintf(&b, "extload%%%s", in.Param.Nm)
+	case ir.MapFound, ir.MapValue:
+		fmt.Fprintf(&b, "%s@%s", in.Op, in.Global.Name)
+	case ir.BloomTest:
+		fmt.Fprintf(&b, "bloomtest@%s", in.Global.Name)
+	case ir.SketchEst:
+		fmt.Fprintf(&b, "sketchest@%s", in.Global.Name)
+	default:
+		return "", false
+	}
+	fmt.Fprintf(&b, ":%s", in.Ty)
+	for _, a := range in.Args {
+		fmt.Fprintf(&b, "|%s", valKey(a))
+	}
+	return b.String(), true
+}
+
+func valKey(v ir.Value) string {
+	switch v := v.(type) {
+	case *ir.Const:
+		return "c" + v.Name() + ":" + v.Ty.String()
+	case *ir.Instr:
+		return fmt.Sprintf("i%d", v.ID())
+	case *ir.Param:
+		return "p" + v.Nm
+	}
+	return "?"
+}
+
+// dceFunc removes instructions whose results are never used and which
+// have no side effects.
+func dceFunc(f *ir.Func) bool {
+	used := map[*ir.Instr]bool{}
+	var mark func(v ir.Value)
+	mark = func(v ir.Value) {
+		in, ok := v.(*ir.Instr)
+		if !ok || used[in] {
+			return
+		}
+		used[in] = true
+		for _, a := range in.Args {
+			mark(a)
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op.HasSideEffect() {
+				mark(in)
+			}
+		}
+	}
+	changed := false
+	for _, b := range f.Blocks {
+		var kept []*ir.Instr
+		for _, in := range b.Instrs {
+			if in.Op.HasSideEffect() || used[in] {
+				kept = append(kept, in)
+				continue
+			}
+			changed = true
+		}
+		b.Instrs = kept
+	}
+	return changed
+}

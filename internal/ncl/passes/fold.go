@@ -1,0 +1,368 @@
+// Package passes implements the "analysis and optimization" stage of the
+// nclc device pipeline (§5 of the paper): constant folding/propagation,
+// branch folding, CFG simplification, memory-aware common-subexpression
+// elimination, dead-code elimination, and the IR versioning that splits a
+// generic module into per-location modules driven by the AND file.
+package passes
+
+import (
+	"ncl/internal/ncl/interp"
+	"ncl/internal/ncl/ir"
+	"ncl/internal/ncl/sema"
+	"ncl/internal/ncl/token"
+	"ncl/internal/ncl/types"
+)
+
+// Optimize runs the standard pass pipeline to a fixpoint (bounded):
+// fold → simplify CFG → CSE → DCE, repeated while anything changes.
+func Optimize(m *ir.Module) {
+	for _, f := range m.Funcs {
+		for round := 0; round < 8; round++ {
+			changed := false
+			changed = foldFunc(f) || changed
+			changed = simplifyCFG(f) || changed
+			changed = cseFunc(f) || changed
+			changed = dceFunc(f) || changed
+			if !changed {
+				break
+			}
+		}
+	}
+}
+
+// foldFunc performs constant folding and propagation, plus φ-of-identical
+// and select-of-constant simplification. Returns true when it changed
+// anything.
+func foldFunc(f *ir.Func) bool {
+	changed := false
+	repl := map[*ir.Instr]ir.Value{}
+	resolve := func(v ir.Value) ir.Value {
+		for {
+			in, ok := v.(*ir.Instr)
+			if !ok {
+				return v
+			}
+			r, ok := repl[in]
+			if !ok {
+				return v
+			}
+			v = r
+		}
+	}
+	order, err := ir.TopoOrder(f)
+	if err != nil {
+		return false
+	}
+	for _, b := range order {
+		for _, in := range b.Instrs {
+			for i, a := range in.Args {
+				na := resolve(a)
+				if na != a {
+					in.Args[i] = na
+					changed = true
+				}
+			}
+			switch in.Op {
+			case ir.BinOp:
+				x, ok1 := ir.IsConst(in.Args[0])
+				y, ok2 := ir.IsConst(in.Args[1])
+				if ok1 && ok2 {
+					if v, ok := sema.EvalArith(in.Kind, x, y, in.Ty); ok {
+						repl[in] = ir.ConstOf(in.Ty, v)
+						changed = true
+					}
+				} else if r, ok := algebraicIdentity(in, x, ok1, y, ok2); ok {
+					repl[in] = r
+					changed = true
+				}
+			case ir.Cmp:
+				x, ok1 := ir.IsConst(in.Args[0])
+				y, ok2 := ir.IsConst(in.Args[1])
+				if ok1 && ok2 {
+					v := interp.EvalCmp(in.Kind, x, y, in.Args[0].Type())
+					repl[in] = ir.ConstOf(types.BoolType, v)
+					changed = true
+				}
+			case ir.Not:
+				if x, ok := ir.IsConst(in.Args[0]); ok {
+					repl[in] = ir.ConstOf(types.BoolType, 1-boolOf(x))
+					changed = true
+				}
+			case ir.Convert:
+				if x, ok := ir.IsConst(in.Args[0]); ok {
+					repl[in] = ir.ConstOf(in.Ty, x)
+					changed = true
+				}
+			case ir.Select:
+				if c, ok := ir.IsConst(in.Args[0]); ok {
+					if c != 0 {
+						repl[in] = in.Args[1]
+					} else {
+						repl[in] = in.Args[2]
+					}
+					changed = true
+				} else if in.Args[1] == in.Args[2] {
+					repl[in] = in.Args[1]
+					changed = true
+				}
+			case ir.Phi:
+				// φ with all-identical args collapses.
+				if len(in.Args) > 0 {
+					same := true
+					for _, a := range in.Args[1:] {
+						if a != in.Args[0] {
+							same = false
+							break
+						}
+					}
+					if same {
+						repl[in] = in.Args[0]
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	if len(repl) == 0 {
+		return changed
+	}
+	// Rewrite all uses and drop replaced instructions.
+	for _, b := range f.Blocks {
+		var kept []*ir.Instr
+		for _, in := range b.Instrs {
+			if _, dead := repl[in]; dead {
+				changed = true
+				continue
+			}
+			for i, a := range in.Args {
+				in.Args[i] = resolve(a)
+			}
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+	return changed
+}
+
+// algebraicIdentity simplifies x+0, 0+x, x-0, x*1, 1*x, x*0, 0*x, x|0,
+// 0|x, x&0, 0&x, x^0, 0^x, x<<0, x>>0, x/1. These matter beyond cleanup:
+// the code generator's array lane partitioning pattern-matches affine
+// index shapes (dyn*S + c), which only emerge once identities fold.
+// A non-trivial replacement may need a width conversion to keep types
+// exact; the caller's fold loop re-runs, so we only return same-type
+// replacements and otherwise wrap in nothing (conversion-free cases only).
+func algebraicIdentity(in *ir.Instr, x uint64, xc bool, y uint64, yc bool) (ir.Value, bool) {
+	keep := func(v ir.Value) (ir.Value, bool) {
+		if types.Equal(v.Type(), in.Ty) {
+			return v, true
+		}
+		return nil, false
+	}
+	zero := func(ok bool, v uint64) bool { return ok && v == 0 }
+	one := func(ok bool, v uint64) bool { return ok && v == 1 }
+	a, b := in.Args[0], in.Args[1]
+	switch in.Kind {
+	case token.ADD, token.OR, token.XOR:
+		if zero(xc, x) {
+			return keep(b)
+		}
+		if zero(yc, y) {
+			return keep(a)
+		}
+	case token.SUB, token.SHL, token.SHR:
+		if zero(yc, y) {
+			return keep(a)
+		}
+	case token.MUL:
+		if zero(xc, x) || zero(yc, y) {
+			return ir.ConstOf(in.Ty, 0), true
+		}
+		if one(xc, x) {
+			return keep(b)
+		}
+		if one(yc, y) {
+			return keep(a)
+		}
+	case token.AND:
+		if zero(xc, x) || zero(yc, y) {
+			return ir.ConstOf(in.Ty, 0), true
+		}
+	case token.DIV:
+		if one(yc, y) {
+			return keep(a)
+		}
+	}
+	return nil, false
+}
+
+func boolOf(v uint64) uint64 {
+	if v != 0 {
+		return 1
+	}
+	return 0
+}
+
+// simplifyCFG folds constant conditional branches, removes dead blocks
+// (fixing φs of surviving successors), collapses single-pred φs, and
+// merges straight-line block chains.
+func simplifyCFG(f *ir.Func) bool {
+	changed := false
+
+	// 1. Constant CondBr → Br.
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil || t.Op != ir.CondBr {
+			continue
+		}
+		c, ok := ir.IsConst(t.Args[0])
+		if !ok {
+			continue
+		}
+		taken, dropped := t.Target, t.Else
+		if c == 0 {
+			taken, dropped = t.Else, t.Target
+		}
+		removePredEdge(dropped, b)
+		t.Op = ir.Br
+		t.Args = nil
+		t.Target = taken
+		t.Else = nil
+		changed = true
+	}
+
+	// 2. Drop unreachable blocks, updating φs of their successors.
+	reach := map[*ir.Block]bool{}
+	var visit func(b *ir.Block)
+	visit = func(b *ir.Block) {
+		if reach[b] {
+			return
+		}
+		reach[b] = true
+		for _, s := range b.Succs() {
+			visit(s)
+		}
+	}
+	visit(f.Entry())
+	var keep []*ir.Block
+	for _, b := range f.Blocks {
+		if reach[b] {
+			keep = append(keep, b)
+			continue
+		}
+		changed = true
+		for _, s := range b.Succs() {
+			if reach[s] {
+				removePredEdge(s, b)
+			}
+		}
+	}
+	f.Blocks = keep
+
+	// 3. Single-pred φ collapse.
+	for _, b := range f.Blocks {
+		if len(b.Preds) != 1 {
+			continue
+		}
+		for _, in := range b.Instrs {
+			if in.Op != ir.Phi {
+				break
+			}
+			// Convert φ into a copy by replacing uses; piggyback on fold's
+			// mechanism cheaply here.
+			replaceUses(f, in, in.Args[0])
+			in.Op = ir.Convert // becomes a trivial convert; DCE removes it
+			in.Args = []ir.Value{in.Args[0]}
+			changed = true
+		}
+	}
+
+	// 4. Merge b → s when b ends in Br s, s has single pred b, no φs.
+	merged := true
+	for merged {
+		merged = false
+		for _, b := range f.Blocks {
+			t := b.Term()
+			if t == nil || t.Op != ir.Br {
+				continue
+			}
+			s := t.Target
+			if s == b || len(s.Preds) != 1 || s.Preds[0] != b {
+				continue
+			}
+			hasPhi := false
+			for _, in := range s.Instrs {
+				if in.Op == ir.Phi {
+					hasPhi = true
+					break
+				}
+			}
+			if hasPhi {
+				continue
+			}
+			// Splice s into b.
+			b.Instrs = b.Instrs[:len(b.Instrs)-1] // drop Br
+			for _, in := range s.Instrs {
+				in.Blk = b
+				b.Instrs = append(b.Instrs, in)
+			}
+			// Successors of s now have pred b instead of s.
+			for _, ss := range s.Succs() {
+				for i, p := range ss.Preds {
+					if p == s {
+						ss.Preds[i] = b
+					}
+				}
+			}
+			// Remove s.
+			var nb []*ir.Block
+			for _, x := range f.Blocks {
+				if x != s {
+					nb = append(nb, x)
+				}
+			}
+			f.Blocks = nb
+			merged = true
+			changed = true
+			break
+		}
+	}
+	return changed
+}
+
+// removePredEdge removes pred from b's predecessor list, dropping the
+// corresponding φ arguments.
+func removePredEdge(b *ir.Block, pred *ir.Block) {
+	idx := -1
+	for i, p := range b.Preds {
+		if p == pred {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	b.Preds = append(b.Preds[:idx], b.Preds[idx+1:]...)
+	for _, in := range b.Instrs {
+		if in.Op != ir.Phi {
+			break
+		}
+		in.Args = append(in.Args[:idx], in.Args[idx+1:]...)
+	}
+}
+
+// replaceUses rewrites every use of old with new across f.
+func replaceUses(f *ir.Func, old *ir.Instr, new ir.Value) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in == old {
+				continue
+			}
+			for i, a := range in.Args {
+				if a == old {
+					in.Args[i] = new
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,368 @@
+package passes
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ncl/internal/ncl/interp"
+	"ncl/internal/ncl/ir"
+	"ncl/internal/ncl/lower"
+	"ncl/internal/ncl/parser"
+	"ncl/internal/ncl/sema"
+	"ncl/internal/ncl/source"
+)
+
+func compile(t *testing.T, src string, w int) *ir.Module {
+	t.Helper()
+	var diags source.DiagList
+	f := parser.ParseSource("test.ncl", src, &diags)
+	info := sema.Check(f, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("frontend: %v", diags.Err())
+	}
+	m := lower.Lower("test", info, w, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("lowering: %v", diags.Err())
+	}
+	return m
+}
+
+func countOps(f *ir.Func, op ir.Op) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func totalInstrs(f *ir.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+func TestCSEDuplicateLoads(t *testing.T) {
+	m := compile(t, `
+_net_ int acc[64] = {0};
+_net_ _out_ void k(int *d) {
+    acc[window.seq] += d[0];
+    d[1] = (int)window.seq;
+}
+`, 4)
+	f := m.FuncByName("k")
+	before := countOps(f, ir.WinMeta)
+	Optimize(m)
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("verify after optimize: %v\n%s", err, m)
+	}
+	after := countOps(f, ir.WinMeta)
+	if before < 2 || after != 1 {
+		t.Errorf("CSE of window.seq: before=%d after=%d (want 1)", before, after)
+	}
+}
+
+func TestCSERespectsStores(t *testing.T) {
+	m := compile(t, `
+_net_ int acc[4] = {0};
+_net_ _out_ void k(int *d) {
+    d[0] = acc[0];
+    acc[0] = 99;
+    d[1] = acc[0];
+}
+`, 4)
+	Optimize(m)
+	f := m.FuncByName("k")
+	if countOps(f, ir.RegLoad) != 2 {
+		t.Errorf("load across a store must not be CSE'd:\n%s", f)
+	}
+	// Execute to be sure.
+	win := interp.NewWindow(f)
+	st := interp.NewState(m)
+	if _, err := interp.Exec(f, st, win); err != nil {
+		t.Fatal(err)
+	}
+	if win.Data[0][0] != 0 || win.Data[0][1] != 99 {
+		t.Errorf("store-load ordering broken: %v", win.Data[0])
+	}
+}
+
+func TestDCERemovesDeadCode(t *testing.T) {
+	m := compile(t, `
+_net_ int acc[4] = {0};
+_net_ _out_ void k(int *d) {
+    int unused = d[0] * 17 + d[1];
+    d[2] = 1;
+}
+`, 4)
+	f := m.FuncByName("k")
+	Optimize(m)
+	if countOps(f, ir.BinOp) != 0 {
+		t.Errorf("dead arithmetic must be removed:\n%s", f)
+	}
+}
+
+func TestBranchFoldingAndBlockMerge(t *testing.T) {
+	m := compile(t, `
+_net_ _out_ void k(int *d) {
+    int x = 3;
+    if (x > 1) d[0] = 1; else d[0] = 2;
+    d[1] = 5;
+}
+`, 4)
+	f := m.FuncByName("k")
+	Optimize(m)
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("verify: %v\n%s", err, m)
+	}
+	if len(f.Blocks) != 1 {
+		t.Errorf("fully-folded kernel should be one block:\n%s", f)
+	}
+}
+
+func TestOptimizePreservesPaperFig4(t *testing.T) {
+	const W = 4
+	src := `
+_net_ _at_("s1") int accum[64] = {0};
+_net_ _at_("s1") unsigned count[16] = {0};
+_net_ _at_("s1") _ctrl_ unsigned nworkers;
+_net_ _out_ void allreduce(int *data) {
+    unsigned base = window.seq * window.len;
+    for (unsigned i = 0; i < window.len; ++i)
+        accum[base + i] += data[i];
+    if (++count[window.seq] == nworkers) {
+        memcpy(data, &accum[base], window.len * 4);
+        count[window.seq] = 0; _bcast();
+    } else { _drop(); }
+}
+`
+	run := func(m *ir.Module) ([]uint64, interp.DecisionKind) {
+		f := m.FuncByName("allreduce")
+		st := interp.NewState(m)
+		if err := st.CtrlWrite(m.GlobalByName("nworkers"), 0, 2); err != nil {
+			t.Fatal(err)
+		}
+		var last *interp.Window
+		var dec interp.Decision
+		for worker := 0; worker < 2; worker++ {
+			win := interp.NewWindow(f)
+			for i := 0; i < W; i++ {
+				win.Data[0][i] = uint64((worker + 1) * (i + 1))
+			}
+			win.Meta["seq"] = 1
+			var err error
+			dec, err = interp.Exec(f, st, win)
+			if err != nil {
+				t.Fatal(err)
+			}
+			last = win
+		}
+		return last.Data[0], dec.Kind
+	}
+	plain := compile(t, src, W)
+	optimized := compile(t, src, W)
+	Optimize(optimized)
+	if err := ir.Verify(optimized); err != nil {
+		t.Fatalf("verify: %v\n%s", err, optimized)
+	}
+	d1, k1 := run(plain)
+	d2, k2 := run(optimized)
+	if k1 != k2 {
+		t.Fatalf("decision diverged: %v vs %v", k1, k2)
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Errorf("data[%d]: %d vs %d", i, d1[i], d2[i])
+		}
+	}
+	// The optimizer should meaningfully shrink the kernel.
+	if totalInstrs(optimized.FuncByName("allreduce")) >= totalInstrs(plain.FuncByName("allreduce")) {
+		t.Errorf("optimization did not shrink: %d vs %d",
+			totalInstrs(optimized.FuncByName("allreduce")), totalInstrs(plain.FuncByName("allreduce")))
+	}
+}
+
+// --- versioning ---
+
+func TestVersioningSplitsByLocation(t *testing.T) {
+	m := compile(t, `
+_net_ _at_("s1") int a[4] = {0};
+_net_ _at_("s2") int b[4] = {0};
+_net_ int shared[4] = {0};
+_net_ _at_("s1") _out_ void k1(int *d) { a[0] += d[0]; shared[0] += 1; }
+_net_ _at_("s2") _out_ void k2(int *d) { b[0] += d[0]; }
+`, 4)
+	var diags source.DiagList
+	mods := VersionSwitch(m, []Location{{Label: "s1", ID: 1}, {Label: "s2", ID: 2}}, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("versioning: %v", diags.Err())
+	}
+	if len(mods) != 2 {
+		t.Fatalf("want 2 modules, got %d", len(mods))
+	}
+	s1, s2 := mods[0], mods[1]
+	if s1.FuncByName("k1") == nil || s1.FuncByName("k2") != nil {
+		t.Error("s1 must contain exactly k1")
+	}
+	if s2.FuncByName("k2") == nil || s2.FuncByName("k1") != nil {
+		t.Error("s2 must contain exactly k2")
+	}
+	if s1.GlobalByName("a") == nil || s1.GlobalByName("b") != nil || s1.GlobalByName("shared") == nil {
+		t.Error("s1 globals wrong")
+	}
+}
+
+func TestVersioningSplitsSPMDKernelOnLocationID(t *testing.T) {
+	m := compile(t, `
+_net_ _out_ void k(int *d) {
+    if (location.id == 1) d[0] = 100;
+    else d[0] = 200;
+}
+`, 4)
+	var diags source.DiagList
+	mods := VersionSwitch(m, []Location{{Label: "s1", ID: 1}, {Label: "s2", ID: 2}}, &diags)
+	if diags.HasErrors() {
+		t.Fatal(diags.Err())
+	}
+	for i, want := range []uint64{100, 200} {
+		f := mods[i].FuncByName("k")
+		if f == nil {
+			t.Fatalf("module %d missing SPMD kernel", i)
+		}
+		if countOps(f, ir.CondBr) != 0 {
+			t.Errorf("location branch must specialize away at %s:\n%s", mods[i].Loc, f)
+		}
+		win := interp.NewWindow(f)
+		st := interp.NewState(mods[i])
+		if _, err := interp.Exec(f, st, win); err != nil {
+			t.Fatal(err)
+		}
+		if win.Data[0][0] != want {
+			t.Errorf("location %d: d[0]=%d want %d", i+1, win.Data[0][0], want)
+		}
+	}
+}
+
+func TestVersioningRejectsForeignState(t *testing.T) {
+	m := compile(t, `
+_net_ _at_("s2") int remote[4] = {0};
+_net_ _out_ void k(int *d) { remote[0] += d[0]; }
+`, 4)
+	var diags source.DiagList
+	VersionSwitch(m, []Location{{Label: "s1", ID: 1}, {Label: "s2", ID: 2}}, &diags)
+	if !diags.HasErrors() {
+		t.Fatal("location-less kernel touching s2-only state must fail on s1")
+	}
+	if !strings.Contains(diags.Err().Error(), "placed elsewhere") {
+		t.Errorf("unexpected error: %v", diags.Err())
+	}
+}
+
+func TestVersioningGuardedForeignStateOK(t *testing.T) {
+	// Guarding the access with location.id makes the SPMD kernel legal:
+	// specialization removes the foreign access on other switches.
+	m := compile(t, `
+_net_ _at_("s2") int remote[4] = {0};
+_net_ _out_ void k(int *d) {
+    if (location.id == 2) remote[0] += d[0];
+    else d[0] += 1;
+}
+`, 4)
+	var diags source.DiagList
+	mods := VersionSwitch(m, []Location{{Label: "s1", ID: 1}, {Label: "s2", ID: 2}}, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("guarded access must version cleanly: %v", diags.Err())
+	}
+	if g := mods[0].GlobalByName("remote"); g != nil {
+		t.Error("s1 module must not carry s2 state")
+	}
+	if countOps(mods[1].FuncByName("k"), ir.RegStore) == 0 {
+		t.Error("s2 module must keep the state access")
+	}
+}
+
+func TestHostModule(t *testing.T) {
+	m := compile(t, `
+_net_ _out_ void send(int *d) { _drop(); }
+_net_ _in_ void recv(int *d, _ext_ int *h) { h[0] = d[0]; }
+`, 4)
+	hm := HostModule(m)
+	if hm.FuncByName("recv") == nil || hm.FuncByName("send") != nil {
+		t.Error("host module must contain exactly the incoming kernels")
+	}
+}
+
+// --- differential property test ---
+
+// TestOptimizeDifferential generates random straight-line kernels and
+// checks that optimization preserves interpreter semantics on random
+// windows. This is the pass-correctness oracle described in DESIGN.md §7.
+func TestOptimizeDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260706))
+	ops := []string{"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"}
+	for trial := 0; trial < 60; trial++ {
+		// Build a random kernel over 4 window elements and a small array.
+		var body strings.Builder
+		nStmts := 3 + rng.Intn(6)
+		for s := 0; s < nStmts; s++ {
+			dst := rng.Intn(4)
+			a := rng.Intn(4)
+			b := rng.Intn(4)
+			op := ops[rng.Intn(len(ops))]
+			switch rng.Intn(4) {
+			case 0:
+				fmt.Fprintf(&body, "d[%d] = d[%d] %s d[%d];\n", dst, a, op, b)
+			case 1:
+				fmt.Fprintf(&body, "st[%d] += d[%d];\n", rng.Intn(4), a)
+			case 2:
+				fmt.Fprintf(&body, "d[%d] = st[%d] %s %d;\n", dst, rng.Intn(4), op, 1+rng.Intn(9))
+			case 3:
+				fmt.Fprintf(&body, "if (d[%d] > d[%d]) d[%d] = d[%d] %s %d;\n", a, b, dst, a, op, 1+rng.Intn(9))
+			}
+		}
+		src := "_net_ int st[4] = {0};\n_net_ _out_ void k(int *d) {\n" + body.String() + "}\n"
+
+		plain := compile(t, src, 4)
+		opt := compile(t, src, 4)
+		Optimize(opt)
+		if err := ir.Verify(opt); err != nil {
+			t.Fatalf("trial %d: verify: %v\nsource:\n%s\n%s", trial, err, src, opt)
+		}
+
+		for wtrial := 0; wtrial < 5; wtrial++ {
+			var seed [4]uint64
+			for i := range seed {
+				seed[i] = uint64(rng.Int63n(1 << 20))
+			}
+			run := func(m *ir.Module) ([]uint64, []uint64) {
+				f := m.FuncByName("k")
+				st := interp.NewState(m)
+				win := interp.NewWindow(f)
+				copy(win.Data[0], seed[:])
+				if _, err := interp.Exec(f, st, win); err != nil {
+					t.Fatalf("trial %d: exec: %v\nsource:\n%s", trial, err, src)
+				}
+				return win.Data[0], st.Regs[m.GlobalByName("st")]
+			}
+			d1, s1 := run(plain)
+			d2, s2 := run(opt)
+			for i := range d1 {
+				if d1[i] != d2[i] {
+					t.Fatalf("trial %d: window diverged at %d: %d vs %d\nsource:\n%s", trial, i, d1[i], d2[i], src)
+				}
+			}
+			for i := range s1 {
+				if s1[i] != s2[i] {
+					t.Fatalf("trial %d: state diverged at %d: %d vs %d\nsource:\n%s", trial, i, s1[i], s2[i], src)
+				}
+			}
+		}
+	}
+}

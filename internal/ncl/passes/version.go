@@ -1,0 +1,98 @@
+package passes
+
+import (
+	"ncl/internal/ncl/ir"
+	"ncl/internal/ncl/source"
+	"ncl/internal/ncl/types"
+)
+
+// Location is one switch location from the AND file.
+type Location struct {
+	Label string
+	ID    uint32
+}
+
+// VersionSwitch implements the IR-versioning stage of the nclc device
+// pipeline (§5): it produces one module per switch location containing the
+// location's kernels and state, with `location.id` constant-folded so that
+// location-dependent branches in location-less (SPMD) kernels specialize
+// away. Kernels that end up touching state unavailable at a location are
+// conformance errors.
+func VersionSwitch(m *ir.Module, locs []Location, diags *source.DiagList) []*ir.Module {
+	var out []*ir.Module
+	for _, loc := range locs {
+		lm := &ir.Module{Name: m.Name, Loc: loc.Label}
+		gmap := map[*ir.Global]*ir.Global{}
+		for _, g := range m.Globals {
+			if g.Loc != "" && g.Loc != loc.Label {
+				continue
+			}
+			ng := &ir.Global{Name: g.Name, Type: g.Type, Loc: g.Loc, Ctrl: g.Ctrl, Init: g.Init}
+			gmap[g] = ng
+			lm.Globals = append(lm.Globals, ng)
+		}
+		lm.WinFields = append(lm.WinFields, m.WinFields...)
+		for _, f := range m.Funcs {
+			if f.Kind != ir.OutKernel {
+				continue
+			}
+			if f.Loc != "" && f.Loc != loc.Label {
+				continue
+			}
+			nf := ir.CloneFunc(f, gmap)
+			specializeLocation(nf, loc.ID)
+			lm.Funcs = append(lm.Funcs, nf)
+		}
+		Optimize(lm)
+		checkStateAvailability(lm, loc, diags)
+		out = append(out, lm)
+	}
+	return out
+}
+
+// HostModule extracts the host-side module: the incoming kernels, which
+// run on every host (§4.1) and never touch switch state.
+func HostModule(m *ir.Module) *ir.Module {
+	hm := &ir.Module{Name: m.Name, Loc: ""}
+	hm.WinFields = append(hm.WinFields, m.WinFields...)
+	for _, f := range m.Funcs {
+		if f.Kind != ir.InKernel {
+			continue
+		}
+		nf := ir.CloneFunc(f, nil)
+		hm.Funcs = append(hm.Funcs, nf)
+	}
+	Optimize(hm)
+	return hm
+}
+
+// specializeLocation replaces location.id reads with the constant id.
+func specializeLocation(f *ir.Func, id uint32) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.LocMeta && in.Field == "id" {
+				replaceUses(f, in, ir.ConstOf(types.U32, uint64(id)))
+			}
+		}
+	}
+	// The now-unused LocMeta instructions fall to DCE in Optimize.
+}
+
+// checkStateAvailability reports kernels that, after specialization, still
+// reference globals absent from the location module.
+func checkStateAvailability(lm *ir.Module, loc Location, diags *source.DiagList) {
+	have := map[*ir.Global]bool{}
+	for _, g := range lm.Globals {
+		have[g] = true
+	}
+	for _, f := range lm.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Global != nil && !have[in.Global] {
+					diags.Errorf(source.Pos{}, "kernel %s at location %q uses state %s placed elsewhere (_at_(%q)); guard the access with a location.id test or move the state",
+						f.Name, loc.Label, in.Global.Name, in.Global.Loc)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,876 @@
+package sema
+
+import (
+	"ncl/internal/ncl/ast"
+	"ncl/internal/ncl/source"
+	"ncl/internal/ncl/token"
+	"ncl/internal/ncl/types"
+)
+
+// funcFlags tracks switch-side feature use so helper inlining sites can be
+// validated (incoming kernels run on hosts and must not touch switch
+// state, locations, or forwarding).
+type funcFlags struct {
+	forwarding  bool
+	switchState bool // _net_ globals, Maps, Blooms
+	location    bool
+}
+
+// checkBodies type-checks every function body. Helpers must be defined
+// before use (C-style), which the single in-order pass enforces naturally.
+func (c *checker) checkBodies() {
+	c.flags = map[*Func]*funcFlags{}
+	for _, f := range c.info.Funcs {
+		c.checkFunc(f)
+	}
+}
+
+func (c *checker) checkFunc(f *Func) {
+	if f.Decl.Body == nil {
+		return
+	}
+	c.fn = f
+	c.flags[f] = &funcFlags{}
+	c.scopes = []map[string]any{{}}
+	c.loops = 0
+	for _, p := range f.Params {
+		c.declare(p.Name, p, p.Decl.Pos())
+	}
+	c.checkBlock(f.Decl.Body)
+	c.scopes = nil
+	f.UsesForwarding = c.flags[f].forwarding
+	c.fn = nil
+}
+
+// --- scopes ---
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, map[string]any{}) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(name string, obj any, pos source.Pos) {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[name]; dup {
+		c.errorf(pos, "redeclaration of %s in the same scope", name)
+		return
+	}
+	top[name] = obj
+}
+
+func (c *checker) lookup(name string) any {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if obj, ok := c.scopes[i][name]; ok {
+			return obj
+		}
+	}
+	if g, ok := c.info.GlobalsByName[name]; ok {
+		return g
+	}
+	if f, ok := c.info.FuncsByName[name]; ok {
+		return f
+	}
+	switch name {
+	case BWindow, BLocation, BMemcpy, BPass, BDrop, BReflect, BBcast:
+		return Builtin{Name: name}
+	}
+	return nil
+}
+
+// --- statements ---
+
+func (c *checker) checkBlock(b *ast.BlockStmt) {
+	c.pushScope()
+	for _, s := range b.Stmts {
+		c.checkStmt(s)
+	}
+	c.popScope()
+}
+
+func (c *checker) checkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		c.checkBlock(s)
+	case *ast.EmptyStmt:
+	case *ast.DeclStmt:
+		c.checkLocalDecl(s.Decl)
+	case *ast.ExprStmt:
+		c.checkExpr(s.X)
+	case *ast.IfStmt:
+		c.pushScope()
+		if s.CondDecl != nil {
+			lo := c.checkLocalDecl(s.CondDecl)
+			if lo != nil {
+				c.info.CondLocal[s] = lo
+				if !types.Truthy(lo.Type) {
+					c.errorf(s.CondDecl.Pos(), "condition declaration of type %s is not testable", lo.Type)
+				}
+			}
+		} else {
+			t := c.checkExpr(s.Cond)
+			if t != nil && !types.Truthy(t) {
+				c.errorf(s.Cond.Pos(), "if condition has type %s; need bool, integer, or Map-lookup pointer", t)
+			}
+		}
+		c.checkStmt(s.Then)
+		if s.Else != nil {
+			c.checkStmt(s.Else)
+		}
+		c.popScope()
+	case *ast.ForStmt:
+		c.pushScope()
+		if s.Init != nil {
+			c.checkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			t := c.checkExpr(s.Cond)
+			if t != nil && !types.Truthy(t) {
+				c.errorf(s.Cond.Pos(), "for condition has type %s", t)
+			}
+		}
+		if s.Post != nil {
+			c.checkExpr(s.Post)
+		}
+		c.loops++
+		c.checkStmt(s.Body)
+		c.loops--
+		c.popScope()
+	case *ast.WhileStmt:
+		t := c.checkExpr(s.Cond)
+		if t != nil && !types.Truthy(t) {
+			c.errorf(s.Cond.Pos(), "while condition has type %s", t)
+		}
+		c.loops++
+		c.checkStmt(s.Body)
+		c.loops--
+	case *ast.ReturnStmt:
+		if s.X == nil {
+			if c.fn.Ret.Kind != types.Void {
+				c.errorf(s.Pos(), "%s must return a %s value", c.fn.Name, c.fn.Ret)
+			}
+			return
+		}
+		if c.fn.Ret.Kind == types.Void {
+			c.errorf(s.Pos(), "%s returns void; kernels produce results by writing window data", c.fn.Name)
+			c.checkExpr(s.X)
+			return
+		}
+		t := c.checkExpr(s.X)
+		if t != nil && !types.AssignableTo(t, c.fn.Ret) {
+			c.errorf(s.X.Pos(), "cannot return %s from %s (returns %s)", t, c.fn.Name, c.fn.Ret)
+		}
+	case *ast.BreakStmt:
+		if c.loops == 0 {
+			c.errorf(s.Pos(), "break outside a loop")
+		}
+	case *ast.ContinueStmt:
+		if c.loops == 0 {
+			c.errorf(s.Pos(), "continue outside a loop")
+		}
+	}
+}
+
+// checkLocalDecl validates and declares a local variable. Returns the new
+// Local, or nil on error.
+func (c *checker) checkLocalDecl(d *ast.VarDecl) *Local {
+	if d.Specs.Any() {
+		c.errorf(d.Pos(), "NCL specifiers are not allowed on local variables")
+	}
+	var ty *types.Type
+	if isAutoPtr(d.Type) {
+		if d.Init == nil {
+			c.errorf(d.Pos(), "auto requires an initializer")
+			return nil
+		}
+		it := c.checkExpr(d.Init)
+		if it == nil {
+			return nil
+		}
+		if !(it.Kind == types.Pointer && it.OptionalPtr) {
+			c.errorf(d.Init.Pos(), "auto* must be initialized from a Map lookup, got %s", it)
+			return nil
+		}
+		ty = it
+	} else if isAutoValue(d.Type) {
+		c.errorf(d.Pos(), "plain auto locals are not supported; spell the scalar type")
+		return nil
+	} else {
+		ty = c.resolveType(d.Type, false)
+		if ty == nil {
+			return nil
+		}
+		if !ty.IsScalar() {
+			c.errorf(d.Pos(), "local %s must be a scalar (PISA has no per-packet arrays or raw pointers); got %s", d.Name, ty)
+			return nil
+		}
+		if d.Init != nil {
+			if _, isList := d.Init.(*ast.InitList); isList {
+				c.errorf(d.Init.Pos(), "braced initializers are only valid on switch memory arrays")
+				return nil
+			}
+			it := c.checkExpr(d.Init)
+			if it != nil && !types.AssignableTo(it, ty) {
+				c.errorf(d.Init.Pos(), "cannot initialize %s %s with %s", ty, d.Name, it)
+			}
+		}
+	}
+	lo := &Local{Name: d.Name, Type: ty, Decl: d}
+	c.declare(d.Name, lo, d.Pos())
+	c.info.Decls[d] = lo
+	return lo
+}
+
+func isAutoPtr(t ast.TypeExpr) bool {
+	p, ok := t.(*ast.PointerType)
+	if !ok {
+		return false
+	}
+	b, ok := p.Elem.(*ast.BaseType)
+	return ok && b.Name == "auto"
+}
+
+func isAutoValue(t ast.TypeExpr) bool {
+	b, ok := t.(*ast.BaseType)
+	return ok && b.Name == "auto"
+}
+
+// --- expressions ---
+
+// checkExpr type-checks e, records its type, and returns it (nil on error).
+func (c *checker) checkExpr(e ast.Expr) *types.Type {
+	t := c.exprType(e)
+	if t != nil {
+		c.info.Types[e] = t
+		if v, _, ok := c.constEval(e); ok {
+			c.info.Consts[e] = t.Normalize(v)
+		}
+	}
+	return t
+}
+
+func (c *checker) exprType(e ast.Expr) *types.Type {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		_, t, _ := c.constEval(e)
+		return t
+	case *ast.BoolLit:
+		return types.BoolType
+	case *ast.StringLit:
+		return types.LabelType
+	case *ast.InitList:
+		c.errorf(e.Pos(), "initializer lists are only valid on declarations")
+		return nil
+	case *ast.Ident:
+		return c.identType(e)
+	case *ast.Unary:
+		return c.unaryType(e)
+	case *ast.Binary:
+		return c.binaryType(e)
+	case *ast.Assign:
+		return c.assignType(e)
+	case *ast.Cond:
+		ct := c.checkExpr(e.C)
+		if ct != nil && !types.Truthy(ct) {
+			c.errorf(e.C.Pos(), "conditional test has type %s", ct)
+		}
+		a := c.checkExpr(e.Then)
+		b := c.checkExpr(e.Else)
+		if a == nil || b == nil {
+			return nil
+		}
+		if a.Kind == types.Bool && b.Kind == types.Bool {
+			return types.BoolType
+		}
+		ct2, ok := types.Common(a, b)
+		if !ok {
+			c.errorf(e.Pos(), "incompatible conditional arms: %s and %s", a, b)
+			return nil
+		}
+		return ct2
+	case *ast.Index:
+		return c.indexType(e)
+	case *ast.Member:
+		return c.memberType(e)
+	case *ast.Call:
+		return c.callType(e)
+	case *ast.Cast:
+		to := c.resolveType(e.To, false)
+		x := c.checkExpr(e.X)
+		if to == nil || x == nil {
+			return nil
+		}
+		if !to.IsScalar() {
+			c.errorf(e.Pos(), "cannot cast to %s", to)
+			return nil
+		}
+		if !x.IsScalar() {
+			c.errorf(e.X.Pos(), "cannot cast %s to %s", x, to)
+			return nil
+		}
+		return to
+	case *ast.SizeofType:
+		if ty := c.resolveType(e.To, false); ty == nil {
+			return nil
+		}
+		return types.U64
+	case *ast.SizeofExpr:
+		if x := c.checkExpr(e.X); x == nil {
+			return nil
+		}
+		return types.U64
+	}
+	c.errorf(e.Pos(), "unsupported expression")
+	return nil
+}
+
+func (c *checker) identType(e *ast.Ident) *types.Type {
+	obj := c.lookup(e.Name)
+	if obj == nil {
+		c.errorf(e.Pos(), "undeclared identifier %s", e.Name)
+		return nil
+	}
+	c.info.Idents[e] = obj
+	switch o := obj.(type) {
+	case *Local:
+		return o.Type
+	case *Param:
+		if o.Ext {
+			// _ext_ params only exist on incoming kernels (checked at
+			// declaration); they are host pointers.
+		}
+		return o.Type
+	case *Global:
+		if o.Const {
+			return o.Type
+		}
+		c.noteSwitchState(e.Pos(), o.Name)
+		return o.Type
+	case *Func:
+		c.errorf(e.Pos(), "%s is a function; call it", o.Name)
+		return nil
+	case Builtin:
+		switch o.Name {
+		case BWindow, BLocation:
+			c.errorf(e.Pos(), "%s is only valid with field access (%s.field)", o.Name, o.Name)
+		default:
+			c.errorf(e.Pos(), "%s is only valid as a call", o.Name)
+		}
+		return nil
+	}
+	return nil
+}
+
+// noteSwitchState records that the current function touches switch-side
+// state, which is illegal for incoming kernels (they run on hosts).
+func (c *checker) noteSwitchState(pos source.Pos, what string) {
+	if fl := c.flags[c.fn]; fl != nil {
+		fl.switchState = true
+	}
+	if c.fn != nil && c.fn.Kind == InKernel {
+		c.errorf(pos, "incoming kernel %s cannot access switch memory %s; switch state exists only on switches (§4.1)", c.fn.Name, what)
+	}
+}
+
+func (c *checker) unaryType(e *ast.Unary) *types.Type {
+	x := c.checkExpr(e.X)
+	if x == nil {
+		return nil
+	}
+	switch e.Op {
+	case token.ADD, token.SUB, token.TILDE:
+		if !x.IsInteger() {
+			c.errorf(e.Pos(), "operator %s requires an integer, got %s", e.Op, x)
+			return nil
+		}
+		return types.Promote(x)
+	case token.NOT:
+		if !types.Truthy(x) {
+			c.errorf(e.Pos(), "operator ! requires a testable value, got %s", x)
+			return nil
+		}
+		return types.BoolType
+	case token.MUL: // deref
+		if x.Kind != types.Pointer {
+			c.errorf(e.Pos(), "cannot dereference %s", x)
+			return nil
+		}
+		return x.Elem
+	case token.AND: // address-of
+		return c.addressOfType(e)
+	case token.INC, token.DEC:
+		if !x.IsInteger() {
+			c.errorf(e.Pos(), "%s requires an integer lvalue, got %s", e.Op, x)
+			return nil
+		}
+		if reason := c.assignable(e.X); reason != "" {
+			c.errorf(e.Pos(), "cannot modify operand of %s: %s", e.Op, reason)
+		}
+		return x
+	}
+	c.errorf(e.Pos(), "unsupported unary operator %s", e.Op)
+	return nil
+}
+
+// addressOfType types &expr. Addresses exist only as compile-time views
+// for memcpy; they cannot be stored.
+func (c *checker) addressOfType(e *ast.Unary) *types.Type {
+	x := c.info.Types[e.X]
+	if x == nil {
+		return nil
+	}
+	switch e.X.(type) {
+	case *ast.Index, *ast.Ident, *ast.Member:
+		if x.IsScalar() || x.Kind == types.Array {
+			if x.Kind == types.Array {
+				return types.PointerTo(x.Elem)
+			}
+			return types.PointerTo(x)
+		}
+	}
+	c.errorf(e.Pos(), "cannot take the address of this expression")
+	return nil
+}
+
+func (c *checker) binaryType(e *ast.Binary) *types.Type {
+	x := c.checkExpr(e.X)
+	y := c.checkExpr(e.Y)
+	if x == nil || y == nil {
+		return nil
+	}
+	switch e.Op {
+	case token.LAND, token.LOR:
+		if !types.Truthy(x) || !types.Truthy(y) {
+			c.errorf(e.Pos(), "operator %s requires testable operands, got %s and %s", e.Op, x, y)
+			return nil
+		}
+		return types.BoolType
+	case token.EQ, token.NE:
+		if x.Kind == types.Bool && y.Kind == types.Bool {
+			return types.BoolType
+		}
+		if _, ok := types.Common(x, y); ok {
+			return types.BoolType
+		}
+		c.errorf(e.Pos(), "cannot compare %s and %s", x, y)
+		return nil
+	case token.LT, token.GT, token.LE, token.GE:
+		if _, ok := types.Common(x, y); ok {
+			return types.BoolType
+		}
+		c.errorf(e.Pos(), "cannot order %s and %s", x, y)
+		return nil
+	}
+	ct, ok := types.Common(x, y)
+	if !ok {
+		c.errorf(e.Pos(), "operator %s requires integers, got %s and %s", e.Op, x, y)
+		return nil
+	}
+	return ct
+}
+
+func (c *checker) assignType(e *ast.Assign) *types.Type {
+	lt := c.checkExpr(e.LHS)
+	rt := c.checkExpr(e.RHS)
+	if lt == nil || rt == nil {
+		return nil
+	}
+	if reason := c.assignable(e.LHS); reason != "" {
+		c.errorf(e.LHS.Pos(), "cannot assign: %s", reason)
+		return nil
+	}
+	if e.Op == token.ASSIGN {
+		if !types.AssignableTo(rt, lt) {
+			c.errorf(e.RHS.Pos(), "cannot assign %s to %s", rt, lt)
+			return nil
+		}
+		return lt
+	}
+	// Compound assignment requires integer arithmetic on both sides.
+	if !lt.IsInteger() || !rt.IsInteger() {
+		c.errorf(e.Pos(), "operator %s requires integers, got %s and %s", e.Op, lt, rt)
+		return nil
+	}
+	return lt
+}
+
+// assignable returns "" when e is a writable lvalue in the current
+// function, or a human-readable reason why not.
+func (c *checker) assignable(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		switch o := c.info.Idents[e].(type) {
+		case *Local:
+			if o.Type.Kind == types.Pointer {
+				return "Map-lookup pointers cannot be reseated"
+			}
+			return ""
+		case *Param:
+			if o.Type.Kind == types.Pointer {
+				return "window array parameters cannot be reseated"
+			}
+			return "" // scalar window element: writable window data
+		case *Global:
+			if o.Const {
+				return o.Name + " is a compile-time constant"
+			}
+			if o.Ctrl {
+				return o.Name + " is _ctrl_: read-only from kernel code, written by hosts (§4.1)"
+			}
+			if o.IsMap() || o.IsBloom() {
+				return o.Name + " is managed through its operations"
+			}
+			return ""
+		}
+		return "not a variable"
+	case *ast.Unary:
+		if e.Op != token.MUL {
+			return "not an lvalue"
+		}
+		pt := c.info.Types[e.X]
+		if pt == nil {
+			return "untyped operand"
+		}
+		if pt.OptionalPtr {
+			return "Map values are installed by the control plane, not kernel writes (§4.3)"
+		}
+		return c.pointerWritable(e.X)
+	case *ast.Index:
+		bt := c.info.Types[e.X]
+		if bt == nil {
+			return "untyped base"
+		}
+		switch bt.Kind {
+		case types.Array:
+			return c.assignable(e.X) // inherits writability from the array
+		case types.Map:
+			return "Map entries are installed by the control plane"
+		case types.Pointer:
+			if bt.OptionalPtr {
+				return "Map values are read-only in kernels"
+			}
+			return c.pointerWritable(e.X)
+		}
+		return "cannot index " + bt.String()
+	case *ast.Member:
+		return "window and location fields are read-only in kernels"
+	}
+	return "not an lvalue"
+}
+
+// pointerWritable reports whether the pointer-valued expression e refers
+// to writable storage (window data always is; _ext_ host pointers are).
+func (c *checker) pointerWritable(e ast.Expr) string {
+	if id, ok := e.(*ast.Ident); ok {
+		if p, ok := c.info.Idents[id].(*Param); ok {
+			_ = p
+			return "" // window data and _ext_ host memory are writable
+		}
+	}
+	// &expr views from address-of are writable iff the base is.
+	if u, ok := e.(*ast.Unary); ok && u.Op == token.AND {
+		return c.assignable(u.X)
+	}
+	return ""
+}
+
+func (c *checker) indexType(e *ast.Index) *types.Type {
+	bt := c.checkExpr(e.X)
+	it := c.checkExpr(e.Idx)
+	if bt == nil || it == nil {
+		return nil
+	}
+	switch bt.Kind {
+	case types.Array:
+		if !it.IsInteger() {
+			c.errorf(e.Idx.Pos(), "array index must be an integer, got %s", it)
+			return nil
+		}
+		return bt.Elem
+	case types.Pointer:
+		if bt.OptionalPtr {
+			c.errorf(e.Pos(), "Map-lookup pointers refer to a single value; dereference with * instead of indexing")
+			return nil
+		}
+		if !it.IsInteger() {
+			c.errorf(e.Idx.Pos(), "index must be an integer, got %s", it)
+			return nil
+		}
+		return bt.Elem
+	case types.Map:
+		if !types.AssignableTo(it, bt.Key) {
+			c.errorf(e.Idx.Pos(), "Map key must be %s, got %s", bt.Key, it)
+			return nil
+		}
+		return types.OptionalPointerTo(bt.Val)
+	}
+	c.errorf(e.Pos(), "cannot index %s", bt)
+	return nil
+}
+
+func (c *checker) memberType(e *ast.Member) *types.Type {
+	if e.Arrow {
+		c.errorf(e.Pos(), "-> is not supported; NCL has no struct pointers")
+		return nil
+	}
+	id, ok := e.X.(*ast.Ident)
+	if !ok {
+		c.errorf(e.Pos(), "field access is only valid on window, location, or an ncl::Bloom")
+		return nil
+	}
+	obj := c.lookup(id.Name)
+	c.info.Idents[id] = obj
+	switch o := obj.(type) {
+	case Builtin:
+		switch o.Name {
+		case BWindow:
+			if t, ok := WindowBuiltinFields[e.Sel]; ok {
+				c.info.Types[e.X] = types.VoidType // marker; window has no value type
+				return t
+			}
+			for _, wf := range c.info.WinFields {
+				if wf.Name == e.Sel {
+					c.info.Types[e.X] = types.VoidType
+					return wf.Type
+				}
+			}
+			c.errorf(e.SelPos, "window has no field %s (builtin: seq, len, from, sender, wid; plus _win_ extensions)", e.Sel)
+			return nil
+		case BLocation:
+			if c.fn != nil && c.fn.Kind == InKernel {
+				c.errorf(e.Pos(), "location is meaningless in incoming kernels (they run on every host)")
+				return nil
+			}
+			if fl := c.flags[c.fn]; fl != nil {
+				fl.location = true
+			}
+			if t, ok := LocationFields[e.Sel]; ok {
+				c.info.Types[e.X] = types.VoidType
+				return t
+			}
+			c.errorf(e.SelPos, "location has no field %s (available: id)", e.Sel)
+			return nil
+		}
+	case *Global:
+		if o.IsBloom() || o.IsSketch() {
+			// Methods are handled by callType; reaching here means the
+			// method was not called.
+			c.errorf(e.Pos(), "%s operations must be called (e.g. %s.add(...))", o.Type, o.Name)
+			return nil
+		}
+	}
+	c.errorf(e.Pos(), "field access is only valid on window, location, or an ncl::Bloom")
+	return nil
+}
+
+func (c *checker) callType(e *ast.Call) *types.Type {
+	// Bloom method calls: seen.add(k), seen.test(k).
+	if m, ok := e.Fun.(*ast.Member); ok {
+		return c.bloomCallType(e, m)
+	}
+	id, ok := e.Fun.(*ast.Ident)
+	if !ok {
+		c.errorf(e.Pos(), "calls must name a function")
+		return nil
+	}
+	obj := c.lookup(id.Name)
+	if obj == nil {
+		c.errorf(id.Pos(), "undeclared function %s", id.Name)
+		return nil
+	}
+	c.info.Idents[id] = obj
+	switch o := obj.(type) {
+	case Builtin:
+		return c.builtinCallType(e, o.Name)
+	case *Func:
+		return c.helperCallType(e, o)
+	}
+	c.errorf(e.Pos(), "%s is not callable", id.Name)
+	return nil
+}
+
+func (c *checker) bloomCallType(e *ast.Call, m *ast.Member) *types.Type {
+	id, ok := m.X.(*ast.Ident)
+	if !ok {
+		c.errorf(e.Pos(), "method calls are only valid on ncl::Bloom and ncl::CountMin globals")
+		return nil
+	}
+	g, ok := c.lookup(id.Name).(*Global)
+	if !ok || (!g.IsBloom() && !g.IsSketch()) {
+		c.errorf(e.Pos(), "%s is not an ncl::Bloom or ncl::CountMin", id.Name)
+		return nil
+	}
+	c.info.Idents[id] = g
+	c.noteSwitchState(m.SelPos, g.Name)
+	intArg := func(i int, what string) {
+		at := c.checkExpr(e.Args[i])
+		if at != nil && !at.IsInteger() {
+			c.errorf(e.Args[i].Pos(), "%s must be an integer, got %s", what, at)
+		}
+	}
+	if g.IsSketch() {
+		switch m.Sel {
+		case "add":
+			if len(e.Args) != 2 {
+				c.errorf(e.Pos(), "%s.add takes (key, amount)", g.Name)
+				return nil
+			}
+			intArg(0, "CountMin key")
+			intArg(1, "CountMin amount")
+			return types.VoidType
+		case "estimate":
+			if len(e.Args) != 1 {
+				c.errorf(e.Pos(), "%s.estimate takes exactly one key argument", g.Name)
+				return nil
+			}
+			intArg(0, "CountMin key")
+			return types.U32
+		}
+		c.errorf(m.SelPos, "ncl::CountMin has no operation %s (available: add, estimate)", m.Sel)
+		return nil
+	}
+	if len(e.Args) != 1 {
+		c.errorf(e.Pos(), "%s.%s takes exactly one key argument", g.Name, m.Sel)
+		return nil
+	}
+	intArg(0, "Bloom key")
+	switch m.Sel {
+	case "add":
+		return types.VoidType
+	case "test":
+		return types.BoolType
+	}
+	c.errorf(m.SelPos, "ncl::Bloom has no operation %s (available: add, test)", m.Sel)
+	return nil
+}
+
+func (c *checker) builtinCallType(e *ast.Call, name string) *types.Type {
+	switch name {
+	case BMemcpy:
+		if len(e.Args) != 3 {
+			c.errorf(e.Pos(), "memcpy takes (dst, src, bytes)")
+			return nil
+		}
+		dt := c.checkExpr(e.Args[0])
+		st := c.checkExpr(e.Args[1])
+		nt := c.checkExpr(e.Args[2])
+		if dt != nil && !memcpyOperand(dt) {
+			c.errorf(e.Args[0].Pos(), "memcpy destination must be a pointer or array, got %s", dt)
+		}
+		if st != nil && !memcpyOperand(st) {
+			c.errorf(e.Args[1].Pos(), "memcpy source must be a pointer or array, got %s", st)
+		}
+		if nt != nil && !nt.IsInteger() {
+			c.errorf(e.Args[2].Pos(), "memcpy length must be an integer, got %s", nt)
+		}
+		if dt != nil {
+			if reason := c.memcpyDstWritable(e.Args[0], dt); reason != "" {
+				c.errorf(e.Args[0].Pos(), "memcpy destination not writable: %s", reason)
+			}
+		}
+		return types.VoidType
+	case BPass, BDrop, BReflect, BBcast:
+		if c.fn != nil && c.fn.Kind == InKernel {
+			c.errorf(e.Pos(), "forwarding decisions (%s) are only valid in outgoing kernels; the window has already arrived (§4.1)", name)
+		}
+		if fl := c.flags[c.fn]; fl != nil {
+			fl.forwarding = true
+		}
+		if name == BPass {
+			if len(e.Args) > 1 {
+				c.errorf(e.Pos(), "_pass takes at most one location label")
+			}
+			if len(e.Args) == 1 {
+				at := c.checkExpr(e.Args[0])
+				if at != nil && at.Kind != types.Label {
+					c.errorf(e.Args[0].Pos(), "_pass label must be a string literal AND label")
+				}
+			}
+		} else if len(e.Args) != 0 {
+			c.errorf(e.Pos(), "%s takes no arguments", name)
+		}
+		return types.VoidType
+	case BWindow, BLocation:
+		c.errorf(e.Pos(), "%s is not callable", name)
+		return nil
+	}
+	c.errorf(e.Pos(), "unknown builtin %s", name)
+	return nil
+}
+
+// memcpyDstWritable validates the write side of memcpy.
+func (c *checker) memcpyDstWritable(dst ast.Expr, dt *types.Type) string {
+	switch d := dst.(type) {
+	case *ast.Ident:
+		if _, isParam := c.info.Idents[d].(*Param); isParam {
+			return ""
+		}
+		return c.assignable(d)
+	case *ast.Unary:
+		if d.Op == token.AND {
+			return c.assignable(d.X)
+		}
+	case *ast.Index:
+		// e.g. Cache[*idx] (a row of a 2D array): writable iff the array is.
+		base := d.X
+		for {
+			if ix, ok := base.(*ast.Index); ok {
+				base = ix.X
+				continue
+			}
+			break
+		}
+		if id, ok := base.(*ast.Ident); ok {
+			return c.assignable(id)
+		}
+	}
+	return ""
+}
+
+func memcpyOperand(t *types.Type) bool {
+	return t.Kind == types.Pointer || t.Kind == types.Array
+}
+
+func (c *checker) helperCallType(e *ast.Call, f *Func) *types.Type {
+	if f.Kind != Helper {
+		c.errorf(e.Pos(), "%s %s cannot be called from code; kernels are invoked by the runtime", f.Kind, f.Name)
+		return nil
+	}
+	if f == c.fn {
+		c.errorf(e.Pos(), "recursive call to %s; recursion cannot map to a PISA pipeline (§5)", f.Name)
+		return nil
+	}
+	// Helpers are defined before use; calls ahead of the definition would
+	// not resolve (lookup order), so transitively flagged info is final.
+	if fl, ok := c.flags[f]; ok {
+		cur := c.flags[c.fn]
+		if cur != nil {
+			cur.forwarding = cur.forwarding || fl.forwarding
+			cur.switchState = cur.switchState || fl.switchState
+			cur.location = cur.location || fl.location
+		}
+		if c.fn.Kind == InKernel {
+			if fl.forwarding {
+				c.errorf(e.Pos(), "helper %s makes forwarding decisions and cannot be used from incoming kernel %s", f.Name, c.fn.Name)
+			}
+			if fl.switchState {
+				c.errorf(e.Pos(), "helper %s touches switch memory and cannot be used from incoming kernel %s", f.Name, c.fn.Name)
+			}
+			if fl.location {
+				c.errorf(e.Pos(), "helper %s reads location and cannot be used from incoming kernel %s", f.Name, c.fn.Name)
+			}
+		}
+	}
+	if len(e.Args) != len(f.Params) {
+		c.errorf(e.Pos(), "%s takes %d arguments, got %d", f.Name, len(f.Params), len(e.Args))
+		return f.Ret
+	}
+	for i, a := range e.Args {
+		at := c.checkExpr(a)
+		if at == nil {
+			continue
+		}
+		pt := f.Params[i].Type
+		if !types.AssignableTo(at, pt) {
+			c.errorf(a.Pos(), "argument %d of %s: cannot use %s as %s", i+1, f.Name, at, pt)
+		}
+	}
+	return f.Ret
+}

@@ -1,0 +1,237 @@
+package sema
+
+import (
+	"ncl/internal/ncl/ast"
+	"ncl/internal/ncl/source"
+	"ncl/internal/ncl/token"
+	"ncl/internal/ncl/types"
+)
+
+// constEval evaluates a compile-time constant expression. It returns the
+// value (canonical 64-bit two's complement), the inferred type, and
+// whether the expression is constant. It never reports diagnostics; the
+// caller decides whether non-constness is an error.
+func (c *checker) constEval(e ast.Expr) (uint64, *types.Type, bool) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		// Literal typing: int32 if it fits, otherwise int64/uint64.
+		v := e.Value
+		switch {
+		case v <= 0x7FFFFFFF:
+			return v, types.I32, true
+		case v <= 0x7FFFFFFFFFFFFFFF:
+			return v, types.I64, true
+		default:
+			return v, types.U64, true
+		}
+	case *ast.BoolLit:
+		if e.Value {
+			return 1, types.BoolType, true
+		}
+		return 0, types.BoolType, true
+	case *ast.Ident:
+		if g, ok := c.info.GlobalsByName[e.Name]; ok && g.Const && len(g.Init) == 1 {
+			return g.Init[0], g.Type, true
+		}
+		return 0, nil, false
+	case *ast.Unary:
+		if e.Postfix {
+			return 0, nil, false
+		}
+		v, ty, ok := c.constEval(e.X)
+		if !ok {
+			return 0, nil, false
+		}
+		switch e.Op {
+		case token.ADD:
+			return v, ty, true
+		case token.SUB:
+			t := types.Promote(ty)
+			return t.Normalize(-v), t, true
+		case token.TILDE:
+			t := types.Promote(ty)
+			return t.Normalize(^v), t, true
+		case token.NOT:
+			if v == 0 {
+				return 1, types.BoolType, true
+			}
+			return 0, types.BoolType, true
+		}
+		return 0, nil, false
+	case *ast.Binary:
+		return c.constBinary(e)
+	case *ast.Cond:
+		cv, _, ok := c.constEval(e.C)
+		if !ok {
+			return 0, nil, false
+		}
+		if cv != 0 {
+			return c.constEval(e.Then)
+		}
+		return c.constEval(e.Else)
+	case *ast.Cast:
+		ty := c.resolveTypeQuiet(e.To)
+		if ty == nil || !ty.IsScalar() {
+			return 0, nil, false
+		}
+		v, _, ok := c.constEval(e.X)
+		if !ok {
+			return 0, nil, false
+		}
+		return ty.Normalize(v), ty, true
+	case *ast.SizeofType:
+		ty := c.resolveTypeQuiet(e.To)
+		if ty == nil {
+			return 0, nil, false
+		}
+		if ty.Kind == types.Pointer {
+			return 8, types.U64, true
+		}
+		return uint64(ty.SizeBytes()), types.U64, true
+	case *ast.SizeofExpr:
+		// sizeof expr needs the checked type; only available if the
+		// expression is itself constant-typed here.
+		_, ty, ok := c.constEval(e.X)
+		if !ok || ty == nil {
+			return 0, nil, false
+		}
+		return uint64(ty.SizeBytes()), types.U64, true
+	}
+	return 0, nil, false
+}
+
+// resolveTypeQuiet resolves a type without reporting diagnostics (used
+// during constant evaluation where failure just means "not constant").
+func (c *checker) resolveTypeQuiet(t ast.TypeExpr) *types.Type {
+	scratch := checker{info: c.info, diags: &source.DiagList{}}
+	return scratch.resolveType(t, false)
+}
+
+func (c *checker) constBinary(e *ast.Binary) (uint64, *types.Type, bool) {
+	x, xt, ok := c.constEval(e.X)
+	if !ok {
+		return 0, nil, false
+	}
+	y, yt, ok := c.constEval(e.Y)
+	if !ok {
+		return 0, nil, false
+	}
+	switch e.Op {
+	case token.LAND:
+		if x != 0 && y != 0 {
+			return 1, types.BoolType, true
+		}
+		return 0, types.BoolType, true
+	case token.LOR:
+		if x != 0 || y != 0 {
+			return 1, types.BoolType, true
+		}
+		return 0, types.BoolType, true
+	}
+	ct, ok2 := types.Common(orI32(xt), orI32(yt))
+	if !ok2 {
+		return 0, nil, false
+	}
+	x, y = ct.Normalize(x), ct.Normalize(y)
+	switch e.Op {
+	case token.EQ, token.NE, token.LT, token.GT, token.LE, token.GE:
+		var b bool
+		if ct.Signed {
+			sx, sy := int64(x), int64(y)
+			switch e.Op {
+			case token.EQ:
+				b = sx == sy
+			case token.NE:
+				b = sx != sy
+			case token.LT:
+				b = sx < sy
+			case token.GT:
+				b = sx > sy
+			case token.LE:
+				b = sx <= sy
+			case token.GE:
+				b = sx >= sy
+			}
+		} else {
+			switch e.Op {
+			case token.EQ:
+				b = x == y
+			case token.NE:
+				b = x != y
+			case token.LT:
+				b = x < y
+			case token.GT:
+				b = x > y
+			case token.LE:
+				b = x <= y
+			case token.GE:
+				b = x >= y
+			}
+		}
+		if b {
+			return 1, types.BoolType, true
+		}
+		return 0, types.BoolType, true
+	}
+	v, ok3 := EvalArith(e.Op, x, y, ct)
+	if !ok3 {
+		return 0, nil, false
+	}
+	return v, ct, true
+}
+
+func orI32(t *types.Type) *types.Type {
+	if t == nil || !t.IsInteger() {
+		if t != nil && t.Kind == types.Bool {
+			return types.Promote(t)
+		}
+		return types.I32
+	}
+	return t
+}
+
+// EvalArith evaluates one arithmetic/bitwise binary op over canonical
+// values of type t. Division or modulo by zero returns ok=false (constant
+// folding must not fold UB; the simulator traps at runtime instead).
+// Shift counts are masked to the width, like hardware.
+func EvalArith(op token.Kind, x, y uint64, t *types.Type) (uint64, bool) {
+	switch op {
+	case token.ADD:
+		return t.Normalize(x + y), true
+	case token.SUB:
+		return t.Normalize(x - y), true
+	case token.MUL:
+		return t.Normalize(x * y), true
+	case token.DIV:
+		if y == 0 {
+			return 0, false
+		}
+		if t.Signed {
+			return t.Normalize(uint64(int64(x) / int64(y))), true
+		}
+		return t.Normalize(x / y), true
+	case token.MOD:
+		if y == 0 {
+			return 0, false
+		}
+		if t.Signed {
+			return t.Normalize(uint64(int64(x) % int64(y))), true
+		}
+		return t.Normalize(x % y), true
+	case token.AND:
+		return t.Normalize(x & y), true
+	case token.OR:
+		return t.Normalize(x | y), true
+	case token.XOR:
+		return t.Normalize(x ^ y), true
+	case token.SHL:
+		return t.Normalize(x << (y & uint64(t.Width-1))), true
+	case token.SHR:
+		sh := y & uint64(t.Width-1)
+		if t.Signed {
+			return t.Normalize(uint64(int64(x) >> sh)), true
+		}
+		return t.Normalize((x & types.TruncMask(t.Width)) >> sh), true
+	}
+	return 0, false
+}

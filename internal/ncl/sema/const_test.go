@@ -1,0 +1,130 @@
+package sema
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ncl/internal/ncl/token"
+	"ncl/internal/ncl/types"
+)
+
+// TestEvalArithSemantics pins the compile-time arithmetic the constant
+// folder uses (matching the runtime semantics except division by zero,
+// which is "not constant" at compile time and zero at run time).
+func TestEvalArithSemantics(t *testing.T) {
+	cases := []struct {
+		op   token.Kind
+		x, y uint64
+		t    *types.Type
+		want uint64
+		ok   bool
+	}{
+		{token.ADD, 3, 4, types.I32, 7, true},
+		{token.ADD, 0x7FFFFFFF, 1, types.I32, types.I32.Normalize(0x80000000), true}, // wraps
+		{token.SUB, 3, 5, types.U32, types.U32.Normalize(^uint64(1)), true},
+		{token.MUL, 1 << 20, 1 << 20, types.U32, types.U32.Normalize(1 << 40), true},
+		{token.DIV, ^uint64(0) - 6, 2, types.I32, types.I32.Normalize(^uint64(2)), true}, // -7/2 = -3
+		{token.DIV, 7, 0, types.I32, 0, false},
+		{token.MOD, 7, 0, types.I32, 0, false},
+		{token.MOD, ^uint64(0) - 6, 3, types.I32, ^uint64(0), true}, // -7%3 = -1
+		{token.AND, 0xF0, 0x3C, types.U32, 0x30, true},
+		{token.OR, 0xF0, 0x0F, types.U32, 0xFF, true},
+		{token.XOR, 0xFF, 0x0F, types.U32, 0xF0, true},
+		{token.SHL, 1, 35, types.U32, 8, true}, // count masked to width
+		{token.SHR, 0x80, 3, types.U32, 0x10, true},
+		{token.SHR, ^uint64(0), 1, types.I32, ^uint64(0), true}, // arithmetic shift of -1
+		{token.LAND, 1, 1, types.I32, 0, false},                 // not an arith op
+	}
+	for _, c := range cases {
+		got, ok := EvalArith(c.op, c.x, c.y, c.t)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("EvalArith(%v,%#x,%#x,%s) = %#x,%v want %#x,%v", c.op, c.x, c.y, c.t, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// TestConstExprMatrix drives constEval through the checker with a battery
+// of constant expressions used as array dimensions.
+func TestConstExprMatrix(t *testing.T) {
+	cases := []struct {
+		expr string
+		dim  int
+	}{
+		{"4 + 4", 8},
+		{"1 << 4", 16},
+		{"64 / 4 - 8", 8},
+		{"(3 * 3) % 5", 4},
+		{"~0 & 15", 15},
+		{"0xFF >> 4", 15},
+		{"1 < 2 ? 8 : 9", 8},
+		{"false ? 8 : 9", 9},
+		{"1 == 1 && 2 != 3 ? 4 : 5", 4},
+		{"!(1 > 2) ? 6 : 7", 6},
+		{"-(-12)", 12},
+		{"(int)12", 12},
+		{"sizeof(uint64_t)", 8},
+		{"sizeof(int) * 4", 16},
+	}
+	for _, c := range cases {
+		src := "_net_ int a[" + c.expr + "] = {0};\n_net_ _out_ void k(int *d) { a[0] += d[0]; }"
+		info := checkOK(t, src)
+		g := info.GlobalsByName["a"]
+		if g.Type.Len != c.dim {
+			t.Errorf("dim of %q = %d, want %d", c.expr, g.Type.Len, c.dim)
+		}
+	}
+}
+
+func TestConstExprRejections(t *testing.T) {
+	checkErr(t, `
+_net_ int n[4] = {0};
+_net_ int a[n[0]] = {0};
+`, "constant expression")
+	checkErr(t, `_net_ int a[4/0] = {0};`, "constant expression")
+	checkErr(t, `_net_ int a[0] = {0};`, "out of range")
+}
+
+func TestSignedComparisonConstants(t *testing.T) {
+	// -1 < 1 must hold for signed comparison in constant folding.
+	info := checkOK(t, `
+const int NEG = -1;
+_net_ int a[NEG < 1 ? 8 : 16] = {0};
+_net_ _out_ void k(int *d) { a[0] += d[0]; }
+`)
+	if info.GlobalsByName["a"].Type.Len != 8 {
+		t.Errorf("signed constant comparison folded wrong: %d", info.GlobalsByName["a"].Type.Len)
+	}
+}
+
+// Property: EvalArith is total and width-stable for every defined op.
+func TestEvalArithNormalizedProperty(t *testing.T) {
+	ops := []token.Kind{token.ADD, token.SUB, token.MUL, token.AND, token.OR,
+		token.XOR, token.SHL, token.SHR}
+	tys := []*types.Type{types.U8, types.I8, types.U32, types.I32, types.U64, types.I64}
+	f := func(x, y uint64, opPick, tyPick uint8) bool {
+		op := ops[int(opPick)%len(ops)]
+		ty := tys[int(tyPick)%len(tys)]
+		v, ok := EvalArith(op, ty.Normalize(x), ty.Normalize(y), ty)
+		if !ok {
+			return false
+		}
+		return ty.Normalize(v) == v // results are canonical
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInfoHelpers(t *testing.T) {
+	info := checkOK(t, `
+_net_ _out_ void a(int *d) {}
+_net_ _in_ void b(int *d) { d[0] = 1; }
+int helper(int x) { return x; }
+`)
+	if len(info.Kernels()) != 2 || len(info.OutKernels()) != 1 || len(info.InKernels()) != 1 {
+		t.Error("kernel listing helpers broken")
+	}
+	if Helper.String() != "helper" || OutKernel.String() != "outgoing kernel" || InKernel.String() != "incoming kernel" {
+		t.Error("FuncKind strings")
+	}
+}

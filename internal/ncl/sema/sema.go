@@ -1,0 +1,681 @@
+// Package sema performs semantic analysis of parsed NCL programs: symbol
+// resolution, type checking, constant evaluation, and the NCL-specific
+// rules of §4.1 of the paper (kernel signatures, switch memory, _ctrl_
+// variables, _win_ window extensions, forwarding primitives, the ncl::Map
+// control-plane contract).
+package sema
+
+import (
+	"ncl/internal/ncl/ast"
+	"ncl/internal/ncl/source"
+	"ncl/internal/ncl/types"
+)
+
+// FuncKind classifies NCL functions.
+type FuncKind int
+
+const (
+	Helper    FuncKind = iota // plain function, inlined into kernels
+	OutKernel                 // _net_ _out_: runs on switches
+	InKernel                  // _net_ _in_: runs on receiving hosts
+)
+
+func (k FuncKind) String() string {
+	switch k {
+	case Helper:
+		return "helper"
+	case OutKernel:
+		return "outgoing kernel"
+	case InKernel:
+		return "incoming kernel"
+	}
+	return "func"
+}
+
+// Global is switch memory: a _net_ global variable, control variable, Map,
+// or Bloom; or a compile-time constant (const with initializer).
+type Global struct {
+	Name  string
+	Type  *types.Type
+	Loc   string // _at_ label; "" = every switch (SPMD)
+	Ctrl  bool   // _ctrl_: host-written, switch-read-only
+	Const bool   // compile-time constant, usable anywhere
+	Init  []uint64
+	Decl  *ast.VarDecl
+}
+
+// IsMap reports whether the global is an ncl::Map (a control-plane managed
+// MAT under the hood, per §4.3).
+func (g *Global) IsMap() bool { return g.Type.Kind == types.Map }
+
+// IsBloom reports whether the global is an ncl::Bloom.
+func (g *Global) IsBloom() bool { return g.Type.Kind == types.Bloom }
+
+// IsSketch reports whether the global is an ncl::CountMin sketch.
+func (g *Global) IsSketch() bool { return g.Type.Kind == types.Sketch }
+
+// WinField is a user extension of the builtin window struct (§4.2).
+type WinField struct {
+	Name string
+	Type *types.Type
+	Decl *ast.VarDecl
+}
+
+// Param is a function/kernel parameter.
+type Param struct {
+	Name  string
+	Type  *types.Type
+	Ext   bool // _ext_ host-memory parameter (incoming kernels only)
+	Index int
+	Decl  *ast.ParamDecl
+}
+
+// Func is a semantic function: an out/in kernel or a helper.
+type Func struct {
+	Name   string
+	Kind   FuncKind
+	Loc    string
+	Params []*Param
+	Ret    *types.Type
+	Decl   *ast.FuncDecl
+
+	// UsesForwarding is set when the body (transitively, after inlining)
+	// calls a forwarding primitive; illegal for incoming kernels.
+	UsesForwarding bool
+}
+
+// WindowSig returns the window-data portion of the parameter list (the
+// non-_ext_ prefix), which defines the window layout for this kernel.
+func (f *Func) WindowSig() []*Param {
+	var sig []*Param
+	for _, p := range f.Params {
+		if !p.Ext {
+			sig = append(sig, p)
+		}
+	}
+	return sig
+}
+
+// Local is a function-local variable (including condition declarations and
+// for-init declarations).
+type Local struct {
+	Name string
+	Type *types.Type
+	Decl *ast.VarDecl
+}
+
+// Builtin identifies a builtin object referenced by name.
+type Builtin struct {
+	Name string
+}
+
+// builtin names.
+const (
+	BWindow   = "window"
+	BLocation = "location"
+	BMemcpy   = "memcpy"
+	BPass     = "_pass"
+	BDrop     = "_drop"
+	BReflect  = "_reflect"
+	BBcast    = "_bcast"
+)
+
+// WindowBuiltinFields are the builtin fields of the window struct (§4.2):
+// sequence number, window length in elements, sender role/id information.
+var WindowBuiltinFields = map[string]*types.Type{
+	"seq":    types.U32, // window sequence number within the invocation
+	"len":    types.U32, // elements per array chunk in this window
+	"from":   types.U32, // role id of the previous hop's sender (paper: window.from)
+	"sender": types.U32, // originating host id
+	"wid":    types.U32, // invocation id
+}
+
+// LocationFields are the fields of the builtin location struct (§4.1).
+var LocationFields = map[string]*types.Type{
+	"id": types.U32, // numeric id of the current switch from the AND file
+}
+
+// ForwardingBuiltins maps primitive names to whether they accept an
+// optional label argument.
+var ForwardingBuiltins = map[string]bool{
+	BPass: true, BDrop: false, BReflect: false, BBcast: false,
+}
+
+// Info is the result of semantic analysis.
+type Info struct {
+	Types     map[ast.Expr]*types.Type
+	Idents    map[*ast.Ident]any // *Global | *Param | *Local | *Func | Builtin
+	Consts    map[ast.Expr]uint64
+	CondLocal map[*ast.IfStmt]*Local  // condition-declaration locals
+	Decls     map[*ast.VarDecl]*Local // local declaration → object
+
+	Globals       []*Global
+	GlobalsByName map[string]*Global
+	WinFields     []*WinField
+	Funcs         []*Func
+	FuncsByName   map[string]*Func
+}
+
+// Kernels returns the out/in kernels in declaration order.
+func (in *Info) Kernels() []*Func {
+	var ks []*Func
+	for _, f := range in.Funcs {
+		if f.Kind != Helper {
+			ks = append(ks, f)
+		}
+	}
+	return ks
+}
+
+// OutKernels returns the outgoing kernels in declaration order.
+func (in *Info) OutKernels() []*Func {
+	var ks []*Func
+	for _, f := range in.Funcs {
+		if f.Kind == OutKernel {
+			ks = append(ks, f)
+		}
+	}
+	return ks
+}
+
+// InKernels returns the incoming kernels in declaration order.
+func (in *Info) InKernels() []*Func {
+	var ks []*Func
+	for _, f := range in.Funcs {
+		if f.Kind == InKernel {
+			ks = append(ks, f)
+		}
+	}
+	return ks
+}
+
+// TypeOf returns the checked type of e (nil if unchecked due to earlier
+// errors).
+func (in *Info) TypeOf(e ast.Expr) *types.Type { return in.Types[e] }
+
+// Check runs semantic analysis over a parsed file. It always returns an
+// Info (possibly partial); callers must consult diags for errors before
+// using it for lowering.
+func Check(file *ast.File, diags *source.DiagList) *Info {
+	c := &checker{
+		info: &Info{
+			Types:         map[ast.Expr]*types.Type{},
+			Idents:        map[*ast.Ident]any{},
+			Consts:        map[ast.Expr]uint64{},
+			CondLocal:     map[*ast.IfStmt]*Local{},
+			Decls:         map[*ast.VarDecl]*Local{},
+			GlobalsByName: map[string]*Global{},
+			FuncsByName:   map[string]*Func{},
+		},
+		diags: diags,
+	}
+	c.collect(file)
+	c.checkBodies()
+	return c.info
+}
+
+// checker carries analysis state.
+type checker struct {
+	info  *Info
+	diags *source.DiagList
+
+	// Per-function state.
+	fn     *Func
+	scopes []map[string]any
+	loops  int
+	flags  map[*Func]*funcFlags
+}
+
+func (c *checker) errorf(pos source.Pos, format string, args ...any) {
+	c.diags.Errorf(pos, format, args...)
+}
+
+// ---------------------------------------------------------------------------
+// Declaration collection
+
+func (c *checker) collect(file *ast.File) {
+	for _, d := range file.Decls {
+		switch d := d.(type) {
+		case *ast.VarDecl:
+			c.collectGlobal(d)
+		case *ast.FuncDecl:
+			c.collectFunc(d)
+		}
+	}
+}
+
+func (c *checker) declareTop(name string, pos source.Pos, obj any) bool {
+	if g, dup := c.info.GlobalsByName[name]; dup {
+		c.errorf(pos, "redeclaration of %s (previously declared at %s)", name, g.Decl.Pos())
+		return false
+	}
+	if f, dup := c.info.FuncsByName[name]; dup {
+		c.errorf(pos, "redeclaration of %s (previously declared at %s)", name, f.Decl.Pos())
+		return false
+	}
+	if isBuiltinName(name) {
+		c.errorf(pos, "%s is a builtin name and cannot be redeclared", name)
+		return false
+	}
+	switch o := obj.(type) {
+	case *Global:
+		c.info.GlobalsByName[name] = o
+	case *Func:
+		c.info.FuncsByName[name] = o
+	}
+	return true
+}
+
+func isBuiltinName(name string) bool {
+	switch name {
+	case BWindow, BLocation, BMemcpy, BPass, BDrop, BReflect, BBcast:
+		return true
+	}
+	return false
+}
+
+func (c *checker) collectGlobal(d *ast.VarDecl) {
+	s := d.Specs
+	if s.Out || s.In {
+		c.errorf(d.Pos(), "_out_/_in_ apply to kernels, not variables")
+	}
+	if s.Ext {
+		c.errorf(d.Pos(), "_ext_ applies to incoming-kernel parameters only")
+	}
+
+	// Window extension field (§4.2).
+	if s.Win {
+		if !s.Net {
+			c.errorf(d.Pos(), "_win_ fields must also be declared _net_")
+		}
+		if s.Ctrl || s.At != "" {
+			c.errorf(d.Pos(), "_win_ fields cannot be _ctrl_ or placed with _at_")
+		}
+		ty := c.resolveType(d.Type, false)
+		if ty == nil || !ty.IsScalar() {
+			c.errorf(d.Pos(), "_win_ field %s must have a scalar integer or bool type", d.Name)
+			return
+		}
+		if d.Init != nil {
+			c.errorf(d.Pos(), "_win_ field %s cannot have an initializer; values are attached per invocation", d.Name)
+		}
+		if _, dup := WindowBuiltinFields[d.Name]; dup {
+			c.errorf(d.Pos(), "_win_ field %s collides with a builtin window field", d.Name)
+			return
+		}
+		for _, wf := range c.info.WinFields {
+			if wf.Name == d.Name {
+				c.errorf(d.Pos(), "duplicate _win_ field %s", d.Name)
+				return
+			}
+		}
+		c.info.WinFields = append(c.info.WinFields, &WinField{Name: d.Name, Type: ty, Decl: d})
+		return
+	}
+
+	ty := c.resolveType(d.Type, true)
+	if ty == nil {
+		return
+	}
+
+	g := &Global{Name: d.Name, Type: ty, Loc: s.At, Ctrl: s.Ctrl, Decl: d}
+
+	switch {
+	case ty.Kind == types.Map:
+		// Maps are implicitly _ctrl_: managed by the control plane (§4.3).
+		g.Ctrl = true
+		if !s.Net {
+			c.errorf(d.Pos(), "ncl::Map %s must be declared _net_ (it is a switch MAT)", d.Name)
+		}
+		if d.Init != nil {
+			c.errorf(d.Pos(), "ncl::Map %s cannot have an initializer; entries are installed by the control plane", d.Name)
+		}
+	case ty.Kind == types.Bloom || ty.Kind == types.Sketch:
+		if !s.Net {
+			c.errorf(d.Pos(), "%s %s must be declared _net_", ty, d.Name)
+		}
+		if d.Init != nil {
+			c.errorf(d.Pos(), "%s %s cannot have an initializer", ty, d.Name)
+		}
+	case s.Net:
+		if s.Ctrl && s.At == "" {
+			// Paper §4.1: for control variables "location is required".
+			c.errorf(d.Pos(), "_ctrl_ variable %s requires an _at_(label) location", d.Name)
+		}
+		if ty.Kind != types.Array && !ty.IsScalar() {
+			c.errorf(d.Pos(), "switch memory %s must be a scalar or array type, not %s", d.Name, ty)
+		}
+		g.Init = c.evalGlobalInit(d, ty)
+	case d.Type != nil && isConstType(d.Type):
+		// const globals are compile-time constants, usable in kernels.
+		g.Const = true
+		if !ty.IsScalar() {
+			c.errorf(d.Pos(), "const global %s must be a scalar", d.Name)
+		}
+		if d.Init == nil {
+			c.errorf(d.Pos(), "const global %s requires an initializer", d.Name)
+		} else {
+			v, _, ok := c.constEval(d.Init)
+			if !ok {
+				c.errorf(d.Init.Pos(), "const global %s initializer is not a constant expression", d.Name)
+			} else {
+				g.Init = []uint64{ty.Normalize(v)}
+			}
+		}
+	default:
+		c.errorf(d.Pos(), "global %s must be _net_ switch memory or a const constant; host state lives in host code (Go runtime API)", d.Name)
+		return
+	}
+
+	if c.declareTop(d.Name, d.Pos(), g) {
+		c.info.Globals = append(c.info.Globals, g)
+	}
+}
+
+func isConstType(t ast.TypeExpr) bool {
+	b, ok := t.(*ast.BaseType)
+	return ok && b.Const
+}
+
+// evalGlobalInit flattens an initializer for scalar or (nested) array
+// switch memory into per-element values. A short initializer list
+// zero-fills the remainder, matching C semantics for `= {0}`.
+func (c *checker) evalGlobalInit(d *ast.VarDecl, ty *types.Type) []uint64 {
+	n := elemCount(ty)
+	vals := make([]uint64, n)
+	if d.Init == nil {
+		return vals
+	}
+	elemTy := scalarElem(ty)
+	if elemTy == nil {
+		c.errorf(d.Pos(), "cannot initialize %s", ty)
+		return vals
+	}
+	pos := 0
+	var fill func(e ast.Expr, depth int)
+	fill = func(e ast.Expr, depth int) {
+		if il, ok := e.(*ast.InitList); ok {
+			for _, el := range il.Elems {
+				fill(el, depth+1)
+			}
+			return
+		}
+		v, _, ok := c.constEval(e)
+		if !ok {
+			c.errorf(e.Pos(), "switch memory initializer must be a constant expression")
+			return
+		}
+		if pos >= n {
+			c.errorf(e.Pos(), "too many initializer values for %s (capacity %d)", d.Name, n)
+			return
+		}
+		vals[pos] = elemTy.Normalize(v)
+		pos++
+	}
+	if ty.IsScalar() {
+		if _, isList := d.Init.(*ast.InitList); isList {
+			c.errorf(d.Init.Pos(), "scalar %s cannot take a braced initializer list", d.Name)
+			return vals
+		}
+		fill(d.Init, 0)
+		return vals
+	}
+	if _, isList := d.Init.(*ast.InitList); !isList {
+		c.errorf(d.Init.Pos(), "array %s requires a braced initializer list", d.Name)
+		return vals
+	}
+	fill(d.Init, 0)
+	return vals
+}
+
+// elemCount returns the number of scalar elements in ty (1 for scalars).
+func elemCount(ty *types.Type) int {
+	n := 1
+	for ty.Kind == types.Array {
+		n *= ty.Len
+		ty = ty.Elem
+	}
+	return n
+}
+
+// scalarElem returns the ultimate scalar element type of ty, or nil.
+func scalarElem(ty *types.Type) *types.Type {
+	for ty.Kind == types.Array {
+		ty = ty.Elem
+	}
+	if ty.IsScalar() {
+		return ty
+	}
+	return nil
+}
+
+func (c *checker) collectFunc(d *ast.FuncDecl) {
+	s := d.Specs
+	kind := Helper
+	switch {
+	case s.Out && s.In:
+		c.errorf(d.Pos(), "kernel %s cannot be both _out_ and _in_", d.Name)
+		kind = OutKernel
+	case s.Out:
+		kind = OutKernel
+	case s.In:
+		kind = InKernel
+	}
+	if (s.Out || s.In) && !s.Net {
+		c.errorf(d.Pos(), "kernel %s must be declared _net_", d.Name)
+	}
+	if s.Net && kind == Helper {
+		c.errorf(d.Pos(), "_net_ function %s must be _out_ or _in_", d.Name)
+	}
+	if s.Ctrl || s.Win || s.Ext {
+		c.errorf(d.Pos(), "_ctrl_/_win_/_ext_ do not apply to functions")
+	}
+	if s.At != "" && kind == InKernel {
+		// Paper §4.1: "A location is meaningless for incoming kernels".
+		c.errorf(s.AtPos, "incoming kernel %s cannot have an _at_ location; incoming kernels exist on all hosts", d.Name)
+	}
+	if s.At != "" && kind == Helper {
+		c.errorf(s.AtPos, "helper function %s cannot have an _at_ location", d.Name)
+	}
+	if d.Body == nil {
+		c.errorf(d.Pos(), "function %s is declared but never defined", d.Name)
+	}
+
+	ret := c.resolveReturnType(d.Ret)
+	if kind != Helper && (ret == nil || ret.Kind != types.Void) {
+		c.errorf(d.Pos(), "kernel %s must return void; kernels communicate through window data and forwarding decisions", d.Name)
+		ret = types.VoidType
+	}
+
+	f := &Func{Name: d.Name, Kind: kind, Loc: s.At, Ret: ret, Decl: d}
+	seen := map[string]bool{}
+	sawExt := false
+	for i, pd := range d.Params {
+		pty := c.resolveType(pd.Type, false)
+		if pty == nil {
+			pty = types.I32
+		}
+		if pd.Ext {
+			sawExt = true
+			if kind != InKernel {
+				c.errorf(pd.Pos(), "_ext_ parameter %s is only legal on incoming kernels (host memory access, §4.1)", pd.Name)
+			}
+		} else if sawExt {
+			c.errorf(pd.Pos(), "window parameter %s cannot follow _ext_ parameters; _ext_ extends the parameter list at the end", pd.Name)
+		}
+		if kind == Helper && !pty.IsScalar() {
+			c.errorf(pd.Pos(), "helper parameter %s must be a scalar (helpers are inlined by value), not %s", pd.Name, pty)
+		}
+		if kind != Helper && !pd.Ext {
+			// Window parameters define the window layout: scalars or
+			// pointers to scalars (arrays of elements).
+			ok := pty.IsScalar() || (pty.Kind == types.Pointer && !pty.OptionalPtr && pty.Elem.IsScalar())
+			if !ok {
+				c.errorf(pd.Pos(), "kernel parameter %s must be a scalar or pointer-to-scalar (window data), not %s", pd.Name, pty)
+			}
+		}
+		if kind == InKernel && pd.Ext {
+			ok := pty.Kind == types.Pointer && !pty.OptionalPtr && pty.Elem.IsScalar()
+			if !ok {
+				c.errorf(pd.Pos(), "_ext_ parameter %s must be a pointer to host memory, not %s", pd.Name, pty)
+			}
+		}
+		if seen[pd.Name] {
+			c.errorf(pd.Pos(), "duplicate parameter name %s", pd.Name)
+		}
+		seen[pd.Name] = true
+		f.Params = append(f.Params, &Param{Name: pd.Name, Type: pty, Ext: pd.Ext, Index: i, Decl: pd})
+	}
+	if kind != Helper && len(f.WindowSig()) == 0 {
+		c.errorf(d.Pos(), "kernel %s must have at least one window parameter", d.Name)
+	}
+
+	if c.declareTop(d.Name, d.Pos(), f) {
+		c.info.Funcs = append(c.info.Funcs, f)
+	}
+}
+
+// resolveReturnType resolves a return type, allowing void.
+func (c *checker) resolveReturnType(t ast.TypeExpr) *types.Type {
+	if b, ok := t.(*ast.BaseType); ok && b.Name == "void" {
+		return types.VoidType
+	}
+	return c.resolveType(t, false)
+}
+
+// resolveType resolves a syntactic type. allowResource permits Map/Bloom
+// (globals only).
+func (c *checker) resolveType(t ast.TypeExpr, allowResource bool) *types.Type {
+	switch t := t.(type) {
+	case *ast.BaseType:
+		switch t.Name {
+		case "void":
+			c.errorf(t.Pos(), "void is only valid as a return type")
+			return nil
+		case "auto":
+			c.errorf(t.Pos(), "auto is only valid in condition declarations initialized from a Map lookup")
+			return nil
+		}
+		ty, ok := types.ByName(t.Name)
+		if !ok {
+			c.errorf(t.Pos(), "unknown type %s", t.Name)
+			return nil
+		}
+		return ty
+	case *ast.PointerType:
+		// `auto *x` is resolved at the declaration site, not here.
+		if b, ok := t.Elem.(*ast.BaseType); ok && b.Name == "auto" {
+			return nil
+		}
+		elem := c.resolveType(t.Elem, false)
+		if elem == nil {
+			return nil
+		}
+		return types.PointerTo(elem)
+	case *ast.ArrayType:
+		elem := c.resolveType(t.Elem, false)
+		if elem == nil {
+			return nil
+		}
+		if t.Len == nil {
+			c.errorf(t.Pos(), "array dimension is required")
+			return nil
+		}
+		n, _, ok := c.constEval(t.Len)
+		if !ok {
+			c.errorf(t.Len.Pos(), "array dimension must be a constant expression")
+			return nil
+		}
+		if n == 0 || n > 1<<24 {
+			c.errorf(t.Len.Pos(), "array dimension %d out of range [1, 2^24]", n)
+			return nil
+		}
+		return types.ArrayOf(elem, int(n))
+	case *ast.TemplateType:
+		if !allowResource {
+			c.errorf(t.Pos(), "ncl::%s is a device resource and only valid as a _net_ global", t.Name)
+			return nil
+		}
+		return c.resolveTemplate(t)
+	}
+	c.errorf(t.Pos(), "unsupported type")
+	return nil
+}
+
+func (c *checker) resolveTemplate(t *ast.TemplateType) *types.Type {
+	switch t.Name {
+	case "Map":
+		if len(t.Args) != 3 {
+			c.errorf(t.Pos(), "ncl::Map requires <Key, Value, Capacity>")
+			return nil
+		}
+		key := c.templateTypeArg(t.Args[0], "Map key")
+		val := c.templateTypeArg(t.Args[1], "Map value")
+		cap64, capOK := c.templateConstArg(t.Args[2], "Map capacity")
+		if key == nil || val == nil || !capOK {
+			return nil
+		}
+		if !key.IsInteger() || !val.IsInteger() {
+			c.errorf(t.Pos(), "ncl::Map key and value must be integer types")
+			return nil
+		}
+		if cap64 == 0 || cap64 > 1<<20 {
+			c.errorf(t.Pos(), "ncl::Map capacity %d out of range [1, 2^20]", cap64)
+			return nil
+		}
+		return types.MapOf(key, val, int(cap64))
+	case "CountMin":
+		if len(t.Args) != 2 {
+			c.errorf(t.Pos(), "ncl::CountMin requires <Columns, Rows>")
+			return nil
+		}
+		cols, ok1 := c.templateConstArg(t.Args[0], "CountMin columns")
+		rows, ok2 := c.templateConstArg(t.Args[1], "CountMin rows")
+		if !ok1 || !ok2 {
+			return nil
+		}
+		if cols == 0 || cols > 1<<20 || rows == 0 || rows > 8 {
+			c.errorf(t.Pos(), "ncl::CountMin parameters out of range (columns ≤ 2^20, rows ≤ 8)")
+			return nil
+		}
+		return types.SketchOf(int(cols), int(rows))
+	case "Bloom":
+		if len(t.Args) != 2 {
+			c.errorf(t.Pos(), "ncl::Bloom requires <Bits, Hashes>")
+			return nil
+		}
+		bits, ok1 := c.templateConstArg(t.Args[0], "Bloom bits")
+		hashes, ok2 := c.templateConstArg(t.Args[1], "Bloom hashes")
+		if !ok1 || !ok2 {
+			return nil
+		}
+		if bits == 0 || bits > 1<<22 || hashes == 0 || hashes > 8 {
+			c.errorf(t.Pos(), "ncl::Bloom parameters out of range (bits ≤ 2^22, hashes ≤ 8)")
+			return nil
+		}
+		return types.BloomOf(int(bits), int(hashes))
+	}
+	c.errorf(t.Pos(), "unknown ncl:: type %s (available: Map, Bloom, CountMin)", t.Name)
+	return nil
+}
+
+func (c *checker) templateTypeArg(a ast.TypeArg, what string) *types.Type {
+	if a.Type == nil {
+		c.errorf(a.Value.Pos(), "%s must be a type", what)
+		return nil
+	}
+	return c.resolveType(a.Type, false)
+}
+
+func (c *checker) templateConstArg(a ast.TypeArg, what string) (uint64, bool) {
+	if a.Value == nil {
+		c.errorf(a.Type.Pos(), "%s must be a constant expression", what)
+		return 0, false
+	}
+	v, _, ok := c.constEval(a.Value)
+	if !ok {
+		c.errorf(a.Value.Pos(), "%s must be a constant expression", what)
+		return 0, false
+	}
+	return v, true
+}

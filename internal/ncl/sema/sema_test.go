@@ -1,0 +1,627 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+
+	"ncl/internal/ncl/parser"
+	"ncl/internal/ncl/source"
+	"ncl/internal/ncl/types"
+)
+
+func check(t *testing.T, src string) (*Info, *source.DiagList) {
+	t.Helper()
+	var diags source.DiagList
+	f := parser.ParseSource("test.ncl", src, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse errors before sema: %v", diags.Err())
+	}
+	info := Check(f, &diags)
+	return info, &diags
+}
+
+func checkOK(t *testing.T, src string) *Info {
+	t.Helper()
+	info, diags := check(t, src)
+	if diags.HasErrors() {
+		t.Fatalf("sema errors:\n%v\nsource:\n%s", diags.Err(), src)
+	}
+	return info
+}
+
+func checkErr(t *testing.T, src, fragment string) {
+	t.Helper()
+	_, diags := check(t, src)
+	if !diags.HasErrors() {
+		t.Fatalf("expected error containing %q, got none\nsource:\n%s", fragment, src)
+	}
+	if !strings.Contains(diags.Err().Error(), fragment) {
+		t.Errorf("errors do not mention %q:\n%v", fragment, diags.Err())
+	}
+}
+
+// --- globals ---
+
+func TestGlobalScalarAndArray(t *testing.T) {
+	info := checkOK(t, `
+_net_ _at_("s1") int accum[16] = {0};
+_net_ unsigned total;
+_net_ _out_ void k(int *d) { accum[0] += d[0]; total += 1; }
+`)
+	if len(info.Globals) != 2 {
+		t.Fatalf("globals = %d, want 2", len(info.Globals))
+	}
+	g := info.GlobalsByName["accum"]
+	if g.Loc != "s1" || g.Type.Kind != types.Array || g.Type.Len != 16 {
+		t.Errorf("accum global wrong: %+v", g)
+	}
+	if len(g.Init) != 16 {
+		t.Errorf("accum init len = %d, want 16", len(g.Init))
+	}
+}
+
+func TestGlobalInitializerValues(t *testing.T) {
+	info := checkOK(t, `
+_net_ int seeds[4] = {3, 1, 4, 1};
+_net_ _out_ void k(int *d) { d[0] = seeds[0]; }
+`)
+	g := info.GlobalsByName["seeds"]
+	want := []uint64{3, 1, 4, 1}
+	for i, w := range want {
+		if g.Init[i] != w {
+			t.Errorf("init[%d] = %d, want %d", i, g.Init[i], w)
+		}
+	}
+}
+
+func TestGlobalInitZeroFill(t *testing.T) {
+	info := checkOK(t, `
+_net_ int a[8] = {7};
+_net_ _out_ void k(int *d) { d[0] = a[0]; }
+`)
+	g := info.GlobalsByName["a"]
+	if g.Init[0] != 7 || g.Init[1] != 0 || g.Init[7] != 0 {
+		t.Errorf("zero fill broken: %v", g.Init)
+	}
+}
+
+func TestGlobalInitTooMany(t *testing.T) {
+	checkErr(t, `_net_ int a[2] = {1,2,3}; _net_ _out_ void k(int *d) {}`, "too many initializer")
+}
+
+func TestConstGlobal(t *testing.T) {
+	info := checkOK(t, `
+const int N = 4 * 4;
+_net_ int a[N] = {0};
+_net_ _out_ void k(int *d) { d[0] = N; }
+`)
+	g := info.GlobalsByName["N"]
+	if !g.Const || g.Init[0] != 16 {
+		t.Errorf("const global: %+v", g)
+	}
+	if info.GlobalsByName["a"].Type.Len != 16 {
+		t.Error("const used as array dimension failed")
+	}
+}
+
+func TestPlainGlobalRejected(t *testing.T) {
+	checkErr(t, `int hostVar;`, "host state lives in host code")
+}
+
+func TestCtrlRequiresLocation(t *testing.T) {
+	checkErr(t, `_net_ _ctrl_ unsigned nworkers;`, "requires an _at_")
+}
+
+func TestCtrlWithLocationOK(t *testing.T) {
+	info := checkOK(t, `
+_net_ _at_("s1") _ctrl_ unsigned nworkers;
+_net_ _out_ void k(int *d) { if (d[0] == nworkers) _drop(); }
+`)
+	g := info.GlobalsByName["nworkers"]
+	if !g.Ctrl || g.Loc != "s1" {
+		t.Errorf("ctrl global: %+v", g)
+	}
+}
+
+func TestCtrlWriteRejected(t *testing.T) {
+	checkErr(t, `
+_net_ _at_("s1") _ctrl_ unsigned n;
+_net_ _out_ void k(int *d) { n = 4; }
+`, "_ctrl_")
+}
+
+func TestMapGlobal(t *testing.T) {
+	info := checkOK(t, `
+_net_ _at_("s1") ncl::Map<uint64_t, uint8_t, 256> Idx;
+_net_ _out_ void k(uint64_t key) { if (auto *idx = Idx[key]) { key = *idx; } }
+`)
+	g := info.GlobalsByName["Idx"]
+	if !g.IsMap() || !g.Ctrl {
+		t.Error("Map must be implicitly _ctrl_")
+	}
+	if g.Type.Cap != 256 || g.Type.Key != types.U64 || g.Type.Val != types.U8 {
+		t.Errorf("Map type wrong: %s", g.Type)
+	}
+}
+
+func TestMapInitializerRejected(t *testing.T) {
+	checkErr(t, `_net_ ncl::Map<uint64_t, uint8_t, 4> M = {0};`, "control plane")
+}
+
+func TestMapWriteRejected(t *testing.T) {
+	checkErr(t, `
+_net_ ncl::Map<uint64_t, uint8_t, 4> M;
+_net_ _out_ void k(uint64_t key) { *M[key] = 3; }
+`, "control plane")
+}
+
+func TestBloomGlobal(t *testing.T) {
+	info := checkOK(t, `
+_net_ ncl::Bloom<1024, 3> seen;
+_net_ _out_ void k(uint64_t key) { if (seen.test(key)) _drop(); seen.add(key); }
+`)
+	g := info.GlobalsByName["seen"]
+	if !g.IsBloom() || g.Type.Bits != 1024 || g.Type.Hashes != 3 {
+		t.Errorf("bloom: %s", g.Type)
+	}
+}
+
+func TestBloomBadMethod(t *testing.T) {
+	checkErr(t, `
+_net_ ncl::Bloom<64, 2> b;
+_net_ _out_ void k(uint64_t key) { b.remove(key); }
+`, "no operation remove")
+}
+
+func TestCountMinGlobal(t *testing.T) {
+	info := checkOK(t, `
+_net_ ncl::CountMin<1024, 4> cm;
+_net_ _out_ void k(uint64_t key, unsigned *est) {
+    cm.add(key, 1);
+    est[0] = cm.estimate(key);
+}
+`)
+	g := info.GlobalsByName["cm"]
+	if !g.IsSketch() || g.Type.Bits != 1024 || g.Type.Hashes != 4 {
+		t.Errorf("sketch type wrong: %s", g.Type)
+	}
+}
+
+func TestCountMinErrors(t *testing.T) {
+	checkErr(t, `_net_ ncl::CountMin<0, 4> cm;`, "out of range")
+	checkErr(t, `ncl::CountMin<64, 2> cm;`, "must be declared _net_")
+	checkErr(t, `_net_ ncl::CountMin<64, 2> cm = {0};`, "cannot have an initializer")
+	checkErr(t, `
+_net_ ncl::CountMin<64, 2> cm;
+_net_ _out_ void k(uint64_t key) { cm.add(key); }
+`, "takes (key, amount)")
+	checkErr(t, `
+_net_ ncl::CountMin<64, 2> cm;
+_net_ _out_ void k(uint64_t key) { cm.remove(key); }
+`, "no operation remove")
+	checkErr(t, `
+_net_ ncl::CountMin<64, 2> cm;
+_net_ _in_ void r(uint64_t *key) { cm.add(key[0], 1); }
+`, "switch memory")
+}
+
+func TestWinField(t *testing.T) {
+	info := checkOK(t, `
+_net_ _win_ unsigned chunk;
+_net_ _out_ void k(int *d) { d[0] = (int)window.chunk; }
+`)
+	if len(info.WinFields) != 1 || info.WinFields[0].Name != "chunk" {
+		t.Errorf("win fields: %+v", info.WinFields)
+	}
+}
+
+func TestWinFieldCollidesWithBuiltin(t *testing.T) {
+	checkErr(t, `_net_ _win_ unsigned seq;`, "collides with a builtin")
+}
+
+func TestWinFieldWriteRejected(t *testing.T) {
+	checkErr(t, `
+_net_ _win_ unsigned chunk;
+_net_ _out_ void k(int *d) { window.chunk = 3; }
+`, "read-only")
+}
+
+// --- kernels ---
+
+func TestOutKernelBasic(t *testing.T) {
+	info := checkOK(t, `_net_ _out_ void k(int *data, uint64_t key, bool flag) { if (flag) _drop(); }`)
+	ks := info.OutKernels()
+	if len(ks) != 1 || len(ks[0].WindowSig()) != 3 {
+		t.Fatalf("kernels: %+v", ks)
+	}
+}
+
+func TestKernelMustBeNet(t *testing.T) {
+	checkErr(t, `_out_ void k(int *d) {}`, "must be declared _net_")
+}
+
+func TestNetWithoutDirection(t *testing.T) {
+	checkErr(t, `_net_ void k(int *d) {}`, "must be _out_ or _in_")
+}
+
+func TestKernelNonVoidRejected(t *testing.T) {
+	checkErr(t, `_net_ _out_ int k(int *d) { return 1; }`, "must return void")
+}
+
+func TestKernelBothDirections(t *testing.T) {
+	checkErr(t, `_net_ _out_ _in_ void k(int *d) {}`, "cannot be both")
+}
+
+func TestInKernelNoLocation(t *testing.T) {
+	checkErr(t, `_net_ _in_ _at_("s1") void k(int *d) {}`, "incoming kernels exist on all hosts")
+}
+
+func TestExtOnlyOnInKernels(t *testing.T) {
+	checkErr(t, `_net_ _out_ void k(int *d, _ext_ int *h) {}`, "only legal on incoming kernels")
+}
+
+func TestExtMustTrail(t *testing.T) {
+	checkErr(t, `_net_ _in_ void k(_ext_ int *h, int *d) {}`, "cannot follow _ext_")
+}
+
+func TestInKernelExtWrite(t *testing.T) {
+	checkOK(t, `
+_net_ _in_ void result(int *data, _ext_ int *hdata, _ext_ bool *done) {
+    hdata[window.seq] = data[0];
+    *done = true;
+}
+`)
+}
+
+func TestInKernelCannotTouchSwitchMemory(t *testing.T) {
+	checkErr(t, `
+_net_ int acc[4] = {0};
+_net_ _in_ void r(int *d) { d[0] = acc[0]; }
+`, "switch memory")
+}
+
+func TestInKernelCannotForward(t *testing.T) {
+	checkErr(t, `_net_ _in_ void r(int *d) { _drop(); }`, "only valid in outgoing kernels")
+}
+
+func TestInKernelCannotUseLocation(t *testing.T) {
+	checkErr(t, `_net_ _in_ void r(int *d) { d[0] = (int)location.id; }`, "meaningless in incoming kernels")
+}
+
+func TestKernelNeedsWindowParam(t *testing.T) {
+	checkErr(t, `_net_ _in_ void r(_ext_ int *h) {}`, "at least one window parameter")
+}
+
+func TestKernelParamTypes(t *testing.T) {
+	checkErr(t, `_net_ _out_ void k(ncl::Map<int,int,4> m) {}`, "device resource")
+}
+
+// --- window and location ---
+
+func TestWindowBuiltinFields(t *testing.T) {
+	checkOK(t, `
+_net_ unsigned acc[64] = {0};
+_net_ _out_ void k(int *d) {
+    unsigned base = window.seq * window.len;
+    unsigned f = window.from + window.sender + window.wid;
+    acc[base] += f;
+}
+`)
+}
+
+func TestWindowUnknownField(t *testing.T) {
+	checkErr(t, `_net_ _out_ void k(int *d) { d[0] = (int)window.nope; }`, "window has no field nope")
+}
+
+func TestWindowFieldsReadOnly(t *testing.T) {
+	checkErr(t, `_net_ _out_ void k(int *d) { window.seq = 2; }`, "read-only")
+}
+
+func TestLocationInOutKernel(t *testing.T) {
+	checkOK(t, `_net_ _out_ void k(int *d) { if (location.id == 2) _drop(); }`)
+}
+
+func TestBareWindowRejected(t *testing.T) {
+	checkErr(t, `_net_ _out_ void k(int *d) { d[0] = (int)window; }`, "field access")
+}
+
+// --- expressions ---
+
+func TestArithmeticTypes(t *testing.T) {
+	info := checkOK(t, `
+_net_ _out_ void k(int *d, uint64_t key) {
+    unsigned a = 1;
+    int b = 2;
+    key = key + a;
+    b = b * 3 - 1;
+    d[0] = b;
+}
+`)
+	_ = info
+}
+
+func TestPointerDerefAndIndex(t *testing.T) {
+	checkOK(t, `
+_net_ _out_ void k(int *d) {
+    int x = *d;
+    int y = d[3];
+    d[0] = x + y;
+}
+`)
+}
+
+func TestMapLookupDeref(t *testing.T) {
+	checkOK(t, `
+_net_ ncl::Map<uint64_t, uint8_t, 16> M;
+_net_ bool Valid[16] = {false};
+_net_ _out_ void k(uint64_t key) {
+    if (auto *idx = M[key]) { Valid[*idx] = false; }
+}
+`)
+}
+
+func TestMapLookupStatementDecl(t *testing.T) {
+	// Fig. 5 line 12 uses `auto *idx = Idx[key];` as a plain statement.
+	checkOK(t, `
+_net_ ncl::Map<uint64_t, uint8_t, 16> M;
+_net_ bool Valid[16] = {false};
+_net_ _out_ void k(uint64_t key, bool update) {
+    auto *idx = M[key];
+    Valid[*idx] = true;
+}
+`)
+}
+
+func TestAutoWithoutMapRejected(t *testing.T) {
+	checkErr(t, `_net_ _out_ void k(int *d) { auto *p = d[0]; }`, "must be initialized from a Map lookup")
+}
+
+func TestMapKeyTypeMismatch(t *testing.T) {
+	checkOK(t, `
+_net_ ncl::Map<uint64_t, uint8_t, 16> M;
+_net_ _out_ void k(unsigned key) { if (auto *i = M[key]) {} }
+`) // integer widening is implicit
+}
+
+func TestUndeclaredIdent(t *testing.T) {
+	checkErr(t, `_net_ _out_ void k(int *d) { d[0] = missing; }`, "undeclared identifier")
+}
+
+func TestBoolIntMixRejected(t *testing.T) {
+	checkErr(t, `_net_ _out_ void k(int *d, bool f) { d[0] = f; }`, "cannot assign bool")
+}
+
+func TestLogicalOpsNeedTruthy(t *testing.T) {
+	checkOK(t, `
+_net_ ncl::Map<uint64_t, uint8_t, 16> M;
+_net_ _out_ void k(uint64_t key, bool u) { if (u && key != 0) _drop(); }
+`)
+}
+
+func TestTernaryTyping(t *testing.T) {
+	checkOK(t, `_net_ _out_ void k(int *d, bool u) { d[0] = u ? 1 : 2; }`)
+}
+
+func TestMemcpyForms(t *testing.T) {
+	checkOK(t, `
+_net_ int accum[64] = {0};
+_net_ char Cache[16][32] = {{0}};
+_net_ _out_ void k(int *data, char *val) {
+    memcpy(data, &accum[4], 32);
+    memcpy(val, Cache[3], 32);
+    memcpy(Cache[2], val, 32);
+}
+`)
+}
+
+func TestMemcpyBadArgs(t *testing.T) {
+	checkErr(t, `_net_ _out_ void k(int *d) { memcpy(d[0], d, 4); }`, "destination must be a pointer")
+	checkErr(t, `_net_ _out_ void k(int *d) { memcpy(d, d); }`, "memcpy takes")
+}
+
+func TestLocalScalarOnly(t *testing.T) {
+	checkErr(t, `_net_ _out_ void k(int *d) { int tmp[4]; }`, "must be a scalar")
+}
+
+func TestLocalShadowingAcrossScopes(t *testing.T) {
+	checkOK(t, `
+_net_ _out_ void k(int *d) {
+    int x = 1;
+    if (d[0]) { int x = 2; d[1] = x; }
+    d[0] = x;
+}
+`)
+}
+
+func TestLocalRedeclarationSameScope(t *testing.T) {
+	checkErr(t, `_net_ _out_ void k(int *d) { int x = 1; int x = 2; }`, "redeclaration")
+}
+
+func TestBreakOutsideLoop(t *testing.T) {
+	checkErr(t, `_net_ _out_ void k(int *d) { break; }`, "break outside")
+}
+
+func TestIncDecLvalue(t *testing.T) {
+	checkOK(t, `
+_net_ unsigned count[4] = {0};
+_net_ _out_ void k(int *d) { ++count[0]; count[1]--; }
+`)
+	checkErr(t, `_net_ _out_ void k(int *d) { ++(d[0] + 1); }`, "cannot modify")
+}
+
+// --- helpers ---
+
+func TestHelperCall(t *testing.T) {
+	checkOK(t, `
+int clamp(int v, int hi) { return v < hi ? v : hi; }
+_net_ _out_ void k(int *d) { d[0] = clamp(d[0], 100); }
+`)
+}
+
+func TestHelperRecursionRejected(t *testing.T) {
+	checkErr(t, `
+int f(int v) { return f(v - 1); }
+`, "recursive call")
+}
+
+func TestHelperArgCount(t *testing.T) {
+	checkErr(t, `
+int id(int v) { return v; }
+_net_ _out_ void k(int *d) { d[0] = id(); }
+`, "takes 1 arguments")
+}
+
+func TestKernelNotCallable(t *testing.T) {
+	checkErr(t, `
+_net_ _out_ void a(int *d) {}
+_net_ _out_ void b(int *d) { a(d); }
+`, "invoked by the runtime")
+}
+
+func TestHelperWithForwardingRejectedFromInKernel(t *testing.T) {
+	checkErr(t, `
+void decide(int v) { if (v) _drop(); }
+_net_ _in_ void r(int *d) { decide(d[0]); }
+`, "forwarding decisions")
+}
+
+// --- forwarding ---
+
+func TestForwardingPrimitives(t *testing.T) {
+	info := checkOK(t, `
+_net_ _out_ void k(int *d) {
+    if (d[0] == 0) _drop();
+    else if (d[0] == 1) _reflect();
+    else if (d[0] == 2) _bcast();
+    else if (d[0] == 3) _pass("server");
+    else _pass();
+}
+`)
+	if !info.OutKernels()[0].UsesForwarding {
+		t.Error("UsesForwarding should be set")
+	}
+}
+
+func TestPassLabelMustBeString(t *testing.T) {
+	checkErr(t, `_net_ _out_ void k(int *d) { _pass(42); }`, "label must be a string")
+}
+
+func TestDropTakesNoArgs(t *testing.T) {
+	checkErr(t, `_net_ _out_ void k(int *d) { _drop(1); }`, "takes no arguments")
+}
+
+// --- paper programs ---
+
+const fig4Src = `
+#define DATA_LEN 64
+#define WIN_LEN 8
+
+_net_ _at_("s1") int accum[DATA_LEN] = {0};
+_net_ _at_("s1") unsigned count[DATA_LEN/WIN_LEN] = {0};
+_net_ _at_("s1") _ctrl_ unsigned nworkers;
+
+_net_ _out_ void allreduce(int *data) {
+    unsigned base = window.seq * window.len;
+    for (unsigned i = 0; i < window.len; ++i)
+        accum[base + i] += data[i];
+    if (++count[window.seq] == nworkers) {
+        memcpy(data, &accum[base], window.len * 4);
+        count[window.seq] = 0; _bcast();
+    } else { _drop(); }
+}
+
+_net_ _in_ void result(int *data, _ext_ int *hdata, _ext_ bool *done) {
+    for (unsigned i = 0; i < window.len; ++i)
+        hdata[window.seq * window.len + i] = data[i];
+    *done = true;
+}
+`
+
+func TestPaperFig4Checks(t *testing.T) {
+	info := checkOK(t, fig4Src)
+	if len(info.OutKernels()) != 1 || len(info.InKernels()) != 1 {
+		t.Fatalf("kernel counts wrong")
+	}
+	ar := info.OutKernels()[0]
+	if ar.Loc != "" {
+		t.Error("allreduce is location-less (runs on all switches)")
+	}
+	if !ar.UsesForwarding {
+		t.Error("allreduce makes forwarding decisions")
+	}
+}
+
+const fig5Src = `
+#define SERVER 1
+
+_net_ _at_("s1") ncl::Map<uint64_t, uint8_t, 256> Idx;
+_net_ _at_("s1") char Cache[256][128] = {{0}};
+_net_ _at_("s1") bool Valid[256] = {false};
+
+_net_ _out_ void query(uint64_t key, char *val, bool update) {
+    if (window.from != SERVER && update) {
+        if (auto *idx = Idx[key]) Valid[*idx] = false;
+    } else if (window.from != SERVER) {
+        if (auto *idx = Idx[key]) {
+            if (Valid[*idx]) {
+                memcpy(val, Cache[*idx], 128); _reflect(); } }
+    } else if (update) {
+        auto *idx = Idx[key]; memcpy(Cache[*idx], val, 128);
+        Valid[*idx] = true; _drop();
+    } else { }
+}
+`
+
+func TestPaperFig5Checks(t *testing.T) {
+	info := checkOK(t, fig5Src)
+	q := info.OutKernels()[0]
+	if q.Name != "query" || len(q.WindowSig()) != 3 {
+		t.Fatalf("query kernel wrong: %+v", q)
+	}
+	idx := info.GlobalsByName["Idx"]
+	if !idx.IsMap() || idx.Loc != "s1" {
+		t.Error("Idx map wrong")
+	}
+}
+
+// --- misc ---
+
+func TestRedeclarationTopLevel(t *testing.T) {
+	checkErr(t, `
+_net_ int a[4] = {0};
+_net_ unsigned a;
+`, "redeclaration of a")
+}
+
+func TestBuiltinNameCollision(t *testing.T) {
+	checkErr(t, `_net_ int window[4] = {0};`, "builtin name")
+}
+
+func TestFuncGlobalNameCollision(t *testing.T) {
+	checkErr(t, `
+_net_ int f[4] = {0};
+_net_ _out_ void f(int *d) {}
+`, "redeclaration of f")
+}
+
+func TestConstsRecorded(t *testing.T) {
+	info := checkOK(t, `
+const int N = 8;
+_net_ int a[N] = {0};
+_net_ _out_ void k(int *d) { d[0] = N * 2; }
+`)
+	found := false
+	for e, v := range info.Consts {
+		_ = e
+		if v == 16 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("constant N*2=16 not recorded in Consts")
+	}
+}
+
+func TestUndefinedFunctionBody(t *testing.T) {
+	checkErr(t, `_net_ _out_ void k(int *d);`, "never defined")
+}

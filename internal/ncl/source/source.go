@@ -1,0 +1,183 @@
+// Package source provides source-file handling, positions, and diagnostics
+// for the NCL toolchain. Every phase of the compiler (lexer, parser, sema,
+// lowering, conformance) reports problems as *Diagnostic values anchored to
+// a Pos, so error messages always carry file:line:col context.
+package source
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pos identifies a location in an NCL source file. The zero Pos is "no
+// position" and formats as "-".
+type Pos struct {
+	File string // file name as given to the compiler
+	Line int    // 1-based line
+	Col  int    // 1-based column (byte offset within the line)
+}
+
+// IsValid reports whether p carries a real location.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String formats the position as file:line:col.
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Before reports whether p is strictly earlier than q, assuming both refer
+// to the same file. Positions from different files compare by file name so
+// sorting stays deterministic.
+func (p Pos) Before(q Pos) bool {
+	if p.File != q.File {
+		return p.File < q.File
+	}
+	if p.Line != q.Line {
+		return p.Line < q.Line
+	}
+	return p.Col < q.Col
+}
+
+// File is an in-memory NCL source file.
+type File struct {
+	Name    string
+	Content []byte
+}
+
+// NewFile wraps name/content as a File.
+func NewFile(name string, content []byte) *File {
+	return &File{Name: name, Content: content}
+}
+
+// Line returns the text (without trailing newline) of the 1-based line n,
+// and false if n is out of range. Used for caret diagnostics.
+func (f *File) Line(n int) (string, bool) {
+	if n < 1 {
+		return "", false
+	}
+	start := 0
+	line := 1
+	for i := 0; i <= len(f.Content); i++ {
+		if i == len(f.Content) || f.Content[i] == '\n' {
+			if line == n {
+				return string(f.Content[start:i]), true
+			}
+			line++
+			start = i + 1
+		}
+	}
+	return "", false
+}
+
+// Severity classifies a diagnostic.
+type Severity int
+
+const (
+	// Error diagnostics abort compilation at the end of the current phase.
+	Error Severity = iota
+	// Warning diagnostics are reported but never abort compilation.
+	Warning
+	// Note diagnostics attach extra context to a preceding error.
+	Note
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	case Note:
+		return "note"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// Diagnostic is a single compiler message.
+type Diagnostic struct {
+	Pos      Pos
+	Severity Severity
+	Message  string
+}
+
+func (d *Diagnostic) Error() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Severity, d.Message)
+}
+
+// DiagList accumulates diagnostics across a compilation phase. The zero
+// value is ready to use. DiagList is not safe for concurrent use; compiler
+// phases are single-goroutine.
+type DiagList struct {
+	diags []*Diagnostic
+}
+
+// Errorf appends an Error diagnostic at pos.
+func (l *DiagList) Errorf(pos Pos, format string, args ...any) {
+	l.diags = append(l.diags, &Diagnostic{Pos: pos, Severity: Error, Message: fmt.Sprintf(format, args...)})
+}
+
+// Warnf appends a Warning diagnostic at pos.
+func (l *DiagList) Warnf(pos Pos, format string, args ...any) {
+	l.diags = append(l.diags, &Diagnostic{Pos: pos, Severity: Warning, Message: fmt.Sprintf(format, args...)})
+}
+
+// Notef appends a Note diagnostic at pos.
+func (l *DiagList) Notef(pos Pos, format string, args ...any) {
+	l.diags = append(l.diags, &Diagnostic{Pos: pos, Severity: Note, Message: fmt.Sprintf(format, args...)})
+}
+
+// All returns the accumulated diagnostics sorted by position (stable for
+// equal positions, preserving emission order).
+func (l *DiagList) All() []*Diagnostic {
+	out := make([]*Diagnostic, len(l.diags))
+	copy(out, l.diags)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Pos.Before(out[j].Pos) })
+	return out
+}
+
+// HasErrors reports whether any Error-severity diagnostic was recorded.
+func (l *DiagList) HasErrors() bool {
+	for _, d := range l.diags {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the total number of diagnostics.
+func (l *DiagList) Len() int { return len(l.diags) }
+
+// Err returns an error summarizing all Error diagnostics, or nil when there
+// are none. Callers that only need pass/fail use this; callers rendering
+// output use All.
+func (l *DiagList) Err() error {
+	if !l.HasErrors() {
+		return nil
+	}
+	var b strings.Builder
+	n := 0
+	for _, d := range l.All() {
+		if d.Severity != Error {
+			continue
+		}
+		if n > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(d.Error())
+		n++
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// Merge appends all diagnostics from other.
+func (l *DiagList) Merge(other *DiagList) {
+	l.diags = append(l.diags, other.diags...)
+}

@@ -1,0 +1,129 @@
+package source
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPosString(t *testing.T) {
+	cases := []struct {
+		pos  Pos
+		want string
+	}{
+		{Pos{}, "-"},
+		{Pos{File: "a.ncl", Line: 3, Col: 7}, "a.ncl:3:7"},
+		{Pos{Line: 2, Col: 1}, "2:1"},
+	}
+	for _, c := range cases {
+		if got := c.pos.String(); got != c.want {
+			t.Errorf("Pos%v.String() = %q, want %q", c.pos, got, c.want)
+		}
+	}
+}
+
+func TestPosBefore(t *testing.T) {
+	a := Pos{File: "f", Line: 1, Col: 5}
+	b := Pos{File: "f", Line: 1, Col: 9}
+	c := Pos{File: "f", Line: 2, Col: 1}
+	d := Pos{File: "g", Line: 1, Col: 1}
+	if !a.Before(b) || !b.Before(c) || !a.Before(c) {
+		t.Error("Before ordering within a file is wrong")
+	}
+	if b.Before(a) || c.Before(a) {
+		t.Error("Before is not antisymmetric")
+	}
+	if !c.Before(d) {
+		t.Error("positions should order by file name across files")
+	}
+}
+
+func TestPosIsValid(t *testing.T) {
+	if (Pos{}).IsValid() {
+		t.Error("zero Pos must be invalid")
+	}
+	if !(Pos{Line: 1, Col: 1}).IsValid() {
+		t.Error("1:1 must be valid")
+	}
+}
+
+func TestFileLine(t *testing.T) {
+	f := NewFile("t.ncl", []byte("alpha\nbeta\n\ngamma"))
+	cases := []struct {
+		n    int
+		want string
+		ok   bool
+	}{
+		{1, "alpha", true},
+		{2, "beta", true},
+		{3, "", true},
+		{4, "gamma", true},
+		{5, "", false},
+		{0, "", false},
+	}
+	for _, c := range cases {
+		got, ok := f.Line(c.n)
+		if got != c.want || ok != c.ok {
+			t.Errorf("Line(%d) = %q,%v want %q,%v", c.n, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestDiagListErrorsAndSorting(t *testing.T) {
+	var dl DiagList
+	dl.Warnf(Pos{File: "f", Line: 5, Col: 1}, "late warning")
+	dl.Errorf(Pos{File: "f", Line: 2, Col: 3}, "first error")
+	dl.Notef(Pos{File: "f", Line: 2, Col: 4}, "related note")
+	if !dl.HasErrors() {
+		t.Fatal("HasErrors should be true")
+	}
+	all := dl.All()
+	if len(all) != 3 {
+		t.Fatalf("len(All) = %d, want 3", len(all))
+	}
+	if all[0].Message != "first error" || all[1].Message != "related note" || all[2].Message != "late warning" {
+		t.Errorf("diagnostics not sorted by position: %v", all)
+	}
+	err := dl.Err()
+	if err == nil {
+		t.Fatal("Err() should be non-nil")
+	}
+	if !strings.Contains(err.Error(), "first error") {
+		t.Errorf("Err() missing message: %v", err)
+	}
+	if strings.Contains(err.Error(), "late warning") {
+		t.Errorf("Err() should only include errors: %v", err)
+	}
+}
+
+func TestDiagListNoErrors(t *testing.T) {
+	var dl DiagList
+	dl.Warnf(Pos{Line: 1, Col: 1}, "only a warning")
+	if dl.HasErrors() {
+		t.Error("warnings must not count as errors")
+	}
+	if err := dl.Err(); err != nil {
+		t.Errorf("Err() = %v, want nil", err)
+	}
+	if dl.Len() != 1 {
+		t.Errorf("Len() = %d, want 1", dl.Len())
+	}
+}
+
+func TestDiagListMerge(t *testing.T) {
+	var a, b DiagList
+	a.Errorf(Pos{Line: 1, Col: 1}, "a")
+	b.Errorf(Pos{Line: 2, Col: 1}, "b")
+	a.Merge(&b)
+	if a.Len() != 2 {
+		t.Errorf("merged Len = %d, want 2", a.Len())
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	if Error.String() != "error" || Warning.String() != "warning" || Note.String() != "note" {
+		t.Error("Severity.String mismatch")
+	}
+	if Severity(99).String() != "severity(99)" {
+		t.Error("unknown severity formatting mismatch")
+	}
+}

@@ -1,0 +1,332 @@
+// Package token defines the lexical tokens of the Net Compute Language
+// (NCL), the C/C++ extension proposed by "Don't You Worry 'Bout a Packet"
+// (HotNets '21). The token set is a C subset plus the NCL declaration
+// specifiers (_net_, _out_, _in_, _ctrl_, _at_, _ext_, _win_).
+package token
+
+import "ncl/internal/ncl/source"
+
+// Kind enumerates token kinds.
+type Kind int
+
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	// Literals and identifiers.
+	IDENT     // accum
+	INTLIT    // 123, 0x7f
+	CHARLIT   // 'a'
+	STRINGLIT // "s1"
+
+	// Operators and punctuation.
+	ADD // +
+	SUB // -
+	MUL // *
+	DIV // /
+	MOD // %
+
+	AND   // &
+	OR    // |
+	XOR   // ^
+	SHL   // <<
+	SHR   // >>
+	TILDE // ~
+
+	LAND // &&
+	LOR  // ||
+	NOT  // !
+
+	ASSIGN    // =
+	ADDASSIGN // +=
+	SUBASSIGN // -=
+	MULASSIGN // *=
+	DIVASSIGN // /=
+	MODASSIGN // %=
+	ANDASSIGN // &=
+	ORASSIGN  // |=
+	XORASSIGN // ^=
+	SHLASSIGN // <<=
+	SHRASSIGN // >>=
+
+	INC // ++
+	DEC // --
+
+	EQ // ==
+	NE // !=
+	LT // <
+	GT // >
+	LE // <=
+	GE // >=
+
+	LPAREN   // (
+	RPAREN   // )
+	LBRACE   // {
+	RBRACE   // }
+	LBRACK   // [
+	RBRACK   // ]
+	COMMA    // ,
+	SEMI     // ;
+	COLON    // :
+	SCOPE    // ::
+	QUESTION // ?
+	DOT      // .
+	ARROW    // ->
+
+	// Keywords (C subset).
+	KWVOID
+	KWBOOL
+	KWCHAR
+	KWINT
+	KWUNSIGNED
+	KWSIGNED
+	KWSHORT
+	KWLONG
+	KWFLOAT // recognized so we can reject it with a good message
+	KWDOUBLE
+	KWAUTO
+	KWCONST
+	KWSTRUCT
+	KWIF
+	KWELSE
+	KWFOR
+	KWWHILE
+	KWDO
+	KWRETURN
+	KWBREAK
+	KWCONTINUE
+	KWTRUE
+	KWFALSE
+	KWSIZEOF
+	KWSWITCH // recognized; rejected in parser with a clear message
+	KWCASE
+	KWDEFAULT
+	KWGOTO
+
+	// NCL declaration specifiers (§4.1 of the paper).
+	NET  // _net_
+	OUT  // _out_
+	IN   // _in_
+	CTRL // _ctrl_
+	AT   // _at_
+	EXT  // _ext_
+	WIN  // _win_
+
+	kindCount
+)
+
+var names = [...]string{
+	ILLEGAL:   "ILLEGAL",
+	EOF:       "EOF",
+	IDENT:     "IDENT",
+	INTLIT:    "INTLIT",
+	CHARLIT:   "CHARLIT",
+	STRINGLIT: "STRINGLIT",
+
+	ADD:   "+",
+	SUB:   "-",
+	MUL:   "*",
+	DIV:   "/",
+	MOD:   "%",
+	AND:   "&",
+	OR:    "|",
+	XOR:   "^",
+	SHL:   "<<",
+	SHR:   ">>",
+	TILDE: "~",
+	LAND:  "&&",
+	LOR:   "||",
+	NOT:   "!",
+
+	ASSIGN:    "=",
+	ADDASSIGN: "+=",
+	SUBASSIGN: "-=",
+	MULASSIGN: "*=",
+	DIVASSIGN: "/=",
+	MODASSIGN: "%=",
+	ANDASSIGN: "&=",
+	ORASSIGN:  "|=",
+	XORASSIGN: "^=",
+	SHLASSIGN: "<<=",
+	SHRASSIGN: ">>=",
+
+	INC: "++",
+	DEC: "--",
+
+	EQ: "==",
+	NE: "!=",
+	LT: "<",
+	GT: ">",
+	LE: "<=",
+	GE: ">=",
+
+	LPAREN:   "(",
+	RPAREN:   ")",
+	LBRACE:   "{",
+	RBRACE:   "}",
+	LBRACK:   "[",
+	RBRACK:   "]",
+	COMMA:    ",",
+	SEMI:     ";",
+	COLON:    ":",
+	SCOPE:    "::",
+	QUESTION: "?",
+	DOT:      ".",
+	ARROW:    "->",
+
+	KWVOID:     "void",
+	KWBOOL:     "bool",
+	KWCHAR:     "char",
+	KWINT:      "int",
+	KWUNSIGNED: "unsigned",
+	KWSIGNED:   "signed",
+	KWSHORT:    "short",
+	KWLONG:     "long",
+	KWFLOAT:    "float",
+	KWDOUBLE:   "double",
+	KWAUTO:     "auto",
+	KWCONST:    "const",
+	KWSTRUCT:   "struct",
+	KWIF:       "if",
+	KWELSE:     "else",
+	KWFOR:      "for",
+	KWWHILE:    "while",
+	KWDO:       "do",
+	KWRETURN:   "return",
+	KWBREAK:    "break",
+	KWCONTINUE: "continue",
+	KWTRUE:     "true",
+	KWFALSE:    "false",
+	KWSIZEOF:   "sizeof",
+	KWSWITCH:   "switch",
+	KWCASE:     "case",
+	KWDEFAULT:  "default",
+	KWGOTO:     "goto",
+
+	NET:  "_net_",
+	OUT:  "_out_",
+	IN:   "_in_",
+	CTRL: "_ctrl_",
+	AT:   "_at_",
+	EXT:  "_ext_",
+	WIN:  "_win_",
+}
+
+// String returns the literal spelling for operator/keyword kinds and the
+// kind name for the rest.
+func (k Kind) String() string {
+	if k >= 0 && int(k) < len(names) && names[k] != "" {
+		return names[k]
+	}
+	return "Kind(" + itoa(int(k)) + ")"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// Keywords maps keyword spellings (including NCL specifiers) to kinds.
+var Keywords = map[string]Kind{
+	"void": KWVOID, "bool": KWBOOL, "char": KWCHAR, "int": KWINT,
+	"unsigned": KWUNSIGNED, "signed": KWSIGNED, "short": KWSHORT, "long": KWLONG,
+	"float": KWFLOAT, "double": KWDOUBLE,
+	"auto": KWAUTO, "const": KWCONST, "struct": KWSTRUCT,
+	"if": KWIF, "else": KWELSE, "for": KWFOR, "while": KWWHILE, "do": KWDO,
+	"return": KWRETURN, "break": KWBREAK, "continue": KWCONTINUE,
+	"true": KWTRUE, "false": KWFALSE, "sizeof": KWSIZEOF,
+	"switch": KWSWITCH, "case": KWCASE, "default": KWDEFAULT, "goto": KWGOTO,
+	"_net_": NET, "_out_": OUT, "_in_": IN, "_ctrl_": CTRL,
+	"_at_": AT, "_ext_": EXT, "_win_": WIN,
+}
+
+// IsSpecifier reports whether k is an NCL declaration specifier.
+func (k Kind) IsSpecifier() bool {
+	switch k {
+	case NET, OUT, IN, CTRL, AT, EXT, WIN:
+		return true
+	}
+	return false
+}
+
+// IsTypeKeyword reports whether k can begin a C type.
+func (k Kind) IsTypeKeyword() bool {
+	switch k {
+	case KWVOID, KWBOOL, KWCHAR, KWINT, KWUNSIGNED, KWSIGNED, KWSHORT, KWLONG,
+		KWFLOAT, KWDOUBLE, KWAUTO, KWCONST, KWSTRUCT:
+		return true
+	}
+	return false
+}
+
+// IsAssignOp reports whether k is an assignment operator (including
+// compound assignments).
+func (k Kind) IsAssignOp() bool {
+	switch k {
+	case ASSIGN, ADDASSIGN, SUBASSIGN, MULASSIGN, DIVASSIGN, MODASSIGN,
+		ANDASSIGN, ORASSIGN, XORASSIGN, SHLASSIGN, SHRASSIGN:
+		return true
+	}
+	return false
+}
+
+// Token is a lexed token: kind, literal text, and position.
+type Token struct {
+	Kind Kind
+	Lit  string
+	Pos  source.Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INTLIT, CHARLIT, STRINGLIT:
+		return t.Kind.String() + "(" + t.Lit + ")"
+	}
+	return t.Kind.String()
+}
+
+// Precedence returns the C binary-operator precedence of k (higher binds
+// tighter), or 0 if k is not a binary operator. The ternary conditional and
+// assignments are handled separately by the parser.
+func (k Kind) Precedence() int {
+	switch k {
+	case LOR:
+		return 1
+	case LAND:
+		return 2
+	case OR:
+		return 3
+	case XOR:
+		return 4
+	case AND:
+		return 5
+	case EQ, NE:
+		return 6
+	case LT, GT, LE, GE:
+		return 7
+	case SHL, SHR:
+		return 8
+	case ADD, SUB:
+		return 9
+	case MUL, DIV, MOD:
+		return 10
+	}
+	return 0
+}

@@ -1,0 +1,345 @@
+// Package types defines the NCL type system: C-like scalars with explicit
+// widths, pointers, arrays, and the ncl:: switch-side data structures (Map,
+// Bloom). The data plane has no floats and no dynamic allocation, so the
+// type zoo is deliberately small and fully value-comparable.
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies types.
+type Kind int
+
+const (
+	Invalid Kind = iota
+	Void
+	Bool
+	Int     // sized integer; see Width/Signed
+	Pointer // *Elem
+	Array   // Elem[Len]
+	Map     // ncl::Map<Key, Val, Cap>: control-plane managed exact-match table
+	Bloom   // ncl::Bloom<Bits, Hashes>: switch-side bloom filter
+	Sketch  // ncl::CountMin<Cols, Rows>: count-min sketch over per-row lanes
+	Label   // string literal used as an AND location label (_at_, _pass)
+)
+
+// Type describes an NCL type. Types are immutable after construction;
+// scalar types are interned singletons so == works for them.
+type Type struct {
+	Kind   Kind
+	Width  int   // bits, for Int
+	Signed bool  // for Int
+	Elem   *Type // Pointer, Array
+	Len    int   // Array length (elements)
+
+	Key, Val *Type // Map
+	Cap      int   // Map capacity (entries)
+
+	Bits, Hashes int // Bloom (also CountMin: Bits=columns, Hashes=rows)
+
+	// OptionalPtr marks the pointer produced by a Map lookup: it may be
+	// null and supports truthiness tests and dereference, but no
+	// arithmetic. (Paper Fig. 5: `if (auto *idx = Idx[key])`.)
+	OptionalPtr bool
+}
+
+// Interned scalar types.
+var (
+	VoidType  = &Type{Kind: Void}
+	BoolType  = &Type{Kind: Bool}
+	I8        = &Type{Kind: Int, Width: 8, Signed: true}
+	U8        = &Type{Kind: Int, Width: 8}
+	I16       = &Type{Kind: Int, Width: 16, Signed: true}
+	U16       = &Type{Kind: Int, Width: 16}
+	I32       = &Type{Kind: Int, Width: 32, Signed: true}
+	U32       = &Type{Kind: Int, Width: 32}
+	I64       = &Type{Kind: Int, Width: 64, Signed: true}
+	U64       = &Type{Kind: Int, Width: 64}
+	LabelType = &Type{Kind: Label}
+)
+
+// IntType returns the interned integer type of the given width/signedness.
+func IntType(width int, signed bool) *Type {
+	switch width {
+	case 8:
+		if signed {
+			return I8
+		}
+		return U8
+	case 16:
+		if signed {
+			return I16
+		}
+		return U16
+	case 32:
+		if signed {
+			return I32
+		}
+		return U32
+	case 64:
+		if signed {
+			return I64
+		}
+		return U64
+	}
+	panic(fmt.Sprintf("types: no %d-bit integer type", width))
+}
+
+// ByName resolves builtin spelled type names ("int", "unsigned", "bool",
+// "uint64_t", ...) to types; ok is false for unknown names (including
+// "auto" and "void", which callers handle specially).
+func ByName(name string) (*Type, bool) {
+	switch name {
+	case "bool":
+		return BoolType, true
+	case "int", "int32_t":
+		return I32, true
+	case "unsigned", "uint32_t":
+		return U32, true
+	case "char", "int8_t":
+		return I8, true
+	case "uint8_t":
+		return U8, true
+	case "int16_t":
+		return I16, true
+	case "uint16_t":
+		return U16, true
+	case "int64_t":
+		return I64, true
+	case "uint64_t", "size_t", "uintptr_t":
+		return U64, true
+	}
+	return nil, false
+}
+
+// PointerTo returns *elem.
+func PointerTo(elem *Type) *Type { return &Type{Kind: Pointer, Elem: elem} }
+
+// OptionalPointerTo returns a Map-lookup result pointer.
+func OptionalPointerTo(elem *Type) *Type {
+	return &Type{Kind: Pointer, Elem: elem, OptionalPtr: true}
+}
+
+// ArrayOf returns elem[n].
+func ArrayOf(elem *Type, n int) *Type { return &Type{Kind: Array, Elem: elem, Len: n} }
+
+// MapOf returns ncl::Map<key, val, capacity>.
+func MapOf(key, val *Type, capacity int) *Type {
+	return &Type{Kind: Map, Key: key, Val: val, Cap: capacity}
+}
+
+// BloomOf returns ncl::Bloom<bits, hashes>.
+func BloomOf(bits, hashes int) *Type {
+	return &Type{Kind: Bloom, Bits: bits, Hashes: hashes}
+}
+
+// SketchOf returns ncl::CountMin<cols, rows>.
+func SketchOf(cols, rows int) *Type {
+	return &Type{Kind: Sketch, Bits: cols, Hashes: rows}
+}
+
+// IsInteger reports whether t is a sized integer.
+func (t *Type) IsInteger() bool { return t != nil && t.Kind == Int }
+
+// IsScalar reports whether t is an integer or bool (a PHV-representable
+// value).
+func (t *Type) IsScalar() bool {
+	return t != nil && (t.Kind == Int || t.Kind == Bool)
+}
+
+// IsPointer reports whether t is a pointer.
+func (t *Type) IsPointer() bool { return t != nil && t.Kind == Pointer }
+
+// SizeBytes returns the byte size of a value of type t. Bool occupies one
+// byte. Pointers have no wire size (they are compile-time views) and
+// panic; Map/Bloom are device resources and also panic.
+func (t *Type) SizeBytes() int {
+	switch t.Kind {
+	case Bool:
+		return 1
+	case Int:
+		return t.Width / 8
+	case Array:
+		return t.Len * t.Elem.SizeBytes()
+	case Void:
+		return 0
+	}
+	panic(fmt.Sprintf("types: %s has no byte size", t))
+}
+
+// BitWidth returns the PHV bit width of a scalar.
+func (t *Type) BitWidth() int {
+	switch t.Kind {
+	case Bool:
+		return 8 // bools travel as one byte on the wire
+	case Int:
+		return t.Width
+	}
+	panic(fmt.Sprintf("types: %s has no bit width", t))
+}
+
+// Equal reports structural type equality.
+func Equal(a, b *Type) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil || a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case Void, Bool, Label:
+		return true
+	case Int:
+		return a.Width == b.Width && a.Signed == b.Signed
+	case Pointer:
+		return a.OptionalPtr == b.OptionalPtr && Equal(a.Elem, b.Elem)
+	case Array:
+		return a.Len == b.Len && Equal(a.Elem, b.Elem)
+	case Map:
+		return a.Cap == b.Cap && Equal(a.Key, b.Key) && Equal(a.Val, b.Val)
+	case Bloom, Sketch:
+		return a.Bits == b.Bits && a.Hashes == b.Hashes
+	}
+	return false
+}
+
+// String renders the type in NCL syntax.
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case Invalid:
+		return "<invalid>"
+	case Void:
+		return "void"
+	case Bool:
+		return "bool"
+	case Label:
+		return "label"
+	case Int:
+		var b strings.Builder
+		if !t.Signed {
+			b.WriteByte('u')
+		}
+		fmt.Fprintf(&b, "int%d_t", t.Width)
+		return b.String()
+	case Pointer:
+		if t.OptionalPtr {
+			return "opt *" + t.Elem.String()
+		}
+		return "*" + t.Elem.String()
+	case Array:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	case Map:
+		return fmt.Sprintf("ncl::Map<%s, %s, %d>", t.Key, t.Val, t.Cap)
+	case Bloom:
+		return fmt.Sprintf("ncl::Bloom<%d, %d>", t.Bits, t.Hashes)
+	case Sketch:
+		return fmt.Sprintf("ncl::CountMin<%d, %d>", t.Bits, t.Hashes)
+	}
+	return fmt.Sprintf("Kind(%d)", int(t.Kind))
+}
+
+// Common returns the type of a binary arithmetic expression over a and b
+// following simplified usual arithmetic conversions: promote both to at
+// least 32 bits, take the larger width, and prefer unsigned at equal
+// width. ok is false when the operands are not both integers.
+func Common(a, b *Type) (*Type, bool) {
+	if !a.IsInteger() || !b.IsInteger() {
+		return nil, false
+	}
+	a, b = Promote(a), Promote(b)
+	if a.Signed == b.Signed {
+		w := a.Width
+		if b.Width > w {
+			w = b.Width
+		}
+		return IntType(w, a.Signed), true
+	}
+	u, s := a, b
+	if s.Signed == false {
+		u, s = b, a
+	}
+	// The unsigned operand wins at equal or greater width; otherwise the
+	// wider signed type can represent every unsigned value and wins.
+	if u.Width >= s.Width {
+		return IntType(u.Width, false), true
+	}
+	return IntType(s.Width, true), true
+}
+
+// Promote returns t widened for arithmetic: C's integer promotion, where
+// every type smaller than int (and bool) becomes signed 32-bit int.
+func Promote(t *Type) *Type {
+	if t.Kind == Bool {
+		return I32
+	}
+	if t.IsInteger() && t.Width < 32 {
+		return I32
+	}
+	return t
+}
+
+// AssignableTo reports whether a value of type src can be assigned to a
+// location of type dst without an explicit cast. NCL permits implicit
+// integer conversions (like C) and bool<->int is NOT implicit except in
+// conditions.
+func AssignableTo(src, dst *Type) bool {
+	if Equal(src, dst) {
+		return true
+	}
+	if src.IsInteger() && dst.IsInteger() {
+		return true
+	}
+	return false
+}
+
+// Truthy reports whether t can be used as a condition.
+func Truthy(t *Type) bool {
+	return t != nil && (t.Kind == Bool || t.Kind == Int || (t.Kind == Pointer && t.OptionalPtr))
+}
+
+// TruncMask returns the mask that reduces an unsigned 64-bit value to
+// width bits.
+func TruncMask(width int) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << width) - 1
+}
+
+// SignExtend interprets the low `width` bits of v as a signed integer and
+// returns its 64-bit sign extension (still as uint64 two's complement).
+func SignExtend(v uint64, width int) uint64 {
+	if width >= 64 {
+		return v
+	}
+	v &= TruncMask(width)
+	sign := uint64(1) << (width - 1)
+	if v&sign != 0 {
+		v |= ^TruncMask(width)
+	}
+	return v
+}
+
+// Normalize truncates v to t's width and, for signed types, sign-extends,
+// producing the canonical 64-bit representation used by the interpreter
+// and the PISA simulator alike. Bools normalize to 0/1.
+func (t *Type) Normalize(v uint64) uint64 {
+	switch t.Kind {
+	case Bool:
+		if v != 0 {
+			return 1
+		}
+		return 0
+	case Int:
+		if t.Signed {
+			return SignExtend(v, t.Width)
+		}
+		return v & TruncMask(t.Width)
+	}
+	return v
+}

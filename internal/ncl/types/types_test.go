@@ -1,0 +1,223 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestByName(t *testing.T) {
+	cases := []struct {
+		name string
+		want *Type
+	}{
+		{"int", I32}, {"unsigned", U32}, {"bool", BoolType},
+		{"char", I8}, {"uint8_t", U8}, {"int8_t", I8},
+		{"uint16_t", U16}, {"int16_t", I16},
+		{"uint32_t", U32}, {"int32_t", I32},
+		{"uint64_t", U64}, {"int64_t", I64},
+		{"size_t", U64},
+	}
+	for _, c := range cases {
+		got, ok := ByName(c.name)
+		if !ok || got != c.want {
+			t.Errorf("ByName(%q) = %v,%v want %v", c.name, got, ok, c.want)
+		}
+	}
+	if _, ok := ByName("auto"); ok {
+		t.Error("auto must not resolve via ByName")
+	}
+	if _, ok := ByName("frob"); ok {
+		t.Error("unknown name must not resolve")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		want int
+	}{
+		{U8, 1}, {I16, 2}, {U32, 4}, {I64, 8}, {BoolType, 1},
+		{ArrayOf(I32, 16), 64},
+		{ArrayOf(ArrayOf(I8, 128), 256), 256 * 128},
+		{VoidType, 0},
+	}
+	for _, c := range cases {
+		if got := c.t.SizeBytes(); got != c.want {
+			t.Errorf("%s.SizeBytes() = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestSizeBytesPanicsOnResources(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Map.SizeBytes must panic")
+		}
+	}()
+	_ = MapOf(U64, U8, 256).SizeBytes()
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(PointerTo(I32), PointerTo(I32)) {
+		t.Error("identical pointers must be equal")
+	}
+	if Equal(PointerTo(I32), PointerTo(U32)) {
+		t.Error("pointers to different elems must differ")
+	}
+	if Equal(PointerTo(I32), OptionalPointerTo(I32)) {
+		t.Error("optional and plain pointers must differ")
+	}
+	if !Equal(MapOf(U64, U8, 256), MapOf(U64, U8, 256)) {
+		t.Error("identical maps must be equal")
+	}
+	if Equal(MapOf(U64, U8, 256), MapOf(U64, U8, 128)) {
+		t.Error("maps with different capacity must differ")
+	}
+	if !Equal(ArrayOf(I32, 4), ArrayOf(I32, 4)) || Equal(ArrayOf(I32, 4), ArrayOf(I32, 5)) {
+		t.Error("array equality broken")
+	}
+	if Equal(nil, I32) || !Equal(nil, nil) {
+		t.Error("nil handling broken")
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		want string
+	}{
+		{I32, "int32_t"},
+		{U64, "uint64_t"},
+		{BoolType, "bool"},
+		{PointerTo(I32), "*int32_t"},
+		{OptionalPointerTo(U8), "opt *uint8_t"},
+		{ArrayOf(I32, 8), "int32_t[8]"},
+		{MapOf(U64, U8, 256), "ncl::Map<uint64_t, uint8_t, 256>"},
+		{BloomOf(1024, 3), "ncl::Bloom<1024, 3>"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestCommon(t *testing.T) {
+	cases := []struct {
+		a, b, want *Type
+	}{
+		{I32, I32, I32},
+		{I32, U32, U32},
+		{U8, I8, I32},   // both promote to int
+		{U8, U8, I32},   // ditto: C's integer promotion
+		{I64, U32, I64}, // 64-bit signed absorbs 32-bit unsigned
+		{U64, I32, U64},
+		{I16, I32, I32},
+		{U32, I64, I64},
+	}
+	for _, c := range cases {
+		got, ok := Common(c.a, c.b)
+		if !ok || got != c.want {
+			t.Errorf("Common(%s,%s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	if _, ok := Common(BoolType, I32); ok {
+		t.Error("Common over bool must fail")
+	}
+}
+
+func TestPromote(t *testing.T) {
+	// C integer promotion: everything smaller than int becomes int.
+	for _, small := range []*Type{U8, I8, U16, I16, BoolType} {
+		if Promote(small) != I32 {
+			t.Errorf("Promote(%s) = %v, want int32_t", small, Promote(small))
+		}
+	}
+	for _, big := range []*Type{I32, U32, I64, U64} {
+		if Promote(big) != big {
+			t.Errorf("Promote(%s) = %v, want unchanged", big, Promote(big))
+		}
+	}
+}
+
+func TestAssignableTo(t *testing.T) {
+	if !AssignableTo(I32, U64) || !AssignableTo(U64, I8) {
+		t.Error("integer conversions must be implicit")
+	}
+	if AssignableTo(BoolType, I32) {
+		t.Error("bool to int must not be implicit")
+	}
+	if !AssignableTo(BoolType, BoolType) {
+		t.Error("bool to bool must be assignable")
+	}
+	if AssignableTo(PointerTo(I32), PointerTo(U32)) {
+		t.Error("incompatible pointers must not be assignable")
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	if !Truthy(BoolType) || !Truthy(I32) || !Truthy(OptionalPointerTo(U8)) {
+		t.Error("bool/int/optional-pointer must be truthy")
+	}
+	if Truthy(PointerTo(I32)) {
+		t.Error("plain pointers are views, not truthy values")
+	}
+	if Truthy(VoidType) {
+		t.Error("void is not truthy")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		in   uint64
+		want uint64
+	}{
+		{U8, 0x1FF, 0xFF},
+		{I8, 0xFF, ^uint64(0)}, // -1 sign-extended
+		{I8, 0x7F, 0x7F},
+		{I16, 0x8000, 0xFFFFFFFFFFFF8000},
+		{U32, ^uint64(0), 0xFFFFFFFF},
+		{I32, 0xFFFFFFFF, ^uint64(0)},
+		{U64, ^uint64(0), ^uint64(0)},
+		{BoolType, 42, 1},
+		{BoolType, 0, 0},
+	}
+	for _, c := range cases {
+		if got := c.t.Normalize(c.in); got != c.want {
+			t.Errorf("%s.Normalize(%#x) = %#x, want %#x", c.t, c.in, got, c.want)
+		}
+	}
+}
+
+func TestSignExtendRoundTrip(t *testing.T) {
+	// Property: normalizing twice is the same as normalizing once
+	// (idempotence), for every scalar type.
+	scalars := []*Type{U8, I8, U16, I16, U32, I32, U64, I64, BoolType}
+	f := func(v uint64, pick uint8) bool {
+		ty := scalars[int(pick)%len(scalars)]
+		once := ty.Normalize(v)
+		return ty.Normalize(once) == once
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTruncMask(t *testing.T) {
+	if TruncMask(8) != 0xFF || TruncMask(32) != 0xFFFFFFFF || TruncMask(64) != ^uint64(0) {
+		t.Error("TruncMask broken")
+	}
+}
+
+func TestBitWidth(t *testing.T) {
+	if U16.BitWidth() != 16 || BoolType.BitWidth() != 8 {
+		t.Error("BitWidth broken")
+	}
+}
+
+func TestIntTypeInterning(t *testing.T) {
+	if IntType(32, false) != U32 || IntType(64, true) != I64 {
+		t.Error("IntType must return interned singletons")
+	}
+}

@@ -1,0 +1,271 @@
+// Package ncp implements the Net Compute Protocol of §3.2: the window
+// transport that also carries kernel execution context. An NCP packet
+// identifies the kernel to execute, the window's sequence number and
+// shape, the sender and its role, user-attached window-struct fields
+// (§4.2), and the window payload (array chunks in parameter order).
+//
+// Fig. 3b of the paper: a switch executes a kernel only when NCP is
+// recognized; everything else is forwarded normally. IsNCP is that
+// recognition test.
+//
+// The early-prototype scope of §6 (one window per packet) is the fast
+// path; multi-packet windows are supported through the fragment fields
+// and reassembled by the host runtime (switches only execute kernels on
+// single-fragment windows, matching the paper's discussion of the
+// challenges of multi-packet windows).
+package ncp
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire constants.
+const (
+	// Magic identifies NCP packets ("NC").
+	Magic = 0x4E43
+	// Version is the current wire version.
+	Version = 1
+	// HeaderSize is the fixed header length in bytes (user fields and
+	// payload follow).
+	HeaderSize = 36
+	// MaxUserFields bounds user window-struct extensions per packet.
+	MaxUserFields = 15
+)
+
+// Flags.
+const (
+	// FlagReflected marks a window traveling back toward its sender
+	// (_reflect), so hosts can distinguish replies from pass-through.
+	FlagReflected = 1 << 0
+	// FlagBcast marks a window produced by a _bcast decision.
+	FlagBcast = 1 << 1
+	// FlagAckRequest asks the destination host's runtime to acknowledge
+	// the window (the reliable-delivery extension; see runtime.OutReliable).
+	FlagAckRequest = 1 << 2
+	// FlagAck marks an acknowledgment: no payload, same wid/seq as the
+	// acknowledged window. Switches forward acks without executing kernels.
+	FlagAck = 1 << 3
+)
+
+// Header is the NCP packet header.
+type Header struct {
+	Version    uint8
+	Flags      uint8
+	KernelID   uint32
+	WindowSeq  uint32
+	WindowLen  uint16 // elements per array parameter in this window
+	Sender     uint32 // originating host id
+	FromRole   uint32 // sender's role (window.from in kernels)
+	Wid        uint32 // invocation id
+	FragIdx    uint16 // fragment index within a multi-packet window
+	FragCount  uint16 // total fragments (1 = single-packet window)
+	UserCount  uint8  // number of user window-field values following
+	BatchCount uint8  // windows in this packet (0/1 = one; §4.2: "a packet can carry one or more windows"); consecutive seqs starting at WindowSeq
+	Checksum   uint16
+	PayloadLen uint16
+}
+
+// ErrNotNCP reports a packet that is not NCP traffic.
+var ErrNotNCP = fmt.Errorf("ncp: not an NCP packet")
+
+// IsNCP reports whether pkt begins with the NCP magic (Fig. 3b's
+// recognition test).
+func IsNCP(pkt []byte) bool {
+	return len(pkt) >= HeaderSize && binary.BigEndian.Uint16(pkt[0:2]) == Magic
+}
+
+// Marshal serializes the header, user field values, and payload into a
+// single packet. The header's UserCount, PayloadLen, and Checksum are set
+// from the arguments.
+func Marshal(h *Header, userVals []uint64, payload []byte) ([]byte, error) {
+	if len(userVals) > MaxUserFields {
+		return nil, fmt.Errorf("ncp: %d user fields exceed the maximum of %d", len(userVals), MaxUserFields)
+	}
+	if len(payload) > 0xFFFF {
+		return nil, fmt.Errorf("ncp: payload of %d bytes exceeds 64KiB", len(payload))
+	}
+	h.Version = Version
+	h.UserCount = uint8(len(userVals))
+	h.PayloadLen = uint16(len(payload))
+	buf := make([]byte, HeaderSize+8*len(userVals)+len(payload))
+	be := binary.BigEndian
+	be.PutUint16(buf[0:2], Magic)
+	buf[2] = Version
+	buf[3] = h.Flags
+	be.PutUint32(buf[4:8], h.KernelID)
+	be.PutUint32(buf[8:12], h.WindowSeq)
+	be.PutUint16(buf[12:14], h.WindowLen)
+	be.PutUint32(buf[14:18], h.Sender)
+	be.PutUint32(buf[18:22], h.FromRole)
+	be.PutUint32(buf[22:26], h.Wid)
+	be.PutUint16(buf[26:28], h.FragIdx)
+	be.PutUint16(buf[28:30], h.FragCount)
+	buf[30] = h.UserCount
+	if h.BatchCount == 0 {
+		h.BatchCount = 1
+	}
+	buf[31] = h.BatchCount
+	// checksum at [32:34] filled last
+	be.PutUint16(buf[34:36], h.PayloadLen)
+	off := HeaderSize
+	for _, v := range userVals {
+		be.PutUint64(buf[off:off+8], v)
+		off += 8
+	}
+	copy(buf[off:], payload)
+	h.Checksum = checksum(buf)
+	be.PutUint16(buf[32:34], h.Checksum)
+	return buf, nil
+}
+
+// Decode parses an NCP packet, verifying magic, version, structure, and
+// checksum. The returned payload aliases pkt.
+func Decode(pkt []byte) (*Header, []uint64, []byte, error) {
+	if !IsNCP(pkt) {
+		return nil, nil, nil, ErrNotNCP
+	}
+	be := binary.BigEndian
+	h := &Header{
+		Version:    pkt[2],
+		Flags:      pkt[3],
+		KernelID:   be.Uint32(pkt[4:8]),
+		WindowSeq:  be.Uint32(pkt[8:12]),
+		WindowLen:  be.Uint16(pkt[12:14]),
+		Sender:     be.Uint32(pkt[14:18]),
+		FromRole:   be.Uint32(pkt[18:22]),
+		Wid:        be.Uint32(pkt[22:26]),
+		FragIdx:    be.Uint16(pkt[26:28]),
+		FragCount:  be.Uint16(pkt[28:30]),
+		UserCount:  pkt[30],
+		BatchCount: pkt[31],
+		Checksum:   be.Uint16(pkt[32:34]),
+		PayloadLen: be.Uint16(pkt[34:36]),
+	}
+	if h.Version != Version {
+		return nil, nil, nil, fmt.Errorf("ncp: unsupported version %d", h.Version)
+	}
+	want := HeaderSize + 8*int(h.UserCount) + int(h.PayloadLen)
+	if len(pkt) < want {
+		return nil, nil, nil, fmt.Errorf("ncp: truncated packet: %d bytes, header implies %d", len(pkt), want)
+	}
+	if got := verifyChecksum(pkt[:want]); got != h.Checksum {
+		return nil, nil, nil, fmt.Errorf("ncp: checksum mismatch (%#04x != %#04x)", got, h.Checksum)
+	}
+	var userVals []uint64
+	off := HeaderSize
+	for i := 0; i < int(h.UserCount); i++ {
+		userVals = append(userVals, be.Uint64(pkt[off:off+8]))
+		off += 8
+	}
+	return h, userVals, pkt[off : off+int(h.PayloadLen)], nil
+}
+
+// checksum computes the 16-bit one's-complement sum over buf with the
+// checksum field zeroed.
+func checksum(buf []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(buf); i += 2 {
+		if i == 32 {
+			continue // checksum field
+		}
+		sum += uint32(binary.BigEndian.Uint16(buf[i : i+2]))
+	}
+	if len(buf)%2 == 1 {
+		sum += uint32(buf[len(buf)-1]) << 8
+	}
+	for sum > 0xFFFF {
+		sum = (sum & 0xFFFF) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+func verifyChecksum(buf []byte) uint16 { return checksum(buf) }
+
+// ---------------------------------------------------------------------------
+// Window payload encoding
+
+// ParamSpec describes one window parameter's wire shape.
+type ParamSpec struct {
+	Elems  int // elements in this window
+	Bytes  int // bytes per element
+	Signed bool
+}
+
+// PayloadSize returns the encoded byte size for the given specs.
+func PayloadSize(specs []ParamSpec) int {
+	n := 0
+	for _, s := range specs {
+		n += s.Elems * s.Bytes
+	}
+	return n
+}
+
+// EncodePayload serializes window data (canonical 64-bit values, one
+// slice per parameter) into big-endian wire form.
+func EncodePayload(data [][]uint64, specs []ParamSpec) ([]byte, error) {
+	if len(data) != len(specs) {
+		return nil, fmt.Errorf("ncp: %d data arrays for %d parameters", len(data), len(specs))
+	}
+	buf := make([]byte, PayloadSize(specs))
+	off := 0
+	for pi, s := range specs {
+		if len(data[pi]) != s.Elems {
+			return nil, fmt.Errorf("ncp: parameter %d has %d elements, spec says %d", pi, len(data[pi]), s.Elems)
+		}
+		for _, v := range data[pi] {
+			putBE(buf[off:off+s.Bytes], v)
+			off += s.Bytes
+		}
+	}
+	return buf, nil
+}
+
+// DecodePayload parses wire form back into canonical 64-bit values
+// (sign-extending signed element types).
+func DecodePayload(payload []byte, specs []ParamSpec) ([][]uint64, error) {
+	if len(payload) != PayloadSize(specs) {
+		return nil, fmt.Errorf("ncp: payload is %d bytes, specs imply %d", len(payload), PayloadSize(specs))
+	}
+	out := make([][]uint64, len(specs))
+	off := 0
+	for pi, s := range specs {
+		vals := make([]uint64, s.Elems)
+		for i := 0; i < s.Elems; i++ {
+			v := getBE(payload[off : off+s.Bytes])
+			if s.Signed {
+				v = signExtend(v, s.Bytes*8)
+			}
+			vals[i] = v
+			off += s.Bytes
+		}
+		out[pi] = vals
+	}
+	return out, nil
+}
+
+func putBE(b []byte, v uint64) {
+	for i := len(b) - 1; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+}
+
+func getBE(b []byte) uint64 {
+	var v uint64
+	for _, c := range b {
+		v = v<<8 | uint64(c)
+	}
+	return v
+}
+
+func signExtend(v uint64, bits int) uint64 {
+	if bits >= 64 {
+		return v
+	}
+	sign := uint64(1) << (bits - 1)
+	if v&sign != 0 {
+		v |= ^uint64(0) << bits
+	}
+	return v
+}

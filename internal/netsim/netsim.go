@@ -1,0 +1,286 @@
+// Package netsim provides the simulated network fabric the NCL system
+// runs on: nodes (hosts and switches) connected by the links of an AND
+// overlay, message passing with per-link accounting, and fault injection
+// (loss, duplication, reordering) for robustness tests.
+//
+// The fabric is intentionally simple: a goroutine per node draining an
+// inbox, direct neighbor-to-neighbor delivery, and atomic byte/packet
+// counters per link. Performance *shapes* for the evaluation come from
+// the counters plus the analytic model in internal/model — not from
+// wall-clock sleeps.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"ncl/internal/and"
+)
+
+// Packet is one unit on the wire. Data is owned by the receiver after
+// delivery (senders must not mutate it).
+type Packet struct {
+	Src  string // originating node label
+	Dst  string // final destination label
+	Data []byte
+
+	// VTimeUs is the packet's virtual timestamp in microseconds: set by
+	// the fabric to the modeled arrival time on each hop (see vtime.go).
+	// Nodes deriving new packets from a received one should copy it (the
+	// SwitchNode adds its pipeline delay).
+	VTimeUs float64
+}
+
+// Sender abstracts the transport a node sends through: the in-memory
+// fabric here, or the UDP harness in internal/runtime. This is the
+// backend seam of Fig. 3a (POSIX/UDP vs DPDK-like in-memory).
+type Sender interface {
+	// Send transmits pkt from the node labeled `from` to its overlay
+	// neighbor `to`.
+	Send(from, to string, pkt *Packet) error
+	// Network returns the AND overlay.
+	Network() *and.Network
+}
+
+// Node is anything attachable to the fabric.
+type Node interface {
+	// Label returns the node's AND label.
+	Label() string
+	// Receive handles a packet delivered from direct neighbor `from`.
+	// It runs on the node's inbox goroutine.
+	Receive(f Sender, pkt *Packet, from string)
+}
+
+// LinkStats accumulates per-direction link counters.
+type LinkStats struct {
+	Packets atomic.Uint64
+	Bytes   atomic.Uint64
+	Dropped atomic.Uint64
+}
+
+// Faults configures fault injection. Zero value = perfect network.
+type Faults struct {
+	DropProb float64
+	DupProb  float64
+	// ReorderProb swaps a packet with the next one on the same link.
+	ReorderProb float64
+	Seed        int64
+}
+
+type linkKey struct{ from, to string }
+
+// Fabric connects nodes according to an AND network.
+type Fabric struct {
+	net   *and.Network
+	nodes map[string]Node
+
+	inboxes  map[string]chan delivery
+	stats    map[linkKey]*LinkStats
+	wg       sync.WaitGroup
+	stopped  chan struct{}
+	stopOnce sync.Once
+
+	faults  Faults
+	rngMu   sync.Mutex
+	rng     *rand.Rand
+	pending map[linkKey]*delivery // reorder hold-back slot per link
+
+	vt vclock // virtual-time bookkeeping (vtime.go)
+}
+
+type delivery struct {
+	pkt  *Packet
+	from string
+}
+
+// New creates a fabric over the AND network. Attach nodes for every label
+// before Start.
+func New(network *and.Network, faults Faults) *Fabric {
+	f := &Fabric{
+		net:     network,
+		nodes:   map[string]Node{},
+		inboxes: map[string]chan delivery{},
+		stats:   map[linkKey]*LinkStats{},
+		stopped: make(chan struct{}),
+		faults:  faults,
+		rng:     rand.New(rand.NewSource(faults.Seed)),
+		pending: map[linkKey]*delivery{},
+		vt:      vclock{linkFree: map[linkKey]float64{}},
+	}
+	for _, l := range network.Links {
+		f.stats[linkKey{l.A, l.B}] = &LinkStats{}
+		f.stats[linkKey{l.B, l.A}] = &LinkStats{}
+	}
+	return f
+}
+
+// Network returns the underlying AND.
+func (f *Fabric) Network() *and.Network { return f.net }
+
+// Attach registers a node implementation for its label.
+func (f *Fabric) Attach(n Node) error {
+	label := n.Label()
+	if f.net.NodeByLabel(label) == nil {
+		return fmt.Errorf("netsim: no AND node labeled %q", label)
+	}
+	if _, dup := f.nodes[label]; dup {
+		return fmt.Errorf("netsim: node %q already attached", label)
+	}
+	f.nodes[label] = n
+	f.inboxes[label] = make(chan delivery, 4096)
+	return nil
+}
+
+// Start launches the inbox goroutines. Every AND node must be attached.
+func (f *Fabric) Start() error {
+	for _, n := range f.net.Nodes {
+		if f.nodes[n.Label] == nil {
+			return fmt.Errorf("netsim: AND node %q has no attached implementation", n.Label)
+		}
+	}
+	for label, inbox := range f.inboxes {
+		node := f.nodes[label]
+		ch := inbox
+		f.wg.Add(1)
+		go func() {
+			defer f.wg.Done()
+			for {
+				select {
+				case d := <-ch:
+					node.Receive(f, d.pkt, d.from)
+				case <-f.stopped:
+					return
+				}
+			}
+		}()
+	}
+	return nil
+}
+
+// Stop terminates the fabric; in-flight packets are dropped. Sends after
+// (or racing with) Stop fail cleanly — inbox channels are never closed,
+// the stop signal alone ends the workers, so concurrent data-plane sends
+// cannot panic.
+func (f *Fabric) Stop() {
+	f.stopOnce.Do(func() {
+		close(f.stopped)
+		f.wg.Wait()
+	})
+}
+
+// Send transmits pkt from `from` to the direct neighbor `to`. It applies
+// fault injection and accounting, then enqueues into the receiver's
+// inbox. Sending to a non-neighbor is a wiring bug and returns an error.
+func (f *Fabric) Send(from, to string, pkt *Packet) error {
+	select {
+	case <-f.stopped:
+		return fmt.Errorf("netsim: fabric stopped")
+	default:
+	}
+	key := linkKey{from, to}
+	st, ok := f.stats[key]
+	if !ok {
+		return fmt.Errorf("netsim: %s and %s are not overlay neighbors", from, to)
+	}
+	inbox, ok := f.inboxes[to]
+	if !ok {
+		return fmt.Errorf("netsim: no node %q", to)
+	}
+
+	f.stampSend(from, to, pkt)
+	deliver := func(d delivery) {
+		st.Packets.Add(1)
+		st.Bytes.Add(uint64(len(d.pkt.Data)))
+		select {
+		case inbox <- d:
+		case <-f.stopped:
+		}
+	}
+
+	d := delivery{pkt: pkt, from: from}
+	if f.faults == (Faults{}) || f.faults.onlySeed() {
+		deliver(d)
+		return nil
+	}
+
+	f.rngMu.Lock()
+	drop := f.rng.Float64() < f.faults.DropProb
+	dup := f.rng.Float64() < f.faults.DupProb
+	reorder := f.rng.Float64() < f.faults.ReorderProb
+	held := f.pending[key]
+	if reorder {
+		f.pending[key] = &d
+	} else {
+		delete(f.pending, key)
+	}
+	f.rngMu.Unlock()
+
+	if drop {
+		st.Dropped.Add(1)
+		return nil
+	}
+	if !reorder {
+		deliver(d)
+	}
+	if held != nil {
+		deliver(*held)
+	}
+	if dup {
+		dupPkt := &Packet{Src: pkt.Src, Dst: pkt.Dst, Data: append([]byte(nil), pkt.Data...)}
+		deliver(delivery{pkt: dupPkt, from: from})
+	}
+	return nil
+}
+
+func (fl Faults) onlySeed() bool {
+	return fl.DropProb == 0 && fl.DupProb == 0 && fl.ReorderProb == 0
+}
+
+// Stats returns the counters for the directed link from→to (nil if the
+// link does not exist).
+func (f *Fabric) Stats(from, to string) *LinkStats {
+	return f.stats[linkKey{from, to}]
+}
+
+// TotalBytes sums bytes over all directed links.
+func (f *Fabric) TotalBytes() uint64 {
+	var sum uint64
+	for _, st := range f.stats {
+		sum += st.Bytes.Load()
+	}
+	return sum
+}
+
+// TotalPackets sums packets over all directed links.
+func (f *Fabric) TotalPackets() uint64 {
+	var sum uint64
+	for _, st := range f.stats {
+		sum += st.Packets.Load()
+	}
+	return sum
+}
+
+// HostBytes sums bytes on links whose receiving end is a host — the
+// "bytes hosts must process", which in-network aggregation reduces.
+func (f *Fabric) HostBytes() uint64 {
+	var sum uint64
+	for key, st := range f.stats {
+		if n := f.net.NodeByLabel(key.to); n != nil && n.Kind == and.HostNode {
+			sum += st.Bytes.Load()
+		}
+	}
+	return sum
+}
+
+// ResetStats zeroes all counters and the virtual clock (between
+// benchmark phases).
+func (f *Fabric) ResetStats() {
+	for _, st := range f.stats {
+		st.Packets.Store(0)
+		st.Bytes.Store(0)
+		st.Dropped.Store(0)
+	}
+	f.resetVTime()
+}

@@ -1,0 +1,253 @@
+package netsim
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"ncl/internal/ncl/interp"
+	"ncl/internal/ncp"
+	"ncl/internal/pisa"
+)
+
+// SwitchNode is a programmable switch on the fabric: a PISA device plus
+// the NCP-aware forwarding behavior of Fig. 3b. Non-NCP packets and
+// windows for unknown kernels take normal routing; recognized windows run
+// through the loaded pipeline and then follow the kernel's forwarding
+// decision (§4.1).
+type SwitchNode struct {
+	label  string
+	sw     *pisa.Switch
+	locID  uint32
+	routes map[string]string // destination label -> next hop label
+
+	hostByID   map[uint32]string // host id -> label (reflect targets)
+	userFields []string          // wire order of _win_ user fields
+
+	// Counters for the harness.
+	KernelWindows atomic.Uint64 // windows executed by kernels
+	ForwardedRaw  atomic.Uint64 // non-NCP or unknown-kernel packets routed
+	Errors        atomic.Uint64
+}
+
+// NewSwitchNode creates a switch for the given AND label.
+func NewSwitchNode(label string, target pisa.TargetConfig) *SwitchNode {
+	return &SwitchNode{
+		label:    label,
+		sw:       pisa.NewSwitch(target),
+		routes:   map[string]string{},
+		hostByID: map[uint32]string{},
+	}
+}
+
+// Label implements Node.
+func (s *SwitchNode) Label() string { return s.label }
+
+// Device exposes the underlying PISA switch (control-plane surface).
+func (s *SwitchNode) Device() *pisa.Switch { return s.sw }
+
+// Install loads a compiled program and records the control metadata the
+// data plane needs (location id, reflect targets come via SetHosts).
+func (s *SwitchNode) Install(p *pisa.Program, locID uint32) error {
+	if err := s.sw.Load(p); err != nil {
+		return err
+	}
+	s.locID = locID
+	// User window fields travel in sorted-name order on the wire.
+	userSet := map[string]bool{}
+	for _, k := range p.Kernels {
+		for name := range k.WinMeta {
+			if !isBuiltinMeta(name) {
+				userSet[name] = true
+			}
+		}
+	}
+	s.userFields = s.userFields[:0]
+	for name := range userSet {
+		s.userFields = append(s.userFields, name)
+	}
+	sort.Strings(s.userFields)
+	return nil
+}
+
+func isBuiltinMeta(name string) bool {
+	switch name {
+	case "seq", "len", "from", "sender", "wid":
+		return true
+	}
+	return false
+}
+
+// SetRoutes installs the next-hop table (controller-populated from the
+// AND mapping, §3.2).
+func (s *SwitchNode) SetRoutes(next map[string]string) {
+	s.routes = map[string]string{}
+	for dst, hop := range next {
+		s.routes[dst] = hop
+	}
+}
+
+// SetHosts installs the host id → label map used to route reflected
+// windows back to their senders.
+func (s *SwitchNode) SetHosts(hosts map[uint32]string) {
+	s.hostByID = map[uint32]string{}
+	for id, label := range hosts {
+		s.hostByID[id] = label
+	}
+}
+
+// Receive implements Node: the Fig. 3b dispatch.
+func (s *SwitchNode) Receive(f Sender, pkt *Packet, from string) {
+	if !ncp.IsNCP(pkt.Data) {
+		s.ForwardedRaw.Add(1)
+		s.forward(f, pkt, from)
+		return
+	}
+	h, userVals, payload, err := ncp.Decode(pkt.Data)
+	if err != nil {
+		// Corrupted NCP traffic is dropped, like a failed checksum anywhere.
+		s.Errors.Add(1)
+		return
+	}
+	prog := s.sw.Program()
+	var kernel *pisa.Kernel
+	if prog != nil {
+		kernel = prog.KernelByID(h.KernelID)
+	}
+	if kernel == nil || h.FragCount > 1 || h.Flags&ncp.FlagAck != 0 {
+		// No kernel for this window here, a multi-packet window (switches
+		// pass fragments through, §6), or an acknowledgment: normal
+		// forwarding without kernel execution.
+		s.ForwardedRaw.Add(1)
+		s.forward(f, pkt, from)
+		return
+	}
+
+	// Multi-window packets (§4.2) unbatch at the first executing switch:
+	// each window runs the kernel and follows its own forwarding decision.
+	if h.BatchCount > 1 {
+		per := len(payload) / int(h.BatchCount)
+		for k := 0; k < int(h.BatchCount); k++ {
+			sub := *h
+			sub.BatchCount = 1
+			sub.WindowSeq = h.WindowSeq + uint32(k)
+			s.execOne(f, pkt, from, kernel, &sub, userVals, payload[k*per:(k+1)*per])
+		}
+		return
+	}
+	s.execOne(f, pkt, from, kernel, h, userVals, payload)
+}
+
+// execOne runs one window through the pipeline and routes the outcome.
+func (s *SwitchNode) execOne(f Sender, pkt *Packet, from string, kernel *pisa.Kernel, h *ncp.Header, userVals []uint64, payload []byte) {
+	win, err := s.buildWindow(kernel, h, userVals, payload)
+	if err != nil {
+		s.Errors.Add(1)
+		return
+	}
+	dec, err := s.sw.ExecWindow(h.KernelID, win)
+	if err != nil {
+		s.Errors.Add(1)
+		return
+	}
+	s.KernelWindows.Add(1)
+
+	switch dec.Kind {
+	case interp.Drop:
+		return
+	case interp.Pass:
+		out := s.repack(h, userVals, kernel, win, 0)
+		npkt := &Packet{Src: pkt.Src, Dst: pkt.Dst, Data: out, VTimeUs: pkt.VTimeUs + SwitchDelayUs}
+		if dec.Label != "" {
+			npkt.Dst = dec.Label
+		}
+		s.forward(f, npkt, from)
+	case interp.Reflect:
+		target, ok := s.hostByID[h.Sender]
+		if !ok {
+			s.Errors.Add(1)
+			return
+		}
+		out := s.repack(h, userVals, kernel, win, ncp.FlagReflected)
+		s.forward(f, &Packet{Src: s.label, Dst: target, Data: out, VTimeUs: pkt.VTimeUs + SwitchDelayUs}, from)
+	case interp.Bcast:
+		// §4.1 verbatim: "_bcast() sends a window to all devices, one hop
+		// away - in the overlay - from the current location". That
+		// includes neighboring switches; loop prevention is kernel logic
+		// (e.g. a phase flag in window data — see the hierarchical
+		// AllReduce test), which is exactly the programmable-forwarding
+		// control the paper gives kernels.
+		for _, nb := range f.Network().Neighbors(s.label) {
+			out := s.repack(h, userVals, kernel, win, ncp.FlagBcast)
+			if err := f.Send(s.label, nb, &Packet{Src: s.label, Dst: nb, Data: out, VTimeUs: pkt.VTimeUs + SwitchDelayUs}); err != nil {
+				s.Errors.Add(1)
+			}
+		}
+	}
+}
+
+// forward routes pkt toward pkt.Dst via the next-hop table.
+func (s *SwitchNode) forward(f Sender, pkt *Packet, from string) {
+	if pkt.Dst == s.label {
+		// Windows addressed to a switch have nowhere further to go.
+		s.Errors.Add(1)
+		return
+	}
+	hop, ok := s.routes[pkt.Dst]
+	if !ok {
+		s.Errors.Add(1)
+		return
+	}
+	if err := f.Send(s.label, hop, pkt); err != nil {
+		s.Errors.Add(1)
+	}
+}
+
+// buildWindow decodes an NCP packet into the execution window form.
+func (s *SwitchNode) buildWindow(k *pisa.Kernel, h *ncp.Header, userVals []uint64, payload []byte) (*interp.Window, error) {
+	specs := make([]ncp.ParamSpec, len(k.Params))
+	for i, pl := range k.Params {
+		specs[i] = ncp.ParamSpec{Elems: pl.Elems, Bytes: pl.Bits / 8, Signed: pl.Signed}
+	}
+	data, err := ncp.DecodePayload(payload, specs)
+	if err != nil {
+		return nil, err
+	}
+	win := &interp.Window{
+		Data: data,
+		Meta: map[string]uint64{
+			"seq":    uint64(h.WindowSeq),
+			"len":    uint64(h.WindowLen),
+			"from":   uint64(h.FromRole),
+			"sender": uint64(h.Sender),
+			"wid":    uint64(h.Wid),
+		},
+		Loc: s.locID,
+	}
+	for i, name := range s.userFields {
+		if i < len(userVals) {
+			win.Meta[name] = userVals[i]
+		}
+	}
+	return win, nil
+}
+
+// repack re-serializes a (possibly modified) window.
+func (s *SwitchNode) repack(h *ncp.Header, userVals []uint64, k *pisa.Kernel, win *interp.Window, extraFlags uint8) []byte {
+	specs := make([]ncp.ParamSpec, len(k.Params))
+	for i, pl := range k.Params {
+		specs[i] = ncp.ParamSpec{Elems: pl.Elems, Bytes: pl.Bits / 8, Signed: pl.Signed}
+	}
+	payload, err := ncp.EncodePayload(win.Data, specs)
+	if err != nil {
+		s.Errors.Add(1)
+		return nil
+	}
+	nh := *h
+	nh.Flags |= extraFlags
+	out, err := ncp.Marshal(&nh, userVals, payload)
+	if err != nil {
+		s.Errors.Add(1)
+		return nil
+	}
+	return out
+}

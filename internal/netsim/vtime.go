@@ -1,0 +1,66 @@
+package netsim
+
+import (
+	"sync"
+
+	"ncl/internal/and"
+)
+
+// Virtual time: the fabric computes, per packet, the time (in µs) at
+// which it would arrive over the AND's nominal links — serialization
+// (bytes over link bandwidth, FIFO per link direction) plus propagation
+// latency plus a per-switch pipeline delay. Nothing sleeps; the clock is
+// causal bookkeeping carried on packets, so a run's makespan is the
+// maximum arrival time observed at a host. This is what turns the
+// fabric's byte counters into the completion-time curves of E2 without a
+// wall-clock-scaled simulation.
+type vclock struct {
+	mu       sync.Mutex
+	linkFree map[linkKey]float64
+	maxHost  float64
+}
+
+// SwitchDelayUs is the modeled per-window pipeline traversal delay.
+const SwitchDelayUs = 1.0
+
+// stampSend advances the packet's virtual time over the link from→to and
+// returns the arrival time.
+func (f *Fabric) stampSend(from, to string, pkt *Packet) {
+	link := f.net.LinkBetween(from, to)
+	if link == nil {
+		return
+	}
+	txUs := float64(len(pkt.Data)) * 8 / (link.GBitsPerS * 1e3)
+	key := linkKey{from, to}
+	f.vt.mu.Lock()
+	depart := pkt.VTimeUs
+	if free := f.vt.linkFree[key]; free > depart {
+		depart = free
+	}
+	f.vt.linkFree[key] = depart + txUs
+	arrive := depart + txUs + link.LatencyUs
+	pkt.VTimeUs = arrive
+	if n := f.net.NodeByLabel(to); n != nil && n.Kind == and.HostNode {
+		if arrive > f.vt.maxHost {
+			f.vt.maxHost = arrive
+		}
+	}
+	f.vt.mu.Unlock()
+}
+
+// MakespanUs returns the latest virtual arrival time observed at any
+// host since the last ResetStats — the simulated completion time of the
+// traffic pattern run so far.
+func (f *Fabric) MakespanUs() float64 {
+	f.vt.mu.Lock()
+	defer f.vt.mu.Unlock()
+	return f.vt.maxHost
+}
+
+// resetVTime clears the virtual clock (called from ResetStats).
+func (f *Fabric) resetVTime() {
+	f.vt.mu.Lock()
+	defer f.vt.mu.Unlock()
+	f.vt.linkFree = map[linkKey]float64{}
+	f.vt.maxHost = 0
+}

@@ -1,0 +1,427 @@
+package pisa
+
+import (
+	"fmt"
+	"sync"
+
+	"ncl/internal/ncl/interp"
+	"ncl/internal/ncl/types"
+)
+
+// Switch is a loaded, running PISA device: a program plus its mutable
+// state (register arrays and table entries). A Switch is safe for
+// concurrent control-plane access and data-plane execution; the data
+// plane itself processes one window at a time per Switch, matching
+// PISA's hardware-serialized pipeline.
+type Switch struct {
+	target TargetConfig
+
+	mu      sync.Mutex
+	program *Program
+	regs    map[string][]uint64
+	tables  map[string]map[uint64]uint64
+
+	// Counters for the evaluation harness.
+	WindowsProcessed uint64
+	PassesExecuted   uint64
+}
+
+// NewSwitch creates an empty switch with the given resources.
+func NewSwitch(target TargetConfig) *Switch {
+	return &Switch{target: target}
+}
+
+// Target returns the switch's resource configuration.
+func (sw *Switch) Target() TargetConfig { return sw.target }
+
+// Load validates and installs a program, allocating fresh state. It is
+// the moral equivalent of the P4 backend accepting the program and the
+// controller pushing it to the device.
+func (sw *Switch) Load(p *Program) error {
+	if err := p.Validate(sw.target); err != nil {
+		return err
+	}
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	sw.program = p
+	sw.regs = map[string][]uint64{}
+	for _, r := range p.Registers {
+		vals := make([]uint64, r.Elems)
+		copy(vals, r.Init)
+		sw.regs[r.Name] = vals
+	}
+	sw.tables = map[string]map[uint64]uint64{}
+	for _, t := range p.Tables {
+		sw.tables[t] = map[uint64]uint64{}
+	}
+	return nil
+}
+
+// Program returns the loaded program (nil before Load).
+func (sw *Switch) Program() *Program {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.program
+}
+
+// InstallEntry adds/overwrites an exact-match entry (control plane; this
+// is how ncl::Map insertions reach the switch, §4.3).
+func (sw *Switch) InstallEntry(table string, key, val uint64) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	t, ok := sw.tables[table]
+	if !ok {
+		return fmt.Errorf("pisa: no table %q", table)
+	}
+	t[key] = val
+	return nil
+}
+
+// DeleteEntry removes an exact-match entry.
+func (sw *Switch) DeleteEntry(table string, key uint64) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	t, ok := sw.tables[table]
+	if !ok {
+		return fmt.Errorf("pisa: no table %q", table)
+	}
+	delete(t, key)
+	return nil
+}
+
+// WriteRegister writes one register element (control plane; _ctrl_
+// variables are written this way).
+func (sw *Switch) WriteRegister(name string, idx int, val uint64) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	r, ok := sw.regs[name]
+	if !ok {
+		return fmt.Errorf("pisa: no register %q", name)
+	}
+	if idx < 0 || idx >= len(r) {
+		return fmt.Errorf("pisa: register %s index %d out of range", name, idx)
+	}
+	def := sw.program.registerByName(name)
+	r[idx] = normalize(val, def.Bits, def.Signed)
+	return nil
+}
+
+// ReadRegister reads one register element (control plane / debugging).
+func (sw *Switch) ReadRegister(name string, idx int) (uint64, error) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	r, ok := sw.regs[name]
+	if !ok {
+		return 0, fmt.Errorf("pisa: no register %q", name)
+	}
+	if idx < 0 || idx >= len(r) {
+		return 0, fmt.Errorf("pisa: register %s index %d out of range", name, idx)
+	}
+	return r[idx], nil
+}
+
+// normalize truncates/sign-extends to the canonical 64-bit form.
+func normalize(v uint64, bits int, signed bool) uint64 {
+	if signed {
+		return types.SignExtend(v, bits)
+	}
+	return v & types.TruncMask(bits)
+}
+
+// ExecWindow runs the kernel with the given id over a window. The window's
+// Data and Meta use the same convention as the interpreter, making the
+// two engines directly comparable. Returns the forwarding decision.
+func (sw *Switch) ExecWindow(kernelID uint32, win *interp.Window) (interp.Decision, error) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if sw.program == nil {
+		return interp.Decision{}, fmt.Errorf("pisa: no program loaded")
+	}
+	k := sw.program.KernelByID(kernelID)
+	if k == nil {
+		return interp.Decision{}, fmt.Errorf("pisa: no kernel with id %d", kernelID)
+	}
+	sw.WindowsProcessed++
+
+	// Parser: populate the PHV from window data and metadata.
+	phv := make([]uint64, len(k.Fields))
+	if len(win.Data) != len(k.Params) {
+		return interp.Decision{}, fmt.Errorf("pisa: window has %d params, kernel %s expects %d", len(win.Data), k.Name, len(k.Params))
+	}
+	for pi, pl := range k.Params {
+		if len(win.Data[pi]) != pl.Elems {
+			return interp.Decision{}, fmt.Errorf("pisa: param %s has %d elements, expected %d", pl.Name, len(win.Data[pi]), pl.Elems)
+		}
+		for ei, f := range pl.Fields {
+			v := normalize(win.Data[pi][ei], pl.Bits, pl.Signed)
+			if pl.Bool {
+				v = boolBit(v != 0)
+			}
+			phv[f] = v
+		}
+	}
+	for name, f := range k.WinMeta {
+		phv[f] = normalize(win.Meta[name], k.Fields[f].Bits, k.Fields[f].Signed)
+	}
+	if f := k.FieldByName(FieldLoc); f != NoField {
+		phv[f] = uint64(win.Loc)
+	}
+
+	// Pipeline passes (pass > 0 is recirculation).
+	for _, pass := range k.Passes {
+		sw.PassesExecuted++
+		for _, stage := range pass {
+			if err := sw.execStage(k, stage, phv); err != nil {
+				return interp.Decision{}, err
+			}
+		}
+	}
+
+	// Deparser: write modified window data back.
+	for pi, pl := range k.Params {
+		for ei, f := range pl.Fields {
+			win.Data[pi][ei] = phv[f]
+		}
+	}
+
+	dec := interp.Decision{}
+	if f := k.FieldByName(FieldFwd); f != NoField {
+		switch phv[f] {
+		case 0:
+			dec.Kind = interp.Pass
+		case 1:
+			dec.Kind = interp.Drop
+		case 2:
+			dec.Kind = interp.Reflect
+		case 3:
+			dec.Kind = interp.Bcast
+		}
+	}
+	if f := k.FieldByName(FieldFwdLabel); f != NoField && phv[f] > 0 {
+		li := int(phv[f]) - 1
+		if li < len(sw.program.Labels) {
+			dec.Label = sw.program.Labels[li]
+		}
+	}
+	return dec, nil
+}
+
+// execStage runs one stage: every unit reads the stage-input snapshot and
+// writes the output PHV, giving the VLIW parallel semantics.
+func (sw *Switch) execStage(k *Kernel, st *Stage, phv []uint64) error {
+	snap := make([]uint64, len(phv))
+	copy(snap, phv)
+
+	read := func(o Operand) uint64 {
+		if o.IsConst {
+			return o.Const
+		}
+		return snap[o.Field]
+	}
+	predOK := func(p *Pred) bool {
+		if p == nil {
+			return true
+		}
+		v := snap[p.Field] != 0
+		if p.Negate {
+			return !v
+		}
+		return v
+	}
+	write := func(f FieldRef, v uint64) {
+		fd := k.Fields[f]
+		phv[f] = normalize(v, fd.Bits, fd.Signed)
+	}
+
+	for _, tb := range st.Tables {
+		key := read(tb.Key)
+		entries := sw.tables[tb.Name]
+		val, hit := entries[key]
+		if tb.Hit != NoField {
+			write(tb.Hit, boolBit(hit))
+		}
+		if tb.Val != NoField && hit {
+			write(tb.Val, val)
+		} else if tb.Val != NoField {
+			write(tb.Val, 0)
+		}
+	}
+
+	for _, sa := range st.SALUs {
+		if !predOK(sa.Pred) {
+			continue
+		}
+		if err := sw.execSALU(k, sa, snap, phv); err != nil {
+			return err
+		}
+	}
+
+	for _, op := range st.VLIW {
+		v, err := evalAction(op, snap, k.Fields[op.Dst].Bits)
+		if err != nil {
+			return err
+		}
+		write(op.Dst, v)
+	}
+	return nil
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// execSALU runs one atomic stateful read-modify-write.
+func (sw *Switch) execSALU(k *Kernel, sa *SALU, snap, phv []uint64) error {
+	reg, ok := sw.regs[sa.Global]
+	if !ok {
+		return fmt.Errorf("pisa: register %s not allocated", sa.Global)
+	}
+	def := sw.program.registerByName(sa.Global)
+	idxv := sa.Index.Const
+	if !sa.Index.IsConst {
+		idxv = snap[sa.Index.Field]
+	}
+	if idxv >= uint64(len(reg)) {
+		return fmt.Errorf("pisa: register %s index %d out of range (%d elements)", sa.Global, idxv, len(reg))
+	}
+	slots := map[MSlot]uint64{MReg: reg[idxv]}
+	readM := func(o MOperand) uint64 {
+		switch o.Kind {
+		case MFromSlot:
+			return slots[o.Slot]
+		case MFromField:
+			return snap[o.Field]
+		default:
+			return o.Const
+		}
+	}
+	for _, mo := range sa.Prog {
+		var v uint64
+		switch mo.Op {
+		case "mov":
+			v = readM(mo.A)
+		case "sel":
+			if readM(mo.C) != 0 {
+				v = readM(mo.A)
+			} else {
+				v = readM(mo.B)
+			}
+		default:
+			var err error
+			v, err = alu(mo.Op, mo.Signed, readM(mo.A), readM(mo.B), def.Bits)
+			if err != nil {
+				return fmt.Errorf("pisa: salu %s: %w", sa.Global, err)
+			}
+		}
+		// Register-width semantics inside the SALU.
+		slots[mo.Dst] = normalize(v, def.Bits, def.Signed)
+	}
+	reg[idxv] = normalize(slots[MReg], def.Bits, def.Signed)
+	if sa.Out != NoField {
+		fd := k.Fields[sa.Out]
+		phv[sa.Out] = normalize(slots[MOut], fd.Bits, fd.Signed)
+	}
+	return nil
+}
+
+// evalAction evaluates one VLIW op against the stage snapshot. dstBits is
+// the destination field width, which scopes shift counts the way the IR's
+// type widths do.
+func evalAction(op ActionOp, snap []uint64, dstBits int) (uint64, error) {
+	read := func(o Operand) uint64 {
+		if o.IsConst {
+			return o.Const
+		}
+		return snap[o.Field]
+	}
+	switch op.Op {
+	case "mov":
+		return read(op.A), nil
+	case "not":
+		if read(op.A) == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	case "csel":
+		if read(op.C) != 0 {
+			return read(op.A), nil
+		}
+		return read(op.B), nil
+	case "hash":
+		return uint64(interp.BloomBit(read(op.A), op.HashSeed, op.HashBits)), nil
+	}
+	return alu(op.Op, op.Signed, read(op.A), read(op.B), dstBits)
+}
+
+// alu implements the shared two-operand ALU for VLIW and SALU ops over
+// canonical 64-bit values. Division by zero yields zero (the documented
+// NCL runtime semantics); shifts mask their count to the operand width,
+// matching the IR's type-width shift semantics.
+func alu(op string, signed bool, a, b uint64, bits int) (uint64, error) {
+	shmask := uint64(bits - 1)
+	switch op {
+	case "add":
+		return a + b, nil
+	case "sub":
+		return a - b, nil
+	case "mul":
+		return a * b, nil
+	case "div":
+		if b == 0 {
+			return 0, nil
+		}
+		if signed {
+			return uint64(int64(a) / int64(b)), nil
+		}
+		return a / b, nil
+	case "mod":
+		if b == 0 {
+			return 0, nil
+		}
+		if signed {
+			return uint64(int64(a) % int64(b)), nil
+		}
+		return a % b, nil
+	case "and":
+		return a & b, nil
+	case "or":
+		return a | b, nil
+	case "xor":
+		return a ^ b, nil
+	case "shl":
+		return a << (b & shmask), nil
+	case "shr":
+		if signed {
+			return uint64(int64(a) >> (b & shmask)), nil
+		}
+		return (a & types.TruncMask(bits)) >> (b & shmask), nil
+	case "eq":
+		return boolBit(a == b), nil
+	case "ne":
+		return boolBit(a != b), nil
+	case "lt":
+		if signed {
+			return boolBit(int64(a) < int64(b)), nil
+		}
+		return boolBit(a < b), nil
+	case "gt":
+		if signed {
+			return boolBit(int64(a) > int64(b)), nil
+		}
+		return boolBit(a > b), nil
+	case "le":
+		if signed {
+			return boolBit(int64(a) <= int64(b)), nil
+		}
+		return boolBit(a <= b), nil
+	case "ge":
+		if signed {
+			return boolBit(int64(a) >= int64(b)), nil
+		}
+		return boolBit(a >= b), nil
+	}
+	return 0, fmt.Errorf("unknown ALU op %q", op)
+}

@@ -1,0 +1,214 @@
+package runtime
+
+import (
+	"fmt"
+	"time"
+
+	"ncl/internal/ncp"
+)
+
+// Reliable window delivery — the optional extension over the paper's §6
+// transport discussion. Windows sent with OutReliable carry FlagAckRequest;
+// the destination host's runtime acknowledges each one (FlagAck, same
+// wid/seq, empty payload), and the sender retransmits unacknowledged
+// windows on a timeout.
+//
+// Soundness boundary, stated plainly: retransmission re-executes on-path
+// kernels, so reliable mode is only appropriate for kernels that are
+// idempotent or pure pass-through for the retried window (the KVS cache
+// qualifies; switch-side aggregation does not — the same boundary real
+// systems like SwitchML handle with shadow state, which the paper defers).
+// Windows consumed on-path (_drop, _reflect) never reach the destination
+// and therefore cannot be acknowledged; OutReliable reports a timeout for
+// them — detection, not transparent recovery, per DESIGN.md §5.4.
+
+// ReliableOptions configures OutReliable.
+type ReliableOptions struct {
+	// Timeout per attempt (default 20ms).
+	Timeout time.Duration
+	// Retries per window after the first attempt (default 5).
+	Retries int
+}
+
+func (o ReliableOptions) withDefaults() ReliableOptions {
+	if o.Timeout <= 0 {
+		o.Timeout = 20 * time.Millisecond
+	}
+	if o.Retries <= 0 {
+		o.Retries = 5
+	}
+	return o
+}
+
+// ackKey identifies an outstanding window.
+type ackKey struct {
+	wid uint32
+	seq uint32
+}
+
+// OutReliable sends arrays like Out but requests acknowledgment for each
+// window and retransmits lost ones. It returns once every window is
+// acknowledged, or an error naming the first window that exhausted its
+// retries.
+func (h *Host) OutReliable(inv Invocation, arrays [][]uint64, opts ReliableOptions) error {
+	opts = opts.withDefaults()
+	specs, err := h.outSpecs(inv.Kernel)
+	if err != nil {
+		return err
+	}
+	if len(arrays) != len(specs) {
+		return fmt.Errorf("runtime: kernel %s takes %d window arrays, got %d", inv.Kernel, len(specs), len(arrays))
+	}
+	W := h.cfg.WindowLen
+	windows := -1
+	for pi, sp := range specs {
+		n := len(arrays[pi])
+		if sp.Elems == W {
+			if n%W != 0 {
+				return fmt.Errorf("runtime: array %d length %d is not a multiple of %d", pi, n, W)
+			}
+			n /= W
+		}
+		if windows == -1 {
+			windows = n
+		} else if windows != n {
+			return fmt.Errorf("runtime: arrays disagree on window count")
+		}
+	}
+
+	wid := h.nextWid()
+	h.mu.Lock()
+	if h.acks == nil {
+		h.acks = map[ackKey]chan struct{}{}
+	}
+	chans := make(map[ackKey]chan struct{}, windows)
+	for seq := 0; seq < windows; seq++ {
+		k := ackKey{wid, uint32(seq)}
+		ch := make(chan struct{})
+		h.acks[k] = ch
+		chans[k] = ch
+	}
+	h.mu.Unlock()
+	defer func() {
+		h.mu.Lock()
+		for k := range chans {
+			delete(h.acks, k)
+		}
+		h.mu.Unlock()
+	}()
+
+	sendOne := func(seq int) error {
+		winData := make([][]uint64, len(specs))
+		for pi, sp := range specs {
+			if sp.Elems == W {
+				winData[pi] = arrays[pi][seq*W : (seq+1)*W]
+			} else {
+				winData[pi] = arrays[pi][seq : seq+1]
+			}
+		}
+		return h.sendWindowFlags(inv, wid, uint32(seq), winData, specs, ncp.FlagAckRequest)
+	}
+
+	for seq := 0; seq < windows; seq++ {
+		if err := sendOne(seq); err != nil {
+			return err
+		}
+	}
+	for seq := 0; seq < windows; seq++ {
+		k := ackKey{wid, uint32(seq)}
+		acked := false
+		for attempt := 0; attempt <= opts.Retries; attempt++ {
+			select {
+			case <-chans[k]:
+				acked = true
+			case <-time.After(opts.Timeout):
+				if attempt < opts.Retries {
+					if err := sendOne(seq); err != nil {
+						return err
+					}
+					continue
+				}
+			}
+			break
+		}
+		if !acked {
+			return fmt.Errorf("runtime: window %d of invocation %d was never acknowledged after %d attempts (consumed on-path, or the destination is unreachable)",
+				seq, wid, opts.Retries+1)
+		}
+	}
+	return nil
+}
+
+// sendWindowFlags is sendWindow with extra NCP flags.
+func (h *Host) sendWindowFlags(inv Invocation, wid, seq uint32, winData [][]uint64, specs []ncp.ParamSpec, flags uint8) error {
+	kid, ok := h.cfg.KernelIDs[inv.Kernel]
+	if !ok {
+		return fmt.Errorf("runtime: kernel %q has no id", inv.Kernel)
+	}
+	payload, err := ncp.EncodePayload(winData, specs)
+	if err != nil {
+		return err
+	}
+	userVals := make([]uint64, len(h.cfg.UserFields))
+	for i, name := range h.cfg.UserFields {
+		userVals[i] = inv.User[name]
+	}
+	hdr := ncp.Header{
+		Flags:     flags,
+		KernelID:  kid,
+		WindowSeq: seq,
+		WindowLen: uint16(h.cfg.WindowLen),
+		Sender:    h.id,
+		FromRole:  h.role,
+		Wid:       wid,
+		FragIdx:   0, FragCount: 1,
+	}
+	if len(payload) > h.cfg.MTU {
+		return fmt.Errorf("runtime: reliable windows must fit one packet (payload %dB > MTU %dB)", len(payload), h.cfg.MTU)
+	}
+	pkt, err := ncp.Marshal(&hdr, userVals, payload)
+	if err != nil {
+		return err
+	}
+	return h.transmit(inv.Dest, pkt)
+}
+
+// handleAckTraffic processes ack-related packets on the receive path.
+// Returns true when the packet was consumed.
+func (h *Host) handleAckTraffic(hd *ncp.Header, _ string) bool {
+	if hd.Flags&ncp.FlagAck != 0 {
+		// An acknowledgment for one of our reliable windows.
+		h.mu.Lock()
+		ch, ok := h.acks[ackKey{hd.Wid, hd.WindowSeq}]
+		if ok {
+			delete(h.acks, ackKey{hd.Wid, hd.WindowSeq})
+		}
+		h.mu.Unlock()
+		if ok {
+			close(ch)
+		}
+		return true
+	}
+	if hd.Flags&ncp.FlagAckRequest != 0 {
+		// Acknowledge receipt back to the sender. Duplicate windows (a
+		// retransmit whose original arrived) are acked again but only
+		// enqueued once (the dup guard in Receive).
+		target, ok := h.cfg.HostLabels[hd.Sender]
+		if ok {
+			ack := ncp.Header{
+				Flags:     ncp.FlagAck,
+				KernelID:  hd.KernelID,
+				WindowSeq: hd.WindowSeq,
+				WindowLen: hd.WindowLen,
+				Sender:    h.id,
+				FromRole:  h.role,
+				Wid:       hd.Wid,
+				FragCount: 1,
+			}
+			if pkt, err := ncp.Marshal(&ack, nil, nil); err == nil {
+				_ = h.transmit(target, pkt)
+			}
+		}
+	}
+	return false
+}

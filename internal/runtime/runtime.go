@@ -1,0 +1,583 @@
+// Package runtime implements libncrt, the NCL runtime of §3.2: the
+// windowing mechanism (arrays split into windows per the invocation mask,
+// windows encoded into NCP packets, fragments reassembled), the two
+// kernel-invoking APIs (data-centric Out and window-level OutWindow,
+// §4.1), incoming-kernel execution on window receipt (In), and backend
+// selection (in-memory fabric or UDP sockets).
+//
+// Host application code uses this package the way the paper's main()
+// uses ncl::out / ncl::in / ncl::ctrl_wr — the Go API stands in for the
+// Clang-compiled host binary (see DESIGN.md substitution table).
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ncl/internal/ncl/interp"
+	"ncl/internal/ncl/ir"
+	"ncl/internal/ncl/types"
+	"ncl/internal/ncp"
+	"ncl/internal/netsim"
+)
+
+// AppConfig is the compiled-application metadata a host needs: produced
+// by internal/core from the build artifact.
+type AppConfig struct {
+	KernelIDs  map[string]uint32          // kernel name -> NCP kernel id
+	OutSpecs   map[string][]ncp.ParamSpec // out-kernel name -> wire layout
+	WindowLen  int                        // compiled window length W
+	HostModule *ir.Module                 // incoming kernels (interpreted)
+	UserFields []string                   // _win_ field wire order (sorted)
+	MTU        int                        // fragment threshold; 0 = default
+	HostLabels map[uint32]string          // host id -> label (ack routing)
+	// Batch packs up to this many consecutive windows into one packet
+	// (§4.2: "a packet can carry one or more windows"). 0/1 = one window
+	// per packet (the §6 prototype scope). Batches must fit the MTU.
+	Batch int
+}
+
+// DefaultMTU bounds single-packet windows; larger windows fragment (§6's
+// multi-packet extension, reassembled only at hosts).
+const DefaultMTU = 1400
+
+// RecvWindow is one reassembled window delivered to the application.
+type RecvWindow struct {
+	Header *ncp.Header
+	User   []uint64
+	Data   [][]uint64 // decoded per the matching kernel's specs
+	Raw    []byte     // payload bytes (for shape-agnostic consumers)
+}
+
+// Host is one application endpoint.
+type Host struct {
+	label string
+	id    uint32
+	role  uint32
+	cfg   AppConfig
+	send  netsim.Sender
+	route map[string]string // destination -> first hop
+
+	inKernels map[string]*ir.Func
+	state     *interp.State
+
+	mu       sync.Mutex
+	inbox    chan *RecvWindow
+	frags    map[fragKey]*fragBuf
+	done     map[fragKey]bool // recently completed windows (duplicate guard)
+	doneFIFO []fragKey
+	acks     map[ackKey]chan struct{} // outstanding reliable windows
+	widSeq   uint32
+	closed   bool
+}
+
+type fragKey struct {
+	sender uint32
+	wid    uint32
+	seq    uint32
+}
+
+type fragBuf struct {
+	header *ncp.Header
+	user   []uint64
+	parts  [][]byte
+	have   int
+}
+
+// NewHost creates a host endpoint. The sender is the transport (fabric or
+// UDP harness); routes give the first hop toward every destination.
+func NewHost(label string, id, role uint32, cfg AppConfig, send netsim.Sender, routes map[string]string) *Host {
+	if cfg.MTU == 0 {
+		cfg.MTU = DefaultMTU
+	}
+	h := &Host{
+		label:     label,
+		id:        id,
+		role:      role,
+		cfg:       cfg,
+		send:      send,
+		route:     routes,
+		inbox:     make(chan *RecvWindow, 65536),
+		frags:     map[fragKey]*fragBuf{},
+		done:      map[fragKey]bool{},
+		inKernels: map[string]*ir.Func{},
+	}
+	if cfg.HostModule != nil {
+		for _, f := range cfg.HostModule.Funcs {
+			if f.Kind == ir.InKernel {
+				h.inKernels[f.Name] = f
+			}
+		}
+		h.state = interp.NewState(cfg.HostModule)
+	}
+	return h
+}
+
+// Label implements netsim.Node.
+func (h *Host) Label() string { return h.label }
+
+// ID returns the host id (window.sender).
+func (h *Host) ID() uint32 { return h.id }
+
+// Receive implements netsim.Node: NCP packets are decoded, reassembled,
+// and queued for In; anything else is dropped (hosts are endpoints).
+func (h *Host) Receive(_ netsim.Sender, pkt *netsim.Packet, from string) {
+	hd, user, payload, err := ncp.Decode(pkt.Data)
+	if err != nil {
+		return
+	}
+	if h.handleAckTraffic(hd, from) {
+		return // pure acknowledgment, consumed
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	if hd.FragCount <= 1 && hd.BatchCount > 1 {
+		// Multi-window packet reaching a host without on-path unbatching:
+		// split into individual windows.
+		per := len(payload) / int(hd.BatchCount)
+		for k := 0; k < int(hd.BatchCount); k++ {
+			sub := *hd
+			sub.BatchCount = 1
+			sub.WindowSeq = hd.WindowSeq + uint32(k)
+			h.enqueue(&RecvWindow{Header: &sub, User: user, Raw: append([]byte(nil), payload[k*per:(k+1)*per]...)})
+		}
+		return
+	}
+	if hd.FragCount <= 1 {
+		if hd.Flags&ncp.FlagAckRequest != 0 {
+			// Retransmits of an already-delivered reliable window are
+			// re-acknowledged (above) but enqueued only once.
+			key := fragKey{hd.Sender, hd.Wid, hd.WindowSeq}
+			if h.done[key] {
+				return
+			}
+			h.markDone(key)
+		}
+		h.enqueue(&RecvWindow{Header: hd, User: user, Raw: append([]byte(nil), payload...)})
+		return
+	}
+	// Multi-packet window: reassemble (hosts only, §6). Fragments of an
+	// already-delivered window (retransmits, fabric duplication) are
+	// dropped by the completed-window record.
+	key := fragKey{hd.Sender, hd.Wid, hd.WindowSeq}
+	if h.done[key] {
+		return
+	}
+	fb := h.frags[key]
+	if fb == nil {
+		fb = &fragBuf{header: hd, user: user, parts: make([][]byte, hd.FragCount)}
+		h.frags[key] = fb
+	}
+	if int(hd.FragIdx) >= len(fb.parts) || fb.parts[hd.FragIdx] != nil {
+		return // duplicate or malformed fragment
+	}
+	fb.parts[hd.FragIdx] = append([]byte(nil), payload...)
+	fb.have++
+	if fb.have == len(fb.parts) {
+		delete(h.frags, key)
+		h.markDone(key)
+		var full []byte
+		for _, p := range fb.parts {
+			full = append(full, p...)
+		}
+		hd2 := *fb.header
+		hd2.FragIdx, hd2.FragCount = 0, 1
+		h.enqueue(&RecvWindow{Header: &hd2, User: fb.user, Raw: full})
+	}
+}
+
+// markDone records a delivered window in the bounded duplicate guard.
+// Caller holds h.mu.
+func (h *Host) markDone(key fragKey) {
+	h.done[key] = true
+	h.doneFIFO = append(h.doneFIFO, key)
+	if len(h.doneFIFO) > 4096 {
+		delete(h.done, h.doneFIFO[0])
+		h.doneFIFO = h.doneFIFO[1:]
+	}
+}
+
+func (h *Host) enqueue(rw *RecvWindow) {
+	select {
+	case h.inbox <- rw:
+	default:
+		// Inbox overflow: drop, like a NIC queue.
+	}
+}
+
+// Close releases the host (pending In calls unblock with an error).
+func (h *Host) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.closed {
+		h.closed = true
+		close(h.inbox)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Outgoing kernels (§4.1)
+
+// Invocation names an outgoing kernel invocation: the kernel, the final
+// destination label, and optional user window-struct field values.
+type Invocation struct {
+	Kernel string
+	Dest   string
+	User   map[string]uint64
+}
+
+// Out is the data-centric API: it consumes entire arrays, splitting them
+// into windows of the compiled window length and sending each (the
+// paper's first kernel-invoking API). Array lengths must be equal
+// multiples of W for pointer parameters; scalar parameters receive a
+// per-window value from their (length windows) slice.
+func (h *Host) Out(inv Invocation, arrays [][]uint64) error {
+	specs, err := h.outSpecs(inv.Kernel)
+	if err != nil {
+		return err
+	}
+	if len(arrays) != len(specs) {
+		return fmt.Errorf("runtime: kernel %s takes %d window arrays, got %d", inv.Kernel, len(specs), len(arrays))
+	}
+	W := h.cfg.WindowLen
+	windows := -1
+	for pi, sp := range specs {
+		var n int
+		if sp.Elems == W {
+			if len(arrays[pi])%W != 0 {
+				return fmt.Errorf("runtime: array %d length %d is not a multiple of the window length %d", pi, len(arrays[pi]), W)
+			}
+			n = len(arrays[pi]) / W
+		} else {
+			n = len(arrays[pi]) // scalar: one element per window
+		}
+		if windows == -1 {
+			windows = n
+		} else if windows != n {
+			return fmt.Errorf("runtime: arrays disagree on window count (%d vs %d)", windows, n)
+		}
+	}
+	wid := h.nextWid()
+	winAt := func(seq int) [][]uint64 {
+		winData := make([][]uint64, len(specs))
+		for pi, sp := range specs {
+			if sp.Elems == W {
+				winData[pi] = arrays[pi][seq*W : (seq+1)*W]
+			} else {
+				winData[pi] = arrays[pi][seq : seq+1]
+			}
+		}
+		return winData
+	}
+	batch := h.cfg.Batch
+	if batch > 1 {
+		// Multi-window packets: batches of consecutive windows that fit
+		// the MTU; the trailing partial batch ships smaller.
+		per := ncp.PayloadSize(specs)
+		if per > 0 && per*batch > h.cfg.MTU {
+			batch = h.cfg.MTU / per
+		}
+		if batch > 255 {
+			batch = 255
+		}
+		if batch > 1 {
+			for seq := 0; seq < windows; seq += batch {
+				n := batch
+				if seq+n > windows {
+					n = windows - seq
+				}
+				var payload []byte
+				for k := 0; k < n; k++ {
+					part, err := ncp.EncodePayload(winAt(seq+k), specs)
+					if err != nil {
+						return err
+					}
+					payload = append(payload, part...)
+				}
+				if err := h.sendBatch(inv, wid, uint32(seq), uint8(n), payload); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	for seq := 0; seq < windows; seq++ {
+		if err := h.sendWindow(inv, wid, uint32(seq), winAt(seq), specs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sendBatch transmits one multi-window packet.
+func (h *Host) sendBatch(inv Invocation, wid, firstSeq uint32, count uint8, payload []byte) error {
+	kid, ok := h.cfg.KernelIDs[inv.Kernel]
+	if !ok {
+		return fmt.Errorf("runtime: kernel %q has no id", inv.Kernel)
+	}
+	userVals := make([]uint64, len(h.cfg.UserFields))
+	for i, name := range h.cfg.UserFields {
+		userVals[i] = inv.User[name]
+	}
+	hdr := ncp.Header{
+		KernelID:   kid,
+		WindowSeq:  firstSeq,
+		WindowLen:  uint16(h.cfg.WindowLen),
+		Sender:     h.id,
+		FromRole:   h.role,
+		Wid:        wid,
+		FragIdx:    0,
+		FragCount:  1,
+		BatchCount: count,
+	}
+	pkt, err := ncp.Marshal(&hdr, userVals, payload)
+	if err != nil {
+		return err
+	}
+	return h.transmit(inv.Dest, pkt)
+}
+
+// OutWindow is the window-level API (the paper's finer-grained second
+// API): the caller sends one window at an explicit sequence number.
+func (h *Host) OutWindow(inv Invocation, wid, seq uint32, winData [][]uint64) error {
+	specs, err := h.outSpecs(inv.Kernel)
+	if err != nil {
+		return err
+	}
+	return h.sendWindow(inv, wid, seq, winData, specs)
+}
+
+// NewWid allocates a fresh invocation id for OutWindow sequences.
+func (h *Host) NewWid() uint32 { return h.nextWid() }
+
+func (h *Host) nextWid() uint32 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.widSeq++
+	return h.widSeq
+}
+
+func (h *Host) outSpecs(kernel string) ([]ncp.ParamSpec, error) {
+	specs, ok := h.cfg.OutSpecs[kernel]
+	if !ok {
+		return nil, fmt.Errorf("runtime: unknown outgoing kernel %q", kernel)
+	}
+	return specs, nil
+}
+
+func (h *Host) sendWindow(inv Invocation, wid, seq uint32, winData [][]uint64, specs []ncp.ParamSpec) error {
+	kid, ok := h.cfg.KernelIDs[inv.Kernel]
+	if !ok {
+		return fmt.Errorf("runtime: kernel %q has no id", inv.Kernel)
+	}
+	if err := h.checkUserFields(inv); err != nil {
+		return err
+	}
+	for pi, sp := range specs {
+		if len(winData[pi]) != sp.Elems {
+			return fmt.Errorf("runtime: window array %d has %d elements, kernel wants %d", pi, len(winData[pi]), sp.Elems)
+		}
+	}
+	payload, err := ncp.EncodePayload(winData, specs)
+	if err != nil {
+		return err
+	}
+	userVals := make([]uint64, len(h.cfg.UserFields))
+	for i, name := range h.cfg.UserFields {
+		userVals[i] = inv.User[name]
+	}
+	hdr := ncp.Header{
+		KernelID:  kid,
+		WindowSeq: seq,
+		WindowLen: uint16(h.cfg.WindowLen),
+		Sender:    h.id,
+		FromRole:  h.role,
+		Wid:       wid,
+	}
+
+	// Single-packet fast path (the §6 prototype scope), else fragment.
+	if len(payload) <= h.cfg.MTU {
+		hdr.FragIdx, hdr.FragCount = 0, 1
+		pkt, err := ncp.Marshal(&hdr, userVals, payload)
+		if err != nil {
+			return err
+		}
+		return h.transmit(inv.Dest, pkt)
+	}
+	frags := (len(payload) + h.cfg.MTU - 1) / h.cfg.MTU
+	if frags > 0xFFFF {
+		return fmt.Errorf("runtime: window needs %d fragments", frags)
+	}
+	for i := 0; i < frags; i++ {
+		lo := i * h.cfg.MTU
+		hi := lo + h.cfg.MTU
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		fh := hdr
+		fh.FragIdx, fh.FragCount = uint16(i), uint16(frags)
+		pkt, err := ncp.Marshal(&fh, userVals, payload[lo:hi])
+		if err != nil {
+			return err
+		}
+		if err := h.transmit(inv.Dest, pkt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (h *Host) transmit(dest string, data []byte) error {
+	hop, ok := h.route[dest]
+	if !ok {
+		return fmt.Errorf("runtime: no route from %s to %s", h.label, dest)
+	}
+	return h.send.Send(h.label, hop, &netsim.Packet{Src: h.label, Dst: dest, Data: data})
+}
+
+// checkUserFields rejects invocation window-field values that do not
+// correspond to a declared _win_ field (a typo would otherwise silently
+// send zero).
+func (h *Host) checkUserFields(inv Invocation) error {
+	for name := range inv.User {
+		known := false
+		for _, f := range h.cfg.UserFields {
+			if f == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("runtime: no _win_ field named %q (declared: %v)", name, h.cfg.UserFields)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Incoming kernels (§4.1)
+
+// ErrClosed reports In on a closed host.
+var ErrClosed = fmt.Errorf("runtime: host closed")
+
+// ErrTimeout reports that no window arrived in time.
+var ErrTimeout = fmt.Errorf("runtime: timed out waiting for a window")
+
+// In blocks until one window arrives, executes the named incoming kernel
+// on it with ext bound to the kernel's _ext_ parameters (host memory),
+// and returns the received window. A zero timeout waits forever.
+func (h *Host) In(kernel string, ext [][]uint64, timeout time.Duration) (*RecvWindow, error) {
+	f, ok := h.inKernels[kernel]
+	if !ok {
+		return nil, fmt.Errorf("runtime: unknown incoming kernel %q", kernel)
+	}
+	var rw *RecvWindow
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		select {
+		case w, open := <-h.inbox:
+			if !open {
+				return nil, ErrClosed
+			}
+			rw = w
+		case <-t.C:
+			return nil, ErrTimeout
+		}
+	} else {
+		w, open := <-h.inbox
+		if !open {
+			return nil, ErrClosed
+		}
+		rw = w
+	}
+	if err := h.runInKernel(f, rw, ext); err != nil {
+		return rw, err
+	}
+	return rw, nil
+}
+
+// TryIn is the non-blocking variant of In.
+func (h *Host) TryIn(kernel string, ext [][]uint64) (*RecvWindow, bool, error) {
+	f, ok := h.inKernels[kernel]
+	if !ok {
+		return nil, false, fmt.Errorf("runtime: unknown incoming kernel %q", kernel)
+	}
+	select {
+	case rw, open := <-h.inbox:
+		if !open {
+			return nil, false, ErrClosed
+		}
+		if err := h.runInKernel(f, rw, ext); err != nil {
+			return rw, true, err
+		}
+		return rw, true, nil
+	default:
+		return nil, false, nil
+	}
+}
+
+// runInKernel decodes the window for the kernel's signature and executes
+// it through the interpreter (the host-side compiled kernel).
+func (h *Host) runInKernel(f *ir.Func, rw *RecvWindow, ext [][]uint64) error {
+	sig := f.WindowSig()
+	specs := make([]ncp.ParamSpec, len(sig))
+	for i, p := range sig {
+		et := p.ElemType()
+		specs[i] = ncp.ParamSpec{
+			Elems:  p.Elems(f.WindowLen),
+			Bytes:  et.BitWidth() / 8,
+			Signed: et.Kind == types.Int && et.Signed,
+		}
+	}
+	data, err := ncp.DecodePayload(rw.Raw, specs)
+	if err != nil {
+		return fmt.Errorf("runtime: window does not match kernel %s: %w", f.Name, err)
+	}
+	rw.Data = data
+	nExt := 0
+	for _, p := range f.Params {
+		if p.Ext {
+			nExt++
+		}
+	}
+	if len(ext) != nExt {
+		return fmt.Errorf("runtime: kernel %s has %d _ext_ parameters, got %d host buffers", f.Name, nExt, len(ext))
+	}
+	win := &interp.Window{
+		Data: data,
+		Ext:  ext,
+		Meta: map[string]uint64{
+			"seq":    uint64(rw.Header.WindowSeq),
+			"len":    uint64(rw.Header.WindowLen),
+			"from":   uint64(rw.Header.FromRole),
+			"sender": uint64(rw.Header.Sender),
+			"wid":    uint64(rw.Header.Wid),
+		},
+	}
+	for i, name := range h.cfg.UserFields {
+		if i < len(rw.User) {
+			win.Meta[name] = rw.User[i]
+		}
+	}
+	_, err = interp.Exec(f, h.state, win)
+	return err
+}
+
+// Pending returns the number of queued windows.
+func (h *Host) Pending() int { return len(h.inbox) }
+
+// SortedKernelNames lists configured out-kernels (for diagnostics).
+func (c AppConfig) SortedKernelNames() []string {
+	var names []string
+	for n := range c.OutSpecs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,173 @@
+package runtime
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"ncl/internal/and"
+	"ncl/internal/netsim"
+)
+
+// UDPNet is the Sockets/UDP backend of the paper's early-prototype scope
+// (§6): every AND node binds a real UDP socket on the loopback interface
+// and neighbor sends become datagrams. Switch and host node logic is
+// identical to the in-memory fabric — only the transport differs, which
+// is the backend-agnosticism NCP promises (§3.2).
+//
+// Datagram framing: [1B fromLen][from][1B dstLen][dst][payload]; the
+// overlay neighbor relationship is validated on send, like the fabric.
+type UDPNet struct {
+	network *and.Network
+
+	mu     sync.Mutex
+	addrs  map[string]*net.UDPAddr
+	conns  map[string]*net.UDPConn
+	nodes  map[string]netsim.Node
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewUDPNet binds one loopback socket per AND node.
+func NewUDPNet(network *and.Network) (*UDPNet, error) {
+	u := &UDPNet{
+		network: network,
+		addrs:   map[string]*net.UDPAddr{},
+		conns:   map[string]*net.UDPConn{},
+		nodes:   map[string]netsim.Node{},
+	}
+	for _, n := range network.Nodes {
+		conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0})
+		if err != nil {
+			u.Stop()
+			return nil, fmt.Errorf("runtime: binding %s: %w", n.Label, err)
+		}
+		u.conns[n.Label] = conn
+		u.addrs[n.Label] = conn.LocalAddr().(*net.UDPAddr)
+	}
+	return u, nil
+}
+
+// Network implements netsim.Sender.
+func (u *UDPNet) Network() *and.Network { return u.network }
+
+// Attach registers the node implementation for its label.
+func (u *UDPNet) Attach(n netsim.Node) error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if _, ok := u.conns[n.Label()]; !ok {
+		return fmt.Errorf("runtime: no socket for %q", n.Label())
+	}
+	if _, dup := u.nodes[n.Label()]; dup {
+		return fmt.Errorf("runtime: node %q already attached", n.Label())
+	}
+	u.nodes[n.Label()] = n
+	return nil
+}
+
+// Start launches a reader goroutine per socket.
+func (u *UDPNet) Start() error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	for _, n := range u.network.Nodes {
+		node, ok := u.nodes[n.Label]
+		if !ok {
+			return fmt.Errorf("runtime: AND node %q has no attached implementation", n.Label)
+		}
+		conn := u.conns[n.Label]
+		u.wg.Add(1)
+		go func(node netsim.Node, conn *net.UDPConn) {
+			defer u.wg.Done()
+			buf := make([]byte, 65536)
+			for {
+				n, _, err := conn.ReadFromUDP(buf)
+				if err != nil {
+					return // socket closed
+				}
+				from, dst, payload, err := decodeFrame(buf[:n])
+				if err != nil {
+					continue
+				}
+				pkt := &netsim.Packet{Src: from, Dst: dst, Data: payload}
+				node.Receive(u, pkt, from)
+			}
+		}(node, conn)
+	}
+	return nil
+}
+
+// Send implements netsim.Sender over UDP.
+func (u *UDPNet) Send(from, to string, pkt *netsim.Packet) error {
+	if u.network.LinkBetween(from, to) == nil {
+		return fmt.Errorf("runtime: %s and %s are not overlay neighbors", from, to)
+	}
+	u.mu.Lock()
+	conn := u.conns[from]
+	addr := u.addrs[to]
+	closed := u.closed
+	u.mu.Unlock()
+	if closed || conn == nil || addr == nil {
+		return fmt.Errorf("runtime: UDP transport closed or unknown node")
+	}
+	frame, err := encodeFrame(from, pkt.Dst, pkt.Data)
+	if err != nil {
+		return err
+	}
+	_, err = conn.WriteToUDP(frame, addr)
+	return err
+}
+
+// Stop closes all sockets and waits for readers.
+func (u *UDPNet) Stop() {
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return
+	}
+	u.closed = true
+	conns := make([]*net.UDPConn, 0, len(u.conns))
+	for _, c := range u.conns {
+		if c != nil {
+			conns = append(conns, c)
+		}
+	}
+	u.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	u.wg.Wait()
+}
+
+// Addr returns the bound address of a node (tests and diagnostics).
+func (u *UDPNet) Addr(label string) *net.UDPAddr { return u.addrs[label] }
+
+func encodeFrame(from, dst string, payload []byte) ([]byte, error) {
+	if len(from) > 255 || len(dst) > 255 {
+		return nil, fmt.Errorf("runtime: label too long")
+	}
+	frame := make([]byte, 0, 2+len(from)+len(dst)+len(payload))
+	frame = append(frame, byte(len(from)))
+	frame = append(frame, from...)
+	frame = append(frame, byte(len(dst)))
+	frame = append(frame, dst...)
+	frame = append(frame, payload...)
+	return frame, nil
+}
+
+func decodeFrame(frame []byte) (from, dst string, payload []byte, err error) {
+	if len(frame) < 2 {
+		return "", "", nil, fmt.Errorf("runtime: short frame")
+	}
+	fl := int(frame[0])
+	if len(frame) < 1+fl+1 {
+		return "", "", nil, fmt.Errorf("runtime: truncated from label")
+	}
+	from = string(frame[1 : 1+fl])
+	dl := int(frame[1+fl])
+	if len(frame) < 1+fl+1+dl {
+		return "", "", nil, fmt.Errorf("runtime: truncated dst label")
+	}
+	dst = string(frame[1+fl+1 : 1+fl+1+dl])
+	payload = append([]byte(nil), frame[1+fl+1+dl:]...)
+	return from, dst, payload, nil
+}

@@ -1,0 +1,84 @@
+// Package ncl is the public API of the NCL system — a Go reproduction of
+// "Don't You Worry 'Bout a Packet: Unified Programming for In-Network
+// Computing" (HotNets '21). It unifies switch and host programming around
+// the paper's Compute Centric Communication (C3) model:
+//
+//   - write computational kernels in NCL (a C/C++ subset with the
+//     _net_/_out_/_in_/_ctrl_/_at_ extensions of §4);
+//   - describe the overlay in an AND file (§3.2);
+//   - Build compiles kernels through the full nclc pipeline (Fig. 6) to
+//     per-switch PISA programs plus the host-side module;
+//   - Deploy instantiates the application on a simulated fabric (or real
+//     UDP sockets with DeployUDP) with switches loaded and hosts wired to
+//     the libncrt runtime;
+//   - hosts invoke outgoing kernels with Host.Out/OutWindow and receive
+//     windows through incoming kernels with Host.In, exactly mirroring
+//     the paper's ncl::out / ncl::in;
+//   - the Controller performs the out-of-band control-plane operations
+//     (_ctrl_ writes, ncl::Map entries).
+//
+// The quickstart in examples/quickstart is the minimal end-to-end tour;
+// examples/allreduce and examples/kvcache are the paper's Figs. 4-5 use
+// cases running end to end.
+package ncl
+
+import (
+	"ncl/internal/controller"
+	"ncl/internal/core"
+	"ncl/internal/netsim"
+	"ncl/internal/pisa"
+	"ncl/internal/runtime"
+)
+
+// BuildOptions configures compilation: window length W, the PISA target
+// resources, include resolution, and the module name.
+type BuildOptions = core.BuildOptions
+
+// Artifact is a completed build: per-location PISA programs, P4 text,
+// the host module, and compile-stage timings.
+type Artifact = core.Artifact
+
+// StageTiming is one pipeline stage's compile time.
+type StageTiming = core.StageTiming
+
+// Deployment is a running application on the in-memory fabric.
+type Deployment = core.Deployment
+
+// UDPDeployment is a running application over loopback UDP sockets.
+type UDPDeployment = core.UDPDeployment
+
+// Host is a libncrt application endpoint.
+type Host = runtime.Host
+
+// Invocation names an outgoing-kernel invocation (kernel, destination,
+// user window fields).
+type Invocation = runtime.Invocation
+
+// RecvWindow is a window delivered to an incoming kernel.
+type RecvWindow = runtime.RecvWindow
+
+// ReliableOptions configures Host.OutReliable (acknowledged windows with
+// retransmission — suitable for idempotent/pass-through kernels only).
+type ReliableOptions = runtime.ReliableOptions
+
+// Controller is the control plane: program install, _ctrl_ writes,
+// ncl::Map management.
+type Controller = controller.Controller
+
+// Faults configures fabric fault injection (loss/duplication/reorder).
+type Faults = netsim.Faults
+
+// TargetConfig describes a PISA target's resources.
+type TargetConfig = pisa.TargetConfig
+
+// Build compiles an NCL program against an AND overlay description
+// through the full nclc pipeline. See BuildOptions for the knobs.
+func Build(nclSrc, andSrc string, opts BuildOptions) (*Artifact, error) {
+	return core.Build(nclSrc, andSrc, opts)
+}
+
+// DefaultTarget returns the default PISA resource model.
+func DefaultTarget() TargetConfig { return pisa.DefaultTarget() }
+
+// ErrTimeout is returned by Host.In when no window arrives in time.
+var ErrTimeout = runtime.ErrTimeout
