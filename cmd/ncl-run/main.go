@@ -12,6 +12,17 @@
 // -data gives one comma-separated element list per window parameter,
 // separated by semicolons; -n repeats the window (showing stateful
 // evolution across windows).
+//
+// With -metrics or -trace the tool instead deploys the whole application
+// on the in-memory fabric and drives the windows end to end from a
+// sender host to a destination (observability mode):
+//
+//	ncl-run -and app.and -kernel clamp -dest receiver \
+//	        -data "1,2,3,4" -n 4 -trace 1 -metrics app.ncl
+//
+// -trace N samples every Nth window for in-band hop tracing and prints
+// each traced window's hop timeline; -metrics dumps the deployment's
+// full metrics registry as JSON on exit.
 package main
 
 import (
@@ -20,9 +31,12 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"ncl"
+	"ncl/internal/core"
 	"ncl/internal/ncl/interp"
+	"ncl/internal/ncp"
 	"ncl/internal/pisa"
 )
 
@@ -34,9 +48,13 @@ func main() {
 	data := flag.String("data", "", "window data: per-param comma lists separated by ';'")
 	meta := flag.String("meta", "", "window metadata: k=v pairs, comma separated (seq, from, sender, wid, ...)")
 	repeat := flag.Int("n", 1, "process the window n times (observe stateful evolution)")
+	metrics := flag.Bool("metrics", false, "deploy end to end and print a JSON metrics snapshot on exit")
+	traceEvery := flag.Int("trace", 0, "deploy end to end and trace every Nth window (print hop timelines)")
+	from := flag.String("from", "", "end-to-end mode: sending host (default: first host in the AND)")
+	dest := flag.String("dest", "", "end-to-end mode: destination label (default: last host in the AND)")
 	flag.Parse()
 	if flag.NArg() != 1 || *andPath == "" || *kernel == "" {
-		fmt.Fprintln(os.Stderr, "usage: ncl-run -and <file.and> -kernel <name> [-loc s1] [-data ...] <file.ncl>")
+		fmt.Fprintln(os.Stderr, "usage: ncl-run -and <file.and> -kernel <name> [-loc s1] [-data ...] [-metrics] [-trace N] <file.ncl>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -48,6 +66,11 @@ func main() {
 
 	art, err := ncl.Build(string(nclSrc), string(andSrc), ncl.BuildOptions{WindowLen: *w})
 	must(err)
+
+	if *metrics || *traceEvery > 0 {
+		runE2E(art, *kernel, *data, *meta, *repeat, *traceEvery, *metrics, *from, *dest)
+		return
+	}
 
 	if *loc == "" {
 		for l := range art.Programs {
@@ -132,6 +155,114 @@ func main() {
 		if len(nonzero) > 0 {
 			fmt.Printf("  %-16s %s\n", r.Name, strings.Join(nonzero, " "))
 		}
+	}
+}
+
+// runE2E deploys the application on the in-memory fabric and drives the
+// command-line window end to end: sender host -> switches -> destination.
+// Traced windows print their hop timelines; -metrics dumps the
+// deployment registry as JSON.
+func runE2E(art *core.Artifact, kernel, data, meta string, repeat, traceEvery int, metrics bool, from, dest string) {
+	hosts := art.Net.Hosts()
+	if len(hosts) == 0 {
+		must(fmt.Errorf("the AND has no hosts (end-to-end mode needs one)"))
+	}
+	if from == "" {
+		from = hosts[0].Label
+	}
+	if dest == "" {
+		dest = hosts[len(hosts)-1].Label
+	}
+
+	dep, err := art.Deploy(ncl.Faults{})
+	must(err)
+	defer dep.Stop()
+
+	sender, ok := dep.Hosts[from]
+	if !ok {
+		must(fmt.Errorf("no host %q to send from", from))
+	}
+	if traceEvery > 0 {
+		sender.SetTraceEvery(traceEvery)
+	}
+
+	cfg := art.AppConfig()
+	specs, ok := cfg.OutSpecs[kernel]
+	if !ok {
+		must(fmt.Errorf("unknown outgoing kernel %q (known: %v)", kernel, cfg.SortedKernelNames()))
+	}
+	winData := make([][]uint64, len(specs))
+	parts := []string{}
+	if data != "" {
+		parts = strings.Split(data, ";")
+	}
+	for pi, sp := range specs {
+		vals := make([]uint64, sp.Elems)
+		if pi < len(parts) {
+			for ei, tok := range strings.Split(parts[pi], ",") {
+				if ei >= len(vals) {
+					break
+				}
+				v, err := strconv.ParseInt(strings.TrimSpace(tok), 0, 64)
+				must(err)
+				vals[ei] = uint64(v)
+			}
+		}
+		winData[pi] = vals
+	}
+	inv := ncl.Invocation{Kernel: kernel, Dest: dest}
+	if meta != "" {
+		inv.User = map[string]uint64{}
+		for _, kv := range strings.Split(meta, ",") {
+			key, val, found := strings.Cut(kv, "=")
+			if !found {
+				must(fmt.Errorf("bad -meta entry %q", kv))
+			}
+			v, err := strconv.ParseUint(strings.TrimSpace(val), 0, 64)
+			must(err)
+			inv.User[strings.TrimSpace(key)] = v
+		}
+	}
+
+	fmt.Printf("end-to-end: kernel %s, %s -> %s, %d window(s), trace every %d\n",
+		kernel, from, dest, repeat, traceEvery)
+	wid := sender.NewWid()
+	for seq := 0; seq < repeat; seq++ {
+		must(sender.OutWindow(inv, wid, uint32(seq), winData))
+	}
+
+	// Collect at the destination (windows consumed on-path — _drop,
+	// _reflect — never arrive; stop on the first quiet period).
+	if receiver, ok := dep.Hosts[dest]; ok {
+		for got := 0; got < repeat; got++ {
+			rw, err := receiver.Recv(2 * time.Second)
+			if err != nil {
+				fmt.Printf("(%d of %d windows arrived; the rest were consumed on-path or dropped)\n", got, repeat)
+				break
+			}
+			fmt.Printf("window seq=%d flags=%s payload=%dB\n", rw.Header.WindowSeq, rw.Header.FlagNames(), len(rw.Raw))
+			if len(rw.Trace) > 0 {
+				printTrace(rw.Trace)
+			}
+		}
+	}
+
+	if metrics {
+		out, err := dep.Obs.Snapshot().JSON()
+		must(err)
+		fmt.Println(string(out))
+	}
+}
+
+// printTrace renders a window's hop records as a timeline.
+func printTrace(hops []ncp.Hop) {
+	fmt.Printf("  trace (%d hops):\n", len(hops))
+	for _, h := range hops {
+		kind := "host"
+		if h.Kind == ncp.HopSwitch {
+			kind = "switch"
+		}
+		fmt.Printf("    %-6s %-4d %-8s %10.3fµs\n", kind, h.Loc, h.EventName(), float64(h.TimeNs)/1000)
 	}
 }
 

@@ -134,5 +134,12 @@ func main() {
 		dep.Switches["s1"].KernelWindows.Load(),
 		dep.Fabric.Stats("s1", "sink").Packets.Load(),
 		len(alerts) == heavy)
+
+	// Switch-side observability: the deployment registry's view of s1 —
+	// kernel executions, per-stage activity, table hits.
+	fmt.Println("\nswitch metrics:")
+	snap := dep.Obs.Snapshot()
+	fmt.Println(snap.Filter("switch.").Text())
+	fmt.Println(snap.Filter("pisa.").Text())
 	fmt.Println("telemetry OK")
 }

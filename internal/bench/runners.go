@@ -8,6 +8,7 @@ import (
 
 	"ncl/internal/core"
 	"ncl/internal/netsim"
+	"ncl/internal/obs"
 	"ncl/internal/runtime"
 )
 
@@ -22,6 +23,9 @@ type AllReduceRun struct {
 	Packets    uint64
 	SwitchWins uint64
 	MakespanUs float64 // simulated completion time over the AND's links
+	// Metrics is the deployment's full observability snapshot at the end
+	// of the run (host/switch/pisa/fabric/controller counters).
+	Metrics *obs.Snapshot
 }
 
 // BuildAllReduce compiles the Fig. 4 application for the given shape.
@@ -90,6 +94,7 @@ func RunINCAllReduce(art *core.Artifact, workers, dataLen int) (AllReduceRun, er
 	run.Packets = dep.Fabric.TotalPackets()
 	run.SwitchWins = dep.Switches["s1"].KernelWindows.Load()
 	run.MakespanUs = dep.Fabric.MakespanUs()
+	run.Metrics = dep.Obs.Snapshot()
 	return run, nil
 }
 
@@ -102,6 +107,8 @@ type KVSRun struct {
 	TotalBytes    uint64
 	ServerBytes   uint64
 	Wall          time.Duration
+	// Metrics is the deployment's observability snapshot after the run.
+	Metrics *obs.Snapshot
 }
 
 // RunINCKVS drives the Fig. 5 cache with a zipf(s) GET workload over
@@ -211,6 +218,7 @@ func RunINCKVS(keys, cacheCap, valBytes, requests int, skew float64, seed int64)
 	if st := dep.Fabric.Stats("s1", "server"); st != nil {
 		run.ServerBytes = st.Bytes.Load()
 	}
+	run.Metrics = dep.Obs.Snapshot()
 	return run, nil
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"ncl/internal/and"
 	"ncl/internal/netsim"
+	"ncl/internal/obs"
 	"ncl/internal/pisa"
 )
 
@@ -20,11 +21,42 @@ import (
 type Controller struct {
 	net      *and.Network
 	switches map[string]*netsim.SwitchNode
+	met      ctrlMetrics
+}
+
+// ctrlMetrics counts control-plane events under controller.*.
+type ctrlMetrics struct {
+	installs   *obs.Counter // controller.program_installs
+	ctrlWrites *obs.Counter // controller.ctrl_writes
+	mapInserts *obs.Counter // controller.map_inserts
+	mapDeletes *obs.Counter // controller.map_deletes
+}
+
+func newCtrlMetrics(r *obs.Registry) ctrlMetrics {
+	return ctrlMetrics{
+		installs:   r.Counter("controller.program_installs"),
+		ctrlWrites: r.Counter("controller.ctrl_writes"),
+		mapInserts: r.Counter("controller.map_inserts"),
+		mapDeletes: r.Counter("controller.map_deletes"),
+	}
 }
 
 // New creates a controller over the AND network.
 func New(net *and.Network) *Controller {
-	return &Controller{net: net, switches: map[string]*netsim.SwitchNode{}}
+	return &Controller{
+		net:      net,
+		switches: map[string]*netsim.SwitchNode{},
+		met:      newCtrlMetrics(obs.NewRegistry()), // private until SetObs
+	}
+}
+
+// SetObs re-homes the controller's event counters into the given
+// registry and cascades to every attached switch.
+func (c *Controller) SetObs(r *obs.Registry) {
+	c.met = newCtrlMetrics(r)
+	for _, sn := range c.switches {
+		sn.SetObs(r)
+	}
 }
 
 // AttachSwitch registers a switch device under its AND label.
@@ -57,6 +89,7 @@ func (c *Controller) InstallAll(programs map[string]*pisa.Program) error {
 		if err := sn.Install(prog, sw.ID); err != nil {
 			return fmt.Errorf("controller: installing on %s: %w", sw.Label, err)
 		}
+		c.met.installs.Inc()
 		sn.SetRoutes(hops[sw.Label])
 		sn.SetHosts(hostByID)
 	}
@@ -95,6 +128,7 @@ func (c *Controller) CtrlWrite(global string, idx int, value uint64) error {
 			return fmt.Errorf("controller: %s: %w", sn.Label(), err)
 		}
 	}
+	c.met.ctrlWrites.Inc()
 	return nil
 }
 
@@ -114,6 +148,7 @@ func (c *Controller) MapInsert(loc, name string, key, val uint64) error {
 	if !ok {
 		return fmt.Errorf("controller: no switch %q", loc)
 	}
+	c.met.mapInserts.Inc()
 	return sn.Device().InstallEntry(name, key, val)
 }
 
@@ -123,6 +158,7 @@ func (c *Controller) MapDelete(loc, name string, key uint64) error {
 	if !ok {
 		return fmt.Errorf("controller: no switch %q", loc)
 	}
+	c.met.mapDeletes.Inc()
 	return sn.Device().DeleteEntry(name, key)
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"ncl/internal/controller"
 	"ncl/internal/netsim"
+	"ncl/internal/obs"
 	"ncl/internal/runtime"
 )
 
@@ -18,13 +19,19 @@ type Deployment struct {
 	Controller *controller.Controller
 	Hosts      map[string]*runtime.Host
 	Switches   map[string]*netsim.SwitchNode
+	// Obs aggregates every component's metrics for this deployment: host
+	// runtime counters, switch/pisa execution counts, fabric queueing,
+	// and controller events. Snapshot it for the -metrics surface.
+	Obs *obs.Registry
 }
 
 // Deploy instantiates the artifact on an in-memory fabric with the given
 // fault plan: one switch device per AND switch, one runtime host per AND
 // host, programs installed, routes populated.
 func (a *Artifact) Deploy(faults netsim.Faults) (*Deployment, error) {
+	reg := obs.NewRegistry()
 	fab := netsim.New(a.Net, faults)
+	fab.SetObs(reg)
 	ctrl := controller.New(a.Net)
 	dep := &Deployment{
 		Artifact:   a,
@@ -32,6 +39,7 @@ func (a *Artifact) Deploy(faults netsim.Faults) (*Deployment, error) {
 		Controller: ctrl,
 		Hosts:      map[string]*runtime.Host{},
 		Switches:   map[string]*netsim.SwitchNode{},
+		Obs:        reg,
 	}
 	for _, sw := range a.Net.Switches() {
 		sn := netsim.NewSwitchNode(sw.Label, a.Target)
@@ -43,7 +51,9 @@ func (a *Artifact) Deploy(faults netsim.Faults) (*Deployment, error) {
 		}
 		dep.Switches[sw.Label] = sn
 	}
+	ctrl.SetObs(reg) // cascades to the attached switches and PISA devices
 	cfg := a.AppConfig()
+	cfg.Obs = reg
 	hops := a.Net.NextHops()
 	for _, hn := range a.Net.Hosts() {
 		host := runtime.NewHost(hn.Label, hn.ID, hn.Role, cfg, fab, hops[hn.Label])
@@ -69,6 +79,7 @@ type UDPDeployment struct {
 	Controller *controller.Controller
 	Hosts      map[string]*runtime.Host
 	Switches   map[string]*netsim.SwitchNode
+	Obs        *obs.Registry
 }
 
 // DeployUDP instantiates the artifact over UDP sockets. Control-plane
@@ -78,6 +89,7 @@ func (a *Artifact) DeployUDP() (*UDPDeployment, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := obs.NewRegistry()
 	ctrl := controller.New(a.Net)
 	dep := &UDPDeployment{
 		Artifact:   a,
@@ -85,6 +97,7 @@ func (a *Artifact) DeployUDP() (*UDPDeployment, error) {
 		Controller: ctrl,
 		Hosts:      map[string]*runtime.Host{},
 		Switches:   map[string]*netsim.SwitchNode{},
+		Obs:        reg,
 	}
 	for _, sw := range a.Net.Switches() {
 		sn := netsim.NewSwitchNode(sw.Label, a.Target)
@@ -98,7 +111,9 @@ func (a *Artifact) DeployUDP() (*UDPDeployment, error) {
 		}
 		dep.Switches[sw.Label] = sn
 	}
+	ctrl.SetObs(reg)
 	cfg := a.AppConfig()
+	cfg.Obs = reg
 	hops := a.Net.NextHops()
 	for _, hn := range a.Net.Hosts() {
 		host := runtime.NewHost(hn.Label, hn.ID, hn.Role, cfg, un, hops[hn.Label])

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"ncl/internal/ncp"
+	"ncl/internal/netsim"
+	"ncl/internal/runtime"
+)
+
+const traceNCL = `
+_net_ _at_("s1") _ctrl_ int ceiling;
+
+_net_ _out_ void clamp(int *data) {
+    for (unsigned i = 0; i < window.len; ++i)
+        if (data[i] > ceiling) data[i] = ceiling;
+}
+
+_net_ _in_ void deliver(int *data, _ext_ int *out) {
+    for (unsigned i = 0; i < window.len; ++i)
+        out[i] = data[i];
+}
+`
+
+const traceAND = `
+switch s1 id=1
+host sender role=0
+host receiver role=1
+link sender s1
+link s1 receiver
+`
+
+// TestTracedWindowEndToEnd sends a traced window through the quickstart
+// topology and checks the reassembled hop timeline: at least the sender's
+// send record, the switch's exec record, and the receiver's deliver
+// record, with monotonically non-decreasing virtual times.
+func TestTracedWindowEndToEnd(t *testing.T) {
+	const w = 8
+	art, err := Build(traceNCL, traceAND, BuildOptions{WindowLen: w, ModuleName: "trace"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := art.Deploy(netsim.Faults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Stop()
+	if err := dep.Controller.CtrlWrite("ceiling", 0, 100); err != nil {
+		t.Fatal(err)
+	}
+
+	sender := dep.Hosts["sender"]
+	sender.SetTraceEvery(1)
+	data := make([]uint64, w)
+	for i := range data {
+		data[i] = uint64(i * 30)
+	}
+	if err := sender.Out(runtime.Invocation{Kernel: "clamp", Dest: "receiver"}, [][]uint64{data}); err != nil {
+		t.Fatal(err)
+	}
+
+	out := make([]uint64, w)
+	rw, err := dep.Hosts["receiver"].In("deliver", [][]uint64{out}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.Header.Flags&ncp.FlagTrace == 0 {
+		t.Error("delivered window should carry FlagTrace")
+	}
+	if len(rw.Trace) < 3 {
+		t.Fatalf("trace has %d hops, want >= 3 (send, exec, deliver): %+v", len(rw.Trace), rw.Trace)
+	}
+
+	// The path must start at the sender, pass the switch kernel, and end
+	// with this receiver's deliver record.
+	first, last := rw.Trace[0], rw.Trace[len(rw.Trace)-1]
+	if first.Kind != ncp.HopHost || first.Event != ncp.EventSend {
+		t.Errorf("first hop should be the host send record: %+v", first)
+	}
+	if last.Kind != ncp.HopHost || last.Event != ncp.EventDeliver {
+		t.Errorf("last hop should be the host deliver record: %+v", last)
+	}
+	sawExec := false
+	for _, h := range rw.Trace {
+		if h.Kind == ncp.HopSwitch && h.Event == ncp.EventExec {
+			sawExec = true
+		}
+	}
+	if !sawExec {
+		t.Errorf("no switch exec hop in trace: %+v", rw.Trace)
+	}
+
+	// Virtual times are monotone non-decreasing along the path.
+	for i := 1; i < len(rw.Trace); i++ {
+		if rw.Trace[i].TimeNs < rw.Trace[i-1].TimeNs {
+			t.Errorf("hop %d time %d precedes hop %d time %d",
+				i, rw.Trace[i].TimeNs, i-1, rw.Trace[i-1].TimeNs)
+		}
+	}
+
+	// The deployment registry agrees that one window was traced end to end.
+	snap := dep.Obs.Snapshot()
+	if got := snap.Counters["host.sender.traced_windows"]; got != 1 {
+		t.Errorf("host.sender.traced_windows = %d, want 1", got)
+	}
+	if got := snap.Counters["switch.s1.kernel_windows"]; got != 1 {
+		t.Errorf("switch.s1.kernel_windows = %d, want 1", got)
+	}
+	if got := snap.Counters["host.receiver.windows_received"]; got != 1 {
+		t.Errorf("host.receiver.windows_received = %d, want 1", got)
+	}
+}

@@ -18,6 +18,7 @@ package ncp
 import (
 	"encoding/binary"
 	"fmt"
+	"strings"
 )
 
 // Wire constants.
@@ -46,7 +47,50 @@ const (
 	// FlagAck marks an acknowledgment: no payload, same wid/seq as the
 	// acknowledged window. Switches forward acks without executing kernels.
 	FlagAck = 1 << 3
+	// FlagTrace marks a window carrying in-band hop records (the
+	// observability extension over the §4.2 user-field space): every host
+	// and switch the window traverses appends a packed (location, event,
+	// vtime) record, and the receiver reassembles them into a trace.
+	FlagTrace = 1 << 4
 )
+
+// KnownFlags is the set of flag bits this wire version understands.
+// Decode rejects packets with any other bit set (forward-compat guard:
+// an unknown flag may change packet layout, as FlagTrace does).
+const KnownFlags = FlagReflected | FlagBcast | FlagAckRequest | FlagAck | FlagTrace
+
+// flagNames lists flag bits in wire order for FlagNames.
+var flagNames = []struct {
+	bit  uint8
+	name string
+}{
+	{FlagReflected, "reflected"},
+	{FlagBcast, "bcast"},
+	{FlagAckRequest, "ack-req"},
+	{FlagAck, "ack"},
+	{FlagTrace, "trace"},
+}
+
+// FlagNames renders the header's flag bits as a "|"-separated name list
+// ("none" when no flag is set), for trace and metric output instead of
+// raw hex. Unknown bits render as "unknown(0xNN)".
+func (h *Header) FlagNames() string {
+	if h.Flags == 0 {
+		return "none"
+	}
+	var parts []string
+	rest := h.Flags
+	for _, f := range flagNames {
+		if rest&f.bit != 0 {
+			parts = append(parts, f.name)
+			rest &^= f.bit
+		}
+	}
+	if rest != 0 {
+		parts = append(parts, fmt.Sprintf("unknown(%#02x)", rest))
+	}
+	return strings.Join(parts, "|")
+}
 
 // Header is the NCP packet header.
 type Header struct {
@@ -79,16 +123,34 @@ func IsNCP(pkt []byte) bool {
 // single packet. The header's UserCount, PayloadLen, and Checksum are set
 // from the arguments.
 func Marshal(h *Header, userVals []uint64, payload []byte) ([]byte, error) {
+	return MarshalHops(h, userVals, nil, payload)
+}
+
+// MarshalHops is Marshal with an in-band hop trace. When hops is
+// non-empty (or FlagTrace already set), the packet carries a trace
+// section in the user-field space: a one-byte hop count followed by one
+// packed 8-byte record per hop, between the user values and the payload.
+func MarshalHops(h *Header, userVals []uint64, hops []Hop, payload []byte) ([]byte, error) {
 	if len(userVals) > MaxUserFields {
 		return nil, fmt.Errorf("ncp: %d user fields exceed the maximum of %d", len(userVals), MaxUserFields)
 	}
 	if len(payload) > 0xFFFF {
 		return nil, fmt.Errorf("ncp: payload of %d bytes exceeds 64KiB", len(payload))
 	}
+	if len(hops) > MaxHops {
+		hops = hops[len(hops)-MaxHops:] // keep the most recent hops
+	}
+	if len(hops) > 0 {
+		h.Flags |= FlagTrace
+	}
+	traceBytes := 0
+	if h.Flags&FlagTrace != 0 {
+		traceBytes = 1 + 8*len(hops)
+	}
 	h.Version = Version
 	h.UserCount = uint8(len(userVals))
 	h.PayloadLen = uint16(len(payload))
-	buf := make([]byte, HeaderSize+8*len(userVals)+len(payload))
+	buf := make([]byte, HeaderSize+8*len(userVals)+traceBytes+len(payload))
 	be := binary.BigEndian
 	be.PutUint16(buf[0:2], Magic)
 	buf[2] = Version
@@ -113,6 +175,14 @@ func Marshal(h *Header, userVals []uint64, payload []byte) ([]byte, error) {
 		be.PutUint64(buf[off:off+8], v)
 		off += 8
 	}
+	if h.Flags&FlagTrace != 0 {
+		buf[off] = uint8(len(hops))
+		off++
+		for _, hop := range hops {
+			be.PutUint64(buf[off:off+8], hop.Pack())
+			off += 8
+		}
+	}
 	copy(buf[off:], payload)
 	h.Checksum = checksum(buf)
 	be.PutUint16(buf[32:34], h.Checksum)
@@ -120,10 +190,19 @@ func Marshal(h *Header, userVals []uint64, payload []byte) ([]byte, error) {
 }
 
 // Decode parses an NCP packet, verifying magic, version, structure, and
-// checksum. The returned payload aliases pkt.
+// checksum. The returned payload aliases pkt. Hop records of traced
+// windows are discarded; use DecodeFull to keep them.
 func Decode(pkt []byte) (*Header, []uint64, []byte, error) {
+	h, userVals, _, payload, err := DecodeFull(pkt)
+	return h, userVals, payload, err
+}
+
+// DecodeFull parses an NCP packet including any in-band hop trace,
+// verifying magic, version, known flags, structure, and checksum. The
+// returned payload aliases pkt.
+func DecodeFull(pkt []byte) (*Header, []uint64, []Hop, []byte, error) {
 	if !IsNCP(pkt) {
-		return nil, nil, nil, ErrNotNCP
+		return nil, nil, nil, nil, ErrNotNCP
 	}
 	be := binary.BigEndian
 	h := &Header{
@@ -143,14 +222,26 @@ func Decode(pkt []byte) (*Header, []uint64, []byte, error) {
 		PayloadLen: be.Uint16(pkt[34:36]),
 	}
 	if h.Version != Version {
-		return nil, nil, nil, fmt.Errorf("ncp: unsupported version %d", h.Version)
+		return nil, nil, nil, nil, fmt.Errorf("ncp: unsupported version %d", h.Version)
+	}
+	if unknown := h.Flags &^ KnownFlags; unknown != 0 {
+		return nil, nil, nil, nil, fmt.Errorf("ncp: unknown flag bits %#02x (known: %#02x)", unknown, uint8(KnownFlags))
 	}
 	want := HeaderSize + 8*int(h.UserCount) + int(h.PayloadLen)
+	traceOff := HeaderSize + 8*int(h.UserCount)
+	nHops := 0
+	if h.Flags&FlagTrace != 0 {
+		if len(pkt) < traceOff+1 {
+			return nil, nil, nil, nil, fmt.Errorf("ncp: truncated packet: no room for the trace count")
+		}
+		nHops = int(pkt[traceOff])
+		want += 1 + 8*nHops
+	}
 	if len(pkt) < want {
-		return nil, nil, nil, fmt.Errorf("ncp: truncated packet: %d bytes, header implies %d", len(pkt), want)
+		return nil, nil, nil, nil, fmt.Errorf("ncp: truncated packet: %d bytes, header implies %d", len(pkt), want)
 	}
 	if got := verifyChecksum(pkt[:want]); got != h.Checksum {
-		return nil, nil, nil, fmt.Errorf("ncp: checksum mismatch (%#04x != %#04x)", got, h.Checksum)
+		return nil, nil, nil, nil, fmt.Errorf("ncp: checksum mismatch (%#04x != %#04x)", got, h.Checksum)
 	}
 	var userVals []uint64
 	off := HeaderSize
@@ -158,7 +249,15 @@ func Decode(pkt []byte) (*Header, []uint64, []byte, error) {
 		userVals = append(userVals, be.Uint64(pkt[off:off+8]))
 		off += 8
 	}
-	return h, userVals, pkt[off : off+int(h.PayloadLen)], nil
+	var hops []Hop
+	if h.Flags&FlagTrace != 0 {
+		off++ // hop count byte
+		for i := 0; i < nHops; i++ {
+			hops = append(hops, UnpackHop(be.Uint64(pkt[off:off+8])))
+			off += 8
+		}
+	}
+	return h, userVals, hops, pkt[off : off+int(h.PayloadLen)], nil
 }
 
 // checksum computes the 16-bit one's-complement sum over buf with the

@@ -1,0 +1,87 @@
+package ncp
+
+// In-band hop tracing (the observability extension): a window sent with
+// FlagTrace accumulates one packed record per hop — who saw it, what they
+// did, and the fabric's virtual time when they did — in the packet's
+// user-field space (see MarshalHops for the wire layout). The receiver's
+// runtime reassembles the records into a trace, the PINT-style
+// "telemetry rides the packet" pattern the paper cites.
+//
+// A record packs into one uint64 like a user-field value:
+//
+//	bits 63..48  location id (host id or switch location id)
+//	bit  47      location kind (0 = host, 1 = switch)
+//	bits 46..44  event
+//	bits 43..0   virtual time in nanoseconds (~4.8h range)
+
+// Hop location kinds.
+const (
+	HopHost   = 0
+	HopSwitch = 1
+)
+
+// Hop events.
+const (
+	// EventSend: the originating host transmitted the window.
+	EventSend = 1
+	// EventForward: a switch routed the window without executing a kernel
+	// (unknown kernel, fragment, or acknowledgment).
+	EventForward = 2
+	// EventExec: a switch executed a kernel on the window.
+	EventExec = 3
+	// EventDeliver: the destination host's runtime delivered the window.
+	EventDeliver = 4
+)
+
+// MaxHops bounds the trace a packet can carry; older records are shed
+// first when a path is longer (MarshalHops keeps the most recent).
+const MaxHops = 32
+
+// Hop is one trace record.
+type Hop struct {
+	Loc    uint16 // host id or switch location id
+	Kind   uint8  // HopHost or HopSwitch
+	Event  uint8  // EventSend..EventDeliver
+	TimeNs uint64 // virtual time, nanoseconds (44 bits on the wire)
+}
+
+const hopTimeMask = (uint64(1) << 44) - 1
+
+// Pack encodes the hop into its uint64 wire form.
+func (h Hop) Pack() uint64 {
+	v := uint64(h.Loc) << 48
+	if h.Kind == HopSwitch {
+		v |= 1 << 47
+	}
+	v |= uint64(h.Event&0x7) << 44
+	v |= h.TimeNs & hopTimeMask
+	return v
+}
+
+// UnpackHop decodes a wire-form hop record.
+func UnpackHop(v uint64) Hop {
+	h := Hop{
+		Loc:    uint16(v >> 48),
+		Event:  uint8(v >> 44 & 0x7),
+		TimeNs: v & hopTimeMask,
+	}
+	if v&(1<<47) != 0 {
+		h.Kind = HopSwitch
+	}
+	return h
+}
+
+// EventName renders the event for trace output.
+func (h Hop) EventName() string {
+	switch h.Event {
+	case EventSend:
+		return "send"
+	case EventForward:
+		return "forward"
+	case EventExec:
+		return "exec"
+	case EventDeliver:
+		return "deliver"
+	}
+	return "unknown"
+}

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"ncl/internal/and"
+	"ncl/internal/obs"
 )
 
 // Packet is one unit on the wire. Data is owned by the receiver after
@@ -88,6 +89,11 @@ type Fabric struct {
 	pending map[linkKey]*delivery // reorder hold-back slot per link
 
 	vt vclock // virtual-time bookkeeping (vtime.go)
+
+	// queueWait records virtual-time queueing delay (µs) whenever a send
+	// waits for a link to finish serializing earlier traffic
+	// (fabric.queue_wait_us; SetObs re-homes it).
+	queueWait *obs.Histogram
 }
 
 type delivery struct {
@@ -109,11 +115,20 @@ func New(network *and.Network, faults Faults) *Fabric {
 		pending: map[linkKey]*delivery{},
 		vt:      vclock{linkFree: map[linkKey]float64{}},
 	}
+	f.SetObs(obs.NewRegistry()) // private until a deployment re-homes it
 	for _, l := range network.Links {
 		f.stats[linkKey{l.A, l.B}] = &LinkStats{}
 		f.stats[linkKey{l.B, l.A}] = &LinkStats{}
 	}
 	return f
+}
+
+// SetObs re-homes the fabric's histogram into the given registry (call
+// before traffic flows).
+func (f *Fabric) SetObs(r *obs.Registry) {
+	f.vt.mu.Lock()
+	f.queueWait = r.Histogram("fabric.queue_wait_us", nil)
+	f.vt.mu.Unlock()
 }
 
 // Network returns the underlying AND.

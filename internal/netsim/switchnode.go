@@ -2,10 +2,11 @@ package netsim
 
 import (
 	"sort"
-	"sync/atomic"
+	"sync"
 
 	"ncl/internal/ncl/interp"
 	"ncl/internal/ncp"
+	"ncl/internal/obs"
 	"ncl/internal/pisa"
 )
 
@@ -23,20 +24,58 @@ type SwitchNode struct {
 	hostByID   map[uint32]string // host id -> label (reflect targets)
 	userFields []string          // wire order of _win_ user fields
 
-	// Counters for the harness.
-	KernelWindows atomic.Uint64 // windows executed by kernels
-	ForwardedRaw  atomic.Uint64 // non-NCP or unknown-kernel packets routed
-	Errors        atomic.Uint64
+	// Counters for the harness, homed in an obs registry under
+	// switch.<label>.* (SetObs re-homes them into a deployment's registry;
+	// the field types keep the atomic.Uint64 Add/Load surface).
+	KernelWindows *obs.Counter // windows executed by kernels
+	ForwardedRaw  *obs.Counter // non-NCP or unknown-kernel packets routed
+	Errors        *obs.Counter
+
+	obsMu     sync.Mutex
+	reg       *obs.Registry
+	perKernel map[uint32]*obs.Counter // switch.<label>.kernel.<name>.windows
 }
 
 // NewSwitchNode creates a switch for the given AND label.
 func NewSwitchNode(label string, target pisa.TargetConfig) *SwitchNode {
-	return &SwitchNode{
+	s := &SwitchNode{
 		label:    label,
 		sw:       pisa.NewSwitch(target),
 		routes:   map[string]string{},
 		hostByID: map[uint32]string{},
 	}
+	// A private registry until a deployment re-homes the counters: two
+	// standalone switches with the same label must not share counts.
+	s.SetObs(obs.NewRegistry())
+	return s
+}
+
+// SetObs re-homes the switch's counters (and the underlying PISA
+// device's) into the given registry. Call before traffic flows — counts
+// accumulated in the previous registry stay there.
+func (s *SwitchNode) SetObs(r *obs.Registry) {
+	s.obsMu.Lock()
+	s.reg = r
+	p := "switch." + s.label + "."
+	s.KernelWindows = r.Counter(p + "kernel_windows")
+	s.ForwardedRaw = r.Counter(p + "forwarded_raw")
+	s.Errors = r.Counter(p + "errors")
+	s.perKernel = map[uint32]*obs.Counter{}
+	s.obsMu.Unlock()
+	s.sw.SetObs(r, s.label)
+}
+
+// kernelCounter returns the per-kernel execution counter, caching the
+// registry handle on first use.
+func (s *SwitchNode) kernelCounter(k *pisa.Kernel) *obs.Counter {
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
+	c, ok := s.perKernel[k.ID]
+	if !ok {
+		c = s.reg.Counter("switch." + s.label + ".kernel." + k.Name + ".windows")
+		s.perKernel[k.ID] = c
+	}
+	return c
 }
 
 // Label implements Node.
@@ -102,7 +141,7 @@ func (s *SwitchNode) Receive(f Sender, pkt *Packet, from string) {
 		s.forward(f, pkt, from)
 		return
 	}
-	h, userVals, payload, err := ncp.Decode(pkt.Data)
+	h, userVals, hops, payload, err := ncp.DecodeFull(pkt.Data)
 	if err != nil {
 		// Corrupted NCP traffic is dropped, like a failed checksum anywhere.
 		s.Errors.Add(1)
@@ -118,6 +157,16 @@ func (s *SwitchNode) Receive(f Sender, pkt *Packet, from string) {
 		// pass fragments through, §6), or an acknowledgment: normal
 		// forwarding without kernel execution.
 		s.ForwardedRaw.Add(1)
+		if h.Flags&ncp.FlagTrace != 0 {
+			// Traced windows still record the pass-through hop.
+			hops = append(hops, ncp.Hop{
+				Loc: uint16(s.locID), Kind: ncp.HopSwitch,
+				Event: ncp.EventForward, TimeNs: switchTimeNs(pkt.VTimeUs),
+			})
+			if out, err := ncp.MarshalHops(h, userVals, hops, payload); err == nil {
+				pkt = &Packet{Src: pkt.Src, Dst: pkt.Dst, Data: out, VTimeUs: pkt.VTimeUs}
+			}
+		}
 		s.forward(f, pkt, from)
 		return
 	}
@@ -130,15 +179,23 @@ func (s *SwitchNode) Receive(f Sender, pkt *Packet, from string) {
 			sub := *h
 			sub.BatchCount = 1
 			sub.WindowSeq = h.WindowSeq + uint32(k)
-			s.execOne(f, pkt, from, kernel, &sub, userVals, payload[k*per:(k+1)*per])
+			s.execOne(f, pkt, from, kernel, &sub, userVals, hops, payload[k*per:(k+1)*per])
 		}
 		return
 	}
-	s.execOne(f, pkt, from, kernel, h, userVals, payload)
+	s.execOne(f, pkt, from, kernel, h, userVals, hops, payload)
+}
+
+// switchTimeNs converts a packet's virtual time to the hop-record clock.
+func switchTimeNs(us float64) uint64 {
+	if us <= 0 {
+		return 0
+	}
+	return uint64(us * 1000)
 }
 
 // execOne runs one window through the pipeline and routes the outcome.
-func (s *SwitchNode) execOne(f Sender, pkt *Packet, from string, kernel *pisa.Kernel, h *ncp.Header, userVals []uint64, payload []byte) {
+func (s *SwitchNode) execOne(f Sender, pkt *Packet, from string, kernel *pisa.Kernel, h *ncp.Header, userVals []uint64, hops []ncp.Hop, payload []byte) {
 	win, err := s.buildWindow(kernel, h, userVals, payload)
 	if err != nil {
 		s.Errors.Add(1)
@@ -150,12 +207,21 @@ func (s *SwitchNode) execOne(f Sender, pkt *Packet, from string, kernel *pisa.Ke
 		return
 	}
 	s.KernelWindows.Add(1)
+	s.kernelCounter(kernel).Inc()
+	if h.Flags&ncp.FlagTrace != 0 {
+		// Full-capacity append: unbatched sub-windows each extend their
+		// own copy rather than aliasing the shared prefix.
+		hops = append(hops[:len(hops):len(hops)], ncp.Hop{
+			Loc: uint16(s.locID), Kind: ncp.HopSwitch,
+			Event: ncp.EventExec, TimeNs: switchTimeNs(pkt.VTimeUs + SwitchDelayUs),
+		})
+	}
 
 	switch dec.Kind {
 	case interp.Drop:
 		return
 	case interp.Pass:
-		out := s.repack(h, userVals, kernel, win, 0)
+		out := s.repack(h, userVals, hops, kernel, win, 0)
 		npkt := &Packet{Src: pkt.Src, Dst: pkt.Dst, Data: out, VTimeUs: pkt.VTimeUs + SwitchDelayUs}
 		if dec.Label != "" {
 			npkt.Dst = dec.Label
@@ -167,7 +233,7 @@ func (s *SwitchNode) execOne(f Sender, pkt *Packet, from string, kernel *pisa.Ke
 			s.Errors.Add(1)
 			return
 		}
-		out := s.repack(h, userVals, kernel, win, ncp.FlagReflected)
+		out := s.repack(h, userVals, hops, kernel, win, ncp.FlagReflected)
 		s.forward(f, &Packet{Src: s.label, Dst: target, Data: out, VTimeUs: pkt.VTimeUs + SwitchDelayUs}, from)
 	case interp.Bcast:
 		// §4.1 verbatim: "_bcast() sends a window to all devices, one hop
@@ -177,7 +243,7 @@ func (s *SwitchNode) execOne(f Sender, pkt *Packet, from string, kernel *pisa.Ke
 		// AllReduce test), which is exactly the programmable-forwarding
 		// control the paper gives kernels.
 		for _, nb := range f.Network().Neighbors(s.label) {
-			out := s.repack(h, userVals, kernel, win, ncp.FlagBcast)
+			out := s.repack(h, userVals, hops, kernel, win, ncp.FlagBcast)
 			if err := f.Send(s.label, nb, &Packet{Src: s.label, Dst: nb, Data: out, VTimeUs: pkt.VTimeUs + SwitchDelayUs}); err != nil {
 				s.Errors.Add(1)
 			}
@@ -232,7 +298,7 @@ func (s *SwitchNode) buildWindow(k *pisa.Kernel, h *ncp.Header, userVals []uint6
 }
 
 // repack re-serializes a (possibly modified) window.
-func (s *SwitchNode) repack(h *ncp.Header, userVals []uint64, k *pisa.Kernel, win *interp.Window, extraFlags uint8) []byte {
+func (s *SwitchNode) repack(h *ncp.Header, userVals []uint64, hops []ncp.Hop, k *pisa.Kernel, win *interp.Window, extraFlags uint8) []byte {
 	specs := make([]ncp.ParamSpec, len(k.Params))
 	for i, pl := range k.Params {
 		specs[i] = ncp.ParamSpec{Elems: pl.Elems, Bytes: pl.Bits / 8, Signed: pl.Signed}
@@ -244,7 +310,7 @@ func (s *SwitchNode) repack(h *ncp.Header, userVals []uint64, k *pisa.Kernel, wi
 	}
 	nh := *h
 	nh.Flags |= extraFlags
-	out, err := ncp.Marshal(&nh, userVals, payload)
+	out, err := ncp.MarshalHops(&nh, userVals, hops, payload)
 	if err != nil {
 		s.Errors.Add(1)
 		return nil

@@ -35,6 +35,9 @@ func (f *Fabric) stampSend(from, to string, pkt *Packet) {
 	f.vt.mu.Lock()
 	depart := pkt.VTimeUs
 	if free := f.vt.linkFree[key]; free > depart {
+		// The link is still serializing earlier traffic: the packet queues
+		// in virtual time. The wait is the fabric's congestion signal.
+		f.queueWait.Observe(free - depart)
 		depart = free
 	}
 	f.vt.linkFree[key] = depart + txUs

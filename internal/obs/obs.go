@@ -1,0 +1,220 @@
+// Package obs is the observability layer of the NCL system: a
+// dependency-free metrics subsystem (atomic counters, gauges, and
+// fixed-bucket latency histograms behind a named registry) used by the
+// host runtime, the switch model, the fabric, and the controller.
+//
+// Metric names are hierarchical, dot-separated, lowercase:
+//
+//	host.<label>.windows_sent
+//	switch.<label>.kernel_windows
+//	switch.<label>.kernel.<name>.windows
+//	pisa.<label>.stage.<i>.execs
+//	fabric.queue_wait_us
+//	controller.program_installs
+//
+// A Registry hands out metric handles by name; handles are safe for
+// concurrent use and cheap enough for hot paths (one atomic op per
+// update). Components cache handles at construction/install time so the
+// data plane never performs name lookups. Snapshot produces a consistent
+// point-in-time export in JSON or text form (see snapshot.go).
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Store overwrites the value (counter resets between benchmark phases).
+func (c *Counter) Store(n uint64) { c.v.Store(n) }
+
+// Gauge is a value that can move in both directions.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set overwrites the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the value by delta (negative deltas allowed).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Histogram accumulates observations into fixed buckets. Bounds are
+// inclusive upper limits in ascending order; one extra overflow bucket
+// catches everything above the last bound. Observe is lock-free.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is overflow
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// LatencyBucketsUs is the default bucket layout for microsecond
+// latencies: a 1-2.5-5 decade ladder from 1µs to 100ms.
+var LatencyBucketsUs = []float64{
+	1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+	1000, 2500, 5000, 10000, 25000, 50000, 100000,
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// within the containing bucket. Returns 0 with no observations; values in
+// the overflow bucket report the last bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var seen float64
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if seen+c >= rank && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if i >= len(h.bounds) {
+				return h.bounds[len(h.bounds)-1] // overflow: clamp
+			}
+			hi := h.bounds[i]
+			return lo + (hi-lo)*(rank-seen)/c
+		}
+		seen += c
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Registry is a named collection of metrics. The zero value is not
+// usable; create with NewRegistry. Lookups create the metric on first
+// use, so a name always resolves; creation is idempotent and the same
+// handle is returned to every caller.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// std is the process-wide default registry, used by components that were
+// not wired to a deployment-scoped registry.
+var std = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return std }
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds if needed (nil bounds = LatencyBucketsUs). Bounds of an
+// existing histogram are not changed.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	if bounds == nil {
+		bounds = LatencyBucketsUs
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.histograms[name]; ok {
+		return h
+	}
+	h = newHistogram(bounds)
+	r.histograms[name] = h
+	return h
+}

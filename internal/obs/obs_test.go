@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b")
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Errorf("counter = %d, want 5", c.Load())
+	}
+	if r.Counter("a.b") != c {
+		t.Error("same name must return the same counter handle")
+	}
+	g := r.Gauge("a.g")
+	g.Set(7)
+	g.Add(-3)
+	if g.Load() != 4 {
+		t.Errorf("gauge = %d, want 4", g.Load())
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{10, 100, 1000})
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i)) // uniform 1..100
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-5050) > 1e-9 {
+		t.Errorf("sum = %v, want 5050", h.Sum())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 10 || p50 > 100 {
+		t.Errorf("p50 = %v, want within (10,100]", p50)
+	}
+	// Overflow bucket: values beyond the last bound clamp to it.
+	h.Observe(99999)
+	if q := h.Quantile(1.0); q != 1000 {
+		t.Errorf("overflow quantile = %v, want 1000 (clamped)", q)
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("empty", nil)
+	if q := h.Quantile(0.99); q != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", q)
+	}
+}
+
+func TestSnapshotJSONAndText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("host.a.windows_sent").Add(3)
+	r.Gauge("ctrl.version").Set(2)
+	r.Histogram("host.a.ack_rtt_us", nil).Observe(42)
+	s := r.Snapshot()
+
+	raw, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if back.Counters["host.a.windows_sent"] != 3 {
+		t.Errorf("counter lost in JSON: %v", back.Counters)
+	}
+	if back.Histograms["host.a.ack_rtt_us"].Count != 1 {
+		t.Errorf("histogram lost in JSON: %v", back.Histograms)
+	}
+
+	txt := s.Text()
+	if !strings.Contains(txt, "host.a.windows_sent") || !strings.Contains(txt, "count=1") {
+		t.Errorf("text export missing entries:\n%s", txt)
+	}
+}
+
+func TestSnapshotFilter(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("switch.s1.kernel_windows").Add(1)
+	r.Counter("host.a.windows_sent").Add(1)
+	f := r.Snapshot().Filter("switch.")
+	if len(f.Counters) != 1 {
+		t.Errorf("filter kept %d counters, want 1", len(f.Counters))
+	}
+	if _, ok := f.Counters["switch.s1.kernel_windows"]; !ok {
+		t.Error("filter dropped the matching counter")
+	}
+}
+
+// TestConcurrentWritersAndSnapshots is the -race exercise: parallel
+// writers on shared and fresh metrics while readers snapshot.
+func TestConcurrentWritersAndSnapshots(t *testing.T) {
+	r := NewRegistry()
+	const writers = 8
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Counter("shared.counter").Inc()
+				r.Counter("per.writer." + string(rune('a'+w))).Inc()
+				r.Gauge("shared.gauge").Add(1)
+				r.Histogram("shared.hist", nil).Observe(float64(i % 300))
+			}
+		}(w)
+	}
+	// Concurrent snapshot readers.
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					s := r.Snapshot()
+					if _, err := s.JSON(); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+
+	if got := r.Counter("shared.counter").Load(); got != writers*perWriter {
+		t.Errorf("shared counter = %d, want %d", got, writers*perWriter)
+	}
+	if got := r.Histogram("shared.hist", nil).Count(); got != writers*perWriter {
+		t.Errorf("histogram count = %d, want %d", got, writers*perWriter)
+	}
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// HistSnapshot is a point-in-time view of one histogram.
+type HistSnapshot struct {
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"` // len(Bounds)+1; last is overflow
+	P50    float64   `json:"p50"`
+	P90    float64   `json:"p90"`
+	P99    float64   `json:"p99"`
+}
+
+// Snapshot is a point-in-time view of a registry. Counters and gauges
+// are exact; histogram quantiles are bucket-interpolated estimates.
+type Snapshot struct {
+	Counters   map[string]uint64       `json:"counters"`
+	Gauges     map[string]int64        `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every metric currently in the registry.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Load()
+	}
+	for name, h := range r.histograms {
+		hs := HistSnapshot{
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]uint64, len(h.counts)),
+			P50:    h.Quantile(0.50),
+			P90:    h.Quantile(0.90),
+			P99:    h.Quantile(0.99),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// Filter returns the subset of the snapshot whose metric names start
+// with prefix.
+func (s *Snapshot) Filter(prefix string) *Snapshot {
+	out := &Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	for name, v := range s.Counters {
+		if strings.HasPrefix(name, prefix) {
+			out.Counters[name] = v
+		}
+	}
+	for name, v := range s.Gauges {
+		if strings.HasPrefix(name, prefix) {
+			out.Gauges[name] = v
+		}
+	}
+	for name, v := range s.Histograms {
+		if strings.HasPrefix(name, prefix) {
+			out.Histograms[name] = v
+		}
+	}
+	return out
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s *Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Text renders the snapshot as sorted name/value lines: one line per
+// counter and gauge, and a count/sum/quantile line per histogram.
+func (s *Snapshot) Text() string {
+	var lines []string
+	for name, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("%-48s %d", name, v))
+	}
+	for name, v := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("%-48s %d", name, v))
+	}
+	for name, h := range s.Histograms {
+		mean := 0.0
+		if h.Count > 0 {
+			mean = h.Sum / float64(h.Count)
+		}
+		lines = append(lines, fmt.Sprintf("%-48s count=%d mean=%.1f p50=%.1f p90=%.1f p99=%.1f",
+			name, h.Count, mean, h.P50, h.P90, h.P99))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

@@ -6,6 +6,7 @@ import (
 
 	"ncl/internal/ncl/interp"
 	"ncl/internal/ncl/types"
+	"ncl/internal/obs"
 )
 
 // Switch is a loaded, running PISA device: a program plus its mutable
@@ -21,14 +22,62 @@ type Switch struct {
 	regs    map[string][]uint64
 	tables  map[string]map[uint64]uint64
 
-	// Counters for the evaluation harness.
-	WindowsProcessed uint64
-	PassesExecuted   uint64
+	met pisaMetrics
 }
 
-// NewSwitch creates an empty switch with the given resources.
+// pisaMetrics caches the device's registry handles, named
+// pisa.<label>.*. Stage counters are indexed by the stage's position in
+// its pass (sized to the target's stage budget at SetObs time).
+type pisaMetrics struct {
+	windows     *obs.Counter // pisa.<label>.windows
+	passes      *obs.Counter // pisa.<label>.passes
+	tableHits   *obs.Counter // pisa.<label>.table_hits
+	tableMisses *obs.Counter // pisa.<label>.table_misses
+	stageExecs  []*obs.Counter
+}
+
+// NewSwitch creates an empty switch with the given resources. Counters
+// start in a private registry; SetObs re-homes them (deployments use
+// theirs, standalone devices keep isolation).
 func NewSwitch(target TargetConfig) *Switch {
-	return &Switch{target: target}
+	sw := &Switch{target: target}
+	sw.SetObs(obs.NewRegistry(), target.Name)
+	return sw
+}
+
+// SetObs re-homes the device's execution counters into the given
+// registry under pisa.<label>.* (deployments call this before traffic;
+// counts accumulated in the previous registry stay there).
+func (sw *Switch) SetObs(r *obs.Registry, label string) {
+	p := "pisa." + label + "."
+	m := pisaMetrics{
+		windows:     r.Counter(p + "windows"),
+		passes:      r.Counter(p + "passes"),
+		tableHits:   r.Counter(p + "table_hits"),
+		tableMisses: r.Counter(p + "table_misses"),
+		stageExecs:  make([]*obs.Counter, sw.target.Stages),
+	}
+	for i := range m.stageExecs {
+		m.stageExecs[i] = r.Counter(fmt.Sprintf("%sstage.%d.execs", p, i))
+	}
+	sw.mu.Lock()
+	sw.met = m
+	sw.mu.Unlock()
+}
+
+// WindowsProcessed reports the total windows executed (all kernels).
+func (sw *Switch) WindowsProcessed() uint64 {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.met.windows.Load()
+}
+
+// PassesExecuted reports the total pipeline passes, recirculations
+// included.
+func (sw *Switch) PassesExecuted() uint64 {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.met.passes.Load()
 }
 
 // Target returns the switch's resource configuration.
@@ -141,7 +190,7 @@ func (sw *Switch) ExecWindow(kernelID uint32, win *interp.Window) (interp.Decisi
 	if k == nil {
 		return interp.Decision{}, fmt.Errorf("pisa: no kernel with id %d", kernelID)
 	}
-	sw.WindowsProcessed++
+	sw.met.windows.Inc()
 
 	// Parser: populate the PHV from window data and metadata.
 	phv := make([]uint64, len(k.Fields))
@@ -169,8 +218,11 @@ func (sw *Switch) ExecWindow(kernelID uint32, win *interp.Window) (interp.Decisi
 
 	// Pipeline passes (pass > 0 is recirculation).
 	for _, pass := range k.Passes {
-		sw.PassesExecuted++
-		for _, stage := range pass {
+		sw.met.passes.Inc()
+		for si, stage := range pass {
+			if si < len(sw.met.stageExecs) {
+				sw.met.stageExecs[si].Inc()
+			}
 			if err := sw.execStage(k, stage, phv); err != nil {
 				return interp.Decision{}, err
 			}
@@ -237,6 +289,11 @@ func (sw *Switch) execStage(k *Kernel, st *Stage, phv []uint64) error {
 		key := read(tb.Key)
 		entries := sw.tables[tb.Name]
 		val, hit := entries[key]
+		if hit {
+			sw.met.tableHits.Inc()
+		} else {
+			sw.met.tableMisses.Inc()
+		}
 		if tb.Hit != NoField {
 			write(tb.Hit, boolBit(hit))
 		}

@@ -46,6 +46,14 @@ type ackKey struct {
 	seq uint32
 }
 
+// ackWait tracks one outstanding reliable window: the channel the sender
+// blocks on and when the most recent attempt left, so the ack's arrival
+// can be observed as a round-trip latency (host.<label>.ack_rtt_us).
+type ackWait struct {
+	ch   chan struct{}
+	sent time.Time
+}
+
 // OutReliable sends arrays like Out but requests acknowledgment for each
 // window and retransmits lost ones. It returns once every window is
 // acknowledged, or an error naming the first window that exhausted its
@@ -79,19 +87,19 @@ func (h *Host) OutReliable(inv Invocation, arrays [][]uint64, opts ReliableOptio
 	wid := h.nextWid()
 	h.mu.Lock()
 	if h.acks == nil {
-		h.acks = map[ackKey]chan struct{}{}
+		h.acks = map[ackKey]*ackWait{}
 	}
-	chans := make(map[ackKey]chan struct{}, windows)
+	waits := make(map[ackKey]*ackWait, windows)
 	for seq := 0; seq < windows; seq++ {
 		k := ackKey{wid, uint32(seq)}
-		ch := make(chan struct{})
-		h.acks[k] = ch
-		chans[k] = ch
+		w := &ackWait{ch: make(chan struct{}), sent: time.Now()}
+		h.acks[k] = w
+		waits[k] = w
 	}
 	h.mu.Unlock()
 	defer func() {
 		h.mu.Lock()
-		for k := range chans {
+		for k := range waits {
 			delete(h.acks, k)
 		}
 		h.mu.Unlock()
@@ -119,10 +127,16 @@ func (h *Host) OutReliable(inv Invocation, arrays [][]uint64, opts ReliableOptio
 		acked := false
 		for attempt := 0; attempt <= opts.Retries; attempt++ {
 			select {
-			case <-chans[k]:
+			case <-waits[k].ch:
 				acked = true
 			case <-time.After(opts.Timeout):
 				if attempt < opts.Retries {
+					h.met.retransmits.Inc()
+					h.mu.Lock()
+					if w, ok := h.acks[k]; ok {
+						w.sent = time.Now() // RTT measures the attempt that got through
+					}
+					h.mu.Unlock()
 					if err := sendOne(seq); err != nil {
 						return err
 					}
@@ -166,11 +180,16 @@ func (h *Host) sendWindowFlags(inv Invocation, wid, seq uint32, winData [][]uint
 	if len(payload) > h.cfg.MTU {
 		return fmt.Errorf("runtime: reliable windows must fit one packet (payload %dB > MTU %dB)", len(payload), h.cfg.MTU)
 	}
-	pkt, err := ncp.Marshal(&hdr, userVals, payload)
+	pkt, err := ncp.MarshalHops(&hdr, userVals, h.traceHops(1), payload)
 	if err != nil {
 		return err
 	}
-	return h.transmit(inv.Dest, pkt)
+	if err := h.transmit(inv.Dest, pkt); err != nil {
+		return err
+	}
+	h.met.windowsSent.Inc()
+	h.met.packetsSent.Inc()
+	return nil
 }
 
 // handleAckTraffic processes ack-related packets on the receive path.
@@ -179,13 +198,14 @@ func (h *Host) handleAckTraffic(hd *ncp.Header, _ string) bool {
 	if hd.Flags&ncp.FlagAck != 0 {
 		// An acknowledgment for one of our reliable windows.
 		h.mu.Lock()
-		ch, ok := h.acks[ackKey{hd.Wid, hd.WindowSeq}]
+		w, ok := h.acks[ackKey{hd.Wid, hd.WindowSeq}]
 		if ok {
 			delete(h.acks, ackKey{hd.Wid, hd.WindowSeq})
 		}
 		h.mu.Unlock()
 		if ok {
-			close(ch)
+			h.met.ackRtt.Observe(float64(time.Since(w.sent)) / float64(time.Microsecond))
+			close(w.ch)
 		}
 		return true
 	}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ncl/internal/ncl/interp"
@@ -21,6 +22,7 @@ import (
 	"ncl/internal/ncl/types"
 	"ncl/internal/ncp"
 	"ncl/internal/netsim"
+	"ncl/internal/obs"
 )
 
 // AppConfig is the compiled-application metadata a host needs: produced
@@ -37,6 +39,12 @@ type AppConfig struct {
 	// (§4.2: "a packet can carry one or more windows"). 0/1 = one window
 	// per packet (the §6 prototype scope). Batches must fit the MTU.
 	Batch int
+	// Obs is the metrics registry host counters land in (nil = the
+	// process-wide obs.Default; deployments install their own).
+	Obs *obs.Registry
+	// TraceEvery samples every Nth sent window for in-band hop tracing
+	// (0 = off). Host.SetTraceEvery adjusts it at runtime.
+	TraceEvery int
 }
 
 // DefaultMTU bounds single-packet windows; larger windows fragment (§6's
@@ -49,6 +57,10 @@ type RecvWindow struct {
 	User   []uint64
 	Data   [][]uint64 // decoded per the matching kernel's specs
 	Raw    []byte     // payload bytes (for shape-agnostic consumers)
+	// Trace holds the reassembled hop records of a traced window
+	// (FlagTrace), ending with this host's deliver record. Fragmented
+	// windows report the first-arriving fragment's path.
+	Trace []ncp.Hop
 }
 
 // Host is one application endpoint.
@@ -63,14 +75,49 @@ type Host struct {
 	inKernels map[string]*ir.Func
 	state     *interp.State
 
+	met        hostMetrics
+	traceEvery atomic.Int64  // trace every Nth window (0 = off)
+	winCount   atomic.Uint64 // windows sent (trace sampling index)
+
 	mu       sync.Mutex
 	inbox    chan *RecvWindow
 	frags    map[fragKey]*fragBuf
 	done     map[fragKey]bool // recently completed windows (duplicate guard)
 	doneFIFO []fragKey
-	acks     map[ackKey]chan struct{} // outstanding reliable windows
+	acks     map[ackKey]*ackWait // outstanding reliable windows
 	widSeq   uint32
 	closed   bool
+}
+
+// hostMetrics caches the host's registry handles (no name lookups on the
+// data path). Metric names: host.<label>.<metric>.
+type hostMetrics struct {
+	windowsSent     *obs.Counter
+	packetsSent     *obs.Counter
+	windowsReceived *obs.Counter
+	fragsReasm      *obs.Counter // fragments merged into completed windows
+	dupsDropped     *obs.Counter
+	inboxDropped    *obs.Counter
+	dupEvictions    *obs.Counter
+	retransmits     *obs.Counter
+	tracedWindows   *obs.Counter
+	ackRtt          *obs.Histogram // µs
+}
+
+func newHostMetrics(r *obs.Registry, label string) hostMetrics {
+	p := "host." + label + "."
+	return hostMetrics{
+		windowsSent:     r.Counter(p + "windows_sent"),
+		packetsSent:     r.Counter(p + "packets_sent"),
+		windowsReceived: r.Counter(p + "windows_received"),
+		fragsReasm:      r.Counter(p + "fragments_reassembled"),
+		dupsDropped:     r.Counter(p + "duplicates_dropped"),
+		inboxDropped:    r.Counter(p + "inbox_dropped"),
+		dupEvictions:    r.Counter(p + "dup_guard_evictions"),
+		retransmits:     r.Counter(p + "retransmits"),
+		tracedWindows:   r.Counter(p + "traced_windows"),
+		ackRtt:          r.Histogram(p+"ack_rtt_us", nil),
+	}
 }
 
 type fragKey struct {
@@ -82,6 +129,7 @@ type fragKey struct {
 type fragBuf struct {
 	header *ncp.Header
 	user   []uint64
+	hops   []ncp.Hop // trace of the first-arriving fragment
 	parts  [][]byte
 	have   int
 }
@@ -92,6 +140,10 @@ func NewHost(label string, id, role uint32, cfg AppConfig, send netsim.Sender, r
 	if cfg.MTU == 0 {
 		cfg.MTU = DefaultMTU
 	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.Default()
+	}
 	h := &Host{
 		label:     label,
 		id:        id,
@@ -99,11 +151,13 @@ func NewHost(label string, id, role uint32, cfg AppConfig, send netsim.Sender, r
 		cfg:       cfg,
 		send:      send,
 		route:     routes,
+		met:       newHostMetrics(reg, label),
 		inbox:     make(chan *RecvWindow, 65536),
 		frags:     map[fragKey]*fragBuf{},
 		done:      map[fragKey]bool{},
 		inKernels: map[string]*ir.Func{},
 	}
+	h.traceEvery.Store(int64(cfg.TraceEvery))
 	if cfg.HostModule != nil {
 		for _, f := range cfg.HostModule.Funcs {
 			if f.Kind == ir.InKernel {
@@ -124,12 +178,20 @@ func (h *Host) ID() uint32 { return h.id }
 // Receive implements netsim.Node: NCP packets are decoded, reassembled,
 // and queued for In; anything else is dropped (hosts are endpoints).
 func (h *Host) Receive(_ netsim.Sender, pkt *netsim.Packet, from string) {
-	hd, user, payload, err := ncp.Decode(pkt.Data)
+	hd, user, hops, payload, err := ncp.DecodeFull(pkt.Data)
 	if err != nil {
 		return
 	}
 	if h.handleAckTraffic(hd, from) {
 		return // pure acknowledgment, consumed
+	}
+	if hd.Flags&ncp.FlagTrace != 0 {
+		// Trace reassembly: close the window's hop record with this
+		// host's delivery event at the fabric's virtual arrival time.
+		hops = append(hops, ncp.Hop{
+			Loc: uint16(h.id), Kind: ncp.HopHost,
+			Event: ncp.EventDeliver, TimeNs: vtimeNs(pkt),
+		})
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -144,7 +206,7 @@ func (h *Host) Receive(_ netsim.Sender, pkt *netsim.Packet, from string) {
 			sub := *hd
 			sub.BatchCount = 1
 			sub.WindowSeq = hd.WindowSeq + uint32(k)
-			h.enqueue(&RecvWindow{Header: &sub, User: user, Raw: append([]byte(nil), payload[k*per:(k+1)*per]...)})
+			h.enqueue(&RecvWindow{Header: &sub, User: user, Raw: append([]byte(nil), payload[k*per:(k+1)*per]...), Trace: hops})
 		}
 		return
 	}
@@ -154,11 +216,12 @@ func (h *Host) Receive(_ netsim.Sender, pkt *netsim.Packet, from string) {
 			// re-acknowledged (above) but enqueued only once.
 			key := fragKey{hd.Sender, hd.Wid, hd.WindowSeq}
 			if h.done[key] {
+				h.met.dupsDropped.Inc()
 				return
 			}
 			h.markDone(key)
 		}
-		h.enqueue(&RecvWindow{Header: hd, User: user, Raw: append([]byte(nil), payload...)})
+		h.enqueue(&RecvWindow{Header: hd, User: user, Raw: append([]byte(nil), payload...), Trace: hops})
 		return
 	}
 	// Multi-packet window: reassemble (hosts only, §6). Fragments of an
@@ -166,14 +229,16 @@ func (h *Host) Receive(_ netsim.Sender, pkt *netsim.Packet, from string) {
 	// dropped by the completed-window record.
 	key := fragKey{hd.Sender, hd.Wid, hd.WindowSeq}
 	if h.done[key] {
+		h.met.dupsDropped.Inc()
 		return
 	}
 	fb := h.frags[key]
 	if fb == nil {
-		fb = &fragBuf{header: hd, user: user, parts: make([][]byte, hd.FragCount)}
+		fb = &fragBuf{header: hd, user: user, hops: hops, parts: make([][]byte, hd.FragCount)}
 		h.frags[key] = fb
 	}
 	if int(hd.FragIdx) >= len(fb.parts) || fb.parts[hd.FragIdx] != nil {
+		h.met.dupsDropped.Inc()
 		return // duplicate or malformed fragment
 	}
 	fb.parts[hd.FragIdx] = append([]byte(nil), payload...)
@@ -181,32 +246,51 @@ func (h *Host) Receive(_ netsim.Sender, pkt *netsim.Packet, from string) {
 	if fb.have == len(fb.parts) {
 		delete(h.frags, key)
 		h.markDone(key)
+		h.met.fragsReasm.Add(uint64(len(fb.parts)))
 		var full []byte
 		for _, p := range fb.parts {
 			full = append(full, p...)
 		}
 		hd2 := *fb.header
 		hd2.FragIdx, hd2.FragCount = 0, 1
-		h.enqueue(&RecvWindow{Header: &hd2, User: fb.user, Raw: full})
+		h.enqueue(&RecvWindow{Header: &hd2, User: fb.user, Raw: full, Trace: fb.hops})
 	}
 }
+
+// vtimeNs converts the fabric's virtual arrival time to the trace's
+// nanosecond clock (0 on backends without virtual time, e.g. UDP).
+func vtimeNs(pkt *netsim.Packet) uint64 {
+	if pkt.VTimeUs <= 0 {
+		return 0
+	}
+	return uint64(pkt.VTimeUs * 1000)
+}
+
+// dupGuardCap bounds the completed-window duplicate guard: the oldest
+// records are evicted FIFO past this size, so long-running hosts hold a
+// fixed amount of dedup state (evictions are counted in
+// host.<label>.dup_guard_evictions).
+const dupGuardCap = 4096
 
 // markDone records a delivered window in the bounded duplicate guard.
 // Caller holds h.mu.
 func (h *Host) markDone(key fragKey) {
 	h.done[key] = true
 	h.doneFIFO = append(h.doneFIFO, key)
-	if len(h.doneFIFO) > 4096 {
+	if len(h.doneFIFO) > dupGuardCap {
 		delete(h.done, h.doneFIFO[0])
 		h.doneFIFO = h.doneFIFO[1:]
+		h.met.dupEvictions.Inc()
 	}
 }
 
 func (h *Host) enqueue(rw *RecvWindow) {
 	select {
 	case h.inbox <- rw:
+		h.met.windowsReceived.Inc()
 	default:
 		// Inbox overflow: drop, like a NIC queue.
+		h.met.inboxDropped.Inc()
 	}
 }
 
@@ -335,12 +419,45 @@ func (h *Host) sendBatch(inv Invocation, wid, firstSeq uint32, count uint8, payl
 		FragCount:  1,
 		BatchCount: count,
 	}
-	pkt, err := ncp.Marshal(&hdr, userVals, payload)
+	pkt, err := ncp.MarshalHops(&hdr, userVals, h.traceHops(int(count)), payload)
 	if err != nil {
 		return err
 	}
-	return h.transmit(inv.Dest, pkt)
+	if err := h.transmit(inv.Dest, pkt); err != nil {
+		return err
+	}
+	h.met.windowsSent.Add(uint64(count))
+	h.met.packetsSent.Inc()
+	return nil
 }
+
+// traceHops advances the sent-window counter by count and, when trace
+// sampling selects one of those windows (every Nth since the host
+// started), returns the send-side hop list that starts the in-band
+// trace. Returns nil when tracing is off or no window was selected.
+func (h *Host) traceHops(count int) []ncp.Hop {
+	if count <= 0 {
+		count = 1
+	}
+	n := h.winCount.Add(uint64(count))
+	every := h.traceEvery.Load()
+	if every <= 0 {
+		return nil
+	}
+	for i := n - uint64(count); i < n; i++ {
+		if i%uint64(every) == 0 {
+			h.met.tracedWindows.Inc()
+			// The origin hop; vtime 0 — the fabric's clock starts when
+			// the packet enters the first link.
+			return []ncp.Hop{{Loc: uint16(h.id), Kind: ncp.HopHost, Event: ncp.EventSend}}
+		}
+	}
+	return nil
+}
+
+// SetTraceEvery adjusts trace sampling at runtime: every nth sent window
+// carries FlagTrace and accumulates hop records (0 disables).
+func (h *Host) SetTraceEvery(n int) { h.traceEvery.Store(int64(n)) }
 
 // OutWindow is the window-level API (the paper's finer-grained second
 // API): the caller sends one window at an explicit sequence number.
@@ -400,14 +517,21 @@ func (h *Host) sendWindow(inv Invocation, wid, seq uint32, winData [][]uint64, s
 		Wid:       wid,
 	}
 
+	hops := h.traceHops(1)
+
 	// Single-packet fast path (the §6 prototype scope), else fragment.
 	if len(payload) <= h.cfg.MTU {
 		hdr.FragIdx, hdr.FragCount = 0, 1
-		pkt, err := ncp.Marshal(&hdr, userVals, payload)
+		pkt, err := ncp.MarshalHops(&hdr, userVals, hops, payload)
 		if err != nil {
 			return err
 		}
-		return h.transmit(inv.Dest, pkt)
+		if err := h.transmit(inv.Dest, pkt); err != nil {
+			return err
+		}
+		h.met.windowsSent.Inc()
+		h.met.packetsSent.Inc()
+		return nil
 	}
 	frags := (len(payload) + h.cfg.MTU - 1) / h.cfg.MTU
 	if frags > 0xFFFF {
@@ -421,14 +545,16 @@ func (h *Host) sendWindow(inv Invocation, wid, seq uint32, winData [][]uint64, s
 		}
 		fh := hdr
 		fh.FragIdx, fh.FragCount = uint16(i), uint16(frags)
-		pkt, err := ncp.Marshal(&fh, userVals, payload[lo:hi])
+		pkt, err := ncp.MarshalHops(&fh, userVals, hops, payload[lo:hi])
 		if err != nil {
 			return err
 		}
 		if err := h.transmit(inv.Dest, pkt); err != nil {
 			return err
 		}
+		h.met.packetsSent.Inc()
 	}
+	h.met.windowsSent.Inc()
 	return nil
 }
 
@@ -468,15 +594,10 @@ var ErrClosed = fmt.Errorf("runtime: host closed")
 // ErrTimeout reports that no window arrived in time.
 var ErrTimeout = fmt.Errorf("runtime: timed out waiting for a window")
 
-// In blocks until one window arrives, executes the named incoming kernel
-// on it with ext bound to the kernel's _ext_ parameters (host memory),
-// and returns the received window. A zero timeout waits forever.
-func (h *Host) In(kernel string, ext [][]uint64, timeout time.Duration) (*RecvWindow, error) {
-	f, ok := h.inKernels[kernel]
-	if !ok {
-		return nil, fmt.Errorf("runtime: unknown incoming kernel %q", kernel)
-	}
-	var rw *RecvWindow
+// Recv blocks until one window arrives and returns it without executing
+// any incoming kernel — for consumers that only inspect headers, traces,
+// or raw payloads. A zero timeout waits forever.
+func (h *Host) Recv(timeout time.Duration) (*RecvWindow, error) {
 	if timeout > 0 {
 		t := time.NewTimer(timeout)
 		defer t.Stop()
@@ -485,16 +606,29 @@ func (h *Host) In(kernel string, ext [][]uint64, timeout time.Duration) (*RecvWi
 			if !open {
 				return nil, ErrClosed
 			}
-			rw = w
+			return w, nil
 		case <-t.C:
 			return nil, ErrTimeout
 		}
-	} else {
-		w, open := <-h.inbox
-		if !open {
-			return nil, ErrClosed
-		}
-		rw = w
+	}
+	w, open := <-h.inbox
+	if !open {
+		return nil, ErrClosed
+	}
+	return w, nil
+}
+
+// In blocks until one window arrives, executes the named incoming kernel
+// on it with ext bound to the kernel's _ext_ parameters (host memory),
+// and returns the received window. A zero timeout waits forever.
+func (h *Host) In(kernel string, ext [][]uint64, timeout time.Duration) (*RecvWindow, error) {
+	f, ok := h.inKernels[kernel]
+	if !ok {
+		return nil, fmt.Errorf("runtime: unknown incoming kernel %q", kernel)
+	}
+	rw, err := h.Recv(timeout)
+	if err != nil {
+		return nil, err
 	}
 	if err := h.runInKernel(f, rw, ext); err != nil {
 		return rw, err

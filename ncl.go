@@ -25,7 +25,9 @@ package ncl
 import (
 	"ncl/internal/controller"
 	"ncl/internal/core"
+	"ncl/internal/ncp"
 	"ncl/internal/netsim"
+	"ncl/internal/obs"
 	"ncl/internal/pisa"
 	"ncl/internal/runtime"
 )
@@ -70,6 +72,19 @@ type Faults = netsim.Faults
 
 // TargetConfig describes a PISA target's resources.
 type TargetConfig = pisa.TargetConfig
+
+// Metrics is a live metrics registry. Every Deployment carries one
+// (Deployment.Obs) aggregating host, switch, fabric, and controller
+// counters; Snapshot it for export.
+type Metrics = obs.Registry
+
+// MetricsSnapshot is a point-in-time view of a registry, with JSON and
+// Text renderings.
+type MetricsSnapshot = obs.Snapshot
+
+// Hop is one in-band trace record of a traced window (see
+// Host.SetTraceEvery and RecvWindow.Trace).
+type Hop = ncp.Hop
 
 // Build compiles an NCL program against an AND overlay description
 // through the full nclc pipeline. See BuildOptions for the knobs.

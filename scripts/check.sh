@@ -1,0 +1,21 @@
+#!/bin/sh
+# Repo health check: vet, formatting, and the full test suite under the
+# race detector. CI-equivalent; run before sending a change.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== gofmt"
+badfmt=$(gofmt -l .)
+if [ -n "$badfmt" ]; then
+    echo "gofmt needed:" >&2
+    echo "$badfmt" >&2
+    exit 1
+fi
+
+echo "== go test -race"
+go test -race ./...
+
+echo "check OK"
