@@ -52,6 +52,10 @@ func main() {
 	traceEvery := flag.Int("trace", 0, "deploy end to end and trace every Nth window (print hop timelines)")
 	from := flag.String("from", "", "end-to-end mode: sending host (default: first host in the AND)")
 	dest := flag.String("dest", "", "end-to-end mode: destination label (default: last host in the AND)")
+	reliable := flag.Bool("reliable", false, "end-to-end mode: send through the reliable sliding-window transport")
+	relWindow := flag.Int("rel-window", 0, "reliable transport: max windows in flight (0 = default 32)")
+	relTimeout := flag.Duration("rel-timeout", 0, "reliable transport: first-attempt retransmit timeout (0 = default 20ms)")
+	relRetries := flag.Int("rel-retries", 0, "reliable transport: retransmits per window (0 = default 5)")
 	flag.Parse()
 	if flag.NArg() != 1 || *andPath == "" || *kernel == "" {
 		fmt.Fprintln(os.Stderr, "usage: ncl-run -and <file.and> -kernel <name> [-loc s1] [-data ...] [-metrics] [-trace N] <file.ncl>")
@@ -67,8 +71,12 @@ func main() {
 	art, err := ncl.Build(string(nclSrc), string(andSrc), ncl.BuildOptions{WindowLen: *w})
 	must(err)
 
-	if *metrics || *traceEvery > 0 {
-		runE2E(art, *kernel, *data, *meta, *repeat, *traceEvery, *metrics, *from, *dest)
+	if *metrics || *traceEvery > 0 || *reliable {
+		var ropts *ncl.ReliableOptions
+		if *reliable {
+			ropts = &ncl.ReliableOptions{Window: *relWindow, Timeout: *relTimeout, Retries: *relRetries}
+		}
+		runE2E(art, *kernel, *data, *meta, *repeat, *traceEvery, *metrics, *from, *dest, ropts)
 		return
 	}
 
@@ -161,8 +169,9 @@ func main() {
 // runE2E deploys the application on the in-memory fabric and drives the
 // command-line window end to end: sender host -> switches -> destination.
 // Traced windows print their hop timelines; -metrics dumps the
-// deployment registry as JSON.
-func runE2E(art *core.Artifact, kernel, data, meta string, repeat, traceEvery int, metrics bool, from, dest string) {
+// deployment registry as JSON; a non-nil ropts routes the windows
+// through the reliable sliding-window transport instead of OutWindow.
+func runE2E(art *core.Artifact, kernel, data, meta string, repeat, traceEvery int, metrics bool, from, dest string, ropts *ncl.ReliableOptions) {
 	hosts := art.Net.Hosts()
 	if len(hosts) == 0 {
 		must(fmt.Errorf("the AND has no hosts (end-to-end mode needs one)"))
@@ -224,11 +233,28 @@ func runE2E(art *core.Artifact, kernel, data, meta string, repeat, traceEvery in
 		}
 	}
 
-	fmt.Printf("end-to-end: kernel %s, %s -> %s, %d window(s), trace every %d\n",
-		kernel, from, dest, repeat, traceEvery)
-	wid := sender.NewWid()
-	for seq := 0; seq < repeat; seq++ {
-		must(sender.OutWindow(inv, wid, uint32(seq), winData))
+	mode := "out-window"
+	if ropts != nil {
+		mode = fmt.Sprintf("reliable (window=%d)", ropts.Window)
+	}
+	fmt.Printf("end-to-end: kernel %s, %s -> %s, %d window(s), trace every %d, %s\n",
+		kernel, from, dest, repeat, traceEvery, mode)
+	if ropts != nil {
+		// Tile the command-line window `repeat` times into full arrays for
+		// the array-level reliable transport.
+		arrays := make([][]uint64, len(winData))
+		for pi := range winData {
+			arrays[pi] = make([]uint64, 0, repeat*len(winData[pi]))
+			for n := 0; n < repeat; n++ {
+				arrays[pi] = append(arrays[pi], winData[pi]...)
+			}
+		}
+		must(sender.OutReliable(inv, arrays, *ropts))
+	} else {
+		wid := sender.NewWid()
+		for seq := 0; seq < repeat; seq++ {
+			must(sender.OutWindow(inv, wid, uint32(seq), winData))
+		}
 	}
 
 	// Collect at the destination (windows consumed on-path — _drop,

@@ -111,6 +111,107 @@ _net_ _in_ void sink(int *data, _ext_ int *out) { out[0] = data[0]; }
 	}
 }
 
+// TestOutReliablePipelinedLossy is the sliding-window acceptance test:
+// a 64-window invocation over a 15%-lossy fabric must deliver every
+// window to the application exactly once, with retransmission doing real
+// work, and complete in fewer virtual-time units than 64 serial round
+// trips would take (the pipelined windows share the wire instead of each
+// waiting out its predecessor's ack).
+func TestOutReliablePipelinedLossy(t *testing.T) {
+	const (
+		W       = 4
+		windows = 64
+		dataLen = windows * W
+	)
+	art, err := Build(passThroughNCL, pairAND, BuildOptions{WindowLen: W, ModuleName: "rel"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Baseline: one reliable window on a clean fabric = one round trip
+	// (the makespan includes the ack's arrival back at the sender).
+	clean, err := art.Deploy(netsim.Faults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		out := make([]uint64, W)
+		clean.Hosts["b"].In("sink", [][]uint64{out}, 5*time.Second)
+	}()
+	if err := clean.Hosts["a"].OutReliable(runtime.Invocation{Kernel: "forward", Dest: "b"},
+		[][]uint64{make([]uint64, W)}, runtime.ReliableOptions{}); err != nil {
+		clean.Stop()
+		t.Fatal(err)
+	}
+	rttUs := clean.Fabric.MakespanUs()
+	clean.Stop()
+	if rttUs <= 0 {
+		t.Fatal("baseline round trip has no virtual time")
+	}
+
+	dep, err := art.Deploy(netsim.Faults{DropProb: 0.15, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Stop()
+	a := dep.Hosts["a"]
+	b := dep.Hosts["b"]
+
+	got := make([]uint64, dataLen)
+	seen := make(map[uint32]int)
+	recvDone := make(chan error, 1)
+	go func() {
+		for n := 0; n < windows; n++ {
+			rw, err := b.In("sink", [][]uint64{got}, 15*time.Second)
+			if err != nil {
+				recvDone <- err
+				return
+			}
+			seen[rw.Header.WindowSeq]++
+		}
+		recvDone <- nil
+	}()
+
+	data := make([]uint64, dataLen)
+	for i := range data {
+		data[i] = uint64(i * 5)
+	}
+	if err := a.OutReliable(runtime.Invocation{Kernel: "forward", Dest: "b"}, [][]uint64{data},
+		runtime.ReliableOptions{Timeout: 10 * time.Millisecond, Retries: 30, Window: 16}); err != nil {
+		t.Fatalf("reliable send failed: %v", err)
+	}
+	if err := <-recvDone; err != nil {
+		t.Fatalf("receiver: %v", err)
+	}
+
+	// Exactly once: every sequence number delivered a single time.
+	for seq := uint32(0); seq < windows; seq++ {
+		if seen[seq] != 1 {
+			t.Errorf("window %d delivered %d times, want exactly once", seq, seen[seq])
+		}
+	}
+	for i := range got {
+		if got[i] != uint64(i*5) {
+			t.Fatalf("element %d = %d, want %d", i, got[i], i*5)
+		}
+	}
+	if b.Pending() != 0 {
+		t.Errorf("duplicate windows surfaced: %d pending", b.Pending())
+	}
+
+	snap := dep.Obs.Snapshot()
+	if snap.Counters["host.a.retransmits"] == 0 {
+		t.Error("15% loss over 128+ packets produced no retransmissions")
+	}
+	// Pipelining beats stop-and-wait in virtual time: the 64-window
+	// makespan must come in under 64 serial round trips.
+	serialUs := float64(windows) * rttUs
+	if got := dep.Fabric.MakespanUs(); got >= serialUs {
+		t.Errorf("pipelined makespan %.1fµs is not faster than %d serial round trips (%.1fµs)",
+			got, windows, serialUs)
+	}
+}
+
 // TestAcksBypassKernels: acknowledgment packets cross switches without
 // kernel execution (they have no window payload to execute on).
 func TestAcksBypassKernels(t *testing.T) {

@@ -2,6 +2,8 @@ package runtime
 
 import (
 	"fmt"
+	"math/rand"
+	"sync"
 	"time"
 
 	"ncl/internal/ncp"
@@ -10,8 +12,17 @@ import (
 // Reliable window delivery — the optional extension over the paper's §6
 // transport discussion. Windows sent with OutReliable carry FlagAckRequest;
 // the destination host's runtime acknowledges each one (FlagAck, same
-// wid/seq, empty payload), and the sender retransmits unacknowledged
-// windows on a timeout.
+// wid/seq, empty payload) *after* the window is safely queued for the
+// application, and the sender retransmits unacknowledged windows on a
+// timeout.
+//
+// OutReliable is a pipelined sliding-window transport: up to Window
+// windows are in flight at once, each with its own retransmit timer armed
+// at send time, exponential backoff with jitter between attempts, and
+// selective retransmission (only the timed-out window is resent). A
+// window that exhausts its retries does not abandon the others — every
+// outstanding window runs to completion and the first hard error (lowest
+// window sequence) is reported.
 //
 // Soundness boundary, stated plainly: retransmission re-executes on-path
 // kernels, so reliable mode is only appropriate for kernels that are
@@ -24,10 +35,23 @@ import (
 
 // ReliableOptions configures OutReliable.
 type ReliableOptions struct {
-	// Timeout per attempt (default 20ms).
+	// Timeout is the first attempt's retransmit timeout, armed when the
+	// window is sent (default 20ms). Subsequent attempts back off
+	// exponentially (see BackoffFactor).
 	Timeout time.Duration
 	// Retries per window after the first attempt (default 5).
 	Retries int
+	// Window caps the number of windows in flight at once (default 32;
+	// 1 degenerates to stop-and-wait).
+	Window int
+	// BackoffFactor multiplies the retransmit timeout after each failed
+	// attempt (default 2).
+	BackoffFactor float64
+	// MaxBackoff caps the per-attempt timeout (default 32x Timeout).
+	MaxBackoff time.Duration
+	// Jitter randomizes each backed-off timeout by ±Jitter fraction to
+	// decorrelate retransmit bursts (default 0.1; negative disables).
+	Jitter float64
 }
 
 func (o ReliableOptions) withDefaults() ReliableOptions {
@@ -36,6 +60,18 @@ func (o ReliableOptions) withDefaults() ReliableOptions {
 	}
 	if o.Retries <= 0 {
 		o.Retries = 5
+	}
+	if o.Window <= 0 {
+		o.Window = 32
+	}
+	if o.BackoffFactor < 1 {
+		o.BackoffFactor = 2
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 32 * o.Timeout
+	}
+	if o.Jitter == 0 {
+		o.Jitter = 0.1
 	}
 	return o
 }
@@ -48,64 +84,31 @@ type ackKey struct {
 
 // ackWait tracks one outstanding reliable window: the channel the sender
 // blocks on and when the most recent attempt left, so the ack's arrival
-// can be observed as a round-trip latency (host.<label>.ack_rtt_us).
+// can be observed as a per-attempt round-trip latency
+// (host.<label>.ack_rtt_us). sent is guarded by Host.mu.
 type ackWait struct {
 	ch   chan struct{}
 	sent time.Time
 }
 
 // OutReliable sends arrays like Out but requests acknowledgment for each
-// window and retransmits lost ones. It returns once every window is
-// acknowledged, or an error naming the first window that exhausted its
-// retries.
+// window and retransmits lost ones, keeping up to opts.Window windows in
+// flight. It returns once every window is acknowledged, or — after all
+// outstanding windows have completed — an error naming the first window
+// that failed.
 func (h *Host) OutReliable(inv Invocation, arrays [][]uint64, opts ReliableOptions) error {
 	opts = opts.withDefaults()
 	specs, err := h.outSpecs(inv.Kernel)
 	if err != nil {
 		return err
 	}
-	if len(arrays) != len(specs) {
-		return fmt.Errorf("runtime: kernel %s takes %d window arrays, got %d", inv.Kernel, len(specs), len(arrays))
+	windows, err := h.windowCount(inv.Kernel, arrays, specs)
+	if err != nil {
+		return err
 	}
 	W := h.cfg.WindowLen
-	windows := -1
-	for pi, sp := range specs {
-		n := len(arrays[pi])
-		if sp.Elems == W {
-			if n%W != 0 {
-				return fmt.Errorf("runtime: array %d length %d is not a multiple of %d", pi, n, W)
-			}
-			n /= W
-		}
-		if windows == -1 {
-			windows = n
-		} else if windows != n {
-			return fmt.Errorf("runtime: arrays disagree on window count")
-		}
-	}
-
 	wid := h.nextWid()
-	h.mu.Lock()
-	if h.acks == nil {
-		h.acks = map[ackKey]*ackWait{}
-	}
-	waits := make(map[ackKey]*ackWait, windows)
-	for seq := 0; seq < windows; seq++ {
-		k := ackKey{wid, uint32(seq)}
-		w := &ackWait{ch: make(chan struct{}), sent: time.Now()}
-		h.acks[k] = w
-		waits[k] = w
-	}
-	h.mu.Unlock()
-	defer func() {
-		h.mu.Lock()
-		for k := range waits {
-			delete(h.acks, k)
-		}
-		h.mu.Unlock()
-	}()
-
-	sendOne := func(seq int) error {
+	winAt := func(seq int) [][]uint64 {
 		winData := make([][]uint64, len(specs))
 		for pi, sp := range specs {
 			if sp.Elems == W {
@@ -114,43 +117,128 @@ func (h *Host) OutReliable(inv Invocation, arrays [][]uint64, opts ReliableOptio
 				winData[pi] = arrays[pi][seq : seq+1]
 			}
 		}
-		return h.sendWindowFlags(inv, wid, uint32(seq), winData, specs, ncp.FlagAckRequest)
+		return winData
 	}
 
+	// The sliding window: a semaphore admits up to opts.Window concurrent
+	// windows; each runs its own send/retransmit loop. Errors are
+	// aggregated — the lowest-sequence failure wins — so a lost window
+	// never strands the ones already in flight.
+	var (
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, opts.Window)
+		errMu    sync.Mutex
+		firstErr error
+		errSeq   int
+	)
+	record := func(seq int, err error) {
+		errMu.Lock()
+		if firstErr == nil || seq < errSeq {
+			firstErr, errSeq = err, seq
+		}
+		errMu.Unlock()
+	}
 	for seq := 0; seq < windows; seq++ {
-		if err := sendOne(seq); err != nil {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(seq int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := h.reliableWindow(inv, wid, uint32(seq), winAt(seq), specs, opts); err != nil {
+				record(seq, err)
+			}
+		}(seq)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// windowCount validates array shapes against the kernel's specs and
+// returns the number of windows they describe.
+func (h *Host) windowCount(kernel string, arrays [][]uint64, specs []ncp.ParamSpec) (int, error) {
+	if len(arrays) != len(specs) {
+		return 0, fmt.Errorf("runtime: kernel %s takes %d window arrays, got %d", kernel, len(specs), len(arrays))
+	}
+	W := h.cfg.WindowLen
+	windows := -1
+	for pi, sp := range specs {
+		n := len(arrays[pi])
+		if sp.Elems == W {
+			if n%W != 0 {
+				return 0, fmt.Errorf("runtime: array %d length %d is not a multiple of the window length %d", pi, n, W)
+			}
+			n /= W
+		}
+		if windows == -1 {
+			windows = n
+		} else if windows != n {
+			return 0, fmt.Errorf("runtime: arrays disagree on window count (%d vs %d)", windows, n)
+		}
+	}
+	return windows, nil
+}
+
+// reliableWindow runs one window's send/retransmit loop: register the
+// ack wait, send with the retransmit timer armed at send time, back off
+// exponentially (with jitter) between attempts, and retransmit only this
+// window. Returns nil once acknowledged.
+func (h *Host) reliableWindow(inv Invocation, wid, seq uint32, winData [][]uint64, specs []ncp.ParamSpec, opts ReliableOptions) error {
+	k := ackKey{wid, seq}
+	w := &ackWait{ch: make(chan struct{})}
+	h.mu.Lock()
+	if h.acks == nil {
+		h.acks = map[ackKey]*ackWait{}
+	}
+	h.acks[k] = w
+	h.mu.Unlock()
+	defer func() {
+		h.mu.Lock()
+		delete(h.acks, k)
+		h.mu.Unlock()
+	}()
+	h.met.inflight.Add(1)
+	defer h.met.inflight.Add(-1)
+
+	timeout := opts.Timeout
+	for attempt := 0; attempt <= opts.Retries; attempt++ {
+		if attempt > 0 {
+			// The ack may have landed between the timer firing and this
+			// retransmit; skip the resend.
+			select {
+			case <-w.ch:
+				return nil
+			default:
+			}
+			h.met.retransmits.Inc()
+		}
+		h.mu.Lock()
+		w.sent = time.Now() // per-attempt RTT baseline
+		h.mu.Unlock()
+		if err := h.sendWindowFlags(inv, wid, seq, winData, specs, ncp.FlagAckRequest); err != nil {
 			return err
 		}
-	}
-	for seq := 0; seq < windows; seq++ {
-		k := ackKey{wid, uint32(seq)}
-		acked := false
-		for attempt := 0; attempt <= opts.Retries; attempt++ {
-			select {
-			case <-waits[k].ch:
-				acked = true
-			case <-time.After(opts.Timeout):
-				if attempt < opts.Retries {
-					h.met.retransmits.Inc()
-					h.mu.Lock()
-					if w, ok := h.acks[k]; ok {
-						w.sent = time.Now() // RTT measures the attempt that got through
-					}
-					h.mu.Unlock()
-					if err := sendOne(seq); err != nil {
-						return err
-					}
-					continue
-				}
-			}
+		t := time.NewTimer(timeout) // armed at send time
+		select {
+		case <-w.ch:
+			t.Stop()
+			return nil
+		case <-t.C:
+		}
+		if attempt == opts.Retries {
 			break
 		}
-		if !acked {
-			return fmt.Errorf("runtime: window %d of invocation %d was never acknowledged after %d attempts (consumed on-path, or the destination is unreachable)",
-				seq, wid, opts.Retries+1)
+		next := time.Duration(float64(timeout) * opts.BackoffFactor)
+		if next > opts.MaxBackoff {
+			next = opts.MaxBackoff
 		}
+		if opts.Jitter > 0 {
+			next += time.Duration((rand.Float64()*2 - 1) * opts.Jitter * float64(next))
+		}
+		timeout = next
+		h.met.backoffUs.Observe(float64(timeout) / float64(time.Microsecond))
 	}
-	return nil
+	return fmt.Errorf("runtime: window %d of invocation %d was never acknowledged after %d attempts (consumed on-path, or the destination is unreachable)",
+		seq, wid, opts.Retries+1)
 }
 
 // sendWindowFlags is sendWindow with extra NCP flags.
@@ -192,43 +280,48 @@ func (h *Host) sendWindowFlags(inv Invocation, wid, seq uint32, winData [][]uint
 	return nil
 }
 
-// handleAckTraffic processes ack-related packets on the receive path.
-// Returns true when the packet was consumed.
-func (h *Host) handleAckTraffic(hd *ncp.Header, _ string) bool {
-	if hd.Flags&ncp.FlagAck != 0 {
-		// An acknowledgment for one of our reliable windows.
-		h.mu.Lock()
-		w, ok := h.acks[ackKey{hd.Wid, hd.WindowSeq}]
-		if ok {
-			delete(h.acks, ackKey{hd.Wid, hd.WindowSeq})
-		}
-		h.mu.Unlock()
-		if ok {
-			h.met.ackRtt.Observe(float64(time.Since(w.sent)) / float64(time.Microsecond))
-			close(w.ch)
-		}
-		return true
+// handleAck consumes an acknowledgment for one of our reliable windows.
+// Late acks (the window already completed or exhausted its retries) and
+// duplicate acks find no registered wait: they are counted and ignored,
+// never double-closing the wait channel or skewing ack_rtt_us.
+func (h *Host) handleAck(hd *ncp.Header) {
+	k := ackKey{hd.Wid, hd.WindowSeq}
+	h.mu.Lock()
+	w, ok := h.acks[k]
+	var sent time.Time
+	if ok {
+		delete(h.acks, k)
+		sent = w.sent
 	}
-	if hd.Flags&ncp.FlagAckRequest != 0 {
-		// Acknowledge receipt back to the sender. Duplicate windows (a
-		// retransmit whose original arrived) are acked again but only
-		// enqueued once (the dup guard in Receive).
-		target, ok := h.cfg.HostLabels[hd.Sender]
-		if ok {
-			ack := ncp.Header{
-				Flags:     ncp.FlagAck,
-				KernelID:  hd.KernelID,
-				WindowSeq: hd.WindowSeq,
-				WindowLen: hd.WindowLen,
-				Sender:    h.id,
-				FromRole:  h.role,
-				Wid:       hd.Wid,
-				FragCount: 1,
-			}
-			if pkt, err := ncp.Marshal(&ack, nil, nil); err == nil {
-				_ = h.transmit(target, pkt)
-			}
-		}
+	h.mu.Unlock()
+	if !ok {
+		h.met.staleAcks.Inc()
+		return
 	}
-	return false
+	h.met.ackRtt.Observe(float64(time.Since(sent)) / float64(time.Microsecond))
+	close(w.ch)
+}
+
+// sendAck emits an acknowledgment for a received reliable window. Called
+// only after the window was enqueued for the application (or recognized
+// as a duplicate of one that was) — acking a dropped window would lie to
+// the sender about delivery.
+func (h *Host) sendAck(hd *ncp.Header) {
+	target, ok := h.cfg.HostLabels[hd.Sender]
+	if !ok {
+		return
+	}
+	ack := ncp.Header{
+		Flags:     ncp.FlagAck,
+		KernelID:  hd.KernelID,
+		WindowSeq: hd.WindowSeq,
+		WindowLen: hd.WindowLen,
+		Sender:    h.id,
+		FromRole:  h.role,
+		Wid:       hd.Wid,
+		FragCount: 1,
+	}
+	if pkt, err := ncp.Marshal(&ack, nil, nil); err == nil {
+		_ = h.transmit(target, pkt)
+	}
 }

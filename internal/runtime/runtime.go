@@ -42,6 +42,10 @@ type AppConfig struct {
 	// Obs is the metrics registry host counters land in (nil = the
 	// process-wide obs.Default; deployments install their own).
 	Obs *obs.Registry
+	// InboxCap bounds the receive queue (0 = 65536). Overflowing windows
+	// are dropped like a NIC queue — and, for reliable windows, never
+	// acknowledged, so the sender retransmits them.
+	InboxCap int
 	// TraceEvery samples every Nth sent window for in-band hop tracing
 	// (0 = off). Host.SetTraceEvery adjusts it at runtime.
 	TraceEvery int
@@ -82,8 +86,9 @@ type Host struct {
 	mu       sync.Mutex
 	inbox    chan *RecvWindow
 	frags    map[fragKey]*fragBuf
+	fragFIFO keyRing          // fragment-buffer insertion order (eviction)
 	done     map[fragKey]bool // recently completed windows (duplicate guard)
-	doneFIFO []fragKey
+	doneFIFO keyRing
 	acks     map[ackKey]*ackWait // outstanding reliable windows
 	widSeq   uint32
 	closed   bool
@@ -99,9 +104,14 @@ type hostMetrics struct {
 	dupsDropped     *obs.Counter
 	inboxDropped    *obs.Counter
 	dupEvictions    *obs.Counter
+	fragEvictions   *obs.Counter // stale fragment buffers dropped
+	decodeErrors    *obs.Counter // undecodable packets dropped
 	retransmits     *obs.Counter
+	staleAcks       *obs.Counter // late/duplicate acks ignored
 	tracedWindows   *obs.Counter
-	ackRtt          *obs.Histogram // µs
+	inflight        *obs.Gauge     // reliable windows in flight
+	ackRtt          *obs.Histogram // per-attempt ack RTT, µs
+	backoffUs       *obs.Histogram // backed-off retransmit timeouts, µs
 }
 
 func newHostMetrics(r *obs.Registry, label string) hostMetrics {
@@ -114,9 +124,14 @@ func newHostMetrics(r *obs.Registry, label string) hostMetrics {
 		dupsDropped:     r.Counter(p + "duplicates_dropped"),
 		inboxDropped:    r.Counter(p + "inbox_dropped"),
 		dupEvictions:    r.Counter(p + "dup_guard_evictions"),
+		fragEvictions:   r.Counter(p + "frag_evictions"),
+		decodeErrors:    r.Counter(p + "decode_errors"),
 		retransmits:     r.Counter(p + "retransmits"),
+		staleAcks:       r.Counter(p + "stale_acks"),
 		tracedWindows:   r.Counter(p + "traced_windows"),
+		inflight:        r.Gauge(p + "reliable_inflight"),
 		ackRtt:          r.Histogram(p+"ack_rtt_us", nil),
+		backoffUs:       r.Histogram(p+"backoff_us", nil),
 	}
 }
 
@@ -144,6 +159,10 @@ func NewHost(label string, id, role uint32, cfg AppConfig, send netsim.Sender, r
 	if reg == nil {
 		reg = obs.Default()
 	}
+	inboxCap := cfg.InboxCap
+	if inboxCap <= 0 {
+		inboxCap = 65536
+	}
 	h := &Host{
 		label:     label,
 		id:        id,
@@ -152,7 +171,7 @@ func NewHost(label string, id, role uint32, cfg AppConfig, send netsim.Sender, r
 		send:      send,
 		route:     routes,
 		met:       newHostMetrics(reg, label),
-		inbox:     make(chan *RecvWindow, 65536),
+		inbox:     make(chan *RecvWindow, inboxCap),
 		frags:     map[fragKey]*fragBuf{},
 		done:      map[fragKey]bool{},
 		inKernels: map[string]*ir.Func{},
@@ -176,14 +195,17 @@ func (h *Host) Label() string { return h.label }
 func (h *Host) ID() uint32 { return h.id }
 
 // Receive implements netsim.Node: NCP packets are decoded, reassembled,
-// and queued for In; anything else is dropped (hosts are endpoints).
+// and queued for In; undecodable traffic is counted and dropped (hosts
+// are endpoints).
 func (h *Host) Receive(_ netsim.Sender, pkt *netsim.Packet, from string) {
 	hd, user, hops, payload, err := ncp.DecodeFull(pkt.Data)
 	if err != nil {
+		h.met.decodeErrors.Inc()
 		return
 	}
-	if h.handleAckTraffic(hd, from) {
-		return // pure acknowledgment, consumed
+	if hd.Flags&ncp.FlagAck != 0 {
+		h.handleAck(hd) // pure acknowledgment, consumed
+		return
 	}
 	if hd.Flags&ncp.FlagTrace != 0 {
 		// Trace reassembly: close the window's hop record with this
@@ -194,35 +216,64 @@ func (h *Host) Receive(_ netsim.Sender, pkt *netsim.Packet, from string) {
 		})
 	}
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.closed {
-		return
+	ackHdr := h.receiveLocked(hd, user, hops, payload)
+	h.mu.Unlock()
+	// Acks are emitted outside h.mu (transmit can block on a congested
+	// fabric) and only for windows that were enqueued or are confirmed
+	// duplicates of enqueued ones — never for overflow-dropped windows,
+	// which the sender must retransmit.
+	if ackHdr != nil {
+		h.sendAck(ackHdr)
 	}
+}
+
+// receiveLocked dispatches one decoded packet. Caller holds h.mu. The
+// returned header, if any, is a reliable window to acknowledge.
+func (h *Host) receiveLocked(hd *ncp.Header, user []uint64, hops []ncp.Hop, payload []byte) *ncp.Header {
+	if h.closed {
+		return nil
+	}
+	wantAck := hd.Flags&ncp.FlagAckRequest != 0
 	if hd.FragCount <= 1 && hd.BatchCount > 1 {
 		// Multi-window packet reaching a host without on-path unbatching:
-		// split into individual windows.
+		// split into individual windows. Each sub-window gets its own
+		// user/hops copies (consumers own their RecvWindow).
+		if len(payload)%int(hd.BatchCount) != 0 {
+			h.met.decodeErrors.Inc()
+			return nil // payload does not split evenly across the batch
+		}
 		per := len(payload) / int(hd.BatchCount)
 		for k := 0; k < int(hd.BatchCount); k++ {
 			sub := *hd
 			sub.BatchCount = 1
 			sub.WindowSeq = hd.WindowSeq + uint32(k)
-			h.enqueue(&RecvWindow{Header: &sub, User: user, Raw: append([]byte(nil), payload[k*per:(k+1)*per]...), Trace: hops})
+			h.enqueue(&RecvWindow{
+				Header: &sub,
+				User:   append([]uint64(nil), user...),
+				Raw:    append([]byte(nil), payload[k*per:(k+1)*per]...),
+				Trace:  append([]ncp.Hop(nil), hops...),
+			})
 		}
-		return
+		return nil
 	}
 	if hd.FragCount <= 1 {
-		if hd.Flags&ncp.FlagAckRequest != 0 {
-			// Retransmits of an already-delivered reliable window are
-			// re-acknowledged (above) but enqueued only once.
-			key := fragKey{hd.Sender, hd.Wid, hd.WindowSeq}
-			if h.done[key] {
-				h.met.dupsDropped.Inc()
-				return
-			}
-			h.markDone(key)
+		if !wantAck {
+			h.enqueue(&RecvWindow{Header: hd, User: user, Raw: append([]byte(nil), payload...), Trace: hops})
+			return nil
 		}
-		h.enqueue(&RecvWindow{Header: hd, User: user, Raw: append([]byte(nil), payload...), Trace: hops})
-		return
+		// Reliable window: retransmits of an already-delivered window are
+		// re-acknowledged but enqueued only once; a window the inbox
+		// drops is neither recorded nor acked.
+		key := fragKey{hd.Sender, hd.Wid, hd.WindowSeq}
+		if h.done[key] {
+			h.met.dupsDropped.Inc()
+			return hd
+		}
+		if !h.enqueue(&RecvWindow{Header: hd, User: user, Raw: append([]byte(nil), payload...), Trace: hops}) {
+			return nil
+		}
+		h.markDone(key)
+		return hd
 	}
 	// Multi-packet window: reassemble (hosts only, §6). Fragments of an
 	// already-delivered window (retransmits, fabric duplication) are
@@ -230,22 +281,26 @@ func (h *Host) Receive(_ netsim.Sender, pkt *netsim.Packet, from string) {
 	key := fragKey{hd.Sender, hd.Wid, hd.WindowSeq}
 	if h.done[key] {
 		h.met.dupsDropped.Inc()
-		return
+		if wantAck {
+			return hd
+		}
+		return nil
 	}
 	fb := h.frags[key]
 	if fb == nil {
 		fb = &fragBuf{header: hd, user: user, hops: hops, parts: make([][]byte, hd.FragCount)}
 		h.frags[key] = fb
+		h.fragFIFO.push(key)
+		h.evictFrags()
 	}
 	if int(hd.FragIdx) >= len(fb.parts) || fb.parts[hd.FragIdx] != nil {
 		h.met.dupsDropped.Inc()
-		return // duplicate or malformed fragment
+		return nil // duplicate or malformed fragment
 	}
 	fb.parts[hd.FragIdx] = append([]byte(nil), payload...)
 	fb.have++
 	if fb.have == len(fb.parts) {
 		delete(h.frags, key)
-		h.markDone(key)
 		h.met.fragsReasm.Add(uint64(len(fb.parts)))
 		var full []byte
 		for _, p := range fb.parts {
@@ -253,8 +308,14 @@ func (h *Host) Receive(_ netsim.Sender, pkt *netsim.Packet, from string) {
 		}
 		hd2 := *fb.header
 		hd2.FragIdx, hd2.FragCount = 0, 1
-		h.enqueue(&RecvWindow{Header: &hd2, User: fb.user, Raw: full, Trace: fb.hops})
+		if h.enqueue(&RecvWindow{Header: &hd2, User: fb.user, Raw: full, Trace: fb.hops}) {
+			h.markDone(key)
+			if wantAck {
+				return hd
+			}
+		}
 	}
+	return nil
 }
 
 // vtimeNs converts the fabric's virtual arrival time to the trace's
@@ -272,25 +333,83 @@ func vtimeNs(pkt *netsim.Packet) uint64 {
 // host.<label>.dup_guard_evictions).
 const dupGuardCap = 4096
 
+// fragBufCap bounds outstanding fragment buffers: windows that never
+// complete (a lost fragment, a sender that died mid-window) would
+// otherwise leak their partial buffers forever. Past the cap the oldest
+// outstanding buffer is evicted (host.<label>.frag_evictions).
+const fragBufCap = 1024
+
+// keyRing is a growable FIFO ring of fragKeys. Unlike re-slicing a plain
+// slice ([1:]), popping advances a head index, so the backing array is
+// reused in steady state instead of creeping forward until reallocation.
+type keyRing struct {
+	buf  []fragKey
+	head int
+	n    int
+}
+
+func (r *keyRing) push(k fragKey) {
+	if r.n == len(r.buf) {
+		grown := make([]fragKey, max(2*len(r.buf), 16))
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf, r.head = grown, 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = k
+	r.n++
+}
+
+func (r *keyRing) pop() (fragKey, bool) {
+	if r.n == 0 {
+		return fragKey{}, false
+	}
+	k := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return k, true
+}
+
+func (r *keyRing) len() int { return r.n }
+
 // markDone records a delivered window in the bounded duplicate guard.
 // Caller holds h.mu.
 func (h *Host) markDone(key fragKey) {
 	h.done[key] = true
-	h.doneFIFO = append(h.doneFIFO, key)
-	if len(h.doneFIFO) > dupGuardCap {
-		delete(h.done, h.doneFIFO[0])
-		h.doneFIFO = h.doneFIFO[1:]
+	h.doneFIFO.push(key)
+	if h.doneFIFO.len() > dupGuardCap {
+		old, _ := h.doneFIFO.pop()
+		delete(h.done, old)
 		h.met.dupEvictions.Inc()
 	}
 }
 
-func (h *Host) enqueue(rw *RecvWindow) {
+// evictFrags drops the oldest outstanding fragment buffers past the cap.
+// FIFO entries whose window already completed are skipped (their buffer
+// is gone). Caller holds h.mu.
+func (h *Host) evictFrags() {
+	for len(h.frags) > fragBufCap {
+		old, ok := h.fragFIFO.pop()
+		if !ok {
+			return
+		}
+		if _, live := h.frags[old]; live {
+			delete(h.frags, old)
+			h.met.fragEvictions.Inc()
+		}
+	}
+}
+
+// enqueue queues one window for the application, reporting whether it
+// was accepted (false = inbox overflow, dropped like a NIC queue).
+func (h *Host) enqueue(rw *RecvWindow) bool {
 	select {
 	case h.inbox <- rw:
 		h.met.windowsReceived.Inc()
+		return true
 	default:
-		// Inbox overflow: drop, like a NIC queue.
 		h.met.inboxDropped.Inc()
+		return false
 	}
 }
 
@@ -325,27 +444,11 @@ func (h *Host) Out(inv Invocation, arrays [][]uint64) error {
 	if err != nil {
 		return err
 	}
-	if len(arrays) != len(specs) {
-		return fmt.Errorf("runtime: kernel %s takes %d window arrays, got %d", inv.Kernel, len(specs), len(arrays))
+	windows, err := h.windowCount(inv.Kernel, arrays, specs)
+	if err != nil {
+		return err
 	}
 	W := h.cfg.WindowLen
-	windows := -1
-	for pi, sp := range specs {
-		var n int
-		if sp.Elems == W {
-			if len(arrays[pi])%W != 0 {
-				return fmt.Errorf("runtime: array %d length %d is not a multiple of the window length %d", pi, len(arrays[pi]), W)
-			}
-			n = len(arrays[pi]) / W
-		} else {
-			n = len(arrays[pi]) // scalar: one element per window
-		}
-		if windows == -1 {
-			windows = n
-		} else if windows != n {
-			return fmt.Errorf("runtime: arrays disagree on window count (%d vs %d)", windows, n)
-		}
-	}
 	wid := h.nextWid()
 	winAt := func(seq int) [][]uint64 {
 		winData := make([][]uint64, len(specs))

@@ -59,8 +59,10 @@ type Invocation = runtime.Invocation
 // RecvWindow is a window delivered to an incoming kernel.
 type RecvWindow = runtime.RecvWindow
 
-// ReliableOptions configures Host.OutReliable (acknowledged windows with
-// retransmission — suitable for idempotent/pass-through kernels only).
+// ReliableOptions configures Host.OutReliable, the pipelined
+// sliding-window reliable transport (acknowledged windows, selective
+// retransmission with exponential backoff, a configurable in-flight cap
+// — suitable for idempotent/pass-through kernels only).
 type ReliableOptions = runtime.ReliableOptions
 
 // Controller is the control plane: program install, _ctrl_ writes,
