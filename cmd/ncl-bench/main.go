@@ -1,8 +1,10 @@
 // ncl-bench regenerates the full evaluation of EXPERIMENTS.md: one table
-// per experiment E1-E9 of DESIGN.md §4. Each experiment exercises a claim
-// of the paper (programmability, in-network aggregation wins, cache load
-// absorption, window economics, protocol overhead, compiler feasibility,
-// backend portability, recirculation cost).
+// per table-driven experiment (E1-E9, E11) of DESIGN.md §4. Each
+// experiment exercises a claim of the paper (programmability, in-network
+// aggregation wins, cache load absorption, window economics, protocol
+// overhead, compiler feasibility, backend portability, recirculation
+// cost, data-path concurrency). E10 (reliable transport) lives in the Go
+// benchmarks (`go test -bench ReliableLossy`).
 //
 // Usage:
 //
@@ -19,7 +21,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (E1..E8)")
+	only := flag.String("only", "", "run a single experiment (E1..E9, E11)")
 	flag.Parse()
 
 	type exp struct {
@@ -36,6 +38,7 @@ func main() {
 		{"E7", bench.E7Backends},
 		{"E8", bench.E8Recirc},
 		{"E9", bench.E9Hierarchy},
+		{"E11", bench.E11DataPath},
 	}
 	ran := 0
 	for _, e := range exps {

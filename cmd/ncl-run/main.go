@@ -56,6 +56,7 @@ func main() {
 	relWindow := flag.Int("rel-window", 0, "reliable transport: max windows in flight (0 = default 32)")
 	relTimeout := flag.Duration("rel-timeout", 0, "reliable transport: first-attempt retransmit timeout (0 = default 20ms)")
 	relRetries := flag.Int("rel-retries", 0, "reliable transport: retransmits per window (0 = default 5)")
+	workers := flag.Int("workers", 0, "host send workers for Out (0 = GOMAXPROCS, 1 = serial deterministic order)")
 	flag.Parse()
 	if flag.NArg() != 1 || *andPath == "" || *kernel == "" {
 		fmt.Fprintln(os.Stderr, "usage: ncl-run -and <file.and> -kernel <name> [-loc s1] [-data ...] [-metrics] [-trace N] <file.ncl>")
@@ -68,7 +69,7 @@ func main() {
 	andSrc, err := os.ReadFile(*andPath)
 	must(err)
 
-	art, err := ncl.Build(string(nclSrc), string(andSrc), ncl.BuildOptions{WindowLen: *w})
+	art, err := ncl.Build(string(nclSrc), string(andSrc), ncl.BuildOptions{WindowLen: *w, SendWorkers: *workers})
 	must(err)
 
 	if *metrics || *traceEvery > 0 || *reliable {

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"fmt"
+	gort "runtime"
+	"time"
+
+	"ncl/internal/and"
+	"ncl/internal/ncp"
+	"ncl/internal/netsim"
+	"ncl/internal/obs"
+	"ncl/internal/runtime"
+)
+
+// discardSender drops every packet: E11 measures the host data path
+// alone, not a transport.
+type discardSender struct{ net *and.Network }
+
+func (d *discardSender) Network() *and.Network                    { return d.net }
+func (d *discardSender) Send(_, _ string, _ *netsim.Packet) error { return nil }
+
+// E11DataPath measures the concurrent, pooled window data path
+// (DESIGN.md §5.8): the Out worker sweep against a discard transport,
+// reporting throughput and the per-packet allocation rate that the
+// sync.Pool-backed encode scratch keeps flat (~2 allocs per packet: the
+// marshal buffer, whose ownership transfers to the transport, and the
+// packet envelope). On a single-core runner the worker sweep degenerates
+// to the serial path; the shape claim needs GOMAXPROCS > 1.
+func E11DataPath() (*Table, error) {
+	const W, windows, reps = 16, 4096, 8
+	net, err := and.Parse("host a\nhost b\nlink a b")
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: fmt.Sprintf("E11: data-path concurrency — Out worker sweep (%d windows x %d x int32, GOMAXPROCS=%d)",
+			windows, W, gort.GOMAXPROCS(0)),
+		Header: []string{"send-workers", "wall-ms", "windows-per-sec", "allocs-per-packet"},
+	}
+	data := make([]uint64, windows*W)
+	for i := range data {
+		data[i] = uint64(i)
+	}
+	inv := runtime.Invocation{Kernel: "k", Dest: "b"}
+	for _, workers := range []int{1, 2, 4, 0} {
+		cfg := runtime.AppConfig{
+			KernelIDs:   map[string]uint32{"k": 1},
+			OutSpecs:    map[string][]ncp.ParamSpec{"k": {{Elems: W, Bytes: 4, Signed: true}}},
+			WindowLen:   W,
+			SendWorkers: workers,
+			Obs:         obs.NewRegistry(),
+		}
+		h := runtime.NewHost("a", 1, 0, cfg, &discardSender{net: net}, map[string]string{"b": "b"})
+		// Warm the scratch pools before measuring.
+		if err := h.Out(inv, [][]uint64{data}); err != nil {
+			return nil, fmt.Errorf("E11 workers=%d: %w", workers, err)
+		}
+		var before, after gort.MemStats
+		gort.ReadMemStats(&before)
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			if err := h.Out(inv, [][]uint64{data}); err != nil {
+				return nil, fmt.Errorf("E11 workers=%d: %w", workers, err)
+			}
+		}
+		wall := time.Since(start)
+		gort.ReadMemStats(&after)
+		perPkt := float64(after.Mallocs-before.Mallocs) / float64(reps*windows)
+		label := fmt.Sprint(workers)
+		if workers == 0 {
+			label = fmt.Sprintf("max (%d)", gort.GOMAXPROCS(0))
+		}
+		t.AddRow(label,
+			fmt.Sprintf("%.1f", float64(wall)/float64(time.Millisecond)),
+			fmt.Sprintf("%.0f", float64(reps*windows)/wall.Seconds()),
+			fmt.Sprintf("%.2f", perPkt))
+	}
+	return t, nil
+}

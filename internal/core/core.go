@@ -47,6 +47,10 @@ type BuildOptions struct {
 	// Batch packs up to this many consecutive windows per NCP packet
 	// (§4.2 multi-window packets); 0/1 = one window per packet.
 	Batch int
+	// SendWorkers shards each host's Out across this many goroutines
+	// (0 = GOMAXPROCS, 1 = serial deterministic send order); see
+	// runtime.AppConfig.SendWorkers.
+	SendWorkers int
 }
 
 // StageTiming records one pipeline stage's duration (experiment E6).
@@ -57,10 +61,11 @@ type StageTiming struct {
 
 // Artifact is a completed build.
 type Artifact struct {
-	Name      string
-	WindowLen int
-	Batch     int
-	Target    pisa.TargetConfig
+	Name        string
+	WindowLen   int
+	Batch       int
+	SendWorkers int
+	Target      pisa.TargetConfig
 
 	Info      *sema.Info
 	Generic   *ir.Module               // optimized location-agnostic module
@@ -87,14 +92,15 @@ func Build(nclSrc, andSrc string, opts BuildOptions) (*Artifact, error) {
 		opts.ModuleName = "app"
 	}
 	art := &Artifact{
-		Name:      opts.ModuleName,
-		WindowLen: opts.WindowLen,
-		Batch:     opts.Batch,
-		Target:    opts.Target,
-		Programs:  map[string]*pisa.Program{},
-		P4Text:    map[string]string{},
-		P4Stats:   map[string]p4.Stats{},
-		KernelIDs: map[string]uint32{},
+		Name:        opts.ModuleName,
+		WindowLen:   opts.WindowLen,
+		Batch:       opts.Batch,
+		SendWorkers: opts.SendWorkers,
+		Target:      opts.Target,
+		Programs:    map[string]*pisa.Program{},
+		P4Text:      map[string]string{},
+		P4Stats:     map[string]p4.Stats{},
+		KernelIDs:   map[string]uint32{},
 	}
 	art.SourceLines = strings.Count(nclSrc, "\n") + 1
 
@@ -244,12 +250,13 @@ func locIDOf(locs []passes.Location, label string) uint32 {
 // AppConfig derives the runtime configuration hosts need.
 func (a *Artifact) AppConfig() runtime.AppConfig {
 	cfg := runtime.AppConfig{
-		KernelIDs:  a.KernelIDs,
-		OutSpecs:   map[string][]ncp.ParamSpec{},
-		WindowLen:  a.WindowLen,
-		HostModule: a.Host,
-		HostLabels: map[uint32]string{},
-		Batch:      a.Batch,
+		KernelIDs:   a.KernelIDs,
+		OutSpecs:    map[string][]ncp.ParamSpec{},
+		WindowLen:   a.WindowLen,
+		HostModule:  a.Host,
+		HostLabels:  map[uint32]string{},
+		Batch:       a.Batch,
+		SendWorkers: a.SendWorkers,
 	}
 	for _, hn := range a.Net.Hosts() {
 		cfg.HostLabels[hn.ID] = hn.Label

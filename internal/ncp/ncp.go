@@ -199,13 +199,54 @@ func Decode(pkt []byte) (*Header, []uint64, []byte, error) {
 
 // DecodeFull parses an NCP packet including any in-band hop trace,
 // verifying magic, version, known flags, structure, and checksum. The
-// returned payload aliases pkt.
+// returned payload aliases pkt; user values and hops are freshly
+// allocated. Hot receive paths should prefer DecodeFullInto, which
+// reuses one Decoded scratch struct across packets.
 func DecodeFull(pkt []byte) (*Header, []uint64, []Hop, []byte, error) {
+	var d Decoded
+	if err := DecodeFullInto(pkt, &d); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	h := new(Header)
+	*h = d.Header
+	var userVals []uint64
+	if len(d.User) > 0 {
+		userVals = append(userVals, d.User...)
+	}
+	var hops []Hop
+	if len(d.Hops) > 0 {
+		hops = append(hops, d.Hops...)
+	}
+	return h, userVals, hops, d.Payload, nil
+}
+
+// Decoded is a reusable decode target for DecodeFullInto: the zero-copy
+// mode of DecodeFull. User and Hops are backed by scratch slices owned by
+// the struct (valid until the next DecodeFullInto on it); Payload aliases
+// the decoded packet. Consumers that retain any of the three past the
+// next decode must copy.
+type Decoded struct {
+	Header  Header
+	User    []uint64
+	Hops    []Hop
+	Payload []byte
+}
+
+// DecodeFullInto parses an NCP packet into d without allocating in
+// steady state: the header is written in place, user values and hop
+// records reuse d's scratch slices, and the payload aliases pkt. It
+// performs the same magic/version/flag/structure/checksum validation as
+// DecodeFull.
+func DecodeFullInto(pkt []byte, d *Decoded) error {
+	d.User = d.User[:0]
+	d.Hops = d.Hops[:0]
+	d.Payload = nil
 	if !IsNCP(pkt) {
-		return nil, nil, nil, nil, ErrNotNCP
+		return ErrNotNCP
 	}
 	be := binary.BigEndian
-	h := &Header{
+	h := &d.Header
+	*h = Header{
 		Version:    pkt[2],
 		Flags:      pkt[3],
 		KernelID:   be.Uint32(pkt[4:8]),
@@ -222,42 +263,41 @@ func DecodeFull(pkt []byte) (*Header, []uint64, []Hop, []byte, error) {
 		PayloadLen: be.Uint16(pkt[34:36]),
 	}
 	if h.Version != Version {
-		return nil, nil, nil, nil, fmt.Errorf("ncp: unsupported version %d", h.Version)
+		return fmt.Errorf("ncp: unsupported version %d", h.Version)
 	}
 	if unknown := h.Flags &^ KnownFlags; unknown != 0 {
-		return nil, nil, nil, nil, fmt.Errorf("ncp: unknown flag bits %#02x (known: %#02x)", unknown, uint8(KnownFlags))
+		return fmt.Errorf("ncp: unknown flag bits %#02x (known: %#02x)", unknown, uint8(KnownFlags))
 	}
 	want := HeaderSize + 8*int(h.UserCount) + int(h.PayloadLen)
 	traceOff := HeaderSize + 8*int(h.UserCount)
 	nHops := 0
 	if h.Flags&FlagTrace != 0 {
 		if len(pkt) < traceOff+1 {
-			return nil, nil, nil, nil, fmt.Errorf("ncp: truncated packet: no room for the trace count")
+			return fmt.Errorf("ncp: truncated packet: no room for the trace count")
 		}
 		nHops = int(pkt[traceOff])
 		want += 1 + 8*nHops
 	}
 	if len(pkt) < want {
-		return nil, nil, nil, nil, fmt.Errorf("ncp: truncated packet: %d bytes, header implies %d", len(pkt), want)
+		return fmt.Errorf("ncp: truncated packet: %d bytes, header implies %d", len(pkt), want)
 	}
 	if got := verifyChecksum(pkt[:want]); got != h.Checksum {
-		return nil, nil, nil, nil, fmt.Errorf("ncp: checksum mismatch (%#04x != %#04x)", got, h.Checksum)
+		return fmt.Errorf("ncp: checksum mismatch (%#04x != %#04x)", got, h.Checksum)
 	}
-	var userVals []uint64
 	off := HeaderSize
 	for i := 0; i < int(h.UserCount); i++ {
-		userVals = append(userVals, be.Uint64(pkt[off:off+8]))
+		d.User = append(d.User, be.Uint64(pkt[off:off+8]))
 		off += 8
 	}
-	var hops []Hop
 	if h.Flags&FlagTrace != 0 {
 		off++ // hop count byte
 		for i := 0; i < nHops; i++ {
-			hops = append(hops, UnpackHop(be.Uint64(pkt[off:off+8])))
+			d.Hops = append(d.Hops, UnpackHop(be.Uint64(pkt[off:off+8])))
 			off += 8
 		}
 	}
-	return h, userVals, hops, pkt[off : off+int(h.PayloadLen)], nil
+	d.Payload = pkt[off : off+int(h.PayloadLen)]
+	return nil
 }
 
 // checksum computes the 16-bit one's-complement sum over buf with the
@@ -303,21 +343,37 @@ func PayloadSize(specs []ParamSpec) int {
 // EncodePayload serializes window data (canonical 64-bit values, one
 // slice per parameter) into big-endian wire form.
 func EncodePayload(data [][]uint64, specs []ParamSpec) ([]byte, error) {
+	return AppendPayload(nil, data, specs)
+}
+
+// AppendPayload is EncodePayload into a caller-provided buffer: the
+// encoded window is appended to dst and the extended slice returned.
+// Hot send paths pass pooled scratch (dst[:0]) so encoding allocates
+// nothing in steady state; batching callers append several windows into
+// one buffer.
+func AppendPayload(dst []byte, data [][]uint64, specs []ParamSpec) ([]byte, error) {
 	if len(data) != len(specs) {
 		return nil, fmt.Errorf("ncp: %d data arrays for %d parameters", len(data), len(specs))
 	}
-	buf := make([]byte, PayloadSize(specs))
-	off := 0
+	base := len(dst)
+	need := PayloadSize(specs)
+	if cap(dst)-base < need {
+		grown := make([]byte, base, base+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:base+need]
+	off := base
 	for pi, s := range specs {
 		if len(data[pi]) != s.Elems {
 			return nil, fmt.Errorf("ncp: parameter %d has %d elements, spec says %d", pi, len(data[pi]), s.Elems)
 		}
 		for _, v := range data[pi] {
-			putBE(buf[off:off+s.Bytes], v)
+			putBE(dst[off:off+s.Bytes], v)
 			off += s.Bytes
 		}
 	}
-	return buf, nil
+	return dst, nil
 }
 
 // DecodePayload parses wire form back into canonical 64-bit values

@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ncl/internal/and"
 	"ncl/internal/obs"
@@ -65,8 +66,16 @@ type LinkStats struct {
 type Faults struct {
 	DropProb float64
 	DupProb  float64
-	// ReorderProb swaps a packet with the next one on the same link.
+	// ReorderProb swaps a packet with the next one on the same link: the
+	// selected packet is held back and delivered after the link's next
+	// send.
 	ReorderProb float64
+	// ReorderHold bounds how long a held-back packet waits for that next
+	// send (0 = 10ms): when it expires the packet is delivered anyway, so
+	// the final packet of a run cannot silently vanish in the hold-back
+	// slot. Tests pin it high to exercise Stop/ResetStats flushing
+	// deterministically.
+	ReorderHold time.Duration
 	Seed        int64
 }
 
@@ -86,7 +95,7 @@ type Fabric struct {
 	faults  Faults
 	rngMu   sync.Mutex
 	rng     *rand.Rand
-	pending map[linkKey]*delivery // reorder hold-back slot per link
+	pending map[linkKey]*heldPkt // reorder hold-back slot per link
 
 	vt vclock // virtual-time bookkeeping (vtime.go)
 
@@ -94,11 +103,27 @@ type Fabric struct {
 	// waits for a link to finish serializing earlier traffic
 	// (fabric.queue_wait_us; SetObs re-homes it).
 	queueWait *obs.Histogram
+	// reorderFlushed counts hold-back packets delivered by their
+	// ReorderHold timeout or a ResetStats flush rather than a later send;
+	// reorderStranded counts hold-back packets still parked at Stop
+	// (also added to the link's Dropped).
+	reorderFlushed  *obs.Counter
+	reorderStranded *obs.Counter
 }
 
 type delivery struct {
 	pkt  *Packet
 	from string
+}
+
+// heldPkt is one reorder hold-back packet with everything needed to
+// deliver it later: the link counters, the destination inbox, and the
+// deliver-on-timeout timer.
+type heldPkt struct {
+	d     delivery
+	st    *LinkStats
+	inbox chan delivery
+	timer *time.Timer
 }
 
 // New creates a fabric over the AND network. Attach nodes for every label
@@ -112,7 +137,7 @@ func New(network *and.Network, faults Faults) *Fabric {
 		stopped: make(chan struct{}),
 		faults:  faults,
 		rng:     rand.New(rand.NewSource(faults.Seed)),
-		pending: map[linkKey]*delivery{},
+		pending: map[linkKey]*heldPkt{},
 		vt:      vclock{linkFree: map[linkKey]float64{}},
 	}
 	f.SetObs(obs.NewRegistry()) // private until a deployment re-homes it
@@ -129,6 +154,10 @@ func (f *Fabric) SetObs(r *obs.Registry) {
 	f.vt.mu.Lock()
 	f.queueWait = r.Histogram("fabric.queue_wait_us", nil)
 	f.vt.mu.Unlock()
+	f.rngMu.Lock()
+	f.reorderFlushed = r.Counter("fabric.reorder_flushed")
+	f.reorderStranded = r.Counter("fabric.reorder_stranded")
+	f.rngMu.Unlock()
 }
 
 // Network returns the underlying AND.
@@ -177,12 +206,58 @@ func (f *Fabric) Start() error {
 // Stop terminates the fabric; in-flight packets are dropped. Sends after
 // (or racing with) Stop fail cleanly — inbox channels are never closed,
 // the stop signal alone ends the workers, so concurrent data-plane sends
-// cannot panic.
+// cannot panic. Reorder hold-back packets still parked at shutdown are
+// stranded: they count against their link's Dropped (and
+// fabric.reorder_stranded) instead of silently vanishing.
 func (f *Fabric) Stop() {
 	f.stopOnce.Do(func() {
+		for _, hp := range f.takePending() {
+			hp.st.Dropped.Add(1)
+			f.reorderStranded.Inc()
+		}
 		close(f.stopped)
 		f.wg.Wait()
 	})
+}
+
+// takePending removes and returns every reorder hold-back packet,
+// disarming their deliver-on-timeout timers. A timer that already fired
+// and is waiting on the lock finds its slot empty and does nothing.
+func (f *Fabric) takePending() []*heldPkt {
+	f.rngMu.Lock()
+	defer f.rngMu.Unlock()
+	out := make([]*heldPkt, 0, len(f.pending))
+	for key, hp := range f.pending {
+		hp.timer.Stop()
+		delete(f.pending, key)
+		out = append(out, hp)
+	}
+	return out
+}
+
+// deliverHeld completes a hold-back packet's delivery (counters were not
+// yet applied while it was parked).
+func (f *Fabric) deliverHeld(hp *heldPkt) {
+	hp.st.Packets.Add(1)
+	hp.st.Bytes.Add(uint64(len(hp.d.pkt.Data)))
+	select {
+	case hp.inbox <- hp.d:
+	case <-f.stopped:
+	}
+}
+
+// flushHeld delivers a hold-back packet whose ReorderHold expired before
+// any later send on its link flushed it.
+func (f *Fabric) flushHeld(key linkKey, hp *heldPkt) {
+	f.rngMu.Lock()
+	if f.pending[key] != hp {
+		f.rngMu.Unlock()
+		return // already flushed by a later send, ResetStats, or Stop
+	}
+	delete(f.pending, key)
+	f.rngMu.Unlock()
+	f.reorderFlushed.Inc()
+	f.deliverHeld(hp)
 }
 
 // Send transmits pkt from `from` to the direct neighbor `to`. It applies
@@ -225,22 +300,36 @@ func (f *Fabric) Send(from, to string, pkt *Packet) error {
 	dup := f.rng.Float64() < f.faults.DupProb
 	reorder := f.rng.Float64() < f.faults.ReorderProb
 	held := f.pending[key]
-	if reorder {
-		f.pending[key] = &d
-	} else {
+	if held != nil {
+		held.timer.Stop()
 		delete(f.pending, key)
+	}
+	if reorder && !drop {
+		// Park this packet until the link's next send — or until
+		// ReorderHold expires, whichever comes first, so it cannot be
+		// stranded when no later send arrives.
+		hp := &heldPkt{d: d, st: st, inbox: inbox}
+		f.pending[key] = hp
+		hold := f.faults.ReorderHold
+		if hold <= 0 {
+			hold = 10 * time.Millisecond
+		}
+		hp.timer = time.AfterFunc(hold, func() { f.flushHeld(key, hp) })
 	}
 	f.rngMu.Unlock()
 
 	if drop {
 		st.Dropped.Add(1)
+		if held != nil {
+			deliver(held.d)
+		}
 		return nil
 	}
 	if !reorder {
 		deliver(d)
 	}
 	if held != nil {
-		deliver(*held)
+		deliver(held.d)
 	}
 	if dup {
 		dupPkt := &Packet{Src: pkt.Src, Dst: pkt.Dst, Data: append([]byte(nil), pkt.Data...)}
@@ -290,8 +379,14 @@ func (f *Fabric) HostBytes() uint64 {
 }
 
 // ResetStats zeroes all counters and the virtual clock (between
-// benchmark phases).
+// benchmark phases). Reorder hold-back packets from the previous phase
+// are flushed to their receivers first so no packet leaks across the
+// phase boundary.
 func (f *Fabric) ResetStats() {
+	for _, hp := range f.takePending() {
+		f.reorderFlushed.Inc()
+		f.deliverHeld(hp)
+	}
 	for _, st := range f.stats {
 		st.Packets.Store(0)
 		st.Bytes.Store(0)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ncl/internal/and"
+	"ncl/internal/obs"
 )
 
 // echoNode records everything it receives.
@@ -165,17 +166,18 @@ func TestDupInjection(t *testing.T) {
 }
 
 func TestReorderInjection(t *testing.T) {
-	fab := New(pairNet(t), Faults{ReorderProb: 1.0, Seed: 1})
+	// ReorderHold is pinned high so the hold-back slot stays parked for
+	// the duration of the check (deliver-on-timeout is tested separately).
+	fab := New(pairNet(t), Faults{ReorderProb: 1.0, ReorderHold: time.Hour, Seed: 1})
 	a := &echoNode{label: "a"}
 	b := &echoNode{label: "b"}
 	fab.Attach(a)
 	fab.Attach(b)
 	fab.Start()
 	defer fab.Stop()
-	// With ReorderProb=1 every packet is held until the next send, so
-	// packet 0 arrives after packet... actually each send holds the new
-	// packet and releases the previous: order becomes 0,1,2,... delayed by
-	// one slot. Send 4, expect 3 delivered (last still held).
+	// With ReorderProb=1 every send parks the new packet and releases the
+	// previous one: order becomes 0,1,2,... delayed by one slot. Send 4,
+	// expect 3 delivered (last still held until flush/timeout/stop).
 	for i := 0; i < 4; i++ {
 		fab.Send("a", "b", &Packet{Data: []byte{byte(i)}})
 	}
@@ -198,4 +200,84 @@ func TestSendAfterStop(t *testing.T) {
 		t.Error("send after stop must fail")
 	}
 	fab.Stop() // idempotent
+}
+
+// TestReorderHoldDeliversOnTimeout is the strand regression test: the
+// final packet of a run, parked in the reorder hold-back slot with no
+// later send to flush it, must still be delivered once ReorderHold
+// expires instead of silently vanishing.
+func TestReorderHoldDeliversOnTimeout(t *testing.T) {
+	fab := New(pairNet(t), Faults{ReorderProb: 1.0, ReorderHold: 5 * time.Millisecond, Seed: 1})
+	reg := obs.NewRegistry()
+	fab.SetObs(reg)
+	a := &echoNode{label: "a"}
+	b := &echoNode{label: "b"}
+	fab.Attach(a)
+	fab.Attach(b)
+	fab.Start()
+	defer fab.Stop()
+
+	// The only packet of the run is held back; nothing else will ever
+	// flush it.
+	if err := fab.Send("a", "b", &Packet{Data: []byte{42}}); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, b, 1)
+	if got := reg.Snapshot().Counters["fabric.reorder_flushed"]; got != 1 {
+		t.Errorf("reorder_flushed = %d, want 1", got)
+	}
+	st := fab.Stats("a", "b")
+	if st.Packets.Load() != 1 || st.Dropped.Load() != 0 {
+		t.Errorf("stats after timeout flush: %d delivered, %d dropped", st.Packets.Load(), st.Dropped.Load())
+	}
+}
+
+// TestReorderHoldFlushedOnResetStats: a phase boundary (ResetStats)
+// flushes parked packets to their receivers so they do not leak into
+// the next phase's counters or vanish.
+func TestReorderHoldFlushedOnResetStats(t *testing.T) {
+	fab := New(pairNet(t), Faults{ReorderProb: 1.0, ReorderHold: time.Hour, Seed: 1})
+	a := &echoNode{label: "a"}
+	b := &echoNode{label: "b"}
+	fab.Attach(a)
+	fab.Attach(b)
+	fab.Start()
+	defer fab.Stop()
+
+	if err := fab.Send("a", "b", &Packet{Data: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if b.count() != 0 {
+		t.Fatal("packet should be parked in the hold-back slot")
+	}
+	fab.ResetStats()
+	waitCount(t, b, 1)
+}
+
+// TestReorderHoldStrandedCountedOnStop: packets still parked at Stop are
+// stranded by shutdown — they must be counted on the link's Dropped
+// (and fabric.reorder_stranded), not silently lost.
+func TestReorderHoldStrandedCountedOnStop(t *testing.T) {
+	fab := New(pairNet(t), Faults{ReorderProb: 1.0, ReorderHold: time.Hour, Seed: 1})
+	reg := obs.NewRegistry()
+	fab.SetObs(reg)
+	a := &echoNode{label: "a"}
+	b := &echoNode{label: "b"}
+	fab.Attach(a)
+	fab.Attach(b)
+	fab.Start()
+
+	if err := fab.Send("a", "b", &Packet{Data: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	fab.Stop()
+	if b.count() != 0 {
+		t.Errorf("stranded packet delivered after Stop")
+	}
+	if got := fab.Stats("a", "b").Dropped.Load(); got != 1 {
+		t.Errorf("stranded packet not counted: Dropped = %d, want 1", got)
+	}
+	if got := reg.Snapshot().Counters["fabric.reorder_stranded"]; got != 1 {
+		t.Errorf("reorder_stranded = %d, want 1", got)
+	}
 }

@@ -85,7 +85,7 @@ type ackKey struct {
 // ackWait tracks one outstanding reliable window: the channel the sender
 // blocks on and when the most recent attempt left, so the ack's arrival
 // can be observed as a per-attempt round-trip latency
-// (host.<label>.ack_rtt_us). sent is guarded by Host.mu.
+// (host.<label>.ack_rtt_us). sent is guarded by Host.ackMu.
 type ackWait struct {
 	ch   chan struct{}
 	sent time.Time
@@ -100,6 +100,9 @@ func (h *Host) OutReliable(inv Invocation, arrays [][]uint64, opts ReliableOptio
 	opts = opts.withDefaults()
 	specs, err := h.outSpecs(inv.Kernel)
 	if err != nil {
+		return err
+	}
+	if err := h.checkUserFields(inv); err != nil {
 		return err
 	}
 	windows, err := h.windowCount(inv.Kernel, arrays, specs)
@@ -185,16 +188,16 @@ func (h *Host) windowCount(kernel string, arrays [][]uint64, specs []ncp.ParamSp
 func (h *Host) reliableWindow(inv Invocation, wid, seq uint32, winData [][]uint64, specs []ncp.ParamSpec, opts ReliableOptions) error {
 	k := ackKey{wid, seq}
 	w := &ackWait{ch: make(chan struct{})}
-	h.mu.Lock()
+	h.ackMu.Lock()
 	if h.acks == nil {
 		h.acks = map[ackKey]*ackWait{}
 	}
 	h.acks[k] = w
-	h.mu.Unlock()
+	h.ackMu.Unlock()
 	defer func() {
-		h.mu.Lock()
+		h.ackMu.Lock()
 		delete(h.acks, k)
-		h.mu.Unlock()
+		h.ackMu.Unlock()
 	}()
 	h.met.inflight.Add(1)
 	defer h.met.inflight.Add(-1)
@@ -211,9 +214,9 @@ func (h *Host) reliableWindow(inv Invocation, wid, seq uint32, winData [][]uint6
 			}
 			h.met.retransmits.Inc()
 		}
-		h.mu.Lock()
+		h.ackMu.Lock()
 		w.sent = time.Now() // per-attempt RTT baseline
-		h.mu.Unlock()
+		h.ackMu.Unlock()
 		if err := h.sendWindowFlags(inv, wid, seq, winData, specs, ncp.FlagAckRequest); err != nil {
 			return err
 		}
@@ -241,43 +244,13 @@ func (h *Host) reliableWindow(inv Invocation, wid, seq uint32, winData [][]uint6
 		seq, wid, opts.Retries+1)
 }
 
-// sendWindowFlags is sendWindow with extra NCP flags.
+// sendWindowFlags is sendWindow with extra NCP flags: the shared scratch
+// path enforces the reliable-windows-fit-one-packet rule when
+// FlagAckRequest is set.
 func (h *Host) sendWindowFlags(inv Invocation, wid, seq uint32, winData [][]uint64, specs []ncp.ParamSpec, flags uint8) error {
-	kid, ok := h.cfg.KernelIDs[inv.Kernel]
-	if !ok {
-		return fmt.Errorf("runtime: kernel %q has no id", inv.Kernel)
-	}
-	payload, err := ncp.EncodePayload(winData, specs)
-	if err != nil {
-		return err
-	}
-	userVals := make([]uint64, len(h.cfg.UserFields))
-	for i, name := range h.cfg.UserFields {
-		userVals[i] = inv.User[name]
-	}
-	hdr := ncp.Header{
-		Flags:     flags,
-		KernelID:  kid,
-		WindowSeq: seq,
-		WindowLen: uint16(h.cfg.WindowLen),
-		Sender:    h.id,
-		FromRole:  h.role,
-		Wid:       wid,
-		FragIdx:   0, FragCount: 1,
-	}
-	if len(payload) > h.cfg.MTU {
-		return fmt.Errorf("runtime: reliable windows must fit one packet (payload %dB > MTU %dB)", len(payload), h.cfg.MTU)
-	}
-	pkt, err := ncp.MarshalHops(&hdr, userVals, h.traceHops(1), payload)
-	if err != nil {
-		return err
-	}
-	if err := h.transmit(inv.Dest, pkt); err != nil {
-		return err
-	}
-	h.met.windowsSent.Inc()
-	h.met.packetsSent.Inc()
-	return nil
+	sc := h.getScratch()
+	defer h.putScratch(sc)
+	return h.sendWindowScratch(inv, wid, seq, winData, specs, flags, sc)
 }
 
 // handleAck consumes an acknowledgment for one of our reliable windows.
@@ -286,14 +259,14 @@ func (h *Host) sendWindowFlags(inv Invocation, wid, seq uint32, winData [][]uint
 // never double-closing the wait channel or skewing ack_rtt_us.
 func (h *Host) handleAck(hd *ncp.Header) {
 	k := ackKey{hd.Wid, hd.WindowSeq}
-	h.mu.Lock()
+	h.ackMu.Lock()
 	w, ok := h.acks[k]
 	var sent time.Time
 	if ok {
 		delete(h.acks, k)
 		sent = w.sent
 	}
-	h.mu.Unlock()
+	h.ackMu.Unlock()
 	if !ok {
 		h.met.staleAcks.Inc()
 		return

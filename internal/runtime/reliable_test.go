@@ -225,20 +225,21 @@ func TestDupGuardEvictionAllocsFlat(t *testing.T) {
 	lb := newLoopback(t)
 	h := NewHost("b", 2, 1, testConfig(t, 4), lb, map[string]string{})
 	mk := func(i int) fragKey { return fragKey{sender: 7, wid: uint32(i), seq: 0} }
+	sh := h.shardFor(7)
 	for i := 0; i < dupGuardCap+64; i++ {
-		h.mu.Lock()
-		h.markDone(mk(i))
-		h.mu.Unlock()
+		sh.mu.Lock()
+		h.markDone(sh, mk(i))
+		sh.mu.Unlock()
 	}
-	if h.doneFIFO.len() != dupGuardCap || len(h.done) != dupGuardCap {
-		t.Fatalf("guard size %d/%d, want %d", h.doneFIFO.len(), len(h.done), dupGuardCap)
+	if sh.doneFIFO.len() != dupGuardCap || len(sh.done) != dupGuardCap {
+		t.Fatalf("guard size %d/%d, want %d", sh.doneFIFO.len(), len(sh.done), dupGuardCap)
 	}
 	i := dupGuardCap + 64
 	allocs := testing.AllocsPerRun(4096, func() {
-		h.mu.Lock()
-		h.markDone(mk(i))
+		sh.mu.Lock()
+		h.markDone(sh, mk(i))
 		i++
-		h.mu.Unlock()
+		sh.mu.Unlock()
 	})
 	// The ring itself must be allocation-free; tolerate stray map-bucket
 	// churn well below the old slice-regrowth cost.
@@ -269,9 +270,10 @@ func TestFragBufferEviction(t *testing.T) {
 		}
 		recv.Receive(lb, &netsim.Packet{Dst: "b", Data: pkt}, "s1")
 	}
-	recv.mu.Lock()
-	live := len(recv.frags)
-	recv.mu.Unlock()
+	sh := recv.shardFor(7)
+	sh.mu.Lock()
+	live := len(sh.frags)
+	sh.mu.Unlock()
 	if live > fragBufCap {
 		t.Errorf("%d live fragment buffers, cap is %d", live, fragBufCap)
 	}

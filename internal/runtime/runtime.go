@@ -8,10 +8,18 @@
 // Host application code uses this package the way the paper's main()
 // uses ncl::out / ncl::in / ncl::ctrl_wr — the Go API stands in for the
 // Clang-compiled host binary (see DESIGN.md substitution table).
+//
+// Data-path concurrency (DESIGN.md §5.8): Out shards its window range
+// across AppConfig.SendWorkers goroutines with pooled encode scratch and
+// per-worker counter batching; the receive side shards reassembly and
+// duplicate-guard state per sender so concurrent upstream devices do not
+// serialize on one host-wide lock. SendWorkers=1 restores the serial,
+// deterministic send order.
 package runtime
 
 import (
 	"fmt"
+	gort "runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -39,6 +47,12 @@ type AppConfig struct {
 	// (§4.2: "a packet can carry one or more windows"). 0/1 = one window
 	// per packet (the §6 prototype scope). Batches must fit the MTU.
 	Batch int
+	// SendWorkers shards Out's window range across this many goroutines
+	// (0 = GOMAXPROCS). Each worker sends a contiguous chunk of the
+	// sequence space in order; cross-worker arrival order is up to the
+	// fabric. 1 keeps the serial, deterministic send order on the
+	// caller's goroutine (what tests that assert wire order want).
+	SendWorkers int
 	// Obs is the metrics registry host counters land in (nil = the
 	// process-wide obs.Default; deployments install their own).
 	Obs *obs.Registry
@@ -67,6 +81,23 @@ type RecvWindow struct {
 	Trace []ncp.Hop
 }
 
+// recvShards is the number of independent receive-state shards (must be
+// a power of two). Each sender's reassembly and duplicate-guard state
+// lives in one shard, so packets from different senders are processed
+// without contending on a host-wide lock.
+const recvShards = 16
+
+// recvShard holds one shard of the receive-side state: fragment
+// reassembly buffers and the completed-window duplicate guard for the
+// senders that hash here.
+type recvShard struct {
+	mu       sync.Mutex
+	frags    map[fragKey]*fragBuf
+	fragFIFO keyRing          // fragment-buffer insertion order (eviction)
+	done     map[fragKey]bool // recently completed windows (duplicate guard)
+	doneFIFO keyRing
+}
+
 // Host is one application endpoint.
 type Host struct {
 	label string
@@ -82,16 +113,16 @@ type Host struct {
 	met        hostMetrics
 	traceEvery atomic.Int64  // trace every Nth window (0 = off)
 	winCount   atomic.Uint64 // windows sent (trace sampling index)
+	widSeq     atomic.Uint32 // invocation id allocator
 
-	mu       sync.Mutex
-	inbox    chan *RecvWindow
-	frags    map[fragKey]*fragBuf
-	fragFIFO keyRing          // fragment-buffer insertion order (eviction)
-	done     map[fragKey]bool // recently completed windows (duplicate guard)
-	doneFIFO keyRing
-	acks     map[ackKey]*ackWait // outstanding reliable windows
-	widSeq   uint32
-	closed   bool
+	shards [recvShards]recvShard
+
+	ackMu sync.Mutex
+	acks  map[ackKey]*ackWait // outstanding reliable windows
+
+	closeMu sync.RWMutex // guards closed/inbox-close against enqueue
+	closed  bool
+	inbox   chan *RecvWindow
 }
 
 // hostMetrics caches the host's registry handles (no name lookups on the
@@ -142,7 +173,7 @@ type fragKey struct {
 }
 
 type fragBuf struct {
-	header *ncp.Header
+	header ncp.Header
 	user   []uint64
 	hops   []ncp.Hop // trace of the first-arriving fragment
 	parts  [][]byte
@@ -172,9 +203,11 @@ func NewHost(label string, id, role uint32, cfg AppConfig, send netsim.Sender, r
 		route:     routes,
 		met:       newHostMetrics(reg, label),
 		inbox:     make(chan *RecvWindow, inboxCap),
-		frags:     map[fragKey]*fragBuf{},
-		done:      map[fragKey]bool{},
 		inKernels: map[string]*ir.Func{},
+	}
+	for i := range h.shards {
+		h.shards[i].frags = map[fragKey]*fragBuf{}
+		h.shards[i].done = map[fragKey]bool{}
 	}
 	h.traceEvery.Store(int64(cfg.TraceEvery))
 	if cfg.HostModule != nil {
@@ -194,15 +227,29 @@ func (h *Host) Label() string { return h.label }
 // ID returns the host id (window.sender).
 func (h *Host) ID() uint32 { return h.id }
 
+// shardFor returns the receive-state shard owning a sender's windows.
+// All fragments and retransmits of one window carry the same sender, so
+// they always meet in the same shard.
+func (h *Host) shardFor(sender uint32) *recvShard {
+	return &h.shards[sender%recvShards]
+}
+
+// decodedPool recycles DecodeFullInto scratch across Receive calls: the
+// zero-copy receive path decodes into pooled scratch and makes exactly
+// one defensive copy per window at enqueue time (ownedWindow).
+var decodedPool = sync.Pool{New: func() any { return new(ncp.Decoded) }}
+
 // Receive implements netsim.Node: NCP packets are decoded, reassembled,
 // and queued for In; undecodable traffic is counted and dropped (hosts
 // are endpoints).
 func (h *Host) Receive(_ netsim.Sender, pkt *netsim.Packet, from string) {
-	hd, user, hops, payload, err := ncp.DecodeFull(pkt.Data)
-	if err != nil {
+	d := decodedPool.Get().(*ncp.Decoded)
+	defer decodedPool.Put(d)
+	if err := ncp.DecodeFullInto(pkt.Data, d); err != nil {
 		h.met.decodeErrors.Inc()
 		return
 	}
+	hd := &d.Header
 	if hd.Flags&ncp.FlagAck != 0 {
 		h.handleAck(hd) // pure acknowledgment, consumed
 		return
@@ -210,88 +257,108 @@ func (h *Host) Receive(_ netsim.Sender, pkt *netsim.Packet, from string) {
 	if hd.Flags&ncp.FlagTrace != 0 {
 		// Trace reassembly: close the window's hop record with this
 		// host's delivery event at the fabric's virtual arrival time.
-		hops = append(hops, ncp.Hop{
+		d.Hops = append(d.Hops, ncp.Hop{
 			Loc: uint16(h.id), Kind: ncp.HopHost,
 			Event: ncp.EventDeliver, TimeNs: vtimeNs(pkt),
 		})
 	}
-	h.mu.Lock()
-	ackHdr := h.receiveLocked(hd, user, hops, payload)
-	h.mu.Unlock()
-	// Acks are emitted outside h.mu (transmit can block on a congested
-	// fabric) and only for windows that were enqueued or are confirmed
-	// duplicates of enqueued ones — never for overflow-dropped windows,
-	// which the sender must retransmit.
-	if ackHdr != nil {
-		h.sendAck(ackHdr)
+	sh := h.shardFor(hd.Sender)
+	sh.mu.Lock()
+	acks := h.receiveLocked(sh, d)
+	sh.mu.Unlock()
+	// Acks are emitted outside the shard lock (transmit can block on a
+	// congested fabric) and only for windows that were enqueued or are
+	// confirmed duplicates of enqueued ones — never for overflow-dropped
+	// windows, which the sender must retransmit.
+	for i := range acks {
+		h.sendAck(&acks[i])
 	}
 }
 
-// receiveLocked dispatches one decoded packet. Caller holds h.mu. The
-// returned header, if any, is a reliable window to acknowledge.
-func (h *Host) receiveLocked(hd *ncp.Header, user []uint64, hops []ncp.Hop, payload []byte) *ncp.Header {
-	if h.closed {
-		return nil
-	}
+// receiveLocked dispatches one decoded packet. Caller holds the shard
+// lock. The returned headers, if any, are reliable windows to
+// acknowledge (one per sub-window for batched packets).
+func (h *Host) receiveLocked(sh *recvShard, d *ncp.Decoded) []ncp.Header {
+	hd := &d.Header
+	payload := d.Payload
 	wantAck := hd.Flags&ncp.FlagAckRequest != 0
 	if hd.FragCount <= 1 && hd.BatchCount > 1 {
 		// Multi-window packet reaching a host without on-path unbatching:
 		// split into individual windows. Each sub-window gets its own
-		// user/hops copies (consumers own their RecvWindow).
+		// user/hops copies (consumers own their RecvWindow). Reliable
+		// batches are acknowledged and duplicate-guarded per sub-window —
+		// a retransmitted batch re-acks every sub-window but re-enqueues
+		// none.
 		if len(payload)%int(hd.BatchCount) != 0 {
 			h.met.decodeErrors.Inc()
 			return nil // payload does not split evenly across the batch
 		}
+		var acks []ncp.Header
 		per := len(payload) / int(hd.BatchCount)
 		for k := 0; k < int(hd.BatchCount); k++ {
 			sub := *hd
 			sub.BatchCount = 1
 			sub.WindowSeq = hd.WindowSeq + uint32(k)
-			h.enqueue(&RecvWindow{
-				Header: &sub,
-				User:   append([]uint64(nil), user...),
-				Raw:    append([]byte(nil), payload[k*per:(k+1)*per]...),
-				Trace:  append([]ncp.Hop(nil), hops...),
-			})
+			part := payload[k*per : (k+1)*per]
+			if !wantAck {
+				h.enqueue(ownedWindow(&sub, d.User, d.Hops, part))
+				continue
+			}
+			key := fragKey{sub.Sender, sub.Wid, sub.WindowSeq}
+			if sh.done[key] {
+				h.met.dupsDropped.Inc()
+				acks = append(acks, sub)
+				continue
+			}
+			if h.enqueue(ownedWindow(&sub, d.User, d.Hops, part)) {
+				h.markDone(sh, key)
+				acks = append(acks, sub)
+			}
 		}
-		return nil
+		return acks
 	}
 	if hd.FragCount <= 1 {
 		if !wantAck {
-			h.enqueue(&RecvWindow{Header: hd, User: user, Raw: append([]byte(nil), payload...), Trace: hops})
+			h.enqueue(ownedWindow(hd, d.User, d.Hops, payload))
 			return nil
 		}
 		// Reliable window: retransmits of an already-delivered window are
 		// re-acknowledged but enqueued only once; a window the inbox
 		// drops is neither recorded nor acked.
 		key := fragKey{hd.Sender, hd.Wid, hd.WindowSeq}
-		if h.done[key] {
+		if sh.done[key] {
 			h.met.dupsDropped.Inc()
-			return hd
+			return []ncp.Header{*hd}
 		}
-		if !h.enqueue(&RecvWindow{Header: hd, User: user, Raw: append([]byte(nil), payload...), Trace: hops}) {
+		if !h.enqueue(ownedWindow(hd, d.User, d.Hops, payload)) {
 			return nil
 		}
-		h.markDone(key)
-		return hd
+		h.markDone(sh, key)
+		return []ncp.Header{*hd}
 	}
 	// Multi-packet window: reassemble (hosts only, §6). Fragments of an
 	// already-delivered window (retransmits, fabric duplication) are
 	// dropped by the completed-window record.
 	key := fragKey{hd.Sender, hd.Wid, hd.WindowSeq}
-	if h.done[key] {
+	if sh.done[key] {
 		h.met.dupsDropped.Inc()
 		if wantAck {
-			return hd
+			return []ncp.Header{*hd}
 		}
 		return nil
 	}
-	fb := h.frags[key]
+	fb := sh.frags[key]
 	if fb == nil {
-		fb = &fragBuf{header: hd, user: user, hops: hops, parts: make([][]byte, hd.FragCount)}
-		h.frags[key] = fb
-		h.fragFIFO.push(key)
-		h.evictFrags()
+		fb = &fragBuf{header: *hd, parts: make([][]byte, hd.FragCount)}
+		if len(d.User) > 0 {
+			fb.user = append([]uint64(nil), d.User...)
+		}
+		if len(d.Hops) > 0 {
+			fb.hops = append([]ncp.Hop(nil), d.Hops...)
+		}
+		sh.frags[key] = fb
+		sh.fragFIFO.push(key)
+		h.evictFrags(sh)
 	}
 	if int(hd.FragIdx) >= len(fb.parts) || fb.parts[hd.FragIdx] != nil {
 		h.met.dupsDropped.Inc()
@@ -300,22 +367,42 @@ func (h *Host) receiveLocked(hd *ncp.Header, user []uint64, hops []ncp.Hop, payl
 	fb.parts[hd.FragIdx] = append([]byte(nil), payload...)
 	fb.have++
 	if fb.have == len(fb.parts) {
-		delete(h.frags, key)
+		delete(sh.frags, key)
+		h.pruneFragFIFO(sh)
 		h.met.fragsReasm.Add(uint64(len(fb.parts)))
-		var full []byte
+		total := 0
+		for _, p := range fb.parts {
+			total += len(p)
+		}
+		full := make([]byte, 0, total)
 		for _, p := range fb.parts {
 			full = append(full, p...)
 		}
-		hd2 := *fb.header
+		hd2 := fb.header
 		hd2.FragIdx, hd2.FragCount = 0, 1
 		if h.enqueue(&RecvWindow{Header: &hd2, User: fb.user, Raw: full, Trace: fb.hops}) {
-			h.markDone(key)
+			h.markDone(sh, key)
 			if wantAck {
-				return hd
+				return []ncp.Header{*hd}
 			}
 		}
 	}
 	return nil
+}
+
+// ownedWindow copies a decoded window out of pooled decode scratch into
+// a RecvWindow the application owns — the single defensive copy of the
+// receive path.
+func ownedWindow(hd *ncp.Header, user []uint64, hops []ncp.Hop, payload []byte) *RecvWindow {
+	rw := &RecvWindow{Header: new(ncp.Header), Raw: append([]byte(nil), payload...)}
+	*rw.Header = *hd
+	if len(user) > 0 {
+		rw.User = append([]uint64(nil), user...)
+	}
+	if len(hops) > 0 {
+		rw.Trace = append([]ncp.Hop(nil), hops...)
+	}
+	return rw
 }
 
 // vtimeNs converts the fabric's virtual arrival time to the trace's
@@ -327,16 +414,16 @@ func vtimeNs(pkt *netsim.Packet) uint64 {
 	return uint64(pkt.VTimeUs * 1000)
 }
 
-// dupGuardCap bounds the completed-window duplicate guard: the oldest
-// records are evicted FIFO past this size, so long-running hosts hold a
-// fixed amount of dedup state (evictions are counted in
+// dupGuardCap bounds each shard's completed-window duplicate guard: the
+// oldest records are evicted FIFO past this size, so long-running hosts
+// hold a fixed amount of dedup state (evictions are counted in
 // host.<label>.dup_guard_evictions).
 const dupGuardCap = 4096
 
-// fragBufCap bounds outstanding fragment buffers: windows that never
-// complete (a lost fragment, a sender that died mid-window) would
-// otherwise leak their partial buffers forever. Past the cap the oldest
-// outstanding buffer is evicted (host.<label>.frag_evictions).
+// fragBufCap bounds each shard's outstanding fragment buffers: windows
+// that never complete (a lost fragment, a sender that died mid-window)
+// would otherwise leak their partial buffers forever. Past the cap the
+// oldest outstanding buffer is evicted (host.<label>.frag_evictions).
 const fragBufCap = 1024
 
 // keyRing is a growable FIFO ring of fragKeys. Unlike re-slicing a plain
@@ -372,37 +459,68 @@ func (r *keyRing) pop() (fragKey, bool) {
 
 func (r *keyRing) len() int { return r.n }
 
-// markDone records a delivered window in the bounded duplicate guard.
-// Caller holds h.mu.
-func (h *Host) markDone(key fragKey) {
-	h.done[key] = true
-	h.doneFIFO.push(key)
-	if h.doneFIFO.len() > dupGuardCap {
-		old, _ := h.doneFIFO.pop()
-		delete(h.done, old)
+// markDone records a delivered window in the shard's bounded duplicate
+// guard. Caller holds the shard lock.
+func (h *Host) markDone(sh *recvShard, key fragKey) {
+	sh.done[key] = true
+	sh.doneFIFO.push(key)
+	if sh.doneFIFO.len() > dupGuardCap {
+		old, _ := sh.doneFIFO.pop()
+		delete(sh.done, old)
 		h.met.dupEvictions.Inc()
 	}
 }
 
 // evictFrags drops the oldest outstanding fragment buffers past the cap.
 // FIFO entries whose window already completed are skipped (their buffer
-// is gone). Caller holds h.mu.
-func (h *Host) evictFrags() {
-	for len(h.frags) > fragBufCap {
-		old, ok := h.fragFIFO.pop()
+// is gone). Caller holds the shard lock.
+func (h *Host) evictFrags(sh *recvShard) {
+	for len(sh.frags) > fragBufCap {
+		old, ok := sh.fragFIFO.pop()
 		if !ok {
 			return
 		}
-		if _, live := h.frags[old]; live {
-			delete(h.frags, old)
+		if _, live := sh.frags[old]; live {
+			delete(sh.frags, old)
 			h.met.fragEvictions.Inc()
 		}
 	}
 }
 
+// pruneFragFIFO compacts the fragment-FIFO ring once dead keys (windows
+// that completed normally) dominate it. Without this, every fragmented
+// window that completes would leave its key in the ring forever and a
+// long-running host's ring would grow without bound. The ring stays
+// bounded by 2x the live buffer count plus a constant, amortized O(1)
+// per completed window. Caller holds the shard lock.
+func (h *Host) pruneFragFIFO(sh *recvShard) {
+	if sh.fragFIFO.len() <= 2*len(sh.frags)+16 {
+		return
+	}
+	live := make([]fragKey, 0, len(sh.frags))
+	for {
+		k, ok := sh.fragFIFO.pop()
+		if !ok {
+			break
+		}
+		if _, alive := sh.frags[k]; alive {
+			live = append(live, k)
+		}
+	}
+	for _, k := range live {
+		sh.fragFIFO.push(k)
+	}
+}
+
 // enqueue queues one window for the application, reporting whether it
-// was accepted (false = inbox overflow, dropped like a NIC queue).
+// was accepted (false = inbox overflow, dropped like a NIC queue, or a
+// closed host).
 func (h *Host) enqueue(rw *RecvWindow) bool {
+	h.closeMu.RLock()
+	defer h.closeMu.RUnlock()
+	if h.closed {
+		return false
+	}
 	select {
 	case h.inbox <- rw:
 		h.met.windowsReceived.Inc()
@@ -415,8 +533,8 @@ func (h *Host) enqueue(rw *RecvWindow) bool {
 
 // Close releases the host (pending In calls unblock with an error).
 func (h *Host) Close() {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.closeMu.Lock()
+	defer h.closeMu.Unlock()
 	if !h.closed {
 		h.closed = true
 		close(h.inbox)
@@ -434,24 +552,156 @@ type Invocation struct {
 	User   map[string]uint64
 }
 
+// sendScratch is per-worker reusable send state: a pooled encode buffer,
+// a user-value scratch slice, and locally batched counter deltas flushed
+// once per worker chunk so the shared atomics aren't contended per
+// window.
+type sendScratch struct {
+	payload []byte
+	user    []uint64
+	windows uint64
+	packets uint64
+}
+
+var sendPool = sync.Pool{New: func() any { return new(sendScratch) }}
+
+func (h *Host) getScratch() *sendScratch { return sendPool.Get().(*sendScratch) }
+
+// putScratch flushes the scratch's batched counters and returns it to
+// the pool.
+func (h *Host) putScratch(sc *sendScratch) {
+	h.flushScratch(sc)
+	sendPool.Put(sc)
+}
+
+func (h *Host) flushScratch(sc *sendScratch) {
+	if sc.windows > 0 {
+		h.met.windowsSent.Add(sc.windows)
+		sc.windows = 0
+	}
+	if sc.packets > 0 {
+		h.met.packetsSent.Add(sc.packets)
+		sc.packets = 0
+	}
+}
+
+// userVals fills the scratch's user-value slice in wire order. The
+// result is only read during marshal; it is reused across windows.
+func (h *Host) userVals(inv Invocation, sc *sendScratch) []uint64 {
+	sc.user = sc.user[:0]
+	for _, name := range h.cfg.UserFields {
+		sc.user = append(sc.user, inv.User[name])
+	}
+	return sc.user
+}
+
+// sendWorkers resolves AppConfig.SendWorkers (0 = GOMAXPROCS).
+func (h *Host) sendWorkers() int {
+	if h.cfg.SendWorkers > 0 {
+		return h.cfg.SendWorkers
+	}
+	return gort.GOMAXPROCS(0)
+}
+
+// effectiveBatch clamps AppConfig.Batch so one multi-window packet fits
+// the MTU and the 8-bit BatchCount field. Returns 1 when batching is off
+// or a single window already fills the MTU.
+func (h *Host) effectiveBatch(specs []ncp.ParamSpec) int {
+	batch := h.cfg.Batch
+	if batch <= 1 {
+		return 1
+	}
+	per := ncp.PayloadSize(specs)
+	if per > 0 && per*batch > h.cfg.MTU {
+		batch = h.cfg.MTU / per
+	}
+	if batch > 255 {
+		batch = 255
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	return batch
+}
+
 // Out is the data-centric API: it consumes entire arrays, splitting them
 // into windows of the compiled window length and sending each (the
 // paper's first kernel-invoking API). Array lengths must be equal
 // multiples of W for pointer parameters; scalar parameters receive a
 // per-window value from their (length windows) slice.
+//
+// The window range is sharded across AppConfig.SendWorkers goroutines,
+// each sending a contiguous chunk of the sequence space in order with
+// pooled encode buffers. With SendWorkers=1 the whole range is sent
+// serially on the caller's goroutine, in sequence order.
 func (h *Host) Out(inv Invocation, arrays [][]uint64) error {
 	specs, err := h.outSpecs(inv.Kernel)
 	if err != nil {
+		return err
+	}
+	if err := h.checkUserFields(inv); err != nil {
 		return err
 	}
 	windows, err := h.windowCount(inv.Kernel, arrays, specs)
 	if err != nil {
 		return err
 	}
-	W := h.cfg.WindowLen
+	if windows == 0 {
+		return nil
+	}
 	wid := h.nextWid()
+	batch := h.effectiveBatch(specs)
+	units := windows // one unit = one packet's worth of windows
+	if batch > 1 {
+		units = (windows + batch - 1) / batch
+	}
+	workers := h.sendWorkers()
+	if workers > units {
+		workers = units
+	}
+	if workers <= 1 {
+		sc := h.getScratch()
+		defer h.putScratch(sc)
+		return h.outRange(inv, wid, arrays, specs, 0, units, batch, windows, sc)
+	}
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+		errUnit  int
+	)
+	for wi := 0; wi < workers; wi++ {
+		lo := wi * units / workers
+		hi := (wi + 1) * units / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			sc := h.getScratch()
+			defer h.putScratch(sc)
+			if err := h.outRange(inv, wid, arrays, specs, lo, hi, batch, windows, sc); err != nil {
+				errMu.Lock()
+				if firstErr == nil || lo < errUnit {
+					firstErr, errUnit = err, lo
+				}
+				errMu.Unlock()
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// outRange encodes and transmits units [lo, hi) of one invocation:
+// single windows when batch <= 1, else multi-window packets of batch
+// consecutive windows (the trailing partial batch ships smaller). The
+// scratch provides the reusable encode buffer and counter batching.
+func (h *Host) outRange(inv Invocation, wid uint32, arrays [][]uint64, specs []ncp.ParamSpec, lo, hi, batch, windows int, sc *sendScratch) error {
+	W := h.cfg.WindowLen
+	winData := make([][]uint64, len(specs))
 	winAt := func(seq int) [][]uint64 {
-		winData := make([][]uint64, len(specs))
 		for pi, sp := range specs {
 			if sp.Elems == W {
 				winData[pi] = arrays[pi][seq*W : (seq+1)*W]
@@ -461,40 +711,30 @@ func (h *Host) Out(inv Invocation, arrays [][]uint64) error {
 		}
 		return winData
 	}
-	batch := h.cfg.Batch
-	if batch > 1 {
-		// Multi-window packets: batches of consecutive windows that fit
-		// the MTU; the trailing partial batch ships smaller.
-		per := ncp.PayloadSize(specs)
-		if per > 0 && per*batch > h.cfg.MTU {
-			batch = h.cfg.MTU / per
-		}
-		if batch > 255 {
-			batch = 255
-		}
-		if batch > 1 {
-			for seq := 0; seq < windows; seq += batch {
-				n := batch
-				if seq+n > windows {
-					n = windows - seq
-				}
-				var payload []byte
-				for k := 0; k < n; k++ {
-					part, err := ncp.EncodePayload(winAt(seq+k), specs)
-					if err != nil {
-						return err
-					}
-					payload = append(payload, part...)
-				}
-				if err := h.sendBatch(inv, wid, uint32(seq), uint8(n), payload); err != nil {
-					return err
-				}
+	if batch <= 1 {
+		for seq := lo; seq < hi; seq++ {
+			if err := h.sendWindowScratch(inv, wid, uint32(seq), winAt(seq), specs, 0, sc); err != nil {
+				return err
 			}
-			return nil
 		}
+		return nil
 	}
-	for seq := 0; seq < windows; seq++ {
-		if err := h.sendWindow(inv, wid, uint32(seq), winAt(seq), specs); err != nil {
+	for u := lo; u < hi; u++ {
+		seq := u * batch
+		n := batch
+		if seq+n > windows {
+			n = windows - seq
+		}
+		payload := sc.payload[:0]
+		var err error
+		for k := 0; k < n; k++ {
+			payload, err = ncp.AppendPayload(payload, winAt(seq+k), specs)
+			if err != nil {
+				return err
+			}
+		}
+		sc.payload = payload
+		if err := h.sendBatch(inv, wid, uint32(seq), uint8(n), payload, sc); err != nil {
 			return err
 		}
 	}
@@ -502,14 +742,10 @@ func (h *Host) Out(inv Invocation, arrays [][]uint64) error {
 }
 
 // sendBatch transmits one multi-window packet.
-func (h *Host) sendBatch(inv Invocation, wid, firstSeq uint32, count uint8, payload []byte) error {
+func (h *Host) sendBatch(inv Invocation, wid, firstSeq uint32, count uint8, payload []byte, sc *sendScratch) error {
 	kid, ok := h.cfg.KernelIDs[inv.Kernel]
 	if !ok {
 		return fmt.Errorf("runtime: kernel %q has no id", inv.Kernel)
-	}
-	userVals := make([]uint64, len(h.cfg.UserFields))
-	for i, name := range h.cfg.UserFields {
-		userVals[i] = inv.User[name]
 	}
 	hdr := ncp.Header{
 		KernelID:   kid,
@@ -522,22 +758,23 @@ func (h *Host) sendBatch(inv Invocation, wid, firstSeq uint32, count uint8, payl
 		FragCount:  1,
 		BatchCount: count,
 	}
-	pkt, err := ncp.MarshalHops(&hdr, userVals, h.traceHops(int(count)), payload)
+	pkt, err := ncp.MarshalHops(&hdr, h.userVals(inv, sc), h.traceHops(int(count)), payload)
 	if err != nil {
 		return err
 	}
 	if err := h.transmit(inv.Dest, pkt); err != nil {
 		return err
 	}
-	h.met.windowsSent.Add(uint64(count))
-	h.met.packetsSent.Inc()
+	sc.windows += uint64(count)
+	sc.packets++
 	return nil
 }
 
 // traceHops advances the sent-window counter by count and, when trace
-// sampling selects one of those windows (every Nth since the host
-// started), returns the send-side hop list that starts the in-band
-// trace. Returns nil when tracing is off or no window was selected.
+// sampling selects any of those windows (every Nth since the host
+// started), counts every selected window and returns the send-side hop
+// list that starts the in-band trace. Returns nil when tracing is off or
+// no window was selected.
 func (h *Host) traceHops(count int) []ncp.Hop {
 	if count <= 0 {
 		count = 1
@@ -547,15 +784,19 @@ func (h *Host) traceHops(count int) []ncp.Hop {
 	if every <= 0 {
 		return nil
 	}
+	selected := uint64(0)
 	for i := n - uint64(count); i < n; i++ {
 		if i%uint64(every) == 0 {
-			h.met.tracedWindows.Inc()
-			// The origin hop; vtime 0 — the fabric's clock starts when
-			// the packet enters the first link.
-			return []ncp.Hop{{Loc: uint16(h.id), Kind: ncp.HopHost, Event: ncp.EventSend}}
+			selected++
 		}
 	}
-	return nil
+	if selected == 0 {
+		return nil
+	}
+	h.met.tracedWindows.Add(selected)
+	// The origin hop; vtime 0 — the fabric's clock starts when the
+	// packet enters the first link.
+	return []ncp.Hop{{Loc: uint16(h.id), Kind: ncp.HopHost, Event: ncp.EventSend}}
 }
 
 // SetTraceEvery adjusts trace sampling at runtime: every nth sent window
@@ -569,18 +810,16 @@ func (h *Host) OutWindow(inv Invocation, wid, seq uint32, winData [][]uint64) er
 	if err != nil {
 		return err
 	}
+	if err := h.checkUserFields(inv); err != nil {
+		return err
+	}
 	return h.sendWindow(inv, wid, seq, winData, specs)
 }
 
 // NewWid allocates a fresh invocation id for OutWindow sequences.
 func (h *Host) NewWid() uint32 { return h.nextWid() }
 
-func (h *Host) nextWid() uint32 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.widSeq++
-	return h.widSeq
-}
+func (h *Host) nextWid() uint32 { return h.widSeq.Add(1) }
 
 func (h *Host) outSpecs(kernel string) ([]ncp.ParamSpec, error) {
 	specs, ok := h.cfg.OutSpecs[kernel]
@@ -590,28 +829,36 @@ func (h *Host) outSpecs(kernel string) ([]ncp.ParamSpec, error) {
 	return specs, nil
 }
 
+// sendWindow transmits one window with fresh pooled scratch and
+// immediate metric flush (the one-shot path; hot loops hold a scratch
+// across windows via sendWindowScratch).
 func (h *Host) sendWindow(inv Invocation, wid, seq uint32, winData [][]uint64, specs []ncp.ParamSpec) error {
+	sc := h.getScratch()
+	defer h.putScratch(sc)
+	return h.sendWindowScratch(inv, wid, seq, winData, specs, 0, sc)
+}
+
+// sendWindowScratch encodes and transmits one window using the given
+// scratch. Oversized payloads fragment at the MTU — except reliable
+// windows (FlagAckRequest), which must fit one packet.
+func (h *Host) sendWindowScratch(inv Invocation, wid, seq uint32, winData [][]uint64, specs []ncp.ParamSpec, flags uint8, sc *sendScratch) error {
 	kid, ok := h.cfg.KernelIDs[inv.Kernel]
 	if !ok {
 		return fmt.Errorf("runtime: kernel %q has no id", inv.Kernel)
-	}
-	if err := h.checkUserFields(inv); err != nil {
-		return err
 	}
 	for pi, sp := range specs {
 		if len(winData[pi]) != sp.Elems {
 			return fmt.Errorf("runtime: window array %d has %d elements, kernel wants %d", pi, len(winData[pi]), sp.Elems)
 		}
 	}
-	payload, err := ncp.EncodePayload(winData, specs)
+	payload, err := ncp.AppendPayload(sc.payload[:0], winData, specs)
 	if err != nil {
 		return err
 	}
-	userVals := make([]uint64, len(h.cfg.UserFields))
-	for i, name := range h.cfg.UserFields {
-		userVals[i] = inv.User[name]
-	}
+	sc.payload = payload
+	userVals := h.userVals(inv, sc)
 	hdr := ncp.Header{
+		Flags:     flags,
 		KernelID:  kid,
 		WindowSeq: seq,
 		WindowLen: uint16(h.cfg.WindowLen),
@@ -632,9 +879,12 @@ func (h *Host) sendWindow(inv Invocation, wid, seq uint32, winData [][]uint64, s
 		if err := h.transmit(inv.Dest, pkt); err != nil {
 			return err
 		}
-		h.met.windowsSent.Inc()
-		h.met.packetsSent.Inc()
+		sc.windows++
+		sc.packets++
 		return nil
+	}
+	if flags&ncp.FlagAckRequest != 0 {
+		return fmt.Errorf("runtime: reliable windows must fit one packet (payload %dB > MTU %dB)", len(payload), h.cfg.MTU)
 	}
 	frags := (len(payload) + h.cfg.MTU - 1) / h.cfg.MTU
 	if frags > 0xFFFF {
@@ -655,9 +905,9 @@ func (h *Host) sendWindow(inv Invocation, wid, seq uint32, winData [][]uint64, s
 		if err := h.transmit(inv.Dest, pkt); err != nil {
 			return err
 		}
-		h.met.packetsSent.Inc()
+		sc.packets++
 	}
-	h.met.windowsSent.Inc()
+	sc.windows++
 	return nil
 }
 

@@ -25,7 +25,7 @@ type loopbackSender struct {
 	sent  []*netsim.Packet
 }
 
-func newLoopback(t *testing.T) *loopbackSender {
+func newLoopback(t testing.TB) *loopbackSender {
 	t.Helper()
 	n, err := and.Parse("switch s1\nhost a role=0\nhost b role=1\nlink a s1\nlink s1 b")
 	if err != nil {
@@ -53,7 +53,7 @@ func (l *loopbackSender) sentCount() int {
 }
 
 // buildHostModule compiles a small in-kernel for the host side.
-func buildHostModule(t *testing.T, src string, w int) *ir.Module {
+func buildHostModule(t testing.TB, src string, w int) *ir.Module {
 	t.Helper()
 	var diags source.DiagList
 	f := parser.ParseSource("t.ncl", src, &diags)
@@ -68,7 +68,7 @@ func buildHostModule(t *testing.T, src string, w int) *ir.Module {
 	return m
 }
 
-func testConfig(t *testing.T, w int) AppConfig {
+func testConfig(t testing.TB, w int) AppConfig {
 	hm := buildHostModule(t, `
 _net_ _in_ void sink(int *data, _ext_ int *out) {
     for (unsigned i = 0; i < window.len; ++i)
@@ -95,14 +95,54 @@ func TestOutSplitsArrays(t *testing.T) {
 	if lb.sentCount() != 3 {
 		t.Errorf("12 elements at W=4 should send 3 windows, sent %d", lb.sentCount())
 	}
-	// Window sequence numbers 0,1,2.
+	// Window sequence numbers 0,1,2 — exactly once each. Cross-worker
+	// send order is not deterministic (SendWorkers defaults to
+	// GOMAXPROCS), so assert the set, not the order.
+	lb.mu.Lock()
+	pkts := append([]*netsim.Packet(nil), lb.sent...)
+	lb.mu.Unlock()
+	seen := map[uint32]int{}
+	for _, pkt := range pkts {
+		hd, _, _, err := ncp.Decode(pkt.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hd.WindowLen != 4 || hd.Sender != 1 {
+			t.Errorf("window header: %+v", hd)
+		}
+		seen[hd.WindowSeq]++
+	}
+	for seq := uint32(0); seq < 3; seq++ {
+		if seen[seq] != 1 {
+			t.Errorf("window seq %d sent %d times, want once", seq, seen[seq])
+		}
+	}
+}
+
+// TestOutSerialOrderDeterministic: SendWorkers=1 must send windows on
+// the caller's goroutine in sequence order (what wire-order-sensitive
+// tests and benchmark baselines rely on).
+func TestOutSerialOrderDeterministic(t *testing.T) {
+	lb := newLoopback(t)
+	cfg := testConfig(t, 4)
+	cfg.SendWorkers = 1
+	h := NewHost("a", 1, 0, cfg, lb, map[string]string{"b": "s1"})
+
+	if err := h.Out(Invocation{Kernel: "k", Dest: "b"}, [][]uint64{make([]uint64, 32)}); err != nil {
+		t.Fatal(err)
+	}
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	if len(lb.sent) != 8 {
+		t.Fatalf("sent %d packets, want 8", len(lb.sent))
+	}
 	for i, pkt := range lb.sent {
 		hd, _, _, err := ncp.Decode(pkt.Data)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if hd.WindowSeq != uint32(i) || hd.WindowLen != 4 || hd.Sender != 1 {
-			t.Errorf("window %d header: %+v", i, hd)
+		if hd.WindowSeq != uint32(i) {
+			t.Errorf("packet %d carries seq %d; serial mode must preserve order", i, hd.WindowSeq)
 		}
 	}
 }

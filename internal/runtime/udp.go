@@ -109,13 +109,24 @@ func (u *UDPNet) Send(from, to string, pkt *netsim.Packet) error {
 	if closed || conn == nil || addr == nil {
 		return fmt.Errorf("runtime: UDP transport closed or unknown node")
 	}
-	frame, err := encodeFrame(from, pkt.Dst, pkt.Data)
+	// WriteToUDP copies the frame into the kernel before returning, so
+	// the buffer can be pooled across sends.
+	bufp := framePool.Get().(*[]byte)
+	frame, err := appendFrame((*bufp)[:0], from, pkt.Dst, pkt.Data)
 	if err != nil {
+		framePool.Put(bufp)
 		return err
 	}
+	*bufp = frame
 	_, err = conn.WriteToUDP(frame, addr)
+	framePool.Put(bufp)
 	return err
 }
+
+var framePool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 2048)
+	return &b
+}}
 
 // Stop closes all sockets and waits for readers.
 func (u *UDPNet) Stop() {
@@ -142,16 +153,20 @@ func (u *UDPNet) Stop() {
 func (u *UDPNet) Addr(label string) *net.UDPAddr { return u.addrs[label] }
 
 func encodeFrame(from, dst string, payload []byte) ([]byte, error) {
-	if len(from) > 255 || len(dst) > 255 {
+	return appendFrame(nil, from, dst, payload)
+}
+
+// appendFrame encodes a datagram frame into dst (reusing its capacity).
+func appendFrame(dst []byte, from, to string, payload []byte) ([]byte, error) {
+	if len(from) > 255 || len(to) > 255 {
 		return nil, fmt.Errorf("runtime: label too long")
 	}
-	frame := make([]byte, 0, 2+len(from)+len(dst)+len(payload))
-	frame = append(frame, byte(len(from)))
-	frame = append(frame, from...)
-	frame = append(frame, byte(len(dst)))
-	frame = append(frame, dst...)
-	frame = append(frame, payload...)
-	return frame, nil
+	dst = append(dst, byte(len(from)))
+	dst = append(dst, from...)
+	dst = append(dst, byte(len(to)))
+	dst = append(dst, to...)
+	dst = append(dst, payload...)
+	return dst, nil
 }
 
 func decodeFrame(frame []byte) (from, dst string, payload []byte, err error) {
