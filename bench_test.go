@@ -12,14 +12,23 @@ import (
 	"time"
 
 	"ncl"
+	"ncl/internal/and"
 	"ncl/internal/baseline"
 	"ncl/internal/bench"
 	"ncl/internal/core"
 	"ncl/internal/ncl/interp"
 	"ncl/internal/ncp"
+	"ncl/internal/netsim"
 	"ncl/internal/pisa"
 	"ncl/internal/runtime"
 )
+
+// sinkSender drops every packet: the pipeline benchmarks measure the
+// switch receive path alone, not a transport.
+type sinkSender struct{ net *and.Network }
+
+func (d *sinkSender) Network() *and.Network                    { return d.net }
+func (d *sinkSender) Send(_, _ string, _ *netsim.Packet) error { return nil }
 
 // --- E1: compile both example apps, report complexity metrics ---
 
@@ -388,6 +397,118 @@ func BenchmarkPisaPipeline(b *testing.B) {
 		if _, err := sw.ExecWindow(kern.ID, win); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSwitchExec compares the pre-compilation tree-walking engine
+// (pisa.Reference) against the compiled execution plan on the Fig. 4
+// kernel — the E12 speedup claim as a Go benchmark. The slots variant is
+// the map-free entry point the SwitchNode data plane uses; -benchmem
+// shows the pooled scratch keeping the plan paths allocation-flat.
+func BenchmarkSwitchExec(b *testing.B) {
+	art, err := bench.BuildAllReduce(2, 256, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := art.Programs["s1"]
+	kern := prog.KernelByName("allreduce")
+
+	b.Run("reference", func(b *testing.B) {
+		ref := pisa.NewReference(art.Target)
+		if err := ref.Load(prog); err != nil {
+			b.Fatal(err)
+		}
+		if err := ref.WriteRegister("nworkers", 0, 1); err != nil {
+			b.Fatal(err)
+		}
+		win := &interp.Window{Data: [][]uint64{make([]uint64, 8)}, Meta: map[string]uint64{"seq": 0}}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ref.ExecWindow(kern.ID, win); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		sw := pisa.NewSwitch(art.Target)
+		if err := sw.Load(prog); err != nil {
+			b.Fatal(err)
+		}
+		if err := sw.WriteRegister("nworkers", 0, 1); err != nil {
+			b.Fatal(err)
+		}
+		win := &interp.Window{Data: [][]uint64{make([]uint64, 8)}, Meta: map[string]uint64{"seq": 0}}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sw.ExecWindow(kern.ID, win); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compiled-slots", func(b *testing.B) {
+		sw := pisa.NewSwitch(art.Target)
+		if err := sw.Load(prog); err != nil {
+			b.Fatal(err)
+		}
+		if err := sw.WriteRegister("nworkers", 0, 1); err != nil {
+			b.Fatal(err)
+		}
+		data := [][]uint64{make([]uint64, 8)}
+		meta := pisa.WindowMeta{Seq: 0}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sw.ExecWindowSlots(kern.ID, data, meta, prog.LocID); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSwitchPipeline measures the whole device receive path — NCP
+// decode, plan execution, repack, forward — across the ExecWorkers sweep
+// (1 = today's serial in-order path).
+func BenchmarkSwitchPipeline(b *testing.B) {
+	art, err := bench.BuildAllReduce(2, 256, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := art.Programs["s1"]
+	kern := prog.KernelByName("allreduce")
+	net := art.Net
+	payload, err := ncp.EncodePayload([][]uint64{make([]uint64, 8)},
+		[]ncp.ParamSpec{{Elems: 8, Bytes: 4, Signed: true}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pktBytes, err := ncp.Marshal(&ncp.Header{
+		KernelID: kern.ID, WindowLen: 8, Sender: 1, FragCount: 1,
+	}, nil, payload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("exec-workers=%d", workers), func(b *testing.B) {
+			sn := netsim.NewSwitchNode("s1", art.Target)
+			if err := sn.Install(prog, prog.LocID); err != nil {
+				b.Fatal(err)
+			}
+			sn.SetRoutes(net.NextHops()["s1"])
+			sn.SetHosts(map[uint32]string{1: "worker0", 2: "worker1"})
+			sn.SetExecWorkers(workers)
+			if err := sn.Device().WriteRegister("nworkers", 0, 1); err != nil {
+				b.Fatal(err)
+			}
+			sink := &sinkSender{net: net}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sn.Receive(sink, &netsim.Packet{Src: "worker0", Dst: "worker1", Data: pktBytes}, "worker0")
+			}
+			sn.Close()
+		})
 	}
 }
 

@@ -1,17 +1,23 @@
 // ncl-bench regenerates the full evaluation of EXPERIMENTS.md: one table
-// per table-driven experiment (E1-E9, E11) of DESIGN.md §4. Each
+// per table-driven experiment (E1-E9, E11, E12) of DESIGN.md §4. Each
 // experiment exercises a claim of the paper (programmability, in-network
 // aggregation wins, cache load absorption, window economics, protocol
 // overhead, compiler feasibility, backend portability, recirculation
-// cost, data-path concurrency). E10 (reliable transport) lives in the Go
-// benchmarks (`go test -bench ReliableLossy`).
+// cost, data-path concurrency, switch data-plane compilation). E10
+// (reliable transport) lives in the Go benchmarks
+// (`go test -bench ReliableLossy`).
 //
 // Usage:
 //
-//	ncl-bench [-only E3]
+//	ncl-bench [-only E3] [-snapshot FILE.json]
+//
+// -snapshot writes the experiments that ran as a JSON array of tables
+// (title/header/rows) — the machine-readable baseline CI keeps for the
+// performance-sensitive experiments.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,7 +27,8 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (E1..E9, E11)")
+	only := flag.String("only", "", "run a single experiment (E1..E9, E11, E12)")
+	snapshot := flag.String("snapshot", "", "write the tables that ran to this file as JSON")
 	flag.Parse()
 
 	type exp struct {
@@ -39,7 +46,15 @@ func main() {
 		{"E8", bench.E8Recirc},
 		{"E9", bench.E9Hierarchy},
 		{"E11", bench.E11DataPath},
+		{"E12", bench.E12SwitchPath},
 	}
+	type snap struct {
+		ID     string     `json:"id"`
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}
+	var snaps []snap
 	ran := 0
 	for _, e := range exps {
 		if *only != "" && !strings.EqualFold(*only, e.id) {
@@ -51,10 +66,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(t.Render())
+		snaps = append(snaps, snap{ID: e.id, Title: t.Title, Header: t.Header, Rows: t.Rows})
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "ncl-bench: unknown experiment %q\n", *only)
 		os.Exit(2)
+	}
+	if *snapshot != "" {
+		out, err := json.MarshalIndent(snaps, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ncl-bench: snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*snapshot, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "ncl-bench: snapshot: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

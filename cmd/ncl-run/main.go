@@ -57,6 +57,8 @@ func main() {
 	relTimeout := flag.Duration("rel-timeout", 0, "reliable transport: first-attempt retransmit timeout (0 = default 20ms)")
 	relRetries := flag.Int("rel-retries", 0, "reliable transport: retransmits per window (0 = default 5)")
 	workers := flag.Int("workers", 0, "host send workers for Out (0 = GOMAXPROCS, 1 = serial deterministic order)")
+	execWorkers := flag.Int("exec-workers", 0, "switch pipeline workers per device (0/1 = serial in-order execution)")
+	inboxCap := flag.Int("inbox-cap", 0, "fabric per-node inbox capacity (0 = default 4096; full inboxes drop+count)")
 	flag.Parse()
 	if flag.NArg() != 1 || *andPath == "" || *kernel == "" {
 		fmt.Fprintln(os.Stderr, "usage: ncl-run -and <file.and> -kernel <name> [-loc s1] [-data ...] [-metrics] [-trace N] <file.ncl>")
@@ -69,7 +71,12 @@ func main() {
 	andSrc, err := os.ReadFile(*andPath)
 	must(err)
 
-	art, err := ncl.Build(string(nclSrc), string(andSrc), ncl.BuildOptions{WindowLen: *w, SendWorkers: *workers})
+	art, err := ncl.Build(string(nclSrc), string(andSrc), ncl.BuildOptions{
+		WindowLen:      *w,
+		SendWorkers:    *workers,
+		ExecWorkers:    *execWorkers,
+		FabricInboxCap: *inboxCap,
+	})
 	must(err)
 
 	if *metrics || *traceEvery > 0 || *reliable {

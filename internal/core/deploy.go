@@ -30,8 +30,11 @@ type Deployment struct {
 // host, programs installed, routes populated.
 func (a *Artifact) Deploy(faults netsim.Faults) (*Deployment, error) {
 	reg := obs.NewRegistry()
+	cfg := a.AppConfig()
+	cfg.Obs = reg
 	fab := netsim.New(a.Net, faults)
 	fab.SetObs(reg)
+	fab.SetInboxCap(cfg.FabricInboxCap)
 	ctrl := controller.New(a.Net)
 	dep := &Deployment{
 		Artifact:   a,
@@ -43,6 +46,7 @@ func (a *Artifact) Deploy(faults netsim.Faults) (*Deployment, error) {
 	}
 	for _, sw := range a.Net.Switches() {
 		sn := netsim.NewSwitchNode(sw.Label, a.Target)
+		sn.SetExecWorkers(cfg.ExecWorkers)
 		if err := fab.Attach(sn); err != nil {
 			return nil, err
 		}
@@ -52,8 +56,6 @@ func (a *Artifact) Deploy(faults netsim.Faults) (*Deployment, error) {
 		dep.Switches[sw.Label] = sn
 	}
 	ctrl.SetObs(reg) // cascades to the attached switches and PISA devices
-	cfg := a.AppConfig()
-	cfg.Obs = reg
 	hops := a.Net.NextHops()
 	for _, hn := range a.Net.Hosts() {
 		host := runtime.NewHost(hn.Label, hn.ID, hn.Role, cfg, fab, hops[hn.Label])
@@ -99,8 +101,11 @@ func (a *Artifact) DeployUDP() (*UDPDeployment, error) {
 		Switches:   map[string]*netsim.SwitchNode{},
 		Obs:        reg,
 	}
+	cfg := a.AppConfig()
+	cfg.Obs = reg
 	for _, sw := range a.Net.Switches() {
 		sn := netsim.NewSwitchNode(sw.Label, a.Target)
+		sn.SetExecWorkers(cfg.ExecWorkers)
 		if err := un.Attach(sn); err != nil {
 			un.Stop()
 			return nil, err
@@ -112,8 +117,6 @@ func (a *Artifact) DeployUDP() (*UDPDeployment, error) {
 		dep.Switches[sw.Label] = sn
 	}
 	ctrl.SetObs(reg)
-	cfg := a.AppConfig()
-	cfg.Obs = reg
 	hops := a.Net.NextHops()
 	for _, hn := range a.Net.Hosts() {
 		host := runtime.NewHost(hn.Label, hn.ID, hn.Role, cfg, un, hops[hn.Label])
@@ -140,6 +143,9 @@ func (d *UDPDeployment) Stop() {
 		h.Close()
 	}
 	d.Net.Stop()
+	for _, sn := range d.Switches {
+		sn.Close()
+	}
 }
 
 // Host returns the named host or an error.
@@ -157,6 +163,10 @@ func (d *Deployment) Stop() {
 		h.Close()
 	}
 	d.Fabric.Stop()
+	// Worker pools drain after the fabric stops delivering.
+	for _, sn := range d.Switches {
+		sn.Close()
+	}
 }
 
 // SwitchFor returns the switch node for an AND label.

@@ -23,6 +23,10 @@ func Compile(m *ir.Module, opts Options) (*pisa.Program, error) {
 		opts.Target = pisa.DefaultTarget()
 	}
 	prog := &pisa.Program{Name: m.Name, Loc: m.Loc}
+	for _, wf := range m.WinFields {
+		prog.UserFields = append(prog.UserFields, wf.Name)
+	}
+	sort.Strings(prog.UserFields)
 	pins := map[string]int{}
 	labels := &labelInterner{}
 	sched := newScheduler(opts.Target, pins)

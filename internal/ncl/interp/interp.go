@@ -127,6 +127,11 @@ func (k DecisionKind) String() string {
 // indexed by window-parameter order (pointer params hold WindowLen
 // elements, scalars one); Ext is indexed by ext-parameter order and
 // references host memory directly.
+//
+// The Meta map is the interpreter's (and the host runtime's) metadata
+// convention. The switch data plane does not build it per packet: the
+// compiled PISA plan binds header and user fields to PHV slots at load
+// time and executes via pisa.WindowMeta (see pisa.Switch.ExecWindowSlots).
 type Window struct {
 	Data [][]uint64
 	Ext  [][]uint64

@@ -379,13 +379,30 @@ func AppendPayload(dst []byte, data [][]uint64, specs []ParamSpec) ([]byte, erro
 // DecodePayload parses wire form back into canonical 64-bit values
 // (sign-extending signed element types).
 func DecodePayload(payload []byte, specs []ParamSpec) ([][]uint64, error) {
+	return DecodePayloadInto(nil, payload, specs)
+}
+
+// DecodePayloadInto is DecodePayload into caller-provided buffers: dst's
+// backing arrays are reused when they fit, so hot receive paths passing
+// pooled scratch decode without allocating in steady state. The returned
+// slice (len(specs)) aliases dst's storage where possible.
+func DecodePayloadInto(dst [][]uint64, payload []byte, specs []ParamSpec) ([][]uint64, error) {
 	if len(payload) != PayloadSize(specs) {
-		return nil, fmt.Errorf("ncp: payload is %d bytes, specs imply %d", len(payload), PayloadSize(specs))
+		return dst, fmt.Errorf("ncp: payload is %d bytes, specs imply %d", len(payload), PayloadSize(specs))
 	}
-	out := make([][]uint64, len(specs))
+	if cap(dst) < len(specs) {
+		grown := make([][]uint64, len(specs))
+		copy(grown, dst[:cap(dst)])
+		dst = grown
+	}
+	dst = dst[:len(specs)]
 	off := 0
 	for pi, s := range specs {
-		vals := make([]uint64, s.Elems)
+		vals := dst[pi]
+		if cap(vals) < s.Elems {
+			vals = make([]uint64, s.Elems)
+		}
+		vals = vals[:s.Elems]
 		for i := 0; i < s.Elems; i++ {
 			v := getBE(payload[off : off+s.Bytes])
 			if s.Signed {
@@ -394,9 +411,9 @@ func DecodePayload(payload []byte, specs []ParamSpec) ([][]uint64, error) {
 			vals[i] = v
 			off += s.Bytes
 		}
-		out[pi] = vals
+		dst[pi] = vals
 	}
-	return out, nil
+	return dst, nil
 }
 
 func putBE(b []byte, v uint64) {

@@ -92,6 +92,8 @@ type Fabric struct {
 	stopped  chan struct{}
 	stopOnce sync.Once
 
+	inboxCap int // per-node inbox capacity (SetInboxCap before Attach)
+
 	faults  Faults
 	rngMu   sync.Mutex
 	rng     *rand.Rand
@@ -109,6 +111,12 @@ type Fabric struct {
 	// (also added to the link's Dropped).
 	reorderFlushed  *obs.Counter
 	reorderStranded *obs.Counter
+	// obsReg is the current registry; inboxDrops counts packets dropped
+	// at a full inbox (fabric.<label>.inbox_drops) instead of blocking
+	// the sender goroutine. Both maps are configured before traffic
+	// (Attach/SetObs) and read lock-free on the send path.
+	obsReg     *obs.Registry
+	inboxDrops map[string]*obs.Counter
 }
 
 type delivery struct {
@@ -123,6 +131,7 @@ type heldPkt struct {
 	d     delivery
 	st    *LinkStats
 	inbox chan delivery
+	drops *obs.Counter
 	timer *time.Timer
 }
 
@@ -130,15 +139,17 @@ type heldPkt struct {
 // before Start.
 func New(network *and.Network, faults Faults) *Fabric {
 	f := &Fabric{
-		net:     network,
-		nodes:   map[string]Node{},
-		inboxes: map[string]chan delivery{},
-		stats:   map[linkKey]*LinkStats{},
-		stopped: make(chan struct{}),
-		faults:  faults,
-		rng:     rand.New(rand.NewSource(faults.Seed)),
-		pending: map[linkKey]*heldPkt{},
-		vt:      vclock{linkFree: map[linkKey]float64{}},
+		net:        network,
+		nodes:      map[string]Node{},
+		inboxes:    map[string]chan delivery{},
+		stats:      map[linkKey]*LinkStats{},
+		stopped:    make(chan struct{}),
+		inboxCap:   DefaultInboxCap,
+		faults:     faults,
+		rng:        rand.New(rand.NewSource(faults.Seed)),
+		pending:    map[linkKey]*heldPkt{},
+		inboxDrops: map[string]*obs.Counter{},
+		vt:         vclock{linkFree: map[linkKey]float64{}},
 	}
 	f.SetObs(obs.NewRegistry()) // private until a deployment re-homes it
 	for _, l := range network.Links {
@@ -148,16 +159,34 @@ func New(network *and.Network, faults Faults) *Fabric {
 	return f
 }
 
-// SetObs re-homes the fabric's histogram into the given registry (call
-// before traffic flows).
+// SetObs re-homes the fabric's histogram and counters into the given
+// registry (call before traffic flows).
 func (f *Fabric) SetObs(r *obs.Registry) {
 	f.vt.mu.Lock()
 	f.queueWait = r.Histogram("fabric.queue_wait_us", nil)
 	f.vt.mu.Unlock()
 	f.rngMu.Lock()
+	f.obsReg = r
 	f.reorderFlushed = r.Counter("fabric.reorder_flushed")
 	f.reorderStranded = r.Counter("fabric.reorder_stranded")
+	for label := range f.inboxDrops {
+		f.inboxDrops[label] = r.Counter("fabric." + label + ".inbox_drops")
+	}
 	f.rngMu.Unlock()
+}
+
+// DefaultInboxCap is the per-node inbox capacity unless SetInboxCap
+// overrides it.
+const DefaultInboxCap = 4096
+
+// SetInboxCap sets the per-node inbox capacity for nodes attached after
+// the call (deployments call it before Attach; 0 keeps the default). A
+// full inbox drops the packet and counts fabric.<label>.inbox_drops
+// rather than blocking the sender.
+func (f *Fabric) SetInboxCap(n int) {
+	if n > 0 {
+		f.inboxCap = n
+	}
 }
 
 // Network returns the underlying AND.
@@ -173,7 +202,10 @@ func (f *Fabric) Attach(n Node) error {
 		return fmt.Errorf("netsim: node %q already attached", label)
 	}
 	f.nodes[label] = n
-	f.inboxes[label] = make(chan delivery, 4096)
+	f.inboxes[label] = make(chan delivery, f.inboxCap)
+	f.rngMu.Lock()
+	f.inboxDrops[label] = f.obsReg.Counter("fabric." + label + ".inbox_drops")
+	f.rngMu.Unlock()
 	return nil
 }
 
@@ -243,6 +275,11 @@ func (f *Fabric) deliverHeld(hp *heldPkt) {
 	select {
 	case hp.inbox <- hp.d:
 	case <-f.stopped:
+	default:
+		hp.st.Dropped.Add(1)
+		if hp.drops != nil {
+			hp.drops.Inc()
+		}
 	}
 }
 
@@ -280,12 +317,21 @@ func (f *Fabric) Send(from, to string, pkt *Packet) error {
 	}
 
 	f.stampSend(from, to, pkt)
+	drops := f.inboxDrops[to]
 	deliver := func(d delivery) {
 		st.Packets.Add(1)
 		st.Bytes.Add(uint64(len(d.pkt.Data)))
 		select {
 		case inbox <- d:
 		case <-f.stopped:
+		default:
+			// Full inbox: drop and count rather than blocking the sender
+			// goroutine (recovery is the transport's job — the reliable
+			// layer retransmits).
+			st.Dropped.Add(1)
+			if drops != nil {
+				drops.Inc()
+			}
 		}
 	}
 
@@ -308,7 +354,7 @@ func (f *Fabric) Send(from, to string, pkt *Packet) error {
 		// Park this packet until the link's next send — or until
 		// ReorderHold expires, whichever comes first, so it cannot be
 		// stranded when no later send arrives.
-		hp := &heldPkt{d: d, st: st, inbox: inbox}
+		hp := &heldPkt{d: d, st: st, inbox: inbox, drops: drops}
 		f.pending[key] = hp
 		hold := f.faults.ReorderHold
 		if hold <= 0 {

@@ -1,7 +1,6 @@
 package netsim
 
 import (
-	"sort"
 	"sync"
 
 	"ncl/internal/ncl/interp"
@@ -15,14 +14,26 @@ import (
 // windows for unknown kernels take normal routing; recognized windows run
 // through the loaded pipeline and then follow the kernel's forwarding
 // decision (§4.1).
+//
+// The data path is allocation-flat: decode/repack buffers come from a
+// sync.Pool, per-kernel wire specs and counters are resolved once at
+// Install, and window metadata binds to PHV slots through the device's
+// compiled plan (no per-packet maps). An optional worker pool
+// (SetExecWorkers) lets one switch pipeline independent windows the way
+// real PISA stages overlap packets; state correctness comes from the
+// device's per-register locking.
 type SwitchNode struct {
 	label  string
 	sw     *pisa.Switch
 	locID  uint32
 	routes map[string]string // destination label -> next hop label
 
-	hostByID   map[uint32]string // host id -> label (reflect targets)
-	userFields []string          // wire order of _win_ user fields
+	hostByID map[uint32]string // host id -> label (reflect targets)
+
+	// kplans resolves kernel id -> precomputed wire layout + counter.
+	// Built at Install, read lock-free on the data path (configure
+	// before traffic, like routes).
+	kplans map[uint32]*swKernel
 
 	// Counters for the harness, homed in an obs registry under
 	// switch.<label>.* (SetObs re-homes them into a deployment's registry;
@@ -30,10 +41,41 @@ type SwitchNode struct {
 	KernelWindows *obs.Counter // windows executed by kernels
 	ForwardedRaw  *obs.Counter // non-NCP or unknown-kernel packets routed
 	Errors        *obs.Counter
+	Repacks       *obs.Counter // window re-serializations (one per broadcast)
 
-	obsMu     sync.Mutex
-	reg       *obs.Registry
-	perKernel map[uint32]*obs.Counter // switch.<label>.kernel.<name>.windows
+	obsMu sync.Mutex
+	reg   *obs.Registry
+
+	scratch sync.Pool // *nodeScratch
+
+	execCh    chan execJob
+	workerWg  sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// swKernel is one kernel's precomputed receive-path state: the NCP wire
+// specs its window parameters use, the per-window payload size, and the
+// per-kernel counter (resolved once, so the hot path takes no lock).
+type swKernel struct {
+	k            *pisa.Kernel
+	specs        []ncp.ParamSpec
+	payloadBytes int
+	windows      *obs.Counter // switch.<label>.kernel.<name>.windows
+}
+
+// nodeScratch is the pooled per-packet working set: the zero-copy NCP
+// decode target, the decoded window data, and the repack payload buffer.
+type nodeScratch struct {
+	dec     ncp.Decoded
+	data    [][]uint64
+	payload []byte
+}
+
+// execJob is one received packet queued for a pipeline worker.
+type execJob struct {
+	f    Sender
+	pkt  *Packet
+	from string
 }
 
 // NewSwitchNode creates a switch for the given AND label.
@@ -60,22 +102,12 @@ func (s *SwitchNode) SetObs(r *obs.Registry) {
 	s.KernelWindows = r.Counter(p + "kernel_windows")
 	s.ForwardedRaw = r.Counter(p + "forwarded_raw")
 	s.Errors = r.Counter(p + "errors")
-	s.perKernel = map[uint32]*obs.Counter{}
+	s.Repacks = r.Counter(p + "repacks")
+	for _, kp := range s.kplans {
+		kp.windows = r.Counter(p + "kernel." + kp.k.Name + ".windows")
+	}
 	s.obsMu.Unlock()
 	s.sw.SetObs(r, s.label)
-}
-
-// kernelCounter returns the per-kernel execution counter, caching the
-// registry handle on first use.
-func (s *SwitchNode) kernelCounter(k *pisa.Kernel) *obs.Counter {
-	s.obsMu.Lock()
-	defer s.obsMu.Unlock()
-	c, ok := s.perKernel[k.ID]
-	if !ok {
-		c = s.reg.Counter("switch." + s.label + ".kernel." + k.Name + ".windows")
-		s.perKernel[k.ID] = c
-	}
-	return c
 }
 
 // Label implements Node.
@@ -85,35 +117,29 @@ func (s *SwitchNode) Label() string { return s.label }
 func (s *SwitchNode) Device() *pisa.Switch { return s.sw }
 
 // Install loads a compiled program and records the control metadata the
-// data plane needs (location id, reflect targets come via SetHosts).
+// data plane needs: location id, per-kernel wire specs, and counters
+// (reflect targets come via SetHosts).
 func (s *SwitchNode) Install(p *pisa.Program, locID uint32) error {
 	if err := s.sw.Load(p); err != nil {
 		return err
 	}
 	s.locID = locID
-	// User window fields travel in sorted-name order on the wire.
-	userSet := map[string]bool{}
+	s.obsMu.Lock()
+	s.kplans = map[uint32]*swKernel{}
 	for _, k := range p.Kernels {
-		for name := range k.WinMeta {
-			if !isBuiltinMeta(name) {
-				userSet[name] = true
-			}
+		specs := make([]ncp.ParamSpec, len(k.Params))
+		for i, pl := range k.Params {
+			specs[i] = ncp.ParamSpec{Elems: pl.Elems, Bytes: pl.Bits / 8, Signed: pl.Signed}
+		}
+		s.kplans[k.ID] = &swKernel{
+			k:            k,
+			specs:        specs,
+			payloadBytes: ncp.PayloadSize(specs),
+			windows:      s.reg.Counter("switch." + s.label + ".kernel." + k.Name + ".windows"),
 		}
 	}
-	s.userFields = s.userFields[:0]
-	for name := range userSet {
-		s.userFields = append(s.userFields, name)
-	}
-	sort.Strings(s.userFields)
+	s.obsMu.Unlock()
 	return nil
-}
-
-func isBuiltinMeta(name string) bool {
-	switch name {
-	case "seq", "len", "from", "sender", "wid":
-		return true
-	}
-	return false
 }
 
 // SetRoutes installs the next-hop table (controller-populated from the
@@ -134,25 +160,75 @@ func (s *SwitchNode) SetHosts(hosts map[uint32]string) {
 	}
 }
 
-// Receive implements Node: the Fig. 3b dispatch.
+// SetExecWorkers starts a pipeline worker pool of n goroutines; received
+// packets are queued and processed concurrently (per-register locking in
+// the device keeps stateful kernels correct). n <= 1 keeps today's
+// serial in-order processing. Call before traffic; pair with Close.
+func (s *SwitchNode) SetExecWorkers(n int) {
+	if n <= 1 || s.execCh != nil {
+		return
+	}
+	s.execCh = make(chan execJob, 256)
+	for i := 0; i < n; i++ {
+		s.workerWg.Add(1)
+		go func() {
+			defer s.workerWg.Done()
+			for j := range s.execCh {
+				s.process(j.f, j.pkt, j.from)
+			}
+		}()
+	}
+}
+
+// Close drains and stops the worker pool (no-op without one). Call only
+// after the fabric has stopped delivering.
+func (s *SwitchNode) Close() {
+	s.closeOnce.Do(func() {
+		if s.execCh != nil {
+			close(s.execCh)
+			s.workerWg.Wait()
+		}
+	})
+}
+
+func (s *SwitchNode) getScratch() *nodeScratch {
+	sc, _ := s.scratch.Get().(*nodeScratch)
+	if sc == nil {
+		sc = &nodeScratch{}
+	}
+	return sc
+}
+
+// Receive implements Node: the Fig. 3b dispatch, either inline or via
+// the worker pool.
 func (s *SwitchNode) Receive(f Sender, pkt *Packet, from string) {
+	if s.execCh != nil {
+		s.execCh <- execJob{f: f, pkt: pkt, from: from}
+		return
+	}
+	s.process(f, pkt, from)
+}
+
+// process handles one received packet.
+func (s *SwitchNode) process(f Sender, pkt *Packet, from string) {
 	if !ncp.IsNCP(pkt.Data) {
 		s.ForwardedRaw.Add(1)
 		s.forward(f, pkt, from)
 		return
 	}
-	h, userVals, hops, payload, err := ncp.DecodeFull(pkt.Data)
-	if err != nil {
+	sc := s.getScratch()
+	defer s.scratch.Put(sc)
+	if err := ncp.DecodeFullInto(pkt.Data, &sc.dec); err != nil {
 		// Corrupted NCP traffic is dropped, like a failed checksum anywhere.
 		s.Errors.Add(1)
 		return
 	}
-	prog := s.sw.Program()
-	var kernel *pisa.Kernel
-	if prog != nil {
-		kernel = prog.KernelByID(h.KernelID)
-	}
-	if kernel == nil || h.FragCount > 1 || h.Flags&ncp.FlagAck != 0 {
+	h := &sc.dec.Header
+	userVals := sc.dec.User
+	hops := sc.dec.Hops
+	payload := sc.dec.Payload
+	kp := s.kplans[h.KernelID]
+	if kp == nil || h.FragCount > 1 || h.Flags&ncp.FlagAck != 0 {
 		// No kernel for this window here, a multi-packet window (switches
 		// pass fragments through, §6), or an acknowledgment: normal
 		// forwarding without kernel execution.
@@ -174,16 +250,22 @@ func (s *SwitchNode) Receive(f Sender, pkt *Packet, from string) {
 	// Multi-window packets (§4.2) unbatch at the first executing switch:
 	// each window runs the kernel and follows its own forwarding decision.
 	if h.BatchCount > 1 {
-		per := len(payload) / int(h.BatchCount)
+		per := kp.payloadBytes
+		if len(payload) != per*int(h.BatchCount) {
+			// The payload must split exactly; anything else is a framing
+			// error (the old path silently dropped the remainder bytes).
+			s.Errors.Add(1)
+			return
+		}
 		for k := 0; k < int(h.BatchCount); k++ {
 			sub := *h
 			sub.BatchCount = 1
 			sub.WindowSeq = h.WindowSeq + uint32(k)
-			s.execOne(f, pkt, from, kernel, &sub, userVals, hops, payload[k*per:(k+1)*per])
+			s.execOne(f, pkt, from, kp, &sub, userVals, hops, payload[k*per:(k+1)*per], sc)
 		}
 		return
 	}
-	s.execOne(f, pkt, from, kernel, h, userVals, hops, payload)
+	s.execOne(f, pkt, from, kp, h, userVals, hops, payload, sc)
 }
 
 // switchTimeNs converts a packet's virtual time to the hop-record clock.
@@ -195,19 +277,28 @@ func switchTimeNs(us float64) uint64 {
 }
 
 // execOne runs one window through the pipeline and routes the outcome.
-func (s *SwitchNode) execOne(f Sender, pkt *Packet, from string, kernel *pisa.Kernel, h *ncp.Header, userVals []uint64, hops []ncp.Hop, payload []byte) {
-	win, err := s.buildWindow(kernel, h, userVals, payload)
+func (s *SwitchNode) execOne(f Sender, pkt *Packet, from string, kp *swKernel, h *ncp.Header, userVals []uint64, hops []ncp.Hop, payload []byte, sc *nodeScratch) {
+	data, err := ncp.DecodePayloadInto(sc.data, payload, kp.specs)
+	sc.data = data
 	if err != nil {
 		s.Errors.Add(1)
 		return
 	}
-	dec, err := s.sw.ExecWindow(h.KernelID, win)
+	meta := pisa.WindowMeta{
+		Seq:    uint64(h.WindowSeq),
+		Len:    uint64(h.WindowLen),
+		From:   uint64(h.FromRole),
+		Sender: uint64(h.Sender),
+		Wid:    uint64(h.Wid),
+		User:   userVals,
+	}
+	dec, err := s.sw.ExecWindowSlots(h.KernelID, data, meta, s.locID)
 	if err != nil {
 		s.Errors.Add(1)
 		return
 	}
 	s.KernelWindows.Add(1)
-	s.kernelCounter(kernel).Inc()
+	kp.windows.Inc()
 	if h.Flags&ncp.FlagTrace != 0 {
 		// Full-capacity append: unbatched sub-windows each extend their
 		// own copy rather than aliasing the shared prefix.
@@ -221,7 +312,10 @@ func (s *SwitchNode) execOne(f Sender, pkt *Packet, from string, kernel *pisa.Ke
 	case interp.Drop:
 		return
 	case interp.Pass:
-		out := s.repack(h, userVals, hops, kernel, win, 0)
+		out := s.repack(sc, h, userVals, hops, kp, data, 0)
+		if out == nil {
+			return
+		}
 		npkt := &Packet{Src: pkt.Src, Dst: pkt.Dst, Data: out, VTimeUs: pkt.VTimeUs + SwitchDelayUs}
 		if dec.Label != "" {
 			npkt.Dst = dec.Label
@@ -233,7 +327,10 @@ func (s *SwitchNode) execOne(f Sender, pkt *Packet, from string, kernel *pisa.Ke
 			s.Errors.Add(1)
 			return
 		}
-		out := s.repack(h, userVals, hops, kernel, win, ncp.FlagReflected)
+		out := s.repack(sc, h, userVals, hops, kp, data, ncp.FlagReflected)
+		if out == nil {
+			return
+		}
 		s.forward(f, &Packet{Src: s.label, Dst: target, Data: out, VTimeUs: pkt.VTimeUs + SwitchDelayUs}, from)
 	case interp.Bcast:
 		// §4.1 verbatim: "_bcast() sends a window to all devices, one hop
@@ -242,8 +339,15 @@ func (s *SwitchNode) execOne(f Sender, pkt *Packet, from string, kernel *pisa.Ke
 		// (e.g. a phase flag in window data — see the hierarchical
 		// AllReduce test), which is exactly the programmable-forwarding
 		// control the paper gives kernels.
+		//
+		// One serialization serves every neighbor: delivered packet
+		// bytes are read-only by convention, so the Packet structs may
+		// share the encoded window.
+		out := s.repack(sc, h, userVals, hops, kp, data, ncp.FlagBcast)
+		if out == nil {
+			return
+		}
 		for _, nb := range f.Network().Neighbors(s.label) {
-			out := s.repack(h, userVals, hops, kernel, win, ncp.FlagBcast)
 			if err := f.Send(s.label, nb, &Packet{Src: s.label, Dst: nb, Data: out, VTimeUs: pkt.VTimeUs + SwitchDelayUs}); err != nil {
 				s.Errors.Add(1)
 			}
@@ -268,46 +372,16 @@ func (s *SwitchNode) forward(f Sender, pkt *Packet, from string) {
 	}
 }
 
-// buildWindow decodes an NCP packet into the execution window form.
-func (s *SwitchNode) buildWindow(k *pisa.Kernel, h *ncp.Header, userVals []uint64, payload []byte) (*interp.Window, error) {
-	specs := make([]ncp.ParamSpec, len(k.Params))
-	for i, pl := range k.Params {
-		specs[i] = ncp.ParamSpec{Elems: pl.Elems, Bytes: pl.Bits / 8, Signed: pl.Signed}
-	}
-	data, err := ncp.DecodePayload(payload, specs)
-	if err != nil {
-		return nil, err
-	}
-	win := &interp.Window{
-		Data: data,
-		Meta: map[string]uint64{
-			"seq":    uint64(h.WindowSeq),
-			"len":    uint64(h.WindowLen),
-			"from":   uint64(h.FromRole),
-			"sender": uint64(h.Sender),
-			"wid":    uint64(h.Wid),
-		},
-		Loc: s.locID,
-	}
-	for i, name := range s.userFields {
-		if i < len(userVals) {
-			win.Meta[name] = userVals[i]
-		}
-	}
-	return win, nil
-}
-
-// repack re-serializes a (possibly modified) window.
-func (s *SwitchNode) repack(h *ncp.Header, userVals []uint64, hops []ncp.Hop, k *pisa.Kernel, win *interp.Window, extraFlags uint8) []byte {
-	specs := make([]ncp.ParamSpec, len(k.Params))
-	for i, pl := range k.Params {
-		specs[i] = ncp.ParamSpec{Elems: pl.Elems, Bytes: pl.Bits / 8, Signed: pl.Signed}
-	}
-	payload, err := ncp.EncodePayload(win.Data, specs)
+// repack re-serializes a (possibly modified) window, encoding the
+// payload into pooled scratch. The returned packet bytes are fresh (the
+// receiver owns them); nil means a serialization error was counted.
+func (s *SwitchNode) repack(sc *nodeScratch, h *ncp.Header, userVals []uint64, hops []ncp.Hop, kp *swKernel, data [][]uint64, extraFlags uint8) []byte {
+	payload, err := ncp.AppendPayload(sc.payload[:0], data, kp.specs)
 	if err != nil {
 		s.Errors.Add(1)
 		return nil
 	}
+	sc.payload = payload
 	nh := *h
 	nh.Flags |= extraFlags
 	out, err := ncp.MarshalHops(&nh, userVals, hops, payload)
@@ -315,5 +389,6 @@ func (s *SwitchNode) repack(h *ncp.Header, userVals []uint64, hops []ncp.Hop, k 
 		s.Errors.Add(1)
 		return nil
 	}
+	s.Repacks.Add(1)
 	return out
 }

@@ -1,0 +1,311 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"ncl/internal/and"
+	"ncl/internal/ncp"
+	"ncl/internal/obs"
+	"ncl/internal/pisa"
+)
+
+// batchPacket builds a multi-window NCP packet: `vals` windows of one
+// 4-byte element each, with `extra` trailing garbage bytes appended to
+// the payload.
+func batchPacket(t *testing.T, vals []uint64, extra int) []byte {
+	t.Helper()
+	var payload []byte
+	for _, v := range vals {
+		p, err := ncp.EncodePayload([][]uint64{{v}}, []ncp.ParamSpec{{Elems: 1, Bytes: 4, Signed: true}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload = append(payload, p...)
+	}
+	payload = append(payload, make([]byte, extra)...)
+	pkt, err := ncp.Marshal(&ncp.Header{
+		KernelID: 1, WindowLen: 1, Sender: 1, FragCount: 1,
+		BatchCount: uint8(len(vals)), WindowSeq: 5,
+	}, nil, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkt
+}
+
+// TestSwitchNodeBatchUnpacks: a well-formed multi-window packet unbatches
+// into one kernel execution and one forwarded packet per window.
+func TestSwitchNodeBatchUnpacks(t *testing.T) {
+	fab, sn, _, b := chainFabric(t)
+	if err := fab.Send("a", "s1", &Packet{Src: "a", Dst: "b", Data: batchPacket(t, []uint64{41, 100}, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, b, 2)
+	if sn.KernelWindows.Load() != 2 {
+		t.Errorf("kernel windows = %d, want 2", sn.KernelWindows.Load())
+	}
+	want := map[uint64]bool{42: false, 101: false}
+	for _, pkt := range b.got {
+		h, _, payload, err := ncp.Decode(pkt.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.BatchCount > 1 {
+			t.Errorf("sub-window still batched: BatchCount=%d", h.BatchCount)
+		}
+		data, err := ncp.DecodePayload(payload, []ncp.ParamSpec{{Elems: 1, Bytes: 4, Signed: true}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := want[data[0][0]]; !ok {
+			t.Errorf("unexpected sub-window value %d", data[0][0])
+		}
+		want[data[0][0]] = true
+	}
+	for v, seen := range want {
+		if !seen {
+			t.Errorf("sub-window %d never arrived", v)
+		}
+	}
+}
+
+// TestSwitchNodeBatchRemainderRejected: a batch whose payload does not
+// split evenly into BatchCount windows is a framing error — the packet is
+// dropped and counted, not silently truncated (the old path executed the
+// whole windows and discarded the remainder bytes).
+func TestSwitchNodeBatchRemainderRejected(t *testing.T) {
+	fab, sn, _, b := chainFabric(t)
+	if err := fab.Send("a", "s1", &Packet{Src: "a", Dst: "b", Data: batchPacket(t, []uint64{41, 100}, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for sn.Errors.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if sn.Errors.Load() != 1 {
+		t.Fatalf("ragged batch must count a decode error, got %d", sn.Errors.Load())
+	}
+	if b.count() != 0 {
+		t.Errorf("ragged batch must not forward any window, receiver got %d", b.count())
+	}
+	if sn.KernelWindows.Load() != 0 {
+		t.Errorf("ragged batch must not execute, ran %d windows", sn.KernelWindows.Load())
+	}
+}
+
+// bcastProgram: kernel 1 sets $fwd = 3 (broadcast) and leaves the data
+// untouched.
+func bcastProgram() *pisa.Program {
+	k := &pisa.Kernel{
+		Name: "fan", ID: 1, WindowLen: 1,
+		Fields: []pisa.Field{
+			{Name: pisa.FieldFwd, Bits: 8},
+			{Name: "d_x_0", Bits: 32, Signed: true},
+		},
+		Params:  []pisa.ParamLayout{{Name: "x", Elems: 1, Bits: 32, Signed: true, Fields: []pisa.FieldRef{1}}},
+		WinMeta: map[string]pisa.FieldRef{},
+		Passes: [][]*pisa.Stage{{
+			{VLIW: []pisa.ActionOp{{Op: "mov", Dst: 0, A: pisa.ConstOperand(3)}}},
+		}},
+	}
+	return &pisa.Program{Name: "b", Kernels: []*pisa.Kernel{k}}
+}
+
+// TestSwitchNodeBcastEncodesOnce: a broadcast serializes the window once
+// and hands every neighbor the same encoded bytes (delivered packet data
+// is read-only by convention).
+func TestSwitchNodeBcastEncodesOnce(t *testing.T) {
+	net, err := and.Parse("switch s1 id=1\nhost a role=0\nhost b role=1\nhost c role=1\nlink a s1\nlink s1 b\nlink s1 c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab := New(net, Faults{})
+	sn := NewSwitchNode("s1", pisa.DefaultTarget())
+	if err := sn.Install(bcastProgram(), 1); err != nil {
+		t.Fatal(err)
+	}
+	sn.SetRoutes(net.NextHops()["s1"])
+	sn.SetHosts(map[uint32]string{1: "a", 2: "b", 3: "c"})
+	a := &echoNode{label: "a"}
+	b := &echoNode{label: "b"}
+	c := &echoNode{label: "c"}
+	for _, n := range []Node{sn, a, b, c} {
+		if err := fab.Attach(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fab.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fab.Stop)
+
+	if err := fab.Send("a", "s1", &Packet{Src: "a", Dst: "b", Data: ncpPacket(t, 1, 7, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	// All three neighbors (including the ingress host) get the broadcast.
+	waitCount(t, a, 1)
+	waitCount(t, b, 1)
+	waitCount(t, c, 1)
+	if got := sn.Repacks.Load(); got != 1 {
+		t.Fatalf("broadcast re-serialized %d times, want exactly 1", got)
+	}
+	// Same backing array everywhere: one encode, shared bytes.
+	if &a.got[0].Data[0] != &b.got[0].Data[0] || &b.got[0].Data[0] != &c.got[0].Data[0] {
+		t.Error("broadcast copies diverged: each neighbor got a separate encoding")
+	}
+	h, _, _, err := ncp.Decode(b.got[0].Data)
+	if err != nil {
+		t.Fatalf("broadcast bytes corrupt: %v", err)
+	}
+	if h.Flags&ncp.FlagBcast == 0 {
+		t.Error("broadcast packet missing FlagBcast")
+	}
+}
+
+// statefulSumProgram: kernel 1 accumulates its window element into
+// register total[0] and passes.
+func statefulSumProgram() *pisa.Program {
+	k := &pisa.Kernel{
+		Name: "sum", ID: 1, WindowLen: 1,
+		Fields: []pisa.Field{
+			{Name: pisa.FieldFwd, Bits: 8},
+			{Name: "d_x_0", Bits: 32, Signed: true},
+		},
+		Params:  []pisa.ParamLayout{{Name: "x", Elems: 1, Bits: 32, Signed: true, Fields: []pisa.FieldRef{1}}},
+		WinMeta: map[string]pisa.FieldRef{},
+		Passes: [][]*pisa.Stage{{
+			{
+				SALUs: []*pisa.SALU{{
+					Global: "total", Index: pisa.ConstOperand(0),
+					Prog: []pisa.MicroOp{{Op: "add", Dst: pisa.MReg,
+						A: pisa.SlotOperand(pisa.MReg), B: pisa.PhvOperand(1)}},
+					Out: pisa.NoField,
+				}},
+				VLIW: []pisa.ActionOp{{Op: "mov", Dst: 0, A: pisa.ConstOperand(0)}},
+			},
+		}},
+	}
+	return &pisa.Program{
+		Name:      "s",
+		Registers: []pisa.RegisterDef{{Name: "total", Elems: 1, Bits: 64, Stage: 0}},
+		Kernels:   []*pisa.Kernel{k},
+	}
+}
+
+// TestSwitchNodeExecWorkers: with a worker pool, every window still
+// executes exactly once and stateful accumulation stays correct (the
+// device's per-register locking serializes the read-modify-writes).
+func TestSwitchNodeExecWorkers(t *testing.T) {
+	net, err := and.Parse("switch s1 id=1\nhost a role=0\nhost b role=1\nlink a s1\nlink s1 b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab := New(net, Faults{})
+	sn := NewSwitchNode("s1", pisa.DefaultTarget())
+	if err := sn.Install(statefulSumProgram(), 1); err != nil {
+		t.Fatal(err)
+	}
+	sn.SetRoutes(net.NextHops()["s1"])
+	sn.SetHosts(map[uint32]string{1: "a", 2: "b"})
+	sn.SetExecWorkers(4)
+	a := &echoNode{label: "a"}
+	b := &echoNode{label: "b"}
+	for _, n := range []Node{sn, a, b} {
+		if err := fab.Attach(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fab.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		fab.Stop()
+		sn.Close() // workers drain after delivery stops
+	})
+
+	const n = 50
+	var want uint64
+	for i := 1; i <= n; i++ {
+		want += uint64(i)
+		if err := fab.Send("a", "s1", &Packet{Src: "a", Dst: "b", Data: ncpPacket(t, 1, uint64(i), 0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCount(t, b, n)
+	if sn.KernelWindows.Load() != n {
+		t.Errorf("kernel windows = %d, want %d", sn.KernelWindows.Load(), n)
+	}
+	got, err := sn.Device().ReadRegister("total", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("concurrent stateful sum = %d, want %d", got, want)
+	}
+}
+
+// blockingNode parks every Receive until released.
+type blockingNode struct {
+	label    string
+	release  chan struct{}
+	received chan struct{}
+}
+
+func (n *blockingNode) Label() string { return n.label }
+func (n *blockingNode) Receive(_ Sender, _ *Packet, _ string) {
+	<-n.release
+	n.received <- struct{}{}
+}
+
+// TestFabricInboxDrops: a full inbox drops the packet and counts it
+// (link Dropped + fabric.<label>.inbox_drops) instead of blocking the
+// sender.
+func TestFabricInboxDrops(t *testing.T) {
+	net := pairNet(t)
+	fab := New(net, Faults{})
+	reg := obs.NewRegistry()
+	fab.SetObs(reg)
+	fab.SetInboxCap(1)
+	a := &echoNode{label: "a"}
+	b := &blockingNode{label: "b", release: make(chan struct{}), received: make(chan struct{}, 16)}
+	if err := fab.Attach(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := fab.Attach(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := fab.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fab.Stop)
+
+	// Five sends against a blocked receiver with a one-slot inbox: at most
+	// one packet in flight at the receiver plus one queued; the rest drop
+	// at send time (Send delivers inline).
+	const n = 5
+	for i := 0; i < n; i++ {
+		if err := fab.Send("a", "b", &Packet{Src: "a", Dst: "b", Data: []byte{1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := fab.Stats("a", "b")
+	if st.Dropped.Load() < n-2 {
+		t.Fatalf("dropped = %d, want >= %d (inbox cap 1 + one in Receive)", st.Dropped.Load(), n-2)
+	}
+	if got := reg.Counter("fabric.b.inbox_drops").Load(); got != st.Dropped.Load() {
+		t.Errorf("fabric.b.inbox_drops = %d, link dropped = %d — counters must agree", got, st.Dropped.Load())
+	}
+	// Release the receiver: the queued packets still arrive.
+	close(b.release)
+	delivered := 0
+	timeout := time.After(2 * time.Second)
+	for delivered+int(st.Dropped.Load()) < n {
+		select {
+		case <-b.received:
+			delivered++
+		case <-timeout:
+			t.Fatalf("delivered %d + dropped %d != sent %d", delivered, st.Dropped.Load(), n)
+		}
+	}
+}

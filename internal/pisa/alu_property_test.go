@@ -1,6 +1,8 @@
 package pisa
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -44,6 +46,282 @@ func TestALUAgreesWithInterpreter(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
 		t.Error(err)
+	}
+}
+
+// randomValidProgram generates a structurally valid program with random
+// VLIW/SALU/table structure: one window parameter over 4 data fields,
+// builtin + user metadata, two registers (one per stage), one table, and
+// 1-2 passes of 2 stages each. The generator respects the PISA rules the
+// validator enforces (one writer per field per stage, registers on their
+// home stage, one access per array per pass), so every output loads.
+func randomValidProgram(r *rand.Rand) *Program {
+	const w = 4
+	dataBits := []int{8, 16, 32, 64}[r.Intn(4)]
+	dataSigned := r.Intn(2) == 0
+	dataBool := dataBits == 8 && r.Intn(4) == 0
+
+	var fields []Field
+	addField := func(name string, bits int, signed bool) FieldRef {
+		fields = append(fields, Field{Name: name, Bits: bits, Signed: signed})
+		return FieldRef(len(fields) - 1)
+	}
+	dataRefs := make([]FieldRef, w)
+	for i := range dataRefs {
+		dataRefs[i] = addField(fmt.Sprintf("d%d", i), dataBits, dataSigned)
+	}
+	fFwd := addField(FieldFwd, 8, false)
+	fLabel := addField(FieldFwdLabel, 16, false)
+	fSeq := addField("m_seq", 32, false)
+	fX := addField("m_x", 32, r.Intn(2) == 0)
+	s0 := addField("s0", []int{16, 32, 64}[r.Intn(3)], r.Intn(2) == 0)
+	s1 := addField("s1", 32, r.Intn(2) == 0)
+	_ = fLabel
+
+	allRefs := []FieldRef{dataRefs[0], dataRefs[1], dataRefs[2], dataRefs[3], fFwd, fLabel, fSeq, fX, s0, s1}
+	randOperand := func() Operand {
+		if r.Intn(3) == 0 {
+			return ConstOperand(r.Uint64() >> uint(r.Intn(64)))
+		}
+		return FieldOperand(allRefs[r.Intn(len(allRefs))])
+	}
+
+	regs := []RegisterDef{
+		{Name: "r0", Elems: 4, Bits: []int{8, 16, 32, 64}[r.Intn(4)], Signed: r.Intn(2) == 0, Stage: 0},
+		{Name: "r1", Elems: 2, Bits: 32, Signed: r.Intn(2) == 0, Stage: 1},
+	}
+	for i := 0; i < regs[0].Elems; i++ {
+		regs[0].Init = append(regs[0].Init, r.Uint64())
+	}
+
+	vliwOps := []string{"mov", "add", "sub", "mul", "div", "mod", "and", "or", "xor",
+		"shl", "shr", "eq", "ne", "lt", "gt", "le", "ge", "not", "csel", "hash"}
+	microOps := []string{"mov", "sel", "add", "sub", "mul", "and", "or", "xor", "shl", "shr"}
+	slots := []MSlot{MReg, MOut, MTmp0, MTmp1}
+	randMOperand := func() MOperand {
+		switch r.Intn(3) {
+		case 0:
+			return SlotOperand(slots[r.Intn(len(slots))])
+		case 1:
+			return PhvOperand(allRefs[r.Intn(len(allRefs))])
+		default:
+			return ImmOperand(r.Uint64() >> uint(r.Intn(64)))
+		}
+	}
+
+	numPasses := 1 + r.Intn(2)
+	var passes [][]*Stage
+	for pi := 0; pi < numPasses; pi++ {
+		var pass []*Stage
+		for si := 0; si < 2; si++ {
+			st := &Stage{}
+			written := map[FieldRef]bool{}
+			pickDst := func() FieldRef {
+				for tries := 0; tries < 20; tries++ {
+					f := allRefs[r.Intn(len(allRefs))]
+					if !written[f] {
+						written[f] = true
+						return f
+					}
+				}
+				return NoField
+			}
+			if si == 0 && r.Intn(2) == 0 {
+				tb := &Table{Name: "t0", Key: randOperand(), Hit: pickDst(), Val: pickDst()}
+				st.Tables = append(st.Tables, tb)
+			}
+			if r.Intn(3) > 0 {
+				reg := regs[si]
+				idx := ConstOperand(uint64(r.Intn(reg.Elems)))
+				if r.Intn(8) == 0 {
+					idx = ConstOperand(uint64(reg.Elems + r.Intn(3))) // out-of-range trap path
+				} else if r.Intn(3) == 0 {
+					idx = FieldOperand(allRefs[r.Intn(len(allRefs))]) // data-dependent index
+				}
+				sa := &SALU{Global: reg.Name, Index: idx, Out: pickDst()}
+				if r.Intn(4) == 0 {
+					sa.Pred = &Pred{Field: allRefs[r.Intn(len(allRefs))], Negate: r.Intn(2) == 0}
+				}
+				n := 1 + r.Intn(3)
+				for i := 0; i < n; i++ {
+					sa.Prog = append(sa.Prog, MicroOp{
+						Op:     microOps[r.Intn(len(microOps))],
+						Signed: r.Intn(2) == 0,
+						Dst:    slots[r.Intn(len(slots))],
+						A:      randMOperand(), B: randMOperand(), C: randMOperand(),
+					})
+				}
+				st.SALUs = append(st.SALUs, sa)
+			}
+			nv := 1 + r.Intn(3)
+			for i := 0; i < nv; i++ {
+				dst := pickDst()
+				if dst == NoField {
+					continue
+				}
+				op := ActionOp{
+					Op:     vliwOps[r.Intn(len(vliwOps))],
+					Signed: r.Intn(2) == 0,
+					Dst:    dst,
+					A:      randOperand(), B: randOperand(), C: randOperand(),
+				}
+				if op.Op == "hash" {
+					op.HashSeed = r.Intn(4)
+					op.HashBits = 1 + r.Intn(16)
+				}
+				st.VLIW = append(st.VLIW, op)
+			}
+			// Give the forwarding decision a writer in the final stage when
+			// nothing else claimed it.
+			if pi == numPasses-1 && si == 1 && !written[fFwd] {
+				st.VLIW = append(st.VLIW, ActionOp{Op: "mov", Dst: fFwd, A: ConstOperand(uint64(r.Intn(5)))})
+			}
+			pass = append(pass, st)
+		}
+		passes = append(passes, pass)
+	}
+
+	k := &Kernel{
+		Name:      "randk",
+		ID:        1,
+		WindowLen: w,
+		Fields:    fields,
+		Params: []ParamLayout{{
+			Name: "a", Elems: w, Bits: dataBits, Signed: dataSigned, Bool: dataBool,
+			Fields: dataRefs,
+		}},
+		WinMeta: map[string]FieldRef{"seq": fSeq, "x": fX},
+		Passes:  passes,
+	}
+	return &Program{
+		Name:      "rand",
+		Labels:    []string{"lab1", "lab2"},
+		Registers: regs,
+		Tables:    []string{"t0"},
+		Kernels:   []*Kernel{k},
+	}
+}
+
+// TestCompiledPlanMatchesReference is the compilation-correctness
+// property: for random valid programs, random control-plane state, and
+// random windows, the compiled plan (Switch) and the original
+// tree-walking engine (Reference) produce bit-identical decisions,
+// window data, register state, and error outcomes.
+func TestCompiledPlanMatchesReference(t *testing.T) {
+	target := DefaultTarget()
+	for seed := int64(0); seed < 80; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		p := randomValidProgram(r)
+		if err := p.Validate(target); err != nil {
+			t.Fatalf("seed %d: generator produced invalid program: %v", seed, err)
+		}
+		sw := NewSwitch(target)
+		ref := NewReference(target)
+		if err := sw.Load(p); err != nil {
+			t.Fatalf("seed %d: switch load: %v", seed, err)
+		}
+		if err := ref.Load(p); err != nil {
+			t.Fatalf("seed %d: reference load: %v", seed, err)
+		}
+		for i := 0; i < 6; i++ {
+			key, val := uint64(r.Intn(8)), r.Uint64()
+			if err := sw.InstallEntry("t0", key, val); err != nil {
+				t.Fatalf("seed %d: install: %v", seed, err)
+			}
+			if err := ref.InstallEntry("t0", key, val); err != nil {
+				t.Fatalf("seed %d: install: %v", seed, err)
+			}
+		}
+		for wi := 0; wi < 25; wi++ {
+			data := make([]uint64, 4)
+			for i := range data {
+				data[i] = r.Uint64() >> uint(r.Intn(64))
+			}
+			meta := map[string]uint64{"seq": uint64(r.Intn(1 << 20)), "x": r.Uint64()}
+			loc := uint32(r.Intn(100))
+			winA := &interp.Window{Data: [][]uint64{append([]uint64(nil), data...)}, Meta: meta, Loc: loc}
+			winB := &interp.Window{Data: [][]uint64{append([]uint64(nil), data...)}, Meta: meta, Loc: loc}
+			decA, errA := sw.ExecWindow(1, winA)
+			decB, errB := ref.ExecWindow(1, winB)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("seed %d window %d: error divergence: plan=%v reference=%v", seed, wi, errA, errB)
+			}
+			if errA != nil {
+				continue
+			}
+			if decA != decB {
+				t.Fatalf("seed %d window %d: decision divergence: plan=%+v reference=%+v", seed, wi, decA, decB)
+			}
+			for ei := range winA.Data[0] {
+				if winA.Data[0][ei] != winB.Data[0][ei] {
+					t.Fatalf("seed %d window %d: data[%d] divergence: plan=%#x reference=%#x",
+						seed, wi, ei, winA.Data[0][ei], winB.Data[0][ei])
+				}
+			}
+		}
+		for _, reg := range p.Registers {
+			for idx := 0; idx < reg.Elems; idx++ {
+				a, errA := sw.ReadRegister(reg.Name, idx)
+				b, errB := ref.ReadRegister(reg.Name, idx)
+				if errA != nil || errB != nil {
+					t.Fatalf("seed %d: register read: %v / %v", seed, errA, errB)
+				}
+				if a != b {
+					t.Fatalf("seed %d: register %s[%d] divergence: plan=%#x reference=%#x", seed, reg.Name, idx, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledSlotsPathMatchesReference drives the same property through
+// ExecWindowSlots (the map-free data-plane entry point): binding window
+// metadata by precompiled slots must equal the Meta-map convention.
+func TestCompiledSlotsPathMatchesReference(t *testing.T) {
+	target := DefaultTarget()
+	for seed := int64(100); seed < 140; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		p := randomValidProgram(r)
+		sw := NewSwitch(target)
+		ref := NewReference(target)
+		if err := sw.Load(p); err != nil {
+			t.Fatalf("seed %d: switch load: %v", seed, err)
+		}
+		if err := ref.Load(p); err != nil {
+			t.Fatalf("seed %d: reference load: %v", seed, err)
+		}
+		// The generated kernel reads user field "x": wire order is ["x"].
+		for wi := 0; wi < 15; wi++ {
+			data := make([]uint64, 4)
+			for i := range data {
+				data[i] = r.Uint64() >> uint(r.Intn(64))
+			}
+			seq, x := uint64(r.Intn(1<<20)), r.Uint64()
+			loc := uint32(r.Intn(100))
+			dataA := [][]uint64{append([]uint64(nil), data...)}
+			winB := &interp.Window{
+				Data: [][]uint64{append([]uint64(nil), data...)},
+				Meta: map[string]uint64{"seq": seq, "x": x},
+				Loc:  loc,
+			}
+			decA, errA := sw.ExecWindowSlots(1, dataA, WindowMeta{Seq: seq, User: []uint64{x}}, loc)
+			decB, errB := ref.ExecWindow(1, winB)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("seed %d window %d: error divergence: plan=%v reference=%v", seed, wi, errA, errB)
+			}
+			if errA != nil {
+				continue
+			}
+			if decA != decB {
+				t.Fatalf("seed %d window %d: decision divergence: %+v vs %+v", seed, wi, decA, decB)
+			}
+			for ei := range dataA[0] {
+				if dataA[0][ei] != winB.Data[0][ei] {
+					t.Fatalf("seed %d window %d: data[%d] divergence: %#x vs %#x",
+						seed, wi, ei, dataA[0][ei], winB.Data[0][ei])
+				}
+			}
+		}
 	}
 }
 

@@ -3,31 +3,43 @@ package pisa
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"ncl/internal/ncl/interp"
 	"ncl/internal/ncl/types"
 	"ncl/internal/obs"
 )
 
-// Switch is a loaded, running PISA device: a program plus its mutable
-// state (register arrays and table entries). A Switch is safe for
-// concurrent control-plane access and data-plane execution; the data
-// plane itself processes one window at a time per Switch, matching
-// PISA's hardware-serialized pipeline.
+// Switch is a loaded, running PISA device: a compiled execution plan
+// plus its mutable state (register arrays and table entries). Load is
+// the compile step: it resolves every name to a dense index and swaps
+// the plan in atomically, so the data plane reads program structure
+// lock-free. State locking is fine-grained — one mutex per register
+// array, one RWMutex per table — so windows touching disjoint state
+// execute concurrently, like independent packets in a real PISA
+// pipeline.
 type Switch struct {
 	target TargetConfig
 
-	mu      sync.Mutex
-	program *Program
-	regs    map[string][]uint64
-	tables  map[string]map[uint64]uint64
+	plan atomic.Pointer[plan]
+	met  atomic.Pointer[pisaMetrics]
 
-	met pisaMetrics
+	loadMu  sync.Mutex // serializes Load (plan construction + swap)
+	scratch sync.Pool  // *execScratch
+}
+
+// execScratch is the pooled per-window working set: the PHV and one
+// persistent stage-input snapshot buffer.
+type execScratch struct {
+	phv  []uint64
+	snap []uint64
 }
 
 // pisaMetrics caches the device's registry handles, named
 // pisa.<label>.*. Stage counters are indexed by the stage's position in
-// its pass (sized to the target's stage budget at SetObs time).
+// its pass (sized to the target's stage budget at SetObs time). The
+// struct is published through an atomic pointer and every handle is
+// itself atomic, so the hot path updates metrics without any lock.
 type pisaMetrics struct {
 	windows     *obs.Counter // pisa.<label>.windows
 	passes      *obs.Counter // pisa.<label>.passes
@@ -50,7 +62,7 @@ func NewSwitch(target TargetConfig) *Switch {
 // counts accumulated in the previous registry stay there).
 func (sw *Switch) SetObs(r *obs.Registry, label string) {
 	p := "pisa." + label + "."
-	m := pisaMetrics{
+	m := &pisaMetrics{
 		windows:     r.Counter(p + "windows"),
 		passes:      r.Counter(p + "passes"),
 		tableHits:   r.Counter(p + "table_hits"),
@@ -60,113 +72,138 @@ func (sw *Switch) SetObs(r *obs.Registry, label string) {
 	for i := range m.stageExecs {
 		m.stageExecs[i] = r.Counter(fmt.Sprintf("%sstage.%d.execs", p, i))
 	}
-	sw.mu.Lock()
-	sw.met = m
-	sw.mu.Unlock()
+	sw.met.Store(m)
 }
 
 // WindowsProcessed reports the total windows executed (all kernels).
 func (sw *Switch) WindowsProcessed() uint64 {
-	sw.mu.Lock()
-	defer sw.mu.Unlock()
-	return sw.met.windows.Load()
+	return sw.met.Load().windows.Load()
 }
 
 // PassesExecuted reports the total pipeline passes, recirculations
 // included.
 func (sw *Switch) PassesExecuted() uint64 {
-	sw.mu.Lock()
-	defer sw.mu.Unlock()
-	return sw.met.passes.Load()
+	return sw.met.Load().passes.Load()
 }
 
 // Target returns the switch's resource configuration.
 func (sw *Switch) Target() TargetConfig { return sw.target }
 
-// Load validates and installs a program, allocating fresh state. It is
-// the moral equivalent of the P4 backend accepting the program and the
-// controller pushing it to the device.
+// Load validates a program, compiles it into an execution plan with
+// fresh state, and atomically swaps the plan in. It is the moral
+// equivalent of the P4 backend accepting the program and the controller
+// pushing it to the device.
 func (sw *Switch) Load(p *Program) error {
 	if err := p.Validate(sw.target); err != nil {
 		return err
 	}
-	sw.mu.Lock()
-	defer sw.mu.Unlock()
-	sw.program = p
-	sw.regs = map[string][]uint64{}
-	for _, r := range p.Registers {
-		vals := make([]uint64, r.Elems)
-		copy(vals, r.Init)
-		sw.regs[r.Name] = vals
+	pl, err := compilePlan(p)
+	if err != nil {
+		return err
 	}
-	sw.tables = map[string]map[uint64]uint64{}
-	for _, t := range p.Tables {
-		sw.tables[t] = map[uint64]uint64{}
-	}
+	sw.loadMu.Lock()
+	sw.plan.Store(pl)
+	sw.loadMu.Unlock()
 	return nil
 }
 
 // Program returns the loaded program (nil before Load).
 func (sw *Switch) Program() *Program {
-	sw.mu.Lock()
-	defer sw.mu.Unlock()
-	return sw.program
+	pl := sw.plan.Load()
+	if pl == nil {
+		return nil
+	}
+	return pl.program
+}
+
+// UserFields returns the user _win_ field names in NCP wire order for
+// the loaded program (nil before Load). Switch nodes bind packet user
+// values to PHV meta slots with this order.
+func (sw *Switch) UserFields() []string {
+	pl := sw.plan.Load()
+	if pl == nil {
+		return nil
+	}
+	return pl.userFields
 }
 
 // InstallEntry adds/overwrites an exact-match entry (control plane; this
 // is how ncl::Map insertions reach the switch, §4.3).
 func (sw *Switch) InstallEntry(table string, key, val uint64) error {
-	sw.mu.Lock()
-	defer sw.mu.Unlock()
-	t, ok := sw.tables[table]
-	if !ok {
-		return fmt.Errorf("pisa: no table %q", table)
+	t, err := sw.lookupTable(table)
+	if err != nil {
+		return err
 	}
-	t[key] = val
+	t.mu.Lock()
+	t.entries[key] = val
+	t.mu.Unlock()
 	return nil
 }
 
 // DeleteEntry removes an exact-match entry.
 func (sw *Switch) DeleteEntry(table string, key uint64) error {
-	sw.mu.Lock()
-	defer sw.mu.Unlock()
-	t, ok := sw.tables[table]
-	if !ok {
-		return fmt.Errorf("pisa: no table %q", table)
+	t, err := sw.lookupTable(table)
+	if err != nil {
+		return err
 	}
-	delete(t, key)
+	t.mu.Lock()
+	delete(t.entries, key)
+	t.mu.Unlock()
 	return nil
+}
+
+func (sw *Switch) lookupTable(table string) (*matTable, error) {
+	pl := sw.plan.Load()
+	if pl == nil {
+		return nil, fmt.Errorf("pisa: no table %q", table)
+	}
+	i, ok := pl.tableIdx[table]
+	if !ok {
+		return nil, fmt.Errorf("pisa: no table %q", table)
+	}
+	return pl.tables[i], nil
 }
 
 // WriteRegister writes one register element (control plane; _ctrl_
 // variables are written this way).
 func (sw *Switch) WriteRegister(name string, idx int, val uint64) error {
-	sw.mu.Lock()
-	defer sw.mu.Unlock()
-	r, ok := sw.regs[name]
-	if !ok {
-		return fmt.Errorf("pisa: no register %q", name)
+	r, err := sw.lookupRegister(name)
+	if err != nil {
+		return err
 	}
-	if idx < 0 || idx >= len(r) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if idx < 0 || idx >= len(r.vals) {
 		return fmt.Errorf("pisa: register %s index %d out of range", name, idx)
 	}
-	def := sw.program.registerByName(name)
-	r[idx] = normalize(val, def.Bits, def.Signed)
+	r.vals[idx] = normalize(val, r.bits, r.signed)
 	return nil
 }
 
 // ReadRegister reads one register element (control plane / debugging).
 func (sw *Switch) ReadRegister(name string, idx int) (uint64, error) {
-	sw.mu.Lock()
-	defer sw.mu.Unlock()
-	r, ok := sw.regs[name]
-	if !ok {
-		return 0, fmt.Errorf("pisa: no register %q", name)
+	r, err := sw.lookupRegister(name)
+	if err != nil {
+		return 0, err
 	}
-	if idx < 0 || idx >= len(r) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if idx < 0 || idx >= len(r.vals) {
 		return 0, fmt.Errorf("pisa: register %s index %d out of range", name, idx)
 	}
-	return r[idx], nil
+	return r.vals[idx], nil
+}
+
+func (sw *Switch) lookupRegister(name string) (*regArray, error) {
+	pl := sw.plan.Load()
+	if pl == nil {
+		return nil, fmt.Errorf("pisa: no register %q", name)
+	}
+	i, ok := pl.regIdx[name]
+	if !ok {
+		return nil, fmt.Errorf("pisa: no register %q", name)
+	}
+	return pl.regs[i], nil
 }
 
 // normalize truncates/sign-extends to the canonical 64-bit form.
@@ -177,150 +214,124 @@ func normalize(v uint64, bits int, signed bool) uint64 {
 	return v & types.TruncMask(bits)
 }
 
+// getScratch returns a zeroed-PHV scratch sized for n fields.
+func (sw *Switch) getScratch(n int) *execScratch {
+	s, _ := sw.scratch.Get().(*execScratch)
+	if s == nil {
+		s = &execScratch{}
+	}
+	if cap(s.phv) < n {
+		s.phv = make([]uint64, n)
+		s.snap = make([]uint64, n)
+	}
+	s.phv = s.phv[:n]
+	s.snap = s.snap[:n]
+	for i := range s.phv {
+		s.phv[i] = 0
+	}
+	return s
+}
+
+// WindowMeta carries per-window metadata for the slot-bound fast path:
+// the builtin NCP header fields plus the user _win_ values in the
+// program's UserFields wire order. It replaces interp.Window's
+// per-packet map[string]uint64 on the switch data plane.
+type WindowMeta struct {
+	Seq    uint64
+	Len    uint64
+	From   uint64
+	Sender uint64
+	Wid    uint64
+	User   []uint64
+}
+
 // ExecWindow runs the kernel with the given id over a window. The window's
 // Data and Meta use the same convention as the interpreter, making the
 // two engines directly comparable. Returns the forwarding decision.
+//
+// This is the compatibility path (name-map metadata); the switch data
+// plane uses ExecWindowSlots.
 func (sw *Switch) ExecWindow(kernelID uint32, win *interp.Window) (interp.Decision, error) {
-	sw.mu.Lock()
-	defer sw.mu.Unlock()
-	if sw.program == nil {
-		return interp.Decision{}, fmt.Errorf("pisa: no program loaded")
+	pl, kp, met, s, err := sw.begin(kernelID, win.Data)
+	if err != nil {
+		return interp.Decision{}, err
 	}
-	k := sw.program.KernelByID(kernelID)
-	if k == nil {
-		return interp.Decision{}, fmt.Errorf("pisa: no kernel with id %d", kernelID)
+	defer sw.scratch.Put(s)
+	for name, f := range kp.k.WinMeta {
+		s.phv[f] = normalize(win.Meta[name], kp.k.Fields[f].Bits, kp.k.Fields[f].Signed)
 	}
-	sw.met.windows.Inc()
-
-	// Parser: populate the PHV from window data and metadata.
-	phv := make([]uint64, len(k.Fields))
-	if len(win.Data) != len(k.Params) {
-		return interp.Decision{}, fmt.Errorf("pisa: window has %d params, kernel %s expects %d", len(win.Data), k.Name, len(k.Params))
+	if kp.locField != NoField {
+		s.phv[kp.locField] = uint64(win.Loc)
 	}
-	for pi, pl := range k.Params {
-		if len(win.Data[pi]) != pl.Elems {
-			return interp.Decision{}, fmt.Errorf("pisa: param %s has %d elements, expected %d", pl.Name, len(win.Data[pi]), pl.Elems)
-		}
-		for ei, f := range pl.Fields {
-			v := normalize(win.Data[pi][ei], pl.Bits, pl.Signed)
-			if pl.Bool {
-				v = boolBit(v != 0)
-			}
-			phv[f] = v
-		}
-	}
-	for name, f := range k.WinMeta {
-		phv[f] = normalize(win.Meta[name], k.Fields[f].Bits, k.Fields[f].Signed)
-	}
-	if f := k.FieldByName(FieldLoc); f != NoField {
-		phv[f] = uint64(win.Loc)
-	}
-
-	// Pipeline passes (pass > 0 is recirculation).
-	for _, pass := range k.Passes {
-		sw.met.passes.Inc()
-		for si, stage := range pass {
-			if si < len(sw.met.stageExecs) {
-				sw.met.stageExecs[si].Inc()
-			}
-			if err := sw.execStage(k, stage, phv); err != nil {
-				return interp.Decision{}, err
-			}
-		}
-	}
-
-	// Deparser: write modified window data back.
-	for pi, pl := range k.Params {
-		for ei, f := range pl.Fields {
-			win.Data[pi][ei] = phv[f]
-		}
-	}
-
-	dec := interp.Decision{}
-	if f := k.FieldByName(FieldFwd); f != NoField {
-		switch phv[f] {
-		case 0:
-			dec.Kind = interp.Pass
-		case 1:
-			dec.Kind = interp.Drop
-		case 2:
-			dec.Kind = interp.Reflect
-		case 3:
-			dec.Kind = interp.Bcast
-		}
-	}
-	if f := k.FieldByName(FieldFwdLabel); f != NoField && phv[f] > 0 {
-		li := int(phv[f]) - 1
-		if li < len(sw.program.Labels) {
-			dec.Label = sw.program.Labels[li]
-		}
-	}
-	return dec, nil
+	return sw.finish(pl, kp, met, s, win.Data)
 }
 
-// execStage runs one stage: every unit reads the stage-input snapshot and
-// writes the output PHV, giving the VLIW parallel semantics.
-func (sw *Switch) execStage(k *Kernel, st *Stage, phv []uint64) error {
-	snap := make([]uint64, len(phv))
-	copy(snap, phv)
+// ExecWindowSlots runs a kernel over a window using the precompiled
+// metadata binding: no name maps, no per-window allocation. data is
+// read and written in place (the deparsed window). meta.User follows
+// the program's UserFields order.
+func (sw *Switch) ExecWindowSlots(kernelID uint32, data [][]uint64, meta WindowMeta, loc uint32) (interp.Decision, error) {
+	pl, kp, met, s, err := sw.begin(kernelID, data)
+	if err != nil {
+		return interp.Decision{}, err
+	}
+	defer sw.scratch.Put(s)
+	for _, mb := range kp.metaBind {
+		var v uint64
+		switch mb.src {
+		case metaSeq:
+			v = meta.Seq
+		case metaLen:
+			v = meta.Len
+		case metaFrom:
+			v = meta.From
+		case metaSender:
+			v = meta.Sender
+		case metaWid:
+			v = meta.Wid
+		case metaMissing:
+			v = 0
+		default:
+			if i := mb.src - metaUser0; i < len(meta.User) {
+				v = meta.User[i]
+			}
+		}
+		s.phv[mb.f] = normalize(v, mb.bits, mb.signed)
+	}
+	if kp.locField != NoField {
+		s.phv[kp.locField] = uint64(loc)
+	}
+	return sw.finish(pl, kp, met, s, data)
+}
 
-	read := func(o Operand) uint64 {
-		if o.IsConst {
-			return o.Const
-		}
-		return snap[o.Field]
+// begin resolves the kernel, counts the window, and parses the window
+// data into pooled scratch.
+func (sw *Switch) begin(kernelID uint32, data [][]uint64) (*plan, *kernelPlan, *pisaMetrics, *execScratch, error) {
+	pl := sw.plan.Load()
+	if pl == nil {
+		return nil, nil, nil, nil, fmt.Errorf("pisa: no program loaded")
 	}
-	predOK := func(p *Pred) bool {
-		if p == nil {
-			return true
-		}
-		v := snap[p.Field] != 0
-		if p.Negate {
-			return !v
-		}
-		return v
+	kp := pl.kernels[kernelID]
+	if kp == nil {
+		return nil, nil, nil, nil, fmt.Errorf("pisa: no kernel with id %d", kernelID)
 	}
-	write := func(f FieldRef, v uint64) {
-		fd := k.Fields[f]
-		phv[f] = normalize(v, fd.Bits, fd.Signed)
+	met := sw.met.Load()
+	met.windows.Inc()
+	s := sw.getScratch(kp.numFields)
+	if err := kp.parse(data, s.phv); err != nil {
+		sw.scratch.Put(s)
+		return nil, nil, nil, nil, err
 	}
+	return pl, kp, met, s, nil
+}
 
-	for _, tb := range st.Tables {
-		key := read(tb.Key)
-		entries := sw.tables[tb.Name]
-		val, hit := entries[key]
-		if hit {
-			sw.met.tableHits.Inc()
-		} else {
-			sw.met.tableMisses.Inc()
-		}
-		if tb.Hit != NoField {
-			write(tb.Hit, boolBit(hit))
-		}
-		if tb.Val != NoField && hit {
-			write(tb.Val, val)
-		} else if tb.Val != NoField {
-			write(tb.Val, 0)
-		}
+// finish runs the pipeline passes, deparses, and derives the decision.
+func (sw *Switch) finish(pl *plan, kp *kernelPlan, met *pisaMetrics, s *execScratch, data [][]uint64) (interp.Decision, error) {
+	if err := kp.execPasses(met, s); err != nil {
+		return interp.Decision{}, err
 	}
-
-	for _, sa := range st.SALUs {
-		if !predOK(sa.Pred) {
-			continue
-		}
-		if err := sw.execSALU(k, sa, snap, phv); err != nil {
-			return err
-		}
-	}
-
-	for _, op := range st.VLIW {
-		v, err := evalAction(op, snap, k.Fields[op.Dst].Bits)
-		if err != nil {
-			return err
-		}
-		write(op.Dst, v)
-	}
-	return nil
+	kp.deparse(data, s.phv)
+	return kp.decision(pl, s.phv), nil
 }
 
 func boolBit(b bool) uint64 {
@@ -330,87 +341,27 @@ func boolBit(b bool) uint64 {
 	return 0
 }
 
-// execSALU runs one atomic stateful read-modify-write.
-func (sw *Switch) execSALU(k *Kernel, sa *SALU, snap, phv []uint64) error {
-	reg, ok := sw.regs[sa.Global]
-	if !ok {
-		return fmt.Errorf("pisa: register %s not allocated", sa.Global)
-	}
-	def := sw.program.registerByName(sa.Global)
-	idxv := sa.Index.Const
-	if !sa.Index.IsConst {
-		idxv = snap[sa.Index.Field]
-	}
-	if idxv >= uint64(len(reg)) {
-		return fmt.Errorf("pisa: register %s index %d out of range (%d elements)", sa.Global, idxv, len(reg))
-	}
-	slots := map[MSlot]uint64{MReg: reg[idxv]}
-	readM := func(o MOperand) uint64 {
-		switch o.Kind {
-		case MFromSlot:
-			return slots[o.Slot]
-		case MFromField:
-			return snap[o.Field]
-		default:
-			return o.Const
-		}
-	}
-	for _, mo := range sa.Prog {
-		var v uint64
-		switch mo.Op {
-		case "mov":
-			v = readM(mo.A)
-		case "sel":
-			if readM(mo.C) != 0 {
-				v = readM(mo.A)
-			} else {
-				v = readM(mo.B)
-			}
-		default:
-			var err error
-			v, err = alu(mo.Op, mo.Signed, readM(mo.A), readM(mo.B), def.Bits)
-			if err != nil {
-				return fmt.Errorf("pisa: salu %s: %w", sa.Global, err)
-			}
-		}
-		// Register-width semantics inside the SALU.
-		slots[mo.Dst] = normalize(v, def.Bits, def.Signed)
-	}
-	reg[idxv] = normalize(slots[MReg], def.Bits, def.Signed)
-	if sa.Out != NoField {
-		fd := k.Fields[sa.Out]
-		phv[sa.Out] = normalize(slots[MOut], fd.Bits, fd.Signed)
-	}
-	return nil
-}
-
 // evalAction evaluates one VLIW op against the stage snapshot. dstBits is
 // the destination field width, which scopes shift counts the way the IR's
 // type widths do.
 func evalAction(op ActionOp, snap []uint64, dstBits int) (uint64, error) {
-	read := func(o Operand) uint64 {
-		if o.IsConst {
-			return o.Const
-		}
-		return snap[o.Field]
-	}
 	switch op.Op {
 	case "mov":
-		return read(op.A), nil
+		return readOperand(op.A, snap), nil
 	case "not":
-		if read(op.A) == 0 {
+		if readOperand(op.A, snap) == 0 {
 			return 1, nil
 		}
 		return 0, nil
 	case "csel":
-		if read(op.C) != 0 {
-			return read(op.A), nil
+		if readOperand(op.C, snap) != 0 {
+			return readOperand(op.A, snap), nil
 		}
-		return read(op.B), nil
+		return readOperand(op.B, snap), nil
 	case "hash":
-		return uint64(interp.BloomBit(read(op.A), op.HashSeed, op.HashBits)), nil
+		return uint64(interp.BloomBit(readOperand(op.A, snap), op.HashSeed, op.HashBits)), nil
 	}
-	return alu(op.Op, op.Signed, read(op.A), read(op.B), dstBits)
+	return alu(op.Op, op.Signed, readOperand(op.A, snap), readOperand(op.B, snap), dstBits)
 }
 
 // alu implements the shared two-operand ALU for VLIW and SALU ops over

@@ -238,6 +238,12 @@ type Program struct {
 	Registers []RegisterDef
 	Tables    []string // Map-backed table names (entries from control plane)
 	Kernels   []*Kernel
+	// UserFields lists the module's user _win_ field names in NCP wire
+	// order (sorted). Switch nodes use it to bind packet user values to
+	// PHV meta slots; it must cover every field on the wire even when no
+	// kernel at this location reads it. Optional for hand-built programs
+	// (the plan falls back to the union of kernel WinMeta names).
+	UserFields []string
 }
 
 // KernelByID returns the kernel with the given id, or nil.

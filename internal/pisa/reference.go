@@ -1,0 +1,281 @@
+package pisa
+
+import (
+	"fmt"
+	"sync"
+
+	"ncl/internal/ncl/interp"
+)
+
+// Reference is the original tree-walking execution engine: one global
+// mutex, string-keyed state maps, per-stage snapshot allocation, and a
+// map-based SALU slot file. It is kept as the semantic oracle for the
+// compiled plan (the differential property tests drive both engines
+// with the same programs and windows and require bit-identical results)
+// and as the "before" baseline for the switch-path benchmarks (E12,
+// BenchmarkSwitchExec).
+type Reference struct {
+	target TargetConfig
+
+	mu      sync.Mutex
+	program *Program
+	regs    map[string][]uint64
+	tables  map[string]map[uint64]uint64
+}
+
+// NewReference creates an empty reference device.
+func NewReference(target TargetConfig) *Reference {
+	return &Reference{target: target}
+}
+
+// Load validates and installs a program, allocating fresh state.
+func (rf *Reference) Load(p *Program) error {
+	if err := p.Validate(rf.target); err != nil {
+		return err
+	}
+	rf.mu.Lock()
+	defer rf.mu.Unlock()
+	rf.program = p
+	rf.regs = map[string][]uint64{}
+	for _, r := range p.Registers {
+		vals := make([]uint64, r.Elems)
+		copy(vals, r.Init)
+		rf.regs[r.Name] = vals
+	}
+	rf.tables = map[string]map[uint64]uint64{}
+	for _, t := range p.Tables {
+		rf.tables[t] = map[uint64]uint64{}
+	}
+	return nil
+}
+
+// InstallEntry adds/overwrites an exact-match entry.
+func (rf *Reference) InstallEntry(table string, key, val uint64) error {
+	rf.mu.Lock()
+	defer rf.mu.Unlock()
+	t, ok := rf.tables[table]
+	if !ok {
+		return fmt.Errorf("pisa: no table %q", table)
+	}
+	t[key] = val
+	return nil
+}
+
+// WriteRegister writes one register element.
+func (rf *Reference) WriteRegister(name string, idx int, val uint64) error {
+	rf.mu.Lock()
+	defer rf.mu.Unlock()
+	r, ok := rf.regs[name]
+	if !ok {
+		return fmt.Errorf("pisa: no register %q", name)
+	}
+	if idx < 0 || idx >= len(r) {
+		return fmt.Errorf("pisa: register %s index %d out of range", name, idx)
+	}
+	def := rf.program.registerByName(name)
+	r[idx] = normalize(val, def.Bits, def.Signed)
+	return nil
+}
+
+// ReadRegister reads one register element.
+func (rf *Reference) ReadRegister(name string, idx int) (uint64, error) {
+	rf.mu.Lock()
+	defer rf.mu.Unlock()
+	r, ok := rf.regs[name]
+	if !ok {
+		return 0, fmt.Errorf("pisa: no register %q", name)
+	}
+	if idx < 0 || idx >= len(r) {
+		return 0, fmt.Errorf("pisa: register %s index %d out of range", name, idx)
+	}
+	return r[idx], nil
+}
+
+// ExecWindow runs the kernel with the given id over a window, exactly as
+// the pre-compilation engine did.
+func (rf *Reference) ExecWindow(kernelID uint32, win *interp.Window) (interp.Decision, error) {
+	rf.mu.Lock()
+	defer rf.mu.Unlock()
+	if rf.program == nil {
+		return interp.Decision{}, fmt.Errorf("pisa: no program loaded")
+	}
+	k := rf.program.KernelByID(kernelID)
+	if k == nil {
+		return interp.Decision{}, fmt.Errorf("pisa: no kernel with id %d", kernelID)
+	}
+
+	// Parser: populate the PHV from window data and metadata.
+	phv := make([]uint64, len(k.Fields))
+	if len(win.Data) != len(k.Params) {
+		return interp.Decision{}, fmt.Errorf("pisa: window has %d params, kernel %s expects %d", len(win.Data), k.Name, len(k.Params))
+	}
+	for pi, pl := range k.Params {
+		if len(win.Data[pi]) != pl.Elems {
+			return interp.Decision{}, fmt.Errorf("pisa: param %s has %d elements, expected %d", pl.Name, len(win.Data[pi]), pl.Elems)
+		}
+		for ei, f := range pl.Fields {
+			v := normalize(win.Data[pi][ei], pl.Bits, pl.Signed)
+			if pl.Bool {
+				v = boolBit(v != 0)
+			}
+			phv[f] = v
+		}
+	}
+	for name, f := range k.WinMeta {
+		phv[f] = normalize(win.Meta[name], k.Fields[f].Bits, k.Fields[f].Signed)
+	}
+	if f := k.FieldByName(FieldLoc); f != NoField {
+		phv[f] = uint64(win.Loc)
+	}
+
+	// Pipeline passes (pass > 0 is recirculation).
+	for _, pass := range k.Passes {
+		for _, stage := range pass {
+			if err := rf.execStage(k, stage, phv); err != nil {
+				return interp.Decision{}, err
+			}
+		}
+	}
+
+	// Deparser: write modified window data back.
+	for pi, pl := range k.Params {
+		for ei, f := range pl.Fields {
+			win.Data[pi][ei] = phv[f]
+		}
+	}
+
+	dec := interp.Decision{}
+	if f := k.FieldByName(FieldFwd); f != NoField {
+		switch phv[f] {
+		case 0:
+			dec.Kind = interp.Pass
+		case 1:
+			dec.Kind = interp.Drop
+		case 2:
+			dec.Kind = interp.Reflect
+		case 3:
+			dec.Kind = interp.Bcast
+		}
+	}
+	if f := k.FieldByName(FieldFwdLabel); f != NoField && phv[f] > 0 {
+		li := int(phv[f]) - 1
+		if li < len(rf.program.Labels) {
+			dec.Label = rf.program.Labels[li]
+		}
+	}
+	return dec, nil
+}
+
+// execStage runs one stage with the original closure-based units and a
+// freshly allocated snapshot.
+func (rf *Reference) execStage(k *Kernel, st *Stage, phv []uint64) error {
+	snap := make([]uint64, len(phv))
+	copy(snap, phv)
+
+	read := func(o Operand) uint64 {
+		if o.IsConst {
+			return o.Const
+		}
+		return snap[o.Field]
+	}
+	predOK := func(p *Pred) bool {
+		if p == nil {
+			return true
+		}
+		v := snap[p.Field] != 0
+		if p.Negate {
+			return !v
+		}
+		return v
+	}
+	write := func(f FieldRef, v uint64) {
+		fd := k.Fields[f]
+		phv[f] = normalize(v, fd.Bits, fd.Signed)
+	}
+
+	for _, tb := range st.Tables {
+		key := read(tb.Key)
+		entries := rf.tables[tb.Name]
+		val, hit := entries[key]
+		if tb.Hit != NoField {
+			write(tb.Hit, boolBit(hit))
+		}
+		if tb.Val != NoField && hit {
+			write(tb.Val, val)
+		} else if tb.Val != NoField {
+			write(tb.Val, 0)
+		}
+	}
+
+	for _, sa := range st.SALUs {
+		if !predOK(sa.Pred) {
+			continue
+		}
+		if err := rf.execSALU(k, sa, snap, phv); err != nil {
+			return err
+		}
+	}
+
+	for _, op := range st.VLIW {
+		v, err := evalAction(op, snap, k.Fields[op.Dst].Bits)
+		if err != nil {
+			return err
+		}
+		write(op.Dst, v)
+	}
+	return nil
+}
+
+// execSALU runs one atomic stateful read-modify-write with the original
+// map-based slot file.
+func (rf *Reference) execSALU(k *Kernel, sa *SALU, snap, phv []uint64) error {
+	reg, ok := rf.regs[sa.Global]
+	if !ok {
+		return fmt.Errorf("pisa: register %s not allocated", sa.Global)
+	}
+	def := rf.program.registerByName(sa.Global)
+	idxv := sa.Index.Const
+	if !sa.Index.IsConst {
+		idxv = snap[sa.Index.Field]
+	}
+	if idxv >= uint64(len(reg)) {
+		return fmt.Errorf("pisa: register %s index %d out of range (%d elements)", sa.Global, idxv, len(reg))
+	}
+	slots := map[MSlot]uint64{MReg: reg[idxv]}
+	readM := func(o MOperand) uint64 {
+		switch o.Kind {
+		case MFromSlot:
+			return slots[o.Slot]
+		case MFromField:
+			return snap[o.Field]
+		default:
+			return o.Const
+		}
+	}
+	for _, mo := range sa.Prog {
+		var v uint64
+		switch mo.Op {
+		case "mov":
+			v = readM(mo.A)
+		case "sel":
+			if readM(mo.C) != 0 {
+				v = readM(mo.A)
+			} else {
+				v = readM(mo.B)
+			}
+		default:
+			var err error
+			v, err = alu(mo.Op, mo.Signed, readM(mo.A), readM(mo.B), def.Bits)
+			if err != nil {
+				return fmt.Errorf("pisa: salu %s: %w", sa.Global, err)
+			}
+		}
+		slots[mo.Dst] = normalize(v, def.Bits, def.Signed)
+	}
+	reg[idxv] = normalize(slots[MReg], def.Bits, def.Signed)
+	if sa.Out != NoField {
+		fd := k.Fields[sa.Out]
+		phv[sa.Out] = normalize(slots[MOut], fd.Bits, fd.Signed)
+	}
+	return nil
+}
