@@ -324,7 +324,7 @@ func AllExperiments() ([]*Table, error) {
 	runs := []func() (*Table, error){
 		E1Complexity, E2AllReduce, E3KVS, E4WindowSweep,
 		E5NCP, E6Compile, E7Backends, E8Recirc, E9Hierarchy,
-		E11DataPath, E12SwitchPath,
+		E11DataPath, E12SwitchPath, E13LossyReliable,
 	}
 	var out []*Table
 	for _, f := range runs {

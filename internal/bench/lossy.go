@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ncl/internal/core"
+	"ncl/internal/netsim"
+	"ncl/internal/runtime"
+)
+
+// E13LossyReliable sweeps fabric fault intensity under the exactly-once
+// reliable transport (DESIGN.md §5.4): N workers run reliable AllReduce
+// while the fabric drops, duplicates, and reorders, and the switch's
+// shadow state must keep the aggregated registers bit-exact. Reports the
+// recovery cost (retransmits, suppressed duplicates, switch acks) and
+// the wall-clock penalty versus the clean fabric.
+func E13LossyReliable() (*Table, error) {
+	const (
+		workers = 4
+		dataLen = 128
+		w       = 8
+		rounds  = 2
+	)
+	t := &Table{
+		Title:  fmt.Sprintf("E13: lossy reliable AllReduce — exactly-once under faults (%d workers, %d x int32, %d rounds)", workers, dataLen, rounds),
+		Header: []string{"drop/dup", "wall-ms", "windows", "retransmits", "dup-suppressed", "switch-acks", "bit-exact"},
+	}
+	art, err := core.Build(AllReduceNCL(dataLen), AllReduceAND(workers),
+		core.BuildOptions{WindowLen: w, ModuleName: "allreduce"})
+	if err != nil {
+		return nil, fmt.Errorf("E13: %w", err)
+	}
+	for _, p := range []float64{0, 0.05, 0.10, 0.20} {
+		faults := netsim.Faults{DropProb: p, DupProb: p, ReorderProb: p / 2, ReorderHold: 4, Seed: 13}
+		wall, stats, err := runLossyReliable(art, workers, dataLen, rounds, faults)
+		if err != nil {
+			return nil, fmt.Errorf("E13 p=%.2f: %w", p, err)
+		}
+		t.AddRow(fmt.Sprintf("%.0f%%", 100*p),
+			fmt.Sprintf("%.1f", float64(wall)/float64(time.Millisecond)),
+			fmt.Sprint(rounds*workers*dataLen/w),
+			fmt.Sprint(stats.retransmits),
+			fmt.Sprint(stats.dupSuppressed),
+			fmt.Sprint(stats.acks),
+			"yes")
+	}
+	return t, nil
+}
+
+type lossyStats struct {
+	retransmits   uint64
+	dupSuppressed uint64
+	acks          uint64
+}
+
+// runLossyReliable drives the reliable rounds and verifies the switch
+// registers bit-exactly against the locally computed running totals
+// (control-plane readback is lossless, unlike the result broadcasts).
+// Any inexact element is an error: it means a retransmitted window was
+// double-applied or a contribution acknowledged without being applied.
+func runLossyReliable(art *core.Artifact, workers, dataLen, rounds int, faults netsim.Faults) (time.Duration, lossyStats, error) {
+	var st lossyStats
+	dep, err := art.Deploy(faults)
+	if err != nil {
+		return 0, st, err
+	}
+	defer dep.Stop()
+	if err := dep.Controller.CtrlWrite("nworkers", 0, uint64(workers)); err != nil {
+		return 0, st, err
+	}
+	w := art.WindowLen
+	opts := runtime.ReliableOptions{Timeout: 10 * time.Millisecond, Retries: 20, Window: 32}
+	expected := make([]int64, dataLen)
+	start := time.Now()
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		errs := make([]error, workers)
+		for wi := 0; wi < workers; wi++ {
+			grad := make([]uint64, dataLen)
+			for i := range grad {
+				v := int64((wi + 1) + i%5 + round)
+				grad[i] = uint64(v)
+				expected[i] += v
+			}
+			wg.Add(1)
+			go func(wi int, grad []uint64) {
+				defer wg.Done()
+				host := dep.Hosts[fmt.Sprintf("worker%d", wi)]
+				errs[wi] = host.OutReliable(runtime.Invocation{Kernel: "allreduce", Dest: "s1"},
+					[][]uint64{grad}, opts)
+			}(wi, grad)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return 0, st, err
+			}
+		}
+	}
+	wall := time.Since(start)
+	// Codegen shards the source array per window lane: accum$<lane>[seq].
+	for i := 0; i < dataLen; i++ {
+		v, err := dep.Controller.ReadRegister("s1", fmt.Sprintf("accum$%d", i%w), i/w)
+		if err != nil {
+			return 0, st, err
+		}
+		if int64(int32(v)) != expected[i] {
+			return 0, st, fmt.Errorf("accum[%d] = %d, want %d: aggregation not exactly-once", i, int64(int32(v)), expected[i])
+		}
+	}
+	for wi := 0; wi < workers; wi++ {
+		st.retransmits += dep.Obs.Counter(fmt.Sprintf("host.worker%d.retransmits", wi)).Load()
+	}
+	st.dupSuppressed = dep.Switches["s1"].DupSuppressed.Load()
+	st.acks = dep.Switches["s1"].AcksSent.Load()
+	return wall, st, nil
+}

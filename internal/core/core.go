@@ -293,6 +293,17 @@ func (a *Artifact) AppConfig() runtime.AppConfig {
 		cfg.UserFields = append(cfg.UserFields, wf.Name)
 	}
 	sortStrings(cfg.UserFields)
+	// A kernel is non-idempotent if its compiled pipeline mutates
+	// register state at any location: OutReliable marks its windows
+	// FlagExactlyOnce so retransmits cannot double-apply.
+	cfg.NonIdempotent = map[string]bool{}
+	for _, prog := range a.Programs {
+		for _, k := range prog.Kernels {
+			if k.MutatesState() {
+				cfg.NonIdempotent[k.Name] = true
+			}
+		}
+	}
 	return cfg
 }
 

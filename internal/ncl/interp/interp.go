@@ -97,6 +97,12 @@ func (st *State) CtrlWrite(g *ir.Global, idx int, val uint64) error {
 type Decision struct {
 	Kind  DecisionKind
 	Label string // _pass(label) target
+	// Suppressed reports that the window was recognized as a duplicate of
+	// one already applied (exactly-once shadow state, pisa package): its
+	// state-mutating ops were skipped. The decision itself is still the
+	// kernel's output over the suppressed execution, so forwarding
+	// behavior stays programmable.
+	Suppressed bool
 }
 
 // DecisionKind enumerates forwarding outcomes.
@@ -137,6 +143,10 @@ type Window struct {
 	Ext  [][]uint64
 	Meta map[string]uint64 // seq, from, sender, wid, plus _win_ fields
 	Loc  uint32            // location.id of the executing device
+	// ExactlyOnce asks the executing device to consult its duplicate
+	// shadow state (keyed on Meta's seq/sender/wid) before running
+	// state-mutating ops; duplicates execute with those ops suppressed.
+	ExactlyOnce bool
 }
 
 // NewWindow allocates a zeroed window shaped for kernel f: one data slice

@@ -260,7 +260,7 @@ func Common(a, b *Type) (*Type, bool) {
 		return IntType(w, a.Signed), true
 	}
 	u, s := a, b
-	if s.Signed == false {
+	if !s.Signed {
 		u, s = b, a
 	}
 	// The unsigned operand wins at equal or greater width; otherwise the

@@ -52,12 +52,19 @@ const (
 	// and switch the window traverses appends a packed (location, event,
 	// vtime) record, and the receiver reassembles them into a trace.
 	FlagTrace = 1 << 4
+	// FlagExactlyOnce marks a reliable window targeting a non-idempotent
+	// (state-mutating) kernel: switches consult their per-slot shadow
+	// state before executing, so a retransmitted window's stateful ops
+	// become no-ops instead of double-applying. Set by the runtime when
+	// OutReliable targets such a kernel; meaningful only with
+	// FlagAckRequest.
+	FlagExactlyOnce = 1 << 5
 )
 
 // KnownFlags is the set of flag bits this wire version understands.
 // Decode rejects packets with any other bit set (forward-compat guard:
 // an unknown flag may change packet layout, as FlagTrace does).
-const KnownFlags = FlagReflected | FlagBcast | FlagAckRequest | FlagAck | FlagTrace
+const KnownFlags = FlagReflected | FlagBcast | FlagAckRequest | FlagAck | FlagTrace | FlagExactlyOnce
 
 // flagNames lists flag bits in wire order for FlagNames.
 var flagNames = []struct {
@@ -69,6 +76,7 @@ var flagNames = []struct {
 	{FlagAckRequest, "ack-req"},
 	{FlagAck, "ack"},
 	{FlagTrace, "trace"},
+	{FlagExactlyOnce, "exactly-once"},
 }
 
 // FlagNames renders the header's flag bits as a "|"-separated name list

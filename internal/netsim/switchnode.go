@@ -42,6 +42,8 @@ type SwitchNode struct {
 	ForwardedRaw  *obs.Counter // non-NCP or unknown-kernel packets routed
 	Errors        *obs.Counter
 	Repacks       *obs.Counter // window re-serializations (one per broadcast)
+	DupSuppressed *obs.Counter // exactly-once duplicates executed suppressed
+	AcksSent      *obs.Counter // switch-emitted acks for consumed xonce windows
 
 	obsMu sync.Mutex
 	reg   *obs.Registry
@@ -103,6 +105,8 @@ func (s *SwitchNode) SetObs(r *obs.Registry) {
 	s.ForwardedRaw = r.Counter(p + "forwarded_raw")
 	s.Errors = r.Counter(p + "errors")
 	s.Repacks = r.Counter(p + "repacks")
+	s.DupSuppressed = r.Counter(p + "dup_suppressed")
+	s.AcksSent = r.Counter(p + "acks_sent")
 	for _, kp := range s.kplans {
 		kp.windows = r.Counter(p + "kernel." + kp.k.Name + ".windows")
 	}
@@ -284,13 +288,21 @@ func (s *SwitchNode) execOne(f Sender, pkt *Packet, from string, kp *swKernel, h
 		s.Errors.Add(1)
 		return
 	}
+	// A reliable window for a non-idempotent kernel (FlagExactlyOnce)
+	// runs through the device's duplicate shadow state, and the switch —
+	// not the unreachable destination — acknowledges it when the kernel
+	// consumes it on-path (drop/reflect/bcast). That closes DESIGN §5.4's
+	// soundness hole: retransmits neither double-apply nor time out.
+	xonce := h.Flags&ncp.FlagExactlyOnce != 0
+	switchAcks := xonce && h.Flags&ncp.FlagAckRequest != 0
 	meta := pisa.WindowMeta{
-		Seq:    uint64(h.WindowSeq),
-		Len:    uint64(h.WindowLen),
-		From:   uint64(h.FromRole),
-		Sender: uint64(h.Sender),
-		Wid:    uint64(h.Wid),
-		User:   userVals,
+		Seq:         uint64(h.WindowSeq),
+		Len:         uint64(h.WindowLen),
+		From:        uint64(h.FromRole),
+		Sender:      uint64(h.Sender),
+		Wid:         uint64(h.Wid),
+		User:        userVals,
+		ExactlyOnce: xonce,
 	}
 	dec, err := s.sw.ExecWindowSlots(h.KernelID, data, meta, s.locID)
 	if err != nil {
@@ -299,6 +311,17 @@ func (s *SwitchNode) execOne(f Sender, pkt *Packet, from string, kp *swKernel, h
 	}
 	s.KernelWindows.Add(1)
 	kp.windows.Inc()
+	if dec.Suppressed {
+		s.DupSuppressed.Add(1)
+	}
+	// The window's reliable flags stay on pass-through (the destination
+	// host acknowledges delivery) but are stripped from on-path outputs:
+	// the switch acknowledges those itself, and the derived reflect/bcast
+	// windows are new unreliable traffic, not the acknowledged window.
+	var clearFlags uint8
+	if switchAcks {
+		clearFlags = ncp.FlagAckRequest | ncp.FlagExactlyOnce
+	}
 	if h.Flags&ncp.FlagTrace != 0 {
 		// Full-capacity append: unbatched sub-windows each extend their
 		// own copy rather than aliasing the shared prefix.
@@ -310,9 +333,12 @@ func (s *SwitchNode) execOne(f Sender, pkt *Packet, from string, kp *swKernel, h
 
 	switch dec.Kind {
 	case interp.Drop:
+		if switchAcks {
+			s.ackConsumed(f, pkt, from, h)
+		}
 		return
 	case interp.Pass:
-		out := s.repack(sc, h, userVals, hops, kp, data, 0)
+		out := s.repack(sc, h, userVals, hops, kp, data, 0, 0)
 		if out == nil {
 			return
 		}
@@ -322,17 +348,23 @@ func (s *SwitchNode) execOne(f Sender, pkt *Packet, from string, kp *swKernel, h
 		}
 		s.forward(f, npkt, from)
 	case interp.Reflect:
+		if switchAcks {
+			s.ackConsumed(f, pkt, from, h)
+		}
 		target, ok := s.hostByID[h.Sender]
 		if !ok {
 			s.Errors.Add(1)
 			return
 		}
-		out := s.repack(sc, h, userVals, hops, kp, data, ncp.FlagReflected)
+		out := s.repack(sc, h, userVals, hops, kp, data, ncp.FlagReflected, clearFlags)
 		if out == nil {
 			return
 		}
 		s.forward(f, &Packet{Src: s.label, Dst: target, Data: out, VTimeUs: pkt.VTimeUs + SwitchDelayUs}, from)
 	case interp.Bcast:
+		if switchAcks {
+			s.ackConsumed(f, pkt, from, h)
+		}
 		// §4.1 verbatim: "_bcast() sends a window to all devices, one hop
 		// away - in the overlay - from the current location". That
 		// includes neighboring switches; loop prevention is kernel logic
@@ -343,7 +375,7 @@ func (s *SwitchNode) execOne(f Sender, pkt *Packet, from string, kp *swKernel, h
 		// One serialization serves every neighbor: delivered packet
 		// bytes are read-only by convention, so the Packet structs may
 		// share the encoded window.
-		out := s.repack(sc, h, userVals, hops, kp, data, ncp.FlagBcast)
+		out := s.repack(sc, h, userVals, hops, kp, data, ncp.FlagBcast, clearFlags)
 		if out == nil {
 			return
 		}
@@ -353,6 +385,36 @@ func (s *SwitchNode) execOne(f Sender, pkt *Packet, from string, kp *swKernel, h
 			}
 		}
 	}
+}
+
+// ackConsumed acknowledges an exactly-once reliable window the kernel
+// consumed on-path (drop/reflect/bcast): the destination host will never
+// see it, so the executing switch answers in its place. Duplicate
+// (suppressed) windows are re-acknowledged the same way — the ack that
+// prompted the retransmit was lost. Same wire shape as the host
+// runtime's ack; Sender names the acking location.
+func (s *SwitchNode) ackConsumed(f Sender, pkt *Packet, from string, h *ncp.Header) {
+	target, ok := s.hostByID[h.Sender]
+	if !ok {
+		s.Errors.Add(1)
+		return
+	}
+	ack := ncp.Header{
+		Flags:     ncp.FlagAck,
+		KernelID:  h.KernelID,
+		WindowSeq: h.WindowSeq,
+		WindowLen: h.WindowLen,
+		Sender:    s.locID,
+		Wid:       h.Wid,
+		FragCount: 1,
+	}
+	out, err := ncp.Marshal(&ack, nil, nil)
+	if err != nil {
+		s.Errors.Add(1)
+		return
+	}
+	s.AcksSent.Add(1)
+	s.forward(f, &Packet{Src: s.label, Dst: target, Data: out, VTimeUs: pkt.VTimeUs + SwitchDelayUs}, from)
 }
 
 // forward routes pkt toward pkt.Dst via the next-hop table.
@@ -375,7 +437,7 @@ func (s *SwitchNode) forward(f Sender, pkt *Packet, from string) {
 // repack re-serializes a (possibly modified) window, encoding the
 // payload into pooled scratch. The returned packet bytes are fresh (the
 // receiver owns them); nil means a serialization error was counted.
-func (s *SwitchNode) repack(sc *nodeScratch, h *ncp.Header, userVals []uint64, hops []ncp.Hop, kp *swKernel, data [][]uint64, extraFlags uint8) []byte {
+func (s *SwitchNode) repack(sc *nodeScratch, h *ncp.Header, userVals []uint64, hops []ncp.Hop, kp *swKernel, data [][]uint64, extraFlags, clearFlags uint8) []byte {
 	payload, err := ncp.AppendPayload(sc.payload[:0], data, kp.specs)
 	if err != nil {
 		s.Errors.Add(1)
@@ -384,6 +446,7 @@ func (s *SwitchNode) repack(sc *nodeScratch, h *ncp.Header, userVals []uint64, h
 	sc.payload = payload
 	nh := *h
 	nh.Flags |= extraFlags
+	nh.Flags &^= clearFlags
 	out, err := ncp.MarshalHops(&nh, userVals, hops, payload)
 	if err != nil {
 		s.Errors.Add(1)

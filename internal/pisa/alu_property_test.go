@@ -232,15 +232,35 @@ func TestCompiledPlanMatchesReference(t *testing.T) {
 				t.Fatalf("seed %d: install: %v", seed, err)
 			}
 		}
+		// Duplicate injection: some windows are exactly-once and some are
+		// verbatim replays of earlier ones (a retransmit); the engines'
+		// shadow states must agree on suppression bit-exactly.
+		type sentWin struct {
+			data  []uint64
+			meta  map[string]uint64
+			loc   uint32
+			xonce bool
+		}
+		var history []sentWin
 		for wi := 0; wi < 25; wi++ {
-			data := make([]uint64, 4)
-			for i := range data {
-				data[i] = r.Uint64() >> uint(r.Intn(64))
+			var w sentWin
+			if len(history) > 0 && r.Intn(4) == 0 {
+				w = history[r.Intn(len(history))]
+			} else {
+				w.data = make([]uint64, 4)
+				for i := range w.data {
+					w.data[i] = r.Uint64() >> uint(r.Intn(64))
+				}
+				w.meta = map[string]uint64{
+					"seq": uint64(r.Intn(8)), "x": r.Uint64(),
+					"sender": uint64(r.Intn(4)), "wid": uint64(r.Intn(4)),
+				}
+				w.loc = uint32(r.Intn(100))
+				w.xonce = r.Intn(2) == 0
+				history = append(history, w)
 			}
-			meta := map[string]uint64{"seq": uint64(r.Intn(1 << 20)), "x": r.Uint64()}
-			loc := uint32(r.Intn(100))
-			winA := &interp.Window{Data: [][]uint64{append([]uint64(nil), data...)}, Meta: meta, Loc: loc}
-			winB := &interp.Window{Data: [][]uint64{append([]uint64(nil), data...)}, Meta: meta, Loc: loc}
+			winA := &interp.Window{Data: [][]uint64{append([]uint64(nil), w.data...)}, Meta: w.meta, Loc: w.loc, ExactlyOnce: w.xonce}
+			winB := &interp.Window{Data: [][]uint64{append([]uint64(nil), w.data...)}, Meta: w.meta, Loc: w.loc, ExactlyOnce: w.xonce}
 			decA, errA := sw.ExecWindow(1, winA)
 			decB, errB := ref.ExecWindow(1, winB)
 			if (errA == nil) != (errB == nil) {
@@ -291,20 +311,38 @@ func TestCompiledSlotsPathMatchesReference(t *testing.T) {
 			t.Fatalf("seed %d: reference load: %v", seed, err)
 		}
 		// The generated kernel reads user field "x": wire order is ["x"].
+		// Duplicate injection as in TestCompiledPlanMatchesReference: the
+		// slots path and the Meta-map path must agree on suppression too.
+		type sentWin struct {
+			data                []uint64
+			seq, x, sender, wid uint64
+			loc                 uint32
+			xonce               bool
+		}
+		var history []sentWin
 		for wi := 0; wi < 15; wi++ {
-			data := make([]uint64, 4)
-			for i := range data {
-				data[i] = r.Uint64() >> uint(r.Intn(64))
+			var w sentWin
+			if len(history) > 0 && r.Intn(4) == 0 {
+				w = history[r.Intn(len(history))]
+			} else {
+				w.data = make([]uint64, 4)
+				for i := range w.data {
+					w.data[i] = r.Uint64() >> uint(r.Intn(64))
+				}
+				w.seq, w.x = uint64(r.Intn(8)), r.Uint64()
+				w.sender, w.wid = uint64(r.Intn(4)), uint64(r.Intn(4))
+				w.loc = uint32(r.Intn(100))
+				w.xonce = r.Intn(2) == 0
+				history = append(history, w)
 			}
-			seq, x := uint64(r.Intn(1<<20)), r.Uint64()
-			loc := uint32(r.Intn(100))
-			dataA := [][]uint64{append([]uint64(nil), data...)}
+			dataA := [][]uint64{append([]uint64(nil), w.data...)}
 			winB := &interp.Window{
-				Data: [][]uint64{append([]uint64(nil), data...)},
-				Meta: map[string]uint64{"seq": seq, "x": x},
-				Loc:  loc,
+				Data:        [][]uint64{append([]uint64(nil), w.data...)},
+				Meta:        map[string]uint64{"seq": w.seq, "x": w.x, "sender": w.sender, "wid": w.wid},
+				Loc:         w.loc,
+				ExactlyOnce: w.xonce,
 			}
-			decA, errA := sw.ExecWindowSlots(1, dataA, WindowMeta{Seq: seq, User: []uint64{x}}, loc)
+			decA, errA := sw.ExecWindowSlots(1, dataA, WindowMeta{Seq: w.seq, Sender: w.sender, Wid: w.wid, User: []uint64{w.x}, ExactlyOnce: w.xonce}, w.loc)
 			decB, errB := ref.ExecWindow(1, winB)
 			if (errA == nil) != (errB == nil) {
 				t.Fatalf("seed %d window %d: error divergence: plan=%v reference=%v", seed, wi, errA, errB)

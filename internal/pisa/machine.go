@@ -28,11 +28,13 @@ type Switch struct {
 	scratch sync.Pool  // *execScratch
 }
 
-// execScratch is the pooled per-window working set: the PHV and one
-// persistent stage-input snapshot buffer.
+// execScratch is the pooled per-window working set: the PHV, one
+// persistent stage-input snapshot buffer, and the window's exactly-once
+// suppression flag (set when the shadow state recognizes a duplicate).
 type execScratch struct {
-	phv  []uint64
-	snap []uint64
+	phv      []uint64
+	snap     []uint64
+	suppress bool
 }
 
 // pisaMetrics caches the device's registry handles, named
@@ -41,11 +43,13 @@ type execScratch struct {
 // struct is published through an atomic pointer and every handle is
 // itself atomic, so the hot path updates metrics without any lock.
 type pisaMetrics struct {
-	windows     *obs.Counter // pisa.<label>.windows
-	passes      *obs.Counter // pisa.<label>.passes
-	tableHits   *obs.Counter // pisa.<label>.table_hits
-	tableMisses *obs.Counter // pisa.<label>.table_misses
-	stageExecs  []*obs.Counter
+	windows       *obs.Counter // pisa.<label>.windows
+	passes        *obs.Counter // pisa.<label>.passes
+	tableHits     *obs.Counter // pisa.<label>.table_hits
+	tableMisses   *obs.Counter // pisa.<label>.table_misses
+	dupSuppressed *obs.Counter // pisa.<label>.dup_suppressed
+	shadowSlots   *obs.Gauge   // pisa.<label>.shadow_slots
+	stageExecs    []*obs.Counter
 }
 
 // NewSwitch creates an empty switch with the given resources. Counters
@@ -63,11 +67,13 @@ func NewSwitch(target TargetConfig) *Switch {
 func (sw *Switch) SetObs(r *obs.Registry, label string) {
 	p := "pisa." + label + "."
 	m := &pisaMetrics{
-		windows:     r.Counter(p + "windows"),
-		passes:      r.Counter(p + "passes"),
-		tableHits:   r.Counter(p + "table_hits"),
-		tableMisses: r.Counter(p + "table_misses"),
-		stageExecs:  make([]*obs.Counter, sw.target.Stages),
+		windows:       r.Counter(p + "windows"),
+		passes:        r.Counter(p + "passes"),
+		tableHits:     r.Counter(p + "table_hits"),
+		tableMisses:   r.Counter(p + "table_misses"),
+		dupSuppressed: r.Counter(p + "dup_suppressed"),
+		shadowSlots:   r.Gauge(p + "shadow_slots"),
+		stageExecs:    make([]*obs.Counter, sw.target.Stages),
 	}
 	for i := range m.stageExecs {
 		m.stageExecs[i] = r.Counter(fmt.Sprintf("%sstage.%d.execs", p, i))
@@ -229,6 +235,7 @@ func (sw *Switch) getScratch(n int) *execScratch {
 	for i := range s.phv {
 		s.phv[i] = 0
 	}
+	s.suppress = false
 	return s
 }
 
@@ -243,6 +250,10 @@ type WindowMeta struct {
 	Sender uint64
 	Wid    uint64
 	User   []uint64
+	// ExactlyOnce routes the window through the device's duplicate
+	// shadow state (keyed on Seq/Sender/Wid): duplicates execute with
+	// state-mutating SALUs suppressed. Set from ncp.FlagExactlyOnce.
+	ExactlyOnce bool
 }
 
 // ExecWindow runs the kernel with the given id over a window. The window's
@@ -263,7 +274,19 @@ func (sw *Switch) ExecWindow(kernelID uint32, win *interp.Window) (interp.Decisi
 	if kp.locField != NoField {
 		s.phv[kp.locField] = uint64(win.Loc)
 	}
-	return sw.finish(pl, kp, met, s, win.Data)
+	var admitted bool
+	if win.ExactlyOnce {
+		admitted = sw.admitShadow(pl, met, s, win.Meta["seq"], win.Meta["sender"], win.Meta["wid"])
+	}
+	dec, err := sw.finish(pl, kp, met, s, win.Data)
+	if err != nil {
+		if admitted {
+			pl.shadow.forget(win.Meta["seq"], win.Meta["sender"], win.Meta["wid"])
+		}
+		return dec, err
+	}
+	dec.Suppressed = s.suppress
+	return dec, nil
 }
 
 // ExecWindowSlots runs a kernel over a window using the precompiled
@@ -301,7 +324,34 @@ func (sw *Switch) ExecWindowSlots(kernelID uint32, data [][]uint64, meta WindowM
 	if kp.locField != NoField {
 		s.phv[kp.locField] = uint64(loc)
 	}
-	return sw.finish(pl, kp, met, s, data)
+	var admitted bool
+	if meta.ExactlyOnce {
+		admitted = sw.admitShadow(pl, met, s, meta.Seq, meta.Sender, meta.Wid)
+	}
+	dec, err := sw.finish(pl, kp, met, s, data)
+	if err != nil {
+		if admitted {
+			pl.shadow.forget(meta.Seq, meta.Sender, meta.Wid)
+		}
+		return dec, err
+	}
+	dec.Suppressed = s.suppress
+	return dec, nil
+}
+
+// admitShadow runs a window's exactly-once admission: a fresh window
+// (or a recycled slot) executes normally; a duplicate executes with its
+// state-mutating SALUs suppressed. Returns whether the window was
+// admitted fresh, so a failed execution can roll the admission back (the
+// retransmit must be allowed to apply).
+func (sw *Switch) admitShadow(pl *plan, met *pisaMetrics, s *execScratch, seq, sender, wid uint64) bool {
+	fresh, size := pl.shadow.admit(seq, sender, wid)
+	met.shadowSlots.Set(int64(size))
+	if !fresh {
+		s.suppress = true
+		met.dupSuppressed.Inc()
+	}
+	return fresh
 }
 
 // begin resolves the kernel, counts the window, and parses the window

@@ -47,8 +47,9 @@ type plan struct {
 	tables     []*matTable
 	tableIdx   map[string]int
 	kernels    map[uint32]*kernelPlan
-	userFields []string // NCP wire order for WindowMeta.User
-	maxFields  int      // widest kernel PHV, sizes pooled scratch
+	userFields []string     // NCP wire order for WindowMeta.User
+	maxFields  int          // widest kernel PHV, sizes pooled scratch
+	shadow     *shadowState // exactly-once duplicate filter (state, reset by Load)
 }
 
 // metaBind sources for the slot-bound fast path.
@@ -105,6 +106,7 @@ type saluInstr struct {
 	outSigned bool
 	bits      int
 	signed    bool
+	mutates   bool // micro-program writes MReg: suppressed on duplicates
 }
 
 // vliwInstr is one VLIW action slot with its destination width resolved.
@@ -145,6 +147,7 @@ func compilePlan(p *Program) (*plan, error) {
 		regIdx:   map[string]int{},
 		tableIdx: map[string]int{},
 		kernels:  map[uint32]*kernelPlan{},
+		shadow:   newShadowState(),
 	}
 	for _, r := range p.Registers {
 		vals := make([]uint64, r.Elems)
@@ -287,14 +290,15 @@ func (pl *plan) compileStage(k *Kernel, st *Stage) (stagePlan, error) {
 		}
 		reg := pl.regs[i]
 		si := saluInstr{
-			reg:    reg,
-			name:   sa.Global,
-			index:  sa.Index,
-			pred:   sa.Pred,
-			prog:   sa.Prog,
-			out:    sa.Out,
-			bits:   reg.bits,
-			signed: reg.signed,
+			reg:     reg,
+			name:    sa.Global,
+			index:   sa.Index,
+			pred:    sa.Pred,
+			prog:    sa.Prog,
+			out:     sa.Out,
+			bits:    reg.bits,
+			signed:  reg.signed,
+			mutates: saluMutates(sa),
 		}
 		if sa.Out != NoField {
 			si.outBits = k.Fields[sa.Out].Bits
@@ -354,7 +358,7 @@ func (kp *kernelPlan) execPasses(met *pisaMetrics, s *execScratch) error {
 			if si < len(met.stageExecs) {
 				met.stageExecs[si].Inc()
 			}
-			if err := pass[si].exec(met, s.phv, s.snap); err != nil {
+			if err := pass[si].exec(met, s.phv, s.snap, s.suppress); err != nil {
 				return err
 			}
 		}
@@ -363,8 +367,12 @@ func (kp *kernelPlan) execPasses(met *pisaMetrics, s *execScratch) error {
 }
 
 // exec runs one stage: every unit reads the stage-input snapshot and
-// writes the output PHV, giving the VLIW parallel semantics.
-func (sp *stagePlan) exec(met *pisaMetrics, phv, snap []uint64) error {
+// writes the output PHV, giving the VLIW parallel semantics. suppress
+// skips state-mutating SALUs (exactly-once duplicate windows): the
+// register keeps its value and the SALU's Out field is not written, so a
+// duplicate contribution neither re-applies nor re-triggers the kernel's
+// completion path.
+func (sp *stagePlan) exec(met *pisaMetrics, phv, snap []uint64, suppress bool) error {
 	copy(snap, phv)
 	for i := range sp.tables {
 		ti := &sp.tables[i]
@@ -387,6 +395,9 @@ func (sp *stagePlan) exec(met *pisaMetrics, phv, snap []uint64) error {
 	}
 	for i := range sp.salus {
 		sa := &sp.salus[i]
+		if suppress && sa.mutates {
+			continue
+		}
 		if sa.pred != nil {
 			ok := snap[sa.pred.Field] != 0
 			if sa.pred.Negate {

@@ -21,6 +21,7 @@ type Reference struct {
 	program *Program
 	regs    map[string][]uint64
 	tables  map[string]map[uint64]uint64
+	shadow  *shadowState // exactly-once duplicate filter (reset by Load)
 }
 
 // NewReference creates an empty reference device.
@@ -46,6 +47,7 @@ func (rf *Reference) Load(p *Program) error {
 	for _, t := range p.Tables {
 		rf.tables[t] = map[uint64]uint64{}
 	}
+	rf.shadow = newShadowState()
 	return nil
 }
 
@@ -128,10 +130,22 @@ func (rf *Reference) ExecWindow(kernelID uint32, win *interp.Window) (interp.Dec
 		phv[f] = uint64(win.Loc)
 	}
 
+	// Exactly-once admission: identical logic (and shared shadow
+	// implementation) to the compiled plan, so the differential tests can
+	// hold the engines bit-identical under duplicate injection.
+	var suppress, admitted bool
+	if win.ExactlyOnce {
+		fresh, _ := rf.shadow.admit(win.Meta["seq"], win.Meta["sender"], win.Meta["wid"])
+		suppress, admitted = !fresh, fresh
+	}
+
 	// Pipeline passes (pass > 0 is recirculation).
 	for _, pass := range k.Passes {
 		for _, stage := range pass {
-			if err := rf.execStage(k, stage, phv); err != nil {
+			if err := rf.execStage(k, stage, phv, suppress); err != nil {
+				if admitted {
+					rf.shadow.forget(win.Meta["seq"], win.Meta["sender"], win.Meta["wid"])
+				}
 				return interp.Decision{}, err
 			}
 		}
@@ -163,12 +177,14 @@ func (rf *Reference) ExecWindow(kernelID uint32, win *interp.Window) (interp.Dec
 			dec.Label = rf.program.Labels[li]
 		}
 	}
+	dec.Suppressed = suppress
 	return dec, nil
 }
 
 // execStage runs one stage with the original closure-based units and a
-// freshly allocated snapshot.
-func (rf *Reference) execStage(k *Kernel, st *Stage, phv []uint64) error {
+// freshly allocated snapshot. suppress skips state-mutating SALUs
+// (exactly-once duplicate windows), matching the compiled plan.
+func (rf *Reference) execStage(k *Kernel, st *Stage, phv []uint64, suppress bool) error {
 	snap := make([]uint64, len(phv))
 	copy(snap, phv)
 
@@ -208,6 +224,9 @@ func (rf *Reference) execStage(k *Kernel, st *Stage, phv []uint64) error {
 	}
 
 	for _, sa := range st.SALUs {
+		if suppress && saluMutates(sa) {
+			continue
+		}
 		if !predOK(sa.Pred) {
 			continue
 		}

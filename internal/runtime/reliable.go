@@ -24,14 +24,18 @@ import (
 // outstanding window runs to completion and the first hard error (lowest
 // window sequence) is reported.
 //
-// Soundness boundary, stated plainly: retransmission re-executes on-path
-// kernels, so reliable mode is only appropriate for kernels that are
-// idempotent or pure pass-through for the retried window (the KVS cache
-// qualifies; switch-side aggregation does not — the same boundary real
-// systems like SwitchML handle with shadow state, which the paper defers).
-// Windows consumed on-path (_drop, _reflect) never reach the destination
-// and therefore cannot be acknowledged; OutReliable reports a timeout for
-// them — detection, not transparent recovery, per DESIGN.md §5.4.
+// Non-idempotent kernels: retransmission re-executes on-path kernels, so
+// a retried window would double-apply switch-side aggregation. When the
+// target kernel mutates register state (AppConfig.NonIdempotent, derived
+// from the compiled program's stateful ALUs) OutReliable marks every
+// window with ncp.FlagExactlyOnce: the switch consults its per-slot
+// shadow state (pisa package) and executes duplicates with the mutating
+// ops suppressed — the SwitchML-style seen-bitmap DESIGN §5.4 describes.
+// Exactly-once windows consumed on-path (_drop, _reflect, _bcast) are
+// acknowledged by the executing switch itself, so aggregation
+// contributions complete instead of timing out; plain reliable windows
+// keep the original detection-only semantics (a timeout means consumed
+// on-path or unreachable).
 
 // ReliableOptions configures OutReliable.
 type ReliableOptions struct {
@@ -52,6 +56,10 @@ type ReliableOptions struct {
 	// Jitter randomizes each backed-off timeout by ±Jitter fraction to
 	// decorrelate retransmit bursts (default 0.1; negative disables).
 	Jitter float64
+	// ExactlyOnce forces ncp.FlagExactlyOnce on every window regardless
+	// of AppConfig.NonIdempotent — for hand-built configs and tests; the
+	// flag is normally negotiated from the compiled program.
+	ExactlyOnce bool
 }
 
 func (o ReliableOptions) withDefaults() ReliableOptions {
@@ -111,6 +119,10 @@ func (h *Host) OutReliable(inv Invocation, arrays [][]uint64, opts ReliableOptio
 	}
 	W := h.cfg.WindowLen
 	wid := h.nextWid()
+	flags := uint8(ncp.FlagAckRequest)
+	if opts.ExactlyOnce || h.cfg.NonIdempotent[inv.Kernel] {
+		flags |= ncp.FlagExactlyOnce
+	}
 	winAt := func(seq int) [][]uint64 {
 		winData := make([][]uint64, len(specs))
 		for pi, sp := range specs {
@@ -147,7 +159,7 @@ func (h *Host) OutReliable(inv Invocation, arrays [][]uint64, opts ReliableOptio
 		go func(seq int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			if err := h.reliableWindow(inv, wid, uint32(seq), winAt(seq), specs, opts); err != nil {
+			if err := h.reliableWindow(inv, wid, uint32(seq), winAt(seq), specs, opts, flags); err != nil {
 				record(seq, err)
 			}
 		}(seq)
@@ -185,7 +197,7 @@ func (h *Host) windowCount(kernel string, arrays [][]uint64, specs []ncp.ParamSp
 // ack wait, send with the retransmit timer armed at send time, back off
 // exponentially (with jitter) between attempts, and retransmit only this
 // window. Returns nil once acknowledged.
-func (h *Host) reliableWindow(inv Invocation, wid, seq uint32, winData [][]uint64, specs []ncp.ParamSpec, opts ReliableOptions) error {
+func (h *Host) reliableWindow(inv Invocation, wid, seq uint32, winData [][]uint64, specs []ncp.ParamSpec, opts ReliableOptions, flags uint8) error {
 	k := ackKey{wid, seq}
 	w := &ackWait{ch: make(chan struct{})}
 	h.ackMu.Lock()
@@ -217,7 +229,7 @@ func (h *Host) reliableWindow(inv Invocation, wid, seq uint32, winData [][]uint6
 		h.ackMu.Lock()
 		w.sent = time.Now() // per-attempt RTT baseline
 		h.ackMu.Unlock()
-		if err := h.sendWindowFlags(inv, wid, seq, winData, specs, ncp.FlagAckRequest); err != nil {
+		if err := h.sendWindowFlags(inv, wid, seq, winData, specs, flags); err != nil {
 			return err
 		}
 		t := time.NewTimer(timeout) // armed at send time

@@ -72,6 +72,12 @@ type AppConfig struct {
 	// A full inbox drops and counts fabric.<label>.inbox_drops rather
 	// than blocking the sender.
 	FabricInboxCap int
+	// NonIdempotent names the out-kernels whose switch-side execution
+	// mutates register state (derived by core from the compiled programs'
+	// stateful ALUs). OutReliable marks windows for these kernels with
+	// ncp.FlagExactlyOnce so switches suppress retransmitted duplicates
+	// instead of double-applying them.
+	NonIdempotent map[string]bool
 }
 
 // DefaultMTU bounds single-packet windows; larger windows fragment (§6's

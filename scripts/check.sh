@@ -1,6 +1,8 @@
 #!/bin/sh
-# Repo health check: vet, formatting, and the full test suite under the
-# race detector. CI-equivalent; run before sending a change.
+# Repo health check: vet, formatting, staticcheck (when installed), and
+# the full test suite under the race detector. CI-equivalent; run before
+# sending a change. Set NCL_CHECK_SKIP_TESTS=1 to run only the static
+# checks (CI's lint job does this; the race suite runs in its own job).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -15,7 +17,19 @@ if [ -n "$badfmt" ]; then
     exit 1
 fi
 
-echo "== go test -race"
-go test -race ./...
+# staticcheck is not vendored (no new module dependencies); CI installs a
+# pinned version (see .github/workflows/ci.yml) and this script picks it
+# up from PATH. Locally it is optional.
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "== staticcheck ($(staticcheck -version 2>/dev/null || echo unknown))"
+    staticcheck ./...
+else
+    echo "== staticcheck (skipped: not installed)"
+fi
+
+if [ "${NCL_CHECK_SKIP_TESTS:-0}" != "1" ]; then
+    echo "== go test -race"
+    go test -race ./...
+fi
 
 echo "check OK"
