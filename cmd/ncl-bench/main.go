@@ -1,5 +1,5 @@
 // ncl-bench regenerates the full evaluation of EXPERIMENTS.md: one table
-// per table-driven experiment (E1-E9, E11-E13) of DESIGN.md §4. Each
+// per table-driven experiment (E1-E9, E11-E14) of DESIGN.md §4. Each
 // experiment exercises a claim of the paper (programmability, in-network
 // aggregation wins, cache load absorption, window economics, protocol
 // overhead, compiler feasibility, backend portability, recirculation
@@ -33,7 +33,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (E1..E9, E11..E13)")
+	only := flag.String("only", "", "run a single experiment (E1..E9, E11..E14)")
 	snapshot := flag.String("snapshot", "", "write the tables that ran to this file as JSON")
 	baseline := flag.String("baseline", "", "compare ns/window against this snapshot and fail on regression")
 	maxRegress := flag.Float64("max-regress", 25, "allowed ns/window regression vs -baseline, percent")
@@ -56,6 +56,7 @@ func main() {
 		{"E11", bench.E11DataPath},
 		{"E12", bench.E12SwitchPath},
 		{"E13", bench.E13LossyReliable},
+		{"E14", bench.E14Telemetry},
 	}
 	type snap struct {
 		ID     string     `json:"id"`

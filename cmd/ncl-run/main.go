@@ -23,14 +23,24 @@
 // -trace N samples every Nth window for in-band hop tracing and prints
 // each traced window's hop timeline; -metrics dumps the deployment's
 // full metrics registry as JSON on exit.
+//
+// With -serve ADDR the tool becomes a live telemetry target: it deploys
+// end to end, keeps re-driving the command-line windows until
+// interrupted, and serves /metrics (Prometheus text exposition with
+// rolling per-second rates), /snapshot (JSON), /trace (the INT flight
+// recorder as JSON Lines), and /debug/pprof/ on ADDR:
+//
+//	ncl-run -and app.and -kernel clamp -data "1,2,3,4" -serve :9090 app.ncl
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"ncl"
@@ -38,6 +48,7 @@ import (
 	"ncl/internal/ncl/interp"
 	"ncl/internal/ncp"
 	"ncl/internal/pisa"
+	"ncl/internal/telemetry"
 )
 
 func main() {
@@ -59,6 +70,7 @@ func main() {
 	workers := flag.Int("workers", 0, "host send workers for Out (0 = GOMAXPROCS, 1 = serial deterministic order)")
 	execWorkers := flag.Int("exec-workers", 0, "switch pipeline workers per device (0/1 = serial in-order execution)")
 	inboxCap := flag.Int("inbox-cap", 0, "fabric per-node inbox capacity (0 = default 4096; full inboxes drop+count)")
+	serve := flag.String("serve", "", "serve /metrics, /snapshot, /trace, and pprof on this address (e.g. :9090) and keep driving windows until interrupted")
 	flag.Parse()
 	if flag.NArg() != 1 || *andPath == "" || *kernel == "" {
 		fmt.Fprintln(os.Stderr, "usage: ncl-run -and <file.and> -kernel <name> [-loc s1] [-data ...] [-metrics] [-trace N] <file.ncl>")
@@ -79,12 +91,12 @@ func main() {
 	})
 	must(err)
 
-	if *metrics || *traceEvery > 0 || *reliable {
+	if *metrics || *traceEvery > 0 || *reliable || *serve != "" {
 		var ropts *ncl.ReliableOptions
 		if *reliable {
 			ropts = &ncl.ReliableOptions{Window: *relWindow, Timeout: *relTimeout, Retries: *relRetries}
 		}
-		runE2E(art, *kernel, *data, *meta, *repeat, *traceEvery, *metrics, *from, *dest, ropts)
+		runE2E(art, *kernel, *data, *meta, *repeat, *traceEvery, *metrics, *from, *dest, ropts, *serve)
 		return
 	}
 
@@ -179,7 +191,10 @@ func main() {
 // Traced windows print their hop timelines; -metrics dumps the
 // deployment registry as JSON; a non-nil ropts routes the windows
 // through the reliable sliding-window transport instead of OutWindow.
-func runE2E(art *core.Artifact, kernel, data, meta string, repeat, traceEvery int, metrics bool, from, dest string, ropts *ncl.ReliableOptions) {
+// A non-empty serveAddr turns on the live telemetry plane and keeps
+// re-driving the windows until SIGINT/SIGTERM so scrapes see moving
+// rates.
+func runE2E(art *core.Artifact, kernel, data, meta string, repeat, traceEvery int, metrics bool, from, dest string, ropts *ncl.ReliableOptions, serveAddr string) {
 	hosts := art.Net.Hosts()
 	if len(hosts) == 0 {
 		must(fmt.Errorf("the AND has no hosts (end-to-end mode needs one)"))
@@ -201,6 +216,20 @@ func runE2E(art *core.Artifact, kernel, data, meta string, repeat, traceEvery in
 	}
 	if traceEvery > 0 {
 		sender.SetTraceEvery(traceEvery)
+	}
+	if serveAddr != "" {
+		// The live telemetry plane: INT sampling on every host (the
+		// -trace rate, defaulting to 1-in-8), the collector feeding the
+		// deployment registry and flight recorder, and the HTTP surface.
+		every := traceEvery
+		if every == 0 {
+			every = 8
+		}
+		col := dep.EnableTelemetry(every)
+		srv, err := telemetry.Serve(serveAddr, dep.Obs, col.Recorder())
+		must(err)
+		defer srv.Close()
+		fmt.Printf("serving telemetry on http://%s  (/metrics /snapshot /trace /debug/pprof/)\n", srv.Addr)
 	}
 
 	cfg := art.AppConfig()
@@ -247,6 +276,16 @@ func runE2E(art *core.Artifact, kernel, data, meta string, repeat, traceEvery in
 	}
 	fmt.Printf("end-to-end: kernel %s, %s -> %s, %d window(s), trace every %d, %s\n",
 		kernel, from, dest, repeat, traceEvery, mode)
+
+	if serveAddr != "" {
+		driveForever(dep, sender, inv, winData, repeat, dest, ropts)
+		if metrics {
+			out, err := dep.Obs.Snapshot().JSON()
+			must(err)
+			fmt.Println(string(out))
+		}
+		return
+	}
 	if ropts != nil {
 		// Tile the command-line window `repeat` times into full arrays for
 		// the array-level reliable transport.
@@ -288,6 +327,53 @@ func runE2E(art *core.Artifact, kernel, data, meta string, repeat, traceEvery in
 	}
 }
 
+// driveForever keeps re-sending the command-line windows and draining
+// the destination until SIGINT/SIGTERM, so the served metrics show live
+// traffic (moving rates, a churning flight recorder) instead of a
+// finished run.
+func driveForever(dep *ncl.Deployment, sender *ncl.Host, inv ncl.Invocation, winData [][]uint64, repeat int, dest string, ropts *ncl.ReliableOptions) {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	receiver := dep.Hosts[dest]
+	var sent, received uint64
+	lastReport := time.Now()
+	for {
+		select {
+		case <-stop:
+			fmt.Printf("\ninterrupted after %d windows sent, %d received\n", sent, received)
+			return
+		default:
+		}
+		if ropts != nil {
+			if err := sender.OutReliable(inv, winData, *ropts); err != nil {
+				must(err)
+			}
+			sent++
+		} else {
+			wid := sender.NewWid()
+			for seq := 0; seq < repeat; seq++ {
+				must(sender.OutWindow(inv, wid, uint32(seq), winData))
+				sent++
+			}
+		}
+		if receiver != nil {
+			for {
+				rw, err := receiver.Recv(20 * time.Millisecond)
+				if err != nil {
+					break
+				}
+				received++
+				_ = rw
+			}
+		}
+		if time.Since(lastReport) >= 5*time.Second {
+			fmt.Printf("driving: %d windows sent, %d received\n", sent, received)
+			lastReport = time.Now()
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 // printTrace renders a window's hop records as a timeline.
 func printTrace(hops []ncp.Hop) {
 	fmt.Printf("  trace (%d hops):\n", len(hops))
@@ -296,7 +382,9 @@ func printTrace(hops []ncp.Hop) {
 		if h.Kind == ncp.HopSwitch {
 			kind = "switch"
 		}
-		fmt.Printf("    %-6s %-4d %-8s %10.3fµs\n", kind, h.Loc, h.EventName(), float64(h.TimeNs)/1000)
+		fmt.Printf("    %-6s %-4d %-8s %10.3fµs  lat=%dns queue=%d kernel=%d\n",
+			kind, h.Loc, h.EventName(), float64(h.TimeNs)/1000,
+			h.LatencyNs, h.QueueDepth, h.KernelID)
 	}
 }
 

@@ -1,14 +1,25 @@
-// Telemetry: in-network heavy-hitter detection — the kind of measurement
-// task (telemetry, PINT-style monitoring) the paper cites as an INC
-// success story, expressed as an NCL kernel instead of hand-written P4.
+// Telemetry: in-network heavy-hitter detection — served live.
 //
-// Traffic windows stream from a sender toward a sink. On the way, the
-// switch counts packets per flow bucket; the first time a flow crosses a
-// host-configured threshold, the switch diverts an alert window to the
-// collector host (_pass("collector")) — exactly once per flow, enforced
-// with an ncl::Bloom filter. Everything else passes through to the sink.
+// The measurement task is unchanged from the paper's framing (PINT-style
+// monitoring as an NCL kernel instead of hand-written P4): traffic
+// windows stream from a sender toward a sink; the switch counts packets
+// per flow with a count-min sketch and diverts an alert window to the
+// collector host the first time a flow crosses a host-configured
+// threshold, exactly once per flow via an ncl::Bloom filter.
 //
-//	go run ./examples/telemetry [-flows 64] [-packets 3000] [-threshold 40]
+// What this example now demonstrates on top is the live telemetry plane:
+// INT sampling is enabled on every host, the path-latency collector
+// feeds the deployment registry, and the whole thing is scrapeable while
+// it runs — /metrics (Prometheus text with per-second rates), /snapshot
+// (JSON), /trace (the flight recorder), and pprof. After the detection
+// phase the example keeps driving traffic for -watch and prints a
+// periodic text snapshot of the telemetry metrics, the same data a
+// Prometheus scrape of -serve would see.
+//
+//	go run ./examples/telemetry [-flows 64] [-packets 3000] [-threshold 40] \
+//	    [-serve 127.0.0.1:9090] [-sample 8] [-watch 6s]
+//
+// -watch 0 keeps serving until interrupted.
 package main
 
 import (
@@ -16,6 +27,9 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"os/signal"
+	"strings"
 	"time"
 
 	"ncl"
@@ -59,6 +73,9 @@ func main() {
 	flows := flag.Int("flows", 64, "distinct flows")
 	packets := flag.Int("packets", 3000, "packets to send")
 	threshold := flag.Int("threshold", 40, "heavy-hitter threshold")
+	serve := flag.String("serve", "127.0.0.1:9090", "telemetry endpoint address (empty disables)")
+	sample := flag.Int("sample", 8, "INT sampling: trace every Nth window")
+	watch := flag.Duration("watch", 6*time.Second, "keep driving traffic and printing live snapshots this long after detection (0 = until interrupted)")
 	flag.Parse()
 
 	art, err := ncl.Build(kernels, overlay, ncl.BuildOptions{WindowLen: 1, ModuleName: "telemetry"})
@@ -74,7 +91,21 @@ func main() {
 		log.Fatalf("ctrl_wr: %v", err)
 	}
 
-	// Collector: gather alerts until quiet.
+	// The live plane, up before any traffic so the detection phase itself
+	// is sampled: 1-in-sample INT stamping on every host, the collector
+	// feeding the deployment registry and flight recorder, and the HTTP
+	// surface for scrapes.
+	col := dep.EnableTelemetry(*sample)
+	if *serve != "" {
+		srv, err := ncl.ServeTelemetry(*serve, dep.Obs, col.Recorder())
+		if err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+		defer srv.Close()
+		fmt.Printf("serving telemetry on http://%s  (/metrics /snapshot /trace /debug/pprof/)\n\n", srv.Addr)
+	}
+
+	// Collector host: gather alerts until quiet.
 	alerts := map[uint64]uint64{}
 	done := make(chan struct{})
 	go func() {
@@ -96,13 +127,14 @@ func main() {
 	rng := rand.New(rand.NewSource(7))
 	sent := map[uint64]int{}
 	sender := dep.Hosts["sender"]
-	for i := 0; i < *packets; i++ {
-		var flow uint64
+	nextFlow := func() uint64 {
 		if rng.Float64() < 0.5 {
-			flow = uint64(rng.Intn(4)) // elephants: flows 0-3
-		} else {
-			flow = uint64(4 + rng.Intn(*flows-4))
+			return uint64(rng.Intn(4)) // elephants: flows 0-3
 		}
+		return uint64(4 + rng.Intn(*flows-4))
+	}
+	for i := 0; i < *packets; i++ {
+		flow := nextFlow()
 		sent[flow]++
 		if err := sender.OutWindow(ncl.Invocation{Kernel: "monitor", Dest: "sink"},
 			sender.NewWid(), 0, [][]uint64{{flow}, {0}}); err != nil {
@@ -135,11 +167,57 @@ func main() {
 		dep.Fabric.Stats("s1", "sink").Packets.Load(),
 		len(alerts) == heavy)
 
-	// Switch-side observability: the deployment registry's view of s1 —
-	// kernel executions, per-stage activity, table hits.
-	fmt.Println("\nswitch metrics:")
-	snap := dep.Obs.Snapshot()
-	fmt.Println(snap.Filter("switch.").Text())
-	fmt.Println(snap.Filter("pisa.").Text())
+	// Live phase: keep the stream flowing and print what a scrape sees —
+	// per-second rates from the rolling delta window plus the collector's
+	// path-latency view. Ctrl-C (or -watch elapsing) ends it.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	deadline := time.NewTimer(*watch)
+	if *watch == 0 {
+		deadline.Stop() // run until interrupted
+	}
+	tick := time.NewTicker(2 * time.Second)
+	defer tick.Stop()
+	rw := ncl.NewRateWindow()
+	rw.Update(dep.Obs.Snapshot(), time.Now()) // baseline
+	sink := dep.Hosts["sink"]
+	fmt.Printf("\nlive for %v (Ctrl-C to stop):\n", *watch)
+
+live:
+	for {
+		select {
+		case <-stop:
+			break live
+		case <-deadline.C:
+			break live
+		case <-tick.C:
+			snap := dep.Obs.Snapshot()
+			rates := rw.Update(snap, time.Now())
+			var p50, p99 float64
+			for name, h := range snap.Histograms {
+				if strings.HasPrefix(name, "telemetry.sender.") && strings.HasSuffix(name, ".e2e_ns") {
+					p50, p99 = h.P50, h.P99
+					break
+				}
+			}
+			fmt.Printf("[live] %.0f windows/sec  %d spans recorded  e2e p50=%.0fns p99=%.0fns\n",
+				rates["host.sender.windows_sent"], col.Recorder().Total(), p50, p99)
+		default:
+			if err := sender.OutWindow(ncl.Invocation{Kernel: "monitor", Dest: "sink"},
+				sender.NewWid(), 0, [][]uint64{{nextFlow()}, {0}}); err != nil {
+				log.Fatalf("send: %v", err)
+			}
+			for {
+				if _, err := sink.Recv(time.Millisecond); err != nil {
+					break
+				}
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}
+
+	// The final text snapshot: the collector's per-hop view of the path.
+	fmt.Println("\ntelemetry metrics (per-hop path latency and queue depth):")
+	fmt.Println(dep.Obs.Snapshot().Filter("telemetry.").Text())
 	fmt.Println("telemetry OK")
 }

@@ -7,6 +7,7 @@ import (
 	"ncl/internal/netsim"
 	"ncl/internal/obs"
 	"ncl/internal/runtime"
+	"ncl/internal/telemetry"
 )
 
 // Deployment is a running NCL application on the simulated fabric:
@@ -47,6 +48,10 @@ func (a *Artifact) Deploy(faults netsim.Faults) (*Deployment, error) {
 	for _, sw := range a.Net.Switches() {
 		sn := netsim.NewSwitchNode(sw.Label, a.Target)
 		sn.SetExecWorkers(cfg.ExecWorkers)
+		// INT queue-depth source: the switch's fabric inbox (the worker
+		// pool's queue takes precedence inside the node when enabled).
+		label := sw.Label
+		sn.SetDepthSource(func() int { return fab.InboxDepth(label) })
 		if err := fab.Attach(sn); err != nil {
 			return nil, err
 		}
@@ -167,6 +172,35 @@ func (d *Deployment) Stop() {
 	for _, sn := range d.Switches {
 		sn.Close()
 	}
+}
+
+// EnableTelemetry turns on the live telemetry plane: every host samples
+// one window in sampleEvery for INT stamping (1 traces everything, 0
+// disables sampling but still attaches the collector), and a collector
+// decodes the sampled windows into this deployment's Obs registry plus
+// a flight recorder of recent spans. Returns the collector; serve it
+// with telemetry.Serve. Call again to resample; the latest collector
+// wins.
+func (d *Deployment) EnableTelemetry(sampleEvery int) *telemetry.Collector {
+	col := telemetry.NewCollector(d.Obs, 0)
+	for _, h := range d.Hosts {
+		h.SetTraceEvery(sampleEvery)
+		h.SetTraceSink(col.Ingest)
+	}
+	return col
+}
+
+// EnableTelemetry is the UDP-backend variant of
+// Deployment.EnableTelemetry (hop timestamps read 0 without the
+// simulated fabric's virtual clock; queue depths and kernel ids still
+// flow).
+func (d *UDPDeployment) EnableTelemetry(sampleEvery int) *telemetry.Collector {
+	col := telemetry.NewCollector(d.Obs, 0)
+	for _, h := range d.Hosts {
+		h.SetTraceEvery(sampleEvery)
+		h.SetTraceSink(col.Ingest)
+	}
+	return col
 }
 
 // SwitchFor returns the switch node for an AND label.

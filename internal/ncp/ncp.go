@@ -153,7 +153,7 @@ func MarshalHops(h *Header, userVals []uint64, hops []Hop, payload []byte) ([]by
 	}
 	traceBytes := 0
 	if h.Flags&FlagTrace != 0 {
-		traceBytes = 1 + 8*len(hops)
+		traceBytes = 1 + HopRecordBytes*len(hops)
 	}
 	h.Version = Version
 	h.UserCount = uint8(len(userVals))
@@ -188,7 +188,8 @@ func MarshalHops(h *Header, userVals []uint64, hops []Hop, payload []byte) ([]by
 		off++
 		for _, hop := range hops {
 			be.PutUint64(buf[off:off+8], hop.Pack())
-			off += 8
+			be.PutUint64(buf[off+8:off+16], hop.PackINT())
+			off += HopRecordBytes
 		}
 	}
 	copy(buf[off:], payload)
@@ -284,7 +285,7 @@ func DecodeFullInto(pkt []byte, d *Decoded) error {
 			return fmt.Errorf("ncp: truncated packet: no room for the trace count")
 		}
 		nHops = int(pkt[traceOff])
-		want += 1 + 8*nHops
+		want += 1 + HopRecordBytes*nHops
 	}
 	if len(pkt) < want {
 		return fmt.Errorf("ncp: truncated packet: %d bytes, header implies %d", len(pkt), want)
@@ -300,8 +301,8 @@ func DecodeFullInto(pkt []byte, d *Decoded) error {
 	if h.Flags&FlagTrace != 0 {
 		off++ // hop count byte
 		for i := 0; i < nHops; i++ {
-			d.Hops = append(d.Hops, UnpackHop(be.Uint64(pkt[off:off+8])))
-			off += 8
+			d.Hops = append(d.Hops, UnpackHop(be.Uint64(pkt[off:off+8]), be.Uint64(pkt[off+8:off+16])))
+			off += HopRecordBytes
 		}
 	}
 	d.Payload = pkt[off : off+int(h.PayloadLen)]

@@ -7,12 +7,21 @@ package ncp
 // runtime reassembles the records into a trace, the PINT-style
 // "telemetry rides the packet" pattern the paper cites.
 //
-// A record packs into one uint64 like a user-field value:
+// A record is two uint64 words on the wire. The first packs the original
+// who/what/when:
 //
 //	bits 63..48  location id (host id or switch location id)
 //	bit  47      location kind (0 = host, 1 = switch)
 //	bits 46..44  event
 //	bits 43..0   virtual time in nanoseconds (~4.8h range)
+//
+// The second word is the INT extension (per-hop telemetry in the style
+// of in-band network telemetry): how long the hop held the window, how
+// deep its inbox queue was at arrival, and which kernel executed it:
+//
+//	bits 63..40  ingress→egress latency in nanoseconds (24 bits, saturating)
+//	bits 39..24  inbox queue depth at arrival (16 bits, saturating)
+//	bits 23..0   executing kernel id (24 bits, saturating; 0 = none)
 
 // Hop location kinds.
 const (
@@ -37,17 +46,41 @@ const (
 // first when a path is longer (MarshalHops keeps the most recent).
 const MaxHops = 32
 
+// HopRecordBytes is the wire size of one hop record: the packed
+// who/what/when word plus the INT extension word.
+const HopRecordBytes = 16
+
 // Hop is one trace record.
 type Hop struct {
 	Loc    uint16 // host id or switch location id
 	Kind   uint8  // HopHost or HopSwitch
 	Event  uint8  // EventSend..EventDeliver
 	TimeNs uint64 // virtual time, nanoseconds (44 bits on the wire)
+
+	// INT extension fields (second wire word).
+
+	// LatencyNs is the time the window spent inside this hop
+	// (ingress→egress): the modeled pipeline delay on the virtual-time
+	// fabric, or the measured kernel execution time on backends without
+	// virtual time. 24 bits on the wire; larger values saturate.
+	LatencyNs uint32
+	// QueueDepth is the hop's inbox depth when the window arrived
+	// (fabric inbox or pipeline worker queue for switches, the runtime
+	// inbox for hosts). 16 bits on the wire; saturating.
+	QueueDepth uint16
+	// KernelID is the kernel this hop executed on the window (EventExec
+	// and EventDeliver hops; 0 otherwise). 24 bits on the wire;
+	// saturating.
+	KernelID uint32
 }
 
-const hopTimeMask = (uint64(1) << 44) - 1
+const (
+	hopTimeMask   = (uint64(1) << 44) - 1
+	intLatMask    = (uint32(1) << 24) - 1
+	intKernelMask = (uint32(1) << 24) - 1
+)
 
-// Pack encodes the hop into its uint64 wire form.
+// Pack encodes the hop's who/what/when into its first wire word.
 func (h Hop) Pack() uint64 {
 	v := uint64(h.Loc) << 48
 	if h.Kind == HopSwitch {
@@ -58,12 +91,29 @@ func (h Hop) Pack() uint64 {
 	return v
 }
 
-// UnpackHop decodes a wire-form hop record.
-func UnpackHop(v uint64) Hop {
+// PackINT encodes the hop's INT extension into its second wire word.
+// Latency and kernel id saturate at 24 bits rather than wrapping.
+func (h Hop) PackINT() uint64 {
+	lat := h.LatencyNs
+	if lat > intLatMask {
+		lat = intLatMask
+	}
+	kid := h.KernelID
+	if kid > intKernelMask {
+		kid = intKernelMask
+	}
+	return uint64(lat)<<40 | uint64(h.QueueDepth)<<24 | uint64(kid)
+}
+
+// UnpackHop decodes a wire-form hop record from its two words.
+func UnpackHop(v, intWord uint64) Hop {
 	h := Hop{
-		Loc:    uint16(v >> 48),
-		Event:  uint8(v >> 44 & 0x7),
-		TimeNs: v & hopTimeMask,
+		Loc:        uint16(v >> 48),
+		Event:      uint8(v >> 44 & 0x7),
+		TimeNs:     v & hopTimeMask,
+		LatencyNs:  uint32(intWord>>40) & intLatMask,
+		QueueDepth: uint16(intWord >> 24),
+		KernelID:   uint32(intWord) & intKernelMask,
 	}
 	if v&(1<<47) != 0 {
 		h.Kind = HopSwitch

@@ -9,19 +9,38 @@ import (
 func TestHopPackUnpack(t *testing.T) {
 	cases := []Hop{
 		{Loc: 1, Kind: HopHost, Event: EventSend, TimeNs: 0},
-		{Loc: 7, Kind: HopSwitch, Event: EventExec, TimeNs: 1234567},
-		{Loc: 0xFFFF, Kind: HopSwitch, Event: EventDeliver, TimeNs: hopTimeMask},
+		{Loc: 7, Kind: HopSwitch, Event: EventExec, TimeNs: 1234567,
+			LatencyNs: 950, QueueDepth: 3, KernelID: 42},
+		{Loc: 0xFFFF, Kind: HopSwitch, Event: EventDeliver, TimeNs: hopTimeMask,
+			LatencyNs: intLatMask, QueueDepth: 0xFFFF, KernelID: intKernelMask},
 	}
 	for _, h := range cases {
-		if got := UnpackHop(h.Pack()); got != h {
+		if got := UnpackHop(h.Pack(), h.PackINT()); got != h {
 			t.Errorf("round trip: %+v -> %+v", h, got)
 		}
 	}
 	// Times beyond 44 bits truncate rather than corrupt other fields.
 	big := Hop{Loc: 3, Kind: HopHost, Event: EventSend, TimeNs: ^uint64(0)}
-	got := UnpackHop(big.Pack())
+	got := UnpackHop(big.Pack(), big.PackINT())
 	if got.Loc != 3 || got.Kind != HopHost || got.Event != EventSend {
 		t.Errorf("oversized time corrupted fields: %+v", got)
+	}
+}
+
+func TestHopINTSaturation(t *testing.T) {
+	// Latency and kernel id beyond 24 bits saturate to the field max
+	// instead of wrapping or corrupting neighboring fields.
+	h := Hop{Loc: 5, Kind: HopSwitch, Event: EventExec,
+		LatencyNs: ^uint32(0), QueueDepth: 7, KernelID: ^uint32(0)}
+	got := UnpackHop(h.Pack(), h.PackINT())
+	if got.LatencyNs != intLatMask {
+		t.Errorf("latency = %d, want saturated %d", got.LatencyNs, intLatMask)
+	}
+	if got.KernelID != intKernelMask {
+		t.Errorf("kernel id = %d, want saturated %d", got.KernelID, intKernelMask)
+	}
+	if got.QueueDepth != 7 || got.Loc != 5 || got.Event != EventExec {
+		t.Errorf("saturation corrupted other fields: %+v", got)
 	}
 }
 
@@ -29,8 +48,9 @@ func TestMarshalHopsRoundTrip(t *testing.T) {
 	h := &Header{KernelID: 9, WindowSeq: 2, Sender: 1, FragCount: 1}
 	user := []uint64{0xABCD}
 	hops := []Hop{
-		{Loc: 1, Kind: HopHost, Event: EventSend, TimeNs: 0},
-		{Loc: 1, Kind: HopSwitch, Event: EventExec, TimeNs: 1500},
+		{Loc: 1, Kind: HopHost, Event: EventSend, TimeNs: 0, KernelID: 9},
+		{Loc: 1, Kind: HopSwitch, Event: EventExec, TimeNs: 1500,
+			LatencyNs: 1000, QueueDepth: 2, KernelID: 9},
 	}
 	payload := []byte{1, 2, 3, 4}
 	pkt, err := MarshalHops(h, user, hops, payload)
@@ -111,6 +131,12 @@ func TestTruncatedTraceRejected(t *testing.T) {
 	}
 	if _, _, _, _, err := DecodeFull(pkt[:HeaderSize]); err == nil {
 		t.Error("packet cut at the trace count must be rejected")
+	}
+	// A packet cut inside a record's INT word (first word intact) is a
+	// truncated record too.
+	hdrEnd := len(pkt) - len([]byte{5, 6}) // payload is last
+	if _, _, _, _, err := DecodeFull(pkt[:hdrEnd-8]); err == nil {
+		t.Error("packet cut inside the INT word must be rejected")
 	}
 }
 

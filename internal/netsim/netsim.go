@@ -209,6 +209,15 @@ func (f *Fabric) Attach(n Node) error {
 	return nil
 }
 
+// InboxDepth reports the number of packets queued at a node's inbox
+// (0 for unknown labels). The inbox map is written only before Start,
+// so the lookup is safe concurrent with traffic; the depth itself is a
+// point-in-time sample. INT stamping uses this as the switch's
+// queue-depth source.
+func (f *Fabric) InboxDepth(label string) int {
+	return len(f.inboxes[label])
+}
+
 // Start launches the inbox goroutines. Every AND node must be attached.
 func (f *Fabric) Start() error {
 	for _, n := range f.net.Nodes {

@@ -1,7 +1,9 @@
 package netsim
 
 import (
+	"math"
 	"sync"
+	"time"
 
 	"ncl/internal/ncl/interp"
 	"ncl/internal/ncp"
@@ -47,6 +49,14 @@ type SwitchNode struct {
 
 	obsMu sync.Mutex
 	reg   *obs.Registry
+
+	// execNs records per-window kernel execution wall time, observed only
+	// for traced windows so the untraced path stays measurement-free.
+	execNs *obs.Histogram
+
+	// depthFn probes the switch's ingress backlog for INT stamping when
+	// the worker pool is off (core.Deploy wires it to the fabric inbox).
+	depthFn func() int
 
 	scratch sync.Pool // *nodeScratch
 
@@ -107,6 +117,7 @@ func (s *SwitchNode) SetObs(r *obs.Registry) {
 	s.Repacks = r.Counter(p + "repacks")
 	s.DupSuppressed = r.Counter(p + "dup_suppressed")
 	s.AcksSent = r.Counter(p + "acks_sent")
+	s.execNs = r.Histogram(p+"exec_ns", ExecNsBuckets)
 	for _, kp := range s.kplans {
 		kp.windows = r.Counter(p + "kernel." + kp.k.Name + ".windows")
 	}
@@ -153,6 +164,35 @@ func (s *SwitchNode) SetRoutes(next map[string]string) {
 	for dst, hop := range next {
 		s.routes[dst] = hop
 	}
+}
+
+// ExecNsBuckets is the bucket layout for per-window kernel execution
+// time in nanoseconds: a 1-2.5-5 ladder from 100ns to 10ms.
+var ExecNsBuckets = []float64{
+	100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000,
+	100000, 250000, 500000, 1e6, 2.5e6, 5e6, 1e7,
+}
+
+// SetDepthSource installs the inbox-depth probe INT records report when
+// the worker pool is off. The deployment wires it to the fabric's inbox
+// for this switch; nil (the default) reports depth 0. Call before
+// traffic, like SetRoutes.
+func (s *SwitchNode) SetDepthSource(fn func() int) { s.depthFn = fn }
+
+// queueDepth reports the ingress backlog at window arrival for INT
+// stamping: the pipeline worker queue when the pool is on, else the
+// wired depth source. Saturates at 16 bits (the wire field).
+func (s *SwitchNode) queueDepth() uint16 {
+	n := 0
+	if s.execCh != nil {
+		n = len(s.execCh)
+	} else if s.depthFn != nil {
+		n = s.depthFn()
+	}
+	if n > math.MaxUint16 {
+		n = math.MaxUint16
+	}
+	return uint16(n)
 }
 
 // SetHosts installs the host id → label map used to route reflected
@@ -238,10 +278,12 @@ func (s *SwitchNode) process(f Sender, pkt *Packet, from string) {
 		// forwarding without kernel execution.
 		s.ForwardedRaw.Add(1)
 		if h.Flags&ncp.FlagTrace != 0 {
-			// Traced windows still record the pass-through hop.
+			// Traced windows still record the pass-through hop, with the
+			// queue depth at arrival (no kernel ran, so no latency/kernel).
 			hops = append(hops, ncp.Hop{
 				Loc: uint16(s.locID), Kind: ncp.HopSwitch,
 				Event: ncp.EventForward, TimeNs: switchTimeNs(pkt.VTimeUs),
+				QueueDepth: s.queueDepth(),
 			})
 			if out, err := ncp.MarshalHops(h, userVals, hops, payload); err == nil {
 				pkt = &Packet{Src: pkt.Src, Dst: pkt.Dst, Data: out, VTimeUs: pkt.VTimeUs}
@@ -249,6 +291,14 @@ func (s *SwitchNode) process(f Sender, pkt *Packet, from string) {
 		}
 		s.forward(f, pkt, from)
 		return
+	}
+
+	// INT ingress snapshot: the queue depth every hop record of this
+	// packet reports is the backlog when the packet arrived, probed once
+	// (and only for traced windows — the untraced path stays flat).
+	var qdepth uint16
+	if h.Flags&ncp.FlagTrace != 0 {
+		qdepth = s.queueDepth()
 	}
 
 	// Multi-window packets (§4.2) unbatch at the first executing switch:
@@ -265,11 +315,11 @@ func (s *SwitchNode) process(f Sender, pkt *Packet, from string) {
 			sub := *h
 			sub.BatchCount = 1
 			sub.WindowSeq = h.WindowSeq + uint32(k)
-			s.execOne(f, pkt, from, kp, &sub, userVals, hops, payload[k*per:(k+1)*per], sc)
+			s.execOne(f, pkt, from, kp, &sub, userVals, hops, payload[k*per:(k+1)*per], sc, qdepth)
 		}
 		return
 	}
-	s.execOne(f, pkt, from, kp, h, userVals, hops, payload, sc)
+	s.execOne(f, pkt, from, kp, h, userVals, hops, payload, sc, qdepth)
 }
 
 // switchTimeNs converts a packet's virtual time to the hop-record clock.
@@ -281,7 +331,9 @@ func switchTimeNs(us float64) uint64 {
 }
 
 // execOne runs one window through the pipeline and routes the outcome.
-func (s *SwitchNode) execOne(f Sender, pkt *Packet, from string, kp *swKernel, h *ncp.Header, userVals []uint64, hops []ncp.Hop, payload []byte, sc *nodeScratch) {
+// qdepth is the ingress backlog probed at packet arrival (INT stamping;
+// meaningful only for traced windows).
+func (s *SwitchNode) execOne(f Sender, pkt *Packet, from string, kp *swKernel, h *ncp.Header, userVals []uint64, hops []ncp.Hop, payload []byte, sc *nodeScratch, qdepth uint16) {
 	data, err := ncp.DecodePayloadInto(sc.data, payload, kp.specs)
 	sc.data = data
 	if err != nil {
@@ -304,7 +356,19 @@ func (s *SwitchNode) execOne(f Sender, pkt *Packet, from string, kp *swKernel, h
 		User:        userVals,
 		ExactlyOnce: xonce,
 	}
+	// Time the pipeline only for traced windows: the measurement (two
+	// clock reads + a histogram observe) never touches the untraced path.
+	traced := h.Flags&ncp.FlagTrace != 0
+	var execStart time.Time
+	if traced {
+		execStart = time.Now()
+	}
 	dec, err := s.sw.ExecWindowSlots(h.KernelID, data, meta, s.locID)
+	var execWallNs uint64
+	if traced {
+		execWallNs = uint64(time.Since(execStart))
+		s.execNs.Observe(float64(execWallNs))
+	}
 	if err != nil {
 		s.Errors.Add(1)
 		return
@@ -322,12 +386,23 @@ func (s *SwitchNode) execOne(f Sender, pkt *Packet, from string, kp *swKernel, h
 	if switchAcks {
 		clearFlags = ncp.FlagAckRequest | ncp.FlagExactlyOnce
 	}
-	if h.Flags&ncp.FlagTrace != 0 {
+	if traced {
+		// INT latency: the modeled pipeline delay when the fabric carries
+		// virtual time, else the measured kernel execution wall time
+		// (PackINT saturates at 24 bits).
+		lat := execWallNs
+		if pkt.VTimeUs > 0 {
+			lat = uint64(SwitchDelayUs * 1000)
+		}
+		if lat > math.MaxUint32 {
+			lat = math.MaxUint32
+		}
 		// Full-capacity append: unbatched sub-windows each extend their
 		// own copy rather than aliasing the shared prefix.
 		hops = append(hops[:len(hops):len(hops)], ncp.Hop{
 			Loc: uint16(s.locID), Kind: ncp.HopSwitch,
 			Event: ncp.EventExec, TimeNs: switchTimeNs(pkt.VTimeUs + SwitchDelayUs),
+			LatencyNs: uint32(lat), QueueDepth: qdepth, KernelID: h.KernelID,
 		})
 	}
 

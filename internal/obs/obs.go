@@ -102,25 +102,32 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum returns the total of all observations.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
-// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
-// within the containing bucket. Returns 0 with no observations; values in
-// the overflow bucket report the last bound.
+// Quantile estimates the q-quantile by linear interpolation within the
+// containing bucket. q is clamped to [0, 1] (NaN reads as 0). Returns 0
+// with no observations; mass in the overflow bucket reports the last
+// bound rather than interpolating past it (0 when the histogram has no
+// bounds at all, since nothing places the overflow mass).
 func (h *Histogram) Quantile(q float64) float64 {
 	total := h.count.Load()
 	if total == 0 {
 		return 0
+	}
+	if math.IsNaN(q) || q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
 	}
 	rank := q * float64(total)
 	var seen float64
 	for i := range h.counts {
 		c := float64(h.counts[i].Load())
 		if seen+c >= rank && c > 0 {
+			if i >= len(h.bounds) {
+				break // overflow bucket: clamp to the last bound below
+			}
 			lo := 0.0
 			if i > 0 {
 				lo = h.bounds[i-1]
-			}
-			if i >= len(h.bounds) {
-				return h.bounds[len(h.bounds)-1] // overflow: clamp
 			}
 			hi := h.bounds[i]
 			return lo + (hi-lo)*(rank-seen)/c

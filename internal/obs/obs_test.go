@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestCounterGaugeBasics(t *testing.T) {
@@ -148,5 +149,149 @@ func TestConcurrentWritersAndSnapshots(t *testing.T) {
 	}
 	if got := r.Histogram("shared.hist", nil).Count(); got != writers*perWriter {
 		t.Errorf("histogram count = %d, want %d", got, writers*perWriter)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		bounds  []float64
+		observe []float64
+		q       float64
+		want    float64
+	}{
+		{"empty histogram", []float64{10, 100}, nil, 0.5, 0},
+		{"empty histogram q=1", []float64{10, 100}, nil, 1, 0},
+		{"all overflow clamps to last bound", []float64{10, 100}, []float64{500, 900, 1e6}, 0.99, 100},
+		{"all overflow clamps at q=1", []float64{10, 100}, []float64{500}, 1, 100},
+		{"no bounds at all", []float64{}, []float64{5, 7}, 0.5, 0},
+		{"q above 1 clamps", []float64{10, 100}, []float64{5, 5}, 7, 10},
+		{"q below 0 clamps", []float64{10, 100}, []float64{5}, -3, 0},
+		{"NaN q reads as 0", []float64{10, 100}, []float64{5}, math.NaN(), 0},
+		{"mixed mass below overflow", []float64{10, 100}, []float64{5, 5, 5, 5}, 0.5, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := newHistogram(tc.bounds)
+			for _, v := range tc.observe {
+				h.Observe(v)
+			}
+			got := h.Quantile(tc.q)
+			if math.IsNaN(got) {
+				t.Fatalf("Quantile(%v) = NaN", tc.q)
+			}
+			if got != tc.want {
+				t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSnapshotQuantilesNeverNaN(t *testing.T) {
+	// A registry snapshot of an empty and an all-overflow histogram must
+	// produce finite quantiles (the JSON encoder rejects NaN).
+	r := NewRegistry()
+	r.Histogram("empty.hist", nil)
+	r.Histogram("over.hist", []float64{1}).Observe(99)
+	s := r.Snapshot()
+	for name, h := range s.Histograms {
+		for _, q := range []float64{h.P50, h.P90, h.P99} {
+			if math.IsNaN(q) {
+				t.Errorf("%s: NaN quantile in snapshot", name)
+			}
+		}
+	}
+	if _, err := s.JSON(); err != nil {
+		t.Fatalf("snapshot JSON: %v", err)
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"host.h1.windows_sent":  "host_h1_windows_sent",
+		"switch.s-1.exec_ns":    "switch_s_1_exec_ns",
+		"weird name!with/chars": "weirdnamewithchars",
+		"9starts.with.digit":    "_9starts_with_digit",
+	}
+	for in, want := range cases {
+		if got := SanitizeMetricName(in); got != want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("host.h1.windows_sent").Add(42)
+	r.Gauge("host.h1.reliable_inflight").Set(-3)
+	h := r.Histogram("fabric.queue_wait_us", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(100) // overflow
+
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ncl_host_h1_windows_sent counter",
+		"ncl_host_h1_windows_sent 42",
+		"# TYPE ncl_host_h1_reliable_inflight gauge",
+		"ncl_host_h1_reliable_inflight -3",
+		"# TYPE ncl_fabric_queue_wait_us histogram",
+		`ncl_fabric_queue_wait_us_bucket{le="1"} 1`,
+		`ncl_fabric_queue_wait_us_bucket{le="10"} 2`,
+		`ncl_fabric_queue_wait_us_bucket{le="+Inf"} 3`,
+		"ncl_fabric_queue_wait_us_sum 105.5",
+		"ncl_fabric_queue_wait_us_count 3",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Exposition-format sanity: every non-comment line is "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestRateWindow(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("host.h1.windows_sent")
+	rw := NewRateWindow()
+	t0 := time.Unix(1000, 0)
+
+	// First update baselines, no rates yet.
+	if rates := rw.Update(r.Snapshot(), t0); len(rates) != 0 {
+		t.Fatalf("first update produced rates: %v", rates)
+	}
+	c.Add(500)
+	rates := rw.Update(r.Snapshot(), t0.Add(2*time.Second))
+	if got := rates["host.h1.windows_sent"]; got != 250 {
+		t.Errorf("rate = %v, want 250/s", got)
+	}
+	// Back-to-back scrape keeps the previous window instead of dividing
+	// by ~zero.
+	c.Add(1)
+	rates = rw.Update(r.Snapshot(), t0.Add(2*time.Second+time.Millisecond))
+	if got := rates["host.h1.windows_sent"]; got != 250 {
+		t.Errorf("sub-interval rate = %v, want previous 250/s", got)
+	}
+	// A counter reset re-baselines rather than reporting negative.
+	c.Store(5)
+	rates = rw.Update(r.Snapshot(), t0.Add(4*time.Second))
+	if _, ok := rates["host.h1.windows_sent"]; ok {
+		t.Errorf("reset counter must re-baseline, got %v", rates)
+	}
+	c.Store(15)
+	rates = rw.Update(r.Snapshot(), t0.Add(5*time.Second))
+	if got := rates["host.h1.windows_sent"]; got != 10 {
+		t.Errorf("post-reset rate = %v, want 10/s", got)
 	}
 }

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) for snapshots: counters and
+// gauges become single samples, histograms become the conventional
+// cumulative _bucket/_sum/_count families. Metric names are prefixed
+// with "ncl_" and sanitized (dots and dashes to underscores), so
+// host.h1.windows_sent scrapes as ncl_host_h1_windows_sent.
+
+// SanitizeMetricName rewrites a registry name into a valid Prometheus
+// metric name: dots and dashes become underscores, any other character
+// outside [a-zA-Z0-9_:] is dropped, and a leading digit gains a "_"
+// prefix.
+func SanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c == '.' || c == '-':
+			b.WriteByte('_')
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if b.Len() == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format. Metric families are emitted in sorted name order so the
+// output is stable for tests and diffing.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := "ncl_" + SanitizeMetricName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m, m, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := "ncl_" + SanitizeMetricName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", m, m, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		m := "ncl_" + SanitizeMetricName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", m); err != nil {
+			return err
+		}
+		// Prometheus buckets are cumulative; the snapshot's are per-bucket.
+		var cum uint64
+		for i, bound := range h.Bounds {
+			if i < len(h.Counts) {
+				cum += h.Counts[i]
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m, formatBound(bound), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", m, formatFloat(h.Sum), m, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatBound(v float64) string {
+	return formatFloat(v)
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WriteRatesPrometheus renders a rate map (see RateWindow) as gauges
+// named ncl_<name>_per_sec, in sorted order.
+func WriteRatesPrometheus(w io.Writer, rates map[string]float64) error {
+	names := make([]string, 0, len(rates))
+	for name := range rates {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := "ncl_" + SanitizeMetricName(name) + "_per_sec"
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", m, m, formatFloat(rates[name])); err != nil {
+			return err
+		}
+	}
+	return nil
+}

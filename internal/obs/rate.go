@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// RateWindow derives per-second rates from successive counter snapshots:
+// each Update computes (counter delta) / (elapsed seconds) against the
+// previous call, making windows/sec and drops/sec first-class instead of
+// something every consumer re-derives. One RateWindow serves one
+// consumer (the serving endpoint holds one; a dashboard poller would
+// hold its own).
+type RateWindow struct {
+	mu     sync.Mutex
+	last   map[string]uint64
+	lastAt time.Time
+	rates  map[string]float64
+}
+
+// NewRateWindow creates an empty rate window; the first Update
+// establishes the baseline and reports no rates.
+func NewRateWindow() *RateWindow {
+	return &RateWindow{last: map[string]uint64{}, rates: map[string]float64{}}
+}
+
+// minRateInterval guards against division blow-up when two scrapes land
+// back to back: updates closer than this return the previous rates.
+const minRateInterval = 50 * time.Millisecond
+
+// Update folds a new snapshot in at the given time and returns the
+// current per-second rates keyed by counter name. Counters that did not
+// move still appear (rate 0) once seen twice; a counter reset (value
+// went backwards) re-baselines that counter instead of reporting a
+// negative rate. The returned map is a copy the caller owns.
+func (rw *RateWindow) Update(s *Snapshot, now time.Time) map[string]float64 {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	elapsed := now.Sub(rw.lastAt).Seconds()
+	if !rw.lastAt.IsZero() && now.Sub(rw.lastAt) >= minRateInterval {
+		rates := make(map[string]float64, len(s.Counters))
+		for name, v := range s.Counters {
+			prev, seen := rw.last[name]
+			if !seen || v < prev {
+				continue // new counter or reset: baseline this round
+			}
+			rates[name] = float64(v-prev) / elapsed
+		}
+		rw.rates = rates
+	}
+	if rw.lastAt.IsZero() || now.Sub(rw.lastAt) >= minRateInterval {
+		for name, v := range s.Counters {
+			rw.last[name] = v
+		}
+		rw.lastAt = now
+	}
+	out := make(map[string]float64, len(rw.rates))
+	for name, v := range rw.rates {
+		out[name] = v
+	}
+	return out
+}

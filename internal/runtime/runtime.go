@@ -19,6 +19,7 @@ package runtime
 
 import (
 	"fmt"
+	"math"
 	gort "runtime"
 	"sort"
 	"sync"
@@ -129,6 +130,7 @@ type Host struct {
 	traceEvery atomic.Int64  // trace every Nth window (0 = off)
 	winCount   atomic.Uint64 // windows sent (trace sampling index)
 	widSeq     atomic.Uint32 // invocation id allocator
+	traceSink  atomic.Pointer[func(*ncp.Header, []ncp.Hop)]
 
 	shards [recvShards]recvShard
 
@@ -271,11 +273,23 @@ func (h *Host) Receive(_ netsim.Sender, pkt *netsim.Packet, from string) {
 	}
 	if hd.Flags&ncp.FlagTrace != 0 {
 		// Trace reassembly: close the window's hop record with this
-		// host's delivery event at the fabric's virtual arrival time.
+		// host's delivery event at the fabric's virtual arrival time,
+		// stamping the runtime inbox depth and the delivering kernel.
+		depth := len(h.inbox)
+		if depth > math.MaxUint16 {
+			depth = math.MaxUint16
+		}
 		d.Hops = append(d.Hops, ncp.Hop{
 			Loc: uint16(h.id), Kind: ncp.HopHost,
 			Event: ncp.EventDeliver, TimeNs: vtimeNs(pkt),
+			QueueDepth: uint16(depth), KernelID: hd.KernelID,
 		})
+		// Feed the completed span to the telemetry collector, if one is
+		// attached. Fragmented windows only carry the first fragment's
+		// hops, so the sink sees whole single-packet windows.
+		if sink := h.traceSink.Load(); sink != nil && hd.FragCount <= 1 {
+			(*sink)(hd, d.Hops)
+		}
 	}
 	sh := h.shardFor(hd.Sender)
 	sh.mu.Lock()
@@ -773,7 +787,7 @@ func (h *Host) sendBatch(inv Invocation, wid, firstSeq uint32, count uint8, payl
 		FragCount:  1,
 		BatchCount: count,
 	}
-	pkt, err := ncp.MarshalHops(&hdr, h.userVals(inv, sc), h.traceHops(int(count)), payload)
+	pkt, err := ncp.MarshalHops(&hdr, h.userVals(inv, sc), h.traceHops(int(count), kid), payload)
 	if err != nil {
 		return err
 	}
@@ -789,8 +803,9 @@ func (h *Host) sendBatch(inv Invocation, wid, firstSeq uint32, count uint8, payl
 // sampling selects any of those windows (every Nth since the host
 // started), counts every selected window and returns the send-side hop
 // list that starts the in-band trace. Returns nil when tracing is off or
-// no window was selected.
-func (h *Host) traceHops(count int) []ncp.Hop {
+// no window was selected. kid is the invoked kernel, stamped into the
+// send hop's INT record.
+func (h *Host) traceHops(count int, kid uint32) []ncp.Hop {
 	if count <= 0 {
 		count = 1
 	}
@@ -811,12 +826,26 @@ func (h *Host) traceHops(count int) []ncp.Hop {
 	h.met.tracedWindows.Add(selected)
 	// The origin hop; vtime 0 — the fabric's clock starts when the
 	// packet enters the first link.
-	return []ncp.Hop{{Loc: uint16(h.id), Kind: ncp.HopHost, Event: ncp.EventSend}}
+	return []ncp.Hop{{Loc: uint16(h.id), Kind: ncp.HopHost, Event: ncp.EventSend, KernelID: kid}}
 }
 
 // SetTraceEvery adjusts trace sampling at runtime: every nth sent window
 // carries FlagTrace and accumulates hop records (0 disables).
 func (h *Host) SetTraceEvery(n int) { h.traceEvery.Store(int64(n)) }
+
+// SetTraceSink installs a callback invoked synchronously from the
+// receive path with every traced window's header and completed hop list
+// (after the deliver hop is appended). The slices alias pooled receive
+// scratch: the sink must copy anything it keeps and return quickly — it
+// runs on the fabric's delivery goroutine. nil uninstalls. The
+// telemetry collector is the intended consumer.
+func (h *Host) SetTraceSink(fn func(*ncp.Header, []ncp.Hop)) {
+	if fn == nil {
+		h.traceSink.Store(nil)
+		return
+	}
+	h.traceSink.Store(&fn)
+}
 
 // OutWindow is the window-level API (the paper's finer-grained second
 // API): the caller sends one window at an explicit sequence number.
@@ -882,7 +911,7 @@ func (h *Host) sendWindowScratch(inv Invocation, wid, seq uint32, winData [][]ui
 		Wid:       wid,
 	}
 
-	hops := h.traceHops(1)
+	hops := h.traceHops(1, kid)
 
 	// Single-packet fast path (the §6 prototype scope), else fragment.
 	if len(payload) <= h.cfg.MTU {

@@ -1,0 +1,197 @@
+// Package telemetry is the collection side of the observability plane:
+// it turns the INT hop records riding sampled (FlagTrace) windows into
+// per-(sender, kernel, hop) path-latency and queue-depth histograms in a
+// deployment's obs.Registry, keeps a bounded flight recorder of recent
+// window spans for postmortem inspection, and serves the whole surface
+// over HTTP (/metrics, /snapshot, /trace, pprof — see serve.go).
+//
+// The collector attaches to hosts as a runtime trace sink
+// (Host.SetTraceSink, wired by Deployment.EnableTelemetry) and is fed
+// synchronously from the receive path, so Ingest copies what it keeps
+// and does constant work per hop after its metric handles warm up.
+package telemetry
+
+import (
+	"sync"
+
+	"ncl/internal/ncp"
+	"ncl/internal/obs"
+)
+
+// Metric names written by the collector:
+//
+//	telemetry.windows                              traced windows ingested
+//	telemetry.hops                                 hop records ingested
+//	telemetry.sender.<id>.kernel.<id>.e2e_ns       send→deliver path latency
+//	telemetry.sender.<id>.kernel.<id>.hop.<kind><loc>.latency_ns
+//	telemetry.sender.<id>.kernel.<id>.hop.<kind><loc>.queue_depth
+
+// E2eNsBuckets is the bucket layout for end-to-end path latency in
+// nanoseconds (virtual time on the simulated fabric): 1µs to 100ms.
+var E2eNsBuckets = []float64{
+	1000, 2500, 5000, 10000, 25000, 50000, 100000,
+	250000, 500000, 1e6, 2.5e6, 5e6, 1e7, 2.5e7, 5e7, 1e8,
+}
+
+// HopLatencyNsBuckets is the bucket layout for per-hop latency in
+// nanoseconds: 100ns to 10ms.
+var HopLatencyNsBuckets = []float64{
+	100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000,
+	100000, 250000, 500000, 1e6, 2.5e6, 5e6, 1e7,
+}
+
+// QueueDepthBuckets is the bucket layout for inbox depth at arrival.
+var QueueDepthBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096}
+
+// DefaultRecorderCap bounds the flight recorder unless the caller sizes
+// it explicitly.
+const DefaultRecorderCap = 256
+
+// pathKey identifies one (sender, kernel, hop) histogram pair.
+type pathKey struct {
+	sender uint32
+	kernel uint32
+	loc    uint16
+	kind   uint8
+}
+
+// pathMetrics caches the handles one path key resolves to.
+type pathMetrics struct {
+	latency *obs.Histogram
+	depth   *obs.Histogram
+}
+
+// e2eKey identifies one (sender, kernel) end-to-end histogram.
+type e2eKey struct {
+	sender uint32
+	kernel uint32
+}
+
+// Collector decodes INT records into registry histograms and the flight
+// recorder. Safe for concurrent Ingest from many hosts' receive paths.
+type Collector struct {
+	reg *obs.Registry
+	rec *FlightRecorder
+
+	windows *obs.Counter
+	hops    *obs.Counter
+
+	mu    sync.RWMutex
+	paths map[pathKey]*pathMetrics
+	e2es  map[e2eKey]*obs.Histogram
+}
+
+// NewCollector creates a collector writing into reg, with a flight
+// recorder holding the most recent recorderCap spans (<= 0 uses
+// DefaultRecorderCap).
+func NewCollector(reg *obs.Registry, recorderCap int) *Collector {
+	if recorderCap <= 0 {
+		recorderCap = DefaultRecorderCap
+	}
+	return &Collector{
+		reg:     reg,
+		rec:     NewFlightRecorder(recorderCap),
+		windows: reg.Counter("telemetry.windows"),
+		hops:    reg.Counter("telemetry.hops"),
+		paths:   map[pathKey]*pathMetrics{},
+		e2es:    map[e2eKey]*obs.Histogram{},
+	}
+}
+
+// Recorder exposes the flight recorder (for /trace and tests).
+func (c *Collector) Recorder() *FlightRecorder { return c.rec }
+
+// Ingest consumes one traced window's header and completed hop list.
+// It is the runtime trace-sink shape: hops alias the receive path's
+// pooled scratch, so everything kept is copied here.
+func (c *Collector) Ingest(h *ncp.Header, hops []ncp.Hop) {
+	if len(hops) == 0 {
+		return
+	}
+	c.windows.Inc()
+	c.hops.Add(uint64(len(hops)))
+	sender := h.Sender
+	for i := range hops {
+		hop := &hops[i]
+		pm := c.pathFor(pathKey{sender: sender, kernel: h.KernelID, loc: hop.Loc, kind: hop.Kind})
+		// Send hops carry no latency (the clock starts at the first
+		// link); every hop's queue depth is meaningful, including the
+		// deliver hop's runtime inbox.
+		if hop.Event != ncp.EventSend {
+			pm.latency.Observe(float64(hop.LatencyNs))
+		}
+		pm.depth.Observe(float64(hop.QueueDepth))
+	}
+	// End-to-end path latency spans the first (send) and last (deliver)
+	// hop's clocks. Backends without virtual time stamp 0, which would
+	// fabricate a negative/zero span — skip those.
+	first, last := hops[0], hops[len(hops)-1]
+	if first.Event == ncp.EventSend && last.Event == ncp.EventDeliver && last.TimeNs > first.TimeNs {
+		c.e2eFor(e2eKey{sender: sender, kernel: h.KernelID}).Observe(float64(last.TimeNs - first.TimeNs))
+	}
+	c.rec.Record(h, hops)
+}
+
+func (c *Collector) pathFor(k pathKey) *pathMetrics {
+	c.mu.RLock()
+	pm, ok := c.paths[k]
+	c.mu.RUnlock()
+	if ok {
+		return pm
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if pm, ok = c.paths[k]; ok {
+		return pm
+	}
+	p := "telemetry.sender." + utoa(uint64(k.sender)) + ".kernel." + utoa(uint64(k.kernel)) +
+		".hop." + kindName(k.kind) + utoa(uint64(k.loc)) + "."
+	pm = &pathMetrics{
+		latency: c.reg.Histogram(p+"latency_ns", HopLatencyNsBuckets),
+		depth:   c.reg.Histogram(p+"queue_depth", QueueDepthBuckets),
+	}
+	c.paths[k] = pm
+	return pm
+}
+
+func (c *Collector) e2eFor(k e2eKey) *obs.Histogram {
+	c.mu.RLock()
+	h, ok := c.e2es[k]
+	c.mu.RUnlock()
+	if ok {
+		return h
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if h, ok = c.e2es[k]; ok {
+		return h
+	}
+	h = c.reg.Histogram(
+		"telemetry.sender."+utoa(uint64(k.sender))+".kernel."+utoa(uint64(k.kernel))+".e2e_ns",
+		E2eNsBuckets)
+	c.e2es[k] = h
+	return h
+}
+
+func kindName(kind uint8) string {
+	if kind == ncp.HopSwitch {
+		return "sw"
+	}
+	return "host"
+}
+
+// utoa is strconv.AppendUint without the import weight on the hot path
+// signature; allocation only happens on first-seen keys.
+func utoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

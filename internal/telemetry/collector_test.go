@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"ncl/internal/ncp"
+	"ncl/internal/obs"
+)
+
+func sampleSpan(seq uint32) (*ncp.Header, []ncp.Hop) {
+	h := &ncp.Header{KernelID: 7, WindowSeq: seq, Sender: 2, Wid: 1, FragCount: 1}
+	hops := []ncp.Hop{
+		{Loc: 2, Kind: ncp.HopHost, Event: ncp.EventSend, KernelID: 7},
+		{Loc: 1, Kind: ncp.HopSwitch, Event: ncp.EventExec, TimeNs: 1000,
+			LatencyNs: 1000, QueueDepth: 3, KernelID: 7},
+		{Loc: 9, Kind: ncp.HopHost, Event: ncp.EventDeliver, TimeNs: 2500,
+			QueueDepth: 1, KernelID: 7},
+	}
+	return h, hops
+}
+
+func TestCollectorIngest(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCollector(reg, 8)
+	h, hops := sampleSpan(0)
+	c.Ingest(h, hops)
+	c.Ingest(h, hops)
+
+	s := reg.Snapshot()
+	if got := s.Counters["telemetry.windows"]; got != 2 {
+		t.Errorf("telemetry.windows = %d, want 2", got)
+	}
+	if got := s.Counters["telemetry.hops"]; got != 6 {
+		t.Errorf("telemetry.hops = %d, want 6", got)
+	}
+	lat, ok := s.Histograms["telemetry.sender.2.kernel.7.hop.sw1.latency_ns"]
+	if !ok {
+		var names []string
+		for n := range s.Histograms {
+			names = append(names, n)
+		}
+		t.Fatalf("switch-hop latency histogram missing; have %v", names)
+	}
+	if lat.Count != 2 || lat.Sum != 2000 {
+		t.Errorf("hop latency count=%d sum=%v, want 2/2000", lat.Count, lat.Sum)
+	}
+	depth := s.Histograms["telemetry.sender.2.kernel.7.hop.sw1.queue_depth"]
+	if depth.Count != 2 || depth.Sum != 6 {
+		t.Errorf("hop depth count=%d sum=%v, want 2/6", depth.Count, depth.Sum)
+	}
+	e2e := s.Histograms["telemetry.sender.2.kernel.7.e2e_ns"]
+	if e2e.Count != 2 || e2e.Sum != 5000 {
+		t.Errorf("e2e count=%d sum=%v, want 2/5000 (deliver 2500 - send 0)", e2e.Count, e2e.Sum)
+	}
+	// The send hop contributes depth but no latency observation.
+	sendLat := s.Histograms["telemetry.sender.2.kernel.7.hop.host2.latency_ns"]
+	if sendLat.Count != 0 {
+		t.Errorf("send hop latency count = %d, want 0", sendLat.Count)
+	}
+}
+
+func TestCollectorSkipsZeroClockE2E(t *testing.T) {
+	// UDP-backend traces stamp TimeNs 0 everywhere; no e2e observation
+	// should be fabricated from them.
+	reg := obs.NewRegistry()
+	c := NewCollector(reg, 8)
+	h := &ncp.Header{KernelID: 3, Sender: 1, FragCount: 1}
+	c.Ingest(h, []ncp.Hop{
+		{Loc: 1, Kind: ncp.HopHost, Event: ncp.EventSend},
+		{Loc: 2, Kind: ncp.HopHost, Event: ncp.EventDeliver},
+	})
+	if hs, ok := reg.Snapshot().Histograms["telemetry.sender.1.kernel.3.e2e_ns"]; ok && hs.Count != 0 {
+		t.Errorf("zero-clock trace produced e2e observations: %+v", hs)
+	}
+}
+
+func TestCollectorCopiesOutOfScratch(t *testing.T) {
+	// The trace sink contract: hops alias pooled scratch and are reused
+	// after Ingest returns. Mutating them must not corrupt the recorder.
+	reg := obs.NewRegistry()
+	c := NewCollector(reg, 8)
+	h, hops := sampleSpan(0)
+	c.Ingest(h, hops)
+	for i := range hops {
+		hops[i] = ncp.Hop{Loc: 0xFFFF, QueueDepth: 0xFFFF}
+	}
+	spans := c.Recorder().Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(spans))
+	}
+	if spans[0].Hops[1].Loc != 1 || spans[0].Hops[1].QueueDepth != 3 {
+		t.Errorf("recorder aliased caller scratch: %+v", spans[0].Hops[1])
+	}
+}
+
+func TestCollectorConcurrentIngest(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCollector(reg, 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				h, hops := sampleSpan(uint32(i))
+				h.Sender = uint32(g) // distinct key sets force map growth
+				c.Ingest(h, hops)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := reg.Snapshot().Counters["telemetry.windows"]; got != 1600 {
+		t.Errorf("telemetry.windows = %d, want 1600", got)
+	}
+	if got := c.Recorder().Total(); got != 1600 {
+		t.Errorf("recorder total = %d, want 1600", got)
+	}
+}
+
+func TestFlightRecorderFIFOEviction(t *testing.T) {
+	r := NewFlightRecorder(4)
+	for seq := uint32(0); seq < 10; seq++ {
+		h := &ncp.Header{KernelID: 1, WindowSeq: seq, Sender: 1}
+		r.Record(h, []ncp.Hop{{Loc: 1, Event: ncp.EventSend}})
+	}
+	spans := r.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("live spans = %d, want cap 4", len(spans))
+	}
+	for i, s := range spans {
+		if want := uint32(6 + i); s.Seq != want {
+			t.Errorf("span %d seq = %d, want %d (oldest evicted first)", i, s.Seq, want)
+		}
+	}
+	if r.Total() != 10 {
+		t.Errorf("total = %d, want 10", r.Total())
+	}
+}
+
+func TestFlightRecorderJSONL(t *testing.T) {
+	r := NewFlightRecorder(4)
+	h, hops := sampleSpan(5)
+	r.Record(h, hops)
+	var b strings.Builder
+	if err := r.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := strings.TrimSpace(b.String())
+	if strings.Count(out, "\n") != 0 {
+		t.Errorf("one span must be one line:\n%s", out)
+	}
+	for _, want := range []string{`"seq":5`, `"event":"exec"`, `"kind":"switch"`, `"queue_depth":3`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSONL missing %s: %s", want, out)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"ncl/internal/ncp"
+)
+
+// Span is one recorded window journey: the identifying header fields
+// plus the full hop list (send → switches → deliver). Spans marshal as
+// one JSON object per line on the /trace endpoint.
+type Span struct {
+	Sender   uint32    `json:"sender"`
+	KernelID uint32    `json:"kernel_id"`
+	Wid      uint32    `json:"wid"`
+	Seq      uint32    `json:"seq"`
+	Hops     []SpanHop `json:"hops"`
+}
+
+// SpanHop is one hop of a span, with the packed wire fields expanded
+// into readable form.
+type SpanHop struct {
+	Loc        uint16 `json:"loc"`
+	Kind       string `json:"kind"` // "host" or "switch"
+	Event      string `json:"event"`
+	TimeNs     uint64 `json:"time_ns"`
+	LatencyNs  uint32 `json:"latency_ns"`
+	QueueDepth uint16 `json:"queue_depth"`
+	KernelID   uint32 `json:"kernel_id"`
+}
+
+// FlightRecorder keeps the most recent cap spans in a ring: Record
+// overwrites the oldest entry once full (FIFO eviction), so the
+// recorder is a bounded always-on postmortem buffer, not a growing log.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	ring  []Span
+	next  int
+	full  bool
+	total uint64 // spans ever recorded (evicted + live)
+}
+
+// NewFlightRecorder creates a recorder holding up to cap spans.
+func NewFlightRecorder(cap int) *FlightRecorder {
+	if cap <= 0 {
+		cap = DefaultRecorderCap
+	}
+	return &FlightRecorder{ring: make([]Span, cap)}
+}
+
+// Record copies one traced window into the ring (the hop slice aliases
+// pooled receive scratch and must not be retained).
+func (r *FlightRecorder) Record(h *ncp.Header, hops []ncp.Hop) {
+	span := Span{
+		Sender:   h.Sender,
+		KernelID: h.KernelID,
+		Wid:      h.Wid,
+		Seq:      h.WindowSeq,
+		Hops:     make([]SpanHop, len(hops)),
+	}
+	for i, hop := range hops {
+		kind := "host"
+		if hop.Kind == ncp.HopSwitch {
+			kind = "switch"
+		}
+		span.Hops[i] = SpanHop{
+			Loc: hop.Loc, Kind: kind, Event: hop.EventName(),
+			TimeNs: hop.TimeNs, LatencyNs: hop.LatencyNs,
+			QueueDepth: hop.QueueDepth, KernelID: hop.KernelID,
+		}
+	}
+	r.mu.Lock()
+	r.ring[r.next] = span
+	r.next++
+	if r.next == len(r.ring) {
+		r.next, r.full = 0, true
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Spans returns the live spans, oldest first.
+func (r *FlightRecorder) Spans() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Span(nil), r.ring[:r.next]...)
+	}
+	out := make([]Span, 0, len(r.ring))
+	out = append(out, r.ring[r.next:]...)
+	out = append(out, r.ring[:r.next]...)
+	return out
+}
+
+// Total reports how many spans were ever recorded, including evicted
+// ones.
+func (r *FlightRecorder) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// WriteJSONL streams the live spans as JSON Lines, oldest first.
+func (r *FlightRecorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w) // Encode appends the newline
+	for _, s := range r.Spans() {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"ncl/internal/obs"
+)
+
+// NewMux builds the telemetry HTTP surface for a registry and an
+// optional flight recorder:
+//
+//	/metrics    Prometheus text exposition plus ncl_*_per_sec rate
+//	            gauges from a rolling delta window
+//	/snapshot   the full registry snapshot as JSON
+//	/trace      the flight recorder as JSON Lines (404 without one)
+//	/debug/pprof/...  the standard Go profiler endpoints
+//
+// The mux is self-contained: callers mount it on any server (ncl-run
+// -serve uses Serve below).
+func NewMux(reg *obs.Registry, rec *FlightRecorder) *http.ServeMux {
+	mux := http.NewServeMux()
+	rates := obs.NewRateWindow()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		snap := reg.Snapshot()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := snap.WritePrometheus(w); err != nil {
+			return
+		}
+		_ = obs.WriteRatesPrometheus(w, rates.Update(snap, time.Now()))
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+		b, err := reg.Snapshot().JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		if rec == nil {
+			http.Error(w, "no flight recorder attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/jsonl")
+		_ = rec.WriteJSONL(w)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "ncl telemetry: /metrics /snapshot /trace /debug/pprof/\n")
+	})
+	// net/http/pprof registers on http.DefaultServeMux at import; wire
+	// the handlers onto this mux explicitly so the surface works on any
+	// server without the default mux.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running telemetry endpoint.
+type Server struct {
+	Addr string // the bound address (resolves ":0" to the real port)
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// Serve binds addr (e.g. ":9090", "127.0.0.1:0") and serves the
+// telemetry mux in a background goroutine. The returned server reports
+// the bound address and closes on demand.
+func Serve(addr string, reg *obs.Registry, rec *FlightRecorder) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewMux(reg, rec), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
+}
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ncl/internal/obs"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeSurface(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("host.h1.windows_sent").Add(11)
+	c := NewCollector(reg, 8)
+	h, hops := sampleSpan(3)
+	c.Ingest(h, hops)
+
+	srv, err := Serve("127.0.0.1:0", reg, c.Recorder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "ncl_host_h1_windows_sent 11") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if !strings.Contains(body, "# TYPE ncl_telemetry_sender_2_kernel_7_e2e_ns histogram") {
+		t.Errorf("/metrics missing telemetry histogram:\n%s", body)
+	}
+	// Exposition parses: every sample line is name/value with numeric value.
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed sample %q", line)
+		}
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			t.Fatalf("non-numeric sample value %q", line)
+		}
+	}
+
+	code, body = get(t, base+"/snapshot")
+	if code != http.StatusOK || !strings.Contains(body, `"telemetry.windows": 1`) {
+		t.Errorf("/snapshot status %d body:\n%s", code, body)
+	}
+
+	code, body = get(t, base+"/trace")
+	if code != http.StatusOK || !strings.Contains(body, `"event":"deliver"`) {
+		t.Errorf("/trace status %d body:\n%s", code, body)
+	}
+
+	code, _ = get(t, base+"/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", code)
+	}
+
+	code, _ = get(t, base+"/nope")
+	if code != http.StatusNotFound {
+		t.Errorf("unknown path status %d, want 404", code)
+	}
+}
+
+func TestServeWithoutRecorder(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", obs.NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, _ := get(t, "http://"+srv.Addr+"/trace")
+	if code != http.StatusNotFound {
+		t.Errorf("/trace without recorder status %d, want 404", code)
+	}
+}

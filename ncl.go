@@ -30,6 +30,7 @@ import (
 	"ncl/internal/obs"
 	"ncl/internal/pisa"
 	"ncl/internal/runtime"
+	"ncl/internal/telemetry"
 )
 
 // BuildOptions configures compilation: window length W, the PISA target
@@ -88,6 +89,23 @@ type MetricsSnapshot = obs.Snapshot
 // Host.SetTraceEvery and RecvWindow.Trace).
 type Hop = ncp.Hop
 
+// TelemetryCollector decodes sampled INT windows into per-(sender,
+// kernel, hop) path-latency and queue-depth histograms plus a bounded
+// flight recorder. Deployment.EnableTelemetry wires one up.
+type TelemetryCollector = telemetry.Collector
+
+// FlightRecorder is the bounded ring of recent traced window spans the
+// collector keeps; serve it at /trace or dump it with WriteJSONL.
+type FlightRecorder = telemetry.FlightRecorder
+
+// TelemetryServer is the live telemetry HTTP endpoint (/metrics,
+// /snapshot, /trace, /debug/pprof/).
+type TelemetryServer = telemetry.Server
+
+// RateWindow derives per-second rates (windows/sec, drops/sec) from
+// successive metric snapshots.
+type RateWindow = obs.RateWindow
+
 // Build compiles an NCL program against an AND overlay description
 // through the full nclc pipeline. See BuildOptions for the knobs.
 func Build(nclSrc, andSrc string, opts BuildOptions) (*Artifact, error) {
@@ -96,6 +114,18 @@ func Build(nclSrc, andSrc string, opts BuildOptions) (*Artifact, error) {
 
 // DefaultTarget returns the default PISA resource model.
 func DefaultTarget() TargetConfig { return pisa.DefaultTarget() }
+
+// ServeTelemetry starts the live telemetry endpoint on addr: /metrics
+// (Prometheus text exposition with rolling per-second rates), /snapshot
+// (JSON), /trace (the flight recorder as JSON Lines), and net/http/pprof.
+// Pass Deployment.Obs and the collector's Recorder (nil disables /trace).
+func ServeTelemetry(addr string, reg *Metrics, rec *FlightRecorder) (*TelemetryServer, error) {
+	return telemetry.Serve(addr, reg, rec)
+}
+
+// NewRateWindow returns an empty rate window; feed it successive
+// snapshots to read per-second deltas.
+func NewRateWindow() *RateWindow { return obs.NewRateWindow() }
 
 // ErrTimeout is returned by Host.In when no window arrives in time.
 var ErrTimeout = runtime.ErrTimeout

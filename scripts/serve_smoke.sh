@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Serve-and-scrape smoke test for the live telemetry plane: boots
+# `ncl-run -serve` on a loopback port against a minimal one-switch app,
+# scrapes /metrics, asserts a known counter is present and the
+# Prometheus exposition parses, and touches /snapshot, /trace, and
+# pprof. CI runs this after the unit tests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pid=""
+trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+cat > "$tmp/app.ncl" <<'NCL'
+_net_ _out_ void relay(int *data) {
+    for (unsigned i = 0; i < window.len; ++i) data[i] = data[i];
+}
+
+_net_ _in_ void deliver(int *data, _ext_ int *out) {
+    for (unsigned i = 0; i < window.len; ++i) out[i] = data[i];
+}
+NCL
+cat > "$tmp/app.and" <<'AND'
+switch s1 id=1
+host sender role=0
+host receiver role=1
+link sender s1
+link s1 receiver
+AND
+
+go build -o "$tmp/ncl-run" ./cmd/ncl-run
+"$tmp/ncl-run" -and "$tmp/app.and" -kernel relay -w 4 -data "1,2,3,4" -n 4 \
+  -trace 4 -serve 127.0.0.1:0 "$tmp/app.ncl" > "$tmp/out.log" 2>&1 &
+pid=$!
+
+addr=""
+for _ in $(seq 1 50); do
+  addr=$(sed -n 's#^serving telemetry on http://\([^ ]*\).*#\1#p' "$tmp/out.log" | head -1)
+  [ -n "$addr" ] && break
+  if ! kill -0 "$pid" 2>/dev/null; then
+    echo "ncl-run exited before serving:"; cat "$tmp/out.log"; exit 1
+  fi
+  sleep 0.2
+done
+[ -n "$addr" ] || { echo "no serve address announced:"; cat "$tmp/out.log"; exit 1; }
+
+sleep 1 # let windows flow so counters move and the recorder fills
+
+metrics=$(curl -fsS "http://$addr/metrics")
+echo "$metrics" | grep -q '^ncl_host_sender_windows_sent ' \
+  || { echo "missing ncl_host_sender_windows_sent:"; echo "$metrics" | head -40; exit 1; }
+echo "$metrics" | grep -q '^# TYPE ncl_telemetry_windows counter' \
+  || { echo "missing ncl_telemetry_windows family:"; echo "$metrics" | head -40; exit 1; }
+echo "$metrics" | grep -q '_bucket{le="+Inf"}' \
+  || { echo "no histogram families in exposition"; exit 1; }
+
+# The exposition parses: every non-comment line is `name[{labels}] value`
+# with a numeric value.
+bad=$(echo "$metrics" | grep -v '^#' \
+  | grep -Ev '^[A-Za-z_:][A-Za-z0-9_:]*(\{[^}]*\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$' || true)
+[ -z "$bad" ] || { echo "malformed exposition lines:"; echo "$bad"; exit 1; }
+
+snapshot=$(curl -fsS "http://$addr/snapshot")
+case "$snapshot" in
+  {*) ;;
+  *) echo "/snapshot is not JSON"; exit 1 ;;
+esac
+trace=$(curl -fsS "http://$addr/trace")
+echo "$trace" | grep -q '"hops"' || { echo "/trace has no spans"; exit 1; }
+curl -fsS "http://$addr/debug/pprof/cmdline" > /dev/null \
+  || { echo "pprof endpoint unreachable"; exit 1; }
+
+kill "$pid"; pid=""
+echo "serve smoke OK (scraped http://$addr)"
