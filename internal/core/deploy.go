@@ -36,6 +36,7 @@ func (a *Artifact) Deploy(faults netsim.Faults) (*Deployment, error) {
 	fab := netsim.New(a.Net, faults)
 	fab.SetObs(reg)
 	fab.SetInboxCap(cfg.FabricInboxCap)
+	fab.SetDrainBatch(cfg.FabricDrainBatch)
 	ctrl := controller.New(a.Net)
 	dep := &Deployment{
 		Artifact:   a,

@@ -86,13 +86,14 @@ type Fabric struct {
 	net   *and.Network
 	nodes map[string]Node
 
-	inboxes  map[string]chan delivery
+	inboxes  map[string]*ringInbox
 	stats    map[linkKey]*LinkStats
 	wg       sync.WaitGroup
 	stopped  chan struct{}
 	stopOnce sync.Once
 
-	inboxCap int // per-node inbox capacity (SetInboxCap before Attach)
+	inboxCap   int // per-node inbox capacity (SetInboxCap before Attach)
+	drainBatch int // max packets per inbox drain (SetDrainBatch before Start)
 
 	faults  Faults
 	rngMu   sync.Mutex
@@ -130,7 +131,7 @@ type delivery struct {
 type heldPkt struct {
 	d     delivery
 	st    *LinkStats
-	inbox chan delivery
+	inbox *ringInbox
 	drops *obs.Counter
 	timer *time.Timer
 }
@@ -141,10 +142,11 @@ func New(network *and.Network, faults Faults) *Fabric {
 	f := &Fabric{
 		net:        network,
 		nodes:      map[string]Node{},
-		inboxes:    map[string]chan delivery{},
+		inboxes:    map[string]*ringInbox{},
 		stats:      map[linkKey]*LinkStats{},
 		stopped:    make(chan struct{}),
 		inboxCap:   DefaultInboxCap,
+		drainBatch: DefaultDrainBatch,
 		faults:     faults,
 		rng:        rand.New(rand.NewSource(faults.Seed)),
 		pending:    map[linkKey]*heldPkt{},
@@ -179,6 +181,12 @@ func (f *Fabric) SetObs(r *obs.Registry) {
 // overrides it.
 const DefaultInboxCap = 4096
 
+// DefaultDrainBatch is how many queued packets an inbox goroutine takes
+// per wakeup unless SetDrainBatch overrides it. Larger batches amortize
+// the wakeup and the node hand-off; 1 degenerates to the old per-packet
+// channel behavior (useful as a benchmark baseline).
+const DefaultDrainBatch = 64
+
 // SetInboxCap sets the per-node inbox capacity for nodes attached after
 // the call (deployments call it before Attach; 0 keeps the default). A
 // full inbox drops the packet and counts fabric.<label>.inbox_drops
@@ -186,6 +194,16 @@ const DefaultInboxCap = 4096
 func (f *Fabric) SetInboxCap(n int) {
 	if n > 0 {
 		f.inboxCap = n
+	}
+}
+
+// SetDrainBatch bounds how many packets an inbox goroutine drains per
+// wakeup (call before Start; 0 keeps the default). Batches of more than
+// one packet are handed to nodes implementing the batch receive path in
+// one call; 1 forces the per-packet path.
+func (f *Fabric) SetDrainBatch(n int) {
+	if n > 0 {
+		f.drainBatch = n
 	}
 }
 
@@ -202,7 +220,7 @@ func (f *Fabric) Attach(n Node) error {
 		return fmt.Errorf("netsim: node %q already attached", label)
 	}
 	f.nodes[label] = n
-	f.inboxes[label] = make(chan delivery, f.inboxCap)
+	f.inboxes[label] = newRingInbox(f.inboxCap)
 	f.rngMu.Lock()
 	f.inboxDrops[label] = f.obsReg.Counter("fabric." + label + ".inbox_drops")
 	f.rngMu.Unlock()
@@ -215,10 +233,25 @@ func (f *Fabric) Attach(n Node) error {
 // point-in-time sample. INT stamping uses this as the switch's
 // queue-depth source.
 func (f *Fabric) InboxDepth(label string) int {
-	return len(f.inboxes[label])
+	r := f.inboxes[label]
+	if r == nil {
+		return 0
+	}
+	return r.depth()
+}
+
+// batchReceiver is the optional fast path a node can implement to take a
+// whole drained batch in one call instead of len(batch) Receive calls.
+// The deliveries are in arrival order; the slice is only valid for the
+// duration of the call (the drain goroutine reuses its backing array).
+type batchReceiver interface {
+	receiveBatch(f Sender, batch []delivery)
 }
 
 // Start launches the inbox goroutines. Every AND node must be attached.
+// Each goroutine drains up to drainBatch packets per wakeup and hands
+// them to the node — in one receiveBatch call when the node supports it,
+// otherwise via per-packet Receive in arrival order.
 func (f *Fabric) Start() error {
 	for _, n := range f.net.Nodes {
 		if f.nodes[n.Label] == nil {
@@ -227,16 +260,33 @@ func (f *Fabric) Start() error {
 	}
 	for label, inbox := range f.inboxes {
 		node := f.nodes[label]
-		ch := inbox
+		ring := inbox
 		f.wg.Add(1)
 		go func() {
 			defer f.wg.Done()
+			br, _ := node.(batchReceiver)
+			batch := make([]delivery, 0, f.drainBatch)
 			for {
+				batch = ring.drain(batch, f.drainBatch)
+				if len(batch) == 0 {
+					select {
+					case <-ring.notify:
+						continue
+					case <-f.stopped:
+						return
+					}
+				}
+				if br != nil && len(batch) > 1 {
+					br.receiveBatch(f, batch)
+				} else {
+					for i := range batch {
+						node.Receive(f, batch[i].pkt, batch[i].from)
+					}
+				}
 				select {
-				case d := <-ch:
-					node.Receive(f, d.pkt, d.from)
 				case <-f.stopped:
 					return
+				default:
 				}
 			}
 		}()
@@ -277,18 +327,26 @@ func (f *Fabric) takePending() []*heldPkt {
 }
 
 // deliverHeld completes a hold-back packet's delivery (counters were not
-// yet applied while it was parked).
+// yet applied while it was parked). Packets/Bytes are credited only when
+// the packet actually reaches the inbox: a stopped fabric discards the
+// packet and counts it Dropped — the earlier code counted it delivered
+// first and then threw it away, so a Stop racing a hold-back flush
+// inflated the link's delivered counters.
 func (f *Fabric) deliverHeld(hp *heldPkt) {
-	hp.st.Packets.Add(1)
-	hp.st.Bytes.Add(uint64(len(hp.d.pkt.Data)))
 	select {
-	case hp.inbox <- hp.d:
 	case <-f.stopped:
-	default:
 		hp.st.Dropped.Add(1)
-		if hp.drops != nil {
-			hp.drops.Inc()
-		}
+		return
+	default:
+	}
+	if hp.inbox.push(hp.d) {
+		hp.st.Packets.Add(1)
+		hp.st.Bytes.Add(uint64(len(hp.d.pkt.Data)))
+		return
+	}
+	hp.st.Dropped.Add(1)
+	if hp.drops != nil {
+		hp.drops.Inc()
 	}
 }
 
@@ -330,10 +388,7 @@ func (f *Fabric) Send(from, to string, pkt *Packet) error {
 	deliver := func(d delivery) {
 		st.Packets.Add(1)
 		st.Bytes.Add(uint64(len(d.pkt.Data)))
-		select {
-		case inbox <- d:
-		case <-f.stopped:
-		default:
+		if !inbox.push(d) {
 			// Full inbox: drop and count rather than blocking the sender
 			// goroutine (recovery is the transport's job — the reliable
 			// layer retransmits).
@@ -387,7 +442,11 @@ func (f *Fabric) Send(from, to string, pkt *Packet) error {
 		deliver(held.d)
 	}
 	if dup {
-		dupPkt := &Packet{Src: pkt.Src, Dst: pkt.Dst, Data: append([]byte(nil), pkt.Data...)}
+		// The duplicate carries the original's virtual timestamp: it is the
+		// same bits arriving again, not a fresh packet born at t=0. Without
+		// the copy, dups poisoned switch INT latency stamps and the vtime
+		// histograms with epoch-relative garbage.
+		dupPkt := &Packet{Src: pkt.Src, Dst: pkt.Dst, Data: append([]byte(nil), pkt.Data...), VTimeUs: pkt.VTimeUs}
 		deliver(delivery{pkt: dupPkt, from: from})
 	}
 	return nil
@@ -395,6 +454,77 @@ func (f *Fabric) Send(from, to string, pkt *Packet) error {
 
 func (fl Faults) onlySeed() bool {
 	return fl.DropProb == 0 && fl.DupProb == 0 && fl.ReorderProb == 0
+}
+
+// BatchSender is the optional bulk seam on top of Sender: a node that has
+// several packets ready hands them over in one call so the transport can
+// amortize its per-packet costs (stopped check, virtual-time lock, inbox
+// lock and wakeup here; syscalls in the UDP backend).
+type BatchSender interface {
+	Sender
+	// SendBatch transmits pkts[i] from `from` to tos[i], preserving order
+	// per destination. len(tos) must equal len(pkts).
+	SendBatch(from string, tos []string, pkts []*Packet) error
+}
+
+// SendBatch transmits a batch of packets from one node, amortizing the
+// stopped check, the virtual-time lock, and — for runs of consecutive
+// packets to the same destination — the inbox lock and receiver wakeup.
+// Fault injection needs per-packet dice and the hold-back slot, so a
+// faulted fabric falls back to per-packet Send (the batched fast path is
+// the perfect-network case benchmarks and converged deployments run in).
+func (f *Fabric) SendBatch(from string, tos []string, pkts []*Packet) error {
+	if len(tos) != len(pkts) {
+		return fmt.Errorf("netsim: SendBatch got %d destinations for %d packets", len(tos), len(pkts))
+	}
+	if len(pkts) == 0 {
+		return nil
+	}
+	if !(f.faults == (Faults{}) || f.faults.onlySeed()) {
+		for i := range pkts {
+			if err := f.Send(from, tos[i], pkts[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	select {
+	case <-f.stopped:
+		return fmt.Errorf("netsim: fabric stopped")
+	default:
+	}
+	f.stampSendBatch(from, tos, pkts)
+	for i := 0; i < len(pkts); {
+		j := i + 1
+		for j < len(pkts) && tos[j] == tos[i] {
+			j++
+		}
+		to := tos[i]
+		st, ok := f.stats[linkKey{from, to}]
+		if !ok {
+			return fmt.Errorf("netsim: %s and %s are not overlay neighbors", from, to)
+		}
+		inbox, ok := f.inboxes[to]
+		if !ok {
+			return fmt.Errorf("netsim: no node %q", to)
+		}
+		run := pkts[i:j]
+		var bytes uint64
+		for _, p := range run {
+			bytes += uint64(len(p.Data))
+		}
+		st.Packets.Add(uint64(len(run)))
+		st.Bytes.Add(bytes)
+		if accepted := inbox.pushPkts(run, from); accepted < len(run) {
+			over := uint64(len(run) - accepted)
+			st.Dropped.Add(over)
+			if drops := f.inboxDrops[to]; drops != nil {
+				drops.Add(over)
+			}
+		}
+		i = j
+	}
+	return nil
 }
 
 // Stats returns the counters for the directed link from→to (nil if the

@@ -60,6 +60,11 @@ type SwitchNode struct {
 
 	scratch sync.Pool // *nodeScratch
 
+	// batch is the reusable working set of the batched receive path
+	// (switchbatch.go). Only the fabric's single drain goroutine for this
+	// node calls receiveBatch, so no lock is needed.
+	batch batchState
+
 	execCh    chan execJob
 	workerWg  sync.WaitGroup
 	closeOnce sync.Once
@@ -378,14 +383,6 @@ func (s *SwitchNode) execOne(f Sender, pkt *Packet, from string, kp *swKernel, h
 	if dec.Suppressed {
 		s.DupSuppressed.Add(1)
 	}
-	// The window's reliable flags stay on pass-through (the destination
-	// host acknowledges delivery) but are stripped from on-path outputs:
-	// the switch acknowledges those itself, and the derived reflect/bcast
-	// windows are new unreliable traffic, not the acknowledged window.
-	var clearFlags uint8
-	if switchAcks {
-		clearFlags = ncp.FlagAckRequest | ncp.FlagExactlyOnce
-	}
 	if traced {
 		// INT latency: the modeled pipeline delay when the fabric carries
 		// virtual time, else the measured kernel execution wall time
@@ -405,7 +402,21 @@ func (s *SwitchNode) execOne(f Sender, pkt *Packet, from string, kp *swKernel, h
 			LatencyNs: uint32(lat), QueueDepth: qdepth, KernelID: h.KernelID,
 		})
 	}
+	s.route(f, pkt, from, kp, h, userVals, hops, data, sc, dec, switchAcks)
+}
 
+// route applies an executed window's forwarding decision — the shared
+// tail of the per-packet path (execOne) and the batch path
+// (flushBatch).
+func (s *SwitchNode) route(f Sender, pkt *Packet, from string, kp *swKernel, h *ncp.Header, userVals []uint64, hops []ncp.Hop, data [][]uint64, sc *nodeScratch, dec interp.Decision, switchAcks bool) {
+	// The window's reliable flags stay on pass-through (the destination
+	// host acknowledges delivery) but are stripped from on-path outputs:
+	// the switch acknowledges those itself, and the derived reflect/bcast
+	// windows are new unreliable traffic, not the acknowledged window.
+	var clearFlags uint8
+	if switchAcks {
+		clearFlags = ncp.FlagAckRequest | ncp.FlagExactlyOnce
+	}
 	switch dec.Kind {
 	case interp.Drop:
 		if switchAcks {

@@ -377,11 +377,108 @@ func (sw *Switch) begin(kernelID uint32, data [][]uint64) (*plan, *kernelPlan, *
 
 // finish runs the pipeline passes, deparses, and derives the decision.
 func (sw *Switch) finish(pl *plan, kp *kernelPlan, met *pisaMetrics, s *execScratch, data [][]uint64) (interp.Decision, error) {
-	if err := kp.execPasses(met, s); err != nil {
+	if err := kp.execPasses(met, s, false); err != nil {
 		return interp.Decision{}, err
 	}
 	kp.deparse(data, s.phv)
 	return kp.decision(pl, s.phv), nil
+}
+
+// BatchJob is one window in an ExecWindowBatch call: Data and Meta are
+// the inputs (same conventions as ExecWindowSlots — Data is deparsed in
+// place); Dec and Err are filled per window by the call.
+type BatchJob struct {
+	Data [][]uint64
+	Meta WindowMeta
+	Dec  interp.Decision
+	Err  error
+}
+
+// ExecWindowBatch runs one kernel over a batch of windows, amortizing
+// the per-window overheads of ExecWindowSlots: the plan pointer is
+// loaded once, one pooled scratch is reused across the batch, and —
+// the main win — the kernel's entire register/table lock set is
+// acquired once around the loop (lockState) instead of once per state
+// access per window. Windows execute sequentially in batch order, so
+// SALU read-modify-write atomicity and exactly-once suppression
+// semantics are identical to the one-at-a-time path; batches for
+// different kernels still run concurrently when their lock sets are
+// disjoint, and cannot deadlock otherwise because lockState acquires in
+// global plan-index order.
+//
+// A batch-level problem (no program, unknown kernel) returns an error
+// with no window executed. Per-window failures land in jobs[i].Err and
+// do not stop the rest of the batch; a failed exactly-once window's
+// shadow admission is rolled back exactly as in ExecWindowSlots.
+func (sw *Switch) ExecWindowBatch(kernelID uint32, jobs []BatchJob, loc uint32) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	pl := sw.plan.Load()
+	if pl == nil {
+		return fmt.Errorf("pisa: no program loaded")
+	}
+	kp := pl.kernels[kernelID]
+	if kp == nil {
+		return fmt.Errorf("pisa: no kernel with id %d", kernelID)
+	}
+	met := sw.met.Load()
+	met.windows.Add(uint64(len(jobs)))
+	s := sw.getScratch(kp.numFields)
+	defer sw.scratch.Put(s)
+	kp.lockState()
+	defer kp.unlockState()
+	for i := range jobs {
+		j := &jobs[i]
+		for k := range s.phv {
+			s.phv[k] = 0
+		}
+		s.suppress = false
+		if err := kp.parse(j.Data, s.phv); err != nil {
+			j.Err = err
+			continue
+		}
+		for _, mb := range kp.metaBind {
+			var v uint64
+			switch mb.src {
+			case metaSeq:
+				v = j.Meta.Seq
+			case metaLen:
+				v = j.Meta.Len
+			case metaFrom:
+				v = j.Meta.From
+			case metaSender:
+				v = j.Meta.Sender
+			case metaWid:
+				v = j.Meta.Wid
+			case metaMissing:
+				v = 0
+			default:
+				if ui := mb.src - metaUser0; ui < len(j.Meta.User) {
+					v = j.Meta.User[ui]
+				}
+			}
+			s.phv[mb.f] = normalize(v, mb.bits, mb.signed)
+		}
+		if kp.locField != NoField {
+			s.phv[kp.locField] = uint64(loc)
+		}
+		var admitted bool
+		if j.Meta.ExactlyOnce {
+			admitted = sw.admitShadow(pl, met, s, j.Meta.Seq, j.Meta.Sender, j.Meta.Wid)
+		}
+		if err := kp.execPasses(met, s, true); err != nil {
+			if admitted {
+				pl.shadow.forget(j.Meta.Seq, j.Meta.Sender, j.Meta.Wid)
+			}
+			j.Err = err
+			continue
+		}
+		kp.deparse(j.Data, s.phv)
+		j.Dec = kp.decision(pl, s.phv)
+		j.Dec.Suppressed = s.suppress
+	}
+	return nil
 }
 
 func boolBit(b bool) uint64 {

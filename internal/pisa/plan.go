@@ -2,6 +2,7 @@ package pisa
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"ncl/internal/ncl/interp"
@@ -133,6 +134,12 @@ type kernelPlan struct {
 	fwdField      FieldRef
 	fwdLabelField FieldRef
 	passes        [][]stagePlan
+
+	// regsUsed/tablesUsed are the deduped state the kernel's instruction
+	// stream can touch, in plan-index order — the batch path's lock set
+	// (see lockState).
+	regsUsed   []*regArray
+	tablesUsed []*matTable
 }
 
 // numMSlots bounds the SALU micro-program slot file (MReg..MTmp3).
@@ -258,7 +265,83 @@ func (pl *plan) compileKernel(k *Kernel) (*kernelPlan, error) {
 		}
 		kp.passes = append(kp.passes, sps)
 	}
+	kp.collectState(pl)
 	return kp, nil
+}
+
+// collectState records the deduped register arrays and match tables the
+// kernel's instruction stream can touch, sorted by plan index — the lock
+// set ExecWindowBatch acquires once around a whole batch instead of per
+// access. Plan-index order is the global multi-lock order: every batch
+// sorts the same way regardless of kernel, and every other acquirer
+// (per-window exec, control plane) holds at most one of these locks at a
+// time, so concurrent batches cannot deadlock. Private tables compiled
+// for undeclared names are unreachable from any other kernel or the
+// control plane; they sort after the shared ones in discovery order.
+func (kp *kernelPlan) collectState(pl *plan) {
+	regIdx := make(map[*regArray]int, len(pl.regs))
+	for i, r := range pl.regs {
+		regIdx[r] = i
+	}
+	tblIdx := make(map[*matTable]int, len(pl.tables))
+	for i, t := range pl.tables {
+		tblIdx[t] = i
+	}
+	seenReg := map[*regArray]bool{}
+	seenTbl := map[*matTable]bool{}
+	var private []*matTable
+	for _, pass := range kp.passes {
+		for si := range pass {
+			st := &pass[si]
+			for i := range st.salus {
+				if r := st.salus[i].reg; !seenReg[r] {
+					seenReg[r] = true
+					kp.regsUsed = append(kp.regsUsed, r)
+				}
+			}
+			for i := range st.tables {
+				t := st.tables[i].tbl
+				if seenTbl[t] {
+					continue
+				}
+				seenTbl[t] = true
+				if _, shared := tblIdx[t]; shared {
+					kp.tablesUsed = append(kp.tablesUsed, t)
+				} else {
+					private = append(private, t)
+				}
+			}
+		}
+	}
+	sort.Slice(kp.regsUsed, func(a, b int) bool {
+		return regIdx[kp.regsUsed[a]] < regIdx[kp.regsUsed[b]]
+	})
+	sort.Slice(kp.tablesUsed, func(a, b int) bool {
+		return tblIdx[kp.tablesUsed[a]] < tblIdx[kp.tablesUsed[b]]
+	})
+	kp.tablesUsed = append(kp.tablesUsed, private...)
+}
+
+// lockState acquires the kernel's whole lock set for a batch: registers
+// first (plan-index order, exclusive — SALUs mutate), then tables
+// (read-locked — the data plane only looks up). Pair with unlockState.
+func (kp *kernelPlan) lockState() {
+	for _, r := range kp.regsUsed {
+		r.mu.Lock()
+	}
+	for _, t := range kp.tablesUsed {
+		t.mu.RLock()
+	}
+}
+
+// unlockState releases lockState's acquisitions in reverse order.
+func (kp *kernelPlan) unlockState() {
+	for i := len(kp.tablesUsed) - 1; i >= 0; i-- {
+		kp.tablesUsed[i].mu.RUnlock()
+	}
+	for i := len(kp.regsUsed) - 1; i >= 0; i-- {
+		kp.regsUsed[i].mu.Unlock()
+	}
 }
 
 func (pl *plan) compileStage(k *Kernel, st *Stage) (stagePlan, error) {
@@ -350,15 +433,17 @@ func readMOperand(o MOperand, snap []uint64, slots *[numMSlots]uint64) uint64 {
 }
 
 // execPasses runs the kernel's pipeline passes over the PHV in s.phv,
-// using s.snap as the reusable stage-input snapshot.
-func (kp *kernelPlan) execPasses(met *pisaMetrics, s *execScratch) error {
+// using s.snap as the reusable stage-input snapshot. locked means the
+// caller already holds the kernel's whole lock set (lockState): every
+// per-access register/table acquisition below is skipped.
+func (kp *kernelPlan) execPasses(met *pisaMetrics, s *execScratch, locked bool) error {
 	for _, pass := range kp.passes {
 		met.passes.Inc()
 		for si := range pass {
 			if si < len(met.stageExecs) {
 				met.stageExecs[si].Inc()
 			}
-			if err := pass[si].exec(met, s.phv, s.snap, s.suppress); err != nil {
+			if err := pass[si].exec(met, s.phv, s.snap, s.suppress, locked); err != nil {
 				return err
 			}
 		}
@@ -371,15 +456,19 @@ func (kp *kernelPlan) execPasses(met *pisaMetrics, s *execScratch) error {
 // skips state-mutating SALUs (exactly-once duplicate windows): the
 // register keeps its value and the SALU's Out field is not written, so a
 // duplicate contribution neither re-applies nor re-triggers the kernel's
-// completion path.
-func (sp *stagePlan) exec(met *pisaMetrics, phv, snap []uint64, suppress bool) error {
+// completion path. locked: the caller holds the lock set already.
+func (sp *stagePlan) exec(met *pisaMetrics, phv, snap []uint64, suppress, locked bool) error {
 	copy(snap, phv)
 	for i := range sp.tables {
 		ti := &sp.tables[i]
 		key := readOperand(ti.key, snap)
-		ti.tbl.mu.RLock()
+		if !locked {
+			ti.tbl.mu.RLock()
+		}
 		val, hit := ti.tbl.entries[key]
-		ti.tbl.mu.RUnlock()
+		if !locked {
+			ti.tbl.mu.RUnlock()
+		}
 		if hit {
 			met.tableHits.Inc()
 		} else {
@@ -407,7 +496,7 @@ func (sp *stagePlan) exec(met *pisaMetrics, phv, snap []uint64, suppress bool) e
 				continue
 			}
 		}
-		if err := sa.exec(snap, phv); err != nil {
+		if err := sa.exec(snap, phv, locked); err != nil {
 			return err
 		}
 	}
@@ -423,19 +512,23 @@ func (sp *stagePlan) exec(met *pisaMetrics, phv, snap []uint64, suppress bool) e
 }
 
 // exec runs one atomic stateful read-modify-write under the array's own
-// lock. The slot file lives on the stack, so the hot path allocates
-// nothing.
-func (sa *saluInstr) exec(snap, phv []uint64) error {
+// lock (or the caller's batch lock when locked is set). The slot file
+// lives on the stack, so the hot path allocates nothing.
+func (sa *saluInstr) exec(snap, phv []uint64, locked bool) error {
 	idxv := sa.index.Const
 	if !sa.index.IsConst {
 		idxv = snap[sa.index.Field]
 	}
 	reg := sa.reg
 	var slots [numMSlots]uint64
-	reg.mu.Lock()
+	if !locked {
+		reg.mu.Lock()
+	}
 	if idxv >= uint64(len(reg.vals)) {
 		n := len(reg.vals)
-		reg.mu.Unlock()
+		if !locked {
+			reg.mu.Unlock()
+		}
 		return fmt.Errorf("pisa: register %s index %d out of range (%d elements)", sa.name, idxv, n)
 	}
 	slots[MReg] = reg.vals[idxv]
@@ -455,7 +548,9 @@ func (sa *saluInstr) exec(snap, phv []uint64) error {
 			var err error
 			v, err = alu(mo.Op, mo.Signed, readMOperand(mo.A, snap, &slots), readMOperand(mo.B, snap, &slots), sa.bits)
 			if err != nil {
-				reg.mu.Unlock()
+				if !locked {
+					reg.mu.Unlock()
+				}
 				return fmt.Errorf("pisa: salu %s: %w", sa.name, err)
 			}
 		}
@@ -463,7 +558,9 @@ func (sa *saluInstr) exec(snap, phv []uint64) error {
 		slots[mo.Dst] = normalize(v, sa.bits, sa.signed)
 	}
 	reg.vals[idxv] = normalize(slots[MReg], sa.bits, sa.signed)
-	reg.mu.Unlock()
+	if !locked {
+		reg.mu.Unlock()
+	}
 	if sa.out != NoField {
 		phv[sa.out] = normalize(slots[MOut], sa.outBits, sa.outSigned)
 	}

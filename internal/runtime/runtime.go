@@ -73,6 +73,11 @@ type AppConfig struct {
 	// A full inbox drops and counts fabric.<label>.inbox_drops rather
 	// than blocking the sender.
 	FabricInboxCap int
+	// FabricDrainBatch is a deployment-level knob consumed by core.Deploy:
+	// how many packets a fabric inbox goroutine drains per wakeup
+	// (0 = netsim.DefaultDrainBatch; 1 = per-packet delivery, the
+	// pre-batching behavior benchmarks use as a baseline).
+	FabricDrainBatch int
 	// NonIdempotent names the out-kernels whose switch-side execution
 	// mutates register state (derived by core from the compiled programs'
 	// stateful ALUs). OutReliable marks windows for these kernels with
@@ -584,12 +589,36 @@ type Invocation struct {
 // sendScratch is per-worker reusable send state: a pooled encode buffer,
 // a user-value scratch slice, and locally batched counter deltas flushed
 // once per worker chunk so the shared atomics aren't contended per
-// window.
+// window. When bs is set (outRange over a batch-capable transport),
+// encoded packets queue in qTos/qPkts and leave in SendBatch groups of
+// sendFlushEvery instead of one transport call each.
 type sendScratch struct {
 	payload []byte
 	user    []uint64
 	windows uint64
 	packets uint64
+
+	bs    netsim.BatchSender
+	qTos  []string
+	qPkts []*netsim.Packet
+}
+
+// sendFlushEvery is how many queued packets outRange accumulates before
+// handing them to the transport in one SendBatch.
+const sendFlushEvery = 32
+
+// flushSendQueue hands all queued packets to the batch transport.
+func (h *Host) flushSendQueue(sc *sendScratch) error {
+	if len(sc.qPkts) == 0 {
+		return nil
+	}
+	err := sc.bs.SendBatch(h.label, sc.qTos, sc.qPkts)
+	for i := range sc.qPkts {
+		sc.qPkts[i] = nil
+	}
+	sc.qTos = sc.qTos[:0]
+	sc.qPkts = sc.qPkts[:0]
+	return err
 }
 
 var sendPool = sync.Pool{New: func() any { return new(sendScratch) }}
@@ -727,7 +756,23 @@ func (h *Host) Out(inv Invocation, arrays [][]uint64) error {
 // single windows when batch <= 1, else multi-window packets of batch
 // consecutive windows (the trailing partial batch ships smaller). The
 // scratch provides the reusable encode buffer and counter batching.
+// Over a batch-capable transport the encoded packets leave in SendBatch
+// groups (per-destination order preserved) rather than one Send each.
 func (h *Host) outRange(inv Invocation, wid uint32, arrays [][]uint64, specs []ncp.ParamSpec, lo, hi, batch, windows int, sc *sendScratch) error {
+	if bs, ok := h.send.(netsim.BatchSender); ok {
+		sc.bs = bs
+	}
+	err := h.outRangeSend(inv, wid, arrays, specs, lo, hi, batch, windows, sc)
+	if sc.bs != nil {
+		if ferr := h.flushSendQueue(sc); err == nil {
+			err = ferr
+		}
+		sc.bs = nil
+	}
+	return err
+}
+
+func (h *Host) outRangeSend(inv Invocation, wid uint32, arrays [][]uint64, specs []ncp.ParamSpec, lo, hi, batch, windows int, sc *sendScratch) error {
 	W := h.cfg.WindowLen
 	winData := make([][]uint64, len(specs))
 	winAt := func(seq int) [][]uint64 {
@@ -791,7 +836,7 @@ func (h *Host) sendBatch(inv Invocation, wid, firstSeq uint32, count uint8, payl
 	if err != nil {
 		return err
 	}
-	if err := h.transmit(inv.Dest, pkt); err != nil {
+	if err := h.transmitSc(inv.Dest, pkt, sc); err != nil {
 		return err
 	}
 	sc.windows += uint64(count)
@@ -920,7 +965,7 @@ func (h *Host) sendWindowScratch(inv Invocation, wid, seq uint32, winData [][]ui
 		if err != nil {
 			return err
 		}
-		if err := h.transmit(inv.Dest, pkt); err != nil {
+		if err := h.transmitSc(inv.Dest, pkt, sc); err != nil {
 			return err
 		}
 		sc.windows++
@@ -946,7 +991,7 @@ func (h *Host) sendWindowScratch(inv Invocation, wid, seq uint32, winData [][]ui
 		if err != nil {
 			return err
 		}
-		if err := h.transmit(inv.Dest, pkt); err != nil {
+		if err := h.transmitSc(inv.Dest, pkt, sc); err != nil {
 			return err
 		}
 		sc.packets++
@@ -961,6 +1006,27 @@ func (h *Host) transmit(dest string, data []byte) error {
 		return fmt.Errorf("runtime: no route from %s to %s", h.label, dest)
 	}
 	return h.send.Send(h.label, hop, &netsim.Packet{Src: h.label, Dst: dest, Data: data})
+}
+
+// transmitSc is transmit with scratch-local send batching: when the
+// scratch carries a batch transport (outRange set sc.bs), the packet
+// queues and leaves with the next SendBatch group. Reliable traffic
+// never queues — only outRange enables sc.bs, and it sends plain
+// windows; the retransmit/ack paths go through transmit directly.
+func (h *Host) transmitSc(dest string, data []byte, sc *sendScratch) error {
+	if sc.bs == nil {
+		return h.transmit(dest, data)
+	}
+	hop, ok := h.route[dest]
+	if !ok {
+		return fmt.Errorf("runtime: no route from %s to %s", h.label, dest)
+	}
+	sc.qTos = append(sc.qTos, hop)
+	sc.qPkts = append(sc.qPkts, &netsim.Packet{Src: h.label, Dst: dest, Data: data})
+	if len(sc.qPkts) >= sendFlushEvery {
+		return h.flushSendQueue(sc)
+	}
+	return nil
 }
 
 // checkUserFields rejects invocation window-field values that do not

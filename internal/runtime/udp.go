@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"ncl/internal/and"
 	"ncl/internal/netsim"
@@ -17,14 +18,31 @@ import (
 //
 // Datagram framing: [1B fromLen][from][1B dstLen][dst][payload]; the
 // overlay neighbor relationship is validated on send, like the fabric.
+//
+// The conn/addr tables are immutable once the sockets are bound, so the
+// send hot path reads them through an atomically-published snapshot
+// (udpView) instead of taking a mutex per packet; Stop publishes a
+// closed view before closing the sockets. SendBatch queues a burst of
+// frames and hands them to the kernel in one sendmmsg on Linux (one
+// syscall for the whole batch), falling back to a WriteToUDP loop
+// elsewhere.
 type UDPNet struct {
 	network *and.Network
 
-	mu     sync.Mutex
-	addrs  map[string]*net.UDPAddr
+	// view is the read-only send-path snapshot (conns, addrs, closed).
+	view atomic.Pointer[udpView]
+
+	mu    sync.Mutex
+	nodes map[string]netsim.Node
+	wg    sync.WaitGroup
+}
+
+// udpView is the immutable state Send needs per packet. A fresh view is
+// published at bind time and again (closed=true) at Stop; readers never
+// see a partially-updated table.
+type udpView struct {
 	conns  map[string]*net.UDPConn
-	nodes  map[string]netsim.Node
-	wg     sync.WaitGroup
+	addrs  map[string]*net.UDPAddr
 	closed bool
 }
 
@@ -32,18 +50,27 @@ type UDPNet struct {
 func NewUDPNet(network *and.Network) (*UDPNet, error) {
 	u := &UDPNet{
 		network: network,
-		addrs:   map[string]*net.UDPAddr{},
-		conns:   map[string]*net.UDPConn{},
 		nodes:   map[string]netsim.Node{},
 	}
+	v := &udpView{
+		conns: map[string]*net.UDPConn{},
+		addrs: map[string]*net.UDPAddr{},
+	}
+	u.view.Store(v)
 	for _, n := range network.Nodes {
 		conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0})
 		if err != nil {
 			u.Stop()
 			return nil, fmt.Errorf("runtime: binding %s: %w", n.Label, err)
 		}
-		u.conns[n.Label] = conn
-		u.addrs[n.Label] = conn.LocalAddr().(*net.UDPAddr)
+		// Batched sends burst harder than the old one-datagram-per-syscall
+		// sender; size the socket buffers so a burst doesn't overrun the
+		// receiver before its reader drains (best-effort: the kernel clamps
+		// to its rmem/wmem limits).
+		conn.SetReadBuffer(4 << 20)
+		conn.SetWriteBuffer(4 << 20)
+		v.conns[n.Label] = conn
+		v.addrs[n.Label] = conn.LocalAddr().(*net.UDPAddr)
 	}
 	return u, nil
 }
@@ -55,7 +82,7 @@ func (u *UDPNet) Network() *and.Network { return u.network }
 func (u *UDPNet) Attach(n netsim.Node) error {
 	u.mu.Lock()
 	defer u.mu.Unlock()
-	if _, ok := u.conns[n.Label()]; !ok {
+	if _, ok := u.view.Load().conns[n.Label()]; !ok {
 		return fmt.Errorf("runtime: no socket for %q", n.Label())
 	}
 	if _, dup := u.nodes[n.Label()]; dup {
@@ -65,49 +92,71 @@ func (u *UDPNet) Attach(n netsim.Node) error {
 	return nil
 }
 
+// recvPool recycles per-datagram receive buffers. A buffer is handed to
+// the node zero-copy (the decoded payload aliases it) and reclaimed as
+// soon as Receive returns: nothing in the system retains pkt.Data past
+// that point — hosts copy window payloads at enqueue, switches repack
+// into fresh bytes, and UDP forwards copy into the kernel synchronously.
+var recvPool = sync.Pool{New: func() any {
+	b := make([]byte, 65536)
+	return &b
+}}
+
 // Start launches a reader goroutine per socket.
 func (u *UDPNet) Start() error {
 	u.mu.Lock()
 	defer u.mu.Unlock()
+	v := u.view.Load()
 	for _, n := range u.network.Nodes {
 		node, ok := u.nodes[n.Label]
 		if !ok {
 			return fmt.Errorf("runtime: AND node %q has no attached implementation", n.Label)
 		}
-		conn := u.conns[n.Label]
+		conn := v.conns[n.Label]
 		u.wg.Add(1)
 		go func(node netsim.Node, conn *net.UDPConn) {
 			defer u.wg.Done()
-			buf := make([]byte, 65536)
 			for {
+				bufp := recvPool.Get().(*[]byte)
+				buf := *bufp
 				n, _, err := conn.ReadFromUDP(buf)
 				if err != nil {
+					recvPool.Put(bufp)
 					return // socket closed
 				}
-				from, dst, payload, err := decodeFrame(buf[:n])
+				from, dst, payload, err := decodeFrameZero(buf[:n])
 				if err != nil {
+					recvPool.Put(bufp)
 					continue
 				}
 				pkt := &netsim.Packet{Src: from, Dst: dst, Data: payload}
 				node.Receive(u, pkt, from)
+				recvPool.Put(bufp)
 			}
 		}(node, conn)
 	}
 	return nil
 }
 
+// sendView resolves the hot-path state for one send, lock-free.
+func (u *UDPNet) sendView(from, to string) (*net.UDPConn, *net.UDPAddr, error) {
+	if u.network.LinkBetween(from, to) == nil {
+		return nil, nil, fmt.Errorf("runtime: %s and %s are not overlay neighbors", from, to)
+	}
+	v := u.view.Load()
+	conn := v.conns[from]
+	addr := v.addrs[to]
+	if v.closed || conn == nil || addr == nil {
+		return nil, nil, fmt.Errorf("runtime: UDP transport closed or unknown node")
+	}
+	return conn, addr, nil
+}
+
 // Send implements netsim.Sender over UDP.
 func (u *UDPNet) Send(from, to string, pkt *netsim.Packet) error {
-	if u.network.LinkBetween(from, to) == nil {
-		return fmt.Errorf("runtime: %s and %s are not overlay neighbors", from, to)
-	}
-	u.mu.Lock()
-	conn := u.conns[from]
-	addr := u.addrs[to]
-	closed := u.closed
-	u.mu.Unlock()
-	if closed || conn == nil || addr == nil {
-		return fmt.Errorf("runtime: UDP transport closed or unknown node")
+	conn, addr, err := u.sendView(from, to)
+	if err != nil {
+		return err
 	}
 	// WriteToUDP copies the frame into the kernel before returning, so
 	// the buffer can be pooled across sends.
@@ -123,6 +172,76 @@ func (u *UDPNet) Send(from, to string, pkt *netsim.Packet) error {
 	return err
 }
 
+// batchScratch is the reusable frame queue of one SendBatch call.
+type batchScratch struct {
+	bufps  []*[]byte
+	frames [][]byte
+	addrs  []*net.UDPAddr
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+func (b *batchScratch) release() {
+	for i, bufp := range b.bufps {
+		framePool.Put(bufp)
+		b.bufps[i] = nil
+		b.frames[i] = nil
+		b.addrs[i] = nil
+	}
+	b.bufps = b.bufps[:0]
+	b.frames = b.frames[:0]
+	b.addrs = b.addrs[:0]
+	batchPool.Put(b)
+}
+
+// SendBatch implements netsim.BatchSender over UDP: all frames are
+// encoded into pooled buffers first, then handed to the kernel in one
+// sendmmsg per run on Linux (WriteToUDP loop elsewhere). All packets
+// share one source node, so one socket carries the whole batch.
+func (u *UDPNet) SendBatch(from string, tos []string, pkts []*netsim.Packet) error {
+	if len(tos) != len(pkts) {
+		return fmt.Errorf("runtime: SendBatch got %d destinations for %d packets", len(tos), len(pkts))
+	}
+	if len(pkts) == 0 {
+		return nil
+	}
+	var conn *net.UDPConn
+	b := batchPool.Get().(*batchScratch)
+	for i, pkt := range pkts {
+		c, addr, err := u.sendView(from, tos[i])
+		if err != nil {
+			b.release()
+			return err
+		}
+		conn = c // same `from` for the whole batch: one socket
+		bufp := framePool.Get().(*[]byte)
+		frame, err := appendFrame((*bufp)[:0], from, pkt.Dst, pkt.Data)
+		if err != nil {
+			framePool.Put(bufp)
+			b.release()
+			return err
+		}
+		*bufp = frame
+		b.bufps = append(b.bufps, bufp)
+		b.frames = append(b.frames, frame)
+		b.addrs = append(b.addrs, addr)
+	}
+	err := sendBatchOS(conn, b.frames, b.addrs)
+	b.release()
+	return err
+}
+
+// sendBatchLoop is the portable batch drain: one WriteToUDP per frame
+// (the Linux path only lands here when sendmmsg is unusable).
+func sendBatchLoop(conn *net.UDPConn, frames [][]byte, addrs []*net.UDPAddr) error {
+	for i := range frames {
+		if _, err := conn.WriteToUDP(frames[i], addrs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 var framePool = sync.Pool{New: func() any {
 	b := make([]byte, 0, 2048)
 	return &b
@@ -131,26 +250,23 @@ var framePool = sync.Pool{New: func() any {
 // Stop closes all sockets and waits for readers.
 func (u *UDPNet) Stop() {
 	u.mu.Lock()
-	if u.closed {
+	v := u.view.Load()
+	if v.closed {
 		u.mu.Unlock()
 		return
 	}
-	u.closed = true
-	conns := make([]*net.UDPConn, 0, len(u.conns))
-	for _, c := range u.conns {
-		if c != nil {
-			conns = append(conns, c)
-		}
-	}
+	u.view.Store(&udpView{conns: v.conns, addrs: v.addrs, closed: true})
 	u.mu.Unlock()
-	for _, c := range conns {
-		c.Close()
+	for _, c := range v.conns {
+		if c != nil {
+			c.Close()
+		}
 	}
 	u.wg.Wait()
 }
 
 // Addr returns the bound address of a node (tests and diagnostics).
-func (u *UDPNet) Addr(label string) *net.UDPAddr { return u.addrs[label] }
+func (u *UDPNet) Addr(label string) *net.UDPAddr { return u.view.Load().addrs[label] }
 
 func encodeFrame(from, dst string, payload []byte) ([]byte, error) {
 	return appendFrame(nil, from, dst, payload)
@@ -169,7 +285,20 @@ func appendFrame(dst []byte, from, to string, payload []byte) ([]byte, error) {
 	return dst, nil
 }
 
+// decodeFrame parses a frame, copying the payload out (callers that
+// retain it past the frame buffer's lifetime).
 func decodeFrame(frame []byte) (from, dst string, payload []byte, err error) {
+	from, dst, payload, err = decodeFrameZero(frame)
+	if err != nil {
+		return "", "", nil, err
+	}
+	return from, dst, append([]byte(nil), payload...), nil
+}
+
+// decodeFrameZero parses a frame with the payload aliasing the input —
+// the reader's pooled-buffer path (the buffer outlives Receive, which is
+// all any node needs; see recvPool).
+func decodeFrameZero(frame []byte) (from, dst string, payload []byte, err error) {
 	if len(frame) < 2 {
 		return "", "", nil, fmt.Errorf("runtime: short frame")
 	}
@@ -183,6 +312,5 @@ func decodeFrame(frame []byte) (from, dst string, payload []byte, err error) {
 		return "", "", nil, fmt.Errorf("runtime: truncated dst label")
 	}
 	dst = string(frame[1+fl+1 : 1+fl+1+dl])
-	payload = append([]byte(nil), frame[1+fl+1+dl:]...)
-	return from, dst, payload, nil
+	return from, dst, frame[1+fl+1+dl:], nil
 }

@@ -1,0 +1,14 @@
+//go:build !(linux && (amd64 || arm64))
+
+package runtime
+
+import "net"
+
+// sendBatchOS without a usable sendmmsg (non-Linux, or an arch whose
+// frozen syscall table predates it): the batch drains through the
+// ordinary one-datagram-at-a-time write loop. The frames are already
+// encoded, so the amortization of the lock-free view lookup and frame
+// encoding still holds.
+func sendBatchOS(conn *net.UDPConn, frames [][]byte, addrs []*net.UDPAddr) error {
+	return sendBatchLoop(conn, frames, addrs)
+}

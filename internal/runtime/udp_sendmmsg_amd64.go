@@ -1,0 +1,8 @@
+//go:build linux
+
+package runtime
+
+// sendmmsg's syscall number on linux/amd64 — absent from the frozen
+// syscall package's amd64 table, so pinned here against the kernel ABI
+// (it is stable by definition).
+const sysSENDMMSG = 307

@@ -1,0 +1,7 @@
+//go:build linux
+
+package runtime
+
+// sendmmsg's syscall number on linux/arm64 (matches the frozen syscall
+// package's SYS_SENDMMSG; pinned here so both arches read one name).
+const sysSENDMMSG = 269
