@@ -72,6 +72,7 @@ func main() {
 	inboxCap := flag.Int("inbox-cap", 0, "fabric per-node inbox capacity (0 = default 4096; full inboxes drop+count)")
 	drainBatch := flag.Int("drain-batch", 0, "fabric packets drained per inbox wakeup (0 = default 64; 1 = per-packet delivery)")
 	serve := flag.String("serve", "", "serve /metrics, /snapshot, /trace, and pprof on this address (e.g. :9090) and keep driving windows until interrupted")
+	fattree := flag.Int("fattree", 0, "deploy onto a generated k-ary fat-tree physical network via the placement engine (overlay host labels must name fat-tree hosts; implies end-to-end mode)")
 	flag.Parse()
 	if flag.NArg() != 1 || *andPath == "" || *kernel == "" {
 		fmt.Fprintln(os.Stderr, "usage: ncl-run -and <file.and> -kernel <name> [-loc s1] [-data ...] [-metrics] [-trace N] <file.ncl>")
@@ -93,12 +94,12 @@ func main() {
 	})
 	must(err)
 
-	if *metrics || *traceEvery > 0 || *reliable || *serve != "" {
+	if *metrics || *traceEvery > 0 || *reliable || *serve != "" || *fattree > 0 {
 		var ropts *ncl.ReliableOptions
 		if *reliable {
 			ropts = &ncl.ReliableOptions{Window: *relWindow, Timeout: *relTimeout, Retries: *relRetries}
 		}
-		runE2E(art, *kernel, *data, *meta, *repeat, *traceEvery, *metrics, *from, *dest, ropts, *serve)
+		runE2E(art, *kernel, *data, *meta, *repeat, *traceEvery, *metrics, *from, *dest, ropts, *serve, *fattree)
 		return
 	}
 
@@ -195,8 +196,9 @@ func main() {
 // through the reliable sliding-window transport instead of OutWindow.
 // A non-empty serveAddr turns on the live telemetry plane and keeps
 // re-driving the windows until SIGINT/SIGTERM so scrapes see moving
-// rates.
-func runE2E(art *core.Artifact, kernel, data, meta string, repeat, traceEvery int, metrics bool, from, dest string, ropts *ncl.ReliableOptions, serveAddr string) {
+// rates. fattree > 0 generates a k-ary fat-tree physical network and
+// deploys the overlay onto it through the placement engine.
+func runE2E(art *core.Artifact, kernel, data, meta string, repeat, traceEvery int, metrics bool, from, dest string, ropts *ncl.ReliableOptions, serveAddr string, fattree int) {
 	hosts := art.Net.Hosts()
 	if len(hosts) == 0 {
 		must(fmt.Errorf("the AND has no hosts (end-to-end mode needs one)"))
@@ -208,8 +210,24 @@ func runE2E(art *core.Artifact, kernel, data, meta string, repeat, traceEvery in
 		dest = hosts[len(hosts)-1].Label
 	}
 
-	dep, err := art.Deploy(ncl.Faults{})
-	must(err)
+	var dep *ncl.Deployment
+	var err error
+	if fattree > 0 {
+		var fat *ncl.Network
+		fat, err = ncl.FatTree(fattree)
+		must(err)
+		dep, err = art.DeployOn(fat, ncl.PlacedOptions{})
+		must(err)
+		pl := dep.Controller.Placement()
+		fmt.Printf("placed overlay on k=%d fat-tree (%d switches, %d hosts), cost %d hops:\n",
+			fattree, len(fat.Switches()), len(fat.Hosts()), pl.CostHops)
+		for _, sw := range art.Net.Switches() {
+			fmt.Printf("  %s -> %s\n", sw.Label, pl.Assign[sw.Label])
+		}
+	} else {
+		dep, err = art.Deploy(ncl.Faults{})
+		must(err)
+	}
 	defer dep.Stop()
 
 	sender, ok := dep.Hosts[from]

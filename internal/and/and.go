@@ -46,6 +46,12 @@ type Node struct {
 	Kind  NodeKind
 	ID    uint32 // switch location id (location.id); host id
 	Role  uint32 // host role (window.from carries the sender's role)
+
+	// Tier and Rack are topology annotations set by generators such as
+	// FatTree: Tier classifies a switch's layer, Rack names the edge
+	// switch a host hangs off. Parsed ANDs leave them zero.
+	Tier Tier
+	Rack string
 }
 
 // Link is one overlay adjacency.
@@ -62,6 +68,25 @@ type Network struct {
 
 	byLabel map[string]*Node
 	adj     map[string][]string
+	linkIdx map[[2]string]*Link // unordered endpoint pair -> link
+}
+
+// addLink records a link and both adjacency directions, indexing it for
+// O(1) LinkBetween lookups (the virtual clock stamps every packet).
+func (n *Network) addLink(l *Link) {
+	n.Links = append(n.Links, l)
+	n.adj[l.A] = append(n.adj[l.A], l.B)
+	n.adj[l.B] = append(n.adj[l.B], l.A)
+	if n.linkIdx == nil {
+		n.linkIdx = map[[2]string]*Link{}
+	}
+	a, b := l.A, l.B
+	if a > b {
+		a, b = b, a
+	}
+	if _, dup := n.linkIdx[[2]string{a, b}]; !dup {
+		n.linkIdx[[2]string{a, b}] = l
+	}
 }
 
 // Parse reads an AND document.
@@ -231,9 +256,7 @@ func Parse(src string) (*Network, error) {
 				}
 				nl := *l
 				nl.A, nl.B = a, b
-				n.Links = append(n.Links, &nl)
-				n.adj[a] = append(n.adj[a], b)
-				n.adj[b] = append(n.adj[b], a)
+				n.addLink(&nl)
 			}
 		}
 	}
@@ -332,52 +355,59 @@ func (n *Network) Neighbors(label string) []string {
 
 // LinkBetween returns the link connecting a and b, or nil.
 func (n *Network) LinkBetween(a, b string) *Link {
-	for _, l := range n.Links {
-		if (l.A == a && l.B == b) || (l.A == b && l.B == a) {
-			return l
-		}
+	if a > b {
+		a, b = b, a
 	}
-	return nil
+	return n.linkIdx[[2]string{a, b}]
 }
 
 // NextHops computes shortest-path first hops from every node to every
 // other node (BFS, unit weights): the routing tables the paper's assumed
 // mapping mechanism would install (§3.2). Deterministic: ties break by
-// label order.
+// label order (the first hop of NextHopsAll's sorted equal-cost set).
 func (n *Network) NextHops() map[string]map[string]string {
-	out := map[string]map[string]string{}
+	all := n.NextHopsAll()
+	out := make(map[string]map[string]string, len(all))
+	for src, dsts := range all {
+		hops := make(map[string]string, len(dsts))
+		for dst, set := range dsts {
+			hops[dst] = set[0]
+		}
+		out[src] = hops
+	}
+	return out
+}
+
+// NextHopsAll computes, for every (src, dst) pair, the full set of
+// equal-cost shortest-path first hops out of src (BFS, unit weights),
+// sorted by label. This is the ECMP table: a fat-tree edge switch sees
+// all k/2 aggregation uplinks for a remote destination, and callers
+// spread flows across the set with PickHop instead of collapsing onto
+// the lexicographically first path.
+func (n *Network) NextHopsAll() map[string]map[string][]string {
+	return n.NextHopsAvoiding(nil)
+}
+
+// NextHopsAvoiding is NextHopsAll computed on the subgraph that excludes
+// the nodes in avoid (nil = none): the post-failure routing tables after
+// Fabric.FailNode takes a switch out.
+func (n *Network) NextHopsAvoiding(avoid map[string]bool) map[string]map[string][]string {
+	// One BFS per destination yields dist(v, dst) for all v; the
+	// equal-cost hops out of src toward dst are exactly the neighbors one
+	// step closer to dst.
+	out := map[string]map[string][]string{}
 	for _, src := range n.Nodes {
-		// BFS from src, recording parents.
-		parent := map[string]string{src.Label: ""}
-		queue := []string{src.Label}
-		for len(queue) > 0 {
-			cur := queue[0]
-			queue = queue[1:]
-			nbs := append([]string(nil), n.adj[cur]...)
-			sort.Strings(nbs)
-			for _, nb := range nbs {
-				if _, seen := parent[nb]; !seen {
-					parent[nb] = cur
-					queue = append(queue, nb)
-				}
-			}
+		if !avoid[src.Label] {
+			out[src.Label] = map[string][]string{}
 		}
-		hops := map[string]string{}
-		for _, dst := range n.Nodes {
-			if dst.Label == src.Label {
-				continue
-			}
-			if _, ok := parent[dst.Label]; !ok {
-				continue
-			}
-			// Walk back from dst to the first hop out of src.
-			cur := dst.Label
-			for parent[cur] != src.Label {
-				cur = parent[cur]
-			}
-			hops[dst.Label] = cur
+	}
+	for _, dst := range n.Nodes {
+		if avoid[dst.Label] {
+			continue
 		}
-		out[src.Label] = hops
+		for src, hops := range n.NextHopsToward(dst.Label, avoid) {
+			out[src][dst.Label] = hops
+		}
 	}
 	return out
 }

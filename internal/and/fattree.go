@@ -1,0 +1,240 @@
+// Fat-tree topology generation: the parameterized Clos fabrics the
+// paper's deployment story assumes (§3.2's "external mechanism" maps an
+// overlay onto a physical data-center network). A k-ary fat-tree has
+// (k/2)^2 core switches, k pods of k/2 aggregation + k/2 edge switches,
+// and k/2 hosts per edge switch (k^3/4 hosts total); every inter-host
+// path is at most 5 hops and edge/agg layers are fully ECMP-multipathed.
+package and
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// Tier classifies a switch's layer in a generated fat-tree. Parsed ANDs
+// leave it TierNone.
+type Tier int
+
+const (
+	// TierNone is a switch outside any generated tier structure.
+	TierNone Tier = iota
+	// TierEdge switches (ToR) connect hosts.
+	TierEdge
+	// TierAgg switches connect edge switches within a pod.
+	TierAgg
+	// TierCore switches connect pods.
+	TierCore
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierEdge:
+		return "edge"
+	case TierAgg:
+		return "agg"
+	case TierCore:
+		return "core"
+	}
+	return "none"
+}
+
+// FatTree generates a k-ary fat-tree network. k must be even and >= 2.
+// Labels: core switches are core0..core((k/2)^2-1); pod p has
+// aggregation switches p<p>a0..p<p>a(k/2-1) and edge switches
+// p<p>e0..p<p>e(k/2-1); hosts are h0..h(k^3/4-1) in pod-major order.
+// Every host carries its rack label (the edge switch it hangs off) in
+// Node.Rack, and switches carry their Tier. Links use the default
+// bandwidth/latency (100 Gb/s, 1 µs).
+func FatTree(k int) (*Network, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("and: fat-tree arity must be even and >= 2, got %d", k)
+	}
+	if k > 32 {
+		return nil, fmt.Errorf("and: fat-tree arity %d too large (max 32, %d hosts)", k, k*k*k/4)
+	}
+	half := k / 2
+	n := &Network{byLabel: map[string]*Node{}, adj: map[string][]string{}}
+	nextSwitchID := uint32(1)
+	addSwitch := func(label string, tier Tier) *Node {
+		node := &Node{Label: label, Kind: SwitchNode, ID: nextSwitchID, Tier: tier}
+		nextSwitchID++
+		n.byLabel[label] = node
+		n.Nodes = append(n.Nodes, node)
+		return node
+	}
+	link := func(a, b string) {
+		n.addLink(&Link{A: a, B: b, GBitsPerS: 100, LatencyUs: 1})
+	}
+
+	cores := make([]string, half*half)
+	for i := range cores {
+		cores[i] = fmt.Sprintf("core%d", i)
+		addSwitch(cores[i], TierCore)
+	}
+	nextHostID := uint32(1)
+	hostN := 0
+	for p := 0; p < k; p++ {
+		aggs := make([]string, half)
+		for j := 0; j < half; j++ {
+			aggs[j] = fmt.Sprintf("p%da%d", p, j)
+			addSwitch(aggs[j], TierAgg)
+			// Aggregation switch j of every pod uplinks to the j-th group
+			// of k/2 core switches — the canonical fat-tree wiring.
+			for c := 0; c < half; c++ {
+				link(aggs[j], cores[j*half+c])
+			}
+		}
+		for j := 0; j < half; j++ {
+			edge := fmt.Sprintf("p%de%d", p, j)
+			addSwitch(edge, TierEdge)
+			for _, agg := range aggs {
+				link(edge, agg)
+			}
+			for h := 0; h < half; h++ {
+				host := &Node{
+					Label: fmt.Sprintf("h%d", hostN),
+					Kind:  HostNode,
+					ID:    nextHostID,
+					Rack:  edge,
+				}
+				hostN++
+				nextHostID++
+				n.byLabel[host.Label] = host
+				n.Nodes = append(n.Nodes, host)
+				link(edge, host.Label)
+			}
+		}
+	}
+	if err := n.validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Format serializes the network back to AND text (switch/host/link
+// directives). Parse(Format(n)) reproduces the same labels, ids, roles,
+// links, and adjacency — the Tier/Rack annotations of generated
+// topologies are not representable in the file format and are dropped.
+func (n *Network) Format() string {
+	var b strings.Builder
+	for _, node := range n.Nodes {
+		switch node.Kind {
+		case SwitchNode:
+			fmt.Fprintf(&b, "switch %s id=%d\n", node.Label, node.ID)
+		case HostNode:
+			if node.Role != 0 {
+				fmt.Fprintf(&b, "host %s role=%d\n", node.Label, node.Role)
+			} else {
+				fmt.Fprintf(&b, "host %s\n", node.Label)
+			}
+		}
+	}
+	for _, l := range n.Links {
+		fmt.Fprintf(&b, "link %s %s", l.A, l.B)
+		if l.GBitsPerS != 100 {
+			fmt.Fprintf(&b, " bw=%g", l.GBitsPerS)
+		}
+		if l.LatencyUs != 1 {
+			fmt.Fprintf(&b, " lat=%g", l.LatencyUs)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// PickHop deterministically selects one of several equal-cost next hops
+// by hashing the flow identity (source and destination labels): the
+// ECMP tie-break that spreads fat-tree traffic across core switches
+// while keeping every flow on one path (so per-flow ordering survives).
+// A single-element list returns that element; an empty list returns "".
+func PickHop(hops []string, flowSrc, flowDst string) string {
+	switch len(hops) {
+	case 0:
+		return ""
+	case 1:
+		return hops[0]
+	}
+	h := fnv.New32a()
+	h.Write([]byte(flowSrc))
+	h.Write([]byte{0})
+	h.Write([]byte(flowDst))
+	return hops[h.Sum32()%uint32(len(hops))]
+}
+
+// Distances returns the hop count from src to every reachable node,
+// skipping nodes in avoid (nil = none). src itself is distance 0; avoid
+// applies to intermediate and destination nodes but never to src.
+func (n *Network) Distances(src string, avoid map[string]bool) map[string]int {
+	dist := map[string]int{src: 0}
+	queue := []string{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		nbs := append([]string(nil), n.adj[cur]...)
+		sort.Strings(nbs)
+		for _, nb := range nbs {
+			if avoid[nb] {
+				continue
+			}
+			if _, seen := dist[nb]; !seen {
+				dist[nb] = dist[cur] + 1
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return dist
+}
+
+// NextHopsToward computes, for every node, the set of equal-cost
+// shortest-path next hops toward dst, skipping nodes in avoid (nil =
+// none; dst itself is never avoided). Hop sets are sorted by label. A
+// node disconnected from dst (under avoid) is absent from the result.
+// This is the building block the controller uses to route traffic for a
+// placed location without transiting other placed switches.
+func (n *Network) NextHopsToward(dst string, avoid map[string]bool) map[string][]string {
+	if avoid[dst] {
+		avoid2 := make(map[string]bool, len(avoid))
+		for k, v := range avoid {
+			avoid2[k] = v
+		}
+		delete(avoid2, dst)
+		avoid = avoid2
+	}
+	dist := n.Distances(dst, avoid)
+	out := map[string][]string{}
+	for _, node := range n.Nodes {
+		if node.Label == dst || avoid[node.Label] {
+			continue
+		}
+		d, ok := dist[node.Label]
+		if !ok {
+			continue
+		}
+		var hops []string
+		for _, nb := range n.adj[node.Label] {
+			if nd, ok := dist[nb]; ok && nd == d-1 {
+				hops = append(hops, nb)
+			}
+		}
+		sort.Strings(hops)
+		hops = dedupSorted(hops)
+		if len(hops) > 0 {
+			out[node.Label] = hops
+		}
+	}
+	return out
+}
+
+// dedupSorted removes adjacent duplicates (parallel links produce
+// duplicate adjacency entries).
+func dedupSorted(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

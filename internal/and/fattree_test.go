@@ -1,0 +1,242 @@
+package and
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestFatTreeShape(t *testing.T) {
+	for _, k := range []int{2, 4, 8} {
+		n, err := FatTree(k)
+		if err != nil {
+			t.Fatalf("FatTree(%d): %v", k, err)
+		}
+		half := k / 2
+		var core, agg, edge, hosts int
+		for _, node := range n.Nodes {
+			switch {
+			case node.Kind == HostNode:
+				hosts++
+				if node.Rack == "" {
+					t.Errorf("k=%d: host %s has no rack", k, node.Label)
+				} else if r := n.NodeByLabel(node.Rack); r == nil || r.Tier != TierEdge {
+					t.Errorf("k=%d: host %s rack %q is not an edge switch", k, node.Label, node.Rack)
+				}
+			case node.Tier == TierCore:
+				core++
+			case node.Tier == TierAgg:
+				agg++
+			case node.Tier == TierEdge:
+				edge++
+			default:
+				t.Errorf("k=%d: switch %s has no tier", k, node.Label)
+			}
+		}
+		if core != half*half {
+			t.Errorf("k=%d: %d core switches, want %d", k, core, half*half)
+		}
+		if agg != k*half || edge != k*half {
+			t.Errorf("k=%d: %d agg / %d edge switches, want %d each", k, agg, edge, k*half)
+		}
+		if hosts != k*k*k/4 {
+			t.Errorf("k=%d: %d hosts, want %d", k, hosts, k*k*k/4)
+		}
+		// Links: each agg has k/2 core uplinks, each edge k/2 agg uplinks,
+		// each host one edge link.
+		wantLinks := k*half*half + k*half*half + k*k*k/4
+		if len(n.Links) != wantLinks {
+			t.Errorf("k=%d: %d links, want %d", k, len(n.Links), wantLinks)
+		}
+	}
+}
+
+func TestFatTreeBadArity(t *testing.T) {
+	for _, k := range []int{0, 1, 3, 7, 34} {
+		if _, err := FatTree(k); err == nil {
+			t.Errorf("FatTree(%d) should fail", k)
+		}
+	}
+}
+
+func TestFatTreeFormatRoundTrip(t *testing.T) {
+	n, err := FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := Parse(n.Format())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if len(n2.Nodes) != len(n.Nodes) || len(n2.Links) != len(n.Links) {
+		t.Fatalf("round trip: %d nodes/%d links, want %d/%d",
+			len(n2.Nodes), len(n2.Links), len(n.Nodes), len(n.Links))
+	}
+	for _, node := range n.Nodes {
+		got := n2.NodeByLabel(node.Label)
+		if got == nil {
+			t.Fatalf("round trip lost node %s", node.Label)
+		}
+		if got.Kind != node.Kind || got.Role != node.Role {
+			t.Errorf("node %s changed: kind %v role %d", node.Label, got.Kind, got.Role)
+		}
+		if node.Kind == SwitchNode && got.ID != node.ID {
+			t.Errorf("switch %s id %d -> %d", node.Label, node.ID, got.ID)
+		}
+		if gotN, wantN := strings.Join(n2.Neighbors(node.Label), ","), strings.Join(n.Neighbors(node.Label), ","); gotN != wantN {
+			t.Errorf("node %s neighbors %s -> %s", node.Label, wantN, gotN)
+		}
+	}
+}
+
+func TestFatTreeDiameter(t *testing.T) {
+	n, err := FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inter-pod host pairs are exactly 6 hops (host-edge-agg-core-agg-edge-host);
+	// same-rack pairs are 2.
+	d := n.Distances("h0", nil)
+	if d["h1"] != 2 {
+		t.Errorf("same-rack distance %d, want 2", d["h1"])
+	}
+	if d["h15"] != 6 {
+		t.Errorf("inter-pod distance %d, want 6", d["h15"])
+	}
+}
+
+func TestFatTreeECMPSpread(t *testing.T) {
+	n, err := FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := n.NextHopsAll()
+	// An edge switch reaching an inter-pod host has both agg uplinks as
+	// equal-cost next hops.
+	hops := all["p0e0"]["h15"]
+	if len(hops) != 2 || hops[0] != "p0a0" || hops[1] != "p0a1" {
+		t.Fatalf("p0e0->h15 equal-cost hops = %v, want [p0a0 p0a1]", hops)
+	}
+	// PickHop must spread distinct flows across the set: with 64 flows and
+	// 2 hops, both must be exercised.
+	used := map[string]int{}
+	for i := 0; i < 64; i++ {
+		src := fmt.Sprintf("h%d", i%16)
+		dst := fmt.Sprintf("h%d", (i*7)%16)
+		used[PickHop(hops, src, dst)]++
+	}
+	if len(used) != 2 {
+		t.Fatalf("PickHop collapsed 64 flows onto %d of 2 hops: %v", len(used), used)
+	}
+	// And must be deterministic per flow.
+	for i := 0; i < 10; i++ {
+		if PickHop(hops, "h0", "h15") != PickHop(hops, "h0", "h15") {
+			t.Fatal("PickHop non-deterministic")
+		}
+	}
+	if PickHop(nil, "a", "b") != "" {
+		t.Error("PickHop(nil) should be empty")
+	}
+	if PickHop([]string{"x"}, "a", "b") != "x" {
+		t.Error("PickHop single should return it")
+	}
+}
+
+// TestNextHopsDiamondShortest is the multipath/asymmetric-graph audit:
+// on a diamond with one stretched arm, every pick must be on a true
+// shortest path, and equal-cost ties must break by label order.
+func TestNextHopsDiamondShortest(t *testing.T) {
+	// a - s1 - b and a - s2 - x - b: the s2 arm is one hop longer.
+	src := `
+switch s1
+switch s2
+switch x
+host a
+host b
+link a s1
+link s1 b
+link a s2
+link s2 x
+link x b
+`
+	n, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hops := n.NextHops()
+	if got := hops["a"]["b"]; got != "s1" {
+		t.Errorf("a->b via %s, want the 2-hop arm s1", got)
+	}
+	if got := hops["b"]["a"]; got != "s1" {
+		t.Errorf("b->a via %s, want the 2-hop arm s1", got)
+	}
+	// Symmetric diamond: both arms equal cost, tie breaks by label.
+	src2 := `
+switch s1
+switch s2
+host a
+host b
+link a s1
+link s1 b
+link a s2
+link s2 b
+`
+	n2, err := Parse(src2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := n2.NextHopsAll()
+	if got := all["a"]["b"]; len(got) != 2 || got[0] != "s1" || got[1] != "s2" {
+		t.Errorf("symmetric diamond a->b hops %v, want [s1 s2]", got)
+	}
+	if got := n2.NextHops()["a"]["b"]; got != "s1" {
+		t.Errorf("symmetric diamond tie-break %s, want s1", got)
+	}
+}
+
+func TestNextHopsAvoiding(t *testing.T) {
+	// Symmetric diamond: with s1 avoided, everything must detour via s2.
+	src := `
+switch s1
+switch s2
+host a
+host b
+link a s1
+link s1 b
+link a s2
+link s2 b
+`
+	n, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avoided := n.NextHopsAvoiding(map[string]bool{"s1": true})
+	if got := avoided["a"]["b"]; len(got) != 1 || got[0] != "s2" {
+		t.Errorf("avoiding s1: a->b hops %v, want [s2]", got)
+	}
+	if _, present := avoided["s1"]; present {
+		t.Error("avoided node should have no routing table")
+	}
+	for dst := range avoided["a"] {
+		if dst == "s1" {
+			t.Error("avoided node should not appear as destination")
+		}
+	}
+}
+
+func TestLinkBetweenIndexed(t *testing.T) {
+	n, err := FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := n.LinkBetween("h0", "p0e0")
+	if l == nil {
+		t.Fatal("missing host-edge link")
+	}
+	if n.LinkBetween("p0e0", "h0") != l {
+		t.Error("LinkBetween not symmetric")
+	}
+	if n.LinkBetween("h0", "h15") != nil {
+		t.Error("phantom link")
+	}
+}

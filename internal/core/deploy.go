@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 
+	"ncl/internal/and"
 	"ncl/internal/controller"
 	"ncl/internal/netsim"
 	"ncl/internal/obs"
+	"ncl/internal/pisa"
 	"ncl/internal/runtime"
 	"ncl/internal/telemetry"
 )
@@ -30,15 +32,71 @@ type Deployment struct {
 // fault plan: one switch device per AND switch, one runtime host per AND
 // host, programs installed, routes populated.
 func (a *Artifact) Deploy(faults netsim.Faults) (*Deployment, error) {
+	return a.deployFabric(controller.New(a.Net), a.Net, faults,
+		func(string) pisa.TargetConfig { return a.Target })
+}
+
+// PlacedOptions configures DeployOn: the fault plan plus the placement
+// engine's knobs (per-switch budgets, exclusions, forced pins).
+type PlacedOptions struct {
+	Faults netsim.Faults
+	// Budget is the per-switch resource envelope (zero value: the
+	// artifact's build target); Budgets overrides it per physical switch.
+	Budget  pisa.TargetConfig
+	Budgets map[string]pisa.TargetConfig
+	// Exclude removes physical switches from placement consideration.
+	Exclude map[string]bool
+	// Pin forces logical switch -> physical switch assignments.
+	Pin map[string]string
+}
+
+// DeployOn instantiates the artifact on a physical network distinct from
+// its logical AND overlay — the §3.2 "external mechanism maps the overlay
+// onto the physical network" step, made concrete. The placement engine
+// assigns each _at_ location to the physical switch minimizing hop count
+// to its senders and receivers (subject to resource budgets); routing,
+// reflect, and bcast state are rewritten so the overlay's semantics
+// survive. Every logical host label must name a physical host; physical
+// hosts outside the overlay idle as null endpoints.
+func (a *Artifact) DeployOn(phys *and.Network, opts PlacedOptions) (*Deployment, error) {
+	budget := opts.Budget
+	if budget == (pisa.TargetConfig{}) {
+		budget = a.Target
+	}
+	ctrl, err := controller.NewPlaced(controller.PlaceOptions{
+		Logical:  a.Net,
+		Physical: phys,
+		Programs: a.Programs,
+		Budget:   budget,
+		Budgets:  opts.Budgets,
+		Exclude:  opts.Exclude,
+		Pin:      opts.Pin,
+	})
+	if err != nil {
+		return nil, err
+	}
+	budgetFor := func(label string) pisa.TargetConfig {
+		if t, ok := opts.Budgets[label]; ok {
+			return t
+		}
+		return budget
+	}
+	return a.deployFabric(ctrl, phys, opts.Faults, budgetFor)
+}
+
+// deployFabric builds a running deployment over net (the physical network;
+// for identity deployments the overlay itself). Every error path tears
+// down whatever was already brought up — switch worker pools, host
+// goroutines, the fabric — so a failed Deploy leaks nothing.
+func (a *Artifact) deployFabric(ctrl *controller.Controller, net *and.Network, faults netsim.Faults, budgetFor func(label string) pisa.TargetConfig) (dep *Deployment, err error) {
 	reg := obs.NewRegistry()
 	cfg := a.AppConfig()
 	cfg.Obs = reg
-	fab := netsim.New(a.Net, faults)
+	fab := netsim.New(net, faults)
 	fab.SetObs(reg)
 	fab.SetInboxCap(cfg.FabricInboxCap)
 	fab.SetDrainBatch(cfg.FabricDrainBatch)
-	ctrl := controller.New(a.Net)
-	dep := &Deployment{
+	dep = &Deployment{
 		Artifact:   a,
 		Fabric:     fab,
 		Controller: ctrl,
@@ -46,37 +104,79 @@ func (a *Artifact) Deploy(faults netsim.Faults) (*Deployment, error) {
 		Switches:   map[string]*netsim.SwitchNode{},
 		Obs:        reg,
 	}
-	for _, sw := range a.Net.Switches() {
-		sn := netsim.NewSwitchNode(sw.Label, a.Target)
+	// Tear down on any error: `return nil, err` clears the named dep
+	// before this runs, so hold our own reference.
+	building := dep
+	defer func() {
+		if err != nil {
+			building.Stop()
+		}
+	}()
+	for _, sw := range net.Switches() {
+		sn := netsim.NewSwitchNode(sw.Label, budgetFor(sw.Label))
 		sn.SetExecWorkers(cfg.ExecWorkers)
+		// Record before any error return so cleanup closes the pool.
+		dep.Switches[sw.Label] = sn
 		// INT queue-depth source: the switch's fabric inbox (the worker
 		// pool's queue takes precedence inside the node when enabled).
 		label := sw.Label
 		sn.SetDepthSource(func() int { return fab.InboxDepth(label) })
-		if err := fab.Attach(sn); err != nil {
+		if err = fab.Attach(sn); err != nil {
 			return nil, err
 		}
-		if err := ctrl.AttachSwitch(sn); err != nil {
+		if err = ctrl.AttachSwitch(sn); err != nil {
 			return nil, err
 		}
-		dep.Switches[sw.Label] = sn
 	}
 	ctrl.SetObs(reg) // cascades to the attached switches and PISA devices
-	hops := a.Net.NextHops()
+	nextAll, viaAll := ctrl.HostRoutingAll()
+	overlay := map[string]bool{}
 	for _, hn := range a.Net.Hosts() {
-		host := runtime.NewHost(hn.Label, hn.ID, hn.Role, cfg, fab, hops[hn.Label])
-		if err := fab.Attach(host); err != nil {
+		host := runtime.NewHost(hn.Label, hn.ID, hn.Role, cfg, fab, nil)
+		host.SetRoutes(nextAll[hn.Label], viaAll[hn.Label])
+		dep.Hosts[hn.Label] = host
+		overlay[hn.Label] = true
+		if err = fab.Attach(host); err != nil {
 			return nil, err
 		}
-		dep.Hosts[hn.Label] = host
 	}
-	if err := ctrl.InstallAll(a.Programs); err != nil {
+	// Physical hosts the overlay does not use still need fabric endpoints.
+	for _, hn := range net.Hosts() {
+		if overlay[hn.Label] {
+			continue
+		}
+		if err = fab.Attach(netsim.NewNullNode(hn.Label)); err != nil {
+			return nil, err
+		}
+	}
+	if err = ctrl.InstallAll(a.Programs); err != nil {
 		return nil, err
 	}
-	if err := fab.Start(); err != nil {
+	if err = fab.Start(); err != nil {
 		return nil, err
 	}
 	return dep, nil
+}
+
+// FailSwitch simulates losing a physical switch mid-run: fabric traffic
+// to and from it blackholes, the controller re-places the locations it
+// hosted (replaying their MAT entries and _ctrl_ state onto new homes),
+// and every host's routes refresh to the post-failure tables. Requires a
+// placed deployment (DeployOn) — an identity deployment has no spare
+// switches to move a location to.
+func (d *Deployment) FailSwitch(label string) error {
+	if _, ok := d.Switches[label]; !ok {
+		return fmt.Errorf("core: no switch %q", label)
+	}
+	d.Fabric.FailNode(label)
+	if err := d.Controller.Replace(label); err != nil {
+		return err
+	}
+	nextAll, viaAll := d.Controller.HostRoutingAll()
+	for l, h := range d.Hosts {
+		h.SetRoutes(nextAll[l], viaAll[l])
+	}
+	return nil
 }
 
 // UDPDeployment runs the application over real loopback UDP sockets —
@@ -109,35 +209,36 @@ func (a *Artifact) DeployUDP() (*UDPDeployment, error) {
 	}
 	cfg := a.AppConfig()
 	cfg.Obs = reg
+	cleanup := func() { dep.Stop() }
 	for _, sw := range a.Net.Switches() {
 		sn := netsim.NewSwitchNode(sw.Label, a.Target)
 		sn.SetExecWorkers(cfg.ExecWorkers)
+		dep.Switches[sw.Label] = sn
 		if err := un.Attach(sn); err != nil {
-			un.Stop()
+			cleanup()
 			return nil, err
 		}
 		if err := ctrl.AttachSwitch(sn); err != nil {
-			un.Stop()
+			cleanup()
 			return nil, err
 		}
-		dep.Switches[sw.Label] = sn
 	}
 	ctrl.SetObs(reg)
 	hops := a.Net.NextHops()
 	for _, hn := range a.Net.Hosts() {
 		host := runtime.NewHost(hn.Label, hn.ID, hn.Role, cfg, un, hops[hn.Label])
+		dep.Hosts[hn.Label] = host
 		if err := un.Attach(host); err != nil {
-			un.Stop()
+			cleanup()
 			return nil, err
 		}
-		dep.Hosts[hn.Label] = host
 	}
 	if err := ctrl.InstallAll(a.Programs); err != nil {
-		un.Stop()
+		cleanup()
 		return nil, err
 	}
 	if err := un.Start(); err != nil {
-		un.Stop()
+		cleanup()
 		return nil, err
 	}
 	return dep, nil

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"fmt"
+	gort "runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"ncl/internal/and"
+	"ncl/internal/netsim"
+	"ncl/internal/runtime"
+)
+
+// starOverlaySrc builds a one-switch aggregation overlay whose worker
+// host labels name hosts of a physical fat-tree.
+func starOverlaySrc(workers []string) string {
+	src := "switch s1 id=1\n"
+	for _, w := range workers {
+		src += fmt.Sprintf("host %s role=0\nlink %s s1\n", w, w)
+	}
+	return src
+}
+
+// TestDeployOnFatTreeReliableAllReduce is the scale-out acceptance test:
+// the Fig. 4 aggregation overlay placed by the engine onto a k=8 fat-tree
+// (128 hosts, 80 switches), with workers spread across four pods, running
+// reliable exactly-once allreduce over a lossy fabric. The overlay's s1
+// has no physical counterpart — everything rides on placement.
+func TestDeployOnFatTreeReliableAllReduce(t *testing.T) {
+	const (
+		W       = 8
+		dataLen = 64
+		windows = dataLen / W
+	)
+	workers := []string{"h0", "h1", "h16", "h17", "h32", "h33", "h48", "h49"}
+
+	fat, err := and.FatTree(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(fat.Hosts()); n != 128 {
+		t.Fatalf("FatTree(8) has %d hosts, want 128", n)
+	}
+	art, err := Build(lossyAllreduceNCL, starOverlaySrc(workers),
+		BuildOptions{WindowLen: W, ModuleName: "fatar"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := art.DeployOn(fat, PlacedOptions{
+		Faults: netsim.Faults{DropProb: 0.08, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Stop()
+
+	phys := dep.Controller.Placement().Assign["s1"]
+	if fat.NodeByLabel(phys) == nil {
+		t.Fatalf("s1 placed on %q, which is not a fat-tree switch", phys)
+	}
+	if err := dep.Controller.CtrlWrite("nworkers", 0, uint64(len(workers))); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := runtime.ReliableOptions{Timeout: 10 * time.Millisecond, Retries: 20, Window: 16}
+	expected := make([]int64, dataLen)
+	var wg sync.WaitGroup
+	errs := make([]error, len(workers))
+	for w := range workers {
+		grad := make([]uint64, dataLen)
+		for i := range grad {
+			v := int64((w + 1) * (i%9 + 1))
+			grad[i] = uint64(v)
+			expected[i] += v
+		}
+		wg.Add(1)
+		go func(w int, grad []uint64) {
+			defer wg.Done()
+			errs[w] = dep.Hosts[workers[w]].OutReliable(
+				runtime.Invocation{Kernel: "allreduce", Dest: "s1"}, [][]uint64{grad}, opts)
+		}(w, grad)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %s: %v", workers[w], err)
+		}
+	}
+
+	// Every OutReliable returned, so every contribution is switch-acked:
+	// the placed switch's registers are the ground truth.
+	for i := 0; i < dataLen; i++ {
+		v, err := dep.Controller.ReadRegister("s1", fmt.Sprintf("accum$%d", i%W), i/W)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(int32(v)) != expected[i] {
+			t.Fatalf("accum[%d] = %d, want %d", i, int64(int32(v)), expected[i])
+		}
+	}
+	// Aggregation happened on the assigned physical switch, nowhere else.
+	if n := dep.Switches[phys].KernelWindows.Load(); n < uint64(len(workers)*windows) {
+		t.Errorf("placed switch %s executed %d windows, want >= %d", phys, n, len(workers)*windows)
+	}
+	for label, sn := range dep.Switches {
+		if label != phys && sn.KernelWindows.Load() != 0 {
+			t.Errorf("switch %s executed %d windows; only %s holds the kernel", label, sn.KernelWindows.Load(), phys)
+		}
+	}
+}
+
+// TestDeployOnFatTreeKVS runs the Fig. 5 cache on a k=4 fat-tree: the
+// overlay's client-s1-server chain placed by the engine, with a cache-hit
+// reflected by the placed switch and a miss crossing to the server.
+func TestDeployOnFatTreeKVS(t *testing.T) {
+	const (
+		cap      = 4
+		valBytes = 8
+	)
+	const kvsSrc = `
+#define SERVER 1
+#define CAP 4
+#define VAL 8
+
+_net_ _at_("s1") ncl::Map<uint64_t, uint8_t, CAP> Idx;
+_net_ _at_("s1") char Cache[CAP][VAL] = {{0}};
+_net_ _at_("s1") bool Valid[CAP] = {false};
+
+_net_ _out_ void query(uint64_t key, char *val, bool update) {
+    if (window.from != SERVER && update) {
+        if (auto *idx = Idx[key]) Valid[*idx] = false;
+    } else if (window.from != SERVER) {
+        if (auto *idx = Idx[key]) {
+            if (Valid[*idx]) {
+                memcpy(val, Cache[*idx], VAL); _reflect(); } }
+    } else if (update) {
+        auto *idx = Idx[key]; memcpy(Cache[*idx], val, VAL);
+        Valid[*idx] = true; _drop();
+    } else { }
+}
+
+_net_ _in_ void reply(uint64_t key, char *val, bool update, _ext_ uint64_t *rkey, _ext_ char *rval) {
+    *rkey = key;
+    for (unsigned i = 0; i < window.len; ++i) rval[i] = val[i];
+}
+`
+	const overlay = `
+switch s1 id=1
+host h0 role=0
+host h15 role=1
+link h0 s1
+link s1 h15
+`
+	fat, err := and.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := Build(kvsSrc, overlay, BuildOptions{WindowLen: valBytes, ModuleName: "fatkvs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := art.DeployOn(fat, PlacedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Stop()
+
+	client := dep.Hosts["h0"]
+	server := dep.Hosts["h15"]
+
+	// Warm key 1: Idx entry via the control plane, value via the server's
+	// update path through the placed switch.
+	if err := dep.Controller.MapInsert("s1", "Idx", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	value := make([]uint64, valBytes)
+	for i := range value {
+		value[i] = uint64(10 + i)
+	}
+	if err := server.OutWindow(runtime.Invocation{Kernel: "query", Dest: "h0"},
+		server.NewWid(), 0, [][]uint64{{1}, value, {1}}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		v, err := dep.Controller.ReadRegister("s1", "Valid", 0)
+		if err == nil && v == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cache warmup did not land on the placed switch")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// GET on the warm key: the placed switch reflects it back to h0.
+	rkey := make([]uint64, 1)
+	rval := make([]uint64, valBytes)
+	if err := client.OutWindow(runtime.Invocation{Kernel: "query", Dest: "h15"},
+		client.NewWid(), 0, [][]uint64{{1}, make([]uint64, valBytes), {0}}); err != nil {
+		t.Fatal(err)
+	}
+	rw, err := client.In("reply", [][]uint64{rkey, rval}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.Header.Flags&0x1 == 0 {
+		t.Error("warm-key GET was not reflected by the placed switch")
+	}
+	for i := range value {
+		if rval[i] != value[i] {
+			t.Fatalf("cache hit rval[%d] = %d, want %d", i, rval[i], value[i])
+		}
+	}
+
+	// GET on a cold key: crosses the placed switch to the server.
+	srvKey := make([]uint64, 1)
+	srvVal := make([]uint64, valBytes)
+	if err := client.OutWindow(runtime.Invocation{Kernel: "query", Dest: "h15"},
+		client.NewWid(), 0, [][]uint64{{7}, make([]uint64, valBytes), {0}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.In("reply", [][]uint64{srvKey, srvVal}, 10*time.Second); err != nil {
+		t.Fatalf("miss never reached the server: %v", err)
+	}
+	if srvKey[0] != 7 {
+		t.Errorf("server saw key %d, want 7", srvKey[0])
+	}
+}
+
+// TestFailSwitchReplacesAndRecovers kills the placed aggregation switch
+// mid-deployment: the controller re-places s1 on a live switch, replays
+// the shadowed nworkers control write, reroutes hosts around the dead
+// node, and a fresh allreduce round completes on the new home.
+func TestFailSwitchReplacesAndRecovers(t *testing.T) {
+	const (
+		W       = 8
+		dataLen = 64
+	)
+	workers := []string{"h0", "h1", "h8", "h9"}
+	fat, err := and.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := Build(lossyAllreduceNCL, starOverlaySrc(workers),
+		BuildOptions{WindowLen: W, ModuleName: "failover"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := art.DeployOn(fat, PlacedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Stop()
+	if err := dep.Controller.CtrlWrite("nworkers", 0, uint64(len(workers))); err != nil {
+		t.Fatal(err)
+	}
+
+	round := func(label string) error {
+		opts := runtime.ReliableOptions{Timeout: 10 * time.Millisecond, Retries: 20, Window: 16}
+		var wg sync.WaitGroup
+		errs := make([]error, len(workers))
+		for w := range workers {
+			grad := make([]uint64, dataLen)
+			for i := range grad {
+				grad[i] = uint64(w + i + 1)
+			}
+			wg.Add(1)
+			go func(w int, grad []uint64) {
+				defer wg.Done()
+				errs[w] = dep.Hosts[workers[w]].OutReliable(
+					runtime.Invocation{Kernel: "allreduce", Dest: "s1"}, [][]uint64{grad}, opts)
+			}(w, grad)
+		}
+		wg.Wait()
+		for w, err := range errs {
+			if err != nil {
+				return fmt.Errorf("%s round, worker %s: %w", label, workers[w], err)
+			}
+		}
+		return nil
+	}
+
+	if err := round("pre-failure"); err != nil {
+		t.Fatal(err)
+	}
+	home := dep.Controller.Placement().Assign["s1"]
+	if err := dep.FailSwitch(home); err != nil {
+		t.Fatal(err)
+	}
+	moved := dep.Controller.Placement().Assign["s1"]
+	if moved == home {
+		t.Fatalf("s1 still assigned to failed switch %s", home)
+	}
+	// The shadowed control write survived the move.
+	v, err := dep.Controller.ReadRegister("s1", "nworkers", 0)
+	if err != nil || v != uint64(len(workers)) {
+		t.Fatalf("nworkers on new home = %d (%v), want %d", v, err, len(workers))
+	}
+	if err := round("post-failure"); err != nil {
+		t.Fatal(err)
+	}
+	// The round really ran on the new home (the dead switch is dark).
+	if n := dep.Switches[moved].KernelWindows.Load(); n == 0 {
+		t.Errorf("new home %s executed no windows after failover", moved)
+	}
+}
+
+// TestDeployCleanupOnError is the leak regression: a Deploy that fails
+// mid-loop (here: a location with no compiled program) must tear down
+// the switch worker pools and hosts it already brought up. Run with
+// -race; the goroutine count must return to its pre-Deploy level.
+func TestDeployCleanupOnError(t *testing.T) {
+	art, err := Build(passThroughNCL, pairAND,
+		BuildOptions{WindowLen: 4, ExecWorkers: 4, ModuleName: "leakchk"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delete(art.Programs, "s1") // force InstallAll to fail after attach
+
+	before := gort.NumGoroutine()
+	dep, err := art.Deploy(netsim.Faults{})
+	if err == nil {
+		dep.Stop()
+		t.Fatal("Deploy with a missing program must fail")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for gort.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := gort.NumGoroutine(); n > before {
+		t.Fatalf("failed Deploy leaked %d goroutines (%d -> %d)", n-before, before, n)
+	}
+}

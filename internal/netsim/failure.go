@@ -1,0 +1,84 @@
+package netsim
+
+// Switch failure: FailNode takes a node out of the fabric without
+// stopping its goroutine — every packet to or from it blackholes (counted
+// as Dropped on the link), which is how a dead switch looks to its
+// neighbors. The controller reacts by re-placing the failed location and
+// pushing fresh routes (Controller.Replace / Deployment.FailSwitch); the
+// reliable transport's retransmits then flow over the new paths.
+
+// FailNode marks a node as failed. Packets to or from it are dropped
+// until RestoreNode. Unknown labels are recorded all the same (harmless).
+func (f *Fabric) FailNode(label string) {
+	for {
+		old := f.failed.Load()
+		next := map[string]bool{label: true}
+		if old != nil {
+			for l := range *old {
+				next[l] = true
+			}
+		}
+		if f.failed.CompareAndSwap(old, &next) {
+			return
+		}
+	}
+}
+
+// RestoreNode clears a node's failed state.
+func (f *Fabric) RestoreNode(label string) {
+	for {
+		old := f.failed.Load()
+		if old == nil || !(*old)[label] {
+			return
+		}
+		next := map[string]bool{}
+		for l := range *old {
+			if l != label {
+				next[l] = true
+			}
+		}
+		ptr := &next
+		if len(next) == 0 {
+			ptr = nil
+		}
+		if f.failed.CompareAndSwap(old, ptr) {
+			return
+		}
+	}
+}
+
+// NodeFailed reports whether a node is currently failed.
+func (f *Fabric) NodeFailed(label string) bool {
+	fl := f.failed.Load()
+	return fl != nil && (*fl)[label]
+}
+
+// FailedNodes returns the currently failed labels as a set (nil if none).
+func (f *Fabric) FailedNodes() map[string]bool {
+	fl := f.failed.Load()
+	if fl == nil {
+		return nil
+	}
+	out := make(map[string]bool, len(*fl))
+	for l := range *fl {
+		out[l] = true
+	}
+	return out
+}
+
+// NullNode is a blackhole attachment for physical nodes that have no
+// role in the deployed overlay (fat-tree hosts the logical AND doesn't
+// use). Start requires every AND node attached; NullNode satisfies that
+// without behavior.
+type NullNode struct{ label string }
+
+// NewNullNode creates a blackhole node for the given label.
+func NewNullNode(label string) *NullNode { return &NullNode{label: label} }
+
+// Label implements Node.
+func (n *NullNode) Label() string { return n.label }
+
+// Receive implements Node by discarding the packet.
+func (n *NullNode) Receive(f Sender, pkt *Packet, from string) {}
+
+var _ Node = (*NullNode)(nil)

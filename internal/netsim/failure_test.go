@@ -1,0 +1,132 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ncl/internal/and"
+)
+
+// sinkNode records delivered packets.
+type sinkNode struct {
+	label string
+	mu    sync.Mutex
+	got   []*Packet
+}
+
+func (s *sinkNode) Label() string { return s.label }
+func (s *sinkNode) Receive(f Sender, pkt *Packet, from string) {
+	s.mu.Lock()
+	s.got = append(s.got, pkt)
+	s.mu.Unlock()
+}
+func (s *sinkNode) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.got)
+}
+
+func lineNet(t *testing.T) *and.Network {
+	t.Helper()
+	n, err := and.Parse(`
+switch s1
+host a
+host b
+link a s1
+link s1 b
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestFailNodeBlackholes(t *testing.T) {
+	n := lineNet(t)
+	fab := New(n, Faults{})
+	a := &sinkNode{label: "a"}
+	b := &sinkNode{label: "b"}
+	s1 := &sinkNode{label: "s1"}
+	for _, nd := range []*sinkNode{a, b, s1} {
+		if err := fab.Attach(nd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fab.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer fab.Stop()
+
+	send := func() error { return fab.Send("a", "s1", &Packet{Src: "a", Dst: "s1", Data: []byte{1}}) }
+	if err := send(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return s1.count() == 1 })
+
+	fab.FailNode("s1")
+	if !fab.NodeFailed("s1") {
+		t.Fatal("s1 should be failed")
+	}
+	before := fab.Stats("a", "s1").Dropped.Load()
+	if err := send(); err != nil {
+		t.Fatalf("send to failed node should blackhole, not error: %v", err)
+	}
+	if got := fab.Stats("a", "s1").Dropped.Load(); got != before+1 {
+		t.Fatalf("dropped counter %d, want %d", got, before+1)
+	}
+	// Batch sends blackhole too.
+	if err := fab.SendBatch("a", []string{"s1"}, []*Packet{{Src: "a", Dst: "s1", Data: []byte{2}}}); err != nil {
+		t.Fatal(err)
+	}
+	// Sends *from* the failed node blackhole as well.
+	if err := fab.Send("s1", "b", &Packet{Src: "s1", Dst: "b", Data: []byte{3}}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if s1.count() != 1 || b.count() != 0 {
+		t.Fatalf("failed node received %d (want 1), b received %d (want 0)", s1.count(), b.count())
+	}
+
+	fab.RestoreNode("s1")
+	if fab.NodeFailed("s1") {
+		t.Fatal("s1 should be restored")
+	}
+	if err := send(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return s1.count() == 2 })
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not met in time")
+}
+
+func TestNullNodeAttaches(t *testing.T) {
+	n := lineNet(t)
+	fab := New(n, Faults{})
+	if err := fab.Attach(NewNullNode("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fab.Attach(NewNullNode("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fab.Attach(NewNullNode("s1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fab.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer fab.Stop()
+	if err := fab.Send("a", "s1", &Packet{Src: "a", Dst: "s1", Data: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -28,6 +28,14 @@ type Packet struct {
 	Dst  string // final destination label
 	Data []byte
 
+	// Via is an optional waypoint: when set, switches route toward Via
+	// instead of Dst until the waypoint switch clears it. The placement
+	// engine uses it to steer host-to-host windows through the physical
+	// switch an _at_ location was placed on, without rewriting Dst (the
+	// NCP transport keys retransmit state on the final destination).
+	// Empty for identity deployments; not carried by the UDP backend.
+	Via string
+
 	// VTimeUs is the packet's virtual timestamp in microseconds: set by
 	// the fabric to the modeled arrival time on each hop (see vtime.go).
 	// Nodes deriving new packets from a received one should copy it (the
@@ -99,6 +107,11 @@ type Fabric struct {
 	rngMu   sync.Mutex
 	rng     *rand.Rand
 	pending map[linkKey]*heldPkt // reorder hold-back slot per link
+
+	// failed holds the set of failed node labels (FailNode): packets to or
+	// from a failed node blackhole. nil when no node has ever failed, so
+	// the healthy fast path pays one atomic load.
+	failed atomic.Pointer[map[string]bool]
 
 	vt vclock // virtual-time bookkeeping (vtime.go)
 
@@ -382,6 +395,12 @@ func (f *Fabric) Send(from, to string, pkt *Packet) error {
 	if !ok {
 		return fmt.Errorf("netsim: no node %q", to)
 	}
+	if fl := f.failed.Load(); fl != nil && ((*fl)[from] || (*fl)[to]) {
+		// A failed node neither sends nor receives: the packet blackholes
+		// like loss, and the reliable layer (or re-placement) recovers.
+		st.Dropped.Add(1)
+		return nil
+	}
 
 	f.stampSend(from, to, pkt)
 	drops := f.inboxDrops[to]
@@ -446,7 +465,7 @@ func (f *Fabric) Send(from, to string, pkt *Packet) error {
 		// same bits arriving again, not a fresh packet born at t=0. Without
 		// the copy, dups poisoned switch INT latency stamps and the vtime
 		// histograms with epoch-relative garbage.
-		dupPkt := &Packet{Src: pkt.Src, Dst: pkt.Dst, Data: append([]byte(nil), pkt.Data...), VTimeUs: pkt.VTimeUs}
+		dupPkt := &Packet{Src: pkt.Src, Dst: pkt.Dst, Data: append([]byte(nil), pkt.Data...), VTimeUs: pkt.VTimeUs, Via: pkt.Via}
 		deliver(delivery{pkt: dupPkt, from: from})
 	}
 	return nil
@@ -480,7 +499,8 @@ func (f *Fabric) SendBatch(from string, tos []string, pkts []*Packet) error {
 	if len(pkts) == 0 {
 		return nil
 	}
-	if !(f.faults == (Faults{}) || f.faults.onlySeed()) {
+	if !(f.faults == (Faults{}) || f.faults.onlySeed()) || f.failed.Load() != nil {
+		// Fault injection and node failure both need per-packet decisions.
 		for i := range pkts {
 			if err := f.Send(from, tos[i], pkts[i]); err != nil {
 				return err

@@ -3,8 +3,10 @@ package netsim
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"ncl/internal/and"
 	"ncl/internal/ncl/interp"
 	"ncl/internal/ncp"
 	"ncl/internal/obs"
@@ -25,10 +27,10 @@ import (
 // real PISA stages overlap packets; state correctness comes from the
 // device's per-register locking.
 type SwitchNode struct {
-	label  string
-	sw     *pisa.Switch
-	locID  uint32
-	routes map[string]string // destination label -> next hop label
+	label   string
+	sw      *pisa.Switch
+	locID   uint32
+	routing atomic.Pointer[SwitchRouting] // forwarding state (SetRoutes/SetRouting)
 
 	hostByID map[uint32]string // host id -> label (reflect targets)
 
@@ -100,9 +102,9 @@ func NewSwitchNode(label string, target pisa.TargetConfig) *SwitchNode {
 	s := &SwitchNode{
 		label:    label,
 		sw:       pisa.NewSwitch(target),
-		routes:   map[string]string{},
 		hostByID: map[uint32]string{},
 	}
+	s.SetRouting(&SwitchRouting{})
 	// A private registry until a deployment re-homes the counters: two
 	// standalone switches with the same label must not share counts.
 	s.SetObs(obs.NewRegistry())
@@ -162,13 +164,52 @@ func (s *SwitchNode) Install(p *pisa.Program, locID uint32) error {
 	return nil
 }
 
-// SetRoutes installs the next-hop table (controller-populated from the
-// AND mapping, §3.2).
-func (s *SwitchNode) SetRoutes(next map[string]string) {
-	s.routes = map[string]string{}
-	for dst, hop := range next {
-		s.routes[dst] = hop
+// SwitchRouting is the forwarding state a controller installs on a
+// switch: equal-cost next-hop sets per destination, plus the placement
+// extras — alias labels the switch answers for (the logical _at_
+// locations placed here), a via table stamping the next waypoint onto
+// kernel outputs, and the overlay bcast target list. The zero value
+// routes nothing. Installed atomically, so a re-placement after a
+// failure swaps a switch's whole view in one step mid-traffic.
+type SwitchRouting struct {
+	// Next maps destination label -> equal-cost next hops (sorted); flows
+	// spread across the set by and.PickHop on (Src, Dst).
+	Next map[string][]string
+	// Aliases are logical location labels placed on this switch: packets
+	// destined (or via'd) to them terminate here like the switch's own
+	// label.
+	Aliases []string
+	// Via maps final destination -> the waypoint to stamp on outputs
+	// leaving this switch, steering them through the next placed logical
+	// hop. Empty for identity deployments.
+	Via map[string]string
+	// Bcast is the overlay neighbor list _bcast() targets. Empty means
+	// the physical neighbors of this switch (identity behavior).
+	Bcast []string
+
+	self map[string]bool // own label + aliases, built at install
+}
+
+// SetRouting installs the full forwarding state (placement-aware path).
+// The struct is owned by the switch after the call.
+func (s *SwitchNode) SetRouting(rt *SwitchRouting) {
+	rt.self = make(map[string]bool, 1+len(rt.Aliases))
+	rt.self[s.label] = true
+	for _, a := range rt.Aliases {
+		rt.self[a] = true
 	}
+	s.routing.Store(rt)
+}
+
+// SetRoutes installs a plain single-path next-hop table
+// (controller-populated from the AND mapping, §3.2) — the identity
+// deployment path and the compatibility surface for existing callers.
+func (s *SwitchNode) SetRoutes(next map[string]string) {
+	rt := &SwitchRouting{Next: make(map[string][]string, len(next))}
+	for dst, hop := range next {
+		rt.Next[dst] = []string{hop}
+	}
+	s.SetRouting(rt)
 }
 
 // ExecNsBuckets is the bucket layout for per-window kernel execution
@@ -465,10 +506,16 @@ func (s *SwitchNode) route(f Sender, pkt *Packet, from string, kp *swKernel, h *
 		if out == nil {
 			return
 		}
-		for _, nb := range f.Network().Neighbors(s.label) {
-			if err := f.Send(s.label, nb, &Packet{Src: s.label, Dst: nb, Data: out, VTimeUs: pkt.VTimeUs + SwitchDelayUs}); err != nil {
-				s.Errors.Add(1)
-			}
+		targets := s.routing.Load().Bcast
+		if len(targets) == 0 {
+			// Identity deployment: the physical network is the overlay, so
+			// the overlay neighbors are the direct neighbors. Under
+			// placement, the controller installs the logical neighbor list
+			// and each copy is unicast-routed toward its overlay target.
+			targets = f.Network().Neighbors(s.label)
+		}
+		for _, nb := range targets {
+			s.forward(f, &Packet{Src: s.label, Dst: nb, Data: out, VTimeUs: pkt.VTimeUs + SwitchDelayUs}, from)
 		}
 	}
 }
@@ -503,18 +550,36 @@ func (s *SwitchNode) ackConsumed(f Sender, pkt *Packet, from string, h *ncp.Head
 	s.forward(f, &Packet{Src: s.label, Dst: target, Data: out, VTimeUs: pkt.VTimeUs + SwitchDelayUs}, from)
 }
 
-// forward routes pkt toward pkt.Dst via the next-hop table.
+// forward routes pkt toward pkt.Dst via the next-hop table, honoring the
+// Via waypoint: a packet still traveling to its waypoint routes there
+// first; the waypoint switch clears it (and stamps the next one from its
+// via table, so multi-segment overlay paths chain hop by hop).
 func (s *SwitchNode) forward(f Sender, pkt *Packet, from string) {
-	if pkt.Dst == s.label {
-		// Windows addressed to a switch have nowhere further to go.
+	rt := s.routing.Load()
+	if pkt.Via != "" && rt.self[pkt.Via] {
+		pkt.Via = ""
+	}
+	if pkt.Via == "" {
+		if rt.self[pkt.Dst] {
+			// Windows addressed to this switch (or a location placed on it)
+			// have nowhere further to go.
+			s.Errors.Add(1)
+			return
+		}
+		if v := rt.Via[pkt.Dst]; v != "" {
+			pkt.Via = v
+		}
+	}
+	target := pkt.Dst
+	if pkt.Via != "" {
+		target = pkt.Via
+	}
+	hops := rt.Next[target]
+	if len(hops) == 0 {
 		s.Errors.Add(1)
 		return
 	}
-	hop, ok := s.routes[pkt.Dst]
-	if !ok {
-		s.Errors.Add(1)
-		return
-	}
+	hop := and.PickHop(hops, pkt.Src, pkt.Dst)
 	if err := f.Send(s.label, hop, pkt); err != nil {
 		s.Errors.Add(1)
 	}

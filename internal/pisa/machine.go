@@ -146,6 +146,20 @@ func (sw *Switch) InstallEntry(table string, key, val uint64) error {
 	return nil
 }
 
+// LookupEntry reads an exact-match entry (control plane / debugging —
+// the placement engine's re-placement tests audit MAT survival with it).
+// The boolean reports whether the key is present.
+func (sw *Switch) LookupEntry(table string, key uint64) (uint64, bool, error) {
+	t, err := sw.lookupTable(table)
+	if err != nil {
+		return 0, false, err
+	}
+	t.mu.Lock()
+	val, ok := t.entries[key]
+	t.mu.Unlock()
+	return val, ok, nil
+}
+
 // DeleteEntry removes an exact-match entry.
 func (sw *Switch) DeleteEntry(table string, key uint64) error {
 	t, err := sw.lookupTable(table)

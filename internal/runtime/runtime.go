@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ncl/internal/and"
 	"ncl/internal/ncl/interp"
 	"ncl/internal/ncl/ir"
 	"ncl/internal/ncl/types"
@@ -121,12 +122,12 @@ type recvShard struct {
 
 // Host is one application endpoint.
 type Host struct {
-	label string
-	id    uint32
-	role  uint32
-	cfg   AppConfig
-	send  netsim.Sender
-	route map[string]string // destination -> first hop
+	label   string
+	id      uint32
+	role    uint32
+	cfg     AppConfig
+	send    netsim.Sender
+	routing atomic.Pointer[hostRouting] // swappable mid-run (re-placement)
 
 	inKernels map[string]*ir.Func
 	state     *interp.State
@@ -202,6 +203,16 @@ type fragBuf struct {
 	have   int
 }
 
+// hostRouting is the host's forwarding state, swapped atomically so a
+// controller can push fresh routes mid-run (re-placement after a switch
+// failure). next maps a routing key (destination or waypoint) to its
+// equal-cost first hops; via maps a final destination to the waypoint
+// stamped on outgoing packets (empty for identity deployments).
+type hostRouting struct {
+	next map[string][]string
+	via  map[string]string
+}
+
 // NewHost creates a host endpoint. The sender is the transport (fabric or
 // UDP harness); routes give the first hop toward every destination.
 func NewHost(label string, id, role uint32, cfg AppConfig, send netsim.Sender, routes map[string]string) *Host {
@@ -222,7 +233,6 @@ func NewHost(label string, id, role uint32, cfg AppConfig, send netsim.Sender, r
 		role:      role,
 		cfg:       cfg,
 		send:      send,
-		route:     routes,
 		met:       newHostMetrics(reg, label),
 		inbox:     make(chan *RecvWindow, inboxCap),
 		inKernels: map[string]*ir.Func{},
@@ -231,6 +241,11 @@ func NewHost(label string, id, role uint32, cfg AppConfig, send netsim.Sender, r
 		h.shards[i].frags = map[fragKey]*fragBuf{}
 		h.shards[i].done = map[fragKey]bool{}
 	}
+	next := make(map[string][]string, len(routes))
+	for dst, hop := range routes {
+		next[dst] = []string{hop}
+	}
+	h.routing.Store(&hostRouting{next: next})
 	h.traceEvery.Store(int64(cfg.TraceEvery))
 	if cfg.HostModule != nil {
 		for _, f := range cfg.HostModule.Funcs {
@@ -1000,12 +1015,37 @@ func (h *Host) sendWindowScratch(inv Invocation, wid, seq uint32, winData [][]ui
 	return nil
 }
 
-func (h *Host) transmit(dest string, data []byte) error {
-	hop, ok := h.route[dest]
-	if !ok {
-		return fmt.Errorf("runtime: no route from %s to %s", h.label, dest)
+// SetRoutes replaces the host's forwarding state. next maps a routing key
+// (destination or waypoint label) to its equal-cost first hops; via maps a
+// final destination to the waypoint stamped on outgoing packets. In-flight
+// sends keep the snapshot they loaded; new sends see the new tables.
+func (h *Host) SetRoutes(next map[string][]string, via map[string]string) {
+	h.routing.Store(&hostRouting{next: next, via: via})
+}
+
+// resolveHop picks the first hop and waypoint for a destination. Multi-hop
+// ties break by flow hash so one flow's packets stay ordered on one path.
+func (h *Host) resolveHop(dest string) (hop, via string, err error) {
+	rt := h.routing.Load()
+	target := dest
+	if rt.via != nil {
+		if v := rt.via[dest]; v != "" {
+			via, target = v, v
+		}
 	}
-	return h.send.Send(h.label, hop, &netsim.Packet{Src: h.label, Dst: dest, Data: data})
+	hops := rt.next[target]
+	if len(hops) == 0 {
+		return "", "", fmt.Errorf("runtime: no route from %s to %s", h.label, dest)
+	}
+	return and.PickHop(hops, h.label, dest), via, nil
+}
+
+func (h *Host) transmit(dest string, data []byte) error {
+	hop, via, err := h.resolveHop(dest)
+	if err != nil {
+		return err
+	}
+	return h.send.Send(h.label, hop, &netsim.Packet{Src: h.label, Dst: dest, Via: via, Data: data})
 }
 
 // transmitSc is transmit with scratch-local send batching: when the
@@ -1017,12 +1057,12 @@ func (h *Host) transmitSc(dest string, data []byte, sc *sendScratch) error {
 	if sc.bs == nil {
 		return h.transmit(dest, data)
 	}
-	hop, ok := h.route[dest]
-	if !ok {
-		return fmt.Errorf("runtime: no route from %s to %s", h.label, dest)
+	hop, via, err := h.resolveHop(dest)
+	if err != nil {
+		return err
 	}
 	sc.qTos = append(sc.qTos, hop)
-	sc.qPkts = append(sc.qPkts, &netsim.Packet{Src: h.label, Dst: dest, Data: data})
+	sc.qPkts = append(sc.qPkts, &netsim.Packet{Src: h.label, Dst: dest, Via: via, Data: data})
 	if len(sc.qPkts) >= sendFlushEvery {
 		return h.flushSendQueue(sc)
 	}

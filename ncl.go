@@ -23,6 +23,7 @@
 package ncl
 
 import (
+	"ncl/internal/and"
 	"ncl/internal/controller"
 	"ncl/internal/core"
 	"ncl/internal/ncp"
@@ -46,6 +47,19 @@ type StageTiming = core.StageTiming
 
 // Deployment is a running application on the in-memory fabric.
 type Deployment = core.Deployment
+
+// Network is a parsed or generated AND topology. Artifact.Net is the
+// application's logical overlay; FatTree generates physical networks for
+// Artifact.DeployOn.
+type Network = and.Network
+
+// PlacedOptions configures Artifact.DeployOn: fault injection plus the
+// placement engine's knobs (per-switch budgets, exclusions, forced pins).
+type PlacedOptions = core.PlacedOptions
+
+// Placement is a computed logical→physical assignment
+// (Deployment.Controller.Placement on placed deployments).
+type Placement = controller.Placement
 
 // UDPDeployment is a running application over loopback UDP sockets.
 type UDPDeployment = core.UDPDeployment
@@ -114,6 +128,13 @@ func Build(nclSrc, andSrc string, opts BuildOptions) (*Artifact, error) {
 
 // DefaultTarget returns the default PISA resource model.
 func DefaultTarget() TargetConfig { return pisa.DefaultTarget() }
+
+// FatTree generates a k-ary fat-tree physical network: (k/2)² core
+// switches, k pods of k/2 aggregation + k/2 edge switches, and k³/4
+// hosts labeled h0..h(k³/4-1) with rack labels. Deploy a logical overlay
+// onto it with Artifact.DeployOn — the placement engine maps each _at_
+// location to a concrete switch.
+func FatTree(k int) (*Network, error) { return and.FatTree(k) }
 
 // ServeTelemetry starts the live telemetry endpoint on addr: /metrics
 // (Prometheus text exposition with rolling per-second rates), /snapshot
