@@ -1,5 +1,5 @@
 // ncl-bench regenerates the full evaluation of EXPERIMENTS.md: one table
-// per table-driven experiment (E1-E9, E11-E16) of DESIGN.md §4. Each
+// per table-driven experiment (E1-E9, E11-E17) of DESIGN.md §4. Each
 // experiment exercises a claim of the paper (programmability, in-network
 // aggregation wins, cache load absorption, window economics, protocol
 // overhead, compiler feasibility, backend portability, recirculation
@@ -34,7 +34,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (E1..E9, E11..E16)")
+	only := flag.String("only", "", "run a single experiment (E1..E9, E11..E17)")
 	snapshot := flag.String("snapshot", "", "write the tables that ran to this file as JSON")
 	baseline := flag.String("baseline", "", "compare ns/window against this snapshot and fail on regression")
 	maxRegress := flag.Float64("max-regress", 25, "allowed ns/window regression vs -baseline, percent")
@@ -60,6 +60,7 @@ func main() {
 		{"E14", bench.E14Telemetry},
 		{"E15", bench.E15Fabric},
 		{"E16", bench.E16Placement},
+		{"E17", bench.E17Scale},
 	}
 	type snap struct {
 		ID     string     `json:"id"`

@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // NodeKind distinguishes switches from hosts.
@@ -69,6 +70,11 @@ type Network struct {
 	byLabel map[string]*Node
 	adj     map[string][]string
 	linkIdx map[[2]string]*Link // unordered endpoint pair -> link
+
+	// it and bfsPool are the interned routing tables and BFS scratch pool
+	// built by validate() (intern.go); immutable after validation.
+	it      *internTables
+	bfsPool *sync.Pool
 }
 
 // addLink records a link and both adjacency directions, indexing it for
@@ -297,23 +303,17 @@ func (n *Network) validate() error {
 	if len(n.Nodes) == 0 {
 		return fmt.Errorf("and: empty network")
 	}
+	// Intern labels into dense ids (intern.go): the routing hot paths run
+	// over these tables, and the connectivity check below reuses them.
+	n.intern()
 	// Connectivity check (windows must be routable).
 	if len(n.Nodes) > 1 {
-		visited := map[string]bool{}
-		queue := []string{n.Nodes[0].Label}
-		visited[n.Nodes[0].Label] = true
-		for len(queue) > 0 {
-			cur := queue[0]
-			queue = queue[1:]
-			for _, nb := range n.adj[cur] {
-				if !visited[nb] {
-					visited[nb] = true
-					queue = append(queue, nb)
-				}
-			}
-		}
+		sc := n.getScratch()
+		defer n.putScratch(sc)
+		sc.setAvoid(n.it, nil, -1)
+		n.bfsInto(sc, n.it.idOf[n.Nodes[0].Label])
 		for _, node := range n.Nodes {
-			if !visited[node.Label] {
+			if sc.dist[n.it.idOf[node.Label]] < 0 {
 				return fmt.Errorf("and: node %s is unreachable from %s", node.Label, n.Nodes[0].Label)
 			}
 		}
@@ -391,22 +391,92 @@ func (n *Network) NextHopsAll() map[string]map[string][]string {
 // NextHopsAvoiding is NextHopsAll computed on the subgraph that excludes
 // the nodes in avoid (nil = none): the post-failure routing tables after
 // Fabric.FailNode takes a switch out.
+//
+// One interned BFS per destination yields dist(v, dst) for all v; the
+// equal-cost hops out of src toward dst are exactly the neighbors one
+// step closer to dst. Each per-destination query produces a compact
+// hopSet (arena-backed ranges indexed by node id, no maps), the queries
+// fan out across a bounded worker pool (each worker reuses one pooled
+// BFS scratch), and the string-keyed result maps are built exactly once
+// in the per-source merge — at fat-tree scale the map inserts, not the
+// BFS, dominate, so paying them once instead of twice is the difference
+// between quadratic-with-small-constants and unusable.
 func (n *Network) NextHopsAvoiding(avoid map[string]bool) map[string]map[string][]string {
-	// One BFS per destination yields dist(v, dst) for all v; the
-	// equal-cost hops out of src toward dst are exactly the neighbors one
-	// step closer to dst.
-	out := map[string]map[string][]string{}
-	for _, src := range n.Nodes {
-		if !avoid[src.Label] {
-			out[src.Label] = map[string][]string{}
+	it := n.it
+	// Non-avoided node ids serve as both the destination list and (same
+	// filter) the source list of the final table.
+	live := make([]int32, 0, len(it.labels))
+	for id, l := range it.labels {
+		if !avoid[l] {
+			live = append(live, int32(id))
 		}
 	}
-	for _, dst := range n.Nodes {
-		if avoid[dst.Label] {
-			continue
+	results := make([]hopSet, len(live))
+	workers := routeWorkers(len(live))
+	if workers <= 1 {
+		sc := n.getScratch()
+		for i, did := range live {
+			results[i] = n.hopsToward(did, avoid, sc)
 		}
-		for src, hops := range n.NextHopsToward(dst.Label, avoid) {
-			out[src][dst.Label] = hops
+		n.putScratch(sc)
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int, len(live))
+		for i := range live {
+			next <- i
+		}
+		close(next)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sc := n.getScratch()
+				for i := range next {
+					results[i] = n.hopsToward(live[i], avoid, sc)
+				}
+				n.putScratch(sc)
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Merge: per source, one inner map filled straight from the hopSets.
+	// Every non-avoided source gets an entry (possibly empty when it is
+	// disconnected from everything), matching the old behavior.
+	buildSrc := func(sid int32) map[string][]string {
+		inner := make(map[string][]string, len(live))
+		for i, did := range live {
+			if hops := results[i].hops(sid); hops != nil {
+				inner[it.labels[did]] = hops
+			}
+		}
+		return inner
+	}
+	out := make(map[string]map[string][]string, len(live))
+	if workers <= 1 {
+		for _, sid := range live {
+			out[it.labels[sid]] = buildSrc(sid)
+		}
+	} else {
+		inners := make([]map[string][]string, len(live))
+		var wg sync.WaitGroup
+		next := make(chan int, len(live))
+		for i := range live {
+			next <- i
+		}
+		close(next)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					inners[i] = buildSrc(live[i])
+				}
+			}()
+		}
+		wg.Wait()
+		for i, sid := range live {
+			out[it.labels[sid]] = inners[i]
 		}
 	}
 	return out

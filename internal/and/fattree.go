@@ -9,7 +9,6 @@ package and
 import (
 	"fmt"
 	"hash/fnv"
-	"sort"
 	"strings"
 )
 
@@ -166,25 +165,24 @@ func PickHop(hops []string, flowSrc, flowDst string) string {
 // Distances returns the hop count from src to every reachable node,
 // skipping nodes in avoid (nil = none). src itself is distance 0; avoid
 // applies to intermediate and destination nodes but never to src.
+// Interned flat BFS (intern.go): no per-pop allocation or sorting.
 func (n *Network) Distances(src string, avoid map[string]bool) map[string]int {
-	dist := map[string]int{src: 0}
-	queue := []string{src}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		nbs := append([]string(nil), n.adj[cur]...)
-		sort.Strings(nbs)
-		for _, nb := range nbs {
-			if avoid[nb] {
-				continue
-			}
-			if _, seen := dist[nb]; !seen {
-				dist[nb] = dist[cur] + 1
-				queue = append(queue, nb)
-			}
+	it := n.it
+	sid, ok := it.idOf[src]
+	if !ok {
+		return map[string]int{src: 0}
+	}
+	sc := n.getScratch()
+	defer n.putScratch(sc)
+	sc.setAvoid(it, avoid, sid)
+	n.bfsInto(sc, sid)
+	out := make(map[string]int, len(it.labels))
+	for id, d := range sc.dist {
+		if d >= 0 {
+			out[it.labels[id]] = int(d)
 		}
 	}
-	return dist
+	return out
 }
 
 // NextHopsToward computes, for every node, the set of equal-cost
@@ -193,47 +191,30 @@ func (n *Network) Distances(src string, avoid map[string]bool) map[string]int {
 // node disconnected from dst (under avoid) is absent from the result.
 // This is the building block the controller uses to route traffic for a
 // placed location without transiting other placed switches.
+//
+// One interned BFS plus a sweep over pre-sorted int adjacency; ids are
+// assigned in label order, so hop sets come out label-sorted without a
+// sort, and all hop slices for one destination share a single arena
+// allocation.
 func (n *Network) NextHopsToward(dst string, avoid map[string]bool) map[string][]string {
-	if avoid[dst] {
-		avoid2 := make(map[string]bool, len(avoid))
-		for k, v := range avoid {
-			avoid2[k] = v
-		}
-		delete(avoid2, dst)
-		avoid = avoid2
+	it := n.it
+	did, ok := it.idOf[dst]
+	if !ok {
+		return map[string][]string{}
 	}
-	dist := n.Distances(dst, avoid)
-	out := map[string][]string{}
-	for _, node := range n.Nodes {
-		if node.Label == dst || avoid[node.Label] {
-			continue
-		}
-		d, ok := dist[node.Label]
-		if !ok {
-			continue
-		}
-		var hops []string
-		for _, nb := range n.adj[node.Label] {
-			if nd, ok := dist[nb]; ok && nd == d-1 {
-				hops = append(hops, nb)
-			}
-		}
-		sort.Strings(hops)
-		hops = dedupSorted(hops)
-		if len(hops) > 0 {
-			out[node.Label] = hops
+	sc := n.getScratch()
+	defer n.putScratch(sc)
+	hs := n.hopsToward(did, avoid, sc)
+	reachable := 0
+	for id := range it.labels {
+		if hs.off[id] != hs.off[id+1] {
+			reachable++
 		}
 	}
-	return out
-}
-
-// dedupSorted removes adjacent duplicates (parallel links produce
-// duplicate adjacency entries).
-func dedupSorted(s []string) []string {
-	out := s[:0]
-	for i, v := range s {
-		if i == 0 || v != s[i-1] {
-			out = append(out, v)
+	out := make(map[string][]string, reachable)
+	for id := range it.labels {
+		if hops := hs.hops(int32(id)); hops != nil {
+			out[it.labels[id]] = hops
 		}
 	}
 	return out

@@ -1,0 +1,204 @@
+// Label interning and flat-array BFS: the control-plane hot path at
+// data-center scale. A k=32 fat-tree has ~9.5k nodes, and every routing
+// query used to be a fresh string-keyed BFS that copied and sorted
+// adjacency lists inside the visit loop. validate() now interns labels
+// into dense int ids once — label↔id tables plus pre-sorted, deduped
+// int-slice adjacency — so Distances/NextHopsToward run as flat int32
+// BFS over pooled scratch (no per-pop allocation, no sorting), and
+// NextHopsAll fans the per-destination BFS across a bounded worker pool.
+// The string-keyed return types survive as views built at the end, so
+// call sites are unchanged.
+//
+// Determinism is preserved by construction: ids are assigned in sorted
+// label order, so walking an id-sorted adjacency list yields hops in
+// label order — the same tie-break the old sort.Strings enforced.
+package and
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// internTables is the dense-id mirror of a validated Network's topology,
+// built once by validate() and immutable afterwards.
+type internTables struct {
+	idOf   map[string]int32
+	labels []string  // id -> label; ids assigned in sorted label order
+	adj    [][]int32 // id -> neighbor ids, sorted ascending, deduped
+}
+
+// bfsScratch is one worker's reusable BFS state: a distance array, a
+// queue, and an avoid mask, all sized to the node count. Pooled per
+// network so repeated routing queries allocate nothing.
+type bfsScratch struct {
+	dist  []int32
+	queue []int32
+	avoid []bool
+}
+
+// intern builds the dense-id tables. Called from validate(); Parse and
+// FatTree never add links after validation, so the tables never go stale.
+func (n *Network) intern() {
+	labels := make([]string, 0, len(n.Nodes))
+	for _, node := range n.Nodes {
+		labels = append(labels, node.Label)
+	}
+	sort.Strings(labels)
+	idOf := make(map[string]int32, len(labels))
+	for i, l := range labels {
+		idOf[l] = int32(i)
+	}
+	adj := make([][]int32, len(labels))
+	for id, l := range labels {
+		nbs := n.adj[l]
+		if len(nbs) == 0 {
+			continue
+		}
+		ids := make([]int32, 0, len(nbs))
+		for _, nb := range nbs {
+			ids = append(ids, idOf[nb])
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		// Dedup: parallel links produce duplicate adjacency entries; the
+		// old code deduped per query, we dedup once here.
+		out := ids[:0]
+		for i, v := range ids {
+			if i == 0 || v != ids[i-1] {
+				out = append(out, v)
+			}
+		}
+		adj[id] = out
+	}
+	n.it = &internTables{idOf: idOf, labels: labels, adj: adj}
+	n.bfsPool = &sync.Pool{New: func() any {
+		return &bfsScratch{
+			dist:  make([]int32, len(labels)),
+			queue: make([]int32, 0, len(labels)),
+			avoid: make([]bool, len(labels)),
+		}
+	}}
+}
+
+func (n *Network) getScratch() *bfsScratch   { return n.bfsPool.Get().(*bfsScratch) }
+func (n *Network) putScratch(sc *bfsScratch) { n.bfsPool.Put(sc) }
+
+// setAvoid fills the scratch avoid mask from a string-keyed set, keeping
+// keep (the BFS source/destination) out of it — the old code never
+// avoided the query's own node. Unknown labels are ignored.
+func (sc *bfsScratch) setAvoid(it *internTables, avoid map[string]bool, keep int32) {
+	for i := range sc.avoid {
+		sc.avoid[i] = false
+	}
+	for l, v := range avoid {
+		if !v {
+			continue
+		}
+		if id, ok := it.idOf[l]; ok && id != keep {
+			sc.avoid[id] = true
+		}
+	}
+}
+
+// hopSet is the compact result of one per-destination routing query:
+// for every node id, its equal-cost next hops toward the destination as
+// a range into a shared label arena (off[id]..off[id+1]). An empty range
+// means the node is the destination itself, avoided, or disconnected —
+// by BFS construction every other reachable node has at least one hop.
+// Keeping the per-destination results in flat arrays instead of
+// string-keyed maps is what makes the all-pairs build fast: maps are
+// materialized once at the API boundary, not once per destination.
+type hopSet struct {
+	arena []string
+	off   []int32 // len(labels)+1 range starts
+}
+
+func (h *hopSet) hops(id int32) []string {
+	lo, hi := h.off[id], h.off[id+1]
+	if lo == hi {
+		return nil
+	}
+	return h.arena[lo:hi:hi]
+}
+
+// hopsToward runs the per-destination BFS and builds the hopSet: two
+// sweeps over the pre-sorted int adjacency (one to size the arena, one
+// to fill it). Ids are assigned in label order, so hop lists come out
+// label-sorted without a sort.
+func (n *Network) hopsToward(did int32, avoid map[string]bool, sc *bfsScratch) hopSet {
+	it := n.it
+	sc.setAvoid(it, avoid, did)
+	n.bfsInto(sc, did)
+	dist := sc.dist
+	total := 0
+	for id := range it.labels {
+		d := dist[id]
+		if int32(id) == did || sc.avoid[id] || d < 0 {
+			continue
+		}
+		for _, nb := range it.adj[id] {
+			if dist[nb] == d-1 {
+				total++
+			}
+		}
+	}
+	hs := hopSet{
+		arena: make([]string, 0, total),
+		off:   make([]int32, len(it.labels)+1),
+	}
+	for id := range it.labels {
+		hs.off[id] = int32(len(hs.arena))
+		d := dist[id]
+		if int32(id) == did || sc.avoid[id] || d < 0 {
+			continue
+		}
+		for _, nb := range it.adj[id] {
+			if dist[nb] == d-1 {
+				hs.arena = append(hs.arena, it.labels[nb])
+			}
+		}
+	}
+	hs.off[len(it.labels)] = int32(len(hs.arena))
+	return hs
+}
+
+// bfsInto runs an unweighted BFS from src over the interned adjacency,
+// honoring sc.avoid, filling sc.dist (-1 = unreachable). No allocation:
+// the queue grows once per network size and is reused afterwards.
+func (n *Network) bfsInto(sc *bfsScratch, src int32) {
+	dist := sc.dist
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	q := sc.queue[:0]
+	q = append(q, src)
+	adj := n.it.adj
+	avoid := sc.avoid
+	for head := 0; head < len(q); head++ {
+		cur := q[head]
+		d := dist[cur] + 1
+		for _, nb := range adj[cur] {
+			if avoid[nb] || dist[nb] >= 0 {
+				continue
+			}
+			dist[nb] = d
+			q = append(q, nb)
+		}
+	}
+	sc.queue = q
+}
+
+// routeWorkers bounds the NextHopsAll fan-out. All-pairs tables are
+// CPU-bound map building; past the core count extra workers only
+// contend.
+func routeWorkers(jobs int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

@@ -1,0 +1,236 @@
+// Scale tests: fat-tree structural invariants at k=16/k=32 (no deploy),
+// differential equality of the interned routing fast path against the
+// retained string-keyed reference, and time/alloc budgets on the k=16
+// all-pairs build — the control-plane numbers E17 gates in CI.
+package and
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// diamondSrc is the four-node multipath topology the equal-cost pin
+// tests use: s1 reaches s4 via s2 or s3.
+const diamondSrc = `
+switch s1 id=1
+switch s2 id=2
+switch s3 id=3
+switch s4 id=4
+host a
+host b
+link a s1
+link s1 s2
+link s1 s3
+link s2 s4
+link s3 s4
+link s4 b
+`
+
+// TestRoutingMatchesReference holds the interned flat-BFS implementation
+// bit-identical to the original string-keyed one across topologies and
+// avoid sets — the semantic contract of the perf rewrite.
+func TestRoutingMatchesReference(t *testing.T) {
+	diamond, err := Parse(diamondSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft4, err := FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft8, err := FatTree(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		net   *Network
+		avoid map[string]bool
+	}{
+		{"diamond", diamond, nil},
+		{"diamond-avoid-s2", diamond, map[string]bool{"s2": true}},
+		{"diamond-avoid-cut", diamond, map[string]bool{"s2": true, "s3": true}},
+		{"fattree4", ft4, nil},
+		{"fattree4-avoid-agg", ft4, map[string]bool{"p0a0": true}},
+		{"fattree4-avoid-edge-core", ft4, map[string]bool{"p1e0": true, "core0": true}},
+		{"fattree8", ft8, nil},
+		{"fattree8-avoid", ft8, map[string]bool{"p2a1": true, "core3": true, "p0e0": true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Full table: reference computed per destination over the
+			// non-avoided node set, exactly as NextHopsAllReference does
+			// for the nil-avoid case.
+			want := map[string]map[string][]string{}
+			for _, src := range tc.net.Nodes {
+				if !tc.avoid[src.Label] {
+					want[src.Label] = map[string][]string{}
+				}
+			}
+			for _, dst := range tc.net.Nodes {
+				if tc.avoid[dst.Label] {
+					continue
+				}
+				for src, hops := range tc.net.nextHopsTowardReference(dst.Label, tc.avoid) {
+					if !tc.avoid[src] {
+						want[src][dst.Label] = hops
+					}
+				}
+			}
+			got := tc.net.NextHopsAvoiding(tc.avoid)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("NextHopsAvoiding diverges from reference (%d vs %d sources)", len(got), len(want))
+			}
+			// Per-destination and distance queries, spot-checked for every
+			// node as destination/source.
+			for _, node := range tc.net.Nodes {
+				gotHops := tc.net.NextHopsToward(node.Label, tc.avoid)
+				wantHops := tc.net.nextHopsTowardReference(node.Label, tc.avoid)
+				if !reflect.DeepEqual(gotHops, wantHops) {
+					t.Fatalf("NextHopsToward(%s) diverges from reference", node.Label)
+				}
+				gotDist := tc.net.Distances(node.Label, tc.avoid)
+				wantDist := tc.net.distancesReference(node.Label, tc.avoid)
+				if !reflect.DeepEqual(gotDist, wantDist) {
+					t.Fatalf("Distances(%s) diverges from reference", node.Label)
+				}
+			}
+		})
+	}
+}
+
+// TestNextHopsAllReferenceAgreesAtK8 pins the exported reference entry
+// point (used by E17's speedup column) against the fast path.
+func TestNextHopsAllReferenceAgreesAtK8(t *testing.T) {
+	ft, err := FatTree(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ft.NextHopsAll(), ft.NextHopsAllReference()) {
+		t.Fatal("NextHopsAll diverges from NextHopsAllReference at k=8")
+	}
+}
+
+// TestFatTreeInvariantsAtScale checks the structural identities of k=16
+// and k=32 fat-trees without deploying anything: node and link counts,
+// rack labels, and the 6-hop inter-pod host diameter.
+func TestFatTreeInvariantsAtScale(t *testing.T) {
+	for _, k := range []int{16, 32} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			ft, err := FatTree(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			half := k / 2
+			wantCores := half * half
+			wantAggs := k * half
+			wantEdges := k * half
+			wantHosts := k * k * k / 4
+			var cores, aggs, edges, hosts int
+			for _, node := range ft.Nodes {
+				switch {
+				case node.Kind == HostNode:
+					hosts++
+					if node.Rack == "" {
+						t.Fatalf("host %s has no rack label", node.Label)
+					}
+					nbs := ft.Neighbors(node.Label)
+					if len(nbs) != 1 || nbs[0] != node.Rack {
+						t.Fatalf("host %s: neighbors %v, rack %s", node.Label, nbs, node.Rack)
+					}
+				case node.Tier == TierCore:
+					cores++
+				case node.Tier == TierAgg:
+					aggs++
+				case node.Tier == TierEdge:
+					edges++
+				}
+			}
+			if cores != wantCores || aggs != wantAggs || edges != wantEdges || hosts != wantHosts {
+				t.Fatalf("counts core/agg/edge/host = %d/%d/%d/%d, want %d/%d/%d/%d",
+					cores, aggs, edges, hosts, wantCores, wantAggs, wantEdges, wantHosts)
+			}
+			// Three link layers of k^3/4 each: core-agg, agg-edge, edge-host.
+			if wantLinks := 3 * k * k * k / 4; len(ft.Links) != wantLinks {
+				t.Fatalf("links = %d, want %d", len(ft.Links), wantLinks)
+			}
+			// Inter-pod host pairs are exactly 6 hops
+			// (host-edge-agg-core-agg-edge-host); nothing is further.
+			dist := ft.Distances("h0", nil)
+			if len(dist) != len(ft.Nodes) {
+				t.Fatalf("h0 reaches %d nodes, want %d", len(dist), len(ft.Nodes))
+			}
+			maxD := 0
+			for _, d := range dist {
+				if d > maxD {
+					maxD = d
+				}
+			}
+			if maxD != 6 {
+				t.Fatalf("max distance from h0 = %d, want 6", maxD)
+			}
+			lastHost := fmt.Sprintf("h%d", wantHosts-1)
+			if dist[lastHost] != 6 {
+				t.Fatalf("dist(h0, %s) = %d, want 6", lastHost, dist[lastHost])
+			}
+		})
+	}
+}
+
+// TestFatTreeFormatRoundTripK16 re-parses the serialized k=16 tree and
+// checks the reproduction is structurally identical.
+func TestFatTreeFormatRoundTripK16(t *testing.T) {
+	ft, err := FatTree(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Parse(ft.Format())
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if len(rt.Nodes) != len(ft.Nodes) || len(rt.Links) != len(ft.Links) {
+		t.Fatalf("round-trip nodes/links = %d/%d, want %d/%d",
+			len(rt.Nodes), len(rt.Links), len(ft.Nodes), len(ft.Links))
+	}
+	for _, node := range ft.Nodes {
+		got := rt.NodeByLabel(node.Label)
+		if got == nil || got.Kind != node.Kind || got.ID != node.ID {
+			t.Fatalf("node %s: round-trip mismatch", node.Label)
+		}
+		if !reflect.DeepEqual(rt.Neighbors(node.Label), ft.Neighbors(node.Label)) {
+			t.Fatalf("node %s: adjacency mismatch after round trip", node.Label)
+		}
+	}
+}
+
+// TestRouteBuildBudgetK16 puts a generous wall-clock ceiling on the k=16
+// all-pairs build (measured ~0.3s on one CI core; the old string-keyed
+// path took ~4s) and pins the per-query allocation count of the interned
+// BFS so a regression back to per-pop allocation fails loudly.
+func TestRouteBuildBudgetK16(t *testing.T) {
+	ft, err := FatTree(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	table := ft.NextHopsAll()
+	elapsed := time.Since(start)
+	if len(table) != len(ft.Nodes) {
+		t.Fatalf("table has %d sources, want %d", len(table), len(ft.Nodes))
+	}
+	if budget := 10 * time.Second; elapsed > budget {
+		t.Fatalf("k=16 NextHopsAll took %v, budget %v", elapsed, budget)
+	}
+	// Distances output is a pre-sized map, so the whole query should stay
+	// within a handful of allocations; NextHopsToward adds the shared hop
+	// arena and offset table. Ceilings sit well above measured values but
+	// far below the old one-alloc-per-BFS-pop behavior.
+	if avg := testing.AllocsPerRun(20, func() { ft.Distances("h0", nil) }); avg > 16 {
+		t.Fatalf("Distances allocates %.0f times per run, budget 16", avg)
+	}
+	if avg := testing.AllocsPerRun(20, func() { ft.NextHopsToward("h0", nil) }); avg > 32 {
+		t.Fatalf("NextHopsToward allocates %.0f times per run, budget 32", avg)
+	}
+}

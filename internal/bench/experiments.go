@@ -325,7 +325,7 @@ func AllExperiments() ([]*Table, error) {
 		E1Complexity, E2AllReduce, E3KVS, E4WindowSweep,
 		E5NCP, E6Compile, E7Backends, E8Recirc, E9Hierarchy,
 		E11DataPath, E12SwitchPath, E13LossyReliable,
-		E14Telemetry, E15Fabric, E16Placement,
+		E14Telemetry, E15Fabric, E16Placement, E17Scale,
 	}
 	var out []*Table
 	for _, f := range runs {

@@ -19,6 +19,7 @@ package controller
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"ncl/internal/and"
 	"ncl/internal/netsim"
@@ -30,6 +31,17 @@ import (
 type Controller struct {
 	net      *and.Network // the logical overlay
 	switches map[string]*netsim.SwitchNode
+
+	// Per-topology-epoch route caches. The all-pairs table and the placed
+	// routing state are the control plane's two expensive products; both
+	// are pure functions of (network, placement, failed set), so they are
+	// computed once per epoch and atomically swapped out on Replace. The
+	// identity overlay is immutable, so identityHops never invalidates;
+	// placedRT invalidates whenever Replace mutates the failed set or the
+	// assignment. hostIDs is immutable per controller (built lazily).
+	identityHops atomic.Pointer[map[string]map[string]string]
+	placedRT     atomic.Pointer[Routing]
+	hostIDs      map[uint32]string
 
 	met    ctrlMetrics
 	metReg *obs.Registry // registry met is homed in (SetObs carryover)
@@ -85,6 +97,9 @@ func New(net *and.Network) *Controller {
 // physical network via the placement engine. The returned controller's
 // Placement reports where each _at_ location landed.
 func NewPlaced(opts PlaceOptions) (*Controller, error) {
+	// Seed the distance memo: the initial placement warms it, every
+	// Replace-triggered re-placement reuses it (c.opts carries the map).
+	opts.distCache = map[string]map[string]int{}
 	pl, err := Place(opts)
 	if err != nil {
 		return nil, err
@@ -106,6 +121,47 @@ func (c *Controller) physNet() *and.Network {
 		return c.placement.Physical
 	}
 	return c.net
+}
+
+// cachedNextHops returns the identity deployment's single-path table,
+// computed once — InstallAll, HostRoutes, and HostRoutingAll used to
+// each rebuild the full all-pairs table.
+func (c *Controller) cachedNextHops() map[string]map[string]string {
+	if p := c.identityHops.Load(); p != nil {
+		return *p
+	}
+	hops := c.net.NextHops()
+	c.identityHops.Store(&hops)
+	return hops
+}
+
+// cachedRouting returns the placed routing state for the current
+// (placement, failed) epoch, computing it at most once per epoch —
+// a placed deploy used to pay RoutingAvoiding twice (pushRouting and
+// HostRoutingAll), and each Replace twice more.
+func (c *Controller) cachedRouting() *Routing {
+	if rt := c.placedRT.Load(); rt != nil {
+		return rt
+	}
+	rt := c.placement.RoutingAvoiding(c.failed)
+	c.placedRT.Store(rt)
+	return rt
+}
+
+// invalidateRouting starts a new routing epoch (failed set or assignment
+// changed).
+func (c *Controller) invalidateRouting() { c.placedRT.Store(nil) }
+
+// hostByID returns the host-id→label table (immutable per overlay).
+func (c *Controller) hostByID() map[uint32]string {
+	if c.hostIDs == nil {
+		ids := make(map[uint32]string)
+		for _, h := range c.net.Hosts() {
+			ids[h.ID] = h.Label
+		}
+		c.hostIDs = ids
+	}
+	return c.hostIDs
 }
 
 // resolve maps a logical location label to the physical switch holding
@@ -161,11 +217,8 @@ func (c *Controller) InstallAll(programs map[string]*pisa.Program) error {
 	if c.placement != nil {
 		return c.installPlaced(programs)
 	}
-	hops := c.net.NextHops()
-	hostByID := map[uint32]string{}
-	for _, h := range c.net.Hosts() {
-		hostByID[h.ID] = h.Label
-	}
+	hops := c.cachedNextHops()
+	hostByID := c.hostByID()
 	for _, sw := range c.net.Switches() {
 		sn, ok := c.switches[sw.Label]
 		if !ok {
@@ -188,10 +241,6 @@ func (c *Controller) InstallAll(programs map[string]*pisa.Program) error {
 // installPlaced is InstallAll under a placement: programs land on their
 // assigned switches; all physical switches get placement-aware routing.
 func (c *Controller) installPlaced(programs map[string]*pisa.Program) error {
-	hostByID := map[uint32]string{}
-	for _, h := range c.net.Hosts() {
-		hostByID[h.ID] = h.Label
-	}
 	for _, sw := range c.net.Switches() {
 		phys := c.placement.Assign[sw.Label]
 		sn, ok := c.switches[phys]
@@ -210,14 +259,11 @@ func (c *Controller) installPlaced(programs map[string]*pisa.Program) error {
 	return c.pushRouting()
 }
 
-// pushRouting rebuilds placement routing (avoiding failed switches) and
-// installs it on every attached physical switch.
+// pushRouting installs the current epoch's placement routing (avoiding
+// failed switches) on every attached physical switch.
 func (c *Controller) pushRouting() error {
-	rt := c.placement.RoutingAvoiding(c.failed)
-	hostByID := map[uint32]string{}
-	for _, h := range c.net.Hosts() {
-		hostByID[h.ID] = h.Label
-	}
+	rt := c.cachedRouting()
+	hostByID := c.hostByID()
 	for _, ps := range c.physNet().Switches() {
 		sn, ok := c.switches[ps.Label]
 		if !ok {
@@ -249,6 +295,7 @@ func (c *Controller) Replace(failedPhys string) error {
 		return nil
 	}
 	c.failed[failedPhys] = true
+	c.invalidateRouting()
 
 	var moved []string
 	opts := c.opts
@@ -278,6 +325,7 @@ func (c *Controller) Replace(failedPhys string) error {
 		return fmt.Errorf("controller: re-placement after %s failed: %w", failedPhys, err)
 	}
 	c.placement = pl
+	c.invalidateRouting()
 
 	for _, l := range moved {
 		sw := c.net.NodeByLabel(l)
@@ -426,7 +474,7 @@ func (c *Controller) Switch(loc string) *netsim.SwitchNode { return c.switches[c
 // HostRoutes returns the single-path first-hop table for a host label
 // (identity deployments).
 func (c *Controller) HostRoutes(label string) map[string]string {
-	return c.net.NextHops()[label]
+	return c.cachedNextHops()[label]
 }
 
 // HostRouting returns a host's placement-aware tables: equal-cost next
@@ -442,7 +490,7 @@ func (c *Controller) HostRouting(label string) (next map[string][]string, via ma
 // pass — deployments push these after InstallAll and again after Replace.
 func (c *Controller) HostRoutingAll() (next map[string]map[string][]string, via map[string]map[string]string) {
 	if c.placement == nil {
-		hops := c.net.NextHops()
+		hops := c.cachedNextHops()
 		next = map[string]map[string][]string{}
 		for _, h := range c.net.Hosts() {
 			hn := map[string][]string{}
@@ -453,6 +501,6 @@ func (c *Controller) HostRoutingAll() (next map[string]map[string][]string, via 
 		}
 		return next, nil
 	}
-	rt := c.placement.RoutingAvoiding(c.failed)
+	rt := c.cachedRouting()
 	return rt.HostNext, rt.HostVia
 }

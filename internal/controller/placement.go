@@ -38,6 +38,14 @@ type PlaceOptions struct {
 	// budget-checked). E16 uses it to compare engine placement against
 	// naive core placement.
 	Pin map[string]string
+
+	// distCache memoizes the per-destination physical distance tables
+	// across candidates and across successive Replace-triggered
+	// re-placements (NewPlaced seeds it; a zero value keeps the cache
+	// call-local). Tables are computed on the full graph (avoid=nil) —
+	// failures only exclude candidate switches — so the cache never goes
+	// stale across failovers.
+	distCache map[string]map[string]int
 }
 
 // Placement is a computed logical→physical assignment.
@@ -82,8 +90,12 @@ func Place(opt PlaceOptions) (*Placement, error) {
 	}
 
 	// Physical distance tables, one BFS per destination we actually cost
-	// against (hosts and placed-peer switches), computed lazily.
-	distTo := map[string]map[string]int{}
+	// against (hosts and placed-peer switches), computed lazily and
+	// memoized across calls when the caller supplies a cache.
+	distTo := opt.distCache
+	if distTo == nil {
+		distTo = map[string]map[string]int{}
+	}
 	dist := func(from, to string) int {
 		d, ok := distTo[to]
 		if !ok {

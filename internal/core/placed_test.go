@@ -333,3 +333,42 @@ func TestDeployCleanupOnError(t *testing.T) {
 		t.Fatalf("failed Deploy leaked %d goroutines (%d -> %d)", n-before, before, n)
 	}
 }
+
+// TestDeployOnK32GoroutineBudget pins lazy host attachment: deploying a
+// 4-worker overlay on a k=32 fat-tree (8192 hosts, 1280 switches) must
+// spawn goroutines proportional to switches plus overlay nodes — the
+// 8188 unused hosts attach as inert sinks with no drain goroutine. The
+// pre-lazy fabric spawned one goroutine per physical host, so the old
+// behavior fails this by thousands.
+func TestDeployOnK32GoroutineBudget(t *testing.T) {
+	fat, err := and.FatTree(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := []string{"h0", "h1", "h4096", "h4097"}
+	art, err := Build(lossyAllreduceNCL, starOverlaySrc(workers),
+		BuildOptions{WindowLen: 4, ModuleName: "scale32"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := gort.NumGoroutine()
+	dep, err := art.DeployOn(fat, PlacedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := gort.NumGoroutine() - before
+	// One fabric drain goroutine per switch and per overlay host, plus a
+	// small constant of runtime/host helpers. Measured: 1284.
+	budget := len(fat.Switches()) + len(workers)*4 + 64
+	dep.Stop()
+	if delta > budget {
+		t.Fatalf("k=32 deploy spawned %d goroutines (budget %d; one per 8192 hosts would be the old behavior)", delta, budget)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for gort.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := gort.NumGoroutine(); n > before {
+		t.Fatalf("k=32 deploy leaked %d goroutines (%d -> %d)", n-before, before, n)
+	}
+}

@@ -113,6 +113,11 @@ type Fabric struct {
 	// the healthy fast path pays one atomic load.
 	failed atomic.Pointer[map[string]bool]
 
+	// failedLinks holds failed directed links (FailLink records both
+	// directions): packets crossing one blackhole. Same copy-on-write
+	// discipline as failed — nil until the first failure.
+	failedLinks atomic.Pointer[map[linkKey]bool]
+
 	vt vclock // virtual-time bookkeeping (vtime.go)
 
 	// queueWait records virtual-time queueing delay (µs) whenever a send
@@ -131,6 +136,15 @@ type Fabric struct {
 	// (Attach/SetObs) and read lock-free on the send path.
 	obsReg     *obs.Registry
 	inboxDrops map[string]*obs.Counter
+
+	// sinks marks labels attached as NullNodes: inert packet sinks with no
+	// inbox, no ring buffer, and no drain goroutine. A k=32 fat-tree has
+	// 8192 hosts of which a deployment typically uses a handful; the rest
+	// must not cost a goroutine each. Deliveries to a sink count on the
+	// link stats and fabric.sink_packets, then vanish. Written only before
+	// Start (Attach), read lock-free on the send path.
+	sinks    map[string]bool
+	sinkPkts *obs.Counter
 }
 
 type delivery struct {
@@ -164,6 +178,7 @@ func New(network *and.Network, faults Faults) *Fabric {
 		rng:        rand.New(rand.NewSource(faults.Seed)),
 		pending:    map[linkKey]*heldPkt{},
 		inboxDrops: map[string]*obs.Counter{},
+		sinks:      map[string]bool{},
 		vt:         vclock{linkFree: map[linkKey]float64{}},
 	}
 	f.SetObs(obs.NewRegistry()) // private until a deployment re-homes it
@@ -184,6 +199,7 @@ func (f *Fabric) SetObs(r *obs.Registry) {
 	f.obsReg = r
 	f.reorderFlushed = r.Counter("fabric.reorder_flushed")
 	f.reorderStranded = r.Counter("fabric.reorder_stranded")
+	f.sinkPkts = r.Counter("fabric.sink_packets")
 	for label := range f.inboxDrops {
 		f.inboxDrops[label] = r.Counter("fabric." + label + ".inbox_drops")
 	}
@@ -223,7 +239,10 @@ func (f *Fabric) SetDrainBatch(n int) {
 // Network returns the underlying AND.
 func (f *Fabric) Network() *and.Network { return f.net }
 
-// Attach registers a node implementation for its label.
+// Attach registers a node implementation for its label. NullNodes attach
+// lazily: they satisfy Start's every-node-attached invariant but get no
+// inbox, no per-label counter, and no drain goroutine — packets sent to
+// them are counted and discarded inline on the sender's goroutine.
 func (f *Fabric) Attach(n Node) error {
 	label := n.Label()
 	if f.net.NodeByLabel(label) == nil {
@@ -233,6 +252,10 @@ func (f *Fabric) Attach(n Node) error {
 		return fmt.Errorf("netsim: node %q already attached", label)
 	}
 	f.nodes[label] = n
+	if _, isSink := n.(*NullNode); isSink {
+		f.sinks[label] = true
+		return nil
+	}
 	f.inboxes[label] = newRingInbox(f.inboxCap)
 	f.rngMu.Lock()
 	f.inboxDrops[label] = f.obsReg.Counter("fabric." + label + ".inbox_drops")
@@ -391,15 +414,30 @@ func (f *Fabric) Send(from, to string, pkt *Packet) error {
 	if !ok {
 		return fmt.Errorf("netsim: %s and %s are not overlay neighbors", from, to)
 	}
-	inbox, ok := f.inboxes[to]
-	if !ok {
-		return fmt.Errorf("netsim: no node %q", to)
-	}
 	if fl := f.failed.Load(); fl != nil && ((*fl)[from] || (*fl)[to]) {
 		// A failed node neither sends nor receives: the packet blackholes
 		// like loss, and the reliable layer (or re-placement) recovers.
 		st.Dropped.Add(1)
 		return nil
+	}
+	if ll := f.failedLinks.Load(); ll != nil && (*ll)[key] {
+		// A failed link blackholes in both directions; ECMP senders steer
+		// around it (LinkFailed), stragglers lose the packet like loss.
+		st.Dropped.Add(1)
+		return nil
+	}
+	if f.sinks[to] {
+		// Inert sink: the packet crossed the link (count it) and vanishes.
+		// No virtual-time stamp and no fault dice — sinks carry no
+		// test-visible traffic and must not perturb the seeded rng sequence.
+		st.Packets.Add(1)
+		st.Bytes.Add(uint64(len(pkt.Data)))
+		f.sinkPkts.Inc()
+		return nil
+	}
+	inbox, ok := f.inboxes[to]
+	if !ok {
+		return fmt.Errorf("netsim: no node %q", to)
 	}
 
 	f.stampSend(from, to, pkt)
@@ -499,8 +537,9 @@ func (f *Fabric) SendBatch(from string, tos []string, pkts []*Packet) error {
 	if len(pkts) == 0 {
 		return nil
 	}
-	if !(f.faults == (Faults{}) || f.faults.onlySeed()) || f.failed.Load() != nil {
-		// Fault injection and node failure both need per-packet decisions.
+	if !(f.faults == (Faults{}) || f.faults.onlySeed()) || f.failed.Load() != nil || f.failedLinks.Load() != nil {
+		// Fault injection, node failure, and link failure all need
+		// per-packet decisions.
 		for i := range pkts {
 			if err := f.Send(from, tos[i], pkts[i]); err != nil {
 				return err
@@ -524,14 +563,21 @@ func (f *Fabric) SendBatch(from string, tos []string, pkts []*Packet) error {
 		if !ok {
 			return fmt.Errorf("netsim: %s and %s are not overlay neighbors", from, to)
 		}
-		inbox, ok := f.inboxes[to]
-		if !ok {
-			return fmt.Errorf("netsim: no node %q", to)
-		}
 		run := pkts[i:j]
 		var bytes uint64
 		for _, p := range run {
 			bytes += uint64(len(p.Data))
+		}
+		if f.sinks[to] {
+			st.Packets.Add(uint64(len(run)))
+			st.Bytes.Add(bytes)
+			f.sinkPkts.Add(uint64(len(run)))
+			i = j
+			continue
+		}
+		inbox, ok := f.inboxes[to]
+		if !ok {
+			return fmt.Errorf("netsim: no node %q", to)
 		}
 		st.Packets.Add(uint64(len(run)))
 		st.Bytes.Add(bytes)

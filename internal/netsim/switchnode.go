@@ -580,6 +580,22 @@ func (s *SwitchNode) forward(f Sender, pkt *Packet, from string) {
 		return
 	}
 	hop := and.PickHop(hops, pkt.Src, pkt.Dst)
+	if len(hops) > 1 {
+		// ECMP repair: when the hashed hop sits behind a failed link, the
+		// flow re-hashes over the surviving equal-cost hops. Checked only
+		// after the pick so the healthy path pays one LinkFailed lookup.
+		if lh, ok := f.(LinkHealth); ok && lh.LinkFailed(s.label, hop) {
+			alive := make([]string, 0, len(hops)-1)
+			for _, nb := range hops {
+				if !lh.LinkFailed(s.label, nb) {
+					alive = append(alive, nb)
+				}
+			}
+			if len(alive) > 0 {
+				hop = and.PickHop(alive, pkt.Src, pkt.Dst)
+			}
+		}
+	}
 	if err := f.Send(s.label, hop, pkt); err != nil {
 		s.Errors.Add(1)
 	}

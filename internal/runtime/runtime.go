@@ -1037,7 +1037,23 @@ func (h *Host) resolveHop(dest string) (hop, via string, err error) {
 	if len(hops) == 0 {
 		return "", "", fmt.Errorf("runtime: no route from %s to %s", h.label, dest)
 	}
-	return and.PickHop(hops, h.label, dest), via, nil
+	hop = and.PickHop(hops, h.label, dest)
+	if len(hops) > 1 {
+		// ECMP repair mirrors SwitchNode.forward: a flow hashed onto a
+		// failed first-hop link re-hashes over the surviving hops.
+		if lh, ok := h.send.(netsim.LinkHealth); ok && lh.LinkFailed(h.label, hop) {
+			alive := make([]string, 0, len(hops)-1)
+			for _, nb := range hops {
+				if !lh.LinkFailed(h.label, nb) {
+					alive = append(alive, nb)
+				}
+			}
+			if len(alive) > 0 {
+				hop = and.PickHop(alive, h.label, dest)
+			}
+		}
+	}
+	return hop, via, nil
 }
 
 func (h *Host) transmit(dest string, data []byte) error {
