@@ -61,6 +61,7 @@ func main() {
 		{"E15", bench.E15Fabric},
 		{"E16", bench.E16Placement},
 		{"E17", bench.E17Scale},
+		{"E18", bench.E18Tenancy},
 	}
 	type snap struct {
 		ID     string     `json:"id"`

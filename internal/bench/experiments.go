@@ -326,6 +326,7 @@ func AllExperiments() ([]*Table, error) {
 		E5NCP, E6Compile, E7Backends, E8Recirc, E9Hierarchy,
 		E11DataPath, E12SwitchPath, E13LossyReliable,
 		E14Telemetry, E15Fabric, E16Placement, E17Scale,
+		E18Tenancy,
 	}
 	var out []*Table
 	for _, f := range runs {

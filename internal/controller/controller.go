@@ -58,6 +58,12 @@ type Controller struct {
 	// the register lives).
 	matShadow  map[string]map[string]map[uint64]uint64
 	ctrlShadow map[string]map[int]uint64
+
+	// namePrefix is prepended to every register/table name the control
+	// surface resolves (SetNamePrefix). Tenant deployments set it to
+	// their pisa.TenantPrefix so application code keeps using the
+	// module's own names against a merged multi-tenant device.
+	namePrefix string
 }
 
 // ctrlMetrics counts control-plane events under controller.*.
@@ -205,6 +211,39 @@ func (c *Controller) AttachSwitch(sn *netsim.SwitchNode) error {
 		return fmt.Errorf("controller: %q is not a switch in the AND", sn.Label())
 	}
 	c.switches[sn.Label()] = sn
+	return nil
+}
+
+// SetNamePrefix makes every control-plane register/table name resolve
+// under the given prefix. A tenant deployment over a merged device sets
+// pisa.TenantPrefix(id) so CtrlWrite("nworkers", ...) reaches the
+// tenant's "id/nworkers" slice — application control code is unchanged
+// between single-tenant and multi-tenant deployments.
+func (c *Controller) SetNamePrefix(prefix string) { c.namePrefix = prefix }
+
+// InstallAllViews is InstallAll for shared-device deployments: each
+// switch node records the program's wire bindings and routing state but
+// the device itself is NOT loaded — the tenancy owns the merged device
+// image. Identity overlays only (tenancies do their own placement-free
+// deploys).
+func (c *Controller) InstallAllViews(views map[string]*pisa.Program) error {
+	c.programs = views
+	hops := c.cachedNextHops()
+	hostByID := c.hostByID()
+	for _, sw := range c.net.Switches() {
+		sn, ok := c.switches[sw.Label]
+		if !ok {
+			return fmt.Errorf("controller: switch %s not attached", sw.Label)
+		}
+		prog, ok := views[sw.Label]
+		if !ok {
+			return fmt.Errorf("controller: no program for switch %s", sw.Label)
+		}
+		sn.InstallView(prog, sw.ID)
+		c.met.installs.Inc()
+		sn.SetRoutes(hops[sw.Label])
+		sn.SetHosts(hostByID)
+	}
 	return nil
 }
 
@@ -409,6 +448,7 @@ func (c *Controller) switchesWithRegister(name string) []*netsim.SwitchNode {
 // CtrlWrite sets a _ctrl_ variable (scalar or array element) on every
 // switch that holds it — the paper's ncl::ctrl_wr.
 func (c *Controller) CtrlWrite(global string, idx int, value uint64) error {
+	global = c.namePrefix + global
 	sns := c.switchesWithRegister(global)
 	if len(sns) == 0 {
 		return fmt.Errorf("controller: no switch holds register %q", global)
@@ -433,12 +473,13 @@ func (c *Controller) ReadRegister(loc, global string, idx int) (uint64, error) {
 	if !ok {
 		return 0, fmt.Errorf("controller: no switch %q", loc)
 	}
-	return sn.Device().ReadRegister(global, idx)
+	return sn.Device().ReadRegister(c.namePrefix+global, idx)
 }
 
 // MapInsert installs an ncl::Map entry on the switch at loc (Fig. 5's
 // storage-server-managed Idx map). loc is a logical location label.
 func (c *Controller) MapInsert(loc, name string, key, val uint64) error {
+	name = c.namePrefix + name
 	sn, ok := c.switches[c.resolve(loc)]
 	if !ok {
 		return fmt.Errorf("controller: no switch %q", loc)
@@ -456,6 +497,7 @@ func (c *Controller) MapInsert(loc, name string, key, val uint64) error {
 
 // MapDelete removes an ncl::Map entry (cache eviction, §4.3).
 func (c *Controller) MapDelete(loc, name string, key uint64) error {
+	name = c.namePrefix + name
 	sn, ok := c.switches[c.resolve(loc)]
 	if !ok {
 		return fmt.Errorf("controller: no switch %q", loc)

@@ -1,0 +1,324 @@
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"ncl/internal/obs"
+	"ncl/internal/pisa"
+)
+
+// Multi-tenant admission control — the controller half of INC-as-a-
+// service. An Admission owns the tenant registry for a set of shared
+// switch devices (one budget per location label) and decides, for each
+// incoming tenant program set, whether the *merged* footprint still
+// validates against the per-stage budgets. The check is literally
+// pisa.Program.Validate on the merge: per-stage register SRAM sums
+// across every admitted tenant, so exhausting a stage's budget rejects
+// the newcomer — unless lower-priority tenants can be evicted to make
+// room.
+//
+// Slots are assigned monotonically and never reused: a tenant's slot
+// tags its kernel ids and shadow keys for the tenant's whole lifetime,
+// and retiring the slot with the tenant means a successor can never be
+// confused with an evicted tenant's in-flight state.
+
+// ErrRejected marks admission failures: the program set does not fit
+// the remaining budgets and no eviction could make room. Unwrap with
+// errors.Is.
+var ErrRejected = errors.New("tenant rejected")
+
+// TenantEvent is one admission state transition, delivered to the
+// OnEvent callback (and counted in the registry). Evicted tenants learn
+// of their eviction exactly this way.
+type TenantEvent struct {
+	Kind     string // "admit", "reject", "evict", "remove"
+	Tenant   string
+	Priority int
+	Reason   string
+}
+
+// TenantSpec is one tenant's admission request: its programs per
+// location label, untagged (the merge tags them).
+type TenantSpec struct {
+	ID       string
+	Priority int
+	Programs map[string]*pisa.Program
+}
+
+// admittedTenant is one resident tenant.
+type admittedTenant struct {
+	spec TenantSpec
+	slot int
+	seq  int // admission order, the eviction tie-break
+}
+
+// AdmitResult reports a successful admission: the tenant's slot, the
+// new merged device image per location (covering every location any
+// tenant — surviving or evicted — uses, so the caller reloads each
+// affected device once), the admitted tenant's tagged per-location
+// views, and the tenants evicted to make room.
+type AdmitResult struct {
+	Slot    int
+	Merged  map[string]*pisa.Program
+	Views   map[string]*pisa.Program
+	Evicted []string
+}
+
+// RemoveResult reports a removal: the merged images with the tenant's
+// slices reclaimed.
+type RemoveResult struct {
+	Merged map[string]*pisa.Program
+}
+
+// admissionMetrics counts admission outcomes under controller.* and
+// per-tenant liveness under tenant.<id>.*.
+type admissionMetrics struct {
+	reg        *obs.Registry
+	admissions *obs.Counter // controller.tenant_admissions
+	rejections *obs.Counter // controller.tenant_rejections
+	evictions  *obs.Counter // controller.tenant_evictions
+	removals   *obs.Counter // controller.tenant_removals
+	active     *obs.Gauge   // controller.tenants_active
+}
+
+// Admission is the tenant registry plus the budget oracle.
+type Admission struct {
+	mu       sync.Mutex
+	budget   func(loc string) pisa.TargetConfig
+	tenants  map[string]*admittedTenant
+	nextSlot int
+	nextSeq  int
+	onEvent  func(TenantEvent)
+	met      admissionMetrics
+}
+
+// NewAdmission creates an empty registry. budget maps a location label
+// to the shared device's resources there. reg receives the admission
+// counters (nil: a private registry).
+func NewAdmission(budget func(loc string) pisa.TargetConfig, reg *obs.Registry) *Admission {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Admission{
+		budget:   budget,
+		tenants:  map[string]*admittedTenant{},
+		nextSlot: 1,
+		nextSeq:  1,
+		met: admissionMetrics{
+			reg:        reg,
+			admissions: reg.Counter("controller.tenant_admissions"),
+			rejections: reg.Counter("controller.tenant_rejections"),
+			evictions:  reg.Counter("controller.tenant_evictions"),
+			removals:   reg.Counter("controller.tenant_removals"),
+			active:     reg.Gauge("controller.tenants_active"),
+		},
+	}
+}
+
+// OnEvent installs the event callback (admit/reject/evict/remove).
+// Called synchronously under the registry lock; keep it light.
+func (ad *Admission) OnEvent(fn func(TenantEvent)) {
+	ad.mu.Lock()
+	ad.onEvent = fn
+	ad.mu.Unlock()
+}
+
+func (ad *Admission) fire(ev TenantEvent) {
+	if ad.onEvent != nil {
+		ad.onEvent(ev)
+	}
+}
+
+// tenantProgramsFor builds the per-location merge inputs for a tenant
+// set, in deterministic slot order (MergePrograms sorts again, but the
+// location union must be stable too).
+func locationsOf(set map[string]*admittedTenant, extra *TenantSpec) []string {
+	seen := map[string]bool{}
+	var locs []string
+	add := func(progs map[string]*pisa.Program) {
+		for loc := range progs {
+			if !seen[loc] {
+				seen[loc] = true
+				locs = append(locs, loc)
+			}
+		}
+	}
+	for _, t := range set {
+		add(t.spec.Programs)
+	}
+	if extra != nil {
+		add(extra.Programs)
+	}
+	sort.Strings(locs)
+	return locs
+}
+
+// mergeSet merges a trial tenant set and validates every location
+// against its budget. locs fixes the locations to produce (so a
+// location whose last tenant left still yields an empty reclaim
+// program). Returns the merged image per location.
+func (ad *Admission) mergeSet(set map[string]*admittedTenant, locs []string) (map[string]*pisa.Program, error) {
+	merged := make(map[string]*pisa.Program, len(locs))
+	for _, loc := range locs {
+		var tps []*pisa.TenantProgram
+		for _, t := range set {
+			if p, ok := t.spec.Programs[loc]; ok {
+				tps = append(tps, &pisa.TenantProgram{
+					ID: t.spec.ID, Slot: t.slot, Priority: t.spec.Priority, Program: p,
+				})
+			}
+		}
+		m, err := pisa.MergePrograms(loc, tps)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Validate(ad.budget(loc)); err != nil {
+			return nil, fmt.Errorf("location %s: %w", loc, err)
+		}
+		merged[loc] = m
+	}
+	return merged, nil
+}
+
+// Admit runs admission control for one tenant: merge the resident set
+// plus the newcomer and validate every location. On budget exhaustion,
+// tenants with strictly lower priority are evicted one at a time —
+// lowest priority first, most recently admitted first among equals (a
+// deterministic order) — until the merge validates or candidates run
+// out (ErrRejected; residents are untouched). Eviction only commits
+// when admission then succeeds.
+func (ad *Admission) Admit(spec TenantSpec) (*AdmitResult, error) {
+	ad.mu.Lock()
+	defer ad.mu.Unlock()
+	if _, dup := ad.tenants[spec.ID]; dup {
+		return nil, fmt.Errorf("controller: tenant %q already admitted", spec.ID)
+	}
+	if len(spec.Programs) == 0 {
+		return nil, fmt.Errorf("controller: tenant %q has no programs", spec.ID)
+	}
+	cand := &admittedTenant{spec: spec, slot: ad.nextSlot, seq: ad.nextSeq}
+	trial := make(map[string]*admittedTenant, len(ad.tenants)+1)
+	for id, t := range ad.tenants {
+		trial[id] = t
+	}
+	trial[spec.ID] = cand
+	locs := locationsOf(ad.tenants, &spec)
+
+	merged, err := ad.mergeSet(trial, locs)
+	var evicted []string
+	if err != nil {
+		// Eviction order: strictly lower priority only, lowest priority
+		// first, youngest first among equals. Sorting on (priority, -seq)
+		// makes the order independent of map iteration.
+		var victims []*admittedTenant
+		for _, t := range ad.tenants {
+			if t.spec.Priority < spec.Priority {
+				victims = append(victims, t)
+			}
+		}
+		sort.Slice(victims, func(a, b int) bool {
+			if victims[a].spec.Priority != victims[b].spec.Priority {
+				return victims[a].spec.Priority < victims[b].spec.Priority
+			}
+			return victims[a].seq > victims[b].seq
+		})
+		for _, v := range victims {
+			delete(trial, v.spec.ID)
+			evicted = append(evicted, v.spec.ID)
+			if merged, err = ad.mergeSet(trial, locs); err == nil {
+				break
+			}
+		}
+		if err != nil {
+			ad.met.rejections.Inc()
+			ad.fire(TenantEvent{Kind: "reject", Tenant: spec.ID, Priority: spec.Priority, Reason: err.Error()})
+			return nil, fmt.Errorf("controller: tenant %q %w: %v", spec.ID, ErrRejected, err)
+		}
+	}
+
+	// Commit: evictions first (events carry the reason), then the
+	// admission.
+	for _, id := range evicted {
+		v := ad.tenants[id]
+		delete(ad.tenants, id)
+		ad.met.evictions.Inc()
+		ad.met.reg.Gauge("tenant." + id + ".active").Set(0)
+		ad.fire(TenantEvent{
+			Kind: "evict", Tenant: id, Priority: v.spec.Priority,
+			Reason: fmt.Sprintf("evicted for higher-priority tenant %s", spec.ID),
+		})
+	}
+	ad.tenants[spec.ID] = cand
+	ad.nextSlot++
+	ad.nextSeq++
+	ad.met.admissions.Inc()
+	ad.met.active.Set(int64(len(ad.tenants)))
+	ad.met.reg.Gauge("tenant." + spec.ID + ".active").Set(1)
+	ad.fire(TenantEvent{Kind: "admit", Tenant: spec.ID, Priority: spec.Priority})
+
+	views := make(map[string]*pisa.Program, len(spec.Programs))
+	for loc, p := range spec.Programs {
+		v, err := pisa.TagProgram(&pisa.TenantProgram{
+			ID: spec.ID, Slot: cand.slot, Priority: spec.Priority, Program: p,
+		})
+		if err != nil {
+			// Unreachable after a successful merge; fail loudly anyway.
+			return nil, err
+		}
+		views[loc] = v
+	}
+	return &AdmitResult{Slot: cand.slot, Merged: merged, Views: views, Evicted: evicted}, nil
+}
+
+// Remove retires a tenant and reclaims its slices: the returned merged
+// images simply omit the tenant, so reloading them frees its per-stage
+// SRAM for future admissions.
+func (ad *Admission) Remove(id string) (*RemoveResult, error) {
+	ad.mu.Lock()
+	defer ad.mu.Unlock()
+	t, ok := ad.tenants[id]
+	if !ok {
+		return nil, fmt.Errorf("controller: no tenant %q", id)
+	}
+	locs := locationsOf(ad.tenants, nil)
+	delete(ad.tenants, id)
+	merged, err := ad.mergeSet(ad.tenants, locs)
+	if err != nil {
+		// Removing a tenant cannot grow any footprint; a failure here
+		// means a budget function changed underneath us. Restore.
+		ad.tenants[id] = t
+		return nil, err
+	}
+	ad.met.removals.Inc()
+	ad.met.active.Set(int64(len(ad.tenants)))
+	ad.met.reg.Gauge("tenant." + id + ".active").Set(0)
+	ad.fire(TenantEvent{Kind: "remove", Tenant: id, Priority: t.spec.Priority})
+	return &RemoveResult{Merged: merged}, nil
+}
+
+// Slot reports an admitted tenant's slot (0 if absent).
+func (ad *Admission) Slot(id string) int {
+	ad.mu.Lock()
+	defer ad.mu.Unlock()
+	if t, ok := ad.tenants[id]; ok {
+		return t.slot
+	}
+	return 0
+}
+
+// Tenants lists the admitted tenant ids in admission order.
+func (ad *Admission) Tenants() []string {
+	ad.mu.Lock()
+	defer ad.mu.Unlock()
+	out := make([]string, 0, len(ad.tenants))
+	for id := range ad.tenants {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		return ad.tenants[out[a]].seq < ad.tenants[out[b]].seq
+	})
+	return out
+}

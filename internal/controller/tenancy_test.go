@@ -1,0 +1,188 @@
+package controller
+
+import (
+	"errors"
+	"testing"
+
+	"ncl/internal/obs"
+	"ncl/internal/pisa"
+)
+
+// tenantProg is a minimal stateful program with a known footprint: one
+// 64-bit register element homed at stage 0 (64 bits of stage-0 SRAM).
+func tenantProg() *pisa.Program {
+	k := &pisa.Kernel{
+		Name:      "inc",
+		ID:        1,
+		WindowLen: 1,
+		Fields:    []pisa.Field{{Name: "d0", Bits: 32}},
+		Params:    []pisa.ParamLayout{{Name: "x", Elems: 1, Bits: 32, Fields: []pisa.FieldRef{0}}},
+		WinMeta:   map[string]pisa.FieldRef{},
+		Passes: [][]*pisa.Stage{{{SALUs: []*pisa.SALU{{
+			Global: "cnt",
+			Index:  pisa.ConstOperand(0),
+			Prog: []pisa.MicroOp{
+				{Op: "add", Dst: pisa.MReg, A: pisa.SlotOperand(pisa.MReg), B: pisa.PhvOperand(0)},
+			},
+		}}}}},
+	}
+	return &pisa.Program{
+		Name:      "t",
+		Registers: []pisa.RegisterDef{{Name: "cnt", Elems: 1, Bits: 64, Stage: 0}},
+		Kernels:   []*pisa.Kernel{k},
+	}
+}
+
+// admissionFor builds a registry whose stage-0 SRAM fits exactly n
+// tenantProg footprints — the "budget exactly exhausted" edge is the
+// (n+1)th admission.
+func admissionFor(n int, reg *obs.Registry) *Admission {
+	target := pisa.DefaultTarget()
+	target.RegBitsPerStage = 64 * n
+	return NewAdmission(func(string) pisa.TargetConfig { return target }, reg)
+}
+
+func spec(id string, pri int) TenantSpec {
+	return TenantSpec{ID: id, Priority: pri, Programs: map[string]*pisa.Program{"s1": tenantProg()}}
+}
+
+func TestAdmitRejectsWhenBudgetExactlyExhausted(t *testing.T) {
+	reg := obs.NewRegistry()
+	ad := admissionFor(2, reg)
+	var events []TenantEvent
+	ad.OnEvent(func(ev TenantEvent) { events = append(events, ev) })
+
+	for _, id := range []string{"a", "b"} {
+		if _, err := ad.Admit(spec(id, 1)); err != nil {
+			t.Fatalf("admit %s: %v", id, err)
+		}
+	}
+	// Stage-0 SRAM now exactly full: 2 × 64 bits against a 128-bit
+	// budget. A third equal-priority tenant has no one to evict.
+	_, err := ad.Admit(spec("c", 1))
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("third tenant must be rejected, got %v", err)
+	}
+	if got := ad.Tenants(); len(got) != 2 {
+		t.Fatalf("residents after reject = %v, want [a b]", got)
+	}
+	last := events[len(events)-1]
+	if last.Kind != "reject" || last.Tenant != "c" {
+		t.Errorf("last event = %+v, want reject of c", last)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["controller.tenant_rejections"] != 1 ||
+		snap.Counters["controller.tenant_admissions"] != 2 {
+		t.Errorf("counters wrong: %v", snap.Counters)
+	}
+	if snap.Gauges["controller.tenants_active"] != 2 {
+		t.Errorf("tenants_active = %d, want 2", snap.Gauges["controller.tenants_active"])
+	}
+}
+
+func TestEvictionOrderIsDeterministic(t *testing.T) {
+	// Room for two. Residents: low (pri 1, oldest), mid (pri 2). A
+	// pri-5 newcomer needs one slot freed; the candidate order is
+	// priority ascending, so `low` goes even though `mid` is younger.
+	ad := admissionFor(2, nil)
+	var evicted []string
+	ad.OnEvent(func(ev TenantEvent) {
+		if ev.Kind == "evict" {
+			evicted = append(evicted, ev.Tenant)
+		}
+	})
+	if _, err := ad.Admit(spec("low", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ad.Admit(spec("mid", 2)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ad.Admit(spec("high", 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Evicted) != 1 || res.Evicted[0] != "low" {
+		t.Fatalf("evicted = %v, want [low]", res.Evicted)
+	}
+	if len(evicted) != 1 || evicted[0] != "low" {
+		t.Fatalf("evict events = %v, want [low]", evicted)
+	}
+	if got := ad.Tenants(); len(got) != 2 || got[0] != "mid" || got[1] != "high" {
+		t.Fatalf("residents = %v, want [mid high]", got)
+	}
+}
+
+func TestEvictionBreaksTiesYoungestFirst(t *testing.T) {
+	// Both residents at priority 1: the most recently admitted one is
+	// evicted first (it has had the least time to accumulate state).
+	ad := admissionFor(2, nil)
+	if _, err := ad.Admit(spec("older", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ad.Admit(spec("younger", 1)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ad.Admit(spec("high", 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Evicted) != 1 || res.Evicted[0] != "younger" {
+		t.Fatalf("evicted = %v, want [younger]", res.Evicted)
+	}
+}
+
+func TestEvictionNeverTouchesEqualOrHigherPriority(t *testing.T) {
+	ad := admissionFor(1, nil)
+	if _, err := ad.Admit(spec("resident", 5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ad.Admit(spec("equal", 5)); !errors.Is(err, ErrRejected) {
+		t.Fatalf("equal priority must not evict, got %v", err)
+	}
+	if _, err := ad.Admit(spec("lower", 1)); !errors.Is(err, ErrRejected) {
+		t.Fatalf("lower priority must not evict, got %v", err)
+	}
+	if got := ad.Tenants(); len(got) != 1 || got[0] != "resident" {
+		t.Fatalf("residents = %v, want [resident]", got)
+	}
+}
+
+func TestRemoveReclaimsSlicesForReadmission(t *testing.T) {
+	ad := admissionFor(1, nil)
+	r1, err := ad.Admit(spec("a", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ad.Admit(spec("b", 1)); !errors.Is(err, ErrRejected) {
+		t.Fatalf("b must first be rejected, got %v", err)
+	}
+	rm, err := ad.Remove("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reclaim image for a's location is the empty merge — loading
+	// it frees the slices on the device.
+	if m := rm.Merged["s1"]; m == nil || len(m.Registers) != 0 {
+		t.Fatalf("reclaim image = %+v, want empty program", rm.Merged["s1"])
+	}
+	r2, err := ad.Admit(spec("b", 1))
+	if err != nil {
+		t.Fatalf("b must admit after a's removal: %v", err)
+	}
+	if r2.Slot <= r1.Slot {
+		t.Errorf("slots must be monotonic, never reused: %d then %d", r1.Slot, r2.Slot)
+	}
+	if r2.Views["s1"] == nil || r2.Merged["s1"] == nil {
+		t.Fatal("admission result missing views/merged")
+	}
+}
+
+func TestAdmitRejectsDuplicateID(t *testing.T) {
+	ad := admissionFor(4, nil)
+	if _, err := ad.Admit(spec("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ad.Admit(spec("a", 2)); err == nil {
+		t.Fatal("duplicate tenant id must error")
+	}
+}

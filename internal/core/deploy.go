@@ -33,7 +33,24 @@ type Deployment struct {
 // host, programs installed, routes populated.
 func (a *Artifact) Deploy(faults netsim.Faults) (*Deployment, error) {
 	return a.deployFabric(controller.New(a.Net), a.Net, faults,
-		func(string) pisa.TargetConfig { return a.Target })
+		func(string) pisa.TargetConfig { return a.Target }, nil)
+}
+
+// deployHooks customizes deployFabric for non-standard deployments (the
+// multi-tenant path). Every field is optional; nil means the standard
+// behavior.
+type deployHooks struct {
+	// newNode builds the switch node for a physical switch label
+	// (default: a fresh device per node from the budget function). The
+	// tenancy path returns shared-device nodes here.
+	newNode func(label string) *netsim.SwitchNode
+	// install installs programs through the controller (default:
+	// ctrl.InstallAll(a.Programs)). The tenancy path installs per-tenant
+	// tagged views without touching the shared devices.
+	install func(ctrl *controller.Controller) error
+	// editCfg adjusts the host runtime config before any host is built
+	// (the tenancy path tags kernel ids and sets the metrics prefix).
+	editCfg func(cfg *runtime.AppConfig)
 }
 
 // PlacedOptions configures DeployOn: the fault plan plus the placement
@@ -81,17 +98,23 @@ func (a *Artifact) DeployOn(phys *and.Network, opts PlacedOptions) (*Deployment,
 		}
 		return budget
 	}
-	return a.deployFabric(ctrl, phys, opts.Faults, budgetFor)
+	return a.deployFabric(ctrl, phys, opts.Faults, budgetFor, nil)
 }
 
 // deployFabric builds a running deployment over net (the physical network;
 // for identity deployments the overlay itself). Every error path tears
 // down whatever was already brought up — switch worker pools, host
 // goroutines, the fabric — so a failed Deploy leaks nothing.
-func (a *Artifact) deployFabric(ctrl *controller.Controller, net *and.Network, faults netsim.Faults, budgetFor func(label string) pisa.TargetConfig) (dep *Deployment, err error) {
+func (a *Artifact) deployFabric(ctrl *controller.Controller, net *and.Network, faults netsim.Faults, budgetFor func(label string) pisa.TargetConfig, hooks *deployHooks) (dep *Deployment, err error) {
+	if hooks == nil {
+		hooks = &deployHooks{}
+	}
 	reg := obs.NewRegistry()
 	cfg := a.AppConfig()
 	cfg.Obs = reg
+	if hooks.editCfg != nil {
+		hooks.editCfg(&cfg)
+	}
 	fab := netsim.New(net, faults)
 	fab.SetObs(reg)
 	fab.SetInboxCap(cfg.FabricInboxCap)
@@ -113,7 +136,12 @@ func (a *Artifact) deployFabric(ctrl *controller.Controller, net *and.Network, f
 		}
 	}()
 	for _, sw := range net.Switches() {
-		sn := netsim.NewSwitchNode(sw.Label, budgetFor(sw.Label))
+		var sn *netsim.SwitchNode
+		if hooks.newNode != nil {
+			sn = hooks.newNode(sw.Label)
+		} else {
+			sn = netsim.NewSwitchNode(sw.Label, budgetFor(sw.Label))
+		}
 		sn.SetExecWorkers(cfg.ExecWorkers)
 		// Record before any error return so cleanup closes the pool.
 		dep.Switches[sw.Label] = sn
@@ -149,7 +177,12 @@ func (a *Artifact) deployFabric(ctrl *controller.Controller, net *and.Network, f
 			return nil, err
 		}
 	}
-	if err = ctrl.InstallAll(a.Programs); err != nil {
+	if hooks.install != nil {
+		err = hooks.install(ctrl)
+	} else {
+		err = ctrl.InstallAll(a.Programs)
+	}
+	if err != nil {
 		return nil, err
 	}
 	if err = fab.Start(); err != nil {

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ncl/internal/controller"
+	"ncl/internal/netsim"
+	"ncl/internal/pisa"
+	"ncl/internal/runtime"
+)
+
+// buildTenantAllReduce compiles one tenant's copy of the lossy allreduce
+// application (its own artifact: tenants are independently built).
+func buildTenantAllReduce(t *testing.T, workers int) *Artifact {
+	t.Helper()
+	overlay := fmt.Sprintf("switch s1 id=1\nhost worker count=%d role=0\nlink worker s1\n", workers)
+	art, err := Build(lossyAllreduceNCL, overlay, BuildOptions{WindowLen: 8, ModuleName: "tenantar"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return art
+}
+
+// maxStageSRAM computes a program's largest per-stage register footprint
+// in bits — setting RegBitsPerStage to exactly this admits one copy and
+// rejects two.
+func maxStageSRAM(p *pisa.Program) int {
+	use := map[int]int{}
+	max := 0
+	for _, r := range p.Registers {
+		use[r.Stage] += r.Elems * r.Bits
+		if use[r.Stage] > max {
+			max = use[r.Stage]
+		}
+	}
+	return max
+}
+
+// driveTenantRound runs one reliable allreduce round on a tenant's
+// private deployment and folds each worker's contribution into expected.
+func driveTenantRound(t *testing.T, tn *Tenant, workers, salt int, expected []int64) {
+	t.Helper()
+	const dataLen = 64
+	opts := runtime.ReliableOptions{Timeout: 8 * time.Millisecond, Retries: 12, Window: 16}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		grad := make([]uint64, dataLen)
+		for i := range grad {
+			v := int64((w + 1) + i%7 + salt)
+			grad[i] = uint64(v)
+			expected[i] += v
+		}
+		wg.Add(1)
+		go func(w int, grad []uint64) {
+			defer wg.Done()
+			host := tn.Deployment.Hosts[fmt.Sprintf("worker%d", w)]
+			errs[w] = host.OutReliable(runtime.Invocation{Kernel: "allreduce", Dest: "s1"}, [][]uint64{grad}, opts)
+		}(w, grad)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("tenant %s worker %d: %v", tn.ID, w, err)
+		}
+	}
+}
+
+// checkTenantAccum verifies a tenant's aggregation registers through its
+// own controller (unprefixed names: the tenant's control plane resolves
+// its slices transparently).
+func checkTenantAccum(t *testing.T, tn *Tenant, expected []int64) {
+	t.Helper()
+	const W = 8
+	for i := range expected {
+		v, err := tn.Deployment.Controller.ReadRegister("s1", fmt.Sprintf("accum$%d", i%W), i/W)
+		if err != nil {
+			t.Fatalf("tenant %s: %v", tn.ID, err)
+		}
+		if int64(int32(v)) != expected[i] {
+			t.Fatalf("tenant %s accum[%d] = %d, want %d (cross-tenant interference?)",
+				tn.ID, i, int64(int32(v)), expected[i])
+		}
+	}
+}
+
+// TestTenancyTwoTenantAllReduce is the tentpole's end-to-end check: two
+// independently-built allreduce applications share one switch device,
+// each through its own slice of the merged program, with bit-exact
+// per-tenant aggregation state, transparent control-plane name
+// resolution, and per-tenant metrics namespaces.
+func TestTenancyTwoTenantAllReduce(t *testing.T) {
+	const workers = 2
+	ten := NewTenancy(pisa.DefaultTarget(), netsim.Faults{})
+	defer ten.Stop()
+
+	tenants := map[string]*Tenant{}
+	expected := map[string][]int64{}
+	for i, id := range []string{"a", "b"} {
+		tn, err := ten.AddTenant(buildTenantAllReduce(t, workers), id, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tn.Slot != i+1 {
+			t.Fatalf("tenant %s slot = %d, want %d", id, tn.Slot, i+1)
+		}
+		if err := tn.Deployment.Controller.CtrlWrite("nworkers", 0, workers); err != nil {
+			t.Fatal(err)
+		}
+		tenants[id] = tn
+		expected[id] = make([]int64, 64)
+	}
+
+	// Both tenants aggregate concurrently with different data.
+	var wg sync.WaitGroup
+	for salt, id := range []string{"a", "b"} {
+		wg.Add(1)
+		go func(id string, salt int) {
+			defer wg.Done()
+			driveTenantRound(t, tenants[id], workers, salt*100, expected[id])
+		}(id, salt)
+	}
+	wg.Wait()
+
+	for _, id := range []string{"a", "b"} {
+		checkTenantAccum(t, tenants[id], expected[id])
+	}
+	// The shared device holds both tenants' slices under prefixed names.
+	dev, err := ten.Device("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"a", "b"} {
+		if v, err := dev.ReadRegister(pisa.TenantPrefix(id)+"nworkers", 0); err != nil || v != workers {
+			t.Errorf("device %snworkers = %d (%v), want %d", pisa.TenantPrefix(id), v, err, workers)
+		}
+	}
+	// Per-tenant metrics: device windows per tenant in the tenancy
+	// registry, host counters under the tenant namespace in each
+	// deployment's registry.
+	snap := ten.Obs.Snapshot()
+	for _, id := range []string{"a", "b"} {
+		if snap.Counters["pisa.s1.tenant."+id+".windows"] == 0 {
+			t.Errorf("pisa.s1.tenant.%s.windows never incremented: %v", id, snap.Counters)
+		}
+		found := false
+		for name := range tenants[id].Deployment.Obs.Snapshot().Counters {
+			if strings.HasPrefix(name, "tenant."+id+".host.") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("tenant %s deployment has no tenant.%s.host.* counters", id, id)
+		}
+	}
+}
+
+// TestTenancyAdmissionLifecycle exercises the service edges end to end:
+// budget-exhausted rejection leaves the resident untouched, a
+// higher-priority tenant evicts it (with an event), and removal
+// reclaims the slices so the once-rejected tenant then admits.
+func TestTenancyAdmissionLifecycle(t *testing.T) {
+	const workers = 2
+	art := buildTenantAllReduce(t, workers)
+	target := pisa.DefaultTarget()
+	target.RegBitsPerStage = maxStageSRAM(art.Programs["s1"]) // exactly one tenant fits
+	ten := NewTenancy(target, netsim.Faults{})
+	defer ten.Stop()
+
+	batch, err := ten.AddTenant(art, "batch", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := batch.Deployment.Controller.CtrlWrite("nworkers", 0, workers); err != nil {
+		t.Fatal(err)
+	}
+	expected := make([]int64, 64)
+	driveTenantRound(t, batch, workers, 0, expected)
+
+	// Same priority: rejected, resident keeps running.
+	if _, err := ten.AddTenant(buildTenantAllReduce(t, workers), "equal", 1); !errors.Is(err, controller.ErrRejected) {
+		t.Fatalf("equal-priority tenant must be rejected, got %v", err)
+	}
+	driveTenantRound(t, batch, workers, 3, expected)
+	checkTenantAccum(t, batch, expected)
+
+	// Higher priority: the batch tenant is evicted to make room.
+	prod, err := ten.AddTenant(buildTenantAllReduce(t, workers), "prod", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ten.Tenant("batch"); err == nil {
+		t.Fatal("evicted tenant still resident")
+	}
+	var sawEvict bool
+	for _, ev := range ten.Events() {
+		if ev.Kind == "evict" && ev.Tenant == "batch" {
+			sawEvict = true
+		}
+	}
+	if !sawEvict {
+		t.Fatalf("no evict event for batch: %+v", ten.Events())
+	}
+	if err := prod.Deployment.Controller.CtrlWrite("nworkers", 0, workers); err != nil {
+		t.Fatal(err)
+	}
+	prodExpected := make([]int64, 64)
+	driveTenantRound(t, prod, workers, 7, prodExpected)
+	checkTenantAccum(t, prod, prodExpected)
+
+	// Removal reclaims the slices: the rejected tenant now admits.
+	if err := ten.RemoveTenant("prod"); err != nil {
+		t.Fatal(err)
+	}
+	readmit, err := ten.AddTenant(buildTenantAllReduce(t, workers), "equal", 1)
+	if err != nil {
+		t.Fatalf("tenant must admit after removal reclaims slices: %v", err)
+	}
+	if readmit.Slot <= prod.Slot {
+		t.Errorf("slots must never be reused: prod=%d, readmit=%d", prod.Slot, readmit.Slot)
+	}
+}
+
+// TestTenancySoakLossyAllReduce is the multi-tenant chaos row: three
+// tenants share one switch over a fabric injecting loss, duplication,
+// and reordering, each running reliable non-idempotent allreduce rounds
+// concurrently. Every tenant's register state must stay bit-exact —
+// exactly-once must hold per tenant with no cross-tenant suppression.
+// The nightly chaos job scales rounds via NCL_SOAK_ROUNDS and runs it
+// under -race.
+func TestTenancySoakLossyAllReduce(t *testing.T) {
+	const workers = 3
+	ids := []string{"t1", "t2", "t3"}
+	rounds := soakRounds(2)
+
+	ten := NewTenancy(pisa.DefaultTarget(), netsim.Faults{
+		DropProb: 0.12, DupProb: 0.12, ReorderProb: 0.05, ReorderHold: 4, Seed: 11,
+	})
+	defer ten.Stop()
+
+	tenants := map[string]*Tenant{}
+	expected := map[string][]int64{}
+	for _, id := range ids {
+		tn, err := ten.AddTenant(buildTenantAllReduce(t, workers), id, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tn.Deployment.Controller.CtrlWrite("nworkers", 0, workers); err != nil {
+			t.Fatal(err)
+		}
+		tenants[id] = tn
+		expected[id] = make([]int64, 64)
+	}
+
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		for ti, id := range ids {
+			wg.Add(1)
+			go func(id string, salt int) {
+				defer wg.Done()
+				driveTenantRound(t, tenants[id], workers, salt, expected[id])
+			}(id, round*10+ti)
+		}
+		wg.Wait()
+	}
+
+	dupSuppressed := uint64(0)
+	for _, id := range ids {
+		checkTenantAccum(t, tenants[id], expected[id])
+		dupSuppressed += tenants[id].Deployment.Switches["s1"].DupSuppressed.Load()
+	}
+	// With 12% duplication plus retransmits, the per-tenant shadow must
+	// have suppressed real duplicates somewhere.
+	if dupSuppressed == 0 {
+		t.Error("no duplicates suppressed despite injected duplication")
+	}
+	snap := ten.Obs.Snapshot()
+	for _, id := range ids {
+		if snap.Counters["pisa.s1.tenant."+id+".windows"] == 0 {
+			t.Errorf("pisa.s1.tenant.%s.windows never incremented", id)
+		}
+	}
+	t.Logf("rounds=%d tenants=%d dup_suppressed=%d", rounds, len(ids), dupSuppressed)
+}

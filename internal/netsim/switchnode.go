@@ -29,6 +29,7 @@ import (
 type SwitchNode struct {
 	label   string
 	sw      *pisa.Switch
+	shared  bool // device shared across tenants: SetObs leaves it alone
 	locID   uint32
 	routing atomic.Pointer[SwitchRouting] // forwarding state (SetRoutes/SetRouting)
 
@@ -111,6 +112,24 @@ func NewSwitchNode(label string, target pisa.TargetConfig) *SwitchNode {
 	return s
 }
 
+// NewSwitchNodeShared wraps an existing PISA device owned by someone
+// else — the multi-tenant path, where every tenant's fabric has its own
+// node for a location but all of them share one physical device. The
+// wrapper never loads programs onto the device (use InstallView for the
+// tenant's wire bindings) and SetObs leaves the device's counters homed
+// where the device owner put them.
+func NewSwitchNodeShared(label string, dev *pisa.Switch) *SwitchNode {
+	s := &SwitchNode{
+		label:    label,
+		sw:       dev,
+		shared:   true,
+		hostByID: map[uint32]string{},
+	}
+	s.SetRouting(&SwitchRouting{})
+	s.SetObs(obs.NewRegistry())
+	return s
+}
+
 // SetObs re-homes the switch's counters (and the underlying PISA
 // device's) into the given registry. Call before traffic flows — counts
 // accumulated in the previous registry stay there.
@@ -129,7 +148,9 @@ func (s *SwitchNode) SetObs(r *obs.Registry) {
 		kp.windows = r.Counter(p + "kernel." + kp.k.Name + ".windows")
 	}
 	s.obsMu.Unlock()
-	s.sw.SetObs(r, s.label)
+	if !s.shared {
+		s.sw.SetObs(r, s.label)
+	}
 }
 
 // Label implements Node.
@@ -145,6 +166,16 @@ func (s *SwitchNode) Install(p *pisa.Program, locID uint32) error {
 	if err := s.sw.Load(p); err != nil {
 		return err
 	}
+	s.InstallView(p, locID)
+	return nil
+}
+
+// InstallView records the control metadata for a program WITHOUT
+// loading it onto the device — the multi-tenant path: the tenancy loads
+// the merged program on the shared device, and each tenant's node
+// installs only its own tagged slice as the wire-binding view. The
+// view's kernel ids must match the ids the merged plan serves.
+func (s *SwitchNode) InstallView(p *pisa.Program, locID uint32) {
 	s.locID = locID
 	s.obsMu.Lock()
 	s.kplans = map[uint32]*swKernel{}
@@ -161,7 +192,6 @@ func (s *SwitchNode) Install(p *pisa.Program, locID uint32) error {
 		}
 	}
 	s.obsMu.Unlock()
-	return nil
 }
 
 // SwitchRouting is the forwarding state a controller installs on a

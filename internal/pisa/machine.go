@@ -26,6 +26,12 @@ type Switch struct {
 
 	loadMu  sync.Mutex // serializes Load (plan construction + swap)
 	scratch sync.Pool  // *execScratch
+
+	// obsMu guards the registry/label SetObs stored so Load can rebuild
+	// the metrics struct when a merged program brings new tenants.
+	obsMu    sync.Mutex
+	obsReg   *obs.Registry
+	obsLabel string
 }
 
 // execScratch is the pooled per-window working set: the PHV, one
@@ -50,6 +56,10 @@ type pisaMetrics struct {
 	dupSuppressed *obs.Counter // pisa.<label>.dup_suppressed
 	shadowSlots   *obs.Gauge   // pisa.<label>.shadow_slots
 	stageExecs    []*obs.Counter
+	// tenantWindows counts windows per tenant slot on a merged
+	// multi-tenant program (pisa.<label>.tenant.<id>.windows). nil on
+	// single-tenant devices, so the untenanted hot path pays one branch.
+	tenantWindows map[uint32]*obs.Counter
 }
 
 // NewSwitch creates an empty switch with the given resources. Counters
@@ -63,8 +73,24 @@ func NewSwitch(target TargetConfig) *Switch {
 
 // SetObs re-homes the device's execution counters into the given
 // registry under pisa.<label>.* (deployments call this before traffic;
-// counts accumulated in the previous registry stay there).
+// counts accumulated in the previous registry stay there). The registry
+// is remembered so a later Load can add per-tenant counters for a merged
+// program's tenants.
 func (sw *Switch) SetObs(r *obs.Registry, label string) {
+	sw.obsMu.Lock()
+	sw.obsReg = r
+	sw.obsLabel = label
+	sw.obsMu.Unlock()
+	sw.refreshMetrics()
+}
+
+// refreshMetrics rebuilds the atomic metrics struct from the stored
+// registry, including per-tenant window counters for the currently
+// loaded program's tenant slices.
+func (sw *Switch) refreshMetrics() {
+	sw.obsMu.Lock()
+	r, label := sw.obsReg, sw.obsLabel
+	sw.obsMu.Unlock()
 	p := "pisa." + label + "."
 	m := &pisaMetrics{
 		windows:       r.Counter(p + "windows"),
@@ -77,6 +103,12 @@ func (sw *Switch) SetObs(r *obs.Registry, label string) {
 	}
 	for i := range m.stageExecs {
 		m.stageExecs[i] = r.Counter(fmt.Sprintf("%sstage.%d.execs", p, i))
+	}
+	if pl := sw.plan.Load(); pl != nil && len(pl.program.Tenants) > 0 {
+		m.tenantWindows = make(map[uint32]*obs.Counter, len(pl.program.Tenants))
+		for _, ti := range pl.program.Tenants {
+			m.tenantWindows[uint32(ti.Slot)] = r.Counter(p + "tenant." + ti.ID + ".windows")
+		}
 	}
 	sw.met.Store(m)
 }
@@ -110,6 +142,61 @@ func (sw *Switch) Load(p *Program) error {
 	sw.loadMu.Lock()
 	sw.plan.Store(pl)
 	sw.loadMu.Unlock()
+	sw.refreshMetrics()
+	return nil
+}
+
+// LoadPreserving validates and compiles like Load but carries mutable
+// state over from the currently-loaded plan: register arrays and match
+// tables that keep their name and shape retain their values, and the
+// exactly-once shadow state survives. This is the multi-tenant admission
+// path — re-merging the tenant set on AddTenant/RemoveTenant must not
+// disturb surviving tenants' in-flight aggregation state, while a
+// removed tenant's slices are reclaimed simply by not appearing in the
+// new program. With no plan loaded it behaves exactly like Load.
+func (sw *Switch) LoadPreserving(p *Program) error {
+	if err := p.Validate(sw.target); err != nil {
+		return err
+	}
+	pl, err := compilePlan(p)
+	if err != nil {
+		return err
+	}
+	sw.loadMu.Lock()
+	if old := sw.plan.Load(); old != nil {
+		// Shadow entries are keyed by tenant slot, and slots are never
+		// reused, so carrying the filter over cannot leak suppression
+		// across tenants.
+		pl.shadow = old.shadow
+		for name, ni := range pl.regIdx {
+			oi, ok := old.regIdx[name]
+			if !ok {
+				continue
+			}
+			or, nr := old.regs[oi], pl.regs[ni]
+			if or.bits != nr.bits || or.signed != nr.signed || len(or.vals) != len(nr.vals) {
+				continue
+			}
+			or.mu.Lock()
+			copy(nr.vals, or.vals)
+			or.mu.Unlock()
+		}
+		for name, ni := range pl.tableIdx {
+			oi, ok := old.tableIdx[name]
+			if !ok {
+				continue
+			}
+			ot, nt := old.tables[oi], pl.tables[ni]
+			ot.mu.RLock()
+			for k, v := range ot.entries {
+				nt.entries[k] = v
+			}
+			ot.mu.RUnlock()
+		}
+	}
+	sw.plan.Store(pl)
+	sw.loadMu.Unlock()
+	sw.refreshMetrics()
 	return nil
 }
 
@@ -290,12 +377,12 @@ func (sw *Switch) ExecWindow(kernelID uint32, win *interp.Window) (interp.Decisi
 	}
 	var admitted bool
 	if win.ExactlyOnce {
-		admitted = sw.admitShadow(pl, met, s, win.Meta["seq"], win.Meta["sender"], win.Meta["wid"])
+		admitted = sw.admitShadow(pl, met, s, kp.tenant, win.Meta["seq"], win.Meta["sender"], win.Meta["wid"])
 	}
 	dec, err := sw.finish(pl, kp, met, s, win.Data)
 	if err != nil {
 		if admitted {
-			pl.shadow.forget(win.Meta["seq"], win.Meta["sender"], win.Meta["wid"])
+			pl.shadow.forget(kp.tenant, win.Meta["seq"], win.Meta["sender"], win.Meta["wid"])
 		}
 		return dec, err
 	}
@@ -340,12 +427,12 @@ func (sw *Switch) ExecWindowSlots(kernelID uint32, data [][]uint64, meta WindowM
 	}
 	var admitted bool
 	if meta.ExactlyOnce {
-		admitted = sw.admitShadow(pl, met, s, meta.Seq, meta.Sender, meta.Wid)
+		admitted = sw.admitShadow(pl, met, s, kp.tenant, meta.Seq, meta.Sender, meta.Wid)
 	}
 	dec, err := sw.finish(pl, kp, met, s, data)
 	if err != nil {
 		if admitted {
-			pl.shadow.forget(meta.Seq, meta.Sender, meta.Wid)
+			pl.shadow.forget(kp.tenant, meta.Seq, meta.Sender, meta.Wid)
 		}
 		return dec, err
 	}
@@ -358,8 +445,8 @@ func (sw *Switch) ExecWindowSlots(kernelID uint32, data [][]uint64, meta WindowM
 // state-mutating SALUs suppressed. Returns whether the window was
 // admitted fresh, so a failed execution can roll the admission back (the
 // retransmit must be allowed to apply).
-func (sw *Switch) admitShadow(pl *plan, met *pisaMetrics, s *execScratch, seq, sender, wid uint64) bool {
-	fresh, size := pl.shadow.admit(seq, sender, wid)
+func (sw *Switch) admitShadow(pl *plan, met *pisaMetrics, s *execScratch, tenant uint32, seq, sender, wid uint64) bool {
+	fresh, size := pl.shadow.admit(tenant, seq, sender, wid)
 	met.shadowSlots.Set(int64(size))
 	if !fresh {
 		s.suppress = true
@@ -381,6 +468,11 @@ func (sw *Switch) begin(kernelID uint32, data [][]uint64) (*plan, *kernelPlan, *
 	}
 	met := sw.met.Load()
 	met.windows.Inc()
+	if met.tenantWindows != nil {
+		if c := met.tenantWindows[kp.tenant]; c != nil {
+			c.Inc()
+		}
+	}
 	s := sw.getScratch(kp.numFields)
 	if err := kp.parse(data, s.phv); err != nil {
 		sw.scratch.Put(s)
@@ -438,6 +530,11 @@ func (sw *Switch) ExecWindowBatch(kernelID uint32, jobs []BatchJob, loc uint32) 
 	}
 	met := sw.met.Load()
 	met.windows.Add(uint64(len(jobs)))
+	if met.tenantWindows != nil {
+		if c := met.tenantWindows[kp.tenant]; c != nil {
+			c.Add(uint64(len(jobs)))
+		}
+	}
 	s := sw.getScratch(kp.numFields)
 	defer sw.scratch.Put(s)
 	kp.lockState()
@@ -479,11 +576,11 @@ func (sw *Switch) ExecWindowBatch(kernelID uint32, jobs []BatchJob, loc uint32) 
 		}
 		var admitted bool
 		if j.Meta.ExactlyOnce {
-			admitted = sw.admitShadow(pl, met, s, j.Meta.Seq, j.Meta.Sender, j.Meta.Wid)
+			admitted = sw.admitShadow(pl, met, s, kp.tenant, j.Meta.Seq, j.Meta.Sender, j.Meta.Wid)
 		}
 		if err := kp.execPasses(met, s, true); err != nil {
 			if admitted {
-				pl.shadow.forget(j.Meta.Seq, j.Meta.Sender, j.Meta.Wid)
+				pl.shadow.forget(kp.tenant, j.Meta.Seq, j.Meta.Sender, j.Meta.Wid)
 			}
 			j.Err = err
 			continue

@@ -216,6 +216,16 @@ type Kernel struct {
 	Params    []ParamLayout
 	WinMeta   map[string]FieldRef // builtin + _win_ fields by name
 	Passes    [][]*Stage          // pass 0 plus recirculation passes
+	// Labels, when non-nil, overrides Program.Labels for this kernel's
+	// $fwdlabel resolution. Merged multi-tenant programs set it so each
+	// tenant's kernels resolve label constants against the tenant's own
+	// label space instead of the (meaningless) merged one.
+	Labels []string
+	// UserFields, when non-nil, overrides the program-level NCP wire
+	// order for this kernel's WinMeta binding. Merged multi-tenant
+	// programs set it because each tenant's hosts serialize their own
+	// module's sorted user-field list.
+	UserFields []string
 }
 
 // FieldByName returns the field ref with the given name, or NoField.
@@ -244,6 +254,17 @@ type Program struct {
 	// kernel at this location reads it. Optional for hand-built programs
 	// (the plan falls back to the union of kernel WinMeta names).
 	UserFields []string
+	// Tenants records, on a merged multi-tenant program, the tenant
+	// slices in slot order (see MergePrograms). nil on single-tenant
+	// programs.
+	Tenants []TenantInfo
+}
+
+// TenantInfo names one tenant slice of a merged program.
+type TenantInfo struct {
+	ID       string
+	Slot     int // kernel-id tag, 1-based; 0 means untenanted
+	Priority int
 }
 
 // KernelByID returns the kernel with the given id, or nil.

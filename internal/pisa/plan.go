@@ -133,6 +133,8 @@ type kernelPlan struct {
 	locField      FieldRef
 	fwdField      FieldRef
 	fwdLabelField FieldRef
+	labels        []string // $fwdlabel space (kernel override or program's)
+	tenant        uint32   // tenant slot from the kernel id (0 untenanted)
 	passes        [][]stagePlan
 
 	// regsUsed/tablesUsed are the deduped state the kernel's instruction
@@ -219,6 +221,15 @@ func (pl *plan) compileKernel(k *Kernel) (*kernelPlan, error) {
 		locField:      k.FieldByName(FieldLoc),
 		fwdField:      k.FieldByName(FieldFwd),
 		fwdLabelField: k.FieldByName(FieldFwdLabel),
+		labels:        pl.labels,
+		tenant:        TenantSlotOfKernel(k.ID),
+	}
+	if k.Labels != nil {
+		kp.labels = k.Labels
+	}
+	userFields := pl.userFields
+	if k.UserFields != nil {
+		userFields = k.UserFields
 	}
 	for _, p := range k.Params {
 		kp.params = append(kp.params, paramPlan{
@@ -245,7 +256,7 @@ func (pl *plan) compileKernel(k *Kernel) (*kernelPlan, error) {
 			mb.src = metaWid
 		default:
 			mb.src = metaMissing
-			for i, uf := range pl.userFields {
+			for i, uf := range userFields {
 				if uf == name {
 					mb.src = metaUser0 + i
 					break
@@ -615,8 +626,8 @@ func (kp *kernelPlan) decision(pl *plan, phv []uint64) interp.Decision {
 	}
 	if kp.fwdLabelField != NoField && phv[kp.fwdLabelField] > 0 {
 		li := int(phv[kp.fwdLabelField]) - 1
-		if li < len(pl.labels) {
-			dec.Label = pl.labels[li]
+		if li < len(kp.labels) {
+			dec.Label = kp.labels[li]
 		}
 	}
 	return dec

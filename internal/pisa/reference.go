@@ -132,10 +132,13 @@ func (rf *Reference) ExecWindow(kernelID uint32, win *interp.Window) (interp.Dec
 
 	// Exactly-once admission: identical logic (and shared shadow
 	// implementation) to the compiled plan, so the differential tests can
-	// hold the engines bit-identical under duplicate injection.
+	// hold the engines bit-identical under duplicate injection. The
+	// tenant slot in the kernel id keys the filter per tenant, exactly
+	// like the compiled plan.
+	tenant := TenantSlotOfKernel(kernelID)
 	var suppress, admitted bool
 	if win.ExactlyOnce {
-		fresh, _ := rf.shadow.admit(win.Meta["seq"], win.Meta["sender"], win.Meta["wid"])
+		fresh, _ := rf.shadow.admit(tenant, win.Meta["seq"], win.Meta["sender"], win.Meta["wid"])
 		suppress, admitted = !fresh, fresh
 	}
 
@@ -144,7 +147,7 @@ func (rf *Reference) ExecWindow(kernelID uint32, win *interp.Window) (interp.Dec
 		for _, stage := range pass {
 			if err := rf.execStage(k, stage, phv, suppress); err != nil {
 				if admitted {
-					rf.shadow.forget(win.Meta["seq"], win.Meta["sender"], win.Meta["wid"])
+					rf.shadow.forget(tenant, win.Meta["seq"], win.Meta["sender"], win.Meta["wid"])
 				}
 				return interp.Decision{}, err
 			}
@@ -172,9 +175,13 @@ func (rf *Reference) ExecWindow(kernelID uint32, win *interp.Window) (interp.Dec
 		}
 	}
 	if f := k.FieldByName(FieldFwdLabel); f != NoField && phv[f] > 0 {
+		labels := rf.program.Labels
+		if k.Labels != nil {
+			labels = k.Labels
+		}
 		li := int(phv[f]) - 1
-		if li < len(rf.program.Labels) {
-			dec.Label = rf.program.Labels[li]
+		if li < len(labels) {
+			dec.Label = labels[li]
 		}
 	}
 	dec.Suppressed = suppress

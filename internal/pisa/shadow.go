@@ -32,8 +32,12 @@ import "sync"
 // tree-walker) share this one implementation so the differential tests
 // can hold them bit-identical under duplicate injection.
 
-// shadowKey identifies one sender's contribution slot.
+// shadowKey identifies one sender's contribution slot. tenant is the
+// kernel id's tenant slot (0 for untenanted programs): tenants have
+// independent sender/seq spaces, so two tenants' windows with colliding
+// (seq, sender, wid) must never suppress each other on a shared device.
 type shadowKey struct {
+	tenant uint32
 	seq    uint64
 	sender uint64
 }
@@ -70,8 +74,8 @@ func newShadowState() *shadowState {
 // (true: execute normally) or a duplicate of one already applied (false:
 // suppress state-mutating ops). size is the live entry count after
 // admission, for the shadow_slots gauge.
-func (s *shadowState) admit(seq, sender, wid uint64) (fresh bool, size int) {
-	k := shadowKey{seq, sender}
+func (s *shadowState) admit(tenant uint32, seq, sender, wid uint64) (fresh bool, size int) {
+	k := shadowKey{tenant, seq, sender}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e, ok := s.slots[k]; ok {
@@ -106,8 +110,8 @@ func (s *shadowState) admit(seq, sender, wid uint64) (fresh bool, size int) {
 // (the retransmit must be allowed to re-apply). Only the matching
 // current wid is rolled back, so a later round's entry is never dropped
 // by a stale error.
-func (s *shadowState) forget(seq, sender, wid uint64) {
-	k := shadowKey{seq, sender}
+func (s *shadowState) forget(tenant uint32, seq, sender, wid uint64) {
+	k := shadowKey{tenant, seq, sender}
 	s.mu.Lock()
 	if e, ok := s.slots[k]; ok && e.cur == wid {
 		if e.hasPrev {

@@ -220,41 +220,41 @@ func TestShadowMetrics(t *testing.T) {
 // and FIFO eviction at capacity.
 func TestShadowState(t *testing.T) {
 	s := newShadowState()
-	if fresh, _ := s.admit(1, 2, 3); !fresh {
+	if fresh, _ := s.admit(0, 1, 2, 3); !fresh {
 		t.Fatal("first admit not fresh")
 	}
-	if fresh, _ := s.admit(1, 2, 3); fresh {
+	if fresh, _ := s.admit(0, 1, 2, 3); fresh {
 		t.Fatal("duplicate admitted")
 	}
-	if fresh, _ := s.admit(1, 2, 4); !fresh {
+	if fresh, _ := s.admit(0, 1, 2, 4); !fresh {
 		t.Fatal("recycled slot (new wid) not fresh")
 	}
-	if fresh, _ := s.admit(1, 2, 4); fresh {
+	if fresh, _ := s.admit(0, 1, 2, 4); fresh {
 		t.Fatal("duplicate of recycled slot admitted")
 	}
 	// A late fabric duplicate from the previous invocation must still be
 	// recognized (the slot's "version bit").
-	if fresh, _ := s.admit(1, 2, 3); fresh {
+	if fresh, _ := s.admit(0, 1, 2, 3); fresh {
 		t.Fatal("previous-generation wid admitted fresh")
 	}
 	// Rollback: a failed execution must let the retransmit re-apply.
-	s.forget(1, 2, 4)
-	if fresh, _ := s.admit(1, 2, 4); !fresh {
+	s.forget(0, 1, 2, 4)
+	if fresh, _ := s.admit(0, 1, 2, 4); !fresh {
 		t.Fatal("admit after forget not fresh")
 	}
 	// forget with a stale wid must not drop the live entry.
-	s.forget(1, 2, 3)
-	if fresh, _ := s.admit(1, 2, 4); fresh {
+	s.forget(0, 1, 2, 3)
+	if fresh, _ := s.admit(0, 1, 2, 4); fresh {
 		t.Fatal("stale-wid forget dropped the live entry")
 	}
 	// FIFO eviction keeps the filter bounded; evicted entries re-admit.
 	for i := 0; i < shadowSlotsCap+10; i++ {
-		s.admit(uint64(i), 100, 1)
+		s.admit(0, uint64(i), 100, 1)
 	}
 	if n := s.size(); n > shadowSlotsCap {
 		t.Fatalf("shadow grew to %d entries, cap %d", n, shadowSlotsCap)
 	}
-	if fresh, _ := s.admit(0, 100, 1); !fresh {
+	if fresh, _ := s.admit(0, 0, 100, 1); !fresh {
 		t.Fatal("evicted entry still recognized as duplicate")
 	}
 }

@@ -85,6 +85,10 @@ type AppConfig struct {
 	// ncp.FlagExactlyOnce so switches suppress retransmitted duplicates
 	// instead of double-applying them.
 	NonIdempotent map[string]bool
+	// MetricsPrefix, when set, prefixes every host counter name
+	// (e.g. "tenant.a." yields tenant.a.host.<label>.*) — the per-tenant
+	// metrics namespace for multi-tenant deployments sharing a registry.
+	MetricsPrefix string
 }
 
 // DefaultMTU bounds single-packet windows; larger windows fragment (§6's
@@ -168,8 +172,10 @@ type hostMetrics struct {
 	backoffUs       *obs.Histogram // backed-off retransmit timeouts, µs
 }
 
-func newHostMetrics(r *obs.Registry, label string) hostMetrics {
-	p := "host." + label + "."
+// newHostMetrics resolves the host counter handles under the given
+// fully-formed prefix (host.<label>. — or tenant.<id>.host.<label>. for
+// tenant deployments sharing a registry).
+func newHostMetrics(r *obs.Registry, p string) hostMetrics {
 	return hostMetrics{
 		windowsSent:     r.Counter(p + "windows_sent"),
 		packetsSent:     r.Counter(p + "packets_sent"),
@@ -233,7 +239,7 @@ func NewHost(label string, id, role uint32, cfg AppConfig, send netsim.Sender, r
 		role:      role,
 		cfg:       cfg,
 		send:      send,
-		met:       newHostMetrics(reg, label),
+		met:       newHostMetrics(reg, cfg.MetricsPrefix+"host."+label+"."),
 		inbox:     make(chan *RecvWindow, inboxCap),
 		inKernels: map[string]*ir.Func{},
 	}

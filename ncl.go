@@ -120,6 +120,26 @@ type TelemetryServer = telemetry.Server
 // successive metric snapshots.
 type RateWindow = obs.RateWindow
 
+// Tenancy is a multi-tenant INC service: several independently-built
+// applications sharing one set of switch devices, with controller
+// admission control (the merged footprint must validate against the
+// per-stage budgets), priority eviction, and per-tenant metrics
+// namespaces. See NewTenancy, Tenancy.AddTenant, Tenancy.RemoveTenant.
+type Tenancy = core.Tenancy
+
+// Tenant is one admitted application in a Tenancy: its slot, priority,
+// and private deployment (hosts, fabric, controller).
+type Tenant = core.Tenant
+
+// TenantEvent is one admission state transition (admit, reject, evict,
+// remove) from a Tenancy's controller.
+type TenantEvent = controller.TenantEvent
+
+// ErrTenantRejected marks an AddTenant that failed admission control:
+// the program set does not fit the remaining switch budgets and no
+// lower-priority tenant could be evicted. Test with errors.Is.
+var ErrTenantRejected = controller.ErrRejected
+
 // Build compiles an NCL program against an AND overlay description
 // through the full nclc pipeline. See BuildOptions for the knobs.
 func Build(nclSrc, andSrc string, opts BuildOptions) (*Artifact, error) {
@@ -147,6 +167,13 @@ func ServeTelemetry(addr string, reg *Metrics, rec *FlightRecorder) (*TelemetryS
 // NewRateWindow returns an empty rate window; feed it successive
 // snapshots to read per-second deltas.
 func NewRateWindow() *RateWindow { return obs.NewRateWindow() }
+
+// NewTenancy creates an empty multi-tenant INC service whose shared
+// switch devices all have the given resource budget (zero value: the
+// default target). Admit applications with AddTenant.
+func NewTenancy(target TargetConfig, faults Faults) *Tenancy {
+	return core.NewTenancy(target, faults)
+}
 
 // ErrTimeout is returned by Host.In when no window arrives in time.
 var ErrTimeout = runtime.ErrTimeout

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# bench_guard.sh EXP — the single CI performance gate.
+#
+# Runs one table-driven experiment through ncl-bench, writes a fresh
+# snapshot (BENCH_<name>.fresh.json, uploaded by CI even on failure),
+# and compares ns/window against the committed BENCH_<name>.json
+# baseline, failing on regressions beyond MAX_REGRESS percent (default
+# 25). The experiment -> baseline mapping lives here so the workflow
+# carries one matrix instead of a copy-pasted step per experiment.
+set -euo pipefail
+
+exp="${1:-}"
+max_regress="${MAX_REGRESS:-25}"
+
+case "$exp" in
+  E12) base="BENCH_switch" ;;
+  E14) base="BENCH_telemetry" ;;
+  E15) base="BENCH_fabric" ;;
+  E16) base="BENCH_placement" ;;
+  E17) base="BENCH_scale" ;;
+  E18) base="BENCH_tenancy" ;;
+  *)
+    echo "usage: $0 {E12|E14|E15|E16|E17|E18}" >&2
+    exit 2
+    ;;
+esac
+
+if [ ! -f "$base.json" ]; then
+  echo "bench_guard: committed baseline $base.json missing" >&2
+  exit 1
+fi
+
+exec go run ./cmd/ncl-bench -only "$exp" \
+  -snapshot "$base.fresh.json" \
+  -baseline "$base.json" \
+  -max-regress "$max_regress"

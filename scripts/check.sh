@@ -24,7 +24,9 @@ if command -v staticcheck >/dev/null 2>&1; then
     echo "== staticcheck ($(staticcheck -version 2>/dev/null || echo unknown))"
     staticcheck ./...
 else
-    echo "== staticcheck (skipped: not installed)"
+    echo "== staticcheck"
+    echo "SKIPPED: staticcheck not on PATH — install the pinned version with:" >&2
+    echo "  go install honnef.co/go/tools/cmd/staticcheck@\$STATICCHECK_VERSION (see ci.yml)" >&2
 fi
 
 if [ "${NCL_CHECK_SKIP_TESTS:-0}" != "1" ]; then
